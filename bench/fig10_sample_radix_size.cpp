@@ -1,0 +1,54 @@
+// Figure 10: sample sort execution time for radix sizes 6-12 (the radix
+// of its two local sorts), relative to radix 8, under CC-SAS on 64
+// processors (Gauss keys).
+//
+// Paper shapes: unlike radix sort, small radices never win — local
+// sorting dominates, so reducing the number of passes matters more; 11 is
+// best up to 64M, 12 at 256M; the best/worst ratio stays under ~2.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env = bench::parse_env(argc, argv, "1M,4M,16M", "64",
+                                      {"radixes"});
+    ArgParser args(argc, argv);
+    const auto radixes = args.get_ints("radixes", "6,7,8,9,10,11,12");
+    const int p = env.procs[0];
+    bench::banner("Figure 10: sample sort vs radix size (CC-SAS, " +
+                      std::to_string(p) + " procs, relative to radix 8)",
+                  env);
+
+    std::vector<std::string> headers{"radix"};
+    for (const auto n : env.sizes) headers.push_back(fmt_count(n));
+    TextTable t(headers);
+
+    auto time_of = [&](Index n, int r) {
+      sort::SortSpec spec;
+      spec.algo = sort::Algo::kSample;
+      spec.model = sort::Model::kCcSas;
+      spec.nprocs = p;
+      spec.n = n;
+      spec.radix_bits = r;
+      return bench::run_spec(spec, env.seed).elapsed_ns;
+    };
+
+    std::vector<double> base_ns;
+    for (const auto n : env.sizes) base_ns.push_back(time_of(n, 8));
+
+    for (const int r : radixes) {
+      std::vector<std::string> row{std::to_string(r)};
+      for (std::size_t i = 0; i < env.sizes.size(); ++i) {
+        const double ns = r == 8 ? base_ns[i] : time_of(env.sizes[i], r);
+        row.push_back(fmt_fixed(ns / base_ns[i], 3));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "fig10", t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,47 @@
+// Figure 1: speedups of radix sort for the two MPI implementations —
+// vendor-style staged ("SGI") vs the authors' zero-copy MPICH ("NEW") —
+// on 16/32/64 processors, Gauss keys.
+//
+// Paper shape: NEW substantially outperforms SGI, with the gap widening
+// at larger processor counts; the difference is remote communication
+// time (local sorting is identical).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env = bench::parse_env(argc, argv);
+    bench::banner("Figure 1: radix sort, SGI (staged) vs NEW (direct) MPI",
+                  env);
+
+    bench::BaselineCache baselines(env.seed);
+    TextTable t({"keys", "procs", "SGI", "NEW", "NEW/SGI"});
+    for (const auto n : env.sizes) {
+      const double base = baselines.ns(n, keys::Dist::kGauss, env.radix_bits);
+      for (const int p : env.procs) {
+        sort::SortSpec spec;
+        spec.algo = sort::Algo::kRadix;
+        spec.model = sort::Model::kMpi;
+        spec.nprocs = p;
+        spec.n = n;
+        spec.radix_bits = env.radix_bits;
+
+        spec.mpi_impl = msg::Impl::kStaged;
+        const double sgi = bench::run_spec(spec, env.seed).elapsed_ns;
+        spec.mpi_impl = msg::Impl::kDirect;
+        const double neu = bench::run_spec(spec, env.seed).elapsed_ns;
+
+        t.add_row({fmt_count(n), std::to_string(p),
+                   fmt_fixed(sort::speedup(base, sgi), 1),
+                   fmt_fixed(sort::speedup(base, neu), 1),
+                   fmt_fixed(sgi / neu, 2) + "x"});
+      }
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "fig1", t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

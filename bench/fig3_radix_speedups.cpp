@@ -1,0 +1,63 @@
+// Figure 3: speedups of radix sort under SHMEM, CC-SAS, MPI and
+// CC-SAS-NEW on 16/32/64 processors, Gauss keys, vs the sequential radix
+// baseline (Table 1).
+//
+// Paper shapes to reproduce:
+//   * SHMEM best almost everywhere (CC-SAS wins the smallest size at
+//     high processor counts);
+//   * the naive CC-SAS collapses at larger sizes (scattered remote writes
+//     vs the coherence protocol);
+//   * CC-SAS-NEW recovers most of the gap but stays behind SHMEM;
+//   * superlinear speedups at large n (capacity effects).
+#include "bench_common.hpp"
+
+#include "perf/svg.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env = bench::parse_env(argc, argv);
+    bench::banner("Figure 3: radix sort speedups (Gauss)", env);
+
+    const sort::Model kModels[] = {sort::Model::kShmem, sort::Model::kCcSas,
+                                   sort::Model::kMpi, sort::Model::kCcSasNew};
+
+    bench::BaselineCache baselines(env.seed);
+    TextTable t({"keys", "procs", "SHMEM", "CC-SAS", "MPI", "CC-SAS-NEW"});
+    std::vector<std::string> x_labels;
+    std::vector<perf::Series> series{{"SHMEM", {}}, {"CC-SAS", {}},
+                                     {"MPI", {}}, {"CC-SAS-NEW", {}}};
+    for (const auto n : env.sizes) {
+      const double base = baselines.ns(n, keys::Dist::kGauss, env.radix_bits);
+      for (const int p : env.procs) {
+        std::vector<std::string> row{fmt_count(n), std::to_string(p)};
+        x_labels.push_back(fmt_count(n) + "/" + std::to_string(p) + "P");
+        for (std::size_t m = 0; m < series.size(); ++m) {
+          sort::SortSpec spec;
+          spec.algo = sort::Algo::kRadix;
+          spec.model = kModels[m];
+          spec.nprocs = p;
+          spec.n = n;
+          spec.radix_bits = env.radix_bits;
+          const auto res = bench::run_spec(spec, env.seed);
+          const double su = sort::speedup(base, res.elapsed_ns);
+          row.push_back(fmt_fixed(su, 1));
+          series[m].values.push_back(su);
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "fig3", t);
+    if (env.want_csv()) {
+      perf::write_file(env.csv_dir + "/fig3.svg",
+                       perf::svg_grouped_bars(
+                           "Figure 3: radix sort speedups (Gauss)",
+                           "speedup", x_labels, series));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

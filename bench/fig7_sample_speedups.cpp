@@ -1,0 +1,49 @@
+// Figure 7: speedups of sample sort under SHMEM, CC-SAS and MPI on
+// 16/32/64 processors, Gauss keys, vs the sequential radix baseline.
+//
+// Paper shapes: CC-SAS best up to ~4M keys; SHMEM and CC-SAS similar
+// beyond that; MPI somewhat behind; far more uniform across models than
+// radix sort (one contiguous communication stage).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env = bench::parse_env(argc, argv, "1M,4M,16M", "16,32,64",
+                                      {"sample-radix"});
+    ArgParser args(argc, argv);
+    // The paper's sample sort prefers larger radices (Fig 10: 11 best).
+    const int sradix = static_cast<int>(args.get_int("sample-radix", 11));
+    bench::banner("Figure 7: sample sort speedups (Gauss, radix " +
+                      std::to_string(sradix) + ")",
+                  env);
+
+    const sort::Model kModels[] = {sort::Model::kShmem, sort::Model::kCcSas,
+                                   sort::Model::kMpi};
+    bench::BaselineCache baselines(env.seed);
+    TextTable t({"keys", "procs", "SHMEM", "CC-SAS", "MPI"});
+    for (const auto n : env.sizes) {
+      const double base = baselines.ns(n, keys::Dist::kGauss, env.radix_bits);
+      for (const int p : env.procs) {
+        std::vector<std::string> row{fmt_count(n), std::to_string(p)};
+        for (const sort::Model m : kModels) {
+          sort::SortSpec spec;
+          spec.algo = sort::Algo::kSample;
+          spec.model = m;
+          spec.nprocs = p;
+          spec.n = n;
+          spec.radix_bits = sradix;
+          const auto res = bench::run_spec(spec, env.seed);
+          row.push_back(fmt_fixed(sort::speedup(base, res.elapsed_ns), 1));
+        }
+        t.add_row(std::move(row));
+      }
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "fig7", t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

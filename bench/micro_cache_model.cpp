@@ -1,0 +1,71 @@
+// Host-machine microbenchmarks: the exact cache/TLB simulators and the
+// analytic cost-model functions they validate.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "machine/cache_sim.hpp"
+#include "machine/cost.hpp"
+#include "machine/tlb_sim.hpp"
+
+namespace {
+
+using namespace dsm;
+using namespace dsm::machine;
+
+void BM_CacheSimStreaming(benchmark::State& state) {
+  CacheSim sim(MachineParams::origin2000().l2);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    sim.access(addr);
+    addr += 128;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimStreaming);
+
+void BM_CacheSimRandom(benchmark::State& state) {
+  CacheSim sim(MachineParams::origin2000().l2);
+  SplitMix64 rng(1);
+  for (auto _ : state) {
+    sim.access(rng.next_below(1ull << 30));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheSimRandom);
+
+void BM_TlbSimRandom(benchmark::State& state) {
+  const MachineParams mp = MachineParams::origin2000();
+  TlbSim sim(mp.tlb, mp.page_bytes);
+  SplitMix64 rng(2);
+  for (auto _ : state) {
+    sim.access(rng.next_below(1ull << 32));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TlbSimRandom);
+
+void BM_AnalyticScattered(benchmark::State& state) {
+  CostModel cm(MachineParams::origin2000(), 64);
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.runs = 1 << 20;
+  p.active_regions = 256;
+  p.footprint_bytes = 64ull << 20;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.scattered_ns(p));
+  }
+}
+BENCHMARK(BM_AnalyticScattered);
+
+void BM_TopologyLatency(benchmark::State& state) {
+  const Topology topo(MachineParams::origin2000(), 64);
+  int a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.read_latency_ns(a & 63, (a * 7) & 63));
+    ++a;
+  }
+}
+BENCHMARK(BM_TopologyLatency);
+
+}  // namespace

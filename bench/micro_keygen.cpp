@@ -1,0 +1,41 @@
+// Host-machine microbenchmarks: key-generation throughput for each of the
+// paper's eight distributions.
+#include <benchmark/benchmark.h>
+
+#include "common/prng.hpp"
+#include "keys/distributions.hpp"
+
+namespace {
+
+using namespace dsm;
+
+void BM_Generate(benchmark::State& state) {
+  const auto d = static_cast<keys::Dist>(state.range(0));
+  const Index n = 1 << 20;
+  std::vector<Key> out(n / 4);
+  keys::GenSpec spec;
+  spec.n_total = n;
+  spec.global_begin = n / 4;
+  spec.rank = 1;
+  spec.nprocs = 4;
+  spec.radix_bits = 8;
+  for (auto _ : state) {
+    keys::generate(d, out, spec);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+  state.SetLabel(keys::dist_name(d));
+}
+BENCHMARK(BM_Generate)->DenseRange(0, 7);
+
+void BM_Lcg46JumpAhead(benchmark::State& state) {
+  for (auto _ : state) {
+    NasLcg46 g;
+    g.jump(1ull << 40);
+    benchmark::DoNotOptimize(g.state());
+  }
+}
+BENCHMARK(BM_Lcg46JumpAhead);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Host-machine microbenchmarks: throughput of the virtual-time engines
+// (the reconciliation DES, the bucket prefix scan, collectives) — the
+// infrastructure the big sweeps spend their host time in.
+#include <benchmark/benchmark.h>
+
+#include "msg/communicator.hpp"
+#include "sas/prefix_tree.hpp"
+#include "sim/epoch.hpp"
+#include "sim/team.hpp"
+
+namespace {
+
+using namespace dsm;
+
+void BM_TwoSidedEpochEngine(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const int msgs_per_pair = static_cast<int>(state.range(1));
+  machine::CostModel cost(machine::MachineParams::origin2000(), p);
+  std::vector<std::vector<sim::Transfer>> sends(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s == d) continue;
+      for (int k = 0; k < msgs_per_pair; ++k) {
+        sends[static_cast<std::size_t>(s)].push_back(
+            sim::Transfer{s, d, 4096});
+      }
+    }
+  }
+  const std::vector<double> entry(static_cast<std::size_t>(p), 0.0);
+  sim::TwoSidedConfig cfg;
+  cfg.send_overhead_ns = 5000;
+  cfg.recv_overhead_ns = 4000;
+  std::int64_t transfers = 0;
+  for (auto _ : state) {
+    const auto res = sim::simulate_two_sided(cost, sends, entry, cfg);
+    benchmark::DoNotOptimize(res.quiescence_ns);
+    transfers += static_cast<std::int64_t>(p) * (p - 1) * msgs_per_pair;
+  }
+  state.SetItemsProcessed(transfers);
+}
+BENCHMARK(BM_TwoSidedEpochEngine)->ArgsProduct({{16, 64}, {1, 4, 16}});
+
+void BM_GetEpochEngine(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  machine::CostModel cost(machine::MachineParams::origin2000(), p);
+  std::vector<std::vector<sim::Transfer>> gets(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (int s = 0; s < p; ++s) {
+      if (s == r) continue;
+      for (int k = 0; k < 4; ++k) {
+        gets[static_cast<std::size_t>(r)].push_back(sim::Transfer{s, r, 4096});
+      }
+    }
+  }
+  const std::vector<double> entry(static_cast<std::size_t>(p), 0.0);
+  for (auto _ : state) {
+    const auto res =
+        sim::simulate_gets(cost, gets, entry, sim::OneSidedConfig{4000});
+    benchmark::DoNotOptimize(res.quiescence_ns);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * p *
+                          (p - 1) * 4);
+}
+BENCHMARK(BM_GetEpochEngine)->Arg(16)->Arg(64);
+
+void BM_BucketScan(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  const std::size_t buckets = 1u << static_cast<unsigned>(state.range(1));
+  sim::SimTeam team(p, machine::MachineParams::origin2000());
+  sas::BucketScan scan(p, buckets);
+  for (auto _ : state) {
+    team.run([&](sim::ProcContext& ctx) {
+      std::vector<std::uint64_t> local(buckets, 1), rp(buckets), g(buckets);
+      scan.scan(ctx, local, rp, g);
+    });
+    benchmark::DoNotOptimize(team.elapsed_ns());
+  }
+}
+BENCHMARK(BM_BucketScan)->ArgsProduct({{8, 32}, {8, 12}});
+
+void BM_Allgather(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  sim::SimTeam team(p, machine::MachineParams::origin2000());
+  msg::Communicator comm(team, msg::Impl::kDirect);
+  const std::size_t count = 256;
+  for (auto _ : state) {
+    team.run([&](sim::ProcContext& ctx) {
+      std::vector<std::uint64_t> in(count, 1);
+      std::vector<std::uint64_t> out(count * static_cast<std::size_t>(p));
+      comm.allgather<std::uint64_t>(ctx, in, out);
+      benchmark::DoNotOptimize(out.data());
+    });
+  }
+}
+BENCHMARK(BM_Allgather)->Arg(8)->Arg(32);
+
+}  // namespace

@@ -1,0 +1,47 @@
+// Table 1: sequential execution time of radix sort for different key
+// counts, Gauss distribution.
+//
+// Paper (microseconds):  1M 1,610,142 | 4M 7,013,044 | 16M 33,668,308 |
+//                        64M 143,693,696 | 256M 947,575,676
+// The absolute values calibrate the CPU/memory constants; the shape to
+// check is the superlinear growth of time-per-key once the working set
+// leaves the 4 MB L2 and TLB reach.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env = bench::parse_env(argc, argv, "1M,4M,16M", "1");
+    bench::banner("Table 1: sequential radix sort time (Gauss, radix 8)", env);
+
+    static constexpr struct {
+      std::uint64_t n;
+      double paper_us;
+    } kPaper[] = {{1ull << 20, 1610142},   {4ull << 20, 7013044},
+                  {16ull << 20, 33668308}, {64ull << 20, 143693696},
+                  {256ull << 20, 947575676}};
+
+    TextTable t({"keys", "measured (us)", "us/key", "paper (us)",
+                 "paper us/key"});
+    bench::BaselineCache baselines(env.seed);
+    for (const auto n : env.sizes) {
+      const double ns = baselines.ns(n, keys::Dist::kGauss, env.radix_bits);
+      std::string paper = "-", paper_per = "-";
+      for (const auto& row : kPaper) {
+        if (row.n == n) {
+          paper = fmt_fixed(row.paper_us, 0);
+          paper_per = fmt_fixed(row.paper_us / static_cast<double>(n), 3);
+        }
+      }
+      t.add_row({fmt_count(n), fmt_fixed(ns / 1e3, 0),
+                 fmt_fixed(ns / 1e3 / static_cast<double>(n), 3), paper,
+                 paper_per});
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "table1", t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,46 @@
+// Table 2: best execution time (us) for radix sort and sample sort, each
+// minimised over the three/four programming models and the radix sizes,
+// Gauss keys, on 16/32/64 processors.
+//
+// Paper shape: sample sort wins up to ~64K keys per processor (better
+// communication), radix sort wins beyond (sample's second local sort
+// outweighs its communication advantage).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env =
+        bench::parse_env(argc, argv, "1M,4M,16M", "16,32,64", {"radixes"});
+    ArgParser args(argc, argv);
+    const auto radixes = args.get_ints("radixes", "8,11,12");
+    bench::banner("Table 2: best times over models x radix sizes (us)", env);
+
+    std::vector<std::string> headers{"keys"};
+    for (const int p : env.procs) {
+      headers.push_back("radix " + std::to_string(p) + "P");
+    }
+    for (const int p : env.procs) {
+      headers.push_back("sample " + std::to_string(p) + "P");
+    }
+    TextTable t(headers);
+
+    for (const auto n : env.sizes) {
+      std::vector<std::string> row{fmt_count(n)};
+      for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
+        for (const int p : env.procs) {
+          const auto best =
+              bench::best_over_models_and_radixes(a, n, p, radixes, env.seed);
+          row.push_back(fmt_fixed(best.ns / 1e3, 0));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "table2", t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,46 @@
+// Table 3: which (programming model, radix size) achieves the best time
+// for each {algorithm, key count, processor count} cell of Table 2.
+//
+// Paper shape: radix -> CC-SAS at the smallest size, SHMEM elsewhere,
+// with the winning radix growing with data-set size; sample -> CC-SAS for
+// smaller data sets, SHMEM at 64 processors for larger ones, radix ~11-12.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const auto env =
+        bench::parse_env(argc, argv, "1M,4M,16M", "16,32,64", {"radixes"});
+    ArgParser args(argc, argv);
+    const auto radixes = args.get_ints("radixes", "8,11,12");
+    bench::banner("Table 3: best (model, radix) per configuration", env);
+
+    std::vector<std::string> headers{"keys"};
+    for (const int p : env.procs) {
+      headers.push_back("radix " + std::to_string(p) + "P");
+    }
+    for (const int p : env.procs) {
+      headers.push_back("sample " + std::to_string(p) + "P");
+    }
+    TextTable t(headers);
+
+    for (const auto n : env.sizes) {
+      std::vector<std::string> row{fmt_count(n)};
+      for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
+        for (const int p : env.procs) {
+          const auto best =
+              bench::best_over_models_and_radixes(a, n, p, radixes, env.seed);
+          row.push_back(std::string(sort::model_name(best.model)) + " " +
+                        std::to_string(best.radix_bits));
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t.render();
+    bench::maybe_csv(env, "table3", t);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,27 @@
+// Cache-line alignment helpers.
+//
+// Per-process mutable state that is indexed by rank (clock slots, barrier
+// sense flags, epoch deposit slots) is padded to a destructive-interference
+// boundary so simulated processes never false-share on the host machine.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace dsm {
+
+// 64 bytes covers x86-64 and most AArch64 parts; we avoid
+// std::hardware_destructive_interference_size because GCC warns that its
+// value is ABI-unstable across -mtune options.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A T padded out to its own cache line.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+};
+
+}  // namespace dsm

@@ -1,0 +1,46 @@
+#include "common/barrier.hpp"
+
+namespace dsm {
+
+CentralBarrier::CentralBarrier(int parties) : parties_(parties) {
+  DSM_REQUIRE(parties >= 1, "barrier needs at least one party");
+}
+
+void CentralBarrier::arrive_and_wait(const std::function<void()>& completion) {
+  std::unique_lock lock(mu_);
+  if (poisoned_) throw Error("barrier poisoned: a team member failed");
+  const bool my_sense = sense_;
+  if (++arrived_ == parties_) {
+    if (completion) {
+      try {
+        completion();
+      } catch (...) {
+        // Release the waiters as poisoned, then propagate to the runner.
+        poisoned_ = true;
+        cv_.notify_all();
+        throw;
+      }
+    }
+    arrived_ = 0;
+    sense_ = !sense_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return sense_ != my_sense || poisoned_; });
+  if (poisoned_ && sense_ == my_sense) {
+    throw Error("barrier poisoned: a team member failed");
+  }
+}
+
+void CentralBarrier::poison() {
+  std::lock_guard lock(mu_);
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+bool CentralBarrier::poisoned() const {
+  std::lock_guard lock(mu_);
+  return poisoned_;
+}
+
+}  // namespace dsm

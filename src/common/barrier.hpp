@@ -1,0 +1,49 @@
+// A central barrier with a completion hook.
+//
+// The virtual-time engine needs a barrier where the *last arriver* runs a
+// reconciliation step (max over virtual arrival times, discrete-event
+// replay of an exchange epoch) while every other participant is still
+// parked — so the reconciler sees all deposits and no participant races
+// ahead before results are published.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace dsm {
+
+class CentralBarrier {
+ public:
+  explicit CentralBarrier(int parties);
+
+  CentralBarrier(const CentralBarrier&) = delete;
+  CentralBarrier& operator=(const CentralBarrier&) = delete;
+
+  /// Block until all parties arrive. The last arriver runs `completion`
+  /// (if nonempty) before anyone is released. SPMD callers must pass the
+  /// same logical completion from every rank; the one executed is the last
+  /// arriver's. Throws Error if the barrier is (or becomes) poisoned.
+  void arrive_and_wait(const std::function<void()>& completion = {});
+
+  /// Mark the barrier unusable and wake all waiters with an Error. Called
+  /// when one rank fails so the rest of the team cannot deadlock waiting
+  /// for it. Idempotent.
+  void poison();
+
+  bool poisoned() const;
+
+  int parties() const { return parties_; }
+
+ private:
+  const int parties_;
+  int arrived_ = 0;
+  bool sense_ = false;  // flips every round
+  bool poisoned_ = false;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace dsm

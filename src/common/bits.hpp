@@ -1,0 +1,43 @@
+// Small bit-manipulation helpers used by the radix kernels and the
+// machine model (all power-of-two geometry).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dsm {
+
+/// True if x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// log2 of a power of two.
+constexpr int log2_exact(std::uint64_t x) {
+  DSM_REQUIRE(is_pow2(x), "log2_exact requires a power of two");
+  return std::countr_zero(x);
+}
+
+/// Smallest power of two >= x (x must be nonzero).
+constexpr std::uint64_t ceil_pow2(std::uint64_t x) {
+  DSM_REQUIRE(x != 0, "ceil_pow2(0)");
+  return std::bit_ceil(x);
+}
+
+/// ceil(a / b) for nonnegative integers, b > 0.
+constexpr std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  DSM_REQUIRE(b != 0, "ceil_div by zero");
+  return (a + b - 1) / b;
+}
+
+/// Number of significant bits in x (0 for x == 0).
+constexpr int bit_width_u64(std::uint64_t x) {
+  return static_cast<int>(std::bit_width(x));
+}
+
+/// Extract the digit of `key` for radix pass `pass` with radix size r bits.
+constexpr std::uint32_t radix_digit(std::uint32_t key, int pass, int r) {
+  return (key >> (pass * r)) & ((1u << r) - 1u);
+}
+
+}  // namespace dsm

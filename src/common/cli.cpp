@@ -1,0 +1,99 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace dsm {
+namespace {
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  DSM_REQUIRE(!out.empty(), "empty list: " + s);
+  return out;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  DSM_REQUIRE(argc >= 1, "argc must be >= 1");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    DSM_REQUIRE(arg.rfind("--", 0) == 0, "options must start with --: " + arg);
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "";  // bare flag
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string ArgParser::get(const std::string& name,
+                           const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  DSM_REQUIRE(!it->second.empty(), "--" + name + " needs a value");
+  return std::stoll(it->second);
+}
+
+double ArgParser::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  DSM_REQUIRE(!it->second.empty(), "--" + name + " needs a value");
+  return std::stod(it->second);
+}
+
+std::vector<std::uint64_t> ArgParser::get_counts(
+    const std::string& name, const std::string& fallback) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& item : split_commas(get(name, fallback))) {
+    out.push_back(parse_count(item));
+  }
+  return out;
+}
+
+std::vector<int> ArgParser::get_ints(const std::string& name,
+                                     const std::string& fallback) const {
+  std::vector<int> out;
+  for (const auto& item : split_commas(get(name, fallback))) {
+    out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+void ArgParser::check_known(const std::vector<std::string>& known) const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      throw Error("unknown option --" + name + " (known: " + [&] {
+        std::string s;
+        for (const auto& k : known) s += "--" + k + " ";
+        return s;
+      }());
+    }
+  }
+}
+
+}  // namespace dsm

@@ -1,0 +1,44 @@
+// Minimal command-line option parsing for the bench/example binaries.
+//
+// Supported syntax: `--name value`, `--name=value`, bare `--flag`.
+// Unknown options are an error so typos don't silently run the default
+// experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  /// True if `--name` was passed (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+
+  /// Parse a comma-separated list of counts ("1M,4M,16M").
+  std::vector<std::uint64_t> get_counts(const std::string& name,
+                                        const std::string& fallback) const;
+
+  /// Parse a comma-separated list of integers ("16,32,64").
+  std::vector<int> get_ints(const std::string& name,
+                            const std::string& fallback) const;
+
+  /// Throw unless every seen option is in `known` (call after all gets).
+  void check_known(const std::vector<std::string>& known) const;
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace dsm

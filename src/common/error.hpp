@@ -1,0 +1,57 @@
+// Error reporting for dsmsort.
+//
+// The library throws dsm::Error for precondition violations and runtime
+// misuse (mismatched message sizes, non-symmetric allocations, ...) so that
+// tests can assert on failure injection instead of observing corruption.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace dsm {
+
+/// Exception thrown on any dsmsort precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(const char* kind, const char* cond,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::string s(kind);
+  s += " failed: ";
+  s += cond;
+  s += " at ";
+  s += file;
+  s += ":";
+  s += std::to_string(line);
+  if (!msg.empty()) {
+    s += " — ";
+    s += msg;
+  }
+  throw Error(std::move(s));
+}
+
+}  // namespace detail
+}  // namespace dsm
+
+/// Precondition check: active in all build types (cheap, on API boundaries).
+#define DSM_REQUIRE(cond, msg)                                             \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dsm::detail::fail("precondition", #cond, __FILE__, __LINE__, msg); \
+    }                                                                      \
+  } while (0)
+
+/// Internal invariant check: active in all build types. These guard the
+/// virtual-time accounting (negative waits, category overflow, ...).
+#define DSM_CHECK(cond, msg)                                             \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::dsm::detail::fail("invariant", #cond, __FILE__, __LINE__, msg);  \
+    }                                                                    \
+  } while (0)

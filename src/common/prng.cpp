@@ -1,0 +1,28 @@
+#include "common/prng.hpp"
+
+namespace dsm {
+
+std::uint64_t NasLcg46::pow_mult(std::uint64_t steps) {
+  std::uint64_t result = 1;
+  std::uint64_t base = kMultiplier;
+  while (steps != 0) {
+    if (steps & 1) result = (result * base) & kModMask;
+    base = (base * base) & kModMask;
+    steps >>= 1;
+  }
+  return result;
+}
+
+void NasLcg46::jump(std::uint64_t steps) {
+  state_ = (state_ * pow_mult(steps)) & kModMask;
+}
+
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream) {
+  // Two SplitMix64 steps over the concatenated inputs give independent
+  // streams for (base, stream) pairs.
+  SplitMix64 g(base ^ (stream * 0x9e3779b97f4a7c15ull) ^ 0xd1b54a32d192ed03ull);
+  (void)g.next();
+  return g.next() | 1ull;  // nonzero
+}
+
+}  // namespace dsm

@@ -1,0 +1,86 @@
+// Pseudo-random number generators.
+//
+// Two families:
+//  * NasLcg46 — the exact recurrence the paper (and NAS IS / SPLASH-2) uses
+//    for the Gauss distribution: x_{k+1} = 513 * x_k mod 2^46,
+//    x_0 = 314159265. Supports O(log n) jump-ahead so each simulated
+//    process can generate its partition independently yet produce the same
+//    global stream as a sequential generator.
+//  * SplitMix64 — a fast, well-mixed 64-bit generator used wherever the
+//    paper called the C library random(); deterministic across platforms
+//    (glibc random() is not), seedable per process.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace dsm {
+
+/// The NAS/SPLASH-2 linear congruential generator modulo 2^46.
+class NasLcg46 {
+ public:
+  static constexpr std::uint64_t kModMask = (std::uint64_t{1} << 46) - 1;
+  static constexpr std::uint64_t kMultiplier = 513;
+  static constexpr std::uint64_t kDefaultSeed = 314159265;
+
+  explicit NasLcg46(std::uint64_t seed = kDefaultSeed) : state_(seed & kModMask) {
+    DSM_REQUIRE(seed != 0, "NasLcg46 seed must be nonzero");
+  }
+
+  /// Next value in [0, 2^46).
+  std::uint64_t next() {
+    state_ = (state_ * kMultiplier) & kModMask;
+    return state_;
+  }
+
+  /// Advance the stream by `steps` values in O(log steps).
+  void jump(std::uint64_t steps);
+
+  /// Multiplier^steps mod 2^46 (exposed for tests).
+  static std::uint64_t pow_mult(std::uint64_t steps);
+
+  std::uint64_t state() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// SplitMix64: passes BigCrush, trivially seedable, 64-bit state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t next_below(std::uint64_t bound) {
+    DSM_REQUIRE(bound != 0, "next_below(0)");
+    // Fixed-point multiply mapping (Lemire) via the top 32 bits when bound
+    // fits, otherwise modulo; bias is < 2^-32, irrelevant for workload
+    // generation.
+    if (bound <= (std::uint64_t{1} << 32)) {
+      return ((next() >> 32) * bound) >> 32;
+    }
+    return next() % bound;
+  }
+
+  /// Uniform value in [lo, hi) — hi must be > lo.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) {
+    DSM_REQUIRE(hi > lo, "next_in: empty range");
+    return lo + next_below(hi - lo);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Derive a well-mixed per-stream seed from a base seed and a stream id.
+std::uint64_t mix_seed(std::uint64_t base, std::uint64_t stream);
+
+}  // namespace dsm

@@ -1,0 +1,216 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dsm {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  bool digit = false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit = true;
+    } else if (c != '.' && c != 'x' && c != '%') {
+      return false;
+    }
+  }
+  return digit;
+}
+
+std::string csv_quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DSM_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DSM_REQUIRE(cells.size() == headers_.size(),
+              "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << "  ";
+      const auto pad = width[c] - row[c].size();
+      if (looks_numeric(row[c])) {
+        out << std::string(pad, ' ') << row[c];
+      } else {
+        out << row[c] << std::string(pad, ' ');
+      }
+    }
+    out << '\n';
+  };
+
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_quote(row[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+BarChart::BarChart(std::string title, int width)
+    : title_(std::move(title)), width_(width) {
+  DSM_REQUIRE(width >= 10, "bar chart too narrow");
+}
+
+void BarChart::add(std::string label, double value) {
+  DSM_REQUIRE(value >= 0.0, "bar values must be nonnegative");
+  bars_.emplace_back(std::move(label), value);
+}
+
+std::string BarChart::render() const {
+  std::ostringstream out;
+  out << title_ << '\n';
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : bars_) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  for (const auto& [label, v] : bars_) {
+    const int n = maxv > 0 ? static_cast<int>(std::lround(
+                                 v / maxv * static_cast<double>(width_)))
+                           : 0;
+    out << "  " << label << std::string(label_w - label.size(), ' ') << " |"
+        << std::string(static_cast<std::size_t>(n), '#') << ' '
+        << fmt_fixed(v, 2) << '\n';
+  }
+  return out.str();
+}
+
+StackedBarChart::StackedBarChart(std::string title,
+                                 std::vector<std::string> categories,
+                                 int width)
+    : title_(std::move(title)), categories_(std::move(categories)), width_(width) {
+  DSM_REQUIRE(!categories_.empty(), "stacked chart needs categories");
+  DSM_REQUIRE(width >= 10, "stacked chart too narrow");
+}
+
+void StackedBarChart::add(std::string label, std::vector<double> parts) {
+  DSM_REQUIRE(parts.size() == categories_.size(),
+              "stacked row must have one value per category");
+  for (double p : parts) DSM_REQUIRE(p >= 0.0, "parts must be nonnegative");
+  rows_.emplace_back(std::move(label), std::move(parts));
+}
+
+std::string StackedBarChart::render() const {
+  // Each category gets the first letter of its name as the fill character.
+  std::ostringstream out;
+  out << title_ << "   [";
+  for (std::size_t i = 0; i < categories_.size(); ++i) {
+    if (i) out << ' ';
+    out << categories_[i][0] << '=' << categories_[i];
+  }
+  out << "]\n";
+
+  double max_total = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, parts] : rows_) {
+    double total = 0.0;
+    for (double p : parts) total += p;
+    max_total = std::max(max_total, total);
+    label_w = std::max(label_w, label.size());
+  }
+  for (const auto& [label, parts] : rows_) {
+    out << "  " << label << std::string(label_w - label.size(), ' ') << " |";
+    double total = 0.0;
+    if (max_total > 0) {
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        const int n = static_cast<int>(std::lround(
+            parts[i] / max_total * static_cast<double>(width_)));
+        out << std::string(static_cast<std::size_t>(n), categories_[i][0]);
+        total += parts[i];
+      }
+    }
+    out << ' ' << fmt_us(total) << '\n';
+  }
+  return out.str();
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << v;
+  return out.str();
+}
+
+std::string fmt_us(double ns) {
+  const double us = ns / 1e3;
+  std::ostringstream out;
+  out << static_cast<std::int64_t>(std::llround(us)) << " us";
+  return out.str();
+}
+
+std::string fmt_count(std::uint64_t n) {
+  const std::uint64_t kG = 1ull << 30, kM = 1ull << 20, kK = 1ull << 10;
+  if (n >= kG && n % kG == 0) return std::to_string(n / kG) + "G";
+  if (n >= kM && n % kM == 0) return std::to_string(n / kM) + "M";
+  if (n >= kK && n % kK == 0) return std::to_string(n / kK) + "K";
+  return std::to_string(n);
+}
+
+std::uint64_t parse_count(const std::string& s) {
+  DSM_REQUIRE(!s.empty(), "empty count");
+  std::uint64_t mult = 1;
+  std::string digits = s;
+  switch (s.back()) {
+    case 'K': case 'k': mult = 1ull << 10; digits.pop_back(); break;
+    case 'M': case 'm': mult = 1ull << 20; digits.pop_back(); break;
+    case 'G': case 'g': mult = 1ull << 30; digits.pop_back(); break;
+    default: break;
+  }
+  DSM_REQUIRE(!digits.empty() &&
+                  digits.find_first_not_of("0123456789") == std::string::npos,
+              "bad count: " + s);
+  return std::stoull(digits) * mult;
+}
+
+}  // namespace dsm

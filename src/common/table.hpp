@@ -1,0 +1,75 @@
+// Plain-text rendering of the paper's tables and figures.
+//
+// Every bench target prints its table/figure with these helpers so the
+// output is directly comparable with the paper (rows/series match), and
+// optionally emits CSV for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+
+/// Column-aligned ASCII table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header rule; numeric-looking cells are right-aligned.
+  std::string render() const;
+
+  /// Render as CSV (no alignment, comma-separated, quoted when needed).
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar chart: one labelled bar per entry, scaled to max value.
+class BarChart {
+ public:
+  explicit BarChart(std::string title, int width = 50);
+
+  void add(std::string label, double value);
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  int width_;
+  std::vector<std::pair<std::string, double>> bars_;
+};
+
+/// Stacked horizontal bars for per-processor time breakdowns
+/// (BUSY/LMEM/RMEM/SYNC), the shape of the paper's Figures 4 and 8.
+class StackedBarChart {
+ public:
+  StackedBarChart(std::string title, std::vector<std::string> categories,
+                  int width = 60);
+
+  /// One row; `parts` must have one value per category.
+  void add(std::string label, std::vector<double> parts);
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> categories_;
+  int width_;
+  std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+/// Formatting helpers.
+std::string fmt_fixed(double v, int decimals);
+std::string fmt_us(double ns);       // nanoseconds -> "123456 us"
+std::string fmt_count(std::uint64_t n);  // "64M", "256K", exact otherwise
+
+/// Parse a count like "4M", "64K", "1G", or a plain integer.
+std::uint64_t parse_count(const std::string& s);
+
+}  // namespace dsm

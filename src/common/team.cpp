@@ -1,0 +1,38 @@
+#include "common/team.hpp"
+
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsm {
+
+void run_spmd(int nprocs, const std::function<void(int)>& body) {
+  DSM_REQUIRE(nprocs >= 1, "run_spmd needs at least one process");
+  DSM_REQUIRE(static_cast<bool>(body), "run_spmd needs a body");
+
+  if (nprocs == 1) {
+    body(0);  // fast path, keeps single-process stacks simple to debug
+    return;
+  }
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nprocs));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nprocs));
+  for (int rank = 0; rank < nprocs; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        body(rank);
+      } catch (...) {
+        errors[static_cast<std::size_t>(rank)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dsm

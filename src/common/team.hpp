@@ -1,0 +1,22 @@
+// SPMD thread team.
+//
+// Launches one OS thread per logical process and runs the same body on
+// every rank. Functional concurrency only — all *timing* is virtual (see
+// sim/), so oversubscribing the host (64 logical processes on one core) is
+// deliberate and harmless.
+#pragma once
+
+#include <functional>
+
+namespace dsm {
+
+/// Run `body(rank)` on `nprocs` threads; rethrows the first exception any
+/// rank threw (by rank order) after all threads have joined.
+///
+/// NOTE: if a rank throws while others are parked inside a barrier, the
+/// program cannot continue (the barrier would wait forever); bodies are
+/// expected to validate inputs *before* entering collective code, which is
+/// why all runtime preconditions are checked on entry to collectives.
+void run_spmd(int nprocs, const std::function<void(int)>& body);
+
+}  // namespace dsm

@@ -1,0 +1,32 @@
+// Fundamental types and constants shared across dsmsort.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dsm {
+
+/// Sort key type. The paper sorts 32-bit integers with values in
+/// [0, 2^31); we use an unsigned type so digit extraction is well defined.
+using Key = std::uint32_t;
+
+/// Number of value bits the paper's generators use (MAX = 2^31).
+inline constexpr int kKeyBits = 31;
+
+/// Maximum key value (exclusive bound), as in the paper: MAX = 2^31.
+inline constexpr std::uint64_t kKeyMax = std::uint64_t{1} << kKeyBits;
+
+/// Index type for key arrays. 256M keys exceed 2^31 byte offsets, so all
+/// element counts and offsets are 64-bit.
+using Index = std::uint64_t;
+
+/// Virtual time, in nanoseconds. Double precision keeps accumulation over
+/// ~10^12 ns exact enough (53-bit mantissa) while allowing fractional
+/// per-element charges.
+using VirtualNs = double;
+
+inline constexpr double kNsPerUs = 1e3;
+inline constexpr double kNsPerMs = 1e6;
+inline constexpr double kNsPerSec = 1e9;
+
+}  // namespace dsm

@@ -1,0 +1,145 @@
+#include "keys/distributions.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "common/prng.hpp"
+
+namespace dsm::keys {
+namespace {
+
+/// Stateless per-key uniform value in [0, 2^31): makes random/zero data
+/// independent of how the key array is partitioned, so the sequential
+/// baseline sorts exactly the same keys as any parallel run.
+Key stateless_u31(std::uint64_t seed, Index global_index) {
+  SplitMix64 g(seed ^ (global_index * 0x9e3779b97f4a7c15ull));
+  return static_cast<Key>(g.next() >> 33);  // top 31 bits
+}
+
+void gen_gauss(std::span<Key> out, const GenSpec& spec, bool force_even) {
+  // NAS IS / SPLASH-2: each key is the average of four consecutive draws
+  // of x_{k+1} = 513 x_k mod 2^46. Jump-ahead keeps the global stream
+  // independent of the partitioning.
+  NasLcg46 lcg(NasLcg46::kDefaultSeed ^ (spec.seed == 1 ? 0 : spec.seed));
+  lcg.jump(4 * spec.global_begin);
+  for (Key& k : out) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < 4; ++i) sum += lcg.next();
+    // Average of values in [0, 2^46), scaled to [0, 2^31).
+    k = static_cast<Key>((sum >> 2) >> (46 - kKeyBits));
+    if (force_even) k &= ~Key{1};
+  }
+}
+
+void gen_random(std::span<Key> out, const GenSpec& spec, bool zero_tenth) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Index gi = spec.global_begin + i;
+    out[i] = (zero_tenth && gi % 10 == 0) ? 0 : stateless_u31(spec.seed, gi);
+  }
+}
+
+void gen_bucket(std::span<Key> out, const GenSpec& spec) {
+  // The first n/p^2 elements at each process are random in [0, MAX/p),
+  // the second n/p^2 in [MAX/p, 2 MAX/p), and so on, cycling.
+  const auto p = static_cast<std::uint64_t>(spec.nprocs);
+  const std::uint64_t per_proc = spec.n_total / p;
+  const std::uint64_t block = std::max<std::uint64_t>(1, per_proc / p);
+  const std::uint64_t range = kKeyMax / p;
+  SplitMix64 g(mix_seed(spec.seed, static_cast<std::uint64_t>(spec.rank)));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint64_t slot = (static_cast<std::uint64_t>(i) / block) % p;
+    const std::uint64_t lo = slot * range;
+    out[i] = static_cast<Key>(g.next_in(lo, lo + range));
+  }
+}
+
+void gen_stagger(std::span<Key> out, const GenSpec& spec) {
+  // Process i draws from range (2i+1) if i < p/2, else range (2i - p)
+  // (unit = MAX/p) — a fixed staggered permutation of the value ranges.
+  const auto p = static_cast<std::uint64_t>(spec.nprocs);
+  const auto i = static_cast<std::uint64_t>(spec.rank);
+  const std::uint64_t range = kKeyMax / p;
+  const std::uint64_t slot = i < p / 2 ? (2 * i + 1) % p : (2 * i - p) % p;
+  const std::uint64_t lo = slot * range;
+  SplitMix64 g(mix_seed(spec.seed, i));
+  for (Key& k : out) k = static_cast<Key>(g.next_in(lo, lo + range));
+}
+
+void gen_remote_local(std::span<Key> out, const GenSpec& spec, bool local) {
+  const int r = spec.radix_bits;
+  const std::uint64_t digits = std::uint64_t{1} << r;
+  const auto p = static_cast<std::uint64_t>(spec.nprocs);
+  DSM_REQUIRE(digits >= p,
+              "remote/local distributions need 2^radix >= nprocs");
+  const auto i = static_cast<std::uint64_t>(spec.rank);
+  const std::uint64_t lo = i * digits / p;
+  const std::uint64_t hi = (i + 1) * digits / p;
+  SplitMix64 g(mix_seed(spec.seed, i));
+  const Key mask = static_cast<Key>(kKeyMax - 1);
+  for (Key& k : out) {
+    // d_own lies in this process's digit sub-range; d_other avoids it.
+    const auto d_own = static_cast<Key>(g.next_in(lo, hi));
+    Key d_other = d_own;
+    // With one process there is nowhere else to send keys; `remote`
+    // degenerates to `local` (the paper only defines it for p > 1).
+    if (!local && digits > hi - lo) {
+      const std::uint64_t excluded = hi - lo;
+      const std::uint64_t v = g.next_below(digits - excluded);
+      d_other = static_cast<Key>(v < lo ? v : v + excluded);
+    }
+    // local: every digit is d_own (keys never leave the process).
+    // remote: even digits avoid the sub-range (pass k sends the key away),
+    // odd digits return it home — "the third r bits are the same as the
+    // first r bits, the fourth the same as the second, and so forth".
+    std::uint64_t key = 0;
+    for (int shift = 0, idx = 0; shift < kKeyBits; shift += r, ++idx) {
+      const Key d = local ? d_own : (idx % 2 == 0 ? d_other : d_own);
+      key |= static_cast<std::uint64_t>(d) << shift;
+    }
+    k = static_cast<Key>(key) & mask;
+  }
+}
+
+}  // namespace
+
+const char* dist_name(Dist d) {
+  switch (d) {
+    case Dist::kGauss: return "gauss";
+    case Dist::kRandom: return "random";
+    case Dist::kZero: return "zero";
+    case Dist::kBucket: return "bucket";
+    case Dist::kStagger: return "stagger";
+    case Dist::kHalf: return "half";
+    case Dist::kRemote: return "remote";
+    case Dist::kLocal: return "local";
+  }
+  return "?";
+}
+
+Dist dist_from_name(const std::string& name) {
+  for (Dist d : kAllDists) {
+    if (name == dist_name(d)) return d;
+  }
+  throw Error("unknown distribution: " + name);
+}
+
+void generate(Dist d, std::span<Key> out, const GenSpec& spec) {
+  DSM_REQUIRE(spec.nprocs >= 1, "nprocs >= 1");
+  DSM_REQUIRE(spec.rank >= 0 && spec.rank < spec.nprocs, "rank in range");
+  DSM_REQUIRE(spec.global_begin + out.size() <= spec.n_total,
+              "partition exceeds the global key count");
+  DSM_REQUIRE(spec.radix_bits >= 1 && spec.radix_bits <= 20,
+              "radix bits out of range");
+  switch (d) {
+    case Dist::kGauss: gen_gauss(out, spec, /*force_even=*/false); return;
+    case Dist::kHalf: gen_gauss(out, spec, /*force_even=*/true); return;
+    case Dist::kRandom: gen_random(out, spec, /*zero_tenth=*/false); return;
+    case Dist::kZero: gen_random(out, spec, /*zero_tenth=*/true); return;
+    case Dist::kBucket: gen_bucket(out, spec); return;
+    case Dist::kStagger: gen_stagger(out, spec); return;
+    case Dist::kRemote: gen_remote_local(out, spec, /*local=*/false); return;
+    case Dist::kLocal: gen_remote_local(out, spec, /*local=*/true); return;
+  }
+  throw Error("unhandled distribution");
+}
+
+}  // namespace dsm::keys

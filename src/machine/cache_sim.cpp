@@ -1,0 +1,73 @@
+#include "machine/cache_sim.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dsm::machine {
+
+CacheSim::CacheSim(const CacheParams& params) : params_(params) {
+  DSM_REQUIRE(is_pow2(params_.bytes), "cache size must be a power of two");
+  DSM_REQUIRE(is_pow2(static_cast<std::uint64_t>(params_.line_bytes)),
+              "line size must be a power of two");
+  DSM_REQUIRE(params_.ways >= 1, "cache needs at least one way");
+  const std::uint64_t lines =
+      params_.bytes / static_cast<std::uint64_t>(params_.line_bytes);
+  DSM_REQUIRE(lines % static_cast<std::uint64_t>(params_.ways) == 0,
+              "lines must divide evenly into ways");
+  sets_ = static_cast<int>(lines / static_cast<std::uint64_t>(params_.ways));
+  DSM_REQUIRE(is_pow2(static_cast<std::uint64_t>(sets_)),
+              "set count must be a power of two");
+  line_shift_ = log2_exact(static_cast<std::uint64_t>(params_.line_bytes));
+  ways_.resize(static_cast<std::size_t>(sets_) *
+               static_cast<std::size_t>(params_.ways));
+}
+
+bool CacheSim::access(std::uint64_t addr) {
+  ++accesses_;
+  ++tick_;
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line & (static_cast<std::uint64_t>(sets_) - 1);
+  const std::uint64_t tag = line >> log2_exact(static_cast<std::uint64_t>(sets_));
+  Way* base = &ways_[static_cast<std::size_t>(set) *
+                     static_cast<std::size_t>(params_.ways)];
+
+  for (int w = 0; w < params_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = tick_;
+      return false;  // hit
+    }
+  }
+  // Miss. Choose victim: first invalid way, else LRU.
+  Way* victim = nullptr;
+  for (int w = 0; w < params_.ways; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (int w = 1; w < params_.ways; ++w) {
+      if (base[w].last_use < victim->last_use) victim = &base[w];
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  ++misses_;
+  return true;
+}
+
+double CacheSim::miss_rate() const {
+  return accesses_ == 0
+             ? 0.0
+             : static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+void CacheSim::reset() {
+  for (auto& w : ways_) w = Way{};
+  tick_ = accesses_ = misses_ = 0;
+}
+
+}  // namespace dsm::machine

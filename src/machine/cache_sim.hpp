@@ -1,0 +1,47 @@
+// Exact set-associative LRU cache simulator.
+//
+// Not used on the sort fast path (256M-key runs would take hours); it
+// exists so unit tests can validate the *analytic* locality model in
+// cost.hpp against ground truth on small traces, and for the
+// micro_cache_model benchmark.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/params.hpp"
+
+namespace dsm::machine {
+
+class CacheSim {
+ public:
+  explicit CacheSim(const CacheParams& params);
+
+  /// Touch the line containing byte address `addr`; returns true on miss.
+  bool access(std::uint64_t addr);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const;
+
+  void reset();
+
+  int sets() const { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  CacheParams params_;
+  int sets_;
+  int line_shift_;
+  std::vector<Way> ways_;  // sets_ x params_.ways, row-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dsm::machine

@@ -1,0 +1,101 @@
+// Analytic cost model: converts *measured event counts* from the real
+// execution of the sorting algorithms into virtual nanoseconds on the
+// simulated Origin 2000.
+//
+// Design rule: the model never guesses workload properties — callers pass
+// counts they measured while doing the real work (elements accessed,
+// maximal sequential runs, active destination regions, bytes sent, hop
+// distances). The model only supplies machine behaviour: cache/TLB
+// locality, latencies, bandwidths, protocol overheads.
+//
+// The analytic cache/TLB forms are validated against the exact simulators
+// (CacheSim/TlbSim) in tests/machine/cost_model_test.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/params.hpp"
+#include "machine/topology.hpp"
+
+namespace dsm::machine {
+
+/// Summary of one process's local access pattern in one phase.
+///
+/// `runs` counts maximal sequences of consecutive accesses that land in the
+/// same destination region (for a radix permutation: consecutive keys with
+/// the same digit). `active_regions` is how many regions are interleaved
+/// (nonzero histogram buckets). Together they capture exactly the locality
+/// difference between the paper's gauss/random and remote/local/half key
+/// distributions.
+struct AccessPattern {
+  std::uint64_t accesses = 0;
+  std::uint64_t elem_bytes = 4;
+  std::uint64_t runs = 0;
+  std::uint64_t active_regions = 1;
+  std::uint64_t footprint_bytes = 0;
+};
+
+class CostModel {
+ public:
+  CostModel(const MachineParams& params, int nprocs);
+
+  const MachineParams& params() const { return params_; }
+  const Topology& topology() const { return topo_; }
+  int nprocs() const { return topo_.nprocs(); }
+
+  // ---- BUSY ----------------------------------------------------------
+  double busy_ns(double cycles) const { return cycles * params_.cpu.ns_per_cycle; }
+
+  // ---- LMEM: local memory stalls --------------------------------------
+  /// Sequential sweep over `bytes` within a region of `footprint` bytes.
+  double stream_ns(std::uint64_t bytes, std::uint64_t footprint) const;
+
+  /// Scattered access (radix permutation / histogram spray) — see
+  /// AccessPattern. Returns stall ns (LMEM).
+  double scattered_ns(const AccessPattern& p) const;
+
+  /// Probability that a region switch misses the TLB (exposed for tests).
+  double tlb_switch_miss_prob(std::uint64_t active_regions,
+                              std::uint64_t footprint) const;
+
+  /// Probability that a region switch finds its open line evicted
+  /// (exposed for tests).
+  double line_switch_miss_prob(std::uint64_t active_regions,
+                               std::uint64_t footprint) const;
+
+  // ---- RMEM: remote transfer primitives --------------------------------
+  /// Latency + size/bandwidth for one contiguous transfer src -> dst.
+  double wire_ns(int src, int dst, std::uint64_t bytes) const;
+
+  /// One coherence line round trip (read or read-exclusive) src -> dst.
+  double line_rtt_ns(int src, int dst) const;
+
+  /// Regime of a CC-SAS scattered remote-write phase, as a function of the
+  /// writer's outgoing remote volume for the phase. Small volumes ride the
+  /// write buffer (stores retire, lines stay dirty in the writer's cache:
+  /// one RdEx directory visit per line). Once the volume overflows the
+  /// cache, evictions flood the homes with writebacks on top of the RdEx
+  /// and invalidation traffic — the paper's stated mechanism for the
+  /// CC-SAS radix collapse at large data sets.
+  struct ScatteredWriteProfile {
+    double per_line_ns = 0;          // writer-side issue cost
+    double transactions_per_line = 0;  // home directory visits
+  };
+  ScatteredWriteProfile scattered_write_profile(
+      std::uint64_t outgoing_remote_bytes) const;
+
+  /// Block transfer of `bytes` (buffered chunk copy, put/get payload):
+  /// latency once, then pipelined at link bandwidth.
+  double block_transfer_ns(int src, int dst, std::uint64_t bytes) const;
+
+  /// Directory/controller occupancy consumed at the home node by
+  /// `transactions` protocol transactions — the input to the contention
+  /// relaxation in the epoch reconciler.
+  double home_occupancy_ns(std::uint64_t transactions) const;
+
+ private:
+  MachineParams params_;
+  Topology topo_;
+};
+
+}  // namespace dsm::machine

@@ -1,0 +1,41 @@
+#include "machine/params.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dsm::machine {
+
+MachineParams MachineParams::origin2000() { return MachineParams{}; }
+
+MachineParams MachineParams::origin2000_for_keys(std::uint64_t total_keys) {
+  MachineParams mp;
+  // Section 4: "for 1M - 64M data sets, it is 64KB; for the 256M data set,
+  // it is 256KB".
+  mp.page_bytes = total_keys > (64ull << 20) ? (256ull << 10) : (64ull << 10);
+  return mp;
+}
+
+void MachineParams::validate() const {
+  DSM_REQUIRE(max_procs >= 1, "max_procs >= 1");
+  DSM_REQUIRE(procs_per_node >= 1, "procs_per_node >= 1");
+  DSM_REQUIRE(nodes_per_router >= 1, "nodes_per_router >= 1");
+  DSM_REQUIRE(is_pow2(page_bytes), "page size must be a power of two");
+  DSM_REQUIRE(is_pow2(l2.bytes), "cache size must be a power of two");
+  DSM_REQUIRE(is_pow2(static_cast<std::uint64_t>(l2.line_bytes)),
+              "line size must be a power of two");
+  DSM_REQUIRE(l2.ways >= 1, "cache needs at least one way");
+  DSM_REQUIRE(l2.bytes % (static_cast<std::uint64_t>(l2.line_bytes) *
+                          static_cast<std::uint64_t>(l2.ways)) ==
+                  0,
+              "cache geometry must divide evenly into sets");
+  DSM_REQUIRE(tlb.entries >= 1 && tlb.pages_per_entry >= 1, "TLB geometry");
+  DSM_REQUIRE(cpu.ns_per_cycle > 0, "cpu speed");
+  DSM_REQUIRE(mem.local_ns > 0 && mem.remote_base_ns > 0 && mem.per_hop_ns >= 0,
+              "latencies must be positive");
+  DSM_REQUIRE(mem.link_bw_bytes_per_ns > 0, "link bandwidth");
+  DSM_REQUIRE(mem.bulk_copy_bytes_per_ns > 0, "bulk copy bandwidth");
+  DSM_REQUIRE(sw.copy_bytes_per_ns > 0, "copy bandwidth");
+  DSM_REQUIRE(sw.mpi_slot_depth >= 1, "slot depth >= 1");
+}
+
+}  // namespace dsm::machine

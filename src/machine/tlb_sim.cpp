@@ -1,0 +1,48 @@
+#include "machine/tlb_sim.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dsm::machine {
+
+TlbSim::TlbSim(const TlbParams& params, std::uint64_t page_bytes)
+    : params_(params) {
+  DSM_REQUIRE(is_pow2(page_bytes), "page size must be a power of two");
+  DSM_REQUIRE(is_pow2(static_cast<std::uint64_t>(params_.pages_per_entry)),
+              "pages per entry must be a power of two");
+  DSM_REQUIRE(params_.entries >= 1, "TLB needs at least one entry");
+  entry_shift_ = log2_exact(
+      page_bytes * static_cast<std::uint64_t>(params_.pages_per_entry));
+}
+
+bool TlbSim::access(std::uint64_t addr) {
+  ++accesses_;
+  const std::uint64_t entry = addr >> entry_shift_;
+  const auto it = index_.find(entry);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return false;
+  }
+  ++misses_;
+  if (static_cast<int>(lru_.size()) == params_.entries) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(entry);
+  index_[entry] = lru_.begin();
+  return true;
+}
+
+double TlbSim::miss_rate() const {
+  return accesses_ == 0
+             ? 0.0
+             : static_cast<double>(misses_) / static_cast<double>(accesses_);
+}
+
+void TlbSim::reset() {
+  lru_.clear();
+  index_.clear();
+  accesses_ = misses_ = 0;
+}
+
+}  // namespace dsm::machine

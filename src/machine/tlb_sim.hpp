@@ -1,0 +1,39 @@
+// Exact TLB simulator (fully associative, LRU), mirroring the R10000's
+// 64-entry TLB where each entry maps an aligned pair of pages.
+//
+// Like CacheSim, this is a test/validation tool for the analytic TLB model
+// in cost.hpp, not a fast-path component.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "machine/params.hpp"
+
+namespace dsm::machine {
+
+class TlbSim {
+ public:
+  TlbSim(const TlbParams& params, std::uint64_t page_bytes);
+
+  /// Touch byte address `addr`; returns true on TLB miss.
+  bool access(std::uint64_t addr);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const;
+
+  void reset();
+
+ private:
+  TlbParams params_;
+  int entry_shift_;  // log2(page_bytes * pages_per_entry)
+  // LRU list of entry ids, most recent at front, with an index into it.
+  std::list<std::uint64_t> lru_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace dsm::machine

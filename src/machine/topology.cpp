@@ -1,0 +1,57 @@
+#include "machine/topology.hpp"
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dsm::machine {
+
+Topology::Topology(const MachineParams& params, int nprocs)
+    : params_(params), nprocs_(nprocs) {
+  params_.validate();
+  DSM_REQUIRE(nprocs >= 1, "topology needs at least one processor");
+  nodes_ = static_cast<int>(
+      ceil_div(static_cast<std::uint64_t>(nprocs),
+               static_cast<std::uint64_t>(params_.procs_per_node)));
+  routers_ = static_cast<int>(
+      ceil_div(static_cast<std::uint64_t>(nodes_),
+               static_cast<std::uint64_t>(params_.nodes_per_router)));
+  dim_ = routers_ > 1
+             ? static_cast<int>(
+                   log2_exact(ceil_pow2(static_cast<std::uint64_t>(routers_))))
+             : 0;
+}
+
+int Topology::node_of(int proc) const {
+  DSM_REQUIRE(proc >= 0 && proc < nprocs_, "processor id out of range");
+  return proc / params_.procs_per_node;
+}
+
+int Topology::router_of_node(int node) const {
+  DSM_REQUIRE(node >= 0 && node < nodes_, "node id out of range");
+  return node / params_.nodes_per_router;
+}
+
+int Topology::hops(int a, int b) const {
+  const int ra = router_of(a);
+  const int rb = router_of(b);
+  return std::popcount(static_cast<unsigned>(ra) ^ static_cast<unsigned>(rb));
+}
+
+double Topology::read_latency_ns(int from, int at) const {
+  if (same_node(from, at)) return params_.mem.local_ns;
+  return params_.mem.remote_base_ns +
+         params_.mem.per_hop_ns * static_cast<double>(hops(from, at));
+}
+
+double Topology::average_latency_ns() const {
+  // Average over distinct *memories* (nodes) as seen from processor 0,
+  // which is how the Origin documentation reports it.
+  double sum = 0;
+  for (int node = 0; node < nodes_; ++node) {
+    const int proc = node * params_.procs_per_node;
+    sum += read_latency_ns(0, proc);
+  }
+  return sum / static_cast<double>(nodes_);
+}
+
+}  // namespace dsm::machine

@@ -1,0 +1,52 @@
+// Origin-2000 interconnect topology.
+//
+// Processors pair up into nodes, node pairs attach to a router, and the
+// routers form a hypercube (16 routers for the 64-processor machine in the
+// paper). Read latency is local_ns within a node, and
+// remote_base_ns + hops * per_hop_ns across nodes, where hops is the
+// Hamming distance between router ids — this reproduces the published
+// 313 / ~796 (average) / 1010 ns (farthest) figures.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "machine/params.hpp"
+
+namespace dsm::machine {
+
+class Topology {
+ public:
+  Topology(const MachineParams& params, int nprocs);
+
+  int nprocs() const { return nprocs_; }
+  int nodes() const { return nodes_; }
+  int routers() const { return routers_; }
+  int dimension() const { return dim_; }
+
+  int node_of(int proc) const;
+  int router_of_node(int node) const;
+  int router_of(int proc) const { return router_of_node(node_of(proc)); }
+
+  /// Router hops between two processors (0 when they share a router).
+  int hops(int a, int b) const;
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// Uncontended first-word read latency from `from` to memory homed at
+  /// `at`, in ns.
+  double read_latency_ns(int from, int at) const;
+
+  /// Average of local and all remote latencies from processor 0 — the
+  /// quantity the paper quotes as 796 ns on the 64-processor machine.
+  double average_latency_ns() const;
+
+ private:
+  const MachineParams params_;
+  int nprocs_;
+  int nodes_;
+  int routers_;
+  int dim_;
+};
+
+}  // namespace dsm::machine

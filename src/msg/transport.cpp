@@ -1,0 +1,39 @@
+#include "msg/transport.hpp"
+
+namespace dsm::msg {
+
+const char* impl_name(Impl impl) {
+  switch (impl) {
+    case Impl::kDirect: return "NEW";
+    case Impl::kStaged: return "SGI";
+  }
+  return "?";
+}
+
+sim::TwoSidedConfig two_sided_config(const machine::MachineParams& mp,
+                                     Impl impl) {
+  sim::TwoSidedConfig cfg;
+  if (impl == Impl::kDirect) {
+    cfg.send_overhead_ns = mp.sw.mpi_send_overhead_ns;
+    cfg.recv_overhead_ns = mp.sw.mpi_recv_overhead_ns;
+    // The impure model's defining move: the sender deposits the payload
+    // directly into the destination address space, so the sender's CPU
+    // performs the (one) copy at bulk remote-copy bandwidth.
+    cfg.send_copy_ns_per_byte = 1.0 / mp.mem.bulk_copy_bytes_per_ns;
+    cfg.slot_depth = mp.sw.mpi_slot_depth;
+  } else {
+    cfg.send_overhead_ns = mp.sw.mpi_staged_send_overhead_ns;
+    cfg.recv_overhead_ns = mp.sw.mpi_staged_recv_overhead_ns;
+    // Staging copies: the sender copies into the library bounce buffer at
+    // local memcpy bandwidth; the receiver copies out of the (remotely
+    // homed) bounce buffer at bulk remote-copy bandwidth. The payload thus
+    // crosses memory twice — the pure model's fundamental tax.
+    cfg.send_copy_ns_per_byte = 1.0 / mp.sw.copy_bytes_per_ns;
+    cfg.recv_copy_ns_per_byte = 1.0 / mp.mem.bulk_copy_bytes_per_ns;
+    // Library buffering decouples the pair: effectively deep slots.
+    cfg.slot_depth = 1 << 20;
+  }
+  return cfg;
+}
+
+}  // namespace dsm::msg

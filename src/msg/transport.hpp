@@ -1,0 +1,36 @@
+// Message-passing transports.
+//
+// The paper compares two MPI implementations on the Origin 2000:
+//   * the vendor's ("SGI MPT"): a *pure* message-passing model in which the
+//     library stages every payload through an internal bounce buffer (copy
+//     in by the sender, copy out by the receiver) to support asynchrony —
+//     the extra copies are the overhead the paper blames for its poor
+//     radix performance;
+//   * the authors' modified MPICH ("NEW"): an *impure* model that deposits
+//     payloads directly into the destination process's address space via
+//     lock-free 1-deep per-pair message slots — no staging copies, but
+//     back-to-back messages to the same destination stall on the slot
+//     (the paper's explanation for MPI's elevated SYNC time vs SHMEM).
+//
+// Both transports here move the real bytes (Staged genuinely copies
+// through a bounce buffer); their timing parameters feed the two-sided
+// discrete-event epoch engine.
+#pragma once
+
+#include "machine/params.hpp"
+#include "sim/epoch.hpp"
+
+namespace dsm::msg {
+
+enum class Impl {
+  kDirect,  // the authors' modified MPICH ("NEW")
+  kStaged,  // vendor-style pure message passing ("SGI")
+};
+
+const char* impl_name(Impl impl);
+
+/// Timing configuration for the two-sided epoch engine under `impl`.
+sim::TwoSidedConfig two_sided_config(const machine::MachineParams& mp,
+                                     Impl impl);
+
+}  // namespace dsm::msg

@@ -1,0 +1,40 @@
+#include "perf/breakdown.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dsm::perf {
+
+sim::Breakdown sum(std::span<const sim::Breakdown> procs) {
+  sim::Breakdown total;
+  for (const auto& b : procs) total += b;
+  return total;
+}
+
+sim::Breakdown mean(std::span<const sim::Breakdown> procs) {
+  DSM_REQUIRE(!procs.empty(), "mean of no breakdowns");
+  sim::Breakdown total = sum(procs);
+  const auto n = static_cast<double>(procs.size());
+  return sim::Breakdown{total.busy_ns / n, total.lmem_ns / n,
+                        total.rmem_ns / n, total.sync_ns / n};
+}
+
+double max_total_ns(std::span<const sim::Breakdown> procs) {
+  double best = 0;
+  for (const auto& b : procs) best = std::max(best, b.total_ns());
+  return best;
+}
+
+double speedup_without_capacity(double seq_total_ns, double seq_mem_ns,
+                                std::span<const sim::Breakdown> procs) {
+  DSM_REQUIRE(seq_mem_ns <= seq_total_ns, "memory time exceeds total");
+  double parallel_lmem_sum = 0;
+  for (const auto& b : procs) parallel_lmem_sum += b.lmem_ns;
+  const double adjusted_seq = seq_total_ns - seq_mem_ns + parallel_lmem_sum;
+  const double parallel = max_total_ns(procs);
+  DSM_REQUIRE(parallel > 0, "parallel time must be positive");
+  return adjusted_seq / parallel;
+}
+
+}  // namespace dsm::perf

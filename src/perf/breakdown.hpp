@@ -1,0 +1,25 @@
+// Aggregation helpers over per-process time breakdowns.
+#pragma once
+
+#include <span>
+
+#include "sim/clock.hpp"
+
+namespace dsm::perf {
+
+/// Sum of all processes' categories (total CPU-seconds spent).
+sim::Breakdown sum(std::span<const sim::Breakdown> procs);
+
+/// Element-wise mean.
+sim::Breakdown mean(std::span<const sim::Breakdown> procs);
+
+/// Max over processes of total time (the phase completion time).
+double max_total_ns(std::span<const sim::Breakdown> procs);
+
+/// The paper's superlinearity estimate (§4.2): replace the sequential
+/// run's memory-stall time by the *sum* of the parallel run's LMEM times,
+/// giving a speedup with capacity effects factored out.
+double speedup_without_capacity(double seq_total_ns, double seq_mem_ns,
+                                std::span<const sim::Breakdown> procs);
+
+}  // namespace dsm::perf

@@ -1,0 +1,47 @@
+// Closed-form performance prediction — the paper's stated future work:
+// "developing a formula (based on profiles) to predict performance for
+// each programming model".
+//
+// predict() estimates the virtual execution time of any SortSpec without
+// running the sort: it evaluates the same machine cost model the simulator
+// charges, but over *expected* workload statistics (expected bucket-run
+// structure of a uniform-ish key stream, expected chunk counts, expected
+// per-pair message counts) instead of measured ones. It is exact in BUSY
+// and stream terms and approximate in contention/synchronisation, so it
+// tracks the simulator within tens of percent — enough to answer the
+// paper's model-selection question ("which combination should I use for
+// this n and p?") instantly.
+//
+// Accuracy is validated against the simulator in
+// tests/perf/predictor_test.cpp and measured by bench/predictor_accuracy.
+#pragma once
+
+#include "sim/clock.hpp"
+#include "sort/sort_api.hpp"
+
+namespace dsm::perf {
+
+struct Prediction {
+  double total_ns = 0;
+  sim::Breakdown breakdown;  // per-process estimate (categories)
+};
+
+/// Predict the execution time of `spec` analytically. Distribution-
+/// specific locality effects are modelled for uniform-like distributions
+/// (gauss/random/zero/bucket/stagger/half); the pre-clustered `remote` and
+/// `local` streams are approximated by their long-run structure.
+Prediction predict(const sort::SortSpec& spec);
+
+/// Convenience: the predicted best (algo, model, radix) combination for a
+/// given size and processor count — the paper's bottom-line question,
+/// answered without simulation.
+struct PredictedBest {
+  sort::Algo algo = sort::Algo::kRadix;
+  sort::Model model = sort::Model::kShmem;
+  int radix_bits = 8;
+  double total_ns = 0;
+};
+PredictedBest predict_best(Index n, int nprocs,
+                           const std::vector<int>& radixes = {8, 11, 12});
+
+}  // namespace dsm::perf

@@ -1,0 +1,55 @@
+#include "perf/report.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace dsm::perf {
+
+std::string render_breakdown_figure(const std::string& title,
+                                    std::span<const sim::Breakdown> procs,
+                                    bool merge_mem, int max_rows) {
+  DSM_REQUIRE(!procs.empty(), "no breakdowns to render");
+  DSM_REQUIRE(max_rows >= 1, "max_rows >= 1");
+  std::vector<std::string> cats =
+      merge_mem ? std::vector<std::string>{"BUSY", "MEM", "SYNC"}
+                : std::vector<std::string>{"BUSY", "LMEM", "RMEM", "SYNC"};
+  StackedBarChart chart(title, cats);
+
+  const std::size_t n = procs.size();
+  const std::size_t rows = std::min<std::size_t>(n, static_cast<std::size_t>(max_rows));
+  for (std::size_t i = 0; i < rows; ++i) {
+    const std::size_t idx = i * n / rows;
+    const sim::Breakdown& b = procs[idx];
+    std::vector<double> parts =
+        merge_mem ? std::vector<double>{b.busy_ns, b.mem_ns(), b.sync_ns}
+                  : std::vector<double>{b.busy_ns, b.lmem_ns, b.rmem_ns,
+                                        b.sync_ns};
+    chart.add("P" + std::to_string(idx), std::move(parts));
+  }
+  return chart.render();
+}
+
+std::string breakdown_csv(std::span<const sim::Breakdown> procs) {
+  TextTable t({"rank", "busy_us", "lmem_us", "rmem_us", "sync_us",
+               "total_us"});
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const sim::Breakdown& b = procs[i];
+    t.add_row({std::to_string(i), fmt_fixed(b.busy_ns / 1e3, 1),
+               fmt_fixed(b.lmem_ns / 1e3, 1), fmt_fixed(b.rmem_ns / 1e3, 1),
+               fmt_fixed(b.sync_ns / 1e3, 1),
+               fmt_fixed(b.total_ns() / 1e3, 1)});
+  }
+  return t.render_csv();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw Error("cannot open for writing: " + path);
+  out << content;
+  if (!out) throw Error("write failed: " + path);
+}
+
+}  // namespace dsm::perf

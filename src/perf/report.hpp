@@ -1,0 +1,28 @@
+// Rendering helpers shared by the bench harnesses: per-processor breakdown
+// figures (the shape of the paper's Figures 4 and 8), speedup/relative-time
+// series, and CSV output.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sim/clock.hpp"
+
+namespace dsm::perf {
+
+/// Render per-process stacked BUSY/LMEM/RMEM/SYNC bars. When `merge_mem`
+/// is set (CC-SAS), LMEM and RMEM are reported as one MEM category, as the
+/// paper is forced to for that model. At most `max_rows` processes are
+/// shown (evenly subsampled), mirroring how the paper's dense 64-bar
+/// panels read.
+std::string render_breakdown_figure(const std::string& title,
+                                    std::span<const sim::Breakdown> procs,
+                                    bool merge_mem, int max_rows = 16);
+
+/// CSV with one row per process: rank,busy,lmem,rmem,sync (us).
+std::string breakdown_csv(std::span<const sim::Breakdown> procs);
+
+/// Write `content` to `path` (overwrites; throws dsm::Error on failure).
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace dsm::perf

@@ -1,0 +1,264 @@
+#include "perf/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dsm::perf {
+namespace {
+
+constexpr int kWidth = 760;
+constexpr int kHeight = 420;
+constexpr int kMarginLeft = 64;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 40;
+constexpr int kMarginBottom = 72;
+constexpr int kPlotW = kWidth - kMarginLeft - kMarginRight;
+constexpr int kPlotH = kHeight - kMarginTop - kMarginBottom;
+
+// A small colour-blind-safe palette.
+const char* series_color(std::size_t i) {
+  static const char* kColors[] = {"#0072b2", "#d55e00", "#009e73",
+                                  "#cc79a7", "#e69f00", "#56b4e9",
+                                  "#f0e442", "#000000"};
+  return kColors[i % (sizeof(kColors) / sizeof(kColors[0]))];
+}
+
+std::string esc(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+double max_value(std::span<const Series> series) {
+  double mx = 0;
+  for (const Series& s : series) {
+    for (const double v : s.values) {
+      DSM_REQUIRE(v >= 0 && std::isfinite(v),
+                  "svg charts need finite nonnegative values");
+      mx = std::max(mx, v);
+    }
+  }
+  return mx > 0 ? mx : 1.0;
+}
+
+/// A pleasant tick step: 1/2/5 x 10^k covering `mx` in <= 6 ticks.
+double tick_step(double mx) {
+  const double raw = mx / 5.0;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  for (const double m : {1.0, 2.0, 5.0, 10.0}) {
+    if (raw <= m * mag) return m * mag;
+  }
+  return 10.0 * mag;
+}
+
+void validate(std::span<const std::string> x_labels,
+              std::span<const Series> series) {
+  DSM_REQUIRE(!x_labels.empty(), "svg chart needs x labels");
+  DSM_REQUIRE(!series.empty(), "svg chart needs at least one series");
+  for (const Series& s : series) {
+    DSM_REQUIRE(s.values.size() == x_labels.size(),
+                "every series must have one value per x label");
+  }
+}
+
+void open_svg(std::ostringstream& out, const std::string& title) {
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << kWidth
+      << "\" height=\"" << kHeight << "\" viewBox=\"0 0 " << kWidth << " "
+      << kHeight << "\" font-family=\"sans-serif\" font-size=\"12\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+      << "<text x=\"" << kWidth / 2 << "\" y=\"20\" text-anchor=\"middle\" "
+         "font-size=\"15\" font-weight=\"bold\">"
+      << esc(title) << "</text>\n";
+}
+
+void axes_and_grid(std::ostringstream& out, const std::string& y_label,
+                   double y_max) {
+  const double step = tick_step(y_max);
+  for (double v = 0; v <= y_max * 1.0001; v += step) {
+    const double y = kMarginTop + kPlotH - v / y_max * kPlotH;
+    out << "<line x1=\"" << kMarginLeft << "\" y1=\"" << y << "\" x2=\""
+        << kMarginLeft + kPlotW << "\" y2=\"" << y
+        << "\" stroke=\"#dddddd\"/>\n"
+        << "<text x=\"" << kMarginLeft - 6 << "\" y=\"" << y + 4
+        << "\" text-anchor=\"end\">" << v << "</text>\n";
+  }
+  out << "<line x1=\"" << kMarginLeft << "\" y1=\"" << kMarginTop
+      << "\" x2=\"" << kMarginLeft << "\" y2=\"" << kMarginTop + kPlotH
+      << "\" stroke=\"black\"/>\n"
+      << "<line x1=\"" << kMarginLeft << "\" y1=\"" << kMarginTop + kPlotH
+      << "\" x2=\"" << kMarginLeft + kPlotW << "\" y2=\""
+      << kMarginTop + kPlotH << "\" stroke=\"black\"/>\n"
+      << "<text x=\"14\" y=\"" << kMarginTop + kPlotH / 2
+      << "\" text-anchor=\"middle\" transform=\"rotate(-90 14 "
+      << kMarginTop + kPlotH / 2 << ")\">" << esc(y_label) << "</text>\n";
+}
+
+void legend(std::ostringstream& out, std::span<const Series> series) {
+  double x = kMarginLeft;
+  const double y = kHeight - 14;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    out << "<rect x=\"" << x << "\" y=\"" << y - 10
+        << "\" width=\"12\" height=\"12\" fill=\"" << series_color(i)
+        << "\"/>\n"
+        << "<text x=\"" << x + 16 << "\" y=\"" << y << "\">"
+        << esc(series[i].name) << "</text>\n";
+    x += 26 + 7.2 * static_cast<double>(series[i].name.size());
+  }
+}
+
+void x_tick_labels(std::ostringstream& out,
+                   std::span<const std::string> x_labels) {
+  const double group_w =
+      static_cast<double>(kPlotW) / static_cast<double>(x_labels.size());
+  for (std::size_t i = 0; i < x_labels.size(); ++i) {
+    const double cx = kMarginLeft + (static_cast<double>(i) + 0.5) * group_w;
+    out << "<text x=\"" << cx << "\" y=\"" << kMarginTop + kPlotH + 18
+        << "\" text-anchor=\"middle\">" << esc(x_labels[i]) << "</text>\n";
+  }
+}
+
+}  // namespace
+
+std::string svg_grouped_bars(const std::string& title,
+                             const std::string& y_label,
+                             std::span<const std::string> x_labels,
+                             std::span<const Series> series) {
+  validate(x_labels, series);
+  const double y_max = max_value(series) * 1.08;
+  std::ostringstream out;
+  open_svg(out, title);
+  axes_and_grid(out, y_label, y_max);
+
+  const double group_w =
+      static_cast<double>(kPlotW) / static_cast<double>(x_labels.size());
+  const double bar_w =
+      group_w * 0.8 / static_cast<double>(series.size());
+  for (std::size_t g = 0; g < x_labels.size(); ++g) {
+    const double gx = kMarginLeft + static_cast<double>(g) * group_w +
+                      group_w * 0.1;
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double v = series[s].values[g];
+      const double h = v / y_max * kPlotH;
+      out << "<rect x=\"" << gx + static_cast<double>(s) * bar_w << "\" y=\""
+          << kMarginTop + kPlotH - h << "\" width=\"" << bar_w * 0.92
+          << "\" height=\"" << h << "\" fill=\"" << series_color(s)
+          << "\"/>\n";
+    }
+  }
+  x_tick_labels(out, x_labels);
+  legend(out, series);
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string svg_lines(const std::string& title, const std::string& y_label,
+                      std::span<const std::string> x_labels,
+                      std::span<const Series> series) {
+  validate(x_labels, series);
+  const double y_max = max_value(series) * 1.08;
+  std::ostringstream out;
+  open_svg(out, title);
+  axes_and_grid(out, y_label, y_max);
+
+  const double group_w =
+      static_cast<double>(kPlotW) / static_cast<double>(x_labels.size());
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    out << "<polyline fill=\"none\" stroke=\"" << series_color(s)
+        << "\" stroke-width=\"2\" points=\"";
+    for (std::size_t g = 0; g < x_labels.size(); ++g) {
+      const double cx =
+          kMarginLeft + (static_cast<double>(g) + 0.5) * group_w;
+      const double cy =
+          kMarginTop + kPlotH - series[s].values[g] / y_max * kPlotH;
+      out << cx << "," << cy << " ";
+    }
+    out << "\"/>\n";
+    for (std::size_t g = 0; g < x_labels.size(); ++g) {
+      const double cx =
+          kMarginLeft + (static_cast<double>(g) + 0.5) * group_w;
+      const double cy =
+          kMarginTop + kPlotH - series[s].values[g] / y_max * kPlotH;
+      out << "<circle cx=\"" << cx << "\" cy=\"" << cy
+          << "\" r=\"3\" fill=\"" << series_color(s) << "\"/>\n";
+    }
+  }
+  x_tick_labels(out, x_labels);
+  legend(out, series);
+  out << "</svg>\n";
+  return out.str();
+}
+
+std::string svg_breakdown(const std::string& title,
+                          std::span<const sim::Breakdown> procs,
+                          bool merge_mem) {
+  DSM_REQUIRE(!procs.empty(), "breakdown chart needs processes");
+  std::vector<std::string> cats =
+      merge_mem ? std::vector<std::string>{"BUSY", "MEM", "SYNC"}
+                : std::vector<std::string>{"BUSY", "LMEM", "RMEM", "SYNC"};
+  std::vector<Series> series(cats.size());
+  for (std::size_t c = 0; c < cats.size(); ++c) series[c].name = cats[c];
+  std::vector<std::string> x_labels;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    x_labels.push_back("P" + std::to_string(i));
+    const sim::Breakdown& b = procs[i];
+    if (merge_mem) {
+      series[0].values.push_back(b.busy_ns / 1e3);
+      series[1].values.push_back(b.mem_ns() / 1e3);
+      series[2].values.push_back(b.sync_ns / 1e3);
+    } else {
+      series[0].values.push_back(b.busy_ns / 1e3);
+      series[1].values.push_back(b.lmem_ns / 1e3);
+      series[2].values.push_back(b.rmem_ns / 1e3);
+      series[3].values.push_back(b.sync_ns / 1e3);
+    }
+  }
+
+  // Stacked bars: accumulate bottoms.
+  double y_max = 0;
+  for (std::size_t g = 0; g < x_labels.size(); ++g) {
+    double total = 0;
+    for (const Series& s : series) total += s.values[g];
+    y_max = std::max(y_max, total);
+  }
+  y_max = y_max > 0 ? y_max * 1.08 : 1.0;
+
+  std::ostringstream out;
+  open_svg(out, title);
+  axes_and_grid(out, "us per process", y_max);
+  const double group_w =
+      static_cast<double>(kPlotW) / static_cast<double>(x_labels.size());
+  for (std::size_t g = 0; g < x_labels.size(); ++g) {
+    const double gx = kMarginLeft + static_cast<double>(g) * group_w +
+                      group_w * 0.15;
+    double bottom = kMarginTop + kPlotH;
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      const double h = series[s].values[g] / y_max * kPlotH;
+      out << "<rect x=\"" << gx << "\" y=\"" << bottom - h << "\" width=\""
+          << group_w * 0.7 << "\" height=\"" << h << "\" fill=\""
+          << series_color(s) << "\"/>\n";
+      bottom -= h;
+    }
+  }
+  // Sparse x labels (64 processors would collide).
+  const std::size_t stride = std::max<std::size_t>(1, x_labels.size() / 8);
+  for (std::size_t i = 0; i < x_labels.size(); i += stride) {
+    const double cx = kMarginLeft + (static_cast<double>(i) + 0.5) * group_w;
+    out << "<text x=\"" << cx << "\" y=\"" << kMarginTop + kPlotH + 18
+        << "\" text-anchor=\"middle\">" << esc(x_labels[i]) << "</text>\n";
+  }
+  legend(out, series);
+  out << "</svg>\n";
+  return out.str();
+}
+
+}  // namespace dsm::perf

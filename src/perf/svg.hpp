@@ -1,0 +1,43 @@
+// Standalone SVG rendering of the paper's figure types: grouped bar
+// charts (speedups by model, Figures 1-3/7), line charts (relative time
+// vs radix size / distribution, Figures 5/6/9/10) and per-processor
+// stacked breakdown bars (Figures 4/8).
+//
+// No dependencies: emits self-contained SVG 1.1 documents. The bench
+// harnesses write these next to their CSV output when --csv is given, so
+// a full run leaves publishable figure files behind.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace dsm::perf {
+
+/// One named series of y-values over shared x-labels.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Grouped bar chart: one group per x-label, one bar per series.
+/// y starts at zero; a horizontal gridline marks each tick.
+std::string svg_grouped_bars(const std::string& title,
+                             const std::string& y_label,
+                             std::span<const std::string> x_labels,
+                             std::span<const Series> series);
+
+/// Line chart with markers; same data layout as svg_grouped_bars.
+std::string svg_lines(const std::string& title, const std::string& y_label,
+                      std::span<const std::string> x_labels,
+                      std::span<const Series> series);
+
+/// Per-processor stacked breakdown (BUSY/LMEM/RMEM/SYNC or BUSY/MEM/SYNC
+/// when merge_mem is set), the shape of the paper's Figures 4 and 8.
+std::string svg_breakdown(const std::string& title,
+                          std::span<const sim::Breakdown> procs,
+                          bool merge_mem);
+
+}  // namespace dsm::perf

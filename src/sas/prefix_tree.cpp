@@ -1,0 +1,99 @@
+#include "sas/prefix_tree.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "sim/team.hpp"
+
+namespace dsm::sas {
+
+void ccsas_barrier(sim::ProcContext& ctx) {
+  const int levels =
+      bit_width_u64(static_cast<std::uint64_t>(ctx.nprocs()) - 1);
+  // Tree barrier: each level is a remote line hand-off.
+  ctx.rmem_ns(ctx.params().sw.barrier_hop_ns * levels);
+  ctx.barrier();
+}
+
+std::uint64_t ccsas_max_reduce(sim::ProcContext& ctx, std::uint64_t value) {
+  const int levels =
+      bit_width_u64(static_cast<std::uint64_t>(ctx.nprocs()) - 1);
+  // Tree climb + broadcast: one remote line per level each way.
+  ctx.rmem_ns(2.0 * levels *
+              (ctx.cost().line_rtt_ns(ctx.rank(),
+                                      (ctx.rank() + 1) % ctx.nprocs()) +
+               ctx.params().sw.lock_acquire_ns));
+  const std::uint64_t result = ctx.team().reconcile<std::uint64_t, std::uint64_t>(
+      ctx, value, [](std::span<const std::uint64_t* const> vals) {
+        std::uint64_t mx = 0;
+        for (const std::uint64_t* v : vals) mx = std::max(mx, *v);
+        return std::vector<std::uint64_t>(vals.size(), mx);
+      });
+  ctx.barrier();
+  return result;
+}
+
+BucketScan::BucketScan(int nprocs, std::size_t buckets)
+    : nprocs_(nprocs), buckets_(buckets) {
+  DSM_REQUIRE(nprocs >= 1, "BucketScan needs at least one process");
+  DSM_REQUIRE(buckets >= 1, "BucketScan needs at least one bucket");
+  bufs_[0].resize(static_cast<std::size_t>(nprocs) * buckets);
+  bufs_[1].resize(static_cast<std::size_t>(nprocs) * buckets);
+}
+
+void BucketScan::scan(sim::ProcContext& ctx,
+                      std::span<const std::uint64_t> local,
+                      std::span<std::uint64_t> rank_prefix,
+                      std::span<std::uint64_t> global) {
+  DSM_REQUIRE(local.size() == buckets_ && rank_prefix.size() == buckets_ &&
+                  global.size() == buckets_,
+              "BucketScan spans must have `buckets` entries");
+  DSM_REQUIRE(ctx.nprocs() == nprocs_, "team size mismatch");
+  const int r = ctx.rank();
+  const auto row_bytes = buckets_ * sizeof(std::uint64_t);
+
+  int cur = 0;
+  std::memcpy(row(cur, r), local.data(), row_bytes);
+  ctx.stream(row_bytes, row_bytes);  // publish own row (local write)
+  ccsas_barrier(ctx);
+
+  for (int d = 1; d < nprocs_; d <<= 1) {
+    const std::uint64_t* mine = row(cur, r);
+    std::uint64_t* out = row(cur ^ 1, r);
+    if (r >= d) {
+      const std::uint64_t* partner = row(cur, r - d);
+      for (std::size_t b = 0; b < buckets_; ++b) out[b] = mine[b] + partner[b];
+      // One remote row streamed in per round, plus the add sweep.
+      ctx.rmem_ns(ctx.cost().block_transfer_ns(r, r - d, row_bytes));
+      ctx.busy_cycles(static_cast<double>(buckets_) *
+                      ctx.params().cpu.scan_cycles);
+      ctx.stream(2 * row_bytes, 2 * row_bytes);
+    } else {
+      std::memcpy(out, mine, row_bytes);
+      ctx.stream(2 * row_bytes, 2 * row_bytes);
+    }
+    ccsas_barrier(ctx);
+    cur ^= 1;
+  }
+
+  const std::uint64_t* inclusive = row(cur, r);
+  for (std::size_t b = 0; b < buckets_; ++b) {
+    rank_prefix[b] = inclusive[b] - local[b];
+  }
+  ctx.busy_cycles(static_cast<double>(buckets_) * ctx.params().cpu.scan_cycles);
+
+  const std::uint64_t* last = row(cur, nprocs_ - 1);
+  std::memcpy(global.data(), last, row_bytes);
+  if (r != nprocs_ - 1) {
+    ctx.rmem_ns(ctx.cost().block_transfer_ns(r, nprocs_ - 1, row_bytes));
+  } else {
+    ctx.stream(row_bytes, row_bytes);
+  }
+  // Keep the double buffers coherent for the next pass: no rank may re-run
+  // scan() while another still reads the final rows.
+  ccsas_barrier(ctx);
+}
+
+}  // namespace dsm::sas

@@ -1,0 +1,59 @@
+// CC-SAS collectives: tree barrier cost and the parallel bucket prefix
+// scan the SPLASH-2 radix sort builds its global histogram with.
+//
+// The paper contrasts this fine-grained load/store prefix tree (cheap
+// under hardware coherence) with the allgather-based histogram exchange
+// the MPI/SHMEM versions are forced into — it is why CC-SAS wins at small
+// problem sizes. We implement a Hillis–Steele parallel prefix across
+// processes, vectorised over all 2^r buckets, with a real shared buffer
+// and a (virtual-time) barrier per round: log2(p) rounds, each reading one
+// remote row of the histogram matrix.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/proc.hpp"
+
+namespace dsm::sas {
+
+/// Barrier under the CC-SAS model: charges the software tree-barrier cost
+/// (remote line ping-pong per level) and then reconciles virtual time.
+void ccsas_barrier(sim::ProcContext& ctx);
+
+/// Tree max-reduction over one value per process (fine-grained loads up a
+/// binary tree, broadcast down) — used to detect the maximum key value,
+/// which bounds the number of radix passes (§3.1).
+std::uint64_t ccsas_max_reduce(sim::ProcContext& ctx, std::uint64_t value);
+
+/// Collective prefix scan over processes, per bucket.
+///
+/// Every process passes its local bucket histogram (`buckets` entries);
+/// after the call:
+///   rank_prefix[b] = sum of histograms of ranks < mine, bucket b
+///   global[b]      = sum over all ranks, bucket b
+/// Shared state lives in this object; construct once per team and reuse
+/// across radix passes (all ranks must call scan collectively).
+class BucketScan {
+ public:
+  BucketScan(int nprocs, std::size_t buckets);
+
+  std::size_t buckets() const { return buckets_; }
+
+  void scan(sim::ProcContext& ctx, std::span<const std::uint64_t> local,
+            std::span<std::uint64_t> rank_prefix,
+            std::span<std::uint64_t> global);
+
+ private:
+  std::uint64_t* row(int buf, int rank) {
+    return bufs_[static_cast<std::size_t>(buf)].data() +
+           static_cast<std::size_t>(rank) * buckets_;
+  }
+
+  int nprocs_;
+  std::size_t buckets_;
+  std::vector<std::uint64_t> bufs_[2];  // p x buckets each
+};
+
+}  // namespace dsm::sas

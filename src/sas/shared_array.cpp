@@ -1,0 +1,26 @@
+#include "sas/shared_array.hpp"
+
+namespace dsm::sas {
+
+HomeMap::HomeMap(Index n, int nprocs) : n_(n), nprocs_(nprocs) {
+  DSM_REQUIRE(nprocs >= 1, "HomeMap needs at least one process");
+  base_ = n / static_cast<Index>(nprocs);
+  extra_ = n % static_cast<Index>(nprocs);
+}
+
+Index HomeMap::begin_of(int proc) const {
+  DSM_REQUIRE(proc >= 0 && proc <= nprocs_, "proc out of range");
+  const auto p = static_cast<Index>(proc);
+  return p * base_ + std::min(p, extra_);
+}
+
+int HomeMap::owner_of(Index i) const {
+  DSM_REQUIRE(i < n_, "element index out of range");
+  // First `extra_` owners hold base_+1 elements.
+  const Index big = extra_ * (base_ + 1);
+  if (i < big) return static_cast<int>(i / (base_ + 1));
+  DSM_CHECK(base_ > 0, "owner_of on empty tail partition");
+  return static_cast<int>(extra_ + (i - big) / base_);
+}
+
+}  // namespace dsm::sas

@@ -1,0 +1,73 @@
+// CC-SAS shared arrays with page-granular homes.
+//
+// In the CC-SAS model, data lives in one global address space; what makes
+// an access local or remote is *where the page is homed*. The paper's
+// radix/sample programs partition their key arrays p ways with each
+// partition homed at its owning process (the SPLASH-2 programs initialise
+// partitions locally, so first-touch produces exactly this block layout).
+//
+// SharedArray is functionally a plain array visible to every simulated
+// process; HomeMap answers "which process' memory does element i live in"
+// so the kernels can classify their traffic for the cost model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace dsm::sas {
+
+/// Block partition of [0, n) over nprocs owners (remainder spread over the
+/// leading owners, like the paper's "its assigned keys").
+class HomeMap {
+ public:
+  HomeMap(Index n, int nprocs);
+
+  Index size() const { return n_; }
+  int nprocs() const { return nprocs_; }
+
+  Index begin_of(int proc) const;
+  Index end_of(int proc) const { return begin_of(proc + 1); }
+  Index count_of(int proc) const { return end_of(proc) - begin_of(proc); }
+
+  /// Owner of element index i.
+  int owner_of(Index i) const;
+
+ private:
+  Index n_;
+  int nprocs_;
+  Index base_;   // n / p
+  Index extra_;  // n % p — first `extra_` owners get base_+1
+};
+
+template <typename T>
+class SharedArray {
+ public:
+  SharedArray(Index n, int nprocs) : homes_(n, nprocs), data_(n) {}
+
+  Index size() const { return homes_.size(); }
+  const HomeMap& homes() const { return homes_; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  std::span<T> all() { return std::span<T>(data_); }
+  std::span<const T> all() const { return std::span<const T>(data_); }
+
+  /// The partition homed at (owned by) `proc`.
+  std::span<T> partition(int proc) {
+    return all().subspan(homes_.begin_of(proc), homes_.count_of(proc));
+  }
+  std::span<const T> partition(int proc) const {
+    return all().subspan(homes_.begin_of(proc), homes_.count_of(proc));
+  }
+
+ private:
+  HomeMap homes_;
+  std::vector<T> data_;
+};
+
+}  // namespace dsm::sas

@@ -1,0 +1,249 @@
+// SHMEM runtime: symmetric heap + one-sided put/get + collectives.
+//
+// SHMEM's defining properties (per the paper):
+//   * a symmetric, segmented address space — every PE allocates the same
+//     objects at the same offsets, so a process names remote data with
+//     (local offset, PE id);
+//   * one-sided communication — only the initiating side computes message
+//     parameters (the paper's radix uses receiver-initiated `get`, which
+//     also deposits the data in the getter's cache);
+//   * cheaper collectives and no per-pair slot back-pressure, which is why
+//     SHMEM beats MPI on the permutation-heavy radix sort.
+//
+// Gets/puts move real bytes; timing runs through the one-sided DES epochs
+// (per-source memory serialisation for gets, quiescence for puts).
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sim/team.hpp"
+
+namespace dsm::shmem {
+
+/// Symmetric heap: one segment per PE, identical layout. Allocation is a
+/// host-side (pre-run) operation, mirroring shmalloc's requirement that
+/// every PE allocates collectively and receives the same offset.
+class SymmetricHeap {
+ public:
+  SymmetricHeap(int npes, std::uint64_t bytes_per_pe);
+
+  int npes() const { return npes_; }
+  std::uint64_t segment_bytes() const { return segment_bytes_; }
+
+  /// Allocate `bytes` (aligned) in every PE's segment; returns the common
+  /// offset. Throws when the segment is exhausted.
+  std::uint64_t alloc_bytes(std::uint64_t bytes, std::uint64_t align = 64);
+
+  template <typename T>
+  std::uint64_t alloc(std::uint64_t count) {
+    return alloc_bytes(count * sizeof(T), alignof(T) < 8 ? 8 : alignof(T));
+  }
+
+  std::byte* addr(int pe, std::uint64_t offset);
+  const std::byte* addr(int pe, std::uint64_t offset) const;
+
+  template <typename T>
+  T* at(int pe, std::uint64_t offset) {
+    return reinterpret_cast<T*>(addr(pe, offset));
+  }
+
+ private:
+  int npes_;
+  std::uint64_t segment_bytes_;
+  std::uint64_t brk_ = 0;
+  std::vector<std::vector<std::byte>> segments_;
+};
+
+/// One blocking get: `bytes` from (src_pe, src_offset) into local `dst`.
+struct GetOp {
+  std::byte* dst = nullptr;
+  int src_pe = 0;
+  std::uint64_t src_offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// One put: `bytes` from local `src` into (dst_pe, dst_offset).
+struct PutOp {
+  const std::byte* src = nullptr;
+  int dst_pe = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Shmem {
+ public:
+  Shmem(sim::SimTeam& team, SymmetricHeap& heap);
+
+  int npes() const { return team_.nprocs(); }
+  SymmetricHeap& heap() { return heap_; }
+
+  /// Execute a batch of blocking gets issued back-to-back by this PE
+  /// (collective: every PE must call, possibly with an empty batch).
+  /// Sources must be quiescent — callers barrier before the phase.
+  void get_phase(sim::ProcContext& ctx, std::span<const GetOp> gets);
+
+  /// Execute a batch of puts (collective). Delivery is guaranteed only
+  /// after the next barrier_all (quiescence), as in real SHMEM.
+  void put_phase(sim::ProcContext& ctx, std::span<const PutOp> puts);
+
+  void barrier_all(sim::ProcContext& ctx);
+
+  /// Collective allgather (shmem_fcollect): `in` from every PE
+  /// concatenated by PE id into `out` on every PE.
+  template <typename T>
+  void fcollect(sim::ProcContext& ctx, std::span<const T> in,
+                std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DSM_REQUIRE(out.size() == in.size() * static_cast<std::size_t>(npes()),
+                "fcollect output must hold npes blocks");
+    struct Block {
+      const T* data;
+      std::size_t count;
+    };
+    const Block mine{in.data(), in.size()};
+    auto all = team_.reconcile<Block, std::shared_ptr<const std::vector<T>>>(
+        ctx, mine, [](std::span<const Block* const> blocks) {
+          auto gathered = std::make_shared<std::vector<T>>();
+          for (const Block* b : blocks) {
+            DSM_REQUIRE(b->count == blocks[0]->count,
+                        "fcollect blocks must have equal size");
+            gathered->insert(gathered->end(), b->data, b->data + b->count);
+          }
+          return std::vector<std::shared_ptr<const std::vector<T>>>(
+              blocks.size(), gathered);
+        });
+    std::memcpy(out.data(), all->data(), all->size() * sizeof(T));
+    charge_fcollect(ctx, in.size() * sizeof(T));
+    team_.vbarrier(ctx);
+  }
+
+  /// Collective broadcast (shmem_broadcast): every PE's `data` receives
+  /// the root's contents.
+  template <typename T>
+  void broadcast(sim::ProcContext& ctx, int root, std::span<T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    DSM_REQUIRE(root >= 0 && root < npes(), "broadcast root out of range");
+    struct Block {
+      const T* data;
+      std::size_t count;
+    };
+    const Block mine{data.data(), data.size()};
+    auto payload =
+        team_.reconcile<Block, std::shared_ptr<const std::vector<T>>>(
+            ctx, mine, [root](std::span<const Block* const> blocks) {
+              for (const Block* b : blocks) {
+                DSM_REQUIRE(b->count == blocks[0]->count,
+                            "broadcast blocks must have equal size");
+              }
+              const Block* r = blocks[static_cast<std::size_t>(root)];
+              auto v = std::make_shared<std::vector<T>>(r->data,
+                                                        r->data + r->count);
+              return std::vector<std::shared_ptr<const std::vector<T>>>(
+                  blocks.size(), v);
+            });
+    std::memcpy(data.data(), payload->data(), payload->size() * sizeof(T));
+    charge_tree(ctx, data.size() * sizeof(T));
+    team_.vbarrier(ctx);
+  }
+
+  /// Collective concatenation with per-PE block sizes (shmem_collect):
+  /// `out` must hold the sum of all PEs' `in` sizes; blocks are placed in
+  /// PE order. Returns this PE's block offset within `out` (elements).
+  template <typename T>
+  std::uint64_t collect(sim::ProcContext& ctx, std::span<const T> in,
+                        std::span<T> out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    struct Block {
+      const T* data;
+      std::size_t count;
+    };
+    struct CollectOut {
+      std::shared_ptr<const std::vector<T>> data;
+      std::uint64_t offset;  // this PE's block offset within the result
+    };
+    const Block mine{in.data(), in.size()};
+    const CollectOut res = team_.reconcile<Block, CollectOut>(
+        ctx, mine, [](std::span<const Block* const> blocks) {
+          auto gathered = std::make_shared<std::vector<T>>();
+          std::vector<CollectOut> outs;
+          outs.reserve(blocks.size());
+          for (const Block* b : blocks) {
+            outs.push_back(CollectOut{
+                nullptr, static_cast<std::uint64_t>(gathered->size())});
+            gathered->insert(gathered->end(), b->data, b->data + b->count);
+          }
+          for (auto& o : outs) o.data = gathered;
+          return outs;
+        });
+    DSM_REQUIRE(out.size() == res.data->size(),
+                "collect output must hold every PE's block");
+    std::memcpy(out.data(), res.data->data(), res.data->size() * sizeof(T));
+    // Charged like fcollect with the mean block size, plus a small
+    // size-exchange round (variable-size collect must agree on offsets).
+    charge_fcollect(ctx, res.data->size() * sizeof(T) /
+                             static_cast<std::uint64_t>(npes()));
+    ctx.rmem_ns(ctx.params().sw.shmem_put_overhead_ns);
+    team_.vbarrier(ctx);
+    return res.offset;
+  }
+
+  /// Collective scalar max over all PEs (shmem_*_max_to_all).
+  template <typename T>
+  T max_to_all(sim::ProcContext& ctx, T value) {
+    static_assert(std::is_arithmetic_v<T>);
+    const T result = team_.reconcile<T, T>(
+        ctx, value, [](std::span<const T* const> vals) {
+          T mx = *vals[0];
+          for (const T* v : vals) mx = std::max(mx, *v);
+          return std::vector<T>(vals.size(), mx);
+        });
+    charge_tree(ctx, sizeof(T));
+    team_.vbarrier(ctx);
+    return result;
+  }
+
+  /// Collective element-wise sum over all PEs (shmem_*_sum_to_all):
+  /// every PE's `data` becomes the element-wise global sum.
+  template <typename T>
+  void sum_to_all(sim::ProcContext& ctx, std::span<T> data) {
+    static_assert(std::is_arithmetic_v<T>);
+    struct Block {
+      const T* data;
+      std::size_t count;
+    };
+    const Block mine{data.data(), data.size()};
+    auto sum = team_.reconcile<Block, std::shared_ptr<const std::vector<T>>>(
+        ctx, mine, [](std::span<const Block* const> blocks) {
+          auto total =
+              std::make_shared<std::vector<T>>(blocks[0]->count, T{});
+          for (const Block* b : blocks) {
+            DSM_REQUIRE(b->count == blocks[0]->count,
+                        "sum_to_all blocks must have equal size");
+            for (std::size_t i = 0; i < b->count; ++i) {
+              (*total)[i] += b->data[i];
+            }
+          }
+          return std::vector<std::shared_ptr<const std::vector<T>>>(
+              blocks.size(), total);
+        });
+    std::memcpy(data.data(), sum->data(), sum->size() * sizeof(T));
+    charge_tree(ctx, data.size() * sizeof(T));
+    ctx.busy_cycles(static_cast<double>(data.size()) *
+                    ctx.params().cpu.scan_cycles);
+    team_.vbarrier(ctx);
+  }
+
+ private:
+  void charge_fcollect(sim::ProcContext& ctx, std::uint64_t block_bytes);
+  void charge_tree(sim::ProcContext& ctx, std::uint64_t bytes);
+
+  sim::SimTeam& team_;
+  SymmetricHeap& heap_;
+};
+
+}  // namespace dsm::shmem

@@ -1,0 +1,319 @@
+#include "sim/epoch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <tuple>
+
+#include "common/error.hpp"
+
+namespace dsm::sim {
+namespace {
+
+
+void check_entries(std::span<const double> entry_ns, int nprocs) {
+  DSM_REQUIRE(static_cast<int>(entry_ns.size()) == nprocs,
+              "entry times must cover every process");
+  for (double e : entry_ns) DSM_REQUIRE(e >= 0, "entry times must be >= 0");
+}
+
+}  // namespace
+
+EpochResult simulate_two_sided(const machine::CostModel& cost,
+                               std::span<const std::vector<Transfer>> sends,
+                               std::span<const double> entry_ns,
+                               const TwoSidedConfig& cfg) {
+  // Model: the irecv-all / isend-all / waitall idiom the paper's codes use.
+  //  * Posting: each process pays its send overheads (and staging copies)
+  //    back to back — the CPU does not block on slots.
+  //  * Injection: each ordered pair is a FIFO mailbox of depth slot_depth;
+  //    message k of a pair can enter the wire only once the receiver has
+  //    consumed message k - depth of that pair (the paper's "the next
+  //    message has to wait until the former one has been received").
+  //  * Draining: after posting, a process consumes arrivals in arrival
+  //    order, paying the receive overhead (and staging copy-out) each.
+  //  * Completion (waitall): a process leaves when it has drained all
+  //    expected messages AND all of its own sends have injected; residual
+  //    wait is SYNC.
+  const int p = cost.nprocs();
+  DSM_REQUIRE(static_cast<int>(sends.size()) == p,
+              "sends must cover every process");
+  check_entries(entry_ns, p);
+  DSM_REQUIRE(cfg.slot_depth >= 1, "slot depth must be >= 1");
+
+  struct Msg {
+    int src;
+    int dst;
+    std::uint64_t bytes;
+    std::size_t pair_seq;   // index within its (src,dst) FIFO
+    double ready_ns = 0;    // posted (sender-side) time
+    double inject_ns = -1;  // entered the wire
+    double consume_ns = -1; // receiver finished its recv processing
+  };
+
+  // Flatten and validate; compute posting timelines.
+  std::vector<Msg> msgs;
+  std::vector<double> post_end(static_cast<std::size_t>(p));
+  std::vector<double> rmem(static_cast<std::size_t>(p), 0.0);
+  std::vector<std::uint64_t> expected(static_cast<std::size_t>(p), 0);
+  std::vector<std::vector<std::size_t>> pair_fifo(
+      static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    double t = entry_ns[static_cast<std::size_t>(r)];
+    for (const Transfer& m : sends[static_cast<std::size_t>(r)]) {
+      DSM_REQUIRE(m.src == r, "transfer src must match the posting rank");
+      DSM_REQUIRE(m.dst >= 0 && m.dst < p && m.dst != r,
+                  "transfer dst must be a different valid rank");
+      const double c = cfg.send_overhead_ns +
+                       cfg.send_copy_ns_per_byte * static_cast<double>(m.bytes);
+      t += c;
+      rmem[static_cast<std::size_t>(r)] += c;
+      Msg msg{m.src, m.dst, m.bytes, 0, t, -1, -1};
+      const std::size_t pid = static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(p) +
+                              static_cast<std::size_t>(m.dst);
+      msg.pair_seq = pair_fifo[pid].size();
+      pair_fifo[pid].push_back(msgs.size());
+      msgs.push_back(msg);
+      ++expected[static_cast<std::size_t>(m.dst)];
+    }
+    post_end[static_cast<std::size_t>(r)] = t;
+  }
+
+  // Receiver state: time the CPU becomes free to process the next arrival
+  // and accumulated waiting (SYNC).
+  std::vector<double> recv_free = post_end;
+  std::vector<double> recv_sync(static_cast<std::size_t>(p), 0.0);
+  std::vector<std::uint64_t> consumed(static_cast<std::size_t>(p), 0);
+
+  // Event queue of arrivals: (arrival time, seq, msg index).
+  using Arr = std::tuple<double, std::uint64_t, std::size_t>;
+  std::priority_queue<Arr, std::vector<Arr>, std::greater<>> arrivals;
+  std::uint64_t seq = 0;
+
+  auto inject = [&](std::size_t mi, double when) {
+    Msg& m = msgs[mi];
+    m.inject_ns = std::max(m.ready_ns, when);
+    // The payload movement is the initiator's copy (charged at post
+    // time); only the descriptor/first-word latency remains in flight.
+    const double arr = m.inject_ns + cost.line_rtt_ns(m.src, m.dst);
+    arrivals.emplace(arr, seq++, mi);
+  };
+
+  // Seed: the first `depth` messages of every pair can inject immediately.
+  for (const auto& fifo : pair_fifo) {
+    for (std::size_t k = 0;
+         k < fifo.size() && k < static_cast<std::size_t>(cfg.slot_depth); ++k) {
+      inject(fifo[k], 0.0);
+    }
+  }
+
+  // Receivers consume arrivals in global arrival order; consuming message
+  // k of a pair frees the slot for message k + depth.
+  while (!arrivals.empty()) {
+    const auto [arr, s, mi] = arrivals.top();
+    (void)s;
+    arrivals.pop();
+    Msg& m = msgs[mi];
+    const auto d = static_cast<std::size_t>(m.dst);
+    const double start = std::max(recv_free[d], arr);
+    recv_sync[d] += std::max(0.0, arr - recv_free[d]);
+    const double c = cfg.recv_overhead_ns +
+                     cfg.recv_copy_ns_per_byte * static_cast<double>(m.bytes);
+    m.consume_ns = start + c;
+    recv_free[d] = m.consume_ns;
+    rmem[d] += c;
+    ++consumed[d];
+    const std::size_t pid = static_cast<std::size_t>(m.src) *
+                                static_cast<std::size_t>(p) +
+                            d;
+    const std::size_t next = m.pair_seq + static_cast<std::size_t>(cfg.slot_depth);
+    if (next < pair_fifo[pid].size()) {
+      inject(pair_fifo[pid][next], m.consume_ns);
+    }
+  }
+
+  EpochResult res;
+  res.procs.resize(static_cast<std::size_t>(p));
+  std::vector<double> send_done(static_cast<std::size_t>(p), 0.0);
+  for (const Msg& m : msgs) {
+    DSM_CHECK(m.consume_ns >= 0, "message never consumed (model deadlock)");
+    const auto srs = static_cast<std::size_t>(m.src);
+    send_done[srs] = std::max(send_done[srs], m.inject_ns);
+  }
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    DSM_CHECK(consumed[rr] == expected[rr], "receiver missed messages");
+    ProcOutcome& o = res.procs[rr];
+    const double drained = recv_free[rr];
+    o.end_ns = std::max(drained, send_done[rr]);
+    o.rmem_ns = rmem[rr];
+    // SYNC is every nanosecond of the phase not spent in messaging work:
+    // waits between arrivals plus the final waitall residue.
+    o.sync_ns = o.end_ns - entry_ns[rr] - o.rmem_ns;
+    DSM_CHECK(o.sync_ns > -1e-3, "negative sync in two-sided epoch");
+    o.sync_ns = std::max(0.0, o.sync_ns);
+    res.quiescence_ns = std::max(res.quiescence_ns, o.end_ns);
+  }
+  return res;
+}
+
+EpochResult simulate_gets(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>> gets,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg) {
+  // A batch get phase: the initiator issues its gets back to back (paying
+  // the software overhead for each); transfers pipeline — outstanding gets
+  // overlap — but every source serves requests through a FIFO memory/
+  // directory server (occupancy + payload at link bandwidth), so many
+  // getters hammering one source serialise there. The phase ends at the
+  // last response.
+  const int p = cost.nprocs();
+  DSM_REQUIRE(static_cast<int>(gets.size()) == p, "gets must cover every process");
+  check_entries(entry_ns, p);
+
+  const auto& mp = cost.params();
+
+  // Gather all requests with their issue times, then serve per source in
+  // request-arrival order.
+  struct Request {
+    double arrive_ns;
+    std::uint64_t seq;
+    int getter;
+    std::size_t idx;
+  };
+  std::vector<Request> requests;
+  std::vector<double> issue_end(static_cast<std::size_t>(p));
+  std::uint64_t seq = 0;
+  for (int r = 0; r < p; ++r) {
+    double t = entry_ns[static_cast<std::size_t>(r)];
+    const auto& mine = gets[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      const Transfer& m = mine[i];
+      DSM_REQUIRE(m.dst == r, "get dst must be the issuing rank");
+      DSM_REQUIRE(m.src >= 0 && m.src < p && m.src != r,
+                  "get src must be a different valid rank");
+      t += cfg.overhead_ns;
+      requests.push_back(
+          Request{t + cost.line_rtt_ns(r, m.src) / 2.0, seq++, r, i});
+    }
+    issue_end[static_cast<std::size_t>(r)] = t;
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return std::tie(a.arrive_ns, a.seq) < std::tie(b.arrive_ns, b.seq);
+            });
+
+  std::vector<double> server_free(static_cast<std::size_t>(p), 0.0);
+  std::vector<double> last_response(static_cast<std::size_t>(p), 0.0);
+  for (const Request& rq : requests) {
+    const Transfer& m =
+        gets[static_cast<std::size_t>(rq.getter)][rq.idx];
+    double& srv = server_free[static_cast<std::size_t>(m.src)];
+    const double start = std::max(srv, rq.arrive_ns);
+    srv = start + mp.mem.dir_occupancy_ns +
+          static_cast<double>(m.bytes) / mp.mem.bulk_copy_bytes_per_ns;
+    const double response = srv + cost.line_rtt_ns(rq.getter, m.src) / 2.0;
+    auto& lr = last_response[static_cast<std::size_t>(rq.getter)];
+    lr = std::max(lr, response);
+  }
+
+  EpochResult res;
+  res.procs.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    ProcOutcome& o = res.procs[rr];
+    o.end_ns = std::max(issue_end[rr], last_response[rr]);
+    o.end_ns = std::max(o.end_ns, entry_ns[rr]);
+    // The whole phase is remote-communication stall for the getter.
+    o.rmem_ns = o.end_ns - entry_ns[rr];
+    o.sync_ns = 0;
+    res.quiescence_ns = std::max(res.quiescence_ns, o.end_ns);
+  }
+  return res;
+}
+
+EpochResult simulate_puts(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>> puts,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg) {
+  const int p = cost.nprocs();
+  DSM_REQUIRE(static_cast<int>(puts.size()) == p, "puts must cover every process");
+  check_entries(entry_ns, p);
+
+  const auto& mp = cost.params();
+  EpochResult res;
+  res.procs.resize(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    double t = entry_ns[static_cast<std::size_t>(r)];
+    double rmem = 0;
+    for (const Transfer& m : puts[static_cast<std::size_t>(r)]) {
+      DSM_REQUIRE(m.src == r, "put src must be the issuing rank");
+      DSM_REQUIRE(m.dst >= 0 && m.dst < p && m.dst != r,
+                  "put dst must be a different valid rank");
+      // The initiator pays overhead plus injection at link bandwidth; the
+      // flight time shows up only in the quiescence bound.
+      const double c = cfg.overhead_ns +
+                       static_cast<double>(m.bytes) / mp.mem.bulk_copy_bytes_per_ns;
+      t += c;
+      rmem += c;
+      res.quiescence_ns =
+          std::max(res.quiescence_ns, t + cost.line_rtt_ns(r, m.dst));
+    }
+    ProcOutcome& o = res.procs[static_cast<std::size_t>(r)];
+    o.end_ns = t;
+    o.rmem_ns = rmem;
+    o.sync_ns = 0;
+    res.quiescence_ns = std::max(res.quiescence_ns, t);
+  }
+  return res;
+}
+
+std::vector<double> inflate_scattered_writes(
+    const machine::CostModel& cost, int nprocs,
+    std::span<const ScatteredTraffic> traffic,
+    std::span<const double> overlap_ns) {
+  DSM_REQUIRE(nprocs >= 1, "need at least one process");
+  DSM_REQUIRE(overlap_ns.empty() ||
+                  static_cast<int>(overlap_ns.size()) == nprocs,
+              "overlap must cover every process (or be empty)");
+  std::vector<double> raw(static_cast<std::size_t>(nprocs), 0.0);
+  std::vector<double> occupancy(static_cast<std::size_t>(nprocs), 0.0);
+  for (const ScatteredTraffic& t : traffic) {
+    DSM_REQUIRE(t.writer >= 0 && t.writer < nprocs, "writer out of range");
+    DSM_REQUIRE(t.home >= 0 && t.home < nprocs, "home out of range");
+    DSM_REQUIRE(t.writer != t.home,
+                "locally-homed writes are LMEM, not scattered remote traffic");
+    DSM_REQUIRE(t.per_line_ns >= 0 && t.transactions >= 0,
+                "costs must be nonnegative");
+    raw[static_cast<std::size_t>(t.writer)] +=
+        static_cast<double>(t.lines) * t.per_line_ns;
+    occupancy[static_cast<std::size_t>(t.home)] +=
+        cost.home_occupancy_ns(1) * t.transactions;
+  }
+  // Phase span: slowest writer's overlapped computation plus its raw
+  // write-issue time — the window the home directories must serve within.
+  double span = 0;
+  for (int w = 0; w < nprocs; ++w) {
+    const double ov =
+        overlap_ns.empty() ? 0.0 : overlap_ns[static_cast<std::size_t>(w)];
+    span = std::max(span, ov + raw[static_cast<std::size_t>(w)]);
+  }
+  std::vector<double> out(static_cast<std::size_t>(nprocs), 0.0);
+  if (span <= 0) return out;
+  // Single-relaxation contention: if a home directory is busier than the
+  // whole phase, every writer hitting it slows down proportionally.
+  std::vector<double> factor(static_cast<std::size_t>(nprocs), 1.0);
+  for (int h = 0; h < nprocs; ++h) {
+    factor[static_cast<std::size_t>(h)] =
+        std::max(1.0, occupancy[static_cast<std::size_t>(h)] / span);
+  }
+  for (const ScatteredTraffic& t : traffic) {
+    out[static_cast<std::size_t>(t.writer)] +=
+        static_cast<double>(t.lines) * t.per_line_ns *
+        factor[static_cast<std::size_t>(t.home)];
+  }
+  return out;
+}
+
+}  // namespace dsm::sim

@@ -1,0 +1,116 @@
+// Deterministic reconciliation of bulk-synchronous communication epochs.
+//
+// The sorting algorithms are bulk-synchronous: each communication phase is
+// bracketed by barriers, every process posts its transfers, and the data
+// movement itself is executed for real (memcpy) as transfers are posted.
+// *Timing* is resolved afterwards, by one thread, with the deterministic
+// engines in this file:
+//
+//  * simulate_two_sided — MPI-style exchange with per-ordered-pair message
+//    slots (depth 1 reproduces the authors' modified-MPICH lock-free
+//    mailboxes) and a progress engine: a sender blocked on a full slot
+//    drains its own incoming messages, exactly how MPI implementations
+//    avoid deadlock. Produces the elevated SYNC time the paper reports
+//    for MPI relative to SHMEM.
+//  * simulate_gets — SHMEM-style blocking gets with a FIFO memory server
+//    per source node (directory occupancy + payload at link bandwidth), so
+//    many getters hammering one source serialise there.
+//  * simulate_puts — SHMEM-style puts: initiator pays overhead + injection;
+//    the epoch reports a quiescence time (last arrival) that the closing
+//    barrier must respect.
+//  * inflate_scattered_writes — CC-SAS fine-grained remote writes: raw
+//    per-line protocol costs are inflated by home-directory occupancy when
+//    a home is oversubscribed (the paper's protocol-interference effect).
+//
+// All engines return, per process, the virtual end time plus RMEM/SYNC
+// charges satisfying end == entry + rmem + sync (asserted).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "machine/cost.hpp"
+
+namespace dsm::sim {
+
+/// One point-to-point transfer posted during an epoch. `seq` is the
+/// posting order within the initiating process (sender for sends/puts,
+/// receiver for gets).
+struct Transfer {
+  int src = 0;
+  int dst = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Per-process timing outcome of an epoch.
+struct ProcOutcome {
+  double end_ns = 0;
+  double rmem_ns = 0;
+  double sync_ns = 0;
+};
+
+struct EpochResult {
+  std::vector<ProcOutcome> procs;
+  /// Virtual time by which all network traffic has drained (>= all ends
+  /// for two-sided; may exceed initiator ends for puts).
+  double quiescence_ns = 0;
+};
+
+struct TwoSidedConfig {
+  double send_overhead_ns = 0;
+  double recv_overhead_ns = 0;
+  /// Staged ("SGI MPT") transports copy through a bounce buffer on both
+  /// sides; direct ("NEW") transports leave these at zero.
+  double send_copy_ns_per_byte = 0;
+  double recv_copy_ns_per_byte = 0;
+  int slot_depth = 1;
+};
+
+/// `sends[r]` = rank r's posted sends, in posting order; self-sends are the
+/// caller's job (local copies) and are rejected here.
+EpochResult simulate_two_sided(const machine::CostModel& cost,
+                               std::span<const std::vector<Transfer>> sends,
+                               std::span<const double> entry_ns,
+                               const TwoSidedConfig& cfg);
+
+struct OneSidedConfig {
+  double overhead_ns = 0;
+};
+
+/// `gets[r]` = rank r's blocking gets, in order; Transfer.dst must equal r.
+EpochResult simulate_gets(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>> gets,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg);
+
+/// `puts[r]` = rank r's puts, in order; Transfer.src must equal r.
+EpochResult simulate_puts(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>> puts,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg);
+
+/// One process's remote-write traffic to one home processor's memory
+/// during a CC-SAS permutation phase. `per_line_ns` is the writer-side
+/// cost per line (fine-grained scattered writes pay the full protocol
+/// round trip; buffered block copies pipeline), and `transactions` is the
+/// directory work the traffic generates at the home node.
+struct ScatteredTraffic {
+  int writer = 0;
+  int home = 0;
+  std::uint64_t lines = 0;
+  double per_line_ns = 0;
+  double transactions = 0;  // home directory visits generated
+};
+
+/// Returns per-process RMEM charges (index = writer). Raw per-line costs
+/// are inflated per home when the home's directory occupancy exceeds the
+/// phase span. `overlap_ns[w]` is the computation time writer w overlaps
+/// with its writes (the permutation work the stores are issued from) —
+/// it widens the span the occupancy must fit into.
+std::vector<double> inflate_scattered_writes(
+    const machine::CostModel& cost, int nprocs,
+    std::span<const ScatteredTraffic> traffic,
+    std::span<const double> overlap_ns);
+
+}  // namespace dsm::sim

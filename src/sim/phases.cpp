@@ -1,0 +1,64 @@
+#include "sim/phases.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace dsm::sim {
+
+std::vector<std::pair<std::string, Breakdown>> PhaseLog::totals(
+    const Breakdown& end) const {
+  // Keyed accumulation preserving first-appearance order.
+  std::vector<std::pair<std::string, Breakdown>> out;
+  std::map<std::string, std::size_t> index;
+  auto slot = [&](const std::string& name) -> Breakdown& {
+    const auto it = index.find(name);
+    if (it != index.end()) return out[it->second].second;
+    index.emplace(name, out.size());
+    out.emplace_back(name, Breakdown{});
+    return out.back().second;
+  };
+
+  Breakdown prev{};  // zero = run start
+  std::string prev_name = "(setup)";
+  for (const auto& [name, at] : marks_) {
+    slot(prev_name) += at - prev;
+    prev = at;
+    prev_name = name;
+  }
+  slot(prev_name) += end - prev;
+
+  // Drop an empty synthetic setup entry.
+  if (!out.empty() && out.front().first == "(setup)" &&
+      out.front().second.total_ns() < 1e-9) {
+    out.erase(out.begin());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Breakdown>> mean_phases(
+    const std::vector<std::vector<std::pair<std::string, Breakdown>>>& ranks) {
+  DSM_REQUIRE(!ranks.empty(), "mean_phases of no ranks");
+  std::vector<std::pair<std::string, Breakdown>> out;
+  std::map<std::string, std::size_t> index;
+  for (const auto& rank : ranks) {
+    for (const auto& [name, b] : rank) {
+      const auto it = index.find(name);
+      if (it == index.end()) {
+        index.emplace(name, out.size());
+        out.emplace_back(name, b);
+      } else {
+        out[it->second].second += b;
+      }
+    }
+  }
+  const auto n = static_cast<double>(ranks.size());
+  for (auto& [name, b] : out) {
+    (void)name;
+    b = Breakdown{b.busy_ns / n, b.lmem_ns / n, b.rmem_ns / n, b.sync_ns / n};
+  }
+  return out;
+}
+
+}  // namespace dsm::sim

@@ -1,0 +1,53 @@
+// Per-phase attribution of virtual time.
+//
+// The paper reasons about its algorithms phase by phase (local histogram,
+// global histogram accumulation, permutation; local sort, sampling,
+// splitter computation, redistribution). PhaseLog lets the algorithm
+// kernels mark phase transitions on each process's timeline; the deltas
+// between marks attribute every clock category to a named phase, giving a
+// finer-grained view than Figures 4/8's whole-run breakdowns.
+//
+// Usage (inside an SPMD body):
+//   ctx.phase("local histogram");
+//   ... charged work ...
+//   ctx.phase("permutation");
+//   ...
+// Phase names must be identical (same strings, same order is not
+// required) across ranks for aggregation to be meaningful; time before
+// the first mark is attributed to "(setup)".
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace dsm::sim {
+
+/// One process's sequence of (phase name, clock snapshot at entry).
+class PhaseLog {
+ public:
+  void mark(std::string name, const Breakdown& at) {
+    marks_.emplace_back(std::move(name), at);
+  }
+
+  void clear() { marks_.clear(); }
+  bool empty() const { return marks_.empty(); }
+
+  /// Attribute the time up to `end` to phases: each phase owns the delta
+  /// between its mark and the next (the last phase ends at `end`).
+  /// Repeated phase names (one per pass) accumulate.
+  std::vector<std::pair<std::string, Breakdown>> totals(
+      const Breakdown& end) const;
+
+ private:
+  std::vector<std::pair<std::string, Breakdown>> marks_;
+};
+
+/// Aggregate per-rank phase totals into per-phase means across ranks
+/// (phases are matched by name; ranks missing a phase contribute zero).
+std::vector<std::pair<std::string, Breakdown>> mean_phases(
+    const std::vector<std::vector<std::pair<std::string, Breakdown>>>& ranks);
+
+}  // namespace dsm::sim

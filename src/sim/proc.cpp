@@ -1,0 +1,13 @@
+#include "sim/proc.hpp"
+
+#include "sim/team.hpp"
+
+namespace dsm::sim {
+
+void ProcContext::barrier() { team_.vbarrier(*this); }
+
+void ProcContext::phase(const char* name) {
+  team_.record_phase(rank_, name);
+}
+
+}  // namespace dsm::sim

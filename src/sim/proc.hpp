@@ -1,0 +1,66 @@
+// Per-process execution context handed to SPMD bodies run by SimTeam.
+//
+// Wraps the rank, its virtual clock, and the machine cost model, and
+// provides the charging helpers the algorithm kernels use (busy cycles,
+// streaming sweeps, scattered access patterns).
+#pragma once
+
+#include "machine/cost.hpp"
+#include "sim/clock.hpp"
+
+namespace dsm::sim {
+
+class SimTeam;
+
+class ProcContext {
+ public:
+  ProcContext(SimTeam& team, int rank, CategoryClock& clock,
+              const machine::CostModel& cost)
+      : team_(team), rank_(rank), clock_(clock), cost_(cost) {}
+
+  ProcContext(const ProcContext&) = delete;
+  ProcContext& operator=(const ProcContext&) = delete;
+
+  int rank() const { return rank_; }
+  int nprocs() const { return cost_.nprocs(); }
+  SimTeam& team() { return team_; }
+  CategoryClock& clock() { return clock_; }
+  const CategoryClock& clock() const { return clock_; }
+  const machine::CostModel& cost() const { return cost_; }
+  const machine::MachineParams& params() const { return cost_.params(); }
+
+  // ---- charging helpers -------------------------------------------------
+  /// CPU work of `cycles` cycles (BUSY).
+  void busy_cycles(double cycles) {
+    clock_.charge(Cat::kBusy, cost_.busy_ns(cycles));
+  }
+
+  /// Sequential sweep over `bytes` of a `footprint`-byte region (LMEM).
+  void stream(std::uint64_t bytes, std::uint64_t footprint) {
+    clock_.charge(Cat::kLMem, cost_.stream_ns(bytes, footprint));
+  }
+
+  /// Scattered local access pattern (LMEM).
+  void scattered(const machine::AccessPattern& p) {
+    clock_.charge(Cat::kLMem, cost_.scattered_ns(p));
+  }
+
+  void rmem_ns(double ns) { clock_.charge(Cat::kRMem, ns); }
+  void sync_ns(double ns) { clock_.charge(Cat::kSync, ns); }
+
+  /// Virtual-time-reconciled team barrier (charges SYNC). Defined in
+  /// proc.cpp to avoid a circular include with team.hpp.
+  void barrier();
+
+  /// Mark the start of a named algorithm phase on this rank's timeline
+  /// (see sim/phases.hpp). Defined in proc.cpp.
+  void phase(const char* name);
+
+ private:
+  SimTeam& team_;
+  int rank_;
+  CategoryClock& clock_;
+  const machine::CostModel& cost_;
+};
+
+}  // namespace dsm::sim

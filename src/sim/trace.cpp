@@ -1,0 +1,32 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace dsm::sim {
+
+const char* trace_kind_name(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kBarrier: return "barrier";
+    case TraceEvent::Kind::kTwoSided: return "two_sided";
+    case TraceEvent::Kind::kGet: return "get";
+    case TraceEvent::Kind::kPut: return "put";
+    case TraceEvent::Kind::kScatteredWrite: return "scattered_write";
+  }
+  return "?";
+}
+
+std::string trace_to_json(int rank, const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  for (const TraceEvent& ev : events) {
+    out << "{\"rank\":" << rank << ",\"kind\":\""
+        << trace_kind_name(ev.kind) << "\",\"start_us\":"
+        << ev.start_ns / 1e3 << ",\"end_us\":" << ev.end_ns / 1e3
+        << ",\"transfers\":" << ev.transfers << ",\"bytes\":" << ev.bytes
+        << "}\n";
+  }
+  return out.str();
+}
+
+}  // namespace dsm::sim

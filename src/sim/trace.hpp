@@ -1,0 +1,53 @@
+// Optional tracing of collective/communication events.
+//
+// When enabled on a SimTeam, every barrier and communication epoch is
+// recorded per rank with its virtual time span and traffic summary —
+// enough to reconstruct a timeline of the run (and to debug the epoch
+// engines). Export as JSON lines for external tooling.
+//
+// Off by default: tracing costs a little host memory per event and
+// nothing when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsm::sim {
+
+struct TraceEvent {
+  enum class Kind : int {
+    kBarrier = 0,
+    kTwoSided = 1,
+    kGet = 2,
+    kPut = 3,
+    kScatteredWrite = 4,
+  };
+
+  Kind kind = Kind::kBarrier;
+  double start_ns = 0;  // virtual entry time
+  double end_ns = 0;    // virtual completion time
+  std::uint64_t transfers = 0;
+  std::uint64_t bytes = 0;
+};
+
+const char* trace_kind_name(TraceEvent::Kind k);
+
+/// Per-rank event log (owned by SimTeam; one instance per rank, so no
+/// synchronisation is needed).
+class TraceLog {
+ public:
+  void record(const TraceEvent& ev) { events_.push_back(ev); }
+  void clear() { events_.clear(); }
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Render one rank's events as JSON lines:
+///   {"rank":0,"kind":"two_sided","start_us":...,"end_us":...,
+///    "transfers":...,"bytes":...}
+std::string trace_to_json(int rank, const std::vector<TraceEvent>& events);
+
+}  // namespace dsm::sim

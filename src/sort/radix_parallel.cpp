@@ -1,0 +1,572 @@
+#include "sort/radix_parallel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "sort/seq_radix.hpp"
+
+namespace dsm::sort {
+namespace {
+
+constexpr std::uint64_t kLine = 128;  // Origin L2 line (bytes)
+
+/// Exclusive prefix of `counts` into `starts` (same size), charged.
+void exclusive_prefix(sim::ProcContext& ctx,
+                      std::span<const std::uint64_t> counts,
+                      std::span<std::uint64_t> starts) {
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    starts[b] = acc;
+    acc += counts[b];
+  }
+  ctx.busy_cycles(static_cast<double>(counts.size()) *
+                  ctx.params().cpu.scan_cycles);
+}
+
+/// From allgathered histograms (p rows x B), compute this rank's
+/// rank_prefix[b] = sum of lower ranks' bucket-b counts, and the global
+/// exclusive bucket starts. Charged as the redundant local computation the
+/// MPI/SHMEM versions perform.
+void prefixes_from_allhists(sim::ProcContext& ctx,
+                            std::span<const std::uint64_t> all_hist,
+                            std::size_t buckets,
+                            std::span<std::uint64_t> rank_prefix,
+                            std::span<std::uint64_t> global_start) {
+  const int p = ctx.nprocs();
+  const int r = ctx.rank();
+  DSM_REQUIRE(all_hist.size() == static_cast<std::size_t>(p) * buckets,
+              "allgathered histogram size mismatch");
+  std::fill(rank_prefix.begin(), rank_prefix.end(), 0);
+  std::fill(global_start.begin(), global_start.end(), 0);
+  // global_start temporarily holds global counts.
+  for (int j = 0; j < p; ++j) {
+    const std::uint64_t* row = all_hist.data() +
+                               static_cast<std::size_t>(j) * buckets;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      if (j < r) rank_prefix[b] += row[b];
+      global_start[b] += row[b];
+    }
+  }
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::uint64_t c = global_start[b];
+    global_start[b] = acc;
+    acc += c;
+  }
+  const auto cells = static_cast<double>(static_cast<std::size_t>(p) * buckets);
+  ctx.busy_cycles(cells * ctx.params().cpu.scan_cycles);
+  ctx.stream(static_cast<std::uint64_t>(p) * buckets * sizeof(std::uint64_t),
+             static_cast<std::uint64_t>(p) * buckets * sizeof(std::uint64_t));
+}
+
+/// Buffered local permutation: scatter `keys` into `buf` in bucket-major
+/// order (the local staging step of CC-SAS-NEW / MPI / SHMEM). On return
+/// `local_prefix[b]` is the start of bucket b's chunk within buf. Charged
+/// with the measured run structure.
+void buffered_permute(sim::ProcContext& ctx, std::span<const Key> keys,
+                      std::span<Key> buf, int pass, int radix_bits,
+                      std::span<const std::uint64_t> local_hist,
+                      std::span<std::uint64_t> local_prefix,
+                      std::uint64_t active) {
+  exclusive_prefix(ctx, local_hist, local_prefix);
+  std::vector<std::uint64_t> cursor(local_prefix.begin(), local_prefix.end());
+  charged_local_permute(ctx, keys, buf, pass, radix_bits, cursor, active);
+  ctx.busy_cycles(static_cast<double>(keys.size()) *
+                  ctx.params().cpu.buffer_copy_cycles);
+}
+
+/// Split the contiguous destination range [gpos, gpos+count) by owner
+/// partition; fn(dst, gpos_piece, offset_within_chunk, len).
+template <typename Fn>
+void for_each_piece(const sas::HomeMap& homes, std::uint64_t gpos,
+                    std::uint64_t count, Fn&& fn) {
+  std::uint64_t off = 0;
+  while (count > 0) {
+    const int dst = homes.owner_of(gpos);
+    const std::uint64_t len = std::min(count, homes.end_of(dst) - gpos);
+    fn(dst, gpos, off, len);
+    gpos += len;
+    off += len;
+    count -= len;
+  }
+}
+
+/// Local max of a key span, charged as one sweep.
+Key charged_local_max(sim::ProcContext& ctx, std::span<const Key> keys) {
+  Key mx = 0;
+  for (const Key k : keys) mx = std::max(mx, k);
+  ctx.busy_cycles(static_cast<double>(keys.size()) *
+                  ctx.params().cpu.scan_cycles);
+  ctx.stream(keys.size() * sizeof(Key), keys.size() * sizeof(Key));
+  return mx;
+}
+
+}  // namespace
+
+void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
+  DSM_REQUIRE(w.a != nullptr && w.b != nullptr && w.scan != nullptr,
+              "CC-SAS radix world is incomplete");
+  DSM_REQUIRE(w.a->size() == w.b->size(), "toggle arrays must match");
+  const int p = ctx.nprocs();
+  const int r = ctx.rank();
+  const std::size_t buckets = std::size_t{1} << w.radix_bits;
+  DSM_REQUIRE(w.scan->buckets() == buckets, "BucketScan bucket mismatch");
+  const sas::HomeMap& homes = w.a->homes();
+  int passes = radix_passes(w.radix_bits);
+  if (w.detect_max_key) {
+    const Key local_max = charged_local_max(ctx, w.a->partition(r));
+    const auto global_max =
+        static_cast<Key>(sas::ccsas_max_reduce(ctx, local_max));
+    passes = radix_passes_for_max(w.radix_bits, global_max);
+  }
+  w.passes_used.store(passes, std::memory_order_relaxed);
+  const std::uint64_t part_bytes = homes.count_of(r) * sizeof(Key);
+
+  std::vector<std::uint64_t> hist(buckets), rank_prefix(buckets),
+      global_cnt(buckets), global_start(buckets), cursor(buckets),
+      local_prefix(buckets);
+  std::vector<Key> buf(w.buffered ? homes.count_of(r) : 0);
+
+  sas::SharedArray<Key>* in = w.a;
+  sas::SharedArray<Key>* out = w.b;
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const Key> my_keys = in->partition(r);
+    ctx.phase("local histogram");
+    const std::uint64_t active =
+        charged_histogram(ctx, my_keys, pass, w.radix_bits, hist);
+    ctx.phase("global histogram");
+    w.scan->scan(ctx, hist, rank_prefix, global_cnt);
+    exclusive_prefix(ctx, global_cnt, global_start);
+    ctx.phase("permutation");
+
+    if (!w.buffered) {
+      // Original SPLASH-2 style: write each key straight to its global
+      // position — temporally scattered remote writes.
+      for (std::size_t b = 0; b < buckets; ++b) {
+        cursor[b] = global_start[b] + rank_prefix[b];
+      }
+      ctx.busy_cycles(static_cast<double>(buckets) *
+                      ctx.params().cpu.scan_cycles);
+
+      const double permute_start_ns = ctx.clock().now_ns();
+      Key* const out_data = out->data();
+      std::uint64_t local_accesses = 0, local_runs = 0;
+      std::vector<std::uint64_t> bytes_to(static_cast<std::size_t>(p)),
+          runs_to(static_cast<std::size_t>(p));
+      std::uint32_t prev_digit = ~0u;
+      for (const Key k : my_keys) {
+        const std::uint32_t d = radix_digit(k, pass, w.radix_bits);
+        const std::uint64_t pos = cursor[d]++;
+        out_data[pos] = k;
+        const int home = homes.owner_of(pos);
+        const bool new_run = d != prev_digit;
+        prev_digit = d;
+        if (home == r) {
+          ++local_accesses;
+          local_runs += new_run ? 1 : 0;
+        } else {
+          bytes_to[static_cast<std::size_t>(home)] += sizeof(Key);
+          runs_to[static_cast<std::size_t>(home)] += new_run ? 1 : 0;
+        }
+      }
+      ctx.busy_cycles(static_cast<double>(my_keys.size()) *
+                      ctx.params().cpu.permute_cycles);
+      ctx.stream(my_keys.size() * sizeof(Key), part_bytes);
+      if (local_accesses > 0) {
+        machine::AccessPattern ap;
+        ap.accesses = local_accesses;
+        ap.elem_bytes = sizeof(Key);
+        ap.runs = std::max<std::uint64_t>(1, local_runs);
+        ap.active_regions = std::max<std::uint64_t>(1, active);
+        ap.footprint_bytes = part_bytes;
+        ctx.scattered(ap);
+      }
+      std::uint64_t remote_bytes = 0;
+      for (int h = 0; h < p; ++h) {
+        remote_bytes += bytes_to[static_cast<std::size_t>(h)];
+      }
+      const auto profile = ctx.cost().scattered_write_profile(remote_bytes);
+      std::vector<sim::ScatteredTraffic> traffic;
+      for (int h = 0; h < p; ++h) {
+        const auto hh = static_cast<std::size_t>(h);
+        if (bytes_to[hh] == 0) continue;
+        sim::ScatteredTraffic t;
+        t.writer = r;
+        t.home = h;
+        // Fine-grained interleaving re-fetches a line on almost every run
+        // switch; contiguous tails within a run transfer at line grain.
+        t.lines = std::max<std::uint64_t>(std::max<std::uint64_t>(1, runs_to[hh]),
+                                          ceil_div(bytes_to[hh], kLine));
+        t.per_line_ns = profile.per_line_ns;
+        t.transactions =
+            static_cast<double>(t.lines) * profile.transactions_per_line;
+        traffic.push_back(t);
+      }
+      // The stores overlap the permutation computation charged above.
+      const double overlap = ctx.clock().now_ns() - permute_start_ns;
+      ctx.team().scattered_write_epoch(ctx, std::move(traffic), overlap);
+    } else {
+      // CC-SAS-NEW (§4.2.1): buffer locally, then copy contiguous chunks.
+      const double permute_start_ns = ctx.clock().now_ns();
+      buffered_permute(ctx, my_keys, buf, pass, w.radix_bits, hist,
+                       local_prefix, active);
+      Key* const out_data = out->data();
+      std::vector<std::uint64_t> lines_to(static_cast<std::size_t>(p));
+      std::uint64_t local_bytes = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        if (hist[b] == 0) continue;
+        const std::uint64_t gpos = global_start[b] + rank_prefix[b];
+        for_each_piece(homes, gpos, hist[b],
+                       [&](int dst, std::uint64_t gp, std::uint64_t off,
+                           std::uint64_t len) {
+                         std::memcpy(out_data + gp,
+                                     buf.data() + local_prefix[b] + off,
+                                     len * sizeof(Key));
+                         if (dst == r) {
+                           local_bytes += len * sizeof(Key);
+                         } else {
+                           lines_to[static_cast<std::size_t>(dst)] +=
+                               ceil_div(len * sizeof(Key), kLine);
+                         }
+                       });
+      }
+      if (local_bytes > 0) ctx.stream(2 * local_bytes, part_bytes);
+      // The copy-out re-reads the staging buffer for the remote chunks.
+      std::uint64_t remote_lines = 0;
+      for (const std::uint64_t l : lines_to) remote_lines += l;
+      if (remote_lines > 0) ctx.stream(remote_lines * kLine, 2 * part_bytes);
+      std::vector<sim::ScatteredTraffic> traffic;
+      for (int h = 0; h < p; ++h) {
+        const auto hh = static_cast<std::size_t>(h);
+        if (lines_to[hh] == 0) continue;
+        sim::ScatteredTraffic t;
+        t.writer = r;
+        t.home = h;
+        t.lines = lines_to[hh];
+        t.per_line_ns = ctx.params().mem.ccsas_block_line_ns;
+        // One pipelined RdEx per line.
+        t.transactions = static_cast<double>(lines_to[hh]);
+        traffic.push_back(t);
+      }
+      const double overlap = ctx.clock().now_ns() - permute_start_ns;
+      ctx.team().scattered_write_epoch(ctx, std::move(traffic), overlap);
+    }
+
+    ctx.phase("barrier");
+    sas::ccsas_barrier(ctx);
+    std::swap(in, out);
+  }
+}
+
+void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
+  DSM_REQUIRE(w.comm != nullptr && w.parts_a != nullptr && w.parts_b != nullptr,
+              "MPI radix world is incomplete");
+  const int p = ctx.nprocs();
+  const int r = ctx.rank();
+  const std::size_t buckets = std::size_t{1} << w.radix_bits;
+
+  Index n_total = 0;
+  for (const auto& part : *w.parts_a) n_total += part.size();
+  const sas::HomeMap homes(n_total, p);
+  const auto rr = static_cast<std::size_t>(r);
+  DSM_REQUIRE((*w.parts_a)[rr].size() == homes.count_of(r) &&
+                  (*w.parts_b)[rr].size() == homes.count_of(r),
+              "partition sizes must follow the block HomeMap");
+  const Index n_local = homes.count_of(r);
+  const std::uint64_t part_bytes = n_local * sizeof(Key);
+
+  std::vector<std::uint64_t> hist(buckets), rank_prefix(buckets),
+      global_start(buckets), local_prefix(buckets);
+  std::vector<std::uint64_t> all_hist(static_cast<std::size_t>(p) * buckets);
+  std::vector<Key> buf(n_local);
+  std::vector<Key> stage;  // coalesced-mode receive staging
+  if (!w.chunk_messages) stage.resize(n_local);
+
+  std::vector<Key>* in = &(*w.parts_a)[rr];
+  std::vector<Key>* out = &(*w.parts_b)[rr];
+  int passes = radix_passes(w.radix_bits);
+  if (w.detect_max_key) {
+    const Key local_max = charged_local_max(ctx, *in);
+    const Key global_max = w.comm->allreduce_max<Key>(ctx, local_max);
+    passes = radix_passes_for_max(w.radix_bits, global_max);
+  }
+  w.passes_used.store(passes, std::memory_order_relaxed);
+  for (int pass = 0; pass < passes; ++pass) {
+    ctx.phase("local histogram");
+    const std::uint64_t active =
+        charged_histogram(ctx, *in, pass, w.radix_bits, hist);
+    ctx.phase("global histogram");
+    w.comm->allgather<std::uint64_t>(ctx, hist, all_hist);
+    prefixes_from_allhists(ctx, all_hist, buckets, rank_prefix, global_start);
+    ctx.phase("permutation");
+    buffered_permute(ctx, *in, buf, pass, w.radix_bits, hist, local_prefix,
+                     active);
+    ctx.phase("redistribution");
+
+    std::vector<msg::Communicator::Send> sends;
+    if (w.chunk_messages) {
+      // One message per contiguously-destined chunk piece (the paper's
+      // preferred implementation) — placed directly at its final offset.
+      for (std::size_t b = 0; b < buckets; ++b) {
+        if (hist[b] == 0) continue;
+        const std::uint64_t gpos = global_start[b] + rank_prefix[b];
+        for_each_piece(
+            homes, gpos, hist[b],
+            [&](int dst, std::uint64_t gp, std::uint64_t off,
+                std::uint64_t len) {
+              const Key* src = buf.data() + local_prefix[b] + off;
+              if (dst == r) {
+                std::memcpy(out->data() + (gp - homes.begin_of(r)), src,
+                            len * sizeof(Key));
+                ctx.stream(2 * len * sizeof(Key), part_bytes);
+                return;
+              }
+              sends.push_back(msg::Communicator::Send{
+                  dst, (gp - homes.begin_of(dst)) * sizeof(Key),
+                  reinterpret_cast<const std::byte*>(src), len * sizeof(Key)});
+            });
+      }
+      w.comm->exchange(ctx, sends,
+                       std::as_writable_bytes(std::span<Key>(*out)));
+    } else {
+      // NAS-IS style ablation: one coalesced message per destination; the
+      // receiver reorganises pieces into place afterwards. A destination's
+      // pieces are contiguous in the bucket-major staging buffer (global
+      // positions ascend with the bucket), so the sender needs no extra
+      // copy — the cost moves to the receiver-side scatter.
+      //
+      // M[i][dst] = keys process i contributes to dst's partition, built
+      // in O(p * buckets) with running per-bucket rank prefixes.
+      std::vector<std::uint64_t> matrix(
+          static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0);
+      std::vector<std::uint64_t> run_prefix(buckets, 0);
+      for (int j = 0; j < p; ++j) {
+        const std::uint64_t* row =
+            all_hist.data() + static_cast<std::size_t>(j) * buckets;
+        for (std::size_t b = 0; b < buckets; ++b) {
+          if (row[b] == 0) continue;
+          for_each_piece(homes, global_start[b] + run_prefix[b], row[b],
+                         [&](int dst, std::uint64_t, std::uint64_t,
+                             std::uint64_t len) {
+                           matrix[static_cast<std::size_t>(j) *
+                                      static_cast<std::size_t>(p) +
+                                  static_cast<std::size_t>(dst)] += len;
+                         });
+          run_prefix[b] += row[b];
+        }
+      }
+      ctx.busy_cycles(static_cast<double>(static_cast<std::size_t>(p) *
+                                          buckets) *
+                      ctx.params().cpu.scan_cycles);
+
+      auto keys_from_to = [&](int src, int dst) {
+        return matrix[static_cast<std::size_t>(src) *
+                          static_cast<std::size_t>(p) +
+                      static_cast<std::size_t>(dst)];
+      };
+      // My blob for dst starts where my pieces to lower dsts end.
+      std::uint64_t my_buf_off = 0;
+      for (int dst = 0; dst < p; ++dst) {
+        const std::uint64_t len = keys_from_to(r, dst);
+        if (len == 0) continue;
+        std::uint64_t stage_off = 0;  // dst's staging offset for my blob
+        for (int i = 0; i < r; ++i) stage_off += keys_from_to(i, dst);
+        if (dst != r) {
+          sends.push_back(msg::Communicator::Send{
+              dst, stage_off * sizeof(Key),
+              reinterpret_cast<const std::byte*>(buf.data() + my_buf_off),
+              len * sizeof(Key)});
+        } else {
+          std::memcpy(stage.data() + stage_off, buf.data() + my_buf_off,
+                      len * sizeof(Key));
+          ctx.stream(2 * len * sizeof(Key), part_bytes);
+        }
+        my_buf_off += len;
+      }
+      w.comm->exchange(ctx, sends,
+                       std::as_writable_bytes(std::span<Key>(stage)));
+
+      // Receiver-side reorganisation: scatter pieces from the (by-source,
+      // by-bucket ordered) staging area to their final positions.
+      const std::uint64_t my_begin = homes.begin_of(r);
+      const std::uint64_t my_end = homes.end_of(r);
+      std::fill(run_prefix.begin(), run_prefix.end(), 0);
+      std::uint64_t stage_pos = 0;
+      std::uint64_t pieces = 0;
+      for (int j = 0; j < p; ++j) {
+        const std::uint64_t* row =
+            all_hist.data() + static_cast<std::size_t>(j) * buckets;
+        for (std::size_t b = 0; b < buckets; ++b) {
+          const std::uint64_t cnt = row[b];
+          if (cnt == 0) continue;
+          const std::uint64_t gpos = global_start[b] + run_prefix[b];
+          const std::uint64_t lo = std::max(gpos, my_begin);
+          const std::uint64_t hi = std::min(gpos + cnt, my_end);
+          if (lo < hi) {
+            std::memcpy(out->data() + (lo - my_begin),
+                        stage.data() + stage_pos, (hi - lo) * sizeof(Key));
+            stage_pos += hi - lo;
+            ++pieces;
+          }
+          run_prefix[b] += cnt;
+        }
+      }
+      DSM_CHECK(stage_pos == n_local, "coalesced staging must refill the partition");
+      ctx.busy_cycles(static_cast<double>(n_local) *
+                      ctx.params().cpu.buffer_copy_cycles);
+      ctx.stream(n_local * sizeof(Key), part_bytes);  // staging read
+      if (n_local > 0) {
+        machine::AccessPattern ap;
+        ap.accesses = n_local;
+        ap.elem_bytes = sizeof(Key);
+        ap.runs = std::max<std::uint64_t>(1, pieces);
+        ap.active_regions = std::max<std::uint64_t>(1, pieces);
+        ap.footprint_bytes = part_bytes;
+        ctx.scattered(ap);
+      }
+    }
+
+    std::swap(in, out);
+  }
+  if (passes % 2 != 0) {
+    std::memcpy(out->data(), in->data(), n_local * sizeof(Key));
+    std::swap(in, out);
+    ctx.stream(2 * part_bytes, 2 * part_bytes);
+  }
+}
+
+void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
+  DSM_REQUIRE(w.sh != nullptr, "SHMEM radix world is incomplete");
+  const int p = ctx.nprocs();
+  const int r = ctx.rank();
+  const std::size_t buckets = std::size_t{1} << w.radix_bits;
+  const sas::HomeMap homes(w.n_total, p);
+  const Index n_local = homes.count_of(r);
+  DSM_REQUIRE(n_local <= w.part_capacity, "partition exceeds capacity");
+  const std::uint64_t part_bytes = n_local * sizeof(Key);
+  shmem::SymmetricHeap& heap = w.sh->heap();
+
+  std::vector<std::uint64_t> hist(buckets), rank_prefix(buckets),
+      global_start(buckets), local_prefix(buckets);
+  std::vector<std::uint64_t> all_hist(static_cast<std::size_t>(p) * buckets);
+
+  std::uint64_t in_off = w.off_a;
+  std::uint64_t out_off = w.off_b;
+  int passes = radix_passes(w.radix_bits);
+  if (w.detect_max_key) {
+    const Key local_max = charged_local_max(
+        ctx, std::span<const Key>(heap.at<Key>(r, in_off), n_local));
+    const Key global_max = w.sh->max_to_all<Key>(ctx, local_max);
+    passes = radix_passes_for_max(w.radix_bits, global_max);
+  }
+  w.passes_used.store(passes, std::memory_order_relaxed);
+  bool cold_input = false;
+  for (int pass = 0; pass < passes; ++pass) {
+    Key* const in = heap.at<Key>(r, in_off);
+    const std::span<const Key> my_keys(in, n_local);
+    if (cold_input) {
+      // Put-based delivery (ablation) leaves the keys in memory, not in
+      // this PE's cache: charge the cold re-fetch a get would have hidden.
+      const double extra =
+          ctx.cost().stream_ns(part_bytes, ctx.params().l2.bytes * 2) -
+          ctx.cost().stream_ns(part_bytes, part_bytes);
+      if (extra > 0) ctx.clock().charge(sim::Cat::kLMem, extra);
+      cold_input = false;
+    }
+    ctx.phase("local histogram");
+    const std::uint64_t active =
+        charged_histogram(ctx, my_keys, pass, w.radix_bits, hist);
+    ctx.phase("global histogram");
+    w.sh->fcollect<std::uint64_t>(ctx, hist, all_hist);
+    prefixes_from_allhists(ctx, all_hist, buckets, rank_prefix, global_start);
+
+    ctx.phase("permutation");
+    Key* const stage = heap.at<Key>(r, w.off_stage);
+    buffered_permute(ctx, my_keys, std::span<Key>(stage, n_local), pass,
+                     w.radix_bits, hist, local_prefix, active);
+    ctx.phase("redistribution");
+    w.sh->barrier_all(ctx);  // staging buffers are now globally readable
+
+    if (!w.use_put) {
+      // Receiver-initiated: fetch every chunk piece that lands in my
+      // partition from its source PE's staging buffer.
+      Key* const out = heap.at<Key>(r, out_off);
+      const std::uint64_t my_begin = homes.begin_of(r);
+      const std::uint64_t my_end = homes.end_of(r);
+      std::vector<shmem::GetOp> gets;
+      std::vector<std::uint64_t> run_prefix(buckets, 0);  // sum of ranks < j
+      for (int j = 0; j < p; ++j) {
+        const std::uint64_t* row =
+            all_hist.data() + static_cast<std::size_t>(j) * buckets;
+        std::uint64_t src_prefix = 0;  // local prefix within j's staging
+        for (std::size_t b = 0; b < buckets; ++b) {
+          const std::uint64_t cnt = row[b];
+          if (cnt != 0) {
+            const std::uint64_t gpos = global_start[b] + run_prefix[b];
+            const std::uint64_t lo = std::max(gpos, my_begin);
+            const std::uint64_t hi = std::min(gpos + cnt, my_end);
+            if (lo < hi) {
+              const std::uint64_t bytes = (hi - lo) * sizeof(Key);
+              const std::uint64_t src_off =
+                  w.off_stage + (src_prefix + (lo - gpos)) * sizeof(Key);
+              if (j == r) {
+                std::memcpy(out + (lo - my_begin), stage + src_prefix +
+                                                        (lo - gpos),
+                            bytes / sizeof(Key) * sizeof(Key));
+                ctx.stream(2 * bytes, part_bytes);
+              } else {
+                gets.push_back(shmem::GetOp{
+                    reinterpret_cast<std::byte*>(out + (lo - my_begin)), j,
+                    src_off, bytes});
+              }
+            }
+            run_prefix[b] += cnt;
+            src_prefix += cnt;
+          }
+        }
+      }
+      // Parameter computation sweep over the p x B histogram matrix.
+      ctx.busy_cycles(static_cast<double>(static_cast<std::size_t>(p) *
+                                          buckets) *
+                      ctx.params().cpu.scan_cycles);
+      w.sh->get_phase(ctx, gets);
+    } else {
+      // Sender-initiated ablation: push my chunks into their destinations.
+      std::vector<shmem::PutOp> puts;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        if (hist[b] == 0) continue;
+        const std::uint64_t gpos = global_start[b] + rank_prefix[b];
+        for_each_piece(
+            homes, gpos, hist[b],
+            [&](int dst, std::uint64_t gp, std::uint64_t off,
+                std::uint64_t len) {
+              const Key* src = stage + local_prefix[b] + off;
+              const std::uint64_t dst_off =
+                  out_off + (gp - homes.begin_of(dst)) * sizeof(Key);
+              if (dst == r) {
+                std::memcpy(heap.at<Key>(r, out_off) + (gp - homes.begin_of(r)),
+                            src, len * sizeof(Key));
+                ctx.stream(2 * len * sizeof(Key), part_bytes);
+                return;
+              }
+              puts.push_back(shmem::PutOp{
+                  reinterpret_cast<const std::byte*>(src), dst, dst_off,
+                  len * sizeof(Key)});
+            });
+      }
+      w.sh->put_phase(ctx, puts);
+      cold_input = true;
+    }
+    w.sh->barrier_all(ctx);
+    std::swap(in_off, out_off);
+  }
+  if (passes % 2 != 0) {
+    std::memcpy(heap.at<Key>(r, w.off_a), heap.at<Key>(r, w.off_b),
+                n_local * sizeof(Key));
+    ctx.stream(2 * part_bytes, 2 * part_bytes);
+  }
+}
+
+}  // namespace dsm::sort

@@ -1,0 +1,88 @@
+// Parallel LSD radix sort under the three programming models (§3.1 of the
+// paper), plus the restructured CC-SAS-NEW variant (§4.2.1).
+//
+// All variants share the same algorithm skeleton per pass:
+//   1. local histogram of the current r-bit digit;
+//   2. global histogram: CC-SAS uses the fine-grained parallel prefix
+//      (BucketScan); MPI/SHMEM allgather the local histograms and compute
+//      redundantly (the paper's design);
+//   3. permutation into the output array (all-to-all personalised
+//      communication) — this is where the models differ:
+//        CC-SAS      direct temporally-scattered remote writes
+//        CC-SAS-NEW  local buffering, then contiguous block copies
+//        MPI         local buffering, then one message per contiguous
+//                    chunk (or one per destination, the NAS-IS style
+//                    ablation)
+//        SHMEM       local buffering into a symmetric staging buffer,
+//                    then receiver-initiated gets (or puts, ablation)
+//
+// Entry points are collective: call from every rank inside SimTeam::run.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "common/types.hpp"
+#include "msg/communicator.hpp"
+#include "sas/prefix_tree.hpp"
+#include "sas/shared_array.hpp"
+#include "shmem/shmem.hpp"
+#include "sim/proc.hpp"
+
+namespace dsm::sort {
+
+/// CC-SAS radix sort over two toggling shared arrays. `buffered` selects
+/// the CC-SAS-NEW restructuring. After the call the sorted keys are in
+/// `*a` if the pass count (see passes_used) is even, else in `*b`.
+struct CcSasRadixWorld {
+  sas::SharedArray<Key>* a = nullptr;
+  sas::SharedArray<Key>* b = nullptr;
+  sas::BucketScan* scan = nullptr;
+  int radix_bits = 8;
+  bool buffered = false;  // true => CC-SAS-NEW
+  /// §3.1: "the maximum key value determines how many iterations will
+  /// actually be needed" — when set, a collective max-reduction bounds the
+  /// pass count instead of assuming full-width keys.
+  bool detect_max_key = false;
+  std::atomic<int> passes_used{0};  // output (identical on every rank)
+};
+void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w);
+
+/// MPI radix sort over per-rank partitions (private address spaces).
+/// Sorted keys end up in parts_a (the algorithm copies back if the pass
+/// count is odd). `chunk_messages` selects one message per contiguous
+/// chunk (the paper's choice) vs one coalesced message per destination
+/// with receiver-side reorganisation (NAS IS style).
+struct MpiRadixWorld {
+  msg::Communicator* comm = nullptr;
+  std::vector<std::vector<Key>>* parts_a = nullptr;  // [rank] -> partition
+  std::vector<std::vector<Key>>* parts_b = nullptr;
+  int radix_bits = 8;
+  bool chunk_messages = true;
+  bool detect_max_key = false;      // see CcSasRadixWorld
+  std::atomic<int> passes_used{0};  // output
+};
+void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w);
+
+/// SHMEM radix sort over symmetric partition arrays. `off_a`/`off_b` are
+/// symmetric offsets of Key arrays of capacity `part_capacity` each;
+/// `off_stage` a staging array of the same capacity. Sorted keys end in
+/// the `off_a` array. `use_put` switches the permutation from
+/// receiver-initiated gets (the paper's choice: data lands in the
+/// destination cache) to sender-initiated puts (ablation: the next pass
+/// finds its keys cold).
+struct ShmemRadixWorld {
+  shmem::Shmem* sh = nullptr;
+  std::uint64_t off_a = 0;
+  std::uint64_t off_b = 0;
+  std::uint64_t off_stage = 0;
+  Index part_capacity = 0;
+  Index n_total = 0;
+  int radix_bits = 8;
+  bool use_put = false;
+  bool detect_max_key = false;      // see CcSasRadixWorld
+  std::atomic<int> passes_used{0};  // output
+};
+void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w);
+
+}  // namespace dsm::sort

@@ -1,0 +1,69 @@
+// Parallel sample sort under the three programming models (§3.2).
+//
+// Five phases: local radix sort -> sample selection -> splitter
+// computation -> one contiguous all-to-all redistribution -> local radix
+// sort of the received keys. Twice the local sorting work of radix sort,
+// but far better-behaved communication (one contiguous block per process
+// pair, remote *reads* under CC-SAS).
+//
+// Splitter computation differs by model exactly as in the paper:
+//   CC-SAS  — every group of 32 processes elects a collector that gathers
+//             and sorts the group's samples; collectors merge across
+//             groups (everyone else waits — cheap fine-grained loads);
+//   MPI     — allgather all samples; every process redundantly sorts the
+//             full sample set and picks splitters locally;
+//   SHMEM   — like MPI with fcollect.
+//
+// Entry points are collective; final runs land in (*result)[rank], whose
+// concatenation by rank is the globally sorted sequence.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "msg/communicator.hpp"
+#include "sas/shared_array.hpp"
+#include "shmem/shmem.hpp"
+#include "sim/proc.hpp"
+
+namespace dsm::sort {
+
+/// Default per-process sample count (the paper's choice).
+inline constexpr int kDefaultSampleCount = 128;
+
+struct CcSasSampleWorld {
+  sas::SharedArray<Key>* keys = nullptr;             // input, sorted in place
+  std::vector<std::vector<Key>>* result = nullptr;   // [rank] output run
+  // Shared scratch, sized by the driver:
+  std::vector<Key>* samples = nullptr;        // sample_count * p
+  std::vector<Key>* group_sorted = nullptr;   // sample_count * p
+  std::vector<Key>* splitters = nullptr;      // p - 1 (values)
+  std::vector<int>* splitter_srcs = nullptr;  // p - 1 (tie-break ranks)
+  std::vector<std::uint64_t>* boundaries = nullptr;  // p * (p + 1)
+  int radix_bits = 11;
+  int sample_count = kDefaultSampleCount;
+  int group_size = 32;  // paper: "every set of 32 processes forms a group"
+};
+void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w);
+
+struct MpiSampleWorld {
+  msg::Communicator* comm = nullptr;
+  std::vector<std::vector<Key>>* parts = nullptr;   // input, sorted in place
+  std::vector<std::vector<Key>>* result = nullptr;  // [rank] output run
+  int radix_bits = 11;
+  int sample_count = kDefaultSampleCount;
+};
+void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w);
+
+struct ShmemSampleWorld {
+  shmem::Shmem* sh = nullptr;
+  std::uint64_t off_keys = 0;  // symmetric Key array, capacity part_capacity
+  Index part_capacity = 0;
+  Index n_total = 0;
+  std::vector<std::vector<Key>>* result = nullptr;  // [rank] output run
+  int radix_bits = 11;
+  int sample_count = kDefaultSampleCount;
+};
+void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w);
+
+}  // namespace dsm::sort

@@ -1,0 +1,137 @@
+#include "sort/seq_radix.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dsm::sort {
+
+int radix_passes(int radix_bits) {
+  DSM_REQUIRE(radix_bits >= 1 && radix_bits <= 20, "radix bits out of range");
+  return static_cast<int>(ceil_div(kKeyBits, static_cast<std::uint64_t>(radix_bits)));
+}
+
+int radix_passes_for_max(int radix_bits, Key max_key) {
+  DSM_REQUIRE(radix_bits >= 1 && radix_bits <= 20, "radix bits out of range");
+  const int bits = std::max(1, bit_width_u64(max_key));
+  return static_cast<int>(
+      ceil_div(static_cast<std::uint64_t>(bits),
+               static_cast<std::uint64_t>(radix_bits)));
+}
+
+void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits) {
+  DSM_REQUIRE(tmp.size() >= keys.size(), "tmp must be at least as large");
+  const int passes = radix_passes(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  std::vector<std::uint64_t> hist(buckets);
+
+  Key* in = keys.data();
+  Key* out = tmp.data();
+  const std::size_t n = keys.size();
+  for (int pass = 0; pass < passes; ++pass) {
+    std::fill(hist.begin(), hist.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++hist[radix_digit(in[i], pass, radix_bits)];
+    }
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::uint64_t c = hist[b];
+      hist[b] = acc;
+      acc += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[hist[radix_digit(in[i], pass, radix_bits)]++] = in[i];
+    }
+    std::swap(in, out);
+  }
+  if (in != keys.data()) {
+    std::copy_n(in, n, keys.data());
+  }
+}
+
+std::uint64_t charged_histogram(sim::ProcContext& ctx,
+                                std::span<const Key> keys, int pass,
+                                int radix_bits,
+                                std::span<std::uint64_t> hist) {
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_REQUIRE(hist.size() == buckets, "histogram span size mismatch");
+  std::fill(hist.begin(), hist.end(), 0);
+  for (const Key k : keys) ++hist[radix_digit(k, pass, radix_bits)];
+  std::uint64_t active = 0;
+  for (const std::uint64_t c : hist) active += c != 0 ? 1 : 0;
+
+  const auto n = static_cast<std::uint64_t>(keys.size());
+  const auto& cpu = ctx.params().cpu;
+  ctx.busy_cycles(static_cast<double>(n) * cpu.hist_update_cycles);
+  ctx.stream(n * sizeof(Key), n * sizeof(Key));  // key sweep
+  // Bucket counters: clear + increments stay resident (2^r * 8 bytes).
+  ctx.stream(buckets * sizeof(std::uint64_t), buckets * sizeof(std::uint64_t));
+  return active;
+}
+
+void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
+                           std::span<Key> out, int pass, int radix_bits,
+                           std::span<std::uint64_t> offset,
+                           std::uint64_t active) {
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_REQUIRE(offset.size() == buckets, "offset span size mismatch");
+  const std::size_t n = keys.size();
+  std::uint64_t runs = 0;
+  std::uint32_t prev_digit = ~0u;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key k = keys[i];
+    const std::uint32_t d = radix_digit(k, pass, radix_bits);
+    const std::uint64_t pos = offset[d]++;
+    DSM_CHECK(pos < out.size(), "permutation writes past the output");
+    out[pos] = k;
+    runs += d != prev_digit ? 1 : 0;
+    prev_digit = d;
+  }
+  if (n == 0) return;
+
+  const auto& cpu = ctx.params().cpu;
+  ctx.busy_cycles(static_cast<double>(n) * cpu.permute_cycles);
+  ctx.stream(n * sizeof(Key), n * sizeof(Key));  // read the source keys
+  machine::AccessPattern p;
+  p.accesses = n;
+  p.elem_bytes = sizeof(Key);
+  p.runs = runs;
+  p.active_regions = std::max<std::uint64_t>(1, active);
+  // Both toggle arrays compete for the cache during a pass.
+  p.footprint_bytes = 2 * out.size() * sizeof(Key);
+  ctx.scattered(p);
+}
+
+void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
+                      std::span<Key> tmp, int radix_bits) {
+  DSM_REQUIRE(tmp.size() >= keys.size(), "tmp must be at least as large");
+  const int passes = radix_passes(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  std::vector<std::uint64_t> hist(buckets);
+  const auto& cpu = ctx.params().cpu;
+
+  std::span<Key> in = keys;
+  std::span<Key> out = tmp.subspan(0, keys.size());
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::uint64_t active =
+        charged_histogram(ctx, in, pass, radix_bits, hist);
+    // Exclusive prefix -> running write cursors.
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      const std::uint64_t c = hist[b];
+      hist[b] = acc;
+      acc += c;
+    }
+    ctx.busy_cycles(static_cast<double>(buckets) * cpu.scan_cycles);
+    charged_local_permute(ctx, in, out, pass, radix_bits, hist, active);
+    std::swap(in, out);
+  }
+  if (in.data() != keys.data()) {
+    std::copy_n(in.data(), keys.size(), keys.data());
+    ctx.stream(2 * keys.size() * sizeof(Key), 2 * keys.size() * sizeof(Key));
+  }
+}
+
+}  // namespace dsm::sort

@@ -1,0 +1,54 @@
+// Sequential LSD radix sort.
+//
+// Two entry points:
+//  * seq_radix_sort — plain fast sort (verification, reference results);
+//  * local_radix_sort — the same algorithm instrumented for the virtual
+//    clock: it measures the actual access pattern (bucket runs, active
+//    buckets) while sorting and charges BUSY/LMEM accordingly. This is the
+//    paper's sequential baseline (Table 1) when run on a one-process team,
+//    and the local sorting phase of parallel sample sort.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sim/proc.hpp"
+
+namespace dsm::sort {
+
+/// Number of LSD passes needed for radix `radix_bits` over keys bounded by
+/// 2^kKeyBits (the paper: "the maximum key value determines how many
+/// iterations will actually be needed" — our generators all span the full
+/// 31-bit range).
+int radix_passes(int radix_bits);
+
+/// Pass count needed for keys bounded by `max_key` (at least one pass).
+int radix_passes_for_max(int radix_bits, Key max_key);
+
+/// Sort `keys` ascending using `tmp` as the toggle buffer (same size).
+/// The sorted result is guaranteed to end up back in `keys`.
+void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits);
+
+/// Instrumented variant; sorts and charges ctx's clock. Result in `keys`.
+void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
+                      std::span<Key> tmp, int radix_bits);
+
+/// One instrumented counting pass over `keys` for digit `pass`: fills
+/// `hist` (size 2^radix_bits) and charges the clock. Returns the number of
+/// nonzero buckets. Shared by the parallel radix sorts.
+std::uint64_t charged_histogram(sim::ProcContext& ctx,
+                                std::span<const Key> keys, int pass,
+                                int radix_bits,
+                                std::span<std::uint64_t> hist);
+
+/// One instrumented permutation of `keys` into `out` by digit `pass`,
+/// using `offset` (size 2^radix_bits) as the running write cursors
+/// (consumed). Charges stream-read + scattered-write + BUSY with the
+/// measured run structure. `active` is the nonzero bucket count from the
+/// histogram. out.size() is used as the destination footprint.
+void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
+                           std::span<Key> out, int pass, int radix_bits,
+                           std::span<std::uint64_t> offset,
+                           std::uint64_t active);
+
+}  // namespace dsm::sort

@@ -1,0 +1,370 @@
+#include "sort/sort_api.hpp"
+
+#include <algorithm>
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+#include "sas/prefix_tree.hpp"
+#include "sas/shared_array.hpp"
+#include "shmem/shmem.hpp"
+#include "sim/team.hpp"
+#include "sort/radix_parallel.hpp"
+#include "sort/sample_parallel.hpp"
+#include "sort/seq_radix.hpp"
+#include "sort/verify.hpp"
+
+#include <fstream>
+
+namespace dsm::sort {
+namespace {
+
+/// Generate every rank's partition (host-side, uncharged — the paper times
+/// sorting, not initialisation) and return the input multiset checksum.
+Checksum generate_partitions(const SortSpec& spec,
+                             const sas::HomeMap& homes,
+                             const std::function<std::span<Key>(int)>& part) {
+  Checksum total;
+  for (int r = 0; r < spec.nprocs; ++r) {
+    keys::GenSpec gs;
+    gs.n_total = spec.n;
+    gs.global_begin = homes.begin_of(r);
+    gs.rank = r;
+    gs.nprocs = spec.nprocs;
+    gs.radix_bits = spec.radix_bits;
+    gs.seed = spec.seed;
+    std::span<Key> out = part(r);
+    DSM_CHECK(out.size() == homes.count_of(r), "partition size mismatch");
+    keys::generate(spec.dist, out, gs);
+    total = combine(total, checksum_of(out));
+  }
+  return total;
+}
+
+bool verify_runs(const Checksum& input,
+                 const std::vector<std::span<const Key>>& runs) {
+  Checksum output;
+  for (const auto& run : runs) output = combine(output, checksum_of(run));
+  return output == input &&
+         runs_sorted(std::span<const std::span<const Key>>(runs));
+}
+
+void perf_write_trace(const std::string& path, const sim::SimTeam& team) {
+  std::ofstream out(path, std::ios::trunc);
+  DSM_REQUIRE(static_cast<bool>(out), "cannot open trace file: " + path);
+  out << team.trace_json();
+}
+
+void maybe_enable_tracing(const SortSpec& spec, sim::SimTeam& team) {
+  if (!spec.trace_json_path.empty()) team.enable_tracing();
+}
+
+void maybe_write_trace(const SortSpec& spec, const sim::SimTeam& team) {
+  if (spec.trace_json_path.empty()) return;
+  perf_write_trace(spec.trace_json_path, team);
+}
+
+SortResult finish(const SortSpec& spec, sim::SimTeam& team,
+                  const Checksum& input,
+                  const std::vector<std::span<const Key>>& runs,
+                  int passes_used = -1) {
+  SortResult res;
+  res.n = spec.n;
+  res.passes = passes_used >= 0 ? passes_used : radix_passes(spec.radix_bits);
+  res.elapsed_ns = team.elapsed_ns();
+  res.per_proc.reserve(static_cast<std::size_t>(spec.nprocs));
+  for (int r = 0; r < spec.nprocs; ++r) {
+    res.per_proc.push_back(team.breakdown_of(r));
+  }
+  res.phases = team.mean_phase_report();
+  res.run_sizes.reserve(runs.size());
+  for (const auto& run : runs) res.run_sizes.push_back(run.size());
+  if (spec.keep_output) {
+    res.output.reserve(spec.n);
+    for (const auto& run : runs) {
+      res.output.insert(res.output.end(), run.begin(), run.end());
+    }
+  }
+  res.verified = !spec.verify || verify_runs(input, runs);
+  DSM_CHECK(res.verified, "sort produced an incorrect result");
+  maybe_write_trace(spec, team);
+  return res;
+}
+
+SortResult run_radix_ccsas(const SortSpec& spec,
+                           const machine::MachineParams& mp) {
+  sim::SimTeam team(spec.nprocs, mp);
+  maybe_enable_tracing(spec, team);
+  sas::SharedArray<Key> a(spec.n, spec.nprocs), b(spec.n, spec.nprocs);
+  sas::BucketScan scan(spec.nprocs, std::size_t{1} << spec.radix_bits);
+  const Checksum input = generate_partitions(
+      spec, a.homes(), [&](int r) { return a.partition(r); });
+
+  CcSasRadixWorld w;
+  w.a = &a;
+  w.b = &b;
+  w.scan = &scan;
+  w.radix_bits = spec.radix_bits;
+  w.buffered = spec.model == Model::kCcSasNew;
+  w.detect_max_key = spec.detect_max_key;
+  team.run([&](sim::ProcContext& ctx) { radix_ccsas(ctx, w); });
+
+  const int passes = w.passes_used.load(std::memory_order_relaxed);
+  sas::SharedArray<Key>& out = passes % 2 == 0 ? a : b;
+  const std::vector<std::span<const Key>> runs{out.all()};
+  return finish(spec, team, input, runs, passes);
+}
+
+SortResult run_radix_mpi(const SortSpec& spec,
+                         const machine::MachineParams& mp) {
+  sim::SimTeam team(spec.nprocs, mp);
+  maybe_enable_tracing(spec, team);
+  msg::Communicator comm(team, spec.mpi_impl);
+  const sas::HomeMap homes(spec.n, spec.nprocs);
+  std::vector<std::vector<Key>> parts_a(static_cast<std::size_t>(spec.nprocs));
+  std::vector<std::vector<Key>> parts_b(static_cast<std::size_t>(spec.nprocs));
+  for (int r = 0; r < spec.nprocs; ++r) {
+    parts_a[static_cast<std::size_t>(r)].resize(homes.count_of(r));
+    parts_b[static_cast<std::size_t>(r)].resize(homes.count_of(r));
+  }
+  const Checksum input = generate_partitions(spec, homes, [&](int r) {
+    return std::span<Key>(parts_a[static_cast<std::size_t>(r)]);
+  });
+
+  MpiRadixWorld w;
+  w.comm = &comm;
+  w.parts_a = &parts_a;
+  w.parts_b = &parts_b;
+  w.radix_bits = spec.radix_bits;
+  w.chunk_messages = spec.mpi_chunk_messages;
+  w.detect_max_key = spec.detect_max_key;
+  team.run([&](sim::ProcContext& ctx) { radix_mpi(ctx, w); });
+
+  std::vector<std::span<const Key>> runs;
+  for (const auto& part : parts_a) runs.emplace_back(part);
+  return finish(spec, team, input, runs,
+                w.passes_used.load(std::memory_order_relaxed));
+}
+
+SortResult run_radix_shmem(const SortSpec& spec,
+                           const machine::MachineParams& mp) {
+  sim::SimTeam team(spec.nprocs, mp);
+  maybe_enable_tracing(spec, team);
+  const sas::HomeMap homes(spec.n, spec.nprocs);
+  const Index cap = homes.count_of(0);  // leading partitions are largest
+  const std::uint64_t seg = 3 * (cap * sizeof(Key) + 64) + 4096;
+  shmem::SymmetricHeap heap(spec.nprocs, seg);
+  shmem::Shmem sh(team, heap);
+  ShmemRadixWorld w;
+  w.sh = &sh;
+  w.off_a = heap.alloc<Key>(cap);
+  w.off_b = heap.alloc<Key>(cap);
+  w.off_stage = heap.alloc<Key>(cap);
+  w.part_capacity = cap;
+  w.n_total = spec.n;
+  w.radix_bits = spec.radix_bits;
+  w.use_put = spec.shmem_use_put;
+  w.detect_max_key = spec.detect_max_key;
+
+  const Checksum input = generate_partitions(spec, homes, [&](int r) {
+    return std::span<Key>(heap.at<Key>(r, w.off_a), homes.count_of(r));
+  });
+  team.run([&](sim::ProcContext& ctx) { radix_shmem(ctx, w); });
+
+  std::vector<std::span<const Key>> runs;
+  for (int r = 0; r < spec.nprocs; ++r) {
+    runs.emplace_back(heap.at<Key>(r, w.off_a), homes.count_of(r));
+  }
+  return finish(spec, team, input, runs,
+                w.passes_used.load(std::memory_order_relaxed));
+}
+
+SortResult run_sample_ccsas(const SortSpec& spec,
+                            const machine::MachineParams& mp) {
+  sim::SimTeam team(spec.nprocs, mp);
+  maybe_enable_tracing(spec, team);
+  sas::SharedArray<Key> keys(spec.n, spec.nprocs);
+  const Checksum input = generate_partitions(
+      spec, keys.homes(), [&](int r) { return keys.partition(r); });
+
+  const auto p = static_cast<std::size_t>(spec.nprocs);
+  const auto s = static_cast<std::size_t>(spec.sample_count);
+  std::vector<std::vector<Key>> result(p);
+  std::vector<Key> samples(s * p), group_sorted(s * p);
+  std::vector<Key> splitters(p - 1);
+  std::vector<int> splitter_srcs(p - 1);
+  std::vector<std::uint64_t> boundaries(p * (p + 1));
+
+  CcSasSampleWorld w;
+  w.keys = &keys;
+  w.result = &result;
+  w.samples = &samples;
+  w.group_sorted = &group_sorted;
+  w.splitters = &splitters;
+  w.splitter_srcs = &splitter_srcs;
+  w.boundaries = &boundaries;
+  w.radix_bits = spec.radix_bits;
+  w.sample_count = spec.sample_count;
+  w.group_size = spec.sample_group_size;
+  team.run([&](sim::ProcContext& ctx) { sample_ccsas(ctx, w); });
+
+  std::vector<std::span<const Key>> runs;
+  for (const auto& run : result) runs.emplace_back(run);
+  return finish(spec, team, input, runs);
+}
+
+SortResult run_sample_mpi(const SortSpec& spec,
+                          const machine::MachineParams& mp) {
+  sim::SimTeam team(spec.nprocs, mp);
+  maybe_enable_tracing(spec, team);
+  msg::Communicator comm(team, spec.mpi_impl);
+  const sas::HomeMap homes(spec.n, spec.nprocs);
+  const auto p = static_cast<std::size_t>(spec.nprocs);
+  std::vector<std::vector<Key>> parts(p), result(p);
+  for (int r = 0; r < spec.nprocs; ++r) {
+    parts[static_cast<std::size_t>(r)].resize(homes.count_of(r));
+  }
+  const Checksum input = generate_partitions(spec, homes, [&](int r) {
+    return std::span<Key>(parts[static_cast<std::size_t>(r)]);
+  });
+
+  MpiSampleWorld w;
+  w.comm = &comm;
+  w.parts = &parts;
+  w.result = &result;
+  w.radix_bits = spec.radix_bits;
+  w.sample_count = spec.sample_count;
+  team.run([&](sim::ProcContext& ctx) { sample_mpi(ctx, w); });
+
+  std::vector<std::span<const Key>> runs;
+  for (const auto& run : result) runs.emplace_back(run);
+  return finish(spec, team, input, runs);
+}
+
+SortResult run_sample_shmem(const SortSpec& spec,
+                            const machine::MachineParams& mp) {
+  sim::SimTeam team(spec.nprocs, mp);
+  maybe_enable_tracing(spec, team);
+  const sas::HomeMap homes(spec.n, spec.nprocs);
+  const Index cap = homes.count_of(0);
+  const std::uint64_t seg = cap * sizeof(Key) + 4096;
+  shmem::SymmetricHeap heap(spec.nprocs, seg);
+  shmem::Shmem sh(team, heap);
+  const auto p = static_cast<std::size_t>(spec.nprocs);
+  std::vector<std::vector<Key>> result(p);
+
+  ShmemSampleWorld w;
+  w.sh = &sh;
+  w.off_keys = heap.alloc<Key>(cap);
+  w.part_capacity = cap;
+  w.n_total = spec.n;
+  w.result = &result;
+  w.radix_bits = spec.radix_bits;
+  w.sample_count = spec.sample_count;
+
+  const Checksum input = generate_partitions(spec, homes, [&](int r) {
+    return std::span<Key>(heap.at<Key>(r, w.off_keys), homes.count_of(r));
+  });
+  team.run([&](sim::ProcContext& ctx) { sample_shmem(ctx, w); });
+
+  std::vector<std::span<const Key>> runs;
+  for (const auto& run : result) runs.emplace_back(run);
+  return finish(spec, team, input, runs);
+}
+
+}  // namespace
+
+const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::kRadix: return "radix";
+    case Algo::kSample: return "sample";
+  }
+  return "?";
+}
+
+const char* model_name(Model m) {
+  switch (m) {
+    case Model::kCcSas: return "CC-SAS";
+    case Model::kCcSasNew: return "CC-SAS-NEW";
+    case Model::kMpi: return "MPI";
+    case Model::kShmem: return "SHMEM";
+  }
+  return "?";
+}
+
+Model model_from_name(const std::string& name) {
+  for (Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi, Model::kShmem}) {
+    if (name == model_name(m)) return m;
+  }
+  throw Error("unknown model: " + name);
+}
+
+machine::MachineParams SortSpec::resolved_machine() const {
+  return machine.value_or(machine::MachineParams::origin2000_for_keys(n));
+}
+
+void SortSpec::validate() const {
+  DSM_REQUIRE(nprocs >= 1 && nprocs <= 1024, "nprocs in [1, 1024]");
+  DSM_REQUIRE(n >= static_cast<Index>(nprocs), "need at least one key each");
+  DSM_REQUIRE(radix_bits >= 1 && radix_bits <= 16, "radix bits in [1, 16]");
+  DSM_REQUIRE(sample_count >= 1, "sample count >= 1");
+  DSM_REQUIRE(sample_group_size >= 1, "sample group size >= 1");
+  DSM_REQUIRE(algo == Algo::kRadix || model != Model::kCcSasNew,
+              "CC-SAS-NEW is a radix-sort restructuring only");
+  resolved_machine().validate();
+}
+
+SortResult run_sort(const SortSpec& spec) {
+  spec.validate();
+  const machine::MachineParams mp = spec.resolved_machine();
+  if (spec.algo == Algo::kRadix) {
+    switch (spec.model) {
+      case Model::kCcSas:
+      case Model::kCcSasNew: return run_radix_ccsas(spec, mp);
+      case Model::kMpi: return run_radix_mpi(spec, mp);
+      case Model::kShmem: return run_radix_shmem(spec, mp);
+    }
+  } else {
+    switch (spec.model) {
+      case Model::kCcSas: return run_sample_ccsas(spec, mp);
+      case Model::kCcSasNew: break;  // rejected by validate()
+      case Model::kMpi: return run_sample_mpi(spec, mp);
+      case Model::kShmem: return run_sample_shmem(spec, mp);
+    }
+  }
+  throw Error("unhandled spec");
+}
+
+double seq_baseline_ns(Index n, keys::Dist dist, int radix_bits,
+                       const machine::MachineParams& machine,
+                       std::uint64_t seed) {
+  sim::SimTeam team(1, machine);
+  std::vector<Key> keys(n), tmp(n);
+  keys::GenSpec gs;
+  gs.n_total = n;
+  gs.nprocs = 1;
+  gs.radix_bits = radix_bits;
+  gs.seed = seed;
+  keys::generate(dist, keys, gs);
+  team.run([&](sim::ProcContext& ctx) {
+    local_radix_sort(ctx, keys, tmp, radix_bits);
+  });
+  DSM_CHECK(std::is_sorted(keys.begin(), keys.end()),
+            "sequential baseline failed to sort");
+  return team.elapsed_ns();
+}
+
+double SortResult::imbalance() const {
+  if (run_sizes.empty() || n == 0) return 1.0;
+  Index mx = 0;
+  for (const Index s : run_sizes) mx = std::max(mx, s);
+  const double mean =
+      static_cast<double>(n) / static_cast<double>(run_sizes.size());
+  return static_cast<double>(mx) / mean;
+}
+
+double speedup(double baseline_ns, double parallel_ns) {
+  DSM_REQUIRE(parallel_ns > 0, "parallel time must be positive");
+  return baseline_ns / parallel_ns;
+}
+
+}  // namespace dsm::sort

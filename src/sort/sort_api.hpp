@@ -1,0 +1,102 @@
+// Unified driver for every {algorithm x programming model} combination in
+// the paper: sets up the model-appropriate storage (shared arrays for
+// CC-SAS, private partitions for MPI, a symmetric heap for SHMEM),
+// generates the requested key distribution, runs the collective sort on a
+// SimTeam, verifies the result, and returns virtual-time breakdowns.
+//
+// This is the library's main public entry point; examples and the bench
+// harnesses drive everything through SortSpec/run_sort.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include <string>
+#include <utility>
+
+#include "keys/distributions.hpp"
+#include "machine/params.hpp"
+#include "msg/transport.hpp"
+#include "sim/clock.hpp"
+
+namespace dsm::sort {
+
+enum class Algo { kRadix, kSample };
+enum class Model { kCcSas, kCcSasNew, kMpi, kShmem };
+
+const char* algo_name(Algo a);
+const char* model_name(Model m);
+Model model_from_name(const std::string& name);
+
+struct SortSpec {
+  Algo algo = Algo::kRadix;
+  Model model = Model::kShmem;  // kCcSasNew is radix-only
+  int nprocs = 1;
+  Index n = Index{1} << 20;
+  int radix_bits = 8;
+  keys::Dist dist = keys::Dist::kGauss;
+  std::uint64_t seed = 1;
+
+  /// Machine configuration. Default: Origin 2000 with the page size the
+  /// paper used for this data-set size.
+  std::optional<machine::MachineParams> machine;
+
+  // Model-specific knobs (ablations):
+  msg::Impl mpi_impl = msg::Impl::kDirect;  // NEW vs SGI transport
+  bool mpi_chunk_messages = true;           // per-chunk vs per-destination
+  bool shmem_use_put = false;               // get (paper) vs put
+  int sample_count = 128;                   // samples per process
+  int sample_group_size = 32;               // CC-SAS splitter groups (paper: 32)
+  /// Radix only (§3.1): detect the global maximum key collectively and
+  /// run only the passes its bit width needs.
+  bool detect_max_key = false;
+
+  /// When nonempty, write a JSON-lines event trace of the run (barriers
+  /// and communication epochs per simulated processor) to this path.
+  std::string trace_json_path;
+
+  bool verify = true;
+
+  /// When set, SortResult.output holds the fully sorted key sequence
+  /// (concatenation of all runs) — for exact-equality testing; costs one
+  /// extra copy of the data.
+  bool keep_output = false;
+
+  /// The machine this spec resolves to.
+  machine::MachineParams resolved_machine() const;
+  void validate() const;
+};
+
+struct SortResult {
+  double elapsed_ns = 0;                  // max over processes
+  std::vector<sim::Breakdown> per_proc;   // one per simulated process
+  std::vector<Index> run_sizes;           // output keys per process
+  std::vector<Key> output;                // filled iff spec.keep_output
+  /// Mean per-phase time attribution across processes (the paper's phase
+  /// vocabulary: local/global histogram, permutation, redistribution,
+  /// local sorts, splitters, barriers).
+  std::vector<std::pair<std::string, sim::Breakdown>> phases;
+  int passes = 0;                         // radix passes used (per local sort)
+  bool verified = false;
+  Index n = 0;
+
+  double elapsed_us() const { return elapsed_ns / 1e3; }
+
+  /// Load imbalance of the output distribution: max run / mean run
+  /// (1.0 = perfectly balanced; meaningful for sample sort).
+  double imbalance() const;
+};
+
+/// Run one parallel sort to completion (functionally real, virtual time).
+SortResult run_sort(const SortSpec& spec);
+
+/// Sequential baseline (Table 1): the instrumented radix sort on a
+/// one-process team — the denominator of every speedup in the paper.
+double seq_baseline_ns(Index n, keys::Dist dist, int radix_bits,
+                       const machine::MachineParams& machine,
+                       std::uint64_t seed = 1);
+
+/// speedup = baseline / parallel (both in virtual ns).
+double speedup(double baseline_ns, double parallel_ns);
+
+}  // namespace dsm::sort

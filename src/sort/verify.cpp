@@ -1,0 +1,46 @@
+#include "sort/verify.hpp"
+
+#include <algorithm>
+
+namespace dsm::sort {
+
+Checksum checksum_of(std::span<const Key> keys) {
+  Checksum c;
+  c.count = keys.size();
+  for (const Key k : keys) {
+    const auto v = static_cast<std::uint64_t>(k);
+    c.sum += v;
+    c.xor_ ^= v * 0x9e3779b97f4a7c15ull;  // spread duplicates across bits
+    c.sum_sq += v * v;
+  }
+  return c;
+}
+
+Checksum combine(const Checksum& a, const Checksum& b) {
+  return Checksum{a.count + b.count, a.sum + b.sum, a.xor_ ^ b.xor_,
+                  a.sum_sq + b.sum_sq};
+}
+
+bool runs_sorted(std::span<const std::span<const Key>> runs) {
+  bool have_prev = false;
+  Key prev = 0;
+  for (const auto& run : runs) {
+    for (const Key k : run) {
+      if (have_prev && k < prev) return false;
+      prev = k;
+      have_prev = true;
+    }
+  }
+  return true;
+}
+
+bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b) {
+  if (a.size() != b.size()) return false;
+  std::vector<Key> sa(a.begin(), a.end());
+  std::vector<Key> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  return sa == sb;
+}
+
+}  // namespace dsm::sort

@@ -1,0 +1,33 @@
+// Result verification: every parallel sort must produce a globally sorted
+// permutation of its input. Checks are O(n) (multiset checksums +
+// sortedness) so they run even at 256M keys; tests additionally use the
+// exact O(n log n) multiset comparison on small inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm::sort {
+
+/// Order-independent multiset fingerprint.
+struct Checksum {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;    // wraps mod 2^64
+  std::uint64_t xor_ = 0;
+  std::uint64_t sum_sq = 0; // wraps mod 2^64
+
+  friend bool operator==(const Checksum&, const Checksum&) = default;
+};
+
+Checksum checksum_of(std::span<const Key> keys);
+Checksum combine(const Checksum& a, const Checksum& b);
+
+/// True if the concatenation of `runs` (in order) is ascending.
+bool runs_sorted(std::span<const std::span<const Key>> runs);
+
+/// Exact multiset equality (sorts copies; test-only sizes).
+bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b);
+
+}  // namespace dsm::sort

@@ -1,0 +1,66 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm {
+namespace {
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(Bits, Log2Exact) {
+  EXPECT_EQ(log2_exact(1), 0);
+  EXPECT_EQ(log2_exact(2), 1);
+  EXPECT_EQ(log2_exact(1ull << 33), 33);
+  EXPECT_THROW(log2_exact(3), Error);
+  EXPECT_THROW(log2_exact(0), Error);
+}
+
+TEST(Bits, CeilPow2) {
+  EXPECT_EQ(ceil_pow2(1), 1u);
+  EXPECT_EQ(ceil_pow2(3), 4u);
+  EXPECT_EQ(ceil_pow2(4), 4u);
+  EXPECT_EQ(ceil_pow2(5), 8u);
+  EXPECT_THROW(ceil_pow2(0), Error);
+}
+
+TEST(Bits, CeilDiv) {
+  EXPECT_EQ(ceil_div(0, 4), 0u);
+  EXPECT_EQ(ceil_div(1, 4), 1u);
+  EXPECT_EQ(ceil_div(4, 4), 1u);
+  EXPECT_EQ(ceil_div(5, 4), 2u);
+  EXPECT_THROW(ceil_div(5, 0), Error);
+}
+
+TEST(Bits, BitWidth) {
+  EXPECT_EQ(bit_width_u64(0), 0);
+  EXPECT_EQ(bit_width_u64(1), 1);
+  EXPECT_EQ(bit_width_u64(255), 8);
+  EXPECT_EQ(bit_width_u64(256), 9);
+}
+
+TEST(Bits, RadixDigitExtractsEachPass) {
+  const std::uint32_t key = 0b101'11001101'00110101u;
+  EXPECT_EQ(radix_digit(key, 0, 8), 0b00110101u);
+  EXPECT_EQ(radix_digit(key, 1, 8), 0b11001101u);
+  EXPECT_EQ(radix_digit(key, 2, 8), 0b101u);
+}
+
+TEST(Bits, RadixDigitBoundsByRadix) {
+  for (int r = 1; r <= 12; ++r) {
+    for (std::uint32_t k : {0u, 1u, 0xffffffffu, 0x12345678u}) {
+      for (int pass = 0; pass * r < 32; ++pass) {
+        EXPECT_LT(radix_digit(k, pass, r), 1u << r);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,127 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace dsm {
+namespace {
+
+TEST(NasLcg46, MatchesDirectIteration) {
+  NasLcg46 a;
+  std::vector<std::uint64_t> seq;
+  for (int i = 0; i < 100; ++i) seq.push_back(a.next());
+  // Recompute by hand.
+  std::uint64_t x = NasLcg46::kDefaultSeed;
+  for (int i = 0; i < 100; ++i) {
+    x = (x * 513) & ((std::uint64_t{1} << 46) - 1);
+    EXPECT_EQ(seq[static_cast<std::size_t>(i)], x);
+  }
+}
+
+TEST(NasLcg46, ValuesStayBelow2Pow46) {
+  NasLcg46 g;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(g.next(), std::uint64_t{1} << 46);
+  }
+}
+
+TEST(NasLcg46, JumpEqualsStepping) {
+  for (const std::uint64_t steps : {0ull, 1ull, 2ull, 7ull, 100ull, 12345ull}) {
+    NasLcg46 stepped;
+    for (std::uint64_t i = 0; i < steps; ++i) stepped.next();
+    NasLcg46 jumped;
+    jumped.jump(steps);
+    EXPECT_EQ(stepped.state(), jumped.state()) << "steps=" << steps;
+  }
+}
+
+TEST(NasLcg46, JumpComposes) {
+  NasLcg46 a;
+  a.jump(1000);
+  a.jump(2345);
+  NasLcg46 b;
+  b.jump(3345);
+  EXPECT_EQ(a.state(), b.state());
+}
+
+TEST(NasLcg46, PowMultIdentity) {
+  EXPECT_EQ(NasLcg46::pow_mult(0), 1u);
+  EXPECT_EQ(NasLcg46::pow_mult(1), NasLcg46::kMultiplier);
+}
+
+TEST(NasLcg46, ZeroSeedRejected) {
+  EXPECT_THROW(NasLcg46(0), Error);
+}
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next() == b.next() ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64, NextBelowRespectsBound) {
+  SplitMix64 g(7);
+  for (const std::uint64_t bound :
+       {1ull, 2ull, 10ull, 1000ull, 1ull << 31}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(g.next_below(bound), bound);
+  }
+}
+
+TEST(SplitMix64, NextBelowOneAlwaysZero) {
+  SplitMix64 g(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.next_below(1), 0u);
+}
+
+TEST(SplitMix64, NextInRespectsRange) {
+  SplitMix64 g(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = g.next_in(100, 200);
+    EXPECT_GE(v, 100u);
+    EXPECT_LT(v, 200u);
+  }
+}
+
+TEST(SplitMix64, NextInEmptyRangeThrows) {
+  SplitMix64 g(9);
+  EXPECT_THROW(g.next_in(5, 5), Error);
+}
+
+TEST(SplitMix64, RoughlyUniform) {
+  SplitMix64 g(11);
+  constexpr int kBuckets = 16;
+  std::vector<int> counts(kBuckets);
+  constexpr int kDraws = 160000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[static_cast<std::size_t>(g.next_below(kBuckets))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets / 10.0);
+  }
+}
+
+TEST(MixSeed, DistinctStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base = 0; base < 4; ++base) {
+    for (std::uint64_t stream = 0; stream < 64; ++stream) {
+      seeds.insert(mix_seed(base, stream));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 4u * 64u);
+}
+
+TEST(MixSeed, NeverZero) {
+  for (std::uint64_t s = 0; s < 1000; ++s) {
+    EXPECT_NE(mix_seed(0, s), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dsm

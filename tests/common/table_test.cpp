@@ -1,0 +1,102 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("12345"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMustMatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), Error);
+}
+
+TEST(TextTable, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, CsvQuotesSpecials) {
+  TextTable t({"k", "v"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvHasHeaderAndRows) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "a,b\n1,2\n");
+}
+
+TEST(BarChart, ScalesToMax) {
+  BarChart c("title", 10);
+  c.add("full", 100);
+  c.add("half", 50);
+  c.add("zero", 0);
+  const std::string s = c.render();
+  EXPECT_NE(s.find("##########"), std::string::npos);
+  EXPECT_NE(s.find("#####"), std::string::npos);
+}
+
+TEST(BarChart, NegativeRejected) {
+  BarChart c("t", 10);
+  EXPECT_THROW(c.add("bad", -1), Error);
+}
+
+TEST(StackedBarChart, RendersCategories) {
+  StackedBarChart c("bd", {"BUSY", "LMEM", "RMEM", "SYNC"}, 40);
+  c.add("P0", {10, 20, 30, 40});
+  const std::string s = c.render();
+  EXPECT_NE(s.find("B=BUSY"), std::string::npos);
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find('S'), std::string::npos);
+}
+
+TEST(StackedBarChart, PartCountMustMatch) {
+  StackedBarChart c("bd", {"A", "B"}, 40);
+  EXPECT_THROW(c.add("P0", {1.0}), Error);
+}
+
+TEST(FmtCount, PowerOfTwoUnits) {
+  EXPECT_EQ(fmt_count(1ull << 20), "1M");
+  EXPECT_EQ(fmt_count(64ull << 20), "64M");
+  EXPECT_EQ(fmt_count(256ull << 10), "256K");
+  EXPECT_EQ(fmt_count(1ull << 30), "1G");
+  EXPECT_EQ(fmt_count(1000), "1000");
+}
+
+TEST(ParseCount, RoundTripsUnits) {
+  EXPECT_EQ(parse_count("1M"), 1ull << 20);
+  EXPECT_EQ(parse_count("256K"), 256ull << 10);
+  EXPECT_EQ(parse_count("2g"), 2ull << 30);
+  EXPECT_EQ(parse_count("12345"), 12345u);
+  EXPECT_THROW(parse_count("12x"), Error);
+  EXPECT_THROW(parse_count(""), Error);
+  EXPECT_THROW(parse_count("M"), Error);
+}
+
+TEST(FmtFixed, Decimals) {
+  EXPECT_EQ(fmt_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(FmtUs, ConvertsNs) {
+  EXPECT_EQ(fmt_us(1500.0), "2 us");
+  EXPECT_EQ(fmt_us(1e9), "1000000 us");
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,66 @@
+#include "common/team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace dsm {
+namespace {
+
+TEST(RunSpmd, RunsEveryRankExactlyOnce) {
+  std::mutex mu;
+  std::set<int> ranks;
+  run_spmd(8, [&](int r) {
+    std::lock_guard lock(mu);
+    EXPECT_TRUE(ranks.insert(r).second);
+  });
+  EXPECT_EQ(ranks.size(), 8u);
+  EXPECT_EQ(*ranks.begin(), 0);
+  EXPECT_EQ(*ranks.rbegin(), 7);
+}
+
+TEST(RunSpmd, SingleProcessFastPath) {
+  int calls = 0;
+  run_spmd(1, [&](int r) {
+    EXPECT_EQ(r, 0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RunSpmd, PropagatesException) {
+  EXPECT_THROW(
+      run_spmd(4, [](int r) {
+        if (r == 2) throw Error("rank 2 failed");
+      }),
+      Error);
+}
+
+TEST(RunSpmd, PropagatesLowestRankException) {
+  try {
+    run_spmd(4, [](int r) {
+      if (r == 1) throw Error("rank 1");
+      if (r == 3) throw Error("rank 3");
+    });
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos);
+  }
+}
+
+TEST(RunSpmd, RejectsBadArguments) {
+  EXPECT_THROW(run_spmd(0, [](int) {}), Error);
+  EXPECT_THROW(run_spmd(4, {}), Error);
+}
+
+TEST(RunSpmd, SixtyFourRanks) {
+  std::atomic<int> count{0};
+  run_spmd(64, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+}  // namespace
+}  // namespace dsm

@@ -1,0 +1,153 @@
+// Statistical properties of the key generators: digit uniformity
+// (chi-square), moments, and the structural invariants each distribution
+// is defined by — beyond the point checks in distributions_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/bits.hpp"
+#include "keys/distributions.hpp"
+
+namespace dsm::keys {
+namespace {
+
+std::vector<Key> gen(Dist d, Index n, int rank, int nprocs, int radix = 8,
+                     std::uint64_t seed = 1) {
+  const Index per = n / static_cast<Index>(nprocs);
+  std::vector<Key> out(per);
+  GenSpec spec;
+  spec.n_total = n;
+  spec.global_begin = per * static_cast<Index>(rank);
+  spec.rank = rank;
+  spec.nprocs = nprocs;
+  spec.radix_bits = radix;
+  spec.seed = seed;
+  generate(d, out, spec);
+  return out;
+}
+
+/// Chi-square statistic of digit `pass` against a uniform expectation.
+double digit_chi_square(const std::vector<Key>& keys, int pass, int radix) {
+  const std::size_t buckets = std::size_t{1} << radix;
+  std::vector<double> counts(buckets, 0);
+  for (const Key k : keys) counts[radix_digit(k, pass, radix)] += 1;
+  const double expect = static_cast<double>(keys.size()) /
+                        static_cast<double>(buckets);
+  double chi = 0;
+  for (const double c : counts) chi += (c - expect) * (c - expect) / expect;
+  return chi;
+}
+
+TEST(Statistics, RandomLowDigitsUniform) {
+  const auto keys = gen(Dist::kRandom, 1 << 18, 0, 1);
+  // df = 255; a uniform sample's chi-square is ~255 +- ~50. Allow 2x.
+  for (const int pass : {0, 1, 2}) {
+    EXPECT_LT(digit_chi_square(keys, pass, 8), 512.0) << "pass " << pass;
+  }
+}
+
+TEST(Statistics, GaussLowDigitsUniformButTopDigitBellShaped) {
+  const auto keys = gen(Dist::kGauss, 1 << 18, 0, 1);
+  // Low digits of a sum of uniforms are ~uniform...
+  EXPECT_LT(digit_chi_square(keys, 0, 8), 512.0);
+  EXPECT_LT(digit_chi_square(keys, 1, 8), 512.0);
+  // ...but the most significant digit follows the bell: hugely non-uniform.
+  EXPECT_GT(digit_chi_square(keys, 3, 8), 10000.0);
+}
+
+TEST(Statistics, GaussStdDevMatchesIrwinHall) {
+  const auto keys = gen(Dist::kGauss, 1 << 18, 0, 1);
+  double mean = 0;
+  for (const Key k : keys) mean += static_cast<double>(k);
+  mean /= static_cast<double>(keys.size());
+  double var = 0;
+  for (const Key k : keys) {
+    const double d = static_cast<double>(k) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(keys.size());
+  // Average of 4 uniforms on [0, MAX): sigma = MAX / sqrt(48).
+  const double expect_sigma = static_cast<double>(kKeyMax) / std::sqrt(48.0);
+  EXPECT_NEAR(std::sqrt(var), expect_sigma, expect_sigma * 0.02);
+}
+
+TEST(Statistics, ZeroFractionIsTenPercent) {
+  const auto keys = gen(Dist::kZero, 1 << 18, 0, 1);
+  std::size_t zeros = 0;
+  for (const Key k : keys) zeros += k == 0 ? 1 : 0;
+  const double frac = static_cast<double>(zeros) /
+                      static_cast<double>(keys.size());
+  EXPECT_NEAR(frac, 0.1, 0.001);
+}
+
+TEST(Statistics, BucketGlobalValueCoverageUniform) {
+  // Across all ranks, bucket covers every p-th of the value range equally.
+  const int p = 8;
+  std::vector<double> counts(p, 0);
+  for (int r = 0; r < p; ++r) {
+    for (const Key k : gen(Dist::kBucket, 1 << 16, r, p)) {
+      counts[static_cast<std::size_t>(
+          static_cast<std::uint64_t>(k) * p / kKeyMax)] += 1;
+    }
+  }
+  const double expect = (1 << 16) / static_cast<double>(p);
+  for (const double c : counts) EXPECT_NEAR(c, expect, expect * 0.05);
+}
+
+TEST(Statistics, RemoteKeysNeverLandAtHomeInPassZero) {
+  const int p = 8, radix = 8;
+  for (int r = 0; r < p; ++r) {
+    const auto keys = gen(Dist::kRemote, 1 << 14, r, p, radix);
+    const std::uint64_t buckets = 1u << radix;
+    for (const Key k : keys) {
+      const auto dest = static_cast<int>(
+          static_cast<std::uint64_t>(radix_digit(k, 0, radix)) * p / buckets);
+      ASSERT_NE(dest, r);
+    }
+  }
+}
+
+TEST(Statistics, LocalKeysAlwaysLandAtHomeEveryPass) {
+  const int p = 8, radix = 8;
+  for (int r = 0; r < p; ++r) {
+    const auto keys = gen(Dist::kLocal, 1 << 13, r, p, radix);
+    const std::uint64_t buckets = 1u << radix;
+    for (const Key k : keys) {
+      for (int pass = 0; pass * radix < kKeyBits; ++pass) {
+        const auto dest = static_cast<int>(
+            static_cast<std::uint64_t>(radix_digit(k, pass, radix)) * p /
+            buckets);
+        // The top (partial) digit is truncated; skip it.
+        if ((pass + 1) * radix > kKeyBits) break;
+        ASSERT_EQ(dest, r) << "pass " << pass;
+      }
+    }
+  }
+}
+
+TEST(Statistics, StaggerIsAPermutationOfBucketRanges) {
+  // Each rank draws from exactly one MAX/p range and no two ranks share.
+  const int p = 8;
+  std::vector<int> owner_of_range(p, -1);
+  for (int r = 0; r < p; ++r) {
+    const auto keys = gen(Dist::kStagger, 1 << 12, r, p);
+    const auto range = static_cast<int>(
+        static_cast<std::uint64_t>(keys[0]) * p / kKeyMax);
+    EXPECT_EQ(owner_of_range[static_cast<std::size_t>(range)], -1);
+    owner_of_range[static_cast<std::size_t>(range)] = r;
+  }
+}
+
+TEST(Statistics, SeedsProduceIndependentStreams) {
+  // Identical generators with different seeds should agree on ~1/2^31 of
+  // positions — i.e. essentially never.
+  const auto a = gen(Dist::kRandom, 1 << 14, 0, 1, 8, 1);
+  const auto b = gen(Dist::kRandom, 1 << 14, 0, 1, 8, 2);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) same += a[i] == b[i] ? 1 : 0;
+  EXPECT_LT(same, 3u);
+}
+
+}  // namespace
+}  // namespace dsm::keys

@@ -1,0 +1,100 @@
+#include "machine/cache_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::machine {
+namespace {
+
+CacheParams small_cache() {
+  CacheParams c;
+  c.bytes = 8 * 1024;  // 8 KB, 2-way, 64 sets of 128 B lines
+  c.ways = 2;
+  c.line_bytes = 128;
+  return c;
+}
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim c(small_cache());
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(64));  // same line
+  EXPECT_TRUE(c.access(128));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.accesses(), 4u);
+}
+
+TEST(CacheSim, StreamingLargerThanCacheMissesEveryLine) {
+  CacheSim c(small_cache());
+  const std::uint64_t region = 64 * 1024;  // 8x the cache
+  for (int rep = 0; rep < 2; ++rep) {
+    for (std::uint64_t a = 0; a < region; a += 128) c.access(a);
+  }
+  // LRU + streaming: zero reuse across repetitions.
+  EXPECT_EQ(c.misses(), 2 * region / 128);
+}
+
+TEST(CacheSim, ResidentRegionOnlyColdMisses) {
+  CacheSim c(small_cache());
+  const std::uint64_t region = 4 * 1024;  // half the cache
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t a = 0; a < region; a += 128) c.access(a);
+  }
+  EXPECT_EQ(c.misses(), region / 128);  // cold only
+}
+
+TEST(CacheSim, TwoWayAssociativityHoldsTwoConflictingLines) {
+  CacheSim c(small_cache());
+  const std::uint64_t way_stride =
+      static_cast<std::uint64_t>(c.sets()) * 128;  // same set, new tag
+  c.access(0);
+  c.access(way_stride);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(way_stride));
+  // A third conflicting line evicts the LRU (line 0 was used less recently
+  // after we re-touch way_stride).
+  c.access(way_stride);
+  EXPECT_TRUE(c.access(2 * way_stride));
+  EXPECT_TRUE(c.access(0));  // evicted
+}
+
+TEST(CacheSim, LruVictimSelection) {
+  CacheSim c(small_cache());
+  const std::uint64_t s = static_cast<std::uint64_t>(c.sets()) * 128;
+  c.access(0);      // A
+  c.access(s);      // B
+  c.access(0);      // touch A -> B is LRU
+  c.access(2 * s);  // evicts B
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(s));
+}
+
+TEST(CacheSim, MissRateAndReset) {
+  CacheSim c(small_cache());
+  c.access(0);
+  c.access(0);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.5);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_DOUBLE_EQ(c.miss_rate(), 0.0);
+  EXPECT_TRUE(c.access(0));
+}
+
+TEST(CacheSim, OriginGeometry) {
+  CacheParams c;  // defaults: 4 MB, 2-way, 128 B
+  CacheSim sim(c);
+  EXPECT_EQ(sim.sets(), 4 * 1024 * 1024 / 128 / 2);
+}
+
+TEST(CacheSim, RejectsBadGeometry) {
+  CacheParams c = small_cache();
+  c.bytes = 8000;  // not a power of two
+  EXPECT_THROW(CacheSim{c}, Error);
+  c = small_cache();
+  c.ways = 0;
+  EXPECT_THROW(CacheSim{c}, Error);
+}
+
+}  // namespace
+}  // namespace dsm::machine

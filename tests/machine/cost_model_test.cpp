@@ -1,0 +1,230 @@
+#include "machine/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/prng.hpp"
+#include "machine/cache_sim.hpp"
+#include "machine/tlb_sim.hpp"
+
+namespace dsm::machine {
+namespace {
+
+MachineParams origin() { return MachineParams::origin2000(); }
+
+TEST(CostModel, BusyUsesCpuClock) {
+  CostModel cm(origin(), 1);
+  EXPECT_NEAR(cm.busy_ns(195), 1000.0, 1e-6);  // 195 cycles at 195 MHz = 1 us
+}
+
+TEST(CostModel, StreamResidentIsCheaperThanStreaming) {
+  CostModel cm(origin(), 1);
+  const std::uint64_t bytes = 1 << 20;
+  const double resident = cm.stream_ns(bytes, 1 << 20);       // <= 4 MB L2
+  const double streaming = cm.stream_ns(bytes, 64ull << 20);  // >> L2
+  EXPECT_LT(resident, streaming / 5);
+}
+
+TEST(CostModel, StreamLinearInBytes) {
+  CostModel cm(origin(), 1);
+  const double one = cm.stream_ns(1 << 20, 64ull << 20);
+  const double four = cm.stream_ns(4 << 20, 64ull << 20);
+  EXPECT_NEAR(four / one, 4.0, 0.05);
+}
+
+TEST(CostModel, StreamZeroBytesFree) {
+  CostModel cm(origin(), 1);
+  EXPECT_DOUBLE_EQ(cm.stream_ns(0, 1 << 20), 0.0);
+}
+
+TEST(CostModel, TlbSwitchProbZeroWithinReach) {
+  CostModel cm(origin(), 1);  // 64 KB pages, reach = 64*2*64KB = 8 MB
+  // 64 regions over 4 MB -> 64 head pages, reach 128 pages -> no misses.
+  EXPECT_DOUBLE_EQ(cm.tlb_switch_miss_prob(64, 4ull << 20), 0.0);
+}
+
+TEST(CostModel, TlbSwitchProbGrowsWithActiveRegions) {
+  MachineParams mp = origin();
+  mp.page_bytes = 16 << 10;  // default Origin page: reach = 128 pages = 2 MB
+  CostModel cm(mp, 1);
+  const std::uint64_t fp = 256ull << 20;
+  const double p256 = cm.tlb_switch_miss_prob(256, fp);
+  const double p4096 = cm.tlb_switch_miss_prob(4096, fp);
+  EXPECT_GT(p256, 0.0);
+  EXPECT_GT(p4096, p256);
+  EXPECT_LE(p4096, 1.0);
+}
+
+TEST(CostModel, LargerPagesReduceTlbPressure) {
+  // The paper tuned page size (64 KB / 256 KB) for exactly this effect.
+  MachineParams small = origin();
+  small.page_bytes = 16 << 10;
+  MachineParams big = origin();
+  big.page_bytes = 256 << 10;
+  CostModel cs(small, 1), cb(big, 1);
+  const std::uint64_t fp = 64ull << 20;
+  EXPECT_GT(cs.tlb_switch_miss_prob(512, fp),
+            cb.tlb_switch_miss_prob(512, fp));
+}
+
+TEST(CostModel, TlbSwitchProbMatchesExactSimulator) {
+  // Trace: `regions` single-page regions tiled over the footprint, visited
+  // in pseudo-random order — the analytic hit probability reach/active
+  // must match the simulated LRU TLB.
+  MachineParams mp = origin();
+  mp.page_bytes = 4096;
+  mp.tlb.entries = 4;
+  mp.tlb.pages_per_entry = 2;  // reach = 8 pages
+  CostModel cm(mp, 1);
+
+  for (const std::uint64_t regions : {32ull, 64ull}) {
+    const std::uint64_t fp = regions * mp.page_bytes;
+    TlbSim sim(mp.tlb, mp.page_bytes);
+    SplitMix64 rng(5);
+    // Warm up, then measure.
+    for (int i = 0; i < 2000; ++i) {
+      sim.access(rng.next_below(regions) * mp.page_bytes);
+    }
+    sim.reset();
+    const int kAccesses = 50000;
+    for (int i = 0; i < kAccesses; ++i) {
+      sim.access(rng.next_below(regions) * mp.page_bytes);
+    }
+    EXPECT_NEAR(cm.tlb_switch_miss_prob(regions, fp), sim.miss_rate(), 0.10)
+        << "regions=" << regions;
+  }
+}
+
+TEST(CostModel, LineSwitchProbZeroWhenFrontierFits) {
+  CostModel cm(origin(), 1);
+  // 256 regions x 128 B = 32 KB frontier << 2 MB budget.
+  EXPECT_DOUBLE_EQ(cm.line_switch_miss_prob(256, 64ull << 20), 0.0);
+}
+
+TEST(CostModel, LineSwitchProbZeroInCache) {
+  CostModel cm(origin(), 1);
+  EXPECT_DOUBLE_EQ(cm.line_switch_miss_prob(1 << 20, 2ull << 20), 0.0);
+}
+
+TEST(CostModel, LineSwitchProbTracksExactSimulatorQualitatively) {
+  // Interleaved region writes against the exact cache: small frontiers
+  // should miss (per line) rarely; frontiers far beyond the cache should
+  // miss on nearly every switch.
+  MachineParams mp = origin();
+  mp.l2.bytes = 8 * 1024;
+  mp.l2.ways = 2;
+  mp.l2.line_bytes = 128;
+  CostModel cm(mp, 1);
+
+  auto simulate = [&](std::uint64_t regions) {
+    CacheSim sim(mp.l2);
+    SplitMix64 rng(3);
+    // Odd stride so region heads spread across cache sets (a multiple of
+    // the cache size would alias every region onto one set).
+    const std::uint64_t region_bytes = 16 * 1024 + 384;
+    std::vector<std::uint64_t> cursor(regions, 0);
+    std::uint64_t switches = 0, switch_misses = 0;
+    for (int i = 0; i < 200000; ++i) {
+      const std::uint64_t reg = rng.next_below(regions);
+      const std::uint64_t addr = reg * region_bytes + cursor[reg];
+      cursor[reg] = (cursor[reg] + 4) % region_bytes;
+      const bool miss = sim.access(addr);
+      ++switches;
+      switch_misses += miss ? 1 : 0;
+    }
+    return static_cast<double>(switch_misses) / static_cast<double>(switches);
+  };
+
+  const std::uint64_t fp = 16ull << 20;
+  // Frontier fits: analytic says 0; simulator sees only per-line cold/fill
+  // misses (1 miss per 32 4-byte writes).
+  EXPECT_LT(simulate(16), 0.10);
+  EXPECT_DOUBLE_EQ(cm.line_switch_miss_prob(16, fp), 0.0);
+  // Frontier 8x the budget: both should report mostly-miss.
+  EXPECT_GT(simulate(512), 0.5);
+  EXPECT_GT(cm.line_switch_miss_prob(512, fp), 0.8);
+}
+
+TEST(CostModel, ScatteredInCacheMuchCheaper) {
+  CostModel cm(origin(), 1);
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.runs = 1 << 20;
+  p.active_regions = 256;
+  p.footprint_bytes = 2ull << 20;  // fits L2
+  const double in_cache = cm.scattered_ns(p);
+  p.footprint_bytes = 256ull << 20;
+  const double out_of_cache = cm.scattered_ns(p);
+  EXPECT_LT(in_cache, out_of_cache / 3);
+}
+
+TEST(CostModel, FewerRunsCheaperBeyondTlbReach) {
+  MachineParams mp = origin();
+  mp.page_bytes = 16 << 10;
+  CostModel cm(mp, 1);
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.active_regions = 4096;
+  p.footprint_bytes = 256ull << 20;
+  p.runs = 1 << 20;  // every key switches buckets (gauss/random)
+  const double scattered = cm.scattered_ns(p);
+  p.runs = 4096;  // pre-clustered (remote/local distributions)
+  const double clustered = cm.scattered_ns(p);
+  EXPECT_LT(clustered, scattered);
+}
+
+TEST(CostModel, ScatteredValidatesPattern) {
+  CostModel cm(origin(), 1);
+  AccessPattern p;
+  p.accesses = 100;
+  p.runs = 200;  // runs > accesses
+  p.footprint_bytes = 1 << 20;
+  EXPECT_THROW(cm.scattered_ns(p), Error);
+  p.runs = 10;
+  p.footprint_bytes = 0;
+  EXPECT_THROW(cm.scattered_ns(p), Error);
+}
+
+TEST(CostModel, WireGrowsWithBytesAndDistance) {
+  CostModel cm(origin(), 64);
+  EXPECT_GT(cm.wire_ns(0, 63, 1024), cm.wire_ns(0, 4, 1024));
+  EXPECT_GT(cm.wire_ns(0, 4, 1 << 20), cm.wire_ns(0, 4, 1024));
+}
+
+TEST(CostModel, ScatteredWriteProfileRegimes) {
+  CostModel cm(origin(), 64);
+  // Small outgoing volumes ride the write buffer: one RdEx per line.
+  const auto cheap = cm.scattered_write_profile(64 << 10);
+  EXPECT_DOUBLE_EQ(cheap.transactions_per_line, 1.0);
+  EXPECT_DOUBLE_EQ(cheap.per_line_ns,
+                   cm.params().mem.scattered_write_issue_ns);
+  // Cache-overflowing volumes add writeback floods: 4 directory visits.
+  const auto flood = cm.scattered_write_profile(64ull << 20);
+  EXPECT_DOUBLE_EQ(flood.transactions_per_line, 4.0);
+  EXPECT_GT(flood.per_line_ns, cheap.per_line_ns);
+  // The ramp between the regimes is monotone.
+  const auto mid = cm.scattered_write_profile(2ull << 20);
+  EXPECT_GT(mid.transactions_per_line, 1.0);
+  EXPECT_LT(mid.transactions_per_line, 4.0);
+}
+
+TEST(CostModel, HomeOccupancyLinear) {
+  CostModel cm(origin(), 2);
+  EXPECT_DOUBLE_EQ(cm.home_occupancy_ns(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.home_occupancy_ns(10) * 2, cm.home_occupancy_ns(20));
+}
+
+TEST(CostModel, ScatteredWriteProfileKeyGranularity) {
+  // For random keys, runs ~= accesses: each 4-byte write touches a new
+  // line, so the cheap-regime writer cost is per *key* — exactly the
+  // configured issue cost, with no writeback/flood surcharge.
+  CostModel cm(origin(), 64);
+  EXPECT_NEAR(cm.scattered_write_profile(1).per_line_ns,
+              origin().mem.scattered_write_issue_ns, 1e-9);
+}
+
+}  // namespace
+}  // namespace dsm::machine

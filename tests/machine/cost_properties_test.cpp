@@ -1,0 +1,146 @@
+// Property tests of the cost model: monotonicity in every input the
+// algorithms vary, and parameter-sensitivity directions that the paper's
+// effects depend on.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "machine/cost.hpp"
+
+namespace dsm::machine {
+namespace {
+
+MachineParams origin() { return MachineParams::origin2000(); }
+
+TEST(CostProperties, StreamMonotoneInBytes) {
+  CostModel cm(origin(), 1);
+  double prev = -1;
+  for (std::uint64_t bytes = 1 << 10; bytes <= (1u << 26); bytes <<= 2) {
+    const double ns = cm.stream_ns(bytes, 1ull << 30);
+    EXPECT_GT(ns, prev);
+    prev = ns;
+  }
+}
+
+TEST(CostProperties, StreamMonotoneInFootprint) {
+  CostModel cm(origin(), 1);
+  const std::uint64_t bytes = 1 << 20;
+  double prev = -1;
+  for (std::uint64_t fp = 1 << 20; fp <= (1ull << 30); fp <<= 2) {
+    const double ns = cm.stream_ns(bytes, fp);
+    EXPECT_GE(ns, prev);
+    prev = ns;
+  }
+}
+
+TEST(CostProperties, ScatteredMonotoneInRuns) {
+  CostModel cm(origin(), 1);
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.active_regions = 4096;
+  p.footprint_bytes = 256ull << 20;
+  double prev = -1;
+  for (std::uint64_t runs = 4096; runs <= p.accesses; runs <<= 2) {
+    p.runs = runs;
+    const double ns = cm.scattered_ns(p);
+    EXPECT_GE(ns, prev) << "runs=" << runs;
+    prev = ns;
+  }
+}
+
+TEST(CostProperties, ScatteredMonotoneInActiveRegions) {
+  MachineParams mp = origin();
+  mp.page_bytes = 16 << 10;
+  CostModel cm(mp, 1);
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.runs = 1 << 20;
+  p.footprint_bytes = 256ull << 20;
+  double prev = -1;
+  for (std::uint64_t regions = 64; regions <= 65536; regions <<= 2) {
+    p.active_regions = regions;
+    const double ns = cm.scattered_ns(p);
+    EXPECT_GE(ns, prev) << "regions=" << regions;
+    prev = ns;
+  }
+}
+
+TEST(CostProperties, WireMonotoneInBytes) {
+  CostModel cm(origin(), 64);
+  double prev = -1;
+  for (std::uint64_t bytes = 64; bytes <= (1u << 24); bytes <<= 4) {
+    const double ns = cm.wire_ns(0, 63, bytes);
+    EXPECT_GT(ns, prev);
+    prev = ns;
+  }
+}
+
+TEST(CostProperties, BiggerCacheNeverHurts) {
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.runs = 1 << 20;
+  p.active_regions = 4096;
+  p.footprint_bytes = 16ull << 20;
+
+  MachineParams small = origin();
+  MachineParams big = origin();
+  big.l2.bytes = 32ull << 20;
+  const double small_ns = CostModel(small, 1).scattered_ns(p);
+  const double big_ns = CostModel(big, 1).scattered_ns(p);
+  EXPECT_LE(big_ns, small_ns);
+}
+
+TEST(CostProperties, BiggerTlbNeverHurts) {
+  MachineParams small = origin();
+  small.page_bytes = 16 << 10;
+  MachineParams big = small;
+  big.tlb.entries = 512;
+  AccessPattern p;
+  p.accesses = 1 << 20;
+  p.elem_bytes = 4;
+  p.runs = 1 << 20;
+  p.active_regions = 4096;
+  p.footprint_bytes = 256ull << 20;
+  EXPECT_LE(CostModel(big, 1).scattered_ns(p),
+            CostModel(small, 1).scattered_ns(p));
+}
+
+TEST(CostProperties, FasterBulkCopyShrinksWire) {
+  MachineParams fast = origin();
+  fast.mem.bulk_copy_bytes_per_ns *= 4;
+  EXPECT_LT(CostModel(fast, 64).wire_ns(0, 63, 1 << 20),
+            CostModel(origin(), 64).wire_ns(0, 63, 1 << 20));
+}
+
+TEST(CostProperties, ScatteredProfileMonotoneInVolume) {
+  CostModel cm(origin(), 64);
+  double prev_line = -1, prev_txn = -1;
+  for (std::uint64_t vol = 1 << 16; vol <= (1ull << 26); vol <<= 1) {
+    const auto prof = cm.scattered_write_profile(vol);
+    EXPECT_GE(prof.per_line_ns, prev_line);
+    EXPECT_GE(prof.transactions_per_line, prev_txn);
+    prev_line = prof.per_line_ns;
+    prev_txn = prof.transactions_per_line;
+  }
+}
+
+TEST(CostProperties, MoreProcessorsSameLocalLatency) {
+  for (const int p : {1, 2, 8, 64}) {
+    CostModel cm(origin(), p);
+    EXPECT_DOUBLE_EQ(cm.line_rtt_ns(0, 0), 313.0);
+  }
+}
+
+TEST(CostProperties, HopsBoundedByDimension) {
+  CostModel cm(origin(), 64);
+  for (int a = 0; a < 64; ++a) {
+    for (int b = 0; b < 64; ++b) {
+      EXPECT_LE(cm.topology().hops(a, b), cm.topology().dimension());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dsm::machine

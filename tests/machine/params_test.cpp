@@ -1,0 +1,68 @@
+#include "machine/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::machine {
+namespace {
+
+TEST(MachineParams, Origin2000Defaults) {
+  const MachineParams mp = MachineParams::origin2000();
+  EXPECT_EQ(mp.max_procs, 64);
+  EXPECT_EQ(mp.procs_per_node, 2);
+  EXPECT_EQ(mp.nodes_per_router, 2);
+  EXPECT_EQ(mp.l2.bytes, 4ull << 20);
+  EXPECT_EQ(mp.l2.ways, 2);
+  EXPECT_EQ(mp.l2.line_bytes, 128);
+  EXPECT_DOUBLE_EQ(mp.mem.local_ns, 313.0);
+  EXPECT_NO_THROW(mp.validate());
+}
+
+TEST(MachineParams, PaperPageSizes) {
+  // §4: 64 KB pages for 1M-64M keys, 256 KB for 256M.
+  EXPECT_EQ(MachineParams::origin2000_for_keys(1ull << 20).page_bytes,
+            64ull << 10);
+  EXPECT_EQ(MachineParams::origin2000_for_keys(64ull << 20).page_bytes,
+            64ull << 10);
+  EXPECT_EQ(MachineParams::origin2000_for_keys(256ull << 20).page_bytes,
+            256ull << 10);
+}
+
+TEST(MachineParams, TlbReach) {
+  MachineParams mp = MachineParams::origin2000();
+  mp.page_bytes = 16 << 10;
+  EXPECT_EQ(mp.tlb_reach_bytes(), 64ull * 2 * (16 << 10));  // 2 MB
+  mp.page_bytes = 64 << 10;
+  EXPECT_EQ(mp.tlb_reach_bytes(), 8ull << 20);  // 8 MB
+}
+
+TEST(MachineParams, ValidateCatchesBadGeometry) {
+  MachineParams mp;
+  mp.page_bytes = 3000;
+  EXPECT_THROW(mp.validate(), Error);
+
+  mp = MachineParams();
+  mp.l2.ways = 0;
+  EXPECT_THROW(mp.validate(), Error);
+
+  mp = MachineParams();
+  mp.mem.link_bw_bytes_per_ns = 0;
+  EXPECT_THROW(mp.validate(), Error);
+
+  mp = MachineParams();
+  mp.sw.mpi_slot_depth = 0;
+  EXPECT_THROW(mp.validate(), Error);
+
+  mp = MachineParams();
+  mp.cpu.ns_per_cycle = 0;
+  EXPECT_THROW(mp.validate(), Error);
+}
+
+TEST(MachineParams, CpuClockIs195MHz) {
+  const MachineParams mp;
+  EXPECT_NEAR(mp.cpu.ns_per_cycle, 5.128, 0.01);
+}
+
+}  // namespace
+}  // namespace dsm::machine

@@ -1,0 +1,85 @@
+#include "machine/tlb_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::machine {
+namespace {
+
+TlbParams tiny_tlb() {
+  TlbParams t;
+  t.entries = 4;
+  t.pages_per_entry = 2;
+  return t;
+}
+
+constexpr std::uint64_t kPage = 4096;
+
+TEST(TlbSim, ColdMissThenHit) {
+  TlbSim t(tiny_tlb(), kPage);
+  EXPECT_TRUE(t.access(0));
+  EXPECT_FALSE(t.access(100));
+  EXPECT_FALSE(t.access(kPage + 5));  // adjacent page, same paired entry
+  EXPECT_TRUE(t.access(2 * kPage));   // next entry
+}
+
+TEST(TlbSim, PairedPagesShareAnEntry) {
+  TlbSim t(tiny_tlb(), kPage);
+  t.access(0);
+  EXPECT_FALSE(t.access(kPage));      // pages 0,1 -> entry 0
+  EXPECT_TRUE(t.access(2 * kPage));   // pages 2,3 -> entry 1
+  EXPECT_FALSE(t.access(3 * kPage));
+}
+
+TEST(TlbSim, CapacityEviction) {
+  TlbSim t(tiny_tlb(), kPage);  // 4 entries x 2 pages = reach 8 pages
+  for (std::uint64_t e = 0; e < 5; ++e) t.access(e * 2 * kPage);
+  // Entry 0 was LRU and must have been evicted.
+  EXPECT_TRUE(t.access(0));
+}
+
+TEST(TlbSim, LruOrderRespected) {
+  TlbSim t(tiny_tlb(), kPage);
+  for (std::uint64_t e = 0; e < 4; ++e) t.access(e * 2 * kPage);
+  t.access(0);                      // refresh entry 0
+  t.access(4 * 2 * kPage);          // evicts entry 1 (now LRU)
+  EXPECT_FALSE(t.access(0));
+  EXPECT_TRUE(t.access(1 * 2 * kPage));
+}
+
+TEST(TlbSim, WorkingSetWithinReachNeverMissesSteadyState) {
+  TlbSim t(tiny_tlb(), kPage);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t e = 0; e < 4; ++e) t.access(e * 2 * kPage);
+  }
+  EXPECT_EQ(t.misses(), 4u);
+}
+
+TEST(TlbSim, CyclicOverReachThrashes) {
+  TlbSim t(tiny_tlb(), kPage);
+  // 8 entries cycled through a 4-entry LRU: every access misses after
+  // warmup (classic LRU worst case).
+  for (int rep = 0; rep < 10; ++rep) {
+    for (std::uint64_t e = 0; e < 8; ++e) t.access(e * 2 * kPage);
+  }
+  EXPECT_EQ(t.misses(), t.accesses());
+}
+
+TEST(TlbSim, ResetClearsState) {
+  TlbSim t(tiny_tlb(), kPage);
+  t.access(0);
+  t.reset();
+  EXPECT_EQ(t.accesses(), 0u);
+  EXPECT_TRUE(t.access(0));
+}
+
+TEST(TlbSim, RejectsBadGeometry) {
+  EXPECT_THROW(TlbSim(tiny_tlb(), 3000), Error);  // non-pow2 page
+  TlbParams bad = tiny_tlb();
+  bad.entries = 0;
+  EXPECT_THROW(TlbSim(bad, kPage), Error);
+}
+
+}  // namespace
+}  // namespace dsm::machine

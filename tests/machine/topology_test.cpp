@@ -1,0 +1,106 @@
+#include "machine/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::machine {
+namespace {
+
+Topology origin64() {
+  return Topology(MachineParams::origin2000(), 64);
+}
+
+TEST(Topology, GeometryOf64ProcMachine) {
+  const Topology t = origin64();
+  EXPECT_EQ(t.nprocs(), 64);
+  EXPECT_EQ(t.nodes(), 32);
+  EXPECT_EQ(t.routers(), 16);
+  EXPECT_EQ(t.dimension(), 4);
+}
+
+TEST(Topology, NodeAndRouterMapping) {
+  const Topology t = origin64();
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(1), 0);
+  EXPECT_EQ(t.node_of(2), 1);
+  EXPECT_EQ(t.node_of(63), 31);
+  EXPECT_EQ(t.router_of(0), 0);
+  EXPECT_EQ(t.router_of(3), 0);  // procs 0-3 share router 0
+  EXPECT_EQ(t.router_of(4), 1);
+  EXPECT_EQ(t.router_of(63), 15);
+}
+
+TEST(Topology, LocalLatencyMatchesPublished313ns) {
+  const Topology t = origin64();
+  EXPECT_DOUBLE_EQ(t.read_latency_ns(0, 0), 313.0);
+  EXPECT_DOUBLE_EQ(t.read_latency_ns(0, 1), 313.0);  // same node
+}
+
+TEST(Topology, FarthestLatencyMatchesPublished1010ns) {
+  const Topology t = origin64();
+  double farthest = 0;
+  for (int q = 0; q < 64; ++q) {
+    farthest = std::max(farthest, t.read_latency_ns(0, q));
+  }
+  EXPECT_DOUBLE_EQ(farthest, 1010.0);  // 610 + 4 hops * 100
+}
+
+TEST(Topology, AverageLatencyNearPublished796ns) {
+  const Topology t = origin64();
+  EXPECT_NEAR(t.average_latency_ns(), 796.0, 15.0);
+}
+
+TEST(Topology, HopsAreSymmetricAndTriangleFree) {
+  const Topology t = origin64();
+  for (int a = 0; a < 64; a += 7) {
+    for (int b = 0; b < 64; b += 5) {
+      EXPECT_EQ(t.hops(a, b), t.hops(b, a));
+      EXPECT_GE(t.hops(a, b), 0);
+      EXPECT_LE(t.hops(a, b), 4);
+    }
+  }
+}
+
+TEST(Topology, SameRouterZeroHops) {
+  const Topology t = origin64();
+  EXPECT_EQ(t.hops(0, 3), 0);
+  EXPECT_EQ(t.hops(0, 4), 1);  // routers 0 and 1 differ in one bit
+}
+
+TEST(Topology, PerHopLatencyIs100ns) {
+  const Topology t = origin64();
+  // Router 0 -> router 1 (1 hop) vs router 0 -> router 3 (2 hops).
+  const double one_hop = t.read_latency_ns(0, 4);
+  const double two_hop = t.read_latency_ns(0, 12);
+  EXPECT_EQ(t.hops(0, 12), 2);
+  EXPECT_DOUBLE_EQ(two_hop - one_hop, 100.0);
+}
+
+TEST(Topology, SmallMachines) {
+  const Topology t2(MachineParams::origin2000(), 2);
+  EXPECT_EQ(t2.nodes(), 1);
+  EXPECT_EQ(t2.routers(), 1);
+  EXPECT_EQ(t2.dimension(), 0);
+  EXPECT_DOUBLE_EQ(t2.read_latency_ns(0, 1), 313.0);
+
+  const Topology t1(MachineParams::origin2000(), 1);
+  EXPECT_EQ(t1.nodes(), 1);
+}
+
+TEST(Topology, NonPow2ProcCounts) {
+  const Topology t(MachineParams::origin2000(), 24);
+  EXPECT_EQ(t.nodes(), 12);
+  EXPECT_EQ(t.routers(), 6);
+  EXPECT_EQ(t.dimension(), 3);  // hypercube dimension covering 6 routers
+  EXPECT_NO_THROW(t.read_latency_ns(0, 23));
+}
+
+TEST(Topology, RejectsBadProcIds) {
+  const Topology t = origin64();
+  EXPECT_THROW(t.node_of(-1), Error);
+  EXPECT_THROW(t.node_of(64), Error);
+}
+
+}  // namespace
+}  // namespace dsm::machine

@@ -1,0 +1,43 @@
+#include "perf/breakdown.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::perf {
+namespace {
+
+std::vector<sim::Breakdown> sample_procs() {
+  return {{10, 20, 30, 40}, {20, 30, 40, 50}, {30, 40, 50, 60}};
+}
+
+TEST(Breakdown, Sum) {
+  const auto procs = sample_procs();
+  const sim::Breakdown s = sum(procs);
+  EXPECT_DOUBLE_EQ(s.busy_ns, 60);
+  EXPECT_DOUBLE_EQ(s.sync_ns, 150);
+}
+
+TEST(Breakdown, Mean) {
+  const auto procs = sample_procs();
+  const sim::Breakdown m = mean(procs);
+  EXPECT_DOUBLE_EQ(m.busy_ns, 20);
+  EXPECT_DOUBLE_EQ(m.lmem_ns, 30);
+  EXPECT_THROW(mean({}), Error);
+}
+
+TEST(Breakdown, MaxTotal) {
+  const auto procs = sample_procs();
+  EXPECT_DOUBLE_EQ(max_total_ns(procs), 30 + 40 + 50 + 60);
+}
+
+TEST(Breakdown, SpeedupWithoutCapacity) {
+  // seq: 1000 total of which 400 memory; parallel: 2 procs, LMEM 50 each,
+  // max total 100 -> adjusted seq = 1000 - 400 + 100 = 700 -> speedup 7.
+  std::vector<sim::Breakdown> procs{{40, 50, 5, 5}, {40, 50, 5, 5}};
+  EXPECT_DOUBLE_EQ(speedup_without_capacity(1000, 400, procs), 7.0);
+  EXPECT_THROW(speedup_without_capacity(100, 400, procs), Error);
+}
+
+}  // namespace
+}  // namespace dsm::perf

@@ -1,0 +1,75 @@
+#include "perf/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace dsm::perf {
+namespace {
+
+std::vector<sim::Breakdown> sample_procs(int n) {
+  std::vector<sim::Breakdown> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({1000.0 * (i + 1), 500, 300, 200});
+  }
+  return out;
+}
+
+TEST(Report, BreakdownFigureSeparateCategories) {
+  const auto procs = sample_procs(4);
+  const std::string s =
+      render_breakdown_figure("Radix 64M", procs, /*merge_mem=*/false);
+  EXPECT_NE(s.find("Radix 64M"), std::string::npos);
+  EXPECT_NE(s.find("L=LMEM"), std::string::npos);
+  EXPECT_NE(s.find("R=RMEM"), std::string::npos);
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("P3"), std::string::npos);
+}
+
+TEST(Report, BreakdownFigureMergedMem) {
+  const auto procs = sample_procs(4);
+  const std::string s =
+      render_breakdown_figure("CC-SAS", procs, /*merge_mem=*/true);
+  EXPECT_NE(s.find("M=MEM"), std::string::npos);
+  EXPECT_EQ(s.find("L=LMEM"), std::string::npos);
+}
+
+TEST(Report, BreakdownFigureSubsamples) {
+  const auto procs = sample_procs(64);
+  const std::string s =
+      render_breakdown_figure("big", procs, false, /*max_rows=*/8);
+  EXPECT_NE(s.find("P0"), std::string::npos);
+  EXPECT_NE(s.find("P56"), std::string::npos);
+  EXPECT_EQ(s.find("P63"), std::string::npos);  // subsampled away
+}
+
+TEST(Report, BreakdownFigureValidates) {
+  EXPECT_THROW(render_breakdown_figure("x", {}, false), Error);
+}
+
+TEST(Report, BreakdownCsv) {
+  const auto procs = sample_procs(2);
+  const std::string csv = breakdown_csv(procs);
+  EXPECT_NE(csv.find("rank,busy_us"), std::string::npos);
+  EXPECT_NE(csv.find("\n0,1.0,0.5,0.3,0.2,2.0\n"), std::string::npos);
+}
+
+TEST(Report, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dsmsort_report_test.txt";
+  write_file(path, "hello\n");
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "hello\n");
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteFileBadPathThrows) {
+  EXPECT_THROW(write_file("/nonexistent-dir/x/y.txt", "x"), Error);
+}
+
+}  // namespace
+}  // namespace dsm::perf

@@ -1,0 +1,89 @@
+#include "perf/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::perf {
+namespace {
+
+std::vector<std::string> labels3() { return {"1M", "4M", "16M"}; }
+
+std::vector<Series> two_series() {
+  return {{"SHMEM", {10, 20, 30}}, {"MPI", {8, 18, 25}}};
+}
+
+bool contains(const std::string& s, const std::string& needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+TEST(Svg, GroupedBarsWellFormed) {
+  const auto labels = labels3();
+  const auto series = two_series();
+  const std::string svg =
+      svg_grouped_bars("Fig 3", "speedup", labels, series);
+  EXPECT_TRUE(contains(svg, "<svg"));
+  EXPECT_TRUE(contains(svg, "</svg>"));
+  EXPECT_TRUE(contains(svg, "Fig 3"));
+  EXPECT_TRUE(contains(svg, "SHMEM"));
+  EXPECT_TRUE(contains(svg, "MPI"));
+  EXPECT_TRUE(contains(svg, "16M"));
+  // One rect per (group, series) plus background.
+  std::size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    ++pos;
+  }
+  EXPECT_GE(rects, 1 + 3 * 2 + 2);  // background + bars + legend swatches
+}
+
+TEST(Svg, LinesHavePolylinePerSeries) {
+  const auto labels = labels3();
+  const auto series = two_series();
+  const std::string svg = svg_lines("Fig 6", "relative", labels, series);
+  std::size_t lines = 0, pos = 0;
+  while ((pos = svg.find("<polyline", pos)) != std::string::npos) {
+    ++lines;
+    ++pos;
+  }
+  EXPECT_EQ(lines, 2u);
+  EXPECT_TRUE(contains(svg, "<circle"));
+}
+
+TEST(Svg, BreakdownStacksCategories) {
+  std::vector<sim::Breakdown> procs{{1000, 500, 300, 200},
+                                    {1100, 400, 350, 150}};
+  const std::string merged = svg_breakdown("bd", procs, true);
+  EXPECT_TRUE(contains(merged, "MEM"));
+  EXPECT_FALSE(contains(merged, "LMEM"));
+  const std::string full = svg_breakdown("bd", procs, false);
+  EXPECT_TRUE(contains(full, "LMEM"));
+  EXPECT_TRUE(contains(full, "RMEM"));
+  EXPECT_TRUE(contains(full, "P0"));
+}
+
+TEST(Svg, EscapesMarkup) {
+  const auto labels = labels3();
+  const auto series = two_series();
+  const std::string svg =
+      svg_grouped_bars("a < b & c", "y", labels, series);
+  EXPECT_TRUE(contains(svg, "a &lt; b &amp; c"));
+}
+
+TEST(Svg, RejectsBadInput) {
+  const auto labels = labels3();
+  std::vector<Series> bad{{"x", {1, 2}}};  // wrong length
+  EXPECT_THROW(svg_grouped_bars("t", "y", labels, bad), Error);
+  std::vector<Series> neg{{"x", {1, -2, 3}}};
+  EXPECT_THROW(svg_lines("t", "y", labels, neg), Error);
+  EXPECT_THROW(svg_breakdown("t", {}, false), Error);
+}
+
+TEST(Svg, ZeroDataStillRenders) {
+  const auto labels = labels3();
+  std::vector<Series> zero{{"z", {0, 0, 0}}};
+  EXPECT_TRUE(contains(svg_grouped_bars("t", "y", labels, zero), "</svg>"));
+}
+
+}  // namespace
+}  // namespace dsm::perf

@@ -1,0 +1,113 @@
+#include "sas/prefix_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "sim/team.hpp"
+
+namespace dsm::sas {
+namespace {
+
+machine::MachineParams origin() { return machine::MachineParams::origin2000(); }
+
+void check_scan(int p, std::size_t buckets, std::uint64_t seed) {
+  sim::SimTeam team(p, origin());
+  BucketScan scan(p, buckets);
+
+  // Reference data: hist[r][b].
+  std::vector<std::vector<std::uint64_t>> hist(static_cast<std::size_t>(p));
+  SplitMix64 rng(seed);
+  for (auto& h : hist) {
+    h.resize(buckets);
+    for (auto& v : h) v = rng.next_below(1000);
+  }
+
+  std::vector<std::vector<std::uint64_t>> rank_prefix(
+      static_cast<std::size_t>(p)),
+      global(static_cast<std::size_t>(p));
+  team.run([&](sim::ProcContext& ctx) {
+    const auto r = static_cast<std::size_t>(ctx.rank());
+    rank_prefix[r].resize(buckets);
+    global[r].resize(buckets);
+    scan.scan(ctx, hist[r], rank_prefix[r], global[r]);
+  });
+
+  for (std::size_t b = 0; b < buckets; ++b) {
+    std::uint64_t acc = 0;
+    std::uint64_t total = 0;
+    for (int r = 0; r < p; ++r) total += hist[static_cast<std::size_t>(r)][b];
+    for (int r = 0; r < p; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      EXPECT_EQ(rank_prefix[rr][b], acc) << "p=" << p << " r=" << r << " b=" << b;
+      EXPECT_EQ(global[rr][b], total);
+      acc += hist[rr][b];
+    }
+  }
+}
+
+TEST(BucketScan, SingleProc) { check_scan(1, 16, 1); }
+TEST(BucketScan, TwoProcs) { check_scan(2, 8, 2); }
+TEST(BucketScan, PowerOfTwoProcs) { check_scan(8, 256, 3); }
+TEST(BucketScan, NonPowerOfTwoProcs) { check_scan(5, 32, 4); }
+TEST(BucketScan, ManyProcs) { check_scan(16, 64, 5); }
+TEST(BucketScan, SingleBucket) { check_scan(4, 1, 6); }
+
+TEST(BucketScan, ReusableAcrossPasses) {
+  sim::SimTeam team(4, origin());
+  BucketScan scan(4, 8);
+  team.run([&](sim::ProcContext& ctx) {
+    for (int pass = 0; pass < 3; ++pass) {
+      std::vector<std::uint64_t> local(8, static_cast<std::uint64_t>(
+                                             ctx.rank() + pass));
+      std::vector<std::uint64_t> rp(8), g(8);
+      scan.scan(ctx, local, rp, g);
+      for (std::size_t b = 0; b < 8; ++b) {
+        std::uint64_t expect_rp = 0;
+        for (int j = 0; j < ctx.rank(); ++j) {
+          expect_rp += static_cast<std::uint64_t>(j + pass);
+        }
+        if (rp[b] != expect_rp) throw Error("bad rank prefix");
+        if (g[b] != static_cast<std::uint64_t>(0 + 1 + 2 + 3 + 4 * pass)) {
+          throw Error("bad global");
+        }
+      }
+    }
+  });
+}
+
+TEST(BucketScan, ChargesCommunicationOnMultiProc) {
+  sim::SimTeam team(4, origin());
+  BucketScan scan(4, 64);
+  team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint64_t> local(64, 1), rp(64), g(64);
+    scan.scan(ctx, local, rp, g);
+  });
+  // Rank 3 reads partner rows in both rounds: nonzero RMEM.
+  EXPECT_GT(team.breakdown_of(3).rmem_ns, 0.0);
+  EXPECT_GT(team.elapsed_ns(), 0.0);
+}
+
+TEST(BucketScan, SpanSizeMismatchRejected) {
+  sim::SimTeam team(2, origin());
+  BucketScan scan(2, 8);
+  EXPECT_THROW(team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint64_t> local(4), rp(8), g(8);  // wrong size
+    scan.scan(ctx, local, rp, g);
+  }),
+               Error);
+}
+
+TEST(CcSasBarrier, SynchronisesVirtualTime) {
+  sim::SimTeam team(4, origin());
+  team.run([&](sim::ProcContext& ctx) {
+    ctx.busy_cycles(1000.0 * ctx.rank());
+    ccsas_barrier(ctx);
+  });
+  const double t0 = team.breakdown_of(0).total_ns();
+  for (int r = 1; r < 4; ++r) {
+    EXPECT_NEAR(team.breakdown_of(r).total_ns(), t0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace dsm::sas

@@ -1,0 +1,69 @@
+#include "sas/shared_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm::sas {
+namespace {
+
+TEST(HomeMap, EvenPartition) {
+  HomeMap h(100, 4);
+  EXPECT_EQ(h.begin_of(0), 0u);
+  EXPECT_EQ(h.begin_of(1), 25u);
+  EXPECT_EQ(h.end_of(3), 100u);
+  EXPECT_EQ(h.count_of(2), 25u);
+}
+
+TEST(HomeMap, RemainderGoesToLeadingOwners) {
+  HomeMap h(10, 4);  // 3,3,2,2
+  EXPECT_EQ(h.count_of(0), 3u);
+  EXPECT_EQ(h.count_of(1), 3u);
+  EXPECT_EQ(h.count_of(2), 2u);
+  EXPECT_EQ(h.count_of(3), 2u);
+  EXPECT_EQ(h.end_of(3), 10u);
+}
+
+TEST(HomeMap, OwnerOfConsistentWithRanges) {
+  for (const Index n : {1ull, 7ull, 64ull, 1000ull}) {
+    for (const int p : {1, 2, 3, 8, 13}) {
+      if (n < static_cast<Index>(p)) continue;
+      HomeMap h(n, p);
+      for (Index i = 0; i < n; ++i) {
+        const int o = h.owner_of(i);
+        EXPECT_GE(i, h.begin_of(o));
+        EXPECT_LT(i, h.end_of(o));
+      }
+    }
+  }
+}
+
+TEST(HomeMap, PartitionsCoverExactly) {
+  HomeMap h(1000, 7);
+  Index total = 0;
+  for (int o = 0; o < 7; ++o) total += h.count_of(o);
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(HomeMap, OutOfRangeRejected) {
+  HomeMap h(10, 2);
+  EXPECT_THROW(h.owner_of(10), Error);
+  EXPECT_THROW(h.begin_of(3), Error);
+  EXPECT_THROW(h.begin_of(-1), Error);
+}
+
+TEST(SharedArray, PartitionViews) {
+  SharedArray<int> a(10, 3);  // 4,3,3
+  for (Index i = 0; i < 10; ++i) a.data()[i] = static_cast<int>(i);
+  EXPECT_EQ(a.partition(0).size(), 4u);
+  EXPECT_EQ(a.partition(1).size(), 3u);
+  EXPECT_EQ(a.partition(1)[0], 4);
+  EXPECT_EQ(a.partition(2)[2], 9);
+}
+
+TEST(SharedArray, WritesVisibleThroughAll) {
+  SharedArray<int> a(6, 2);
+  a.partition(1)[0] = 42;
+  EXPECT_EQ(a.all()[3], 42);
+}
+
+}  // namespace
+}  // namespace dsm::sas

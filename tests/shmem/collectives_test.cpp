@@ -1,0 +1,103 @@
+// Tests for the extended SHMEM collective set (broadcast, collect,
+// sum_to_all).
+#include <gtest/gtest.h>
+
+#include "shmem/shmem.hpp"
+#include "sim/team.hpp"
+
+namespace dsm::shmem {
+namespace {
+
+machine::MachineParams origin() { return machine::MachineParams::origin2000(); }
+
+TEST(Broadcast, RootReachesEveryPe) {
+  sim::SimTeam team(5, origin());
+  SymmetricHeap heap(5, 256);
+  Shmem sh(team, heap);
+  std::vector<std::vector<std::uint32_t>> got(5);
+  team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint32_t> data(3, ctx.rank() == 4 ? 42u : 0u);
+    sh.broadcast<std::uint32_t>(ctx, 4, data);
+    got[ctx.rank()] = data;
+  });
+  for (int r = 0; r < 5; ++r) {
+    EXPECT_EQ(got[r], std::vector<std::uint32_t>(3, 42u));
+  }
+  EXPECT_GT(team.breakdown_of(0).rmem_ns, 0.0);
+}
+
+TEST(Broadcast, BadRootRejected) {
+  sim::SimTeam team(2, origin());
+  SymmetricHeap heap(2, 256);
+  Shmem sh(team, heap);
+  EXPECT_THROW(team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint32_t> data(1);
+    sh.broadcast<std::uint32_t>(ctx, -1, data);
+  }),
+               Error);
+}
+
+TEST(Collect, VariableBlocksConcatenatedInPeOrder) {
+  sim::SimTeam team(4, origin());
+  SymmetricHeap heap(4, 256);
+  Shmem sh(team, heap);
+  std::vector<std::vector<std::uint32_t>> got(4);
+  std::vector<std::uint64_t> offsets(4);
+  team.run([&](sim::ProcContext& ctx) {
+    const int r = ctx.rank();
+    // PE r contributes r+1 copies of r.
+    std::vector<std::uint32_t> in(static_cast<std::size_t>(r + 1),
+                                  static_cast<std::uint32_t>(r));
+    std::vector<std::uint32_t> out(1 + 2 + 3 + 4);
+    offsets[r] = sh.collect<std::uint32_t>(ctx, in, out);
+    got[r] = out;
+  });
+  const std::vector<std::uint32_t> expect{0, 1, 1, 2, 2, 2, 3, 3, 3, 3};
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(got[r], expect);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 1u);
+  EXPECT_EQ(offsets[2], 3u);
+  EXPECT_EQ(offsets[3], 6u);
+}
+
+TEST(Collect, WrongOutputSizeRejected) {
+  sim::SimTeam team(2, origin());
+  SymmetricHeap heap(2, 256);
+  Shmem sh(team, heap);
+  EXPECT_THROW(team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint32_t> in(2), out(3);  // total is 4
+    sh.collect<std::uint32_t>(ctx, in, out);
+  }),
+               Error);
+}
+
+TEST(SumToAll, EveryPeGetsGlobalSum) {
+  sim::SimTeam team(6, origin());
+  SymmetricHeap heap(6, 256);
+  Shmem sh(team, heap);
+  std::vector<std::vector<std::uint64_t>> got(6);
+  team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint64_t> data{
+        1, static_cast<std::uint64_t>(ctx.rank())};
+    sh.sum_to_all<std::uint64_t>(ctx, data);
+    got[ctx.rank()] = data;
+  });
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(got[r], (std::vector<std::uint64_t>{6, 0 + 1 + 2 + 3 + 4 + 5}));
+  }
+}
+
+TEST(SumToAll, MismatchedSizesRejected) {
+  sim::SimTeam team(2, origin());
+  SymmetricHeap heap(2, 256);
+  Shmem sh(team, heap);
+  EXPECT_THROW(team.run([&](sim::ProcContext& ctx) {
+    std::vector<std::uint64_t> data(
+        static_cast<std::size_t>(ctx.rank() + 1));
+    sh.sum_to_all<std::uint64_t>(ctx, data);
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace dsm::shmem

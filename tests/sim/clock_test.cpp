@@ -1,0 +1,97 @@
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dsm::sim {
+namespace {
+
+TEST(CategoryClock, StartsAtZero) {
+  CategoryClock c;
+  EXPECT_DOUBLE_EQ(c.now_ns(), 0.0);
+  for (Cat cat : {Cat::kBusy, Cat::kLMem, Cat::kRMem, Cat::kSync}) {
+    EXPECT_DOUBLE_EQ(c.at(cat), 0.0);
+  }
+}
+
+TEST(CategoryClock, ChargesAccumulatePerCategory) {
+  CategoryClock c;
+  c.charge(Cat::kBusy, 10);
+  c.charge(Cat::kBusy, 5);
+  c.charge(Cat::kRMem, 7);
+  EXPECT_DOUBLE_EQ(c.at(Cat::kBusy), 15.0);
+  EXPECT_DOUBLE_EQ(c.at(Cat::kRMem), 7.0);
+  EXPECT_DOUBLE_EQ(c.now_ns(), 22.0);
+}
+
+TEST(CategoryClock, CategoriesSumToTotal) {
+  CategoryClock c;
+  c.charge(Cat::kBusy, 1.5);
+  c.charge(Cat::kLMem, 2.5);
+  c.charge(Cat::kRMem, 3.5);
+  c.charge(Cat::kSync, 4.5);
+  const Breakdown b = c.breakdown();
+  EXPECT_DOUBLE_EQ(b.total_ns(), c.now_ns());
+  EXPECT_DOUBLE_EQ(b.mem_ns(), 6.0);
+}
+
+TEST(CategoryClock, RejectsNegativeAndNonFinite) {
+  CategoryClock c;
+  EXPECT_THROW(c.charge(Cat::kBusy, -1.0), Error);
+  EXPECT_THROW(c.charge(Cat::kBusy, std::nan("")), Error);
+  EXPECT_THROW(c.charge(Cat::kBusy,
+                        std::numeric_limits<double>::infinity()),
+               Error);
+}
+
+TEST(CategoryClock, AdvanceToChargesGap) {
+  CategoryClock c;
+  c.charge(Cat::kBusy, 100);
+  c.advance_to(150, Cat::kSync);
+  EXPECT_DOUBLE_EQ(c.at(Cat::kSync), 50.0);
+  EXPECT_DOUBLE_EQ(c.now_ns(), 150.0);
+}
+
+TEST(CategoryClock, AdvanceToPastThrows) {
+  CategoryClock c;
+  c.charge(Cat::kBusy, 100);
+  EXPECT_THROW(c.advance_to(50, Cat::kSync), Error);
+}
+
+TEST(CategoryClock, AdvanceToToleratesRoundingSlack) {
+  CategoryClock c;
+  c.charge(Cat::kBusy, 100);
+  EXPECT_NO_THROW(c.advance_to(100.0 - 1e-6, Cat::kSync));
+  EXPECT_DOUBLE_EQ(c.now_ns(), 100.0);
+}
+
+TEST(CategoryClock, Reset) {
+  CategoryClock c;
+  c.charge(Cat::kLMem, 42);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now_ns(), 0.0);
+}
+
+TEST(Breakdown, Arithmetic) {
+  Breakdown a{1, 2, 3, 4};
+  Breakdown b{10, 20, 30, 40};
+  b += a;
+  EXPECT_DOUBLE_EQ(b.busy_ns, 11);
+  EXPECT_DOUBLE_EQ(b.sync_ns, 44);
+  const Breakdown d = b - a;
+  EXPECT_DOUBLE_EQ(d.lmem_ns, 20);
+}
+
+TEST(CatName, AllNamed) {
+  EXPECT_STREQ(cat_name(Cat::kBusy), "BUSY");
+  EXPECT_STREQ(cat_name(Cat::kLMem), "LMEM");
+  EXPECT_STREQ(cat_name(Cat::kRMem), "RMEM");
+  EXPECT_STREQ(cat_name(Cat::kSync), "SYNC");
+}
+
+}  // namespace
+}  // namespace dsm::sim

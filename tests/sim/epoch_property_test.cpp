@@ -1,0 +1,186 @@
+// Property-based tests of the epoch engines over randomised transfer
+// patterns: conservation laws, monotonicity in parameters, and bounds
+// that must hold for any pattern.
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "sim/epoch.hpp"
+
+namespace dsm::sim {
+namespace {
+
+machine::CostModel cost(int p) {
+  return machine::CostModel(machine::MachineParams::origin2000(), p);
+}
+
+std::vector<std::vector<Transfer>> random_sends(int p, std::uint64_t seed,
+                                                int max_per_pair = 4) {
+  SplitMix64 rng(seed);
+  std::vector<std::vector<Transfer>> sends(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s == d) continue;
+      const auto k = rng.next_below(static_cast<std::uint64_t>(max_per_pair) + 1);
+      for (std::uint64_t i = 0; i < k; ++i) {
+        sends[static_cast<std::size_t>(s)].push_back(
+            Transfer{s, d, 64 + rng.next_below(16384)});
+      }
+    }
+  }
+  return sends;
+}
+
+class TwoSidedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TwoSidedProperty, RmemIsExactlyTheOverheadsAndCopies) {
+  const int p = 6;
+  const auto cm = cost(p);
+  const auto sends = random_sends(p, GetParam());
+  const std::vector<double> entry(static_cast<std::size_t>(p), 0.0);
+  TwoSidedConfig cfg;
+  cfg.send_overhead_ns = 1000;
+  cfg.recv_overhead_ns = 700;
+  cfg.send_copy_ns_per_byte = 0.5;
+  cfg.recv_copy_ns_per_byte = 0.25;
+  cfg.slot_depth = 1;
+  const EpochResult res = simulate_two_sided(cm, sends, entry, cfg);
+
+  // RMEM is deterministic work, independent of scheduling: each rank pays
+  // exactly its posted sends and drained receives.
+  std::vector<double> expect(static_cast<std::size_t>(p), 0.0);
+  for (const auto& per_rank : sends) {
+    for (const Transfer& m : per_rank) {
+      expect[static_cast<std::size_t>(m.src)] +=
+          cfg.send_overhead_ns +
+          cfg.send_copy_ns_per_byte * static_cast<double>(m.bytes);
+      expect[static_cast<std::size_t>(m.dst)] +=
+          cfg.recv_overhead_ns +
+          cfg.recv_copy_ns_per_byte * static_cast<double>(m.bytes);
+    }
+  }
+  for (int r = 0; r < p; ++r) {
+    EXPECT_NEAR(res.procs[static_cast<std::size_t>(r)].rmem_ns,
+                expect[static_cast<std::size_t>(r)], 1e-6)
+        << "rank " << r;
+  }
+}
+
+TEST_P(TwoSidedProperty, DeeperSlotsNeverSlower) {
+  const int p = 5;
+  const auto cm = cost(p);
+  const auto sends = random_sends(p, GetParam() ^ 0xabcd);
+  const std::vector<double> entry(static_cast<std::size_t>(p), 0.0);
+  TwoSidedConfig cfg;
+  cfg.send_overhead_ns = 2000;
+  cfg.recv_overhead_ns = 1500;
+  double prev_quiescence = 1e300;
+  for (const int depth : {1, 2, 4, 64}) {
+    cfg.slot_depth = depth;
+    const EpochResult res = simulate_two_sided(cm, sends, entry, cfg);
+    EXPECT_LE(res.quiescence_ns, prev_quiescence + 1e-6) << "depth " << depth;
+    prev_quiescence = res.quiescence_ns;
+  }
+}
+
+TEST_P(TwoSidedProperty, EndsBoundedBelowByOwnWork) {
+  const int p = 6;
+  const auto cm = cost(p);
+  const auto sends = random_sends(p, GetParam() ^ 0x1234);
+  std::vector<double> entry(static_cast<std::size_t>(p));
+  SplitMix64 rng(GetParam());
+  for (auto& e : entry) e = static_cast<double>(rng.next_below(100000));
+  TwoSidedConfig cfg;
+  cfg.send_overhead_ns = 1000;
+  cfg.recv_overhead_ns = 700;
+  const EpochResult res = simulate_two_sided(cm, sends, entry, cfg);
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    EXPECT_GE(res.procs[rr].end_ns + 1e-9,
+              entry[rr] + res.procs[rr].rmem_ns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoSidedProperty,
+                         ::testing::Values(1, 2, 3, 17, 99));
+
+class GetsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GetsProperty, EndsRespectSourceBandwidthBound) {
+  const int p = 6;
+  const auto cm = cost(p);
+  SplitMix64 rng(GetParam());
+  std::vector<std::vector<Transfer>> gets(static_cast<std::size_t>(p));
+  std::vector<double> bytes_from(static_cast<std::size_t>(p), 0.0);
+  for (int r = 0; r < p; ++r) {
+    for (int s = 0; s < p; ++s) {
+      if (s == r) continue;
+      if (rng.next_below(2) == 0) continue;
+      const std::uint64_t b = 1024 + rng.next_below(65536);
+      gets[static_cast<std::size_t>(r)].push_back(Transfer{s, r, b});
+      bytes_from[static_cast<std::size_t>(s)] += static_cast<double>(b);
+    }
+  }
+  const std::vector<double> entry(static_cast<std::size_t>(p), 0.0);
+  const EpochResult res =
+      simulate_gets(cm, gets, entry, OneSidedConfig{500});
+  // Every source must serve its bytes at bulk bandwidth: quiescence cannot
+  // beat the busiest source's service time.
+  const auto& mp = cm.params();
+  double busiest = 0;
+  for (int s = 0; s < p; ++s) {
+    busiest = std::max(busiest, bytes_from[static_cast<std::size_t>(s)] /
+                                    mp.mem.bulk_copy_bytes_per_ns);
+  }
+  EXPECT_GE(res.quiescence_ns + 1e-6, busiest);
+  // And RMEM equals the whole phase for every getter.
+  for (int r = 0; r < p; ++r) {
+    const auto rr = static_cast<std::size_t>(r);
+    EXPECT_NEAR(res.procs[rr].rmem_ns, res.procs[rr].end_ns - entry[rr],
+                1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GetsProperty, ::testing::Values(4, 8, 15));
+
+TEST(PutsProperty, RmemIsExactInjectionCost) {
+  const int p = 4;
+  const auto cm = cost(p);
+  SplitMix64 rng(3);
+  std::vector<std::vector<Transfer>> puts(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    for (int i = 0; i < 3; ++i) {
+      puts[static_cast<std::size_t>(r)].push_back(
+          Transfer{r, (r + 1 + static_cast<int>(rng.next_below(
+                                   static_cast<std::uint64_t>(p - 1)))) %
+                          p,
+                   128 + rng.next_below(4096)});
+    }
+  }
+  const std::vector<double> entry(static_cast<std::size_t>(p), 0.0);
+  OneSidedConfig cfg{800};
+  const EpochResult res = simulate_puts(cm, puts, entry, cfg);
+  const auto& mp = cm.params();
+  for (int r = 0; r < p; ++r) {
+    double expect = 0;
+    for (const Transfer& m : puts[static_cast<std::size_t>(r)]) {
+      expect += cfg.overhead_ns +
+                static_cast<double>(m.bytes) / mp.mem.bulk_copy_bytes_per_ns;
+    }
+    EXPECT_NEAR(res.procs[static_cast<std::size_t>(r)].rmem_ns, expect, 1e-6);
+    EXPECT_NEAR(res.procs[static_cast<std::size_t>(r)].end_ns, expect, 1e-6);
+  }
+  EXPECT_GE(res.quiescence_ns, res.procs[0].end_ns);
+}
+
+TEST(ScatteredProperty, ChargesScaleLinearlyWithoutContention) {
+  const auto cm = cost(4);
+  std::vector<ScatteredTraffic> one{{0, 1, 100, 50.0, 10}};
+  std::vector<ScatteredTraffic> two{{0, 1, 200, 50.0, 20}};
+  const std::vector<double> overlap(4, 1e12);  // huge span: no inflation
+  const auto a = inflate_scattered_writes(cm, 4, one, overlap);
+  const auto b = inflate_scattered_writes(cm, 4, two, overlap);
+  EXPECT_NEAR(b[0], 2 * a[0], 1e-6);
+}
+
+}  // namespace
+}  // namespace dsm::sim

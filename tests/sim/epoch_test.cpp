@@ -1,0 +1,298 @@
+#include "sim/epoch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+
+namespace dsm::sim {
+namespace {
+
+machine::CostModel cost(int p) {
+  return machine::CostModel(machine::MachineParams::origin2000(), p);
+}
+
+TwoSidedConfig direct_cfg() {
+  TwoSidedConfig cfg;
+  cfg.send_overhead_ns = 1000;
+  cfg.recv_overhead_ns = 800;
+  cfg.slot_depth = 1;
+  return cfg;
+}
+
+void expect_classified(const EpochResult& res, std::span<const double> entry) {
+  for (std::size_t r = 0; r < res.procs.size(); ++r) {
+    const ProcOutcome& o = res.procs[r];
+    EXPECT_NEAR(o.end_ns - entry[r], o.rmem_ns + o.sync_ns, 1e-3)
+        << "rank " << r;
+    EXPECT_GE(o.rmem_ns, 0.0);
+    EXPECT_GE(o.sync_ns, 0.0);
+  }
+}
+
+TEST(TwoSided, EmptyEpochIsFree) {
+  const auto cm = cost(4);
+  std::vector<std::vector<Transfer>> sends(4);
+  std::vector<double> entry{10, 20, 30, 40};
+  const EpochResult res = simulate_two_sided(cm, sends, entry, direct_cfg());
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_DOUBLE_EQ(res.procs[r].end_ns, entry[r]);
+    EXPECT_DOUBLE_EQ(res.procs[r].rmem_ns, 0);
+    EXPECT_DOUBLE_EQ(res.procs[r].sync_ns, 0);
+  }
+}
+
+TEST(TwoSided, SingleMessageTimings) {
+  const auto cm = cost(4);
+  std::vector<std::vector<Transfer>> sends(4);
+  sends[0].push_back(Transfer{0, 2, 1024});
+  std::vector<double> entry(4, 0.0);
+  const TwoSidedConfig cfg = direct_cfg();
+  const EpochResult res = simulate_two_sided(cm, sends, entry, cfg);
+  expect_classified(res, entry);
+  // Sender pays only its overhead.
+  EXPECT_DOUBLE_EQ(res.procs[0].end_ns, cfg.send_overhead_ns);
+  // Receiver waits for arrival, then pays recv overhead.
+  const double arrival = cfg.send_overhead_ns + cm.line_rtt_ns(0, 2);
+  EXPECT_NEAR(res.procs[2].end_ns, arrival + cfg.recv_overhead_ns, 1e-6);
+  EXPECT_NEAR(res.procs[2].sync_ns, arrival, 1e-6);
+  EXPECT_NEAR(res.procs[2].rmem_ns, cfg.recv_overhead_ns, 1e-6);
+  // Bystanders unaffected.
+  EXPECT_DOUBLE_EQ(res.procs[1].end_ns, 0);
+  EXPECT_DOUBLE_EQ(res.procs[3].end_ns, 0);
+}
+
+TEST(TwoSided, StagedCopiesCharged) {
+  const auto cm = cost(2);
+  std::vector<std::vector<Transfer>> sends(2);
+  sends[0].push_back(Transfer{0, 1, 10000});
+  std::vector<double> entry(2, 0.0);
+  TwoSidedConfig cfg = direct_cfg();
+  cfg.send_copy_ns_per_byte = 2.0;
+  cfg.recv_copy_ns_per_byte = 3.0;
+  const EpochResult res = simulate_two_sided(cm, sends, entry, cfg);
+  EXPECT_NEAR(res.procs[0].rmem_ns, cfg.send_overhead_ns + 20000, 1e-6);
+  EXPECT_NEAR(res.procs[1].rmem_ns, cfg.recv_overhead_ns + 30000, 1e-6);
+}
+
+TEST(TwoSided, SlotDepthOneSerialisesBackToBackSends) {
+  const auto cm = cost(2);
+  // Rank 0 sends two messages to rank 1: the second must wait until the
+  // receiver drains the first.
+  std::vector<std::vector<Transfer>> sends(2);
+  sends[0].push_back(Transfer{0, 1, 1 << 20});
+  sends[0].push_back(Transfer{0, 1, 1 << 20});
+  std::vector<double> entry(2, 0.0);
+
+  TwoSidedConfig d1 = direct_cfg();
+  const EpochResult r1 = simulate_two_sided(cm, sends, entry, d1);
+  TwoSidedConfig d2 = direct_cfg();
+  d2.slot_depth = 2;
+  const EpochResult r2 = simulate_two_sided(cm, sends, entry, d2);
+
+  expect_classified(r1, entry);
+  EXPECT_GT(r1.procs[0].sync_ns, 0.0);           // slot stall
+  EXPECT_DOUBLE_EQ(r2.procs[0].sync_ns, 0.0);    // deep slots: no stall
+  EXPECT_GT(r1.procs[0].end_ns, r2.procs[0].end_ns);
+}
+
+TEST(TwoSided, ProgressEngineAvoidsDeadlock) {
+  // Both ranks send 8 messages to each other with 1-deep slots — naive
+  // blocking sends would deadlock; the progress engine must drain.
+  const auto cm = cost(2);
+  std::vector<std::vector<Transfer>> sends(2);
+  for (int i = 0; i < 8; ++i) {
+    sends[0].push_back(Transfer{0, 1, 4096});
+    sends[1].push_back(Transfer{1, 0, 4096});
+  }
+  std::vector<double> entry(2, 0.0);
+  const EpochResult res = simulate_two_sided(cm, sends, entry, direct_cfg());
+  expect_classified(res, entry);
+  EXPECT_GT(res.procs[0].end_ns, 0.0);
+  EXPECT_GT(res.procs[1].end_ns, 0.0);
+}
+
+TEST(TwoSided, AllToAllCompletesAndIsDeterministic) {
+  const int p = 8;
+  const auto cm = cost(p);
+  std::vector<std::vector<Transfer>> sends(p);
+  SplitMix64 rng(17);
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s == d) continue;
+      for (int k = 0; k < 3; ++k) {
+        sends[s].push_back(Transfer{s, d, 512 + rng.next_below(8192)});
+      }
+    }
+  }
+  std::vector<double> entry(p, 0.0);
+  const EpochResult a = simulate_two_sided(cm, sends, entry, direct_cfg());
+  const EpochResult b = simulate_two_sided(cm, sends, entry, direct_cfg());
+  expect_classified(a, entry);
+  for (int r = 0; r < p; ++r) {
+    EXPECT_DOUBLE_EQ(a.procs[r].end_ns, b.procs[r].end_ns);
+    EXPECT_DOUBLE_EQ(a.procs[r].rmem_ns, b.procs[r].rmem_ns);
+    EXPECT_DOUBLE_EQ(a.procs[r].sync_ns, b.procs[r].sync_ns);
+  }
+  EXPECT_GE(a.quiescence_ns, a.procs[0].end_ns);
+}
+
+TEST(TwoSided, LateEntryDelaysReceiver) {
+  const auto cm = cost(2);
+  std::vector<std::vector<Transfer>> sends(2);
+  sends[0].push_back(Transfer{0, 1, 128});
+  std::vector<double> entry{0.0, 1e9};  // receiver enters very late
+  const EpochResult res = simulate_two_sided(cm, sends, entry, direct_cfg());
+  // Message long arrived; receiver pays no wait, just overhead.
+  EXPECT_DOUBLE_EQ(res.procs[1].sync_ns, 0.0);
+  EXPECT_NEAR(res.procs[1].end_ns, 1e9 + direct_cfg().recv_overhead_ns, 1e-3);
+}
+
+TEST(TwoSided, RejectsMalformedTransfers) {
+  const auto cm = cost(2);
+  std::vector<std::vector<Transfer>> sends(2);
+  std::vector<double> entry(2, 0.0);
+  sends[0].push_back(Transfer{0, 0, 128});  // self send
+  EXPECT_THROW(simulate_two_sided(cm, sends, entry, direct_cfg()), Error);
+  sends[0][0] = Transfer{1, 0, 128};  // wrong src
+  EXPECT_THROW(simulate_two_sided(cm, sends, entry, direct_cfg()), Error);
+  sends[0][0] = Transfer{0, 5, 128};  // dst out of range
+  EXPECT_THROW(simulate_two_sided(cm, sends, entry, direct_cfg()), Error);
+}
+
+TEST(Gets, BlockingGetLatency) {
+  const auto cm = cost(4);
+  std::vector<std::vector<Transfer>> gets(4);
+  gets[1].push_back(Transfer{0, 1, 4096});
+  std::vector<double> entry(4, 0.0);
+  OneSidedConfig cfg{500.0};
+  const EpochResult res = simulate_gets(cm, gets, entry, cfg);
+  const auto& mp = cm.params();
+  const double expect = 500.0 + cm.line_rtt_ns(1, 0) +  // request + response
+                        mp.mem.dir_occupancy_ns +
+                        4096.0 / mp.mem.bulk_copy_bytes_per_ns;
+  EXPECT_NEAR(res.procs[1].end_ns, expect, 1e-6);
+  EXPECT_NEAR(res.procs[1].rmem_ns, expect, 1e-6);
+  EXPECT_DOUBLE_EQ(res.procs[0].end_ns, 0.0);  // one-sided: source CPU idle
+}
+
+TEST(Gets, SourceServerSerialisesConcurrentGetters) {
+  const auto cm = cost(8);
+  const std::uint64_t big = 1 << 20;
+  std::vector<double> entry(8, 0.0);
+  OneSidedConfig cfg{500.0};
+
+  // One getter alone:
+  std::vector<std::vector<Transfer>> solo(8);
+  solo[1].push_back(Transfer{0, 1, big});
+  const double alone = simulate_gets(cm, solo, entry, cfg).procs[1].end_ns;
+
+  // Seven getters hammering the same source:
+  std::vector<std::vector<Transfer>> crowd(8);
+  for (int r = 1; r < 8; ++r) crowd[r].push_back(Transfer{0, r, big});
+  const EpochResult res = simulate_gets(cm, crowd, entry, cfg);
+  double worst = 0;
+  for (int r = 1; r < 8; ++r) worst = std::max(worst, res.procs[r].end_ns);
+  EXPECT_GT(worst, 5 * alone);  // serialised at the source
+}
+
+TEST(Gets, SequentialGetsByOneGetter) {
+  const auto cm = cost(4);
+  std::vector<std::vector<Transfer>> gets(4);
+  gets[0].push_back(Transfer{1, 0, 1000});
+  gets[0].push_back(Transfer{2, 0, 1000});
+  std::vector<double> entry(4, 0.0);
+  const EpochResult res = simulate_gets(cm, gets, entry, OneSidedConfig{100});
+  // Two blocking gets back to back: roughly twice one get.
+  const std::vector<std::vector<Transfer>> one{
+      {{}}, {}, {}, {}};
+  EXPECT_GT(res.procs[0].end_ns, 2 * 100.0);
+  EXPECT_DOUBLE_EQ(res.procs[0].rmem_ns, res.procs[0].end_ns);
+}
+
+TEST(Gets, RejectsWrongInitiator) {
+  const auto cm = cost(2);
+  std::vector<std::vector<Transfer>> gets(2);
+  gets[1].push_back(Transfer{0, 0, 128});  // dst must equal issuing rank
+  std::vector<double> entry(2, 0.0);
+  EXPECT_THROW(simulate_gets(cm, gets, entry, OneSidedConfig{0}), Error);
+}
+
+TEST(Puts, InitiatorPaysInjectionOnly) {
+  const auto cm = cost(4);
+  std::vector<std::vector<Transfer>> puts(4);
+  puts[0].push_back(Transfer{0, 3, 8192});
+  std::vector<double> entry(4, 0.0);
+  OneSidedConfig cfg{300.0};
+  const EpochResult res = simulate_puts(cm, puts, entry, cfg);
+  const double inject =
+      300.0 + 8192.0 / cm.params().mem.bulk_copy_bytes_per_ns;
+  EXPECT_NEAR(res.procs[0].end_ns, inject, 1e-6);
+  // Quiescence includes the flight to the destination.
+  EXPECT_GT(res.quiescence_ns, inject);
+  EXPECT_DOUBLE_EQ(res.procs[3].end_ns, 0.0);
+}
+
+TEST(Puts, RejectsWrongInitiator) {
+  const auto cm = cost(2);
+  std::vector<std::vector<Transfer>> puts(2);
+  puts[0].push_back(Transfer{1, 0, 128});
+  std::vector<double> entry(2, 0.0);
+  EXPECT_THROW(simulate_puts(cm, puts, entry, OneSidedConfig{0}), Error);
+}
+
+TEST(ScatteredWrites, RawCostWithoutContention) {
+  const auto cm = cost(4);
+  std::vector<ScatteredTraffic> traffic;
+  traffic.push_back(ScatteredTraffic{0, 1, 10, 500.0, 10});
+  const auto charges = inflate_scattered_writes(cm, 4, traffic, {});
+  EXPECT_NEAR(charges[0], 5000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(charges[1], 0.0);
+}
+
+TEST(ScatteredWrites, HotHomeInflates) {
+  const auto cm = cost(8);
+  // Everyone hammers home 0 with heavy transaction counts.
+  std::vector<ScatteredTraffic> traffic;
+  for (int w = 1; w < 8; ++w) {
+    traffic.push_back(ScatteredTraffic{w, 0, 1000, 500.0, 100000});
+  }
+  const auto charges = inflate_scattered_writes(cm, 8, traffic, {});
+  // occupancy(0) = 7 * 100000 * 110ns >> span(500us) => inflation.
+  EXPECT_GT(charges[1], 1000 * 500.0 * 2);
+}
+
+TEST(ScatteredWrites, BalancedTrafficNotInflated) {
+  const auto cm = cost(4);
+  std::vector<ScatteredTraffic> traffic;
+  for (int w = 0; w < 4; ++w) {
+    for (int h = 0; h < 4; ++h) {
+      if (w == h) continue;
+      traffic.push_back(ScatteredTraffic{w, h, 10, 500.0, 10});
+    }
+  }
+  const auto charges = inflate_scattered_writes(cm, 4, traffic, {});
+  // occupancy per home = 30 txn * 110 = 3300 < span 15000 -> no inflation.
+  for (int w = 0; w < 4; ++w) EXPECT_NEAR(charges[w], 3 * 10 * 500.0, 1e-6);
+}
+
+TEST(ScatteredWrites, OverlapWidensSpanAndDampsInflation) {
+  const auto cm = cost(4);
+  std::vector<ScatteredTraffic> traffic;
+  for (int w = 1; w < 4; ++w) {
+    traffic.push_back(ScatteredTraffic{w, 0, 100, 100.0, 10000});
+  }
+  const auto hot = inflate_scattered_writes(cm, 4, traffic, {});
+  const std::vector<double> overlap(4, 1e9);  // long compute window
+  const auto damped = inflate_scattered_writes(cm, 4, traffic, overlap);
+  EXPECT_GT(hot[1], damped[1]);
+  EXPECT_NEAR(damped[1], 100 * 100.0, 1e-6);  // no inflation needed
+}
+
+TEST(ScatteredWrites, RejectsLocalHome) {
+  const auto cm = cost(2);
+  std::vector<ScatteredTraffic> traffic{{0, 0, 1, 1.0, 1}};
+  EXPECT_THROW(inflate_scattered_writes(cm, 2, traffic, {}), Error);
+}
+
+}  // namespace
+}  // namespace dsm::sim

@@ -1,0 +1,157 @@
+#include "sim/team.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dsm::sim {
+namespace {
+
+machine::MachineParams origin() { return machine::MachineParams::origin2000(); }
+
+TEST(SimTeam, RunsBodyOnEveryRank) {
+  SimTeam team(8, origin());
+  std::vector<int> seen(8, 0);
+  team.run([&](ProcContext& ctx) { seen[ctx.rank()] = 1; });
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), 8);
+}
+
+TEST(SimTeam, ClocksAccumulateAndReset) {
+  SimTeam team(2, origin());
+  team.run([](ProcContext& ctx) { ctx.busy_cycles(195); });
+  EXPECT_NEAR(team.breakdown_of(0).busy_ns, 1000.0, 1e-6);
+  team.reset_clocks();
+  EXPECT_DOUBLE_EQ(team.breakdown_of(0).total_ns(), 0.0);
+}
+
+TEST(SimTeam, VbarrierChargesMaxMinusOwn) {
+  SimTeam team(4, origin());
+  team.run([](ProcContext& ctx) {
+    ctx.busy_cycles(100.0 * (ctx.rank() + 1));  // staggered arrival
+    ctx.barrier();
+  });
+  const double slowest = team.breakdown_of(3).total_ns();
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_NEAR(team.breakdown_of(r).total_ns(), slowest, 1e-6);
+  }
+  EXPECT_DOUBLE_EQ(team.breakdown_of(3).sync_ns, 0.0);  // last arriver
+  EXPECT_GT(team.breakdown_of(0).sync_ns, 0.0);
+}
+
+TEST(SimTeam, ElapsedIsMaxOverRanks) {
+  SimTeam team(4, origin());
+  team.run([](ProcContext& ctx) {
+    ctx.busy_cycles(ctx.rank() == 2 ? 1000 : 10);
+  });
+  EXPECT_NEAR(team.elapsed_ns(), team.breakdown_of(2).total_ns(), 1e-9);
+}
+
+TEST(SimTeam, ReconcileDistributesPerRankResults) {
+  SimTeam team(6, origin());
+  std::vector<int> got(6, -1);
+  team.run([&](ProcContext& ctx) {
+    const int in = ctx.rank() * 10;
+    const int out = ctx.team().reconcile<int, int>(
+        ctx, in, [](std::span<const int* const> ins) {
+          std::vector<int> outs;
+          for (const int* v : ins) outs.push_back(*v + 1);
+          return outs;
+        });
+    got[ctx.rank()] = out;
+  });
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(got[r], r * 10 + 1);
+}
+
+TEST(SimTeam, BackToBackReconcilesDoNotCorrupt) {
+  SimTeam team(8, origin());
+  std::vector<int> sums(8, 0);
+  team.run([&](ProcContext& ctx) {
+    for (int round = 0; round < 50; ++round) {
+      const int in = ctx.rank() + round;
+      const int out = ctx.team().reconcile<int, int>(
+          ctx, in, [](std::span<const int* const> ins) {
+            int total = 0;
+            for (const int* v : ins) total += *v;
+            return std::vector<int>(ins.size(), total);
+          });
+      sums[ctx.rank()] += out;
+    }
+  });
+  // Sum per round: sum(0..7) + 8*round.
+  int expect = 0;
+  for (int round = 0; round < 50; ++round) expect += 28 + 8 * round;
+  for (int r = 0; r < 8; ++r) EXPECT_EQ(sums[r], expect);
+}
+
+TEST(SimTeam, TwoSidedEpochChargesClocks) {
+  SimTeam team(2, origin());
+  TwoSidedConfig cfg;
+  cfg.send_overhead_ns = 100;
+  cfg.recv_overhead_ns = 50;
+  team.run([&](ProcContext& ctx) {
+    std::vector<Transfer> sends;
+    if (ctx.rank() == 0) sends.push_back(Transfer{0, 1, 256});
+    ctx.team().two_sided_epoch(ctx, std::move(sends), cfg);
+  });
+  EXPECT_NEAR(team.breakdown_of(0).rmem_ns, 100, 1e-6);
+  EXPECT_GT(team.breakdown_of(1).sync_ns, 0.0);
+  EXPECT_NEAR(team.breakdown_of(1).rmem_ns, 50, 1e-6);
+}
+
+TEST(SimTeam, PutQuiescenceEnforcedAtNextBarrier) {
+  SimTeam team(2, origin());
+  OneSidedConfig cfg{10.0};
+  team.run([&](ProcContext& ctx) {
+    std::vector<Transfer> puts;
+    if (ctx.rank() == 0) puts.push_back(Transfer{0, 1, 1 << 20});
+    ctx.team().put_epoch(ctx, std::move(puts), cfg);
+    ctx.barrier();
+  });
+  // Both ranks leave the barrier at the quiescence time: the injector's
+  // end plus the flight latency to the destination.
+  const auto b0 = team.breakdown_of(0);
+  const auto b1 = team.breakdown_of(1);
+  EXPECT_GT(b1.sync_ns, 0.0);
+  EXPECT_NEAR(b0.total_ns(), b1.total_ns(), 1e-6);
+  EXPECT_NEAR(b0.total_ns(), b0.rmem_ns + team.cost().line_rtt_ns(0, 1),
+              1e-6);
+}
+
+TEST(SimTeam, ScatteredWriteEpochCharges) {
+  SimTeam team(2, origin());
+  team.run([&](ProcContext& ctx) {
+    std::vector<ScatteredTraffic> traffic;
+    if (ctx.rank() == 0) {
+      traffic.push_back(ScatteredTraffic{0, 1, 100, 400.0, 300});
+    }
+    ctx.team().scattered_write_epoch(ctx, std::move(traffic));
+  });
+  // raw = 100 * 400 = 40000; home occupancy = 300 * 170 = 51000 exceeds
+  // the span, so the writer is inflated to the occupancy bound.
+  EXPECT_NEAR(team.breakdown_of(0).rmem_ns, 51000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(team.breakdown_of(1).rmem_ns, 0.0);
+}
+
+TEST(SimTeam, BodyExceptionPropagatesWithoutHang) {
+  SimTeam team(4, origin());
+  EXPECT_THROW(team.run([](ProcContext& ctx) {
+    if (ctx.rank() == 1) throw Error("injected failure");
+    ctx.barrier();  // other ranks park; poison must release them
+  }),
+               Error);
+  // Team is unusable afterwards.
+  EXPECT_THROW(team.run([](ProcContext&) {}), Error);
+}
+
+TEST(SimTeam, SingleProcTeamWorks) {
+  SimTeam team(1, origin());
+  team.run([](ProcContext& ctx) {
+    ctx.barrier();
+    ctx.busy_cycles(10);
+    ctx.team().two_sided_epoch(ctx, {}, TwoSidedConfig{});
+  });
+  EXPECT_GT(team.elapsed_ns(), 0.0);
+}
+
+}  // namespace
+}  // namespace dsm::sim

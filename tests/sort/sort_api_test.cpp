@@ -1,0 +1,100 @@
+#include "sort/sort_api.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace dsm::sort {
+namespace {
+
+TEST(SortSpec, Validation) {
+  SortSpec s;
+  s.nprocs = 0;
+  EXPECT_THROW(s.validate(), Error);
+
+  s = SortSpec();
+  s.n = 2;
+  s.nprocs = 4;  // fewer keys than procs
+  EXPECT_THROW(s.validate(), Error);
+
+  s = SortSpec();
+  s.radix_bits = 0;
+  EXPECT_THROW(s.validate(), Error);
+
+  s = SortSpec();
+  s.algo = Algo::kSample;
+  s.model = Model::kCcSasNew;  // radix-only variant
+  EXPECT_THROW(s.validate(), Error);
+
+  s = SortSpec();
+  s.sample_count = 0;
+  EXPECT_THROW(s.validate(), Error);
+
+  s = SortSpec();
+  s.n = 1 << 12;
+  s.nprocs = 2;
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(SortSpec, ResolvedMachineFollowsPaperPages) {
+  SortSpec s;
+  s.n = 1 << 20;
+  EXPECT_EQ(s.resolved_machine().page_bytes, 64ull << 10);
+  s.n = 256ull << 20;
+  EXPECT_EQ(s.resolved_machine().page_bytes, 256ull << 10);
+  machine::MachineParams custom;
+  custom.page_bytes = 16 << 10;
+  s.machine = custom;
+  EXPECT_EQ(s.resolved_machine().page_bytes, 16ull << 10);
+}
+
+TEST(Names, RoundTrip) {
+  EXPECT_STREQ(algo_name(Algo::kRadix), "radix");
+  EXPECT_STREQ(algo_name(Algo::kSample), "sample");
+  for (const Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi,
+                        Model::kShmem}) {
+    EXPECT_EQ(model_from_name(model_name(m)), m);
+  }
+  EXPECT_THROW(model_from_name("bogus"), Error);
+}
+
+TEST(SeqBaseline, PositiveAndScalesWithN) {
+  const auto mp = machine::MachineParams::origin2000();
+  const double t1 = seq_baseline_ns(1 << 12, keys::Dist::kGauss, 8, mp);
+  const double t4 = seq_baseline_ns(1 << 14, keys::Dist::kGauss, 8, mp);
+  EXPECT_GT(t1, 0.0);
+  EXPECT_GT(t4, 3.0 * t1);
+}
+
+TEST(SeqBaseline, DeterministicPerSeed) {
+  const auto mp = machine::MachineParams::origin2000();
+  EXPECT_DOUBLE_EQ(seq_baseline_ns(1 << 12, keys::Dist::kRandom, 8, mp, 5),
+                   seq_baseline_ns(1 << 12, keys::Dist::kRandom, 8, mp, 5));
+}
+
+TEST(Speedup, Computes) {
+  EXPECT_DOUBLE_EQ(speedup(100.0, 25.0), 4.0);
+  EXPECT_THROW(speedup(100.0, 0.0), Error);
+}
+
+TEST(RunSort, ResultFieldsPopulated) {
+  SortSpec s;
+  s.algo = Algo::kRadix;
+  s.model = Model::kShmem;
+  s.nprocs = 4;
+  s.n = 1 << 12;
+  const SortResult res = run_sort(s);
+  EXPECT_TRUE(res.verified);
+  EXPECT_EQ(res.n, s.n);
+  EXPECT_EQ(res.passes, 4);
+  EXPECT_EQ(res.per_proc.size(), 4u);
+  EXPECT_GT(res.elapsed_ns, 0.0);
+  EXPECT_GT(res.elapsed_us(), 0.0);
+  // elapsed is the max over per-proc totals.
+  double mx = 0;
+  for (const auto& b : res.per_proc) mx = std::max(mx, b.total_ns());
+  EXPECT_NEAR(res.elapsed_ns, mx, 1e-6);
+}
+
+}  // namespace
+}  // namespace dsm::sort

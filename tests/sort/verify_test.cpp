@@ -1,0 +1,76 @@
+#include "sort/verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dsm::sort {
+namespace {
+
+TEST(Checksum, OrderIndependent) {
+  const std::vector<Key> a{1, 2, 3, 4, 5};
+  const std::vector<Key> b{5, 3, 1, 2, 4};
+  EXPECT_EQ(checksum_of(a), checksum_of(b));
+}
+
+TEST(Checksum, DetectsChangedElement) {
+  const std::vector<Key> a{1, 2, 3};
+  const std::vector<Key> b{1, 2, 4};
+  EXPECT_NE(checksum_of(a), checksum_of(b));
+}
+
+TEST(Checksum, DetectsDuplicationSwap) {
+  // {2,2,4} vs {1,3,4} have equal sums; sum of squares differs.
+  const std::vector<Key> a{2, 2, 4};
+  const std::vector<Key> b{1, 3, 4};
+  EXPECT_EQ(checksum_of(a).sum, checksum_of(b).sum);
+  EXPECT_NE(checksum_of(a), checksum_of(b));
+}
+
+TEST(Checksum, CombineEqualsWhole) {
+  const std::vector<Key> all{9, 8, 7, 6, 5};
+  const std::vector<Key> lo{9, 8};
+  const std::vector<Key> hi{7, 6, 5};
+  EXPECT_EQ(combine(checksum_of(lo), checksum_of(hi)), checksum_of(all));
+}
+
+TEST(Checksum, EmptyIsIdentity) {
+  const std::vector<Key> a{1, 2};
+  EXPECT_EQ(combine(checksum_of(a), Checksum{}), checksum_of(a));
+}
+
+TEST(RunsSorted, AcceptsSortedConcatenation) {
+  const std::vector<Key> r1{1, 2, 3};
+  const std::vector<Key> r2{3, 4};
+  const std::vector<Key> r3{};
+  const std::vector<Key> r4{5};
+  const std::vector<std::span<const Key>> runs{r1, r2, r3, r4};
+  EXPECT_TRUE(runs_sorted(runs));
+}
+
+TEST(RunsSorted, RejectsDescentWithinRun) {
+  const std::vector<Key> r1{1, 3, 2};
+  const std::vector<std::span<const Key>> runs{r1};
+  EXPECT_FALSE(runs_sorted(runs));
+}
+
+TEST(RunsSorted, RejectsDescentAcrossRuns) {
+  const std::vector<Key> r1{1, 5};
+  const std::vector<Key> r2{4, 6};
+  const std::vector<std::span<const Key>> runs{r1, r2};
+  EXPECT_FALSE(runs_sorted(runs));
+}
+
+TEST(RunsSorted, EmptyIsSorted) {
+  EXPECT_TRUE(runs_sorted({}));
+}
+
+TEST(ExactMultiset, EqualAndUnequal) {
+  const std::vector<Key> a{3, 1, 2, 2};
+  const std::vector<Key> b{2, 2, 1, 3};
+  const std::vector<Key> c{2, 1, 1, 3};
+  EXPECT_TRUE(exact_multiset_equal(a, b));
+  EXPECT_FALSE(exact_multiset_equal(a, c));
+  EXPECT_FALSE(exact_multiset_equal(a, std::vector<Key>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace dsm::sort
