@@ -10,18 +10,21 @@
 // (hours of host time at 256M).
 //
 // Common options: --sizes 1M,4M --procs 16,32,64 --radix 8 --seed 1
-//                 --full --csv <dir>
+//                 --full --csv <dir> --jobs N (0 = all hardware threads;
+//                 default from DSMSORT_JOBS, else 1)
 #pragma once
 
 #include <iostream>
-#include <map>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
 #include "perf/breakdown.hpp"
 #include "perf/report.hpp"
+#include "sim/sweep.hpp"
 #include "sort/seq_radix.hpp"
 #include "sort/sort_api.hpp"
 
@@ -32,6 +35,7 @@ struct BenchEnv {
   std::vector<int> procs;
   int radix_bits = 8;
   std::uint64_t seed = 1;
+  int jobs = 1;         // host threads for independent sweep cells
   std::string csv_dir;  // empty = no CSV output
 
   bool want_csv() const { return !csv_dir.empty(); }
@@ -44,7 +48,7 @@ inline BenchEnv parse_env(int argc, char** argv,
                           std::vector<std::string> extra_known = {}) {
   ArgParser args(argc, argv);
   std::vector<std::string> known{"sizes", "procs", "radix", "seed",
-                                 "full", "csv"};
+                                 "full", "csv", "jobs"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   args.check_known(known);
 
@@ -54,6 +58,8 @@ inline BenchEnv parse_env(int argc, char** argv,
   env.procs = args.get_ints("procs", default_procs);
   env.radix_bits = static_cast<int>(args.get_int("radix", 8));
   env.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  env.jobs = sim::resolve_jobs(static_cast<int>(
+      args.get_int("jobs", sim::default_jobs())));
   env.csv_dir = args.get("csv", "");
   return env;
 }
@@ -66,29 +72,51 @@ inline void banner(const std::string& what, const BenchEnv& env) {
   for (const auto s : env.sizes) std::cout << ' ' << fmt_count(s);
   std::cout << "  procs:";
   for (const int p : env.procs) std::cout << ' ' << p;
+  std::cout << "  engine: " << engine_name(default_spmd_engine())
+            << "  jobs: " << env.jobs;
   std::cout << "\n\n";
 }
 
 /// Sequential radix baseline cache (Table 1 numbers), keyed by
-/// (n, dist, radix); uses the paper's page-size policy for n.
+/// (n, dist, radix); uses the paper's page-size policy for n. Shared
+/// across a whole sweep run: lookups are mutex-guarded so parallel sweep
+/// workers can consult one instance (values are deterministic, so a rare
+/// duplicated compute is harmless — first insert wins).
 class BaselineCache {
  public:
   explicit BaselineCache(std::uint64_t seed) : seed_(seed) {}
 
   double ns(Index n, keys::Dist dist, int radix_bits) {
-    const auto key = std::make_tuple(n, dist, radix_bits);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    const std::uint64_t key = pack(n, dist, radix_bits);
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) return it->second;
+    }
     const double v = sort::seq_baseline_ns(
         n, dist, radix_bits, machine::MachineParams::origin2000_for_keys(n),
         seed_);
-    cache_.emplace(key, v);
-    return v;
+    const std::lock_guard<std::mutex> lock(mu_);
+    return cache_.emplace(key, v).first->second;
+  }
+
+  /// Precompute baselines serially (call before a parallel sweep so
+  /// workers only ever hit).
+  void warm(Index n, keys::Dist dist, int radix_bits) {
+    ns(n, dist, radix_bits);
   }
 
  private:
+  static std::uint64_t pack(Index n, keys::Dist dist, int radix_bits) {
+    // n < 2^55 keys, dist < 16, radix_bits <= 20 < 32.
+    return (static_cast<std::uint64_t>(n) << 9) |
+           (static_cast<std::uint64_t>(dist) << 5) |
+           static_cast<std::uint64_t>(radix_bits);
+  }
+
   std::uint64_t seed_;
-  std::map<std::tuple<Index, keys::Dist, int>, double> cache_;
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, double> cache_;
 };
 
 /// Run one sort with the standard env seed and the paper's page policy.
@@ -141,6 +169,29 @@ inline BestCell best_over_models_and_radixes(
     }
   }
   return best;
+}
+
+/// The Tables 2/3 sweep on the sweep pool: one cell per
+/// (n, algo ∈ {radix, sample}, p), in that nesting order — the row-major
+/// order both tables consume. One cell keeps all its model x radix runs
+/// on one worker (shared thread-local input cache).
+inline std::vector<BestCell> sweep_best_cells(const BenchEnv& env,
+                                              const std::vector<int>& radixes) {
+  struct Cell {
+    std::uint64_t n = 0;
+    sort::Algo algo = sort::Algo::kRadix;
+    int p = 0;
+  };
+  std::vector<Cell> cells;
+  for (const auto n : env.sizes) {
+    for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
+      for (const int p : env.procs) cells.push_back(Cell{n, a, p});
+    }
+  }
+  return sim::sweep(cells.size(), env.jobs, [&](std::size_t i) {
+    return best_over_models_and_radixes(cells[i].algo, cells[i].n, cells[i].p,
+                                        radixes, env.seed);
+  });
 }
 
 }  // namespace dsm::bench

@@ -4,6 +4,8 @@
 // Paper shapes: CC-SAS best up to ~4M keys; SHMEM and CC-SAS similar
 // beyond that; MPI somewhat behind; far more uniform across models than
 // radix sort (one contiguous communication stage).
+#include <array>
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -21,23 +23,41 @@ int main(int argc, char** argv) {
     const sort::Model kModels[] = {sort::Model::kShmem, sort::Model::kCcSas,
                                    sort::Model::kMpi};
     bench::BaselineCache baselines(env.seed);
-    TextTable t({"keys", "procs", "SHMEM", "CC-SAS", "MPI"});
     for (const auto n : env.sizes) {
-      const double base = baselines.ns(n, keys::Dist::kGauss, env.radix_bits);
-      for (const int p : env.procs) {
-        std::vector<std::string> row{fmt_count(n), std::to_string(p)};
-        for (const sort::Model m : kModels) {
-          sort::SortSpec spec;
-          spec.algo = sort::Algo::kSample;
-          spec.model = m;
-          spec.nprocs = p;
-          spec.n = n;
-          spec.radix_bits = sradix;
-          const auto res = bench::run_spec(spec, env.seed);
-          row.push_back(fmt_fixed(sort::speedup(base, res.elapsed_ns), 1));
-        }
-        t.add_row(std::move(row));
-      }
+      baselines.warm(n, keys::Dist::kGauss, env.radix_bits);
+    }
+    struct Cell {
+      std::uint64_t n = 0;
+      int p = 0;
+    };
+    std::vector<Cell> cells;
+    for (const auto n : env.sizes) {
+      for (const int p : env.procs) cells.push_back(Cell{n, p});
+    }
+    const auto speedups = sim::sweep(
+        cells.size(), env.jobs, [&](std::size_t i) {
+          const double base =
+              baselines.ns(cells[i].n, keys::Dist::kGauss, env.radix_bits);
+          std::array<double, 3> su{};
+          for (std::size_t m = 0; m < su.size(); ++m) {
+            sort::SortSpec spec;
+            spec.algo = sort::Algo::kSample;
+            spec.model = kModels[m];
+            spec.nprocs = cells[i].p;
+            spec.n = cells[i].n;
+            spec.radix_bits = sradix;
+            su[m] = sort::speedup(base,
+                                  bench::run_spec(spec, env.seed).elapsed_ns);
+          }
+          return su;
+        });
+
+    TextTable t({"keys", "procs", "SHMEM", "CC-SAS", "MPI"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::vector<std::string> row{fmt_count(cells[i].n),
+                                   std::to_string(cells[i].p)};
+      for (const double su : speedups[i]) row.push_back(fmt_fixed(su, 1));
+      t.add_row(std::move(row));
     }
     std::cout << t.render();
     bench::maybe_csv(env, "fig7", t);

@@ -25,14 +25,13 @@ int main(int argc, char** argv) {
     }
     TextTable t(headers);
 
+    const auto bests = bench::sweep_best_cells(env, radixes);
+    std::size_t i = 0;
     for (const auto n : env.sizes) {
       std::vector<std::string> row{fmt_count(n)};
-      for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
-        for (const int p : env.procs) {
-          const auto best =
-              bench::best_over_models_and_radixes(a, n, p, radixes, env.seed);
-          row.push_back(fmt_fixed(best.ns / 1e3, 0));
-        }
+      for (int cell = 0; cell < 2 * static_cast<int>(env.procs.size());
+           ++cell) {
+        row.push_back(fmt_fixed(bests[i++].ns / 1e3, 0));
       }
       t.add_row(std::move(row));
     }

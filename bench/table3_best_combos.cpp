@@ -24,15 +24,15 @@ int main(int argc, char** argv) {
     }
     TextTable t(headers);
 
+    const auto bests = bench::sweep_best_cells(env, radixes);
+    std::size_t i = 0;
     for (const auto n : env.sizes) {
       std::vector<std::string> row{fmt_count(n)};
-      for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
-        for (const int p : env.procs) {
-          const auto best =
-              bench::best_over_models_and_radixes(a, n, p, radixes, env.seed);
-          row.push_back(std::string(sort::model_name(best.model)) + " " +
-                        std::to_string(best.radix_bits));
-        }
+      for (int cell = 0; cell < 2 * static_cast<int>(env.procs.size());
+           ++cell) {
+        const auto& best = bests[i++];
+        row.push_back(std::string(sort::model_name(best.model)) + " " +
+                      std::to_string(best.radix_bits));
       }
       t.add_row(std::move(row));
     }

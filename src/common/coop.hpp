@@ -1,0 +1,52 @@
+// Cooperative SPMD scheduler: every rank is a stackful fiber (ucontext)
+// multiplexed on the calling thread.
+//
+// A rank runs uninterrupted until it arrives at a barrier; the last
+// arriver runs the completion inline and continues, everyone else parks
+// until the round releases. Because the engine is bulk-synchronous and
+// completions are pure functions over the rank-indexed deposits, the
+// resulting virtual times are bit-identical to the thread engine's — the
+// host just stops paying kernel context switches and condition-variable
+// wakeups for them.
+//
+// Error semantics mirror run_spmd + CentralBarrier:
+//  * a rank's exception poisons the team; ranks parked at the unreleased
+//    round (and any rank arriving later) throw
+//    "barrier poisoned: a team member failed";
+//  * run() rethrows the exception that poisoned the team — the first
+//    failure in the deterministic round-robin order — after every fiber
+//    has fully unwound (no stack is ever abandoned);
+//  * a poisoned scheduler refuses further rounds but stays destructible.
+//
+// Thread-compatible, not thread-safe: one scheduler services one team on
+// one host thread (each parallel sweep worker owns its own teams), so no
+// atomics or locks are needed anywhere on the barrier path.
+#pragma once
+
+#include <memory>
+
+#include "common/team.hpp"
+
+namespace dsm {
+
+class CoopScheduler final : public SpmdExecutor {
+ public:
+  explicit CoopScheduler(int nprocs);
+  ~CoopScheduler() override;
+
+  CoopScheduler(const CoopScheduler&) = delete;
+  CoopScheduler& operator=(const CoopScheduler&) = delete;
+
+  void run(const std::function<void(int)>& body) override;
+  void arrive_and_wait(const std::function<void()>& completion) override;
+  void poison() override;
+  bool poisoned() const override;
+  int parties() const override;
+
+  struct Impl;  // public so the fiber trampoline (file-local) can see it
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dsm

@@ -55,3 +55,14 @@ namespace detail {
       ::dsm::detail::fail("invariant", #cond, __FILE__, __LINE__, msg);  \
     }                                                                    \
   } while (0)
+
+/// Debug-only invariant check for per-element hot loops: compiled out
+/// under NDEBUG (the default RelWithDebInfo build), where the enclosing
+/// loop's invariants are enforced once outside the loop instead.
+#ifndef NDEBUG
+#define DSM_DCHECK(cond, msg) DSM_CHECK(cond, msg)
+#else
+#define DSM_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#endif

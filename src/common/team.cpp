@@ -1,9 +1,13 @@
 #include "common/team.hpp"
 
+#include <cstdlib>
 #include <exception>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "common/barrier.hpp"
+#include "common/coop.hpp"
 #include "common/error.hpp"
 
 namespace dsm {
@@ -33,6 +37,64 @@ void run_spmd(int nprocs, const std::function<void(int)>& body) {
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+const char* engine_name(SpmdEngine e) {
+  switch (e) {
+    case SpmdEngine::kThreads: return "threads";
+    case SpmdEngine::kCooperative: return "coop";
+  }
+  return "?";
+}
+
+SpmdEngine default_spmd_engine() {
+  static const SpmdEngine engine = [] {
+    const char* env = std::getenv("DSMSORT_ENGINE");
+    if (env == nullptr || *env == '\0') return SpmdEngine::kCooperative;
+    const std::string v(env);
+    if (v == "coop" || v == "cooperative") return SpmdEngine::kCooperative;
+    if (v == "threads") return SpmdEngine::kThreads;
+    throw Error("DSMSORT_ENGINE must be 'coop' or 'threads', got: " + v);
+  }();
+  return engine;
+}
+
+namespace {
+
+/// The original engine: one OS thread per rank, parked on a
+/// condition-variable barrier between reconcile points.
+class ThreadExecutor final : public SpmdExecutor {
+ public:
+  explicit ThreadExecutor(int nprocs) : barrier_(nprocs) {}
+
+  void run(const std::function<void(int)>& body) override {
+    run_spmd(barrier_.parties(), body);
+  }
+
+  void arrive_and_wait(const std::function<void()>& completion) override {
+    barrier_.arrive_and_wait(completion);
+  }
+
+  void poison() override { barrier_.poison(); }
+  bool poisoned() const override { return barrier_.poisoned(); }
+  int parties() const override { return barrier_.parties(); }
+
+ private:
+  CentralBarrier barrier_;
+};
+
+}  // namespace
+
+std::unique_ptr<SpmdExecutor> make_spmd_executor(SpmdEngine engine,
+                                                 int nprocs) {
+  DSM_REQUIRE(nprocs >= 1, "SPMD team needs at least one process");
+  switch (engine) {
+    case SpmdEngine::kThreads:
+      return std::make_unique<ThreadExecutor>(nprocs);
+    case SpmdEngine::kCooperative:
+      return std::make_unique<CoopScheduler>(nprocs);
+  }
+  throw Error("unknown SPMD engine");
 }
 
 }  // namespace dsm

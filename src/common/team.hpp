@@ -1,12 +1,24 @@
-// SPMD thread team.
+// SPMD execution engines.
 //
-// Launches one OS thread per logical process and runs the same body on
-// every rank. Functional concurrency only — all *timing* is virtual (see
-// sim/), so oversubscribing the host (64 logical processes on one core) is
-// deliberate and harmless.
+// The simulator runs the same body on every logical rank and synchronises
+// exclusively through barrier-with-completion collectives (see
+// sim::SimTeam::reconcile). Two engines provide that contract:
+//
+//  * kThreads — one OS thread per rank parked on a condition-variable
+//    barrier (the original engine). Functional concurrency only — all
+//    *timing* is virtual — so oversubscribing the host (64 logical
+//    processes on one core) is deliberate and harmless, but every
+//    reconcile point costs kernel wakeups.
+//  * kCooperative — every rank is a stackful fiber (ucontext) multiplexed
+//    on the calling thread; a rank runs serially to its next reconcile
+//    point and the last arriver runs the completion inline. Zero OS
+//    threads, zero kernel barriers, and bit-identical virtual times
+//    (completions are pure functions over the rank-indexed deposits, so
+//    scheduling order cannot change results).
 #pragma once
 
 #include <functional>
+#include <memory>
 
 namespace dsm {
 
@@ -18,5 +30,41 @@ namespace dsm {
 /// expected to validate inputs *before* entering collective code, which is
 /// why all runtime preconditions are checked on entry to collectives.
 void run_spmd(int nprocs, const std::function<void(int)>& body);
+
+enum class SpmdEngine {
+  kThreads,
+  kCooperative,
+};
+
+const char* engine_name(SpmdEngine e);
+
+/// Engine used when a SimTeam/SortSpec does not pin one explicitly:
+/// kCooperative, overridable via DSMSORT_ENGINE=threads|coop.
+SpmdEngine default_spmd_engine();
+
+/// One SPMD team execution backend. All cross-rank synchronisation flows
+/// through arrive_and_wait; the completion runs exactly once per round, on
+/// the last arriver, while every other rank is quiescent.
+class SpmdExecutor {
+ public:
+  virtual ~SpmdExecutor() = default;
+
+  /// Run `body(rank)` on every rank to completion (blocking). Rethrows the
+  /// first per-rank exception by rank order, after every rank has unwound.
+  virtual void run(const std::function<void(int)>& body) = 0;
+
+  /// Barrier with completion hook; semantics of CentralBarrier
+  /// (throws Error once the team is poisoned).
+  virtual void arrive_and_wait(const std::function<void()>& completion) = 0;
+
+  /// Mark the team unusable and release any parked ranks with an Error.
+  virtual void poison() = 0;
+  virtual bool poisoned() const = 0;
+
+  virtual int parties() const = 0;
+};
+
+std::unique_ptr<SpmdExecutor> make_spmd_executor(SpmdEngine engine,
+                                                 int nprocs);
 
 }  // namespace dsm

@@ -17,12 +17,34 @@ void check_entries(std::span<const double> entry_ns, int nprocs) {
   for (double e : entry_ns) DSM_REQUIRE(e >= 0, "entry times must be >= 0");
 }
 
+/// Borrow each rank's vector of a span of owned vectors (the convenience
+/// overloads used by tests; SimTeam calls the pointer-span engines
+/// directly).
+template <typename T>
+std::vector<const std::vector<T>*> borrow(
+    std::span<const std::vector<T>> owned) {
+  std::vector<const std::vector<T>*> ptrs;
+  ptrs.reserve(owned.size());
+  for (const auto& v : owned) ptrs.push_back(&v);
+  return ptrs;
+}
+
 }  // namespace
 
 EpochResult simulate_two_sided(const machine::CostModel& cost,
                                std::span<const std::vector<Transfer>> sends,
                                std::span<const double> entry_ns,
                                const TwoSidedConfig& cfg) {
+  const auto ptrs = borrow(sends);
+  return simulate_two_sided(
+      cost, std::span<const std::vector<Transfer>* const>(ptrs), entry_ns,
+      cfg);
+}
+
+EpochResult simulate_two_sided(
+    const machine::CostModel& cost,
+    std::span<const std::vector<Transfer>* const> sends,
+    std::span<const double> entry_ns, const TwoSidedConfig& cfg) {
   // Model: the irecv-all / isend-all / waitall idiom the paper's codes use.
   //  * Posting: each process pays its send overheads (and staging copies)
   //    back to back — the CPU does not block on slots.
@@ -60,7 +82,7 @@ EpochResult simulate_two_sided(const machine::CostModel& cost,
       static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
   for (int r = 0; r < p; ++r) {
     double t = entry_ns[static_cast<std::size_t>(r)];
-    for (const Transfer& m : sends[static_cast<std::size_t>(r)]) {
+    for (const Transfer& m : *sends[static_cast<std::size_t>(r)]) {
       DSM_REQUIRE(m.src == r, "transfer src must match the posting rank");
       DSM_REQUIRE(m.dst >= 0 && m.dst < p && m.dst != r,
                   "transfer dst must be a different valid rank");
@@ -162,6 +184,16 @@ EpochResult simulate_gets(const machine::CostModel& cost,
                           std::span<const std::vector<Transfer>> gets,
                           std::span<const double> entry_ns,
                           const OneSidedConfig& cfg) {
+  const auto ptrs = borrow(gets);
+  return simulate_gets(cost,
+                       std::span<const std::vector<Transfer>* const>(ptrs),
+                       entry_ns, cfg);
+}
+
+EpochResult simulate_gets(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>* const> gets,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg) {
   // A batch get phase: the initiator issues its gets back to back (paying
   // the software overhead for each); transfers pipeline — outstanding gets
   // overlap — but every source serves requests through a FIFO memory/
@@ -187,7 +219,7 @@ EpochResult simulate_gets(const machine::CostModel& cost,
   std::uint64_t seq = 0;
   for (int r = 0; r < p; ++r) {
     double t = entry_ns[static_cast<std::size_t>(r)];
-    const auto& mine = gets[static_cast<std::size_t>(r)];
+    const auto& mine = *gets[static_cast<std::size_t>(r)];
     for (std::size_t i = 0; i < mine.size(); ++i) {
       const Transfer& m = mine[i];
       DSM_REQUIRE(m.dst == r, "get dst must be the issuing rank");
@@ -208,7 +240,7 @@ EpochResult simulate_gets(const machine::CostModel& cost,
   std::vector<double> last_response(static_cast<std::size_t>(p), 0.0);
   for (const Request& rq : requests) {
     const Transfer& m =
-        gets[static_cast<std::size_t>(rq.getter)][rq.idx];
+        (*gets[static_cast<std::size_t>(rq.getter)])[rq.idx];
     double& srv = server_free[static_cast<std::size_t>(m.src)];
     const double start = std::max(srv, rq.arrive_ns);
     srv = start + mp.mem.dir_occupancy_ns +
@@ -237,6 +269,16 @@ EpochResult simulate_puts(const machine::CostModel& cost,
                           std::span<const std::vector<Transfer>> puts,
                           std::span<const double> entry_ns,
                           const OneSidedConfig& cfg) {
+  const auto ptrs = borrow(puts);
+  return simulate_puts(cost,
+                       std::span<const std::vector<Transfer>* const>(ptrs),
+                       entry_ns, cfg);
+}
+
+EpochResult simulate_puts(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>* const> puts,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg) {
   const int p = cost.nprocs();
   DSM_REQUIRE(static_cast<int>(puts.size()) == p, "puts must cover every process");
   check_entries(entry_ns, p);
@@ -247,7 +289,7 @@ EpochResult simulate_puts(const machine::CostModel& cost,
   for (int r = 0; r < p; ++r) {
     double t = entry_ns[static_cast<std::size_t>(r)];
     double rmem = 0;
-    for (const Transfer& m : puts[static_cast<std::size_t>(r)]) {
+    for (const Transfer& m : *puts[static_cast<std::size_t>(r)]) {
       DSM_REQUIRE(m.src == r, "put src must be the issuing rank");
       DSM_REQUIRE(m.dst >= 0 && m.dst < p && m.dst != r,
                   "put dst must be a different valid rank");
@@ -269,17 +311,23 @@ EpochResult simulate_puts(const machine::CostModel& cost,
   return res;
 }
 
-std::vector<double> inflate_scattered_writes(
-    const machine::CostModel& cost, int nprocs,
-    std::span<const ScatteredTraffic> traffic,
-    std::span<const double> overlap_ns) {
+namespace {
+
+/// Core of the scattered-write inflation; `for_each(fn)` must invoke
+/// fn(const ScatteredTraffic&) for every traffic item in a stable order,
+/// however the caller stores it (flat span or per-rank vectors in place).
+template <typename ForEach>
+std::vector<double> inflate_scattered_impl(const machine::CostModel& cost,
+                                           int nprocs,
+                                           std::span<const double> overlap_ns,
+                                           ForEach&& for_each) {
   DSM_REQUIRE(nprocs >= 1, "need at least one process");
   DSM_REQUIRE(overlap_ns.empty() ||
                   static_cast<int>(overlap_ns.size()) == nprocs,
               "overlap must cover every process (or be empty)");
   std::vector<double> raw(static_cast<std::size_t>(nprocs), 0.0);
   std::vector<double> occupancy(static_cast<std::size_t>(nprocs), 0.0);
-  for (const ScatteredTraffic& t : traffic) {
+  for_each([&](const ScatteredTraffic& t) {
     DSM_REQUIRE(t.writer >= 0 && t.writer < nprocs, "writer out of range");
     DSM_REQUIRE(t.home >= 0 && t.home < nprocs, "home out of range");
     DSM_REQUIRE(t.writer != t.home,
@@ -290,7 +338,7 @@ std::vector<double> inflate_scattered_writes(
         static_cast<double>(t.lines) * t.per_line_ns;
     occupancy[static_cast<std::size_t>(t.home)] +=
         cost.home_occupancy_ns(1) * t.transactions;
-  }
+  });
   // Phase span: slowest writer's overlapped computation plus its raw
   // write-issue time — the window the home directories must serve within.
   double span = 0;
@@ -308,12 +356,34 @@ std::vector<double> inflate_scattered_writes(
     factor[static_cast<std::size_t>(h)] =
         std::max(1.0, occupancy[static_cast<std::size_t>(h)] / span);
   }
-  for (const ScatteredTraffic& t : traffic) {
+  for_each([&](const ScatteredTraffic& t) {
     out[static_cast<std::size_t>(t.writer)] +=
         static_cast<double>(t.lines) * t.per_line_ns *
         factor[static_cast<std::size_t>(t.home)];
-  }
+  });
   return out;
+}
+
+}  // namespace
+
+std::vector<double> inflate_scattered_writes(
+    const machine::CostModel& cost, int nprocs,
+    std::span<const ScatteredTraffic> traffic,
+    std::span<const double> overlap_ns) {
+  return inflate_scattered_impl(cost, nprocs, overlap_ns, [&](auto&& fn) {
+    for (const ScatteredTraffic& t : traffic) fn(t);
+  });
+}
+
+std::vector<double> inflate_scattered_writes(
+    const machine::CostModel& cost, int nprocs,
+    std::span<const std::vector<ScatteredTraffic>* const> traffic,
+    std::span<const double> overlap_ns) {
+  return inflate_scattered_impl(cost, nprocs, overlap_ns, [&](auto&& fn) {
+    for (const auto* per_rank : traffic) {
+      for (const ScatteredTraffic& t : *per_rank) fn(t);
+    }
+  });
 }
 
 }  // namespace dsm::sim

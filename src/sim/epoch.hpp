@@ -68,7 +68,15 @@ struct TwoSidedConfig {
 };
 
 /// `sends[r]` = rank r's posted sends, in posting order; self-sends are the
-/// caller's job (local copies) and are rejected here.
+/// caller's job (local copies) and are rejected here. The pointer-span
+/// form is the primary engine entry: callers (SimTeam) pass each rank's
+/// vector in place, so an epoch never copies transfer lists.
+EpochResult simulate_two_sided(
+    const machine::CostModel& cost,
+    std::span<const std::vector<Transfer>* const> sends,
+    std::span<const double> entry_ns, const TwoSidedConfig& cfg);
+
+/// Convenience overload over owned per-rank vectors (tests).
 EpochResult simulate_two_sided(const machine::CostModel& cost,
                                std::span<const std::vector<Transfer>> sends,
                                std::span<const double> entry_ns,
@@ -80,11 +88,19 @@ struct OneSidedConfig {
 
 /// `gets[r]` = rank r's blocking gets, in order; Transfer.dst must equal r.
 EpochResult simulate_gets(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>* const> gets,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg);
+EpochResult simulate_gets(const machine::CostModel& cost,
                           std::span<const std::vector<Transfer>> gets,
                           std::span<const double> entry_ns,
                           const OneSidedConfig& cfg);
 
 /// `puts[r]` = rank r's puts, in order; Transfer.src must equal r.
+EpochResult simulate_puts(const machine::CostModel& cost,
+                          std::span<const std::vector<Transfer>* const> puts,
+                          std::span<const double> entry_ns,
+                          const OneSidedConfig& cfg);
 EpochResult simulate_puts(const machine::CostModel& cost,
                           std::span<const std::vector<Transfer>> puts,
                           std::span<const double> entry_ns,
@@ -111,6 +127,12 @@ struct ScatteredTraffic {
 std::vector<double> inflate_scattered_writes(
     const machine::CostModel& cost, int nprocs,
     std::span<const ScatteredTraffic> traffic,
+    std::span<const double> overlap_ns);
+
+/// Zero-copy form: traffic[r] points at rank r's traffic list in place.
+std::vector<double> inflate_scattered_writes(
+    const machine::CostModel& cost, int nprocs,
+    std::span<const std::vector<ScatteredTraffic>* const> traffic,
     std::span<const double> overlap_ns);
 
 }  // namespace dsm::sim

@@ -1,0 +1,81 @@
+#include "sim/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace dsm::sim {
+
+int resolve_jobs(int jobs) {
+  DSM_REQUIRE(jobs >= 0, "jobs must be >= 0 (0 = all hardware threads)");
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int default_jobs() {
+  const char* env = std::getenv("DSMSORT_JOBS");
+  if (env == nullptr || *env == '\0') return 1;
+  try {
+    return resolve_jobs(std::stoi(env));
+  } catch (const Error&) {
+    throw;
+  } catch (...) {
+    throw Error(std::string("DSMSORT_JOBS must be a number, got: ") + env);
+  }
+}
+
+void run_indexed(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)>& work) {
+  DSM_REQUIRE(static_cast<bool>(work), "sweep needs a work function");
+  if (count == 0) return;
+  const auto workers = static_cast<std::size_t>(resolve_jobs(jobs));
+  std::vector<std::exception_ptr> errors(count);
+  if (workers <= 1 || count == 1) {
+    // Same observable contract as the pool below: every cell runs (cells
+    // are independent), and the smallest failing index is reported.
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        work(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return;
+  }
+
+  // Dynamic scheduling (cells vary widely in cost) with per-index error
+  // capture so the reported failure is independent of the schedule.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        work(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(std::min(workers, count) - 1);
+  for (std::size_t w = 1; w < std::min(workers, count); ++w) {
+    pool.emplace_back(worker);
+  }
+  worker();  // the calling thread is worker 0
+  for (std::thread& t : pool) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dsm::sim

@@ -1,0 +1,48 @@
+// Parallel sweep runner: fan independent simulation cells across host
+// threads with deterministic results.
+//
+// Every bench harness is a sweep over independent (n, p, model, radix)
+// cells; each cell is a self-contained simulation (its own SimTeam, its
+// own thread-local input cache), so cells can run on a small host thread
+// pool. Determinism contract: for any job count,
+//
+//   * results land in index order (workers write only their own slot);
+//   * if any cell throws, every cell still runs, and the error with the
+//     smallest index is rethrown — exactly what a serial loop reports.
+//
+// jobs <= 1 runs inline on the calling thread (no pool, no atomics);
+// jobs == 0 means "all hardware threads". default_jobs() reads the
+// DSMSORT_JOBS environment variable (unset ⇒ 1, i.e. serial).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace dsm::sim {
+
+/// Resolve a --jobs request: 0 ⇒ hardware concurrency, n ⇒ n.
+int resolve_jobs(int jobs);
+
+/// Job count from DSMSORT_JOBS (0 ⇒ all hardware threads); 1 when unset.
+int default_jobs();
+
+/// Run work(i) for every i in [0, count) on up to `jobs` host threads
+/// (resolved via resolve_jobs). Blocks until all cells ran; rethrows the
+/// smallest-index exception.
+void run_indexed(std::size_t count, int jobs,
+                 const std::function<void(std::size_t)>& work);
+
+/// Evaluate fn(i) into an index-ordered vector (the common sweep shape).
+/// The result type must be default-constructible.
+template <typename Fn>
+auto sweep(std::size_t count, int jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  std::vector<std::invoke_result_t<Fn&, std::size_t>> out(count);
+  run_indexed(count, jobs, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace dsm::sim

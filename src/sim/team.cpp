@@ -2,28 +2,33 @@
 
 #include <algorithm>
 
-#include "common/team.hpp"
-
 namespace dsm::sim {
 
-SimTeam::SimTeam(int nprocs, const machine::MachineParams& params)
+SimTeam::SimTeam(int nprocs, const machine::MachineParams& params,
+                 SpmdEngine engine)
     : cost_(params, nprocs),
-      barrier_(nprocs),
+      engine_(engine),
+      exec_(make_spmd_executor(engine, nprocs)),
       clocks_(static_cast<std::size_t>(nprocs)),
       phase_logs_(static_cast<std::size_t>(nprocs)),
       trace_logs_(static_cast<std::size_t>(nprocs)),
-      deposits_(static_cast<std::size_t>(nprocs)) {}
+      deposits_(static_cast<std::size_t>(nprocs)) {
+  scratch_transfers_.reserve(static_cast<std::size_t>(nprocs));
+  scratch_traffic_.reserve(static_cast<std::size_t>(nprocs));
+  scratch_entries_.reserve(static_cast<std::size_t>(nprocs));
+  scratch_overlaps_.reserve(static_cast<std::size_t>(nprocs));
+}
 
 void SimTeam::run(const std::function<void(ProcContext&)>& body) {
-  DSM_REQUIRE(!barrier_.poisoned(),
+  DSM_REQUIRE(!exec_->poisoned(),
               "team was poisoned by an earlier failure; create a new team");
-  run_spmd(nprocs(), [&](int rank) {
+  exec_->run([&](int rank) {
     ProcContext ctx(*this, rank,
                     clocks_[static_cast<std::size_t>(rank)].value, cost_);
     try {
       body(ctx);
     } catch (...) {
-      barrier_.poison();  // wake any ranks parked in collectives
+      exec_->poison();  // wake any ranks parked in collectives
       throw;
     }
   });
@@ -42,9 +47,12 @@ const std::vector<TraceEvent>& SimTeam::trace_of(int rank) const {
 }
 
 std::string SimTeam::trace_json() const {
+  std::size_t events = 0;
+  for (int r = 0; r < nprocs(); ++r) events += trace_of(r).size();
   std::string out;
+  out.reserve(events * kTraceJsonBytesPerEvent);
   for (int r = 0; r < nprocs(); ++r) {
-    out += trace_to_json(r, trace_of(r));
+    append_trace_json(out, r, trace_of(r));
   }
   return out;
 }
@@ -110,7 +118,21 @@ void SimTeam::apply_outcome(ProcContext& ctx, const ProcOutcome& o) {
   ctx.clock().advance_to(o.end_ns, Cat::kSync);
 }
 
-void SimTeam::two_sided_epoch(ProcContext& ctx, std::vector<Transfer> sends,
+void SimTeam::gather_epoch_inputs(std::span<const EpochIn* const> ins) {
+  scratch_transfers_.clear();
+  scratch_traffic_.clear();
+  scratch_entries_.clear();
+  scratch_overlaps_.clear();
+  for (const EpochIn* i : ins) {
+    scratch_transfers_.push_back(i->transfers);
+    scratch_traffic_.push_back(i->traffic);
+    scratch_entries_.push_back(i->entry_ns);
+    scratch_overlaps_.push_back(i->overlap_ns);
+  }
+}
+
+void SimTeam::two_sided_epoch(ProcContext& ctx,
+                              const std::vector<Transfer>& sends,
                               const TwoSidedConfig& cfg) {
   std::uint64_t bytes = 0;
   for (const Transfer& t : sends) bytes += t.bytes;
@@ -118,15 +140,9 @@ void SimTeam::two_sided_epoch(ProcContext& ctx, std::vector<Transfer> sends,
   const EpochIn in{&sends, nullptr, ctx.clock().now_ns()};
   const ProcOutcome out = reconcile<EpochIn, ProcOutcome>(
       ctx, in, [&, this](std::span<const EpochIn* const> ins) {
-        std::vector<std::vector<Transfer>> all;
-        std::vector<double> entries;
-        all.reserve(ins.size());
-        entries.reserve(ins.size());
-        for (const EpochIn* i : ins) {
-          all.push_back(*i->transfers);
-          entries.push_back(i->entry_ns);
-        }
-        EpochResult res = simulate_two_sided(cost_, all, entries, cfg);
+        gather_epoch_inputs(ins);
+        EpochResult res = simulate_two_sided(cost_, scratch_transfers_,
+                                             scratch_entries_, cfg);
         pending_quiescence_ns_ =
             std::max(pending_quiescence_ns_, res.quiescence_ns);
         return std::move(res.procs);
@@ -136,7 +152,7 @@ void SimTeam::two_sided_epoch(ProcContext& ctx, std::vector<Transfer> sends,
   apply_outcome(ctx, out);
 }
 
-void SimTeam::get_epoch(ProcContext& ctx, std::vector<Transfer> gets,
+void SimTeam::get_epoch(ProcContext& ctx, const std::vector<Transfer>& gets,
                         const OneSidedConfig& cfg) {
   std::uint64_t bytes = 0;
   for (const Transfer& t : gets) bytes += t.bytes;
@@ -144,13 +160,9 @@ void SimTeam::get_epoch(ProcContext& ctx, std::vector<Transfer> gets,
   const EpochIn in{&gets, nullptr, ctx.clock().now_ns()};
   const ProcOutcome out = reconcile<EpochIn, ProcOutcome>(
       ctx, in, [&, this](std::span<const EpochIn* const> ins) {
-        std::vector<std::vector<Transfer>> all;
-        std::vector<double> entries;
-        for (const EpochIn* i : ins) {
-          all.push_back(*i->transfers);
-          entries.push_back(i->entry_ns);
-        }
-        EpochResult res = simulate_gets(cost_, all, entries, cfg);
+        gather_epoch_inputs(ins);
+        EpochResult res =
+            simulate_gets(cost_, scratch_transfers_, scratch_entries_, cfg);
         pending_quiescence_ns_ =
             std::max(pending_quiescence_ns_, res.quiescence_ns);
         return std::move(res.procs);
@@ -160,7 +172,7 @@ void SimTeam::get_epoch(ProcContext& ctx, std::vector<Transfer> gets,
   apply_outcome(ctx, out);
 }
 
-void SimTeam::put_epoch(ProcContext& ctx, std::vector<Transfer> puts,
+void SimTeam::put_epoch(ProcContext& ctx, const std::vector<Transfer>& puts,
                         const OneSidedConfig& cfg) {
   std::uint64_t bytes = 0;
   for (const Transfer& t : puts) bytes += t.bytes;
@@ -168,13 +180,9 @@ void SimTeam::put_epoch(ProcContext& ctx, std::vector<Transfer> puts,
   const EpochIn in{&puts, nullptr, ctx.clock().now_ns()};
   const ProcOutcome out = reconcile<EpochIn, ProcOutcome>(
       ctx, in, [&, this](std::span<const EpochIn* const> ins) {
-        std::vector<std::vector<Transfer>> all;
-        std::vector<double> entries;
-        for (const EpochIn* i : ins) {
-          all.push_back(*i->transfers);
-          entries.push_back(i->entry_ns);
-        }
-        EpochResult res = simulate_puts(cost_, all, entries, cfg);
+        gather_epoch_inputs(ins);
+        EpochResult res =
+            simulate_puts(cost_, scratch_transfers_, scratch_entries_, cfg);
         pending_quiescence_ns_ =
             std::max(pending_quiescence_ns_, res.quiescence_ns);
         return std::move(res.procs);
@@ -184,21 +192,15 @@ void SimTeam::put_epoch(ProcContext& ctx, std::vector<Transfer> puts,
   apply_outcome(ctx, out);
 }
 
-void SimTeam::scattered_write_epoch(ProcContext& ctx,
-                                    std::vector<ScatteredTraffic> traffic,
-                                    double overlap_ns) {
+void SimTeam::scattered_write_epoch(
+    ProcContext& ctx, const std::vector<ScatteredTraffic>& traffic,
+    double overlap_ns) {
   const EpochIn in{nullptr, &traffic, ctx.clock().now_ns(), overlap_ns};
   const double rmem = reconcile<EpochIn, double>(
       ctx, in, [this](std::span<const EpochIn* const> ins) {
-        std::vector<ScatteredTraffic> all;
-        std::vector<double> overlaps;
-        for (const EpochIn* i : ins) {
-          all.insert(all.end(), i->traffic->begin(), i->traffic->end());
-          overlaps.push_back(i->overlap_ns);
-        }
-        auto charges = inflate_scattered_writes(
-            cost_, static_cast<int>(ins.size()), all, overlaps);
-        return charges;
+        gather_epoch_inputs(ins);
+        return inflate_scattered_writes(cost_, static_cast<int>(ins.size()),
+                                        scratch_traffic_, scratch_overlaps_);
       });
   std::uint64_t lines = 0;
   for (const ScatteredTraffic& t : traffic) lines += t.lines;

@@ -1,7 +1,7 @@
 // SimTeam: the SPMD launcher and collective virtual-time engine.
 //
 // A SimTeam owns P virtual clocks and a machine cost model, runs an SPMD
-// body on P OS threads (functional concurrency; timing is virtual), and
+// body on P logical ranks (functional concurrency; timing is virtual), and
 // provides the collective operations every programming-model runtime is
 // built from:
 //
@@ -13,6 +13,12 @@
 //     arrival times (also enforces pending network quiescence from puts).
 //   * two_sided_epoch / get_epoch / put_epoch / scattered_write_epoch —
 //     apply the engines in epoch.hpp to the team's clocks.
+//
+// Ranks execute on a pluggable SpmdEngine (see common/team.hpp): the
+// default cooperative scheduler multiplexes them as fibers on the calling
+// thread; the thread engine runs one OS thread per rank. Virtual times are
+// bit-identical across engines — reconciliation functions are pure over
+// the rank-indexed deposits, so host scheduling cannot leak into results.
 #pragma once
 
 #include <functional>
@@ -21,8 +27,8 @@
 #include <vector>
 
 #include "common/align.hpp"
-#include "common/barrier.hpp"
 #include "common/error.hpp"
+#include "common/team.hpp"
 #include "machine/cost.hpp"
 #include "sim/clock.hpp"
 #include "sim/epoch.hpp"
@@ -34,10 +40,12 @@ namespace dsm::sim {
 
 class SimTeam {
  public:
-  SimTeam(int nprocs, const machine::MachineParams& params);
+  SimTeam(int nprocs, const machine::MachineParams& params,
+          SpmdEngine engine = default_spmd_engine());
 
   int nprocs() const { return cost_.nprocs(); }
   const machine::CostModel& cost() const { return cost_; }
+  SpmdEngine engine() const { return engine_; }
 
   /// Run `body` on every rank (blocking). May be called multiple times;
   /// clocks accumulate across calls unless reset_clocks() is used.
@@ -80,7 +88,7 @@ class SimTeam {
   Out reconcile(ProcContext& ctx, const In& in, Fn fn) {
     const auto r = static_cast<std::size_t>(ctx.rank());
     deposits_[r].value = &in;
-    barrier_.arrive_and_wait([&] {
+    exec_->arrive_and_wait([&] {
       std::vector<const In*> ins(static_cast<std::size_t>(nprocs()));
       for (std::size_t i = 0; i < ins.size(); ++i) {
         ins[i] = static_cast<const In*>(deposits_[i].value);
@@ -102,17 +110,19 @@ class SimTeam {
   /// Run a two-sided message exchange epoch: `sends` are this rank's
   /// posted sends in order (data must already have been copied by the
   /// caller); timing is reconciled and charged. Acts as a full barrier for
-  /// the *participants' data visibility* (physical barrier inside).
-  void two_sided_epoch(ProcContext& ctx, std::vector<Transfer> sends,
+  /// the *participants' data visibility* (physical barrier inside). The
+  /// vector is borrowed for the duration of the call (zero-copy), so
+  /// callers can hoist and reuse one buffer across passes.
+  void two_sided_epoch(ProcContext& ctx, const std::vector<Transfer>& sends,
                        const TwoSidedConfig& cfg);
 
   /// Blocking-get epoch (SHMEM-style, receiver initiated).
-  void get_epoch(ProcContext& ctx, std::vector<Transfer> gets,
+  void get_epoch(ProcContext& ctx, const std::vector<Transfer>& gets,
                  const OneSidedConfig& cfg);
 
   /// Put epoch (SHMEM-style, sender initiated); leaves a pending
   /// quiescence the next vbarrier enforces.
-  void put_epoch(ProcContext& ctx, std::vector<Transfer> puts,
+  void put_epoch(ProcContext& ctx, const std::vector<Transfer>& puts,
                  const OneSidedConfig& cfg);
 
   /// CC-SAS fine-grained scattered remote write epoch: charges each
@@ -120,7 +130,7 @@ class SimTeam {
   /// time this writer overlaps with its stores (widens the contention
   /// window). Quiescence handled like puts.
   void scattered_write_epoch(ProcContext& ctx,
-                             std::vector<ScatteredTraffic> traffic,
+                             const std::vector<ScatteredTraffic>& traffic,
                              double overlap_ns = 0.0);
 
  private:
@@ -133,8 +143,13 @@ class SimTeam {
 
   void apply_outcome(ProcContext& ctx, const ProcOutcome& o);
 
+  /// Collect the rank-indexed deposits into the reusable pointer/entry
+  /// scratch (zero-copy: epoch engines consume the rank vectors in place).
+  void gather_epoch_inputs(std::span<const EpochIn* const> ins);
+
   machine::CostModel cost_;
-  CentralBarrier barrier_;
+  const SpmdEngine engine_;
+  std::unique_ptr<SpmdExecutor> exec_;
   void trace_event(int rank, TraceEvent::Kind kind, double start_ns,
                    double end_ns, std::uint64_t transfers,
                    std::uint64_t bytes);
@@ -146,6 +161,14 @@ class SimTeam {
   std::vector<Padded<const void*>> deposits_;
   std::shared_ptr<void> result_;
   double pending_quiescence_ns_ = 0;
+
+  // Epoch-completion scratch, reused across rounds. Only the last arriver
+  // touches these, and rounds are totally ordered by the barrier, so no
+  // synchronisation is needed under either engine.
+  std::vector<const std::vector<Transfer>*> scratch_transfers_;
+  std::vector<const std::vector<ScatteredTraffic>*> scratch_traffic_;
+  std::vector<double> scratch_entries_;
+  std::vector<double> scratch_overlaps_;
 };
 
 }  // namespace dsm::sim

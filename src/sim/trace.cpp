@@ -1,6 +1,9 @@
 #include "sim/trace.hpp"
 
-#include <sstream>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/error.hpp"
 
 namespace dsm::sim {
 
@@ -15,18 +18,29 @@ const char* trace_kind_name(TraceEvent::Kind k) {
   return "?";
 }
 
-std::string trace_to_json(int rank, const std::vector<TraceEvent>& events) {
-  std::ostringstream out;
-  out.setf(std::ios::fixed);
-  out.precision(3);
+void append_trace_json(std::string& out, int rank,
+                       const std::vector<TraceEvent>& events) {
+  // %.3f matches the fixed/precision(3) formatting this export has always
+  // used; the buffer covers the widest representable doubles.
+  char line[768];
   for (const TraceEvent& ev : events) {
-    out << "{\"rank\":" << rank << ",\"kind\":\""
-        << trace_kind_name(ev.kind) << "\",\"start_us\":"
-        << ev.start_ns / 1e3 << ",\"end_us\":" << ev.end_ns / 1e3
-        << ",\"transfers\":" << ev.transfers << ",\"bytes\":" << ev.bytes
-        << "}\n";
+    const int len = std::snprintf(
+        line, sizeof line,
+        "{\"rank\":%d,\"kind\":\"%s\",\"start_us\":%.3f,\"end_us\":%.3f,"
+        "\"transfers\":%" PRIu64 ",\"bytes\":%" PRIu64 "}\n",
+        rank, trace_kind_name(ev.kind), ev.start_ns / 1e3, ev.end_ns / 1e3,
+        ev.transfers, ev.bytes);
+    DSM_CHECK(len > 0 && static_cast<std::size_t>(len) < sizeof line,
+              "trace event line overflow");
+    out.append(line, static_cast<std::size_t>(len));
   }
-  return out.str();
+}
+
+std::string trace_to_json(int rank, const std::vector<TraceEvent>& events) {
+  std::string out;
+  out.reserve(events.size() * kTraceJsonBytesPerEvent);
+  append_trace_json(out, rank, events);
+  return out;
 }
 
 }  // namespace dsm::sim

@@ -50,4 +50,14 @@ class TraceLog {
 ///    "transfers":...,"bytes":...}
 std::string trace_to_json(int rank, const std::vector<TraceEvent>& events);
 
+/// Typical rendered size of one event line — callers reserve
+/// `events * kTraceJsonBytesPerEvent` up front so a whole-team export
+/// appends into one allocation instead of growing quadratically.
+inline constexpr std::size_t kTraceJsonBytesPerEvent = 96;
+
+/// Append `events` to `out` in the trace_to_json format (single buffer,
+/// no intermediate strings).
+void append_trace_json(std::string& out, int rank,
+                       const std::vector<TraceEvent>& events);
+
 }  // namespace dsm::sim

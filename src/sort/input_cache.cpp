@@ -1,0 +1,130 @@
+#include "sort/input_cache.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsm::sort {
+namespace {
+
+/// Does the global key stream depend on how the array is partitioned?
+bool partition_dependent(keys::Dist d) {
+  return d == keys::Dist::kBucket || d == keys::Dist::kStagger ||
+         d == keys::Dist::kRemote || d == keys::Dist::kLocal;
+}
+
+/// Does generation read radix_bits at all?
+bool radix_dependent(keys::Dist d) {
+  return d == keys::Dist::kRemote || d == keys::Dist::kLocal;
+}
+
+struct CacheKey {
+  keys::Dist dist = keys::Dist::kGauss;
+  Index n_total = 0;
+  std::uint64_t seed = 0;
+  int norm_p = 0;      // nprocs, or 1 for partition-independent dists
+  int norm_radix = 0;  // radix_bits, or 0 for radix-independent dists
+
+  friend bool operator==(const CacheKey&, const CacheKey&) = default;
+};
+
+struct Entry {
+  CacheKey key;
+  std::vector<Key> keys;  // the full global array
+  Checksum sum;
+  std::uint64_t tick = 0;
+  bool valid = false;
+};
+
+// Two entries cover the common sweep interleavings (one data set per
+// sweep cell, plus the sequential baseline's) without holding more than
+// two inputs alive per worker thread.
+constexpr std::size_t kEntries = 2;
+constexpr std::uint64_t kMaxCachedBytes = std::uint64_t{128} << 20;
+
+thread_local Entry tl_cache[kEntries];
+thread_local std::uint64_t tl_tick = 0;
+
+/// Generate rank r's slice parameters — shared by the cached and direct
+/// paths so both produce identical bytes.
+keys::GenSpec gen_spec_for(Index n_total, int nprocs, int radix_bits,
+                           std::uint64_t seed, const sas::HomeMap& homes,
+                           int r) {
+  keys::GenSpec gs;
+  gs.n_total = n_total;
+  gs.global_begin = homes.begin_of(r);
+  gs.rank = r;
+  gs.nprocs = nprocs;
+  gs.radix_bits = radix_bits;
+  gs.seed = seed;
+  return gs;
+}
+
+}  // namespace
+
+Checksum generate_partitions_cached(
+    keys::Dist dist, Index n_total, int nprocs, int radix_bits,
+    std::uint64_t seed, const sas::HomeMap& homes,
+    const std::function<std::span<Key>(int)>& part) {
+  DSM_REQUIRE(homes.size() == n_total && homes.nprocs() == nprocs,
+              "home map must match the requested data set");
+
+  if (n_total * sizeof(Key) > kMaxCachedBytes) {
+    // Too big to keep a second copy: generate straight into the
+    // partitions (the pre-cache behaviour).
+    Checksum total;
+    for (int r = 0; r < nprocs; ++r) {
+      std::span<Key> out = part(r);
+      DSM_CHECK(out.size() == homes.count_of(r), "partition size mismatch");
+      keys::generate(dist,
+                     out, gen_spec_for(n_total, nprocs, radix_bits, seed,
+                                       homes, r));
+      total = combine(total, checksum_of(out));
+    }
+    return total;
+  }
+
+  const CacheKey key{dist, n_total, seed,
+                     partition_dependent(dist) ? nprocs : 1,
+                     radix_dependent(dist) ? radix_bits : 0};
+  Entry* entry = nullptr;
+  for (Entry& e : tl_cache) {
+    if (e.valid && e.key == key) entry = &e;
+  }
+  if (entry == nullptr) {
+    // Miss: evict the least recently used slot and generate into it.
+    entry = &tl_cache[0];
+    for (Entry& e : tl_cache) {
+      if (e.tick < entry->tick) entry = &e;
+    }
+    entry->valid = false;
+    entry->key = key;
+    entry->keys.resize(n_total);
+    Checksum total;
+    for (int r = 0; r < nprocs; ++r) {
+      const std::span<Key> slice(entry->keys.data() + homes.begin_of(r),
+                                 homes.count_of(r));
+      keys::generate(dist, slice,
+                     gen_spec_for(n_total, nprocs, radix_bits, seed, homes,
+                                  r));
+      total = combine(total, checksum_of(slice));
+    }
+    entry->sum = total;
+    entry->valid = true;
+  }
+  entry->tick = ++tl_tick;
+
+  // Copy the partitions out. The checksum is a multiset fingerprint, so
+  // it is independent of which partitioning generated the entry.
+  for (int r = 0; r < nprocs; ++r) {
+    std::span<Key> out = part(r);
+    DSM_CHECK(out.size() == homes.count_of(r), "partition size mismatch");
+    if (out.empty()) continue;
+    std::memcpy(out.data(), entry->keys.data() + homes.begin_of(r),
+                out.size() * sizeof(Key));
+  }
+  return entry->sum;
+}
+
+}  // namespace dsm::sort

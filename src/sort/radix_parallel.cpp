@@ -69,9 +69,9 @@ void buffered_permute(sim::ProcContext& ctx, std::span<const Key> keys,
                       std::span<Key> buf, int pass, int radix_bits,
                       std::span<const std::uint64_t> local_hist,
                       std::span<std::uint64_t> local_prefix,
-                      std::uint64_t active) {
+                      std::span<std::uint64_t> cursor, std::uint64_t active) {
   exclusive_prefix(ctx, local_hist, local_prefix);
-  std::vector<std::uint64_t> cursor(local_prefix.begin(), local_prefix.end());
+  std::copy(local_prefix.begin(), local_prefix.end(), cursor.begin());
   charged_local_permute(ctx, keys, buf, pass, radix_bits, cursor, active);
   ctx.busy_cycles(static_cast<double>(keys.size()) *
                   ctx.params().cpu.buffer_copy_cycles);
@@ -124,9 +124,17 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
   w.passes_used.store(passes, std::memory_order_relaxed);
   const std::uint64_t part_bytes = homes.count_of(r) * sizeof(Key);
 
+  // All per-pass scratch is hoisted here and re-zeroed in the loop, so a
+  // pass allocates nothing.
   std::vector<std::uint64_t> hist(buckets), rank_prefix(buckets),
       global_cnt(buckets), global_start(buckets), cursor(buckets),
-      local_prefix(buckets);
+      local_prefix(buckets), owner_end(buckets);
+  std::vector<int> owner(buckets);
+  std::vector<std::uint64_t> bytes_to(static_cast<std::size_t>(p)),
+      runs_to(static_cast<std::size_t>(p)),
+      lines_to(static_cast<std::size_t>(p));
+  std::vector<sim::ScatteredTraffic> traffic;
+  traffic.reserve(static_cast<std::size_t>(p));
   std::vector<Key> buf(w.buffered ? homes.count_of(r) : 0);
 
   sas::SharedArray<Key>* in = w.a;
@@ -149,18 +157,31 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       }
       ctx.busy_cycles(static_cast<double>(buckets) *
                       ctx.params().cpu.scan_cycles);
+      // Each bucket's write cursor only moves forward, so its home owner
+      // advances monotonically too: track it with a boundary compare
+      // instead of the integer divide inside owner_of (one divide per key
+      // dominates this loop otherwise). Starting every bucket at owner 0
+      // costs at most p boundary steps per bucket over the whole pass.
+      for (std::size_t b = 0; b < buckets; ++b) {
+        owner[b] = 0;
+        owner_end[b] = homes.end_of(0);
+      }
 
       const double permute_start_ns = ctx.clock().now_ns();
       Key* const out_data = out->data();
       std::uint64_t local_accesses = 0, local_runs = 0;
-      std::vector<std::uint64_t> bytes_to(static_cast<std::size_t>(p)),
-          runs_to(static_cast<std::size_t>(p));
+      std::fill(bytes_to.begin(), bytes_to.end(), 0);
+      std::fill(runs_to.begin(), runs_to.end(), 0);
       std::uint32_t prev_digit = ~0u;
       for (const Key k : my_keys) {
         const std::uint32_t d = radix_digit(k, pass, w.radix_bits);
         const std::uint64_t pos = cursor[d]++;
         out_data[pos] = k;
-        const int home = homes.owner_of(pos);
+        while (pos >= owner_end[d]) {
+          ++owner[d];
+          owner_end[d] = homes.end_of(owner[d]);
+        }
+        const int home = owner[d];
         const bool new_run = d != prev_digit;
         prev_digit = d;
         if (home == r) {
@@ -188,7 +209,7 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
         remote_bytes += bytes_to[static_cast<std::size_t>(h)];
       }
       const auto profile = ctx.cost().scattered_write_profile(remote_bytes);
-      std::vector<sim::ScatteredTraffic> traffic;
+      traffic.clear();
       for (int h = 0; h < p; ++h) {
         const auto hh = static_cast<std::size_t>(h);
         if (bytes_to[hh] == 0) continue;
@@ -206,14 +227,14 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       }
       // The stores overlap the permutation computation charged above.
       const double overlap = ctx.clock().now_ns() - permute_start_ns;
-      ctx.team().scattered_write_epoch(ctx, std::move(traffic), overlap);
+      ctx.team().scattered_write_epoch(ctx, traffic, overlap);
     } else {
       // CC-SAS-NEW (§4.2.1): buffer locally, then copy contiguous chunks.
       const double permute_start_ns = ctx.clock().now_ns();
       buffered_permute(ctx, my_keys, buf, pass, w.radix_bits, hist,
-                       local_prefix, active);
+                       local_prefix, cursor, active);
       Key* const out_data = out->data();
-      std::vector<std::uint64_t> lines_to(static_cast<std::size_t>(p));
+      std::fill(lines_to.begin(), lines_to.end(), 0);
       std::uint64_t local_bytes = 0;
       for (std::size_t b = 0; b < buckets; ++b) {
         if (hist[b] == 0) continue;
@@ -237,7 +258,7 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       std::uint64_t remote_lines = 0;
       for (const std::uint64_t l : lines_to) remote_lines += l;
       if (remote_lines > 0) ctx.stream(remote_lines * kLine, 2 * part_bytes);
-      std::vector<sim::ScatteredTraffic> traffic;
+      traffic.clear();
       for (int h = 0; h < p; ++h) {
         const auto hh = static_cast<std::size_t>(h);
         if (lines_to[hh] == 0) continue;
@@ -251,7 +272,7 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
         traffic.push_back(t);
       }
       const double overlap = ctx.clock().now_ns() - permute_start_ns;
-      ctx.team().scattered_write_epoch(ctx, std::move(traffic), overlap);
+      ctx.team().scattered_write_epoch(ctx, traffic, overlap);
     }
 
     ctx.phase("barrier");
@@ -278,11 +299,17 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
   const std::uint64_t part_bytes = n_local * sizeof(Key);
 
   std::vector<std::uint64_t> hist(buckets), rank_prefix(buckets),
-      global_start(buckets), local_prefix(buckets);
+      global_start(buckets), local_prefix(buckets), cursor(buckets),
+      run_prefix(buckets);
   std::vector<std::uint64_t> all_hist(static_cast<std::size_t>(p) * buckets);
+  std::vector<std::uint64_t> matrix;  // coalesced-mode p x p key counts
+  std::vector<msg::Communicator::Send> sends;
   std::vector<Key> buf(n_local);
   std::vector<Key> stage;  // coalesced-mode receive staging
-  if (!w.chunk_messages) stage.resize(n_local);
+  if (!w.chunk_messages) {
+    stage.resize(n_local);
+    matrix.resize(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
+  }
 
   std::vector<Key>* in = &(*w.parts_a)[rr];
   std::vector<Key>* out = &(*w.parts_b)[rr];
@@ -302,10 +329,10 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
     prefixes_from_allhists(ctx, all_hist, buckets, rank_prefix, global_start);
     ctx.phase("permutation");
     buffered_permute(ctx, *in, buf, pass, w.radix_bits, hist, local_prefix,
-                     active);
+                     cursor, active);
     ctx.phase("redistribution");
 
-    std::vector<msg::Communicator::Send> sends;
+    sends.clear();
     if (w.chunk_messages) {
       // One message per contiguously-destined chunk piece (the paper's
       // preferred implementation) — placed directly at its final offset.
@@ -339,9 +366,8 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
       //
       // M[i][dst] = keys process i contributes to dst's partition, built
       // in O(p * buckets) with running per-bucket rank prefixes.
-      std::vector<std::uint64_t> matrix(
-          static_cast<std::size_t>(p) * static_cast<std::size_t>(p), 0);
-      std::vector<std::uint64_t> run_prefix(buckets, 0);
+      std::fill(matrix.begin(), matrix.end(), 0);
+      std::fill(run_prefix.begin(), run_prefix.end(), 0);
       for (int j = 0; j < p; ++j) {
         const std::uint64_t* row =
             all_hist.data() + static_cast<std::size_t>(j) * buckets;
@@ -449,8 +475,11 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
   shmem::SymmetricHeap& heap = w.sh->heap();
 
   std::vector<std::uint64_t> hist(buckets), rank_prefix(buckets),
-      global_start(buckets), local_prefix(buckets);
+      global_start(buckets), local_prefix(buckets), cursor(buckets),
+      run_prefix(buckets);
   std::vector<std::uint64_t> all_hist(static_cast<std::size_t>(p) * buckets);
+  std::vector<shmem::GetOp> gets;
+  std::vector<shmem::PutOp> puts;
 
   std::uint64_t in_off = w.off_a;
   std::uint64_t out_off = w.off_b;
@@ -485,7 +514,7 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
     ctx.phase("permutation");
     Key* const stage = heap.at<Key>(r, w.off_stage);
     buffered_permute(ctx, my_keys, std::span<Key>(stage, n_local), pass,
-                     w.radix_bits, hist, local_prefix, active);
+                     w.radix_bits, hist, local_prefix, cursor, active);
     ctx.phase("redistribution");
     w.sh->barrier_all(ctx);  // staging buffers are now globally readable
 
@@ -495,8 +524,8 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
       Key* const out = heap.at<Key>(r, out_off);
       const std::uint64_t my_begin = homes.begin_of(r);
       const std::uint64_t my_end = homes.end_of(r);
-      std::vector<shmem::GetOp> gets;
-      std::vector<std::uint64_t> run_prefix(buckets, 0);  // sum of ranks < j
+      gets.clear();
+      std::fill(run_prefix.begin(), run_prefix.end(), 0);  // sum of ranks < j
       for (int j = 0; j < p; ++j) {
         const std::uint64_t* row =
             all_hist.data() + static_cast<std::size_t>(j) * buckets;
@@ -534,7 +563,7 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
       w.sh->get_phase(ctx, gets);
     } else {
       // Sender-initiated ablation: push my chunks into their destinations.
-      std::vector<shmem::PutOp> puts;
+      puts.clear();
       for (std::size_t b = 0; b < buckets; ++b) {
         if (hist[b] == 0) continue;
         const std::uint64_t gpos = global_start[b] + rank_prefix[b];

@@ -223,7 +223,7 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   }
   // Hardware remote loads: no software overhead per chunk beyond the
   // first-line latency the wire model already includes.
-  ctx.team().get_epoch(ctx, std::move(reads), sim::OneSidedConfig{0.0});
+  ctx.team().get_epoch(ctx, reads, sim::OneSidedConfig{0.0});
 
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");

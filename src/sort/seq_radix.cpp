@@ -78,13 +78,20 @@ void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
   const std::size_t buckets = std::size_t{1} << radix_bits;
   DSM_REQUIRE(offset.size() == buckets, "offset span size mismatch");
   const std::size_t n = keys.size();
+  // Hoisted bounds sanity: every write cursor starts inside the output
+  // (the per-element check stays as a debug-only assertion so the release
+  // hot loop does not branch per key).
+  DSM_REQUIRE(n <= out.size(), "output smaller than the key span");
+  for (const std::uint64_t o : offset) {
+    DSM_REQUIRE(o <= out.size(), "permutation cursor starts past the output");
+  }
   std::uint64_t runs = 0;
   std::uint32_t prev_digit = ~0u;
   for (std::size_t i = 0; i < n; ++i) {
     const Key k = keys[i];
     const std::uint32_t d = radix_digit(k, pass, radix_bits);
     const std::uint64_t pos = offset[d]++;
-    DSM_CHECK(pos < out.size(), "permutation writes past the output");
+    DSM_DCHECK(pos < out.size(), "permutation writes past the output");
     out[pos] = k;
     runs += d != prev_digit ? 1 : 0;
     prev_digit = d;

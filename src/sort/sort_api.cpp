@@ -8,6 +8,7 @@
 #include "sas/shared_array.hpp"
 #include "shmem/shmem.hpp"
 #include "sim/team.hpp"
+#include "sort/input_cache.hpp"
 #include "sort/radix_parallel.hpp"
 #include "sort/sample_parallel.hpp"
 #include "sort/seq_radix.hpp"
@@ -23,29 +24,18 @@ namespace {
 Checksum generate_partitions(const SortSpec& spec,
                              const sas::HomeMap& homes,
                              const std::function<std::span<Key>(int)>& part) {
-  Checksum total;
-  for (int r = 0; r < spec.nprocs; ++r) {
-    keys::GenSpec gs;
-    gs.n_total = spec.n;
-    gs.global_begin = homes.begin_of(r);
-    gs.rank = r;
-    gs.nprocs = spec.nprocs;
-    gs.radix_bits = spec.radix_bits;
-    gs.seed = spec.seed;
-    std::span<Key> out = part(r);
-    DSM_CHECK(out.size() == homes.count_of(r), "partition size mismatch");
-    keys::generate(spec.dist, out, gs);
-    total = combine(total, checksum_of(out));
-  }
-  return total;
+  return generate_partitions_cached(spec.dist, spec.n, spec.nprocs,
+                                    spec.radix_bits, spec.seed, homes, part);
+}
+
+SpmdEngine engine_of(const SortSpec& spec) {
+  return spec.engine.value_or(default_spmd_engine());
 }
 
 bool verify_runs(const Checksum& input,
                  const std::vector<std::span<const Key>>& runs) {
-  Checksum output;
-  for (const auto& run : runs) output = combine(output, checksum_of(run));
-  return output == input &&
-         runs_sorted(std::span<const std::span<const Key>>(runs));
+  return verify_sorted_runs(input,
+                            std::span<const std::span<const Key>>(runs));
 }
 
 void perf_write_trace(const std::string& path, const sim::SimTeam& team) {
@@ -92,7 +82,7 @@ SortResult finish(const SortSpec& spec, sim::SimTeam& team,
 
 SortResult run_radix_ccsas(const SortSpec& spec,
                            const machine::MachineParams& mp) {
-  sim::SimTeam team(spec.nprocs, mp);
+  sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
   maybe_enable_tracing(spec, team);
   sas::SharedArray<Key> a(spec.n, spec.nprocs), b(spec.n, spec.nprocs);
   sas::BucketScan scan(spec.nprocs, std::size_t{1} << spec.radix_bits);
@@ -116,7 +106,7 @@ SortResult run_radix_ccsas(const SortSpec& spec,
 
 SortResult run_radix_mpi(const SortSpec& spec,
                          const machine::MachineParams& mp) {
-  sim::SimTeam team(spec.nprocs, mp);
+  sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
   maybe_enable_tracing(spec, team);
   msg::Communicator comm(team, spec.mpi_impl);
   const sas::HomeMap homes(spec.n, spec.nprocs);
@@ -147,7 +137,7 @@ SortResult run_radix_mpi(const SortSpec& spec,
 
 SortResult run_radix_shmem(const SortSpec& spec,
                            const machine::MachineParams& mp) {
-  sim::SimTeam team(spec.nprocs, mp);
+  sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
   maybe_enable_tracing(spec, team);
   const sas::HomeMap homes(spec.n, spec.nprocs);
   const Index cap = homes.count_of(0);  // leading partitions are largest
@@ -180,7 +170,7 @@ SortResult run_radix_shmem(const SortSpec& spec,
 
 SortResult run_sample_ccsas(const SortSpec& spec,
                             const machine::MachineParams& mp) {
-  sim::SimTeam team(spec.nprocs, mp);
+  sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
   maybe_enable_tracing(spec, team);
   sas::SharedArray<Key> keys(spec.n, spec.nprocs);
   const Checksum input = generate_partitions(
@@ -214,7 +204,7 @@ SortResult run_sample_ccsas(const SortSpec& spec,
 
 SortResult run_sample_mpi(const SortSpec& spec,
                           const machine::MachineParams& mp) {
-  sim::SimTeam team(spec.nprocs, mp);
+  sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
   maybe_enable_tracing(spec, team);
   msg::Communicator comm(team, spec.mpi_impl);
   const sas::HomeMap homes(spec.n, spec.nprocs);
@@ -242,7 +232,7 @@ SortResult run_sample_mpi(const SortSpec& spec,
 
 SortResult run_sample_shmem(const SortSpec& spec,
                             const machine::MachineParams& mp) {
-  sim::SimTeam team(spec.nprocs, mp);
+  sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
   maybe_enable_tracing(spec, team);
   const sas::HomeMap homes(spec.n, spec.nprocs);
   const Index cap = homes.count_of(0);
@@ -339,12 +329,9 @@ double seq_baseline_ns(Index n, keys::Dist dist, int radix_bits,
                        std::uint64_t seed) {
   sim::SimTeam team(1, machine);
   std::vector<Key> keys(n), tmp(n);
-  keys::GenSpec gs;
-  gs.n_total = n;
-  gs.nprocs = 1;
-  gs.radix_bits = radix_bits;
-  gs.seed = seed;
-  keys::generate(dist, keys, gs);
+  const sas::HomeMap homes(n, 1);
+  generate_partitions_cached(dist, n, 1, radix_bits, seed, homes,
+                             [&](int) { return std::span<Key>(keys); });
   team.run([&](sim::ProcContext& ctx) {
     local_radix_sort(ctx, keys, tmp, radix_bits);
   });

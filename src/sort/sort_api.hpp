@@ -14,6 +14,7 @@
 #include <string>
 #include <utility>
 
+#include "common/team.hpp"
 #include "keys/distributions.hpp"
 #include "machine/params.hpp"
 #include "msg/transport.hpp"
@@ -40,6 +41,12 @@ struct SortSpec {
   /// Machine configuration. Default: Origin 2000 with the page size the
   /// paper used for this data-set size.
   std::optional<machine::MachineParams> machine;
+
+  /// Host execution engine for the simulated ranks. Virtual times are
+  /// bit-identical across engines; this only changes how fast the host
+  /// runs the simulation. Default: default_spmd_engine() (cooperative
+  /// fibers unless overridden by DSMSORT_ENGINE).
+  std::optional<SpmdEngine> engine;
 
   // Model-specific knobs (ablations):
   msg::Impl mpi_impl = msg::Impl::kDirect;  // NEW vs SGI transport

@@ -34,6 +34,25 @@ bool runs_sorted(std::span<const std::span<const Key>> runs) {
   return true;
 }
 
+bool verify_sorted_runs(const Checksum& input,
+                        std::span<const std::span<const Key>> runs) {
+  Checksum c;
+  bool sorted = true;
+  Key prev = 0;  // Key is unsigned, so the first compare is never a miss
+  for (const auto& run : runs) {
+    c.count += run.size();
+    for (const Key k : run) {
+      const auto v = static_cast<std::uint64_t>(k);
+      c.sum += v;
+      c.xor_ ^= v * 0x9e3779b97f4a7c15ull;
+      c.sum_sq += v * v;
+      sorted = sorted && k >= prev;
+      prev = k;
+    }
+  }
+  return sorted && c == input;
+}
+
 bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b) {
   if (a.size() != b.size()) return false;
   std::vector<Key> sa(a.begin(), a.end());

@@ -27,6 +27,12 @@ Checksum combine(const Checksum& a, const Checksum& b);
 /// True if the concatenation of `runs` (in order) is ascending.
 bool runs_sorted(std::span<const std::span<const Key>> runs);
 
+/// Fused verification: checksum(runs) == `input` AND the concatenation is
+/// ascending, in a single sweep over the output (the separate
+/// checksum_of + runs_sorted passes read every key twice).
+bool verify_sorted_runs(const Checksum& input,
+                        std::span<const std::span<const Key>> runs);
+
 /// Exact multiset equality (sorts copies; test-only sizes).
 bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b);
 

@@ -1,0 +1,82 @@
+// Parallel sweep runner: results must be identical to the serial loop —
+// same values, same (index) order, same error — for every jobs value.
+#include "sim/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dsm::sim {
+namespace {
+
+TEST(Sweep, ResultsArriveInIndexOrderForEveryJobsValue) {
+  const auto serial = sweep(100, 1, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(serial.size(), 100u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], 3 * i + 1) << i;
+  }
+  for (const int jobs : {2, 4, 8}) {
+    const auto parallel =
+        sweep(100, jobs, [](std::size_t i) { return 3 * i + 1; });
+    EXPECT_EQ(parallel, serial) << "jobs=" << jobs;
+  }
+}
+
+TEST(Sweep, EveryCellRunsExactlyOnce) {
+  for (const int jobs : {1, 3}) {
+    std::vector<std::atomic<int>> hits(64);
+    run_indexed(64, jobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(Sweep, RethrowsSmallestIndexErrorAfterRunningAllCells) {
+  for (const int jobs : {1, 4}) {
+    std::vector<std::atomic<int>> hits(32);
+    try {
+      run_indexed(32, jobs, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        if (i == 20) throw Error("cell 20 failed");
+        if (i == 7) throw Error("cell 7 failed");
+      });
+      FAIL() << "expected throw, jobs=" << jobs;
+    } catch (const Error& e) {
+      // Identical to the serial loop's observable error: the smallest
+      // failing index wins regardless of completion order.
+      EXPECT_NE(std::string(e.what()).find("cell 7"), std::string::npos)
+          << "jobs=" << jobs;
+    }
+    // An error does not cancel the remaining cells (a sweep's cells are
+    // independent; partial tables would be nondeterministic).
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " i=" << i;
+    }
+  }
+}
+
+TEST(Sweep, EmptySweepAndSingleCell) {
+  int calls = 0;
+  run_indexed(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  run_indexed(1, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Sweep, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);  // 0 = all hardware threads
+  EXPECT_THROW(resolve_jobs(-1), Error);
+}
+
+}  // namespace
+}  // namespace dsm::sim
