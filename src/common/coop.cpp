@@ -23,6 +23,23 @@
 #include <sanitizer/tsan_interface.h>
 #endif
 
+// ASan tracks one fake-stack region per thread; without the fiber hooks a
+// swapcontext to a private stack looks like a wild stack jump and the
+// -fsanitize=address tier would false-positive (or miss real errors on
+// fiber stacks). Announce every switch, and let a finished fiber's fake
+// stack be reclaimed by passing a null save slot on its last yield.
+#if defined(__SANITIZE_ADDRESS__)
+#define DSM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define DSM_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef DSM_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 // GCC flags locals live across swapcontext with -Wclobbered because it
 // models the call like setjmp. swapcontext is a full context switch that
 // saves and restores every callee-saved register, so the warning is a
@@ -55,6 +72,9 @@ struct CoopScheduler::Impl {
 #ifdef DSM_TSAN_FIBERS
     void* tsan = nullptr;
 #endif
+#ifdef DSM_ASAN_FIBERS
+    void* asan_fake = nullptr;
+#endif
   };
 
   explicit Impl(int np) : nprocs(np) {}
@@ -79,15 +99,36 @@ struct CoopScheduler::Impl {
   void resume(Fiber& f) {
     current = &f;
     if (f.st == Fiber::St::kParked) f.st = Fiber::St::kRunnable;
+#ifdef DSM_ASAN_FIBERS
+    void* main_fake = nullptr;
+    __sanitizer_start_switch_fiber(&main_fake, f.stack.get(),
+                                   kFiberStackBytes);
+#endif
 #ifdef DSM_TSAN_FIBERS
     switch_to(&main_ctx, &f.ctx, f.tsan);
 #else
     switch_to(&main_ctx, &f.ctx, nullptr);
 #endif
+#ifdef DSM_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(main_fake, nullptr, nullptr);
+#endif
     current = nullptr;
   }
 
-  void yield_to_main(Fiber& f) { switch_to(&f.ctx, &main_ctx, main_tsan); }
+  void yield_to_main(Fiber& f) {
+#ifdef DSM_ASAN_FIBERS
+    // A finished fiber never resumes: hand ASan a null save slot so its
+    // fake stack is reclaimed instead of leaked.
+    __sanitizer_start_switch_fiber(
+        f.st == Fiber::St::kFinished ? nullptr : &f.asan_fake,
+        main_stack_bottom, main_stack_size);
+#endif
+    switch_to(&f.ctx, &main_ctx, main_tsan);
+#ifdef DSM_ASAN_FIBERS
+    // Reached only when the fiber is resumed again (parked, not finished).
+    __sanitizer_finish_switch_fiber(f.asan_fake, nullptr, nullptr);
+#endif
+  }
 
   static void trampoline();
 
@@ -106,6 +147,12 @@ struct CoopScheduler::Impl {
   Fiber* current = nullptr;
   ucontext_t main_ctx{};
   void* main_tsan = nullptr;
+#ifdef DSM_ASAN_FIBERS
+  // Captured at each fiber's first entry (the switch source is main), so
+  // the bounds stay correct even if run() moves host threads between runs.
+  const void* main_stack_bottom = nullptr;
+  std::size_t main_stack_size = 0;
+#endif
 };
 
 namespace {
@@ -120,6 +167,12 @@ thread_local CoopScheduler::Impl* tl_running = nullptr;
 void CoopScheduler::Impl::trampoline() {
   Impl* const s = tl_running;
   Fiber* const f = s->current;
+#ifdef DSM_ASAN_FIBERS
+  // First time on this stack: complete the switch and learn the caller's
+  // (main's) stack bounds for the yields back.
+  __sanitizer_finish_switch_fiber(nullptr, &s->main_stack_bottom,
+                                  &s->main_stack_size);
+#endif
   try {
     (*s->body)(f->rank);
   } catch (...) {

@@ -361,9 +361,13 @@ Prediction predict(const SortSpec& spec) {
 
 PredictedBest predict_best(Index n, int nprocs,
                            const std::vector<int>& radixes) {
+  return predict_ranked(n, nprocs, radixes).front();
+}
+
+std::vector<PredictedBest> predict_ranked(Index n, int nprocs,
+                                          const std::vector<int>& radixes) {
   DSM_REQUIRE(!radixes.empty(), "need at least one radix candidate");
-  PredictedBest best;
-  best.total_ns = 1e300;
+  std::vector<PredictedBest> ranked;
   for (const Algo a : {Algo::kRadix, Algo::kSample}) {
     for (const Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi,
                           Model::kShmem}) {
@@ -375,12 +379,17 @@ PredictedBest predict_best(Index n, int nprocs,
         spec.nprocs = nprocs;
         spec.n = n;
         spec.radix_bits = r;
-        const double t = predict(spec).total_ns;
-        if (t < best.total_ns) best = PredictedBest{a, m, r, t};
+        ranked.push_back(PredictedBest{a, m, r, predict(spec).total_ns});
       }
     }
   }
-  return best;
+  // Stable: equal predictions keep enumeration order, so the ranking is
+  // deterministic.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const PredictedBest& x, const PredictedBest& y) {
+                     return x.total_ns < y.total_ns;
+                   });
+  return ranked;
 }
 
 }  // namespace dsm::perf

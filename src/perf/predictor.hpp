@@ -44,4 +44,11 @@ struct PredictedBest {
 PredictedBest predict_best(Index n, int nprocs,
                            const std::vector<int>& radixes = {8, 11, 12});
 
+/// Every feasible (algo, model, radix) candidate for (n, nprocs), sorted
+/// by ascending predicted time — predict_best is the front element. The
+/// service planner and the golden model-selection tests consume the full
+/// ranking (runner-up gaps, ordering stability).
+std::vector<PredictedBest> predict_ranked(
+    Index n, int nprocs, const std::vector<int>& radixes = {8, 11, 12});
+
 }  // namespace dsm::perf

@@ -25,4 +25,9 @@ std::string breakdown_csv(std::span<const sim::Breakdown> procs);
 /// Write `content` to `path` (overwrites; throws dsm::Error on failure).
 void write_file(const std::string& path, const std::string& content);
 
+/// Escape `s` for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, control characters become \u00XX.
+/// Used by the service metrics/result dumps and the bench JSON writers.
+std::string json_escape(const std::string& s);
+
 }  // namespace dsm::perf

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <climits>
 #include <cstdlib>
 #include <exception>
 #include <string>
@@ -21,13 +24,27 @@ int resolve_jobs(int jobs) {
 int default_jobs() {
   const char* env = std::getenv("DSMSORT_JOBS");
   if (env == nullptr || *env == '\0') return 1;
-  try {
-    return resolve_jobs(std::stoi(env));
-  } catch (const Error&) {
-    throw;
-  } catch (...) {
-    throw Error(std::string("DSMSORT_JOBS must be a number, got: ") + env);
+  // Full-string parse: trailing garbage ("4x"), overflow, and negative
+  // values are checked errors, not a silent fall-back to serial — a
+  // long-running service launched with a mistyped DSMSORT_JOBS should
+  // fail at startup, not quietly run 1-wide.
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  // strtol itself would skip leading whitespace; reject it explicitly so
+  // the accepted language is exactly an optional sign plus digits.
+  if (std::isspace(static_cast<unsigned char>(*env)) || end == env ||
+      *end != '\0' || errno == ERANGE || v > INT_MAX) {
+    throw Error(std::string("DSMSORT_JOBS must be a base-10 integer "
+                            "(0 = all hardware threads), got: \"") +
+                env + "\"");
   }
+  if (v < 0) {
+    throw Error(std::string("DSMSORT_JOBS must be >= 0 "
+                            "(0 = all hardware threads), got: ") +
+                env);
+  }
+  return resolve_jobs(static_cast<int>(v));
 }
 
 void run_indexed(std::size_t count, int jobs,

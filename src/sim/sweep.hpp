@@ -12,7 +12,9 @@
 //
 // jobs <= 1 runs inline on the calling thread (no pool, no atomics);
 // jobs == 0 means "all hardware threads". default_jobs() reads the
-// DSMSORT_JOBS environment variable (unset ⇒ 1, i.e. serial).
+// DSMSORT_JOBS environment variable (unset or empty ⇒ 1, i.e. serial);
+// anything else must be a full base-10 non-negative integer — garbage,
+// trailing junk, and negative values throw dsm::Error.
 #pragma once
 
 #include <cstddef>

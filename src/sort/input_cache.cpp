@@ -34,17 +34,33 @@ struct Entry {
   std::vector<Key> keys;  // the full global array
   Checksum sum;
   std::uint64_t tick = 0;
-  bool valid = false;
 };
 
-// Two entries cover the common sweep interleavings (one data set per
-// sweep cell, plus the sequential baseline's) without holding more than
-// two inputs alive per worker thread.
-constexpr std::size_t kEntries = 2;
-constexpr std::uint64_t kMaxCachedBytes = std::uint64_t{128} << 20;
+/// One thread's cache: an LRU list of generated data sets bounded by a
+/// byte budget, so long-running heterogeneous traffic (the sort service)
+/// cannot grow it without bound.
+struct Cache {
+  std::vector<Entry> entries;
+  std::uint64_t budget = kInputCacheDefaultBudget;
+  std::uint64_t bytes = 0;
+  std::uint64_t tick = 0;
+  InputCacheStats stats;
 
-thread_local Entry tl_cache[kEntries];
-thread_local std::uint64_t tl_tick = 0;
+  void evict_to(std::uint64_t limit) {
+    while (bytes > limit && !entries.empty()) {
+      std::size_t lru = 0;
+      for (std::size_t i = 1; i < entries.size(); ++i) {
+        if (entries[i].tick < entries[lru].tick) lru = i;
+      }
+      bytes -= entries[lru].keys.size() * sizeof(Key);
+      entries.erase(entries.begin() +
+                    static_cast<std::ptrdiff_t>(lru));
+      ++stats.evictions;
+    }
+  }
+};
+
+thread_local Cache tl_cache;
 
 /// Generate rank r's slice parameters — shared by the cached and direct
 /// paths so both produce identical bytes.
@@ -63,6 +79,26 @@ keys::GenSpec gen_spec_for(Index n_total, int nprocs, int radix_bits,
 
 }  // namespace
 
+void input_cache_set_budget(std::uint64_t bytes) {
+  tl_cache.budget = bytes;
+  tl_cache.evict_to(bytes);
+}
+
+std::uint64_t input_cache_budget() { return tl_cache.budget; }
+
+void input_cache_clear() {
+  tl_cache.entries.clear();
+  tl_cache.bytes = 0;
+  tl_cache.stats = InputCacheStats{};
+}
+
+InputCacheStats input_cache_stats() {
+  InputCacheStats s = tl_cache.stats;
+  s.entries = tl_cache.entries.size();
+  s.bytes = tl_cache.bytes;
+  return s;
+}
+
 Checksum generate_partitions_cached(
     keys::Dist dist, Index n_total, int nprocs, int radix_bits,
     std::uint64_t seed, const sas::HomeMap& homes,
@@ -70,9 +106,12 @@ Checksum generate_partitions_cached(
   DSM_REQUIRE(homes.size() == n_total && homes.nprocs() == nprocs,
               "home map must match the requested data set");
 
-  if (n_total * sizeof(Key) > kMaxCachedBytes) {
-    // Too big to keep a second copy: generate straight into the
-    // partitions (the pre-cache behaviour).
+  Cache& cache = tl_cache;
+  const std::uint64_t entry_bytes = n_total * sizeof(Key);
+  if (entry_bytes > cache.budget / 2) {
+    // Too big to share the budget with a second data set: generate
+    // straight into the partitions (the pre-cache behaviour).
+    ++cache.stats.misses;
     Checksum total;
     for (int r = 0; r < nprocs; ++r) {
       std::span<Key> out = part(r);
@@ -89,18 +128,19 @@ Checksum generate_partitions_cached(
                      partition_dependent(dist) ? nprocs : 1,
                      radix_dependent(dist) ? radix_bits : 0};
   Entry* entry = nullptr;
-  for (Entry& e : tl_cache) {
-    if (e.valid && e.key == key) entry = &e;
+  for (Entry& e : cache.entries) {
+    if (e.key == key) entry = &e;
   }
   if (entry == nullptr) {
-    // Miss: evict the least recently used slot and generate into it.
-    entry = &tl_cache[0];
-    for (Entry& e : tl_cache) {
-      if (e.tick < entry->tick) entry = &e;
-    }
-    entry->valid = false;
+    // Miss: generate a fresh entry, then evict least-recently-used
+    // entries until the budget holds again (the new entry is the most
+    // recent, so it survives; it fits by the bypass check above).
+    ++cache.stats.misses;
+    cache.entries.emplace_back();
+    entry = &cache.entries.back();
     entry->key = key;
     entry->keys.resize(n_total);
+    cache.bytes += entry_bytes;
     Checksum total;
     for (int r = 0; r < nprocs; ++r) {
       const std::span<Key> slice(entry->keys.data() + homes.begin_of(r),
@@ -111,9 +151,16 @@ Checksum generate_partitions_cached(
       total = combine(total, checksum_of(slice));
     }
     entry->sum = total;
-    entry->valid = true;
+    entry->tick = ++cache.tick;
+    cache.evict_to(cache.budget);
+    DSM_CHECK(!cache.entries.empty() &&
+                  cache.entries.back().key == key,
+              "freshly generated entry must survive eviction");
+    entry = &cache.entries.back();
+  } else {
+    ++cache.stats.hits;
+    entry->tick = ++cache.tick;
   }
-  entry->tick = ++tl_tick;
 
   // Copy the partitions out. The checksum is a multiset fingerprint, so
   // it is independent of which partitioning generated the entry.

@@ -15,10 +15,14 @@
 // shared across process counts — including with the sequential baseline.
 //
 // The cache is thread-local (each sweep worker owns one; no locks) and
-// bypassed for inputs past a size cap, where it degrades to plain
-// generation straight into the partitions.
+// holds a byte-budgeted LRU set of entries: long-running service traffic
+// over thousands of distinct (n, dist, seed) jobs stays within
+// input_cache_budget() bytes per thread instead of growing without bound.
+// Inputs too large to share the budget (more than half of it) bypass the
+// cache and degrade to plain generation straight into the partitions.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 
@@ -27,6 +31,30 @@
 #include "sort/verify.hpp"
 
 namespace dsm::sort {
+
+/// Default per-thread input-cache budget (matches the pre-budget
+/// behaviour of two 128 MB slots).
+inline constexpr std::uint64_t kInputCacheDefaultBudget =
+    std::uint64_t{256} << 20;
+
+struct InputCacheStats {
+  std::size_t entries = 0;
+  std::uint64_t bytes = 0;      // cached key bytes currently held
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;     // includes bypassed (uncacheable) requests
+  std::uint64_t evictions = 0;  // entries dropped to respect the budget
+};
+
+/// Set this thread's cache byte budget. Shrinking evicts immediately
+/// (least recently used first); 0 disables caching entirely.
+void input_cache_set_budget(std::uint64_t bytes);
+std::uint64_t input_cache_budget();
+
+/// Drop this thread's cached entries and reset its statistics (the
+/// service's drain hook). The budget setting is preserved.
+void input_cache_clear();
+
+InputCacheStats input_cache_stats();
 
 /// Fill every rank's partition (host-side, uncharged — the paper times
 /// sorting, not initialisation) with `dist` keys and return the input

@@ -281,6 +281,13 @@ const char* model_name(Model m) {
   return "?";
 }
 
+Algo algo_from_name(const std::string& name) {
+  for (Algo a : {Algo::kRadix, Algo::kSample}) {
+    if (name == algo_name(a)) return a;
+  }
+  throw Error("unknown algorithm: " + name);
+}
+
 Model model_from_name(const std::string& name) {
   for (Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi, Model::kShmem}) {
     if (name == model_name(m)) return m;

@@ -27,6 +27,7 @@ enum class Model { kCcSas, kCcSasNew, kMpi, kShmem };
 
 const char* algo_name(Algo a);
 const char* model_name(Model m);
+Algo algo_from_name(const std::string& name);
 Model model_from_name(const std::string& name);
 
 struct SortSpec {

@@ -1,0 +1,68 @@
+#include "svc/job.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "perf/report.hpp"
+
+namespace dsm::svc {
+
+void JobSpec::validate() const {
+  DSM_REQUIRE(n >= 1, "job needs at least one key");
+  DSM_REQUIRE(nprocs >= 1 && nprocs <= 1024, "job nprocs in [1, 1024]");
+  DSM_REQUIRE(n >= static_cast<Index>(nprocs),
+              "job needs at least one key per process");
+  DSM_REQUIRE(seed != 0, "job seed must be nonzero");
+}
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+std::string Plan::to_json() const {
+  std::ostringstream os;
+  os << "{\"algo\": \"" << sort::algo_name(algo) << "\", \"model\": \""
+     << sort::model_name(model) << "\", \"radix_bits\": " << radix_bits
+     << ", \"predicted_raw_us\": " << fmt_fixed(predicted_raw_ns / 1e3, 3)
+     << ", \"predicted_us\": " << fmt_fixed(predicted_ns / 1e3, 3);
+  if (has_runner_up) {
+    os << ", \"runner_up\": {\"algo\": \"" << sort::algo_name(runner_algo)
+       << "\", \"model\": \"" << sort::model_name(runner_model)
+       << "\", \"radix_bits\": " << runner_radix_bits
+       << ", \"predicted_us\": " << fmt_fixed(runner_predicted_ns / 1e3, 3)
+       << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string JobResult::to_json(bool include_host) const {
+  std::ostringstream os;
+  os << "{\"id\": " << id << ", \"status\": \"" << job_status_name(status)
+     << "\"";
+  if (status == JobStatus::kFailed) {
+    os << ", \"error\": \"" << perf::json_escape(error) << "\"";
+  } else {
+    os << ", \"plan\": " << plan.to_json()
+       << ", \"measured_us\": " << fmt_fixed(measured_ns / 1e3, 3)
+       << ", \"passes\": " << passes
+       << ", \"verified\": " << (verified ? "true" : "false");
+    if (audited) {
+      os << ", \"runner_measured_us\": "
+         << fmt_fixed(runner_measured_ns / 1e3, 3)
+         << ", \"plan_hit\": " << (plan_hit ? "true" : "false");
+    }
+  }
+  if (include_host) {
+    os << ", \"host_latency_ms\": " << fmt_fixed(host_latency_ms, 3);
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace dsm::svc

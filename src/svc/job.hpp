@@ -1,0 +1,98 @@
+// Request/response types for the sort service.
+//
+// A JobSpec describes one sort request as a client would pose it: how many
+// keys, which distribution, how many simulated processors — but not which
+// algorithm, programming model, or radix size to use. Choosing that
+// combination is the Planner's job (the paper's model-selection question,
+// answered per request). A job may pin any subset of the three dimensions
+// (`force_*`) for A/B probes and failure injection.
+//
+// A JobResult carries the plan that was chosen, the predicted and measured
+// virtual times, and the job's fate. Results are value types with a
+// deterministic JSON rendering: replaying a trace must produce
+// byte-identical result lines for any worker count (the service extends
+// the sweep runner's determinism contract).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "keys/distributions.hpp"
+#include "sort/sort_api.hpp"
+
+namespace dsm::svc {
+
+struct JobSpec {
+  std::uint64_t id = 0;
+  Index n = Index{1} << 20;
+  int nprocs = 16;
+  keys::Dist dist = keys::Dist::kGauss;
+  std::uint64_t seed = 1;
+
+  // Pin planner dimensions (unset = planner chooses).
+  std::optional<sort::Algo> force_algo;
+  std::optional<sort::Model> force_model;
+  std::optional<int> force_radix_bits;
+
+  /// When nonempty, the executed sort writes its event trace here
+  /// (per-job observability; an unwritable path makes the job fail).
+  std::string trace_json_path;
+
+  /// Host-side submit timestamp (seconds, steady clock), stamped by
+  /// SortService::submit in live mode; 0 in replay mode. Never serialized
+  /// into deterministic output.
+  double host_submit_s = 0;
+
+  /// Admission-time sanity checks; throws dsm::Error. Deliberately does
+  /// not cross-check algo x model feasibility — infeasible combinations
+  /// are planner/executor failures, exercising per-job error isolation.
+  void validate() const;
+};
+
+/// The planner's decision for one job.
+struct Plan {
+  sort::Algo algo = sort::Algo::kRadix;
+  sort::Model model = sort::Model::kShmem;
+  int radix_bits = 8;
+  double predicted_raw_ns = 0;  // closed-form predictor, uncalibrated
+  double predicted_ns = 0;      // after EWMA calibration
+
+  // Best candidate from a different (algo, model) cell — the measured
+  // opponent for plan-accuracy audits.
+  bool has_runner_up = false;
+  sort::Algo runner_algo = sort::Algo::kRadix;
+  sort::Model runner_model = sort::Model::kShmem;
+  int runner_radix_bits = 8;
+  double runner_predicted_ns = 0;
+
+  std::string to_json() const;
+};
+
+enum class JobStatus { kOk, kFailed };
+
+const char* job_status_name(JobStatus s);
+
+struct JobResult {
+  std::uint64_t id = 0;
+  JobStatus status = JobStatus::kOk;
+  std::string error;  // nonempty iff kFailed
+  Plan plan;
+  double measured_ns = 0;  // virtual time of the executed plan
+  int passes = 0;
+  bool verified = false;
+
+  // Plan audit (every audit_every-th job): the runner-up plan is also
+  // executed and the measured times compared.
+  bool audited = false;
+  double runner_measured_ns = 0;
+  bool plan_hit = false;  // chosen plan beat the runner-up on measured time
+
+  /// Host wall latency submit -> completion (live mode only; 0 in replay).
+  double host_latency_ms = 0;
+
+  /// One-line JSON. Deterministic fields only unless `include_host`.
+  std::string to_json(bool include_host = false) const;
+};
+
+}  // namespace dsm::svc

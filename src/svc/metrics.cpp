@@ -1,0 +1,138 @@
+#include "svc/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/bits.hpp"
+#include "common/table.hpp"
+
+namespace dsm::svc {
+namespace {
+
+double mean_of(const std::vector<double>& v, std::size_t begin,
+               std::size_t end) {
+  if (end <= begin) return 0;
+  double sum = 0;
+  for (std::size_t i = begin; i < end; ++i) sum += v[i];
+  return sum / static_cast<double>(end - begin);
+}
+
+}  // namespace
+
+void Metrics::on_admission(Admission a) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++c_.submitted;
+  switch (a) {
+    case Admission::kAccepted: ++c_.accepted; break;
+    case Admission::kRejectedFull: ++c_.rejected_full; break;
+    case Admission::kRejectedClosed: ++c_.rejected_closed; break;
+    case Admission::kRejectedInvalid: ++c_.rejected_invalid; break;
+  }
+}
+
+void Metrics::on_complete(const JobResult& r) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (r.status == JobStatus::kFailed) {
+    ++c_.failed;
+    return;
+  }
+  ++c_.completed;
+  const auto us = static_cast<std::uint64_t>(
+      std::max(0.0, std::floor(r.measured_ns / 1e3)));
+  const int bucket = std::min(us == 0 ? 0 : bit_width_u64(us) - 1,
+                              kLatencyBuckets - 1);
+  ++hist_[bucket];
+  if (r.audited) {
+    ++c_.audited;
+    if (r.plan_hit) ++c_.plan_hits;
+  }
+  if (r.plan.predicted_raw_ns > 0 && r.measured_ns > 0) {
+    rel_err_raw_.push_back(
+        std::abs(r.plan.predicted_raw_ns - r.measured_ns) / r.measured_ns);
+    rel_err_cal_.push_back(
+        std::abs(r.plan.predicted_ns - r.measured_ns) / r.measured_ns);
+  }
+}
+
+void Metrics::note_queue_depth(std::size_t depth) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  depth_high_water_ = std::max(depth_high_water_, depth);
+}
+
+Metrics::Counters Metrics::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return c_;
+}
+
+Metrics::Accuracy Metrics::accuracy() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Accuracy a;
+  a.count = rel_err_cal_.size();
+  a.mean_rel_err_raw = mean_of(rel_err_raw_, 0, rel_err_raw_.size());
+  a.mean_rel_err_cal = mean_of(rel_err_cal_, 0, rel_err_cal_.size());
+  const std::size_t half = rel_err_cal_.size() / 2;
+  a.first_half_cal = mean_of(rel_err_cal_, 0, half);
+  a.second_half_cal = mean_of(rel_err_cal_, half, rel_err_cal_.size());
+  return a;
+}
+
+std::size_t Metrics::queue_depth_high_water() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return depth_high_water_;
+}
+
+std::vector<std::uint64_t> Metrics::latency_histogram() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::uint64_t>(hist_, hist_ + kLatencyBuckets);
+}
+
+std::string Metrics::to_json() const {
+  const Counters c = counters();
+  const Accuracy a = accuracy();
+  const auto hist = latency_histogram();
+  std::ostringstream os;
+  os << "{\"counters\": {\"submitted\": " << c.submitted
+     << ", \"accepted\": " << c.accepted
+     << ", \"rejected_full\": " << c.rejected_full
+     << ", \"rejected_closed\": " << c.rejected_closed
+     << ", \"rejected_invalid\": " << c.rejected_invalid
+     << ", \"completed\": " << c.completed << ", \"failed\": " << c.failed
+     << "},\n \"queue_depth_high_water\": " << queue_depth_high_water()
+     << ",\n \"plan_audit\": {\"audited\": " << c.audited
+     << ", \"plan_hits\": " << c.plan_hits << ", \"hit_rate\": "
+     << fmt_fixed(c.audited > 0 ? static_cast<double>(c.plan_hits) /
+                                      static_cast<double>(c.audited)
+                                : 0.0,
+                  4)
+     << "},\n \"accuracy\": {\"count\": " << a.count
+     << ", \"mean_rel_err_raw\": " << fmt_fixed(a.mean_rel_err_raw, 4)
+     << ", \"mean_rel_err_calibrated\": " << fmt_fixed(a.mean_rel_err_cal, 4)
+     << ", \"first_half_calibrated\": " << fmt_fixed(a.first_half_cal, 4)
+     << ", \"second_half_calibrated\": " << fmt_fixed(a.second_half_cal, 4)
+     << "},\n \"latency_virtual_us_log2_buckets\": [";
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    os << (i ? ", " : "") << hist[static_cast<std::size_t>(i)];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Metrics::histogram_csv() const {
+  const auto hist = latency_histogram();
+  std::ostringstream os;
+  os << "bucket_lo_us,bucket_hi_us,count\n";
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    const std::uint64_t lo = i == 0 ? 0 : std::uint64_t{1} << i;
+    os << lo;
+    if (i == kLatencyBuckets - 1) {
+      os << ",inf";
+    } else {
+      os << "," << (std::uint64_t{1} << (i + 1));
+    }
+    os << "," << hist[static_cast<std::size_t>(i)] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dsm::svc

@@ -1,0 +1,77 @@
+// Service metrics registry: admission counters, completion counters,
+// fixed-bucket latency histograms, plan-audit hit rates, and predictor
+// accuracy accumulators.
+//
+// Everything recorded here is derived from deterministic inputs (virtual
+// times, counters in processing order), so to_json() is part of the replay
+// determinism contract: identical traffic in identical order produces
+// byte-identical JSON for any worker count. Host wall-clock quantities are
+// deliberately kept out; the bench reports those alongside, from its own
+// measurements.
+//
+// The latency histogram uses fixed power-of-two virtual-microsecond
+// buckets: bucket k counts jobs with measured time in [2^k, 2^(k+1)) us
+// (k = 0..kLatencyBuckets-2; the last bucket is the overflow tail).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+#include "svc/queue.hpp"
+
+namespace dsm::svc {
+
+class Metrics {
+ public:
+  static constexpr int kLatencyBuckets = 24;
+
+  struct Counters {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_full = 0;
+    std::uint64_t rejected_closed = 0;
+    std::uint64_t rejected_invalid = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t audited = 0;
+    std::uint64_t plan_hits = 0;
+  };
+
+  struct Accuracy {
+    std::uint64_t count = 0;       // jobs with a usable prediction
+    double mean_rel_err_raw = 0;   // |raw predicted - measured| / measured
+    double mean_rel_err_cal = 0;   // same with the calibrated prediction
+    // Calibrated error over the first/second half of completions, in
+    // processing order — the before/after view of online calibration.
+    double first_half_cal = 0;
+    double second_half_cal = 0;
+  };
+
+  void on_admission(Admission a);
+  void on_complete(const JobResult& r);
+  void note_queue_depth(std::size_t depth);
+
+  Counters counters() const;
+  Accuracy accuracy() const;
+  std::size_t queue_depth_high_water() const;
+  std::vector<std::uint64_t> latency_histogram() const;
+
+  /// Deterministic JSON object (counters, histogram, accuracy, audits).
+  std::string to_json() const;
+  /// Histogram as CSV: bucket_lo_us,bucket_hi_us,count.
+  std::string histogram_csv() const;
+
+ private:
+  mutable std::mutex mu_;
+  Counters c_;
+  std::size_t depth_high_water_ = 0;
+  std::uint64_t hist_[kLatencyBuckets] = {};
+  // Per-completion relative errors, in processing order.
+  std::vector<double> rel_err_raw_;
+  std::vector<double> rel_err_cal_;
+};
+
+}  // namespace dsm::svc

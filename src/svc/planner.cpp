@@ -1,0 +1,167 @@
+#include "svc/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "perf/predictor.hpp"
+
+namespace dsm::svc {
+namespace {
+
+using sort::Algo;
+using sort::Model;
+
+constexpr Algo kAlgos[] = {Algo::kRadix, Algo::kSample};
+constexpr Model kModels[] = {Model::kCcSas, Model::kCcSasNew, Model::kMpi,
+                             Model::kShmem};
+
+// Keep one observation from swinging a cell past plausible predictor
+// error; the EWMA still converges onto any persistent bias inside the
+// clamp range within a few samples.
+constexpr double kMinRatio = 0.1;
+constexpr double kMaxRatio = 10.0;
+
+}  // namespace
+
+Planner::Planner(PlannerConfig cfg) : cfg_(std::move(cfg)) {
+  DSM_REQUIRE(!cfg_.radixes.empty(), "planner needs at least one radix");
+  DSM_REQUIRE(cfg_.ewma_alpha > 0 && cfg_.ewma_alpha <= 1,
+              "ewma_alpha in (0, 1]");
+}
+
+std::size_t Planner::cell_index(Algo algo, Model model) {
+  return static_cast<std::size_t>(algo) * 4 + static_cast<std::size_t>(model);
+}
+
+Plan Planner::plan(const JobSpec& job) const {
+  const std::vector<Algo> algos =
+      job.force_algo ? std::vector<Algo>{*job.force_algo}
+                     : std::vector<Algo>(std::begin(kAlgos), std::end(kAlgos));
+  const std::vector<Model> models =
+      job.force_model
+          ? std::vector<Model>{*job.force_model}
+          : std::vector<Model>(std::begin(kModels), std::end(kModels));
+  const std::vector<int> radixes = job.force_radix_bits
+                                       ? std::vector<int>{*job.force_radix_bits}
+                                       : cfg_.radixes;
+
+  struct Candidate {
+    Algo algo;
+    Model model;
+    int radix_bits;
+    double raw_ns;
+    double calibrated_ns;
+  };
+  std::vector<Candidate> feasible;
+  std::string last_error = "no candidates enumerated";
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const Algo a : algos) {
+      for (const Model m : models) {
+        for (const int r : radixes) {
+          sort::SortSpec spec;
+          spec.algo = a;
+          spec.model = m;
+          spec.nprocs = job.nprocs;
+          spec.n = job.n;
+          spec.radix_bits = r;
+          spec.dist = job.dist;
+          spec.seed = job.seed;
+          double raw = 0;
+          try {
+            raw = perf::predict(spec).total_ns;
+          } catch (const Error& e) {
+            // Infeasible combination (e.g. sample on CC-SAS-NEW, radix
+            // bits out of range): skip; remember why in case nothing fits.
+            last_error = e.what();
+            continue;
+          }
+          const Cell& cell = cells_[cell_index(a, m)];
+          const double f =
+              (cfg_.calibrate && cell.samples > 0) ? cell.factor : 1.0;
+          feasible.push_back(Candidate{a, m, r, raw, raw * f});
+        }
+      }
+    }
+  }
+  if (feasible.empty()) {
+    throw Error("no feasible plan for job " + std::to_string(job.id) + ": " +
+                last_error);
+  }
+
+  const auto best_it = std::min_element(
+      feasible.begin(), feasible.end(), [](const Candidate& x,
+                                           const Candidate& y) {
+        return x.calibrated_ns < y.calibrated_ns;
+      });
+  Plan out;
+  out.algo = best_it->algo;
+  out.model = best_it->model;
+  out.radix_bits = best_it->radix_bits;
+  out.predicted_raw_ns = best_it->raw_ns;
+  out.predicted_ns = best_it->calibrated_ns;
+
+  // Runner-up: cheapest candidate from a different (algo, model) cell —
+  // a genuinely different strategy, not just another radix size.
+  const Candidate* runner = nullptr;
+  for (const Candidate& c : feasible) {
+    if (c.algo == out.algo && c.model == out.model) continue;
+    if (runner == nullptr || c.calibrated_ns < runner->calibrated_ns) {
+      runner = &c;
+    }
+  }
+  if (runner != nullptr) {
+    out.has_runner_up = true;
+    out.runner_algo = runner->algo;
+    out.runner_model = runner->model;
+    out.runner_radix_bits = runner->radix_bits;
+    out.runner_predicted_ns = runner->calibrated_ns;
+  }
+  return out;
+}
+
+void Planner::observe(const Plan& plan, double measured_ns) {
+  if (plan.predicted_raw_ns <= 0 || measured_ns <= 0) return;
+  const double ratio = std::clamp(measured_ns / plan.predicted_raw_ns,
+                                  kMinRatio, kMaxRatio);
+  const std::lock_guard<std::mutex> lock(mu_);
+  Cell& cell = cells_[cell_index(plan.algo, plan.model)];
+  cell.factor = (1.0 - cfg_.ewma_alpha) * cell.factor +
+                cfg_.ewma_alpha * ratio;
+  ++cell.samples;
+}
+
+double Planner::factor(sort::Algo algo, sort::Model model) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Cell& cell = cells_[cell_index(algo, model)];
+  return cell.samples > 0 ? cell.factor : 1.0;
+}
+
+std::uint64_t Planner::observations(sort::Algo algo, sort::Model model) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cells_[cell_index(algo, model)].samples;
+}
+
+std::string Planner::calibration_json() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const Algo a : kAlgos) {
+    for (const Model m : kModels) {
+      if (a == Algo::kSample && m == Model::kCcSasNew) continue;
+      const Cell& cell = cells_[cell_index(a, m)];
+      os << (first ? "" : ", ") << "{\"algo\": \"" << sort::algo_name(a)
+         << "\", \"model\": \"" << sort::model_name(m) << "\", \"factor\": "
+         << fmt_fixed(cell.samples > 0 ? cell.factor : 1.0, 4)
+         << ", \"samples\": " << cell.samples << "}";
+      first = false;
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dsm::svc

@@ -1,0 +1,82 @@
+// Predictor-driven job planner with online EWMA calibration.
+//
+// plan() answers the paper's model-selection question per request: it
+// enumerates every feasible (algorithm, model, radix) candidate for the
+// job (honouring forced dimensions), prices each with the closed-form
+// predictor — distribution-aware, unlike the n-and-p-only predict_best —
+// and picks the cheapest *calibrated* estimate.
+//
+// Calibration closes the loop the static predictor cannot: the predictor
+// is exact in BUSY/stream terms but approximate in contention and
+// synchronisation, so its error is a roughly stable multiplicative bias
+// per (algorithm, model) cell. observe() folds each completed job's
+// measured/predicted ratio into an EWMA correction factor for its cell;
+// plan() multiplies raw predictions by the current factor. As traffic
+// flows, calibrated estimates converge onto the simulator and the
+// planner's ranking sharpens — the service bench reports the error drop.
+//
+// Thread safety: plan() and observe() may be called concurrently; the
+// factor table is mutex-guarded. Determinism: given the same sequence of
+// plan/observe calls, all outputs are bit-identical (pure double
+// arithmetic, no time or randomness).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace dsm::svc {
+
+struct PlannerConfig {
+  /// Radix sizes considered when the job does not pin one.
+  std::vector<int> radixes{8, 11, 12};
+  /// Weight of the newest observation in the EWMA (0 < alpha <= 1). The
+  /// factor starts at 1.0 and eases toward each observed ratio; the small
+  /// default deliberately favours a cell's long-run mean bias over
+  /// recency, because the residual error drifts with (n, p) within a cell
+  /// and chasing the latest job overcorrects (measured in
+  /// bench/service_throughput).
+  double ewma_alpha = 0.1;
+  /// Master switch: disable to plan on raw predictions only (A/B runs).
+  bool calibrate = true;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerConfig cfg = {});
+
+  /// Choose a plan for `job`. Throws dsm::Error if no candidate is
+  /// feasible (e.g. sample sort forced onto CC-SAS-NEW).
+  Plan plan(const JobSpec& job) const;
+
+  /// Fold a completed job's measured virtual time into the calibration
+  /// state of the plan's (algo, model) cell.
+  void observe(const Plan& plan, double measured_ns);
+
+  /// Current correction factor for a cell (1.0 until first observation).
+  double factor(sort::Algo algo, sort::Model model) const;
+  std::uint64_t observations(sort::Algo algo, sort::Model model) const;
+
+  /// Calibration table as a JSON array (deterministic).
+  std::string calibration_json() const;
+
+  const PlannerConfig& config() const { return cfg_; }
+
+ private:
+  struct Cell {
+    double factor = 1.0;
+    std::uint64_t samples = 0;
+  };
+
+  static std::size_t cell_index(sort::Algo algo, sort::Model model);
+
+  PlannerConfig cfg_;
+  mutable std::mutex mu_;
+  // 2 algorithms x 4 models.
+  Cell cells_[8];
+};
+
+}  // namespace dsm::svc

@@ -1,0 +1,71 @@
+#include "svc/queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dsm::svc {
+
+const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kRejectedFull: return "rejected-full";
+    case Admission::kRejectedClosed: return "rejected-closed";
+    case Admission::kRejectedInvalid: return "rejected-invalid";
+  }
+  return "?";
+}
+
+JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
+  DSM_REQUIRE(capacity >= 1, "queue capacity >= 1");
+}
+
+Admission JobQueue::try_submit(JobSpec job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Admission::kRejectedClosed;
+    if (q_.size() >= capacity_) return Admission::kRejectedFull;
+    q_.push_back(std::move(job));
+    high_water_ = std::max(high_water_, q_.size());
+  }
+  cv_.notify_one();
+  return Admission::kAccepted;
+}
+
+std::size_t JobQueue::pop_batch(std::size_t max, std::vector<JobSpec>& out) {
+  DSM_REQUIRE(max >= 1, "pop_batch max >= 1");
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
+  const std::size_t take = std::min(max, q_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return take;
+}
+
+void JobQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t JobQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+std::size_t JobQueue::high_water() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace dsm::svc

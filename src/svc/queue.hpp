@@ -1,0 +1,61 @@
+// Bounded MPMC submission queue with admission control.
+//
+// Submitters never block: try_submit either enqueues the job or returns a
+// rejection reason immediately (kRejectedFull when the queue is at
+// capacity — backpressure the caller can act on — or kRejectedClosed once
+// the service began draining). The server side pops jobs in FIFO batches;
+// pop_batch blocks only while the queue is open and empty, and returns 0
+// exactly once the queue is closed and drained.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace dsm::svc {
+
+enum class Admission {
+  kAccepted,
+  kRejectedFull,     // queue at capacity (backpressure)
+  kRejectedClosed,   // service draining / shut down
+  kRejectedInvalid,  // JobSpec::validate failed
+};
+
+const char* admission_name(Admission a);
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity);
+
+  /// Enqueue or reject, never blocks.
+  Admission try_submit(JobSpec job);
+
+  /// Pop up to `max` jobs in FIFO order into `out` (appended). Blocks
+  /// while the queue is open and empty; returns the number popped, 0 iff
+  /// the queue is closed and fully drained.
+  std::size_t pop_batch(std::size_t max, std::vector<JobSpec>& out);
+
+  /// Stop admitting; wakes blocked poppers. Already-queued jobs remain
+  /// poppable (graceful drain). Idempotent.
+  void close();
+
+  bool closed() const;
+  std::size_t capacity() const { return capacity_; }
+  std::size_t depth() const;
+  /// Largest depth ever observed (after an accepted submit).
+  std::size_t high_water() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<JobSpec> q_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dsm::svc

@@ -1,0 +1,201 @@
+#include "svc/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "sim/sweep.hpp"
+#include "sort/input_cache.hpp"
+
+namespace dsm::svc {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+sort::SortSpec spec_for(const JobSpec& job, sort::Algo algo,
+                        sort::Model model, int radix_bits) {
+  sort::SortSpec spec;
+  spec.algo = algo;
+  spec.model = model;
+  spec.nprocs = job.nprocs;
+  spec.n = job.n;
+  spec.radix_bits = radix_bits;
+  spec.dist = job.dist;
+  spec.seed = job.seed;
+  spec.trace_json_path = job.trace_json_path;
+  return spec;
+}
+
+}  // namespace
+
+SortService::SortService(ServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      queue_(cfg_.queue_capacity),
+      planner_(cfg_.planner) {
+  DSM_REQUIRE(cfg_.max_batch >= 1, "max_batch >= 1");
+  DSM_REQUIRE(cfg_.max_batch <= cfg_.queue_capacity,
+              "max_batch must fit in the queue (replay feeds full batches)");
+}
+
+SortService::~SortService() { drain(); }
+
+void SortService::start() {
+  DSM_REQUIRE(!started_, "service already started");
+  DSM_REQUIRE(!queue_.closed(), "service already drained");
+  started_ = true;
+  server_ = std::thread([this] { server_loop(); });
+}
+
+Admission SortService::submit(JobSpec job) {
+  Admission a;
+  try {
+    job.validate();
+    job.host_submit_s = now_s();
+    a = queue_.try_submit(std::move(job));
+  } catch (const Error&) {
+    a = Admission::kRejectedInvalid;
+  }
+  metrics_.on_admission(a);
+  return a;
+}
+
+void SortService::drain() {
+  queue_.close();
+  if (server_.joinable()) {
+    server_.join();
+  } else {
+    // Never started (or replay-only use): drain whatever was admitted
+    // inline, so drain() always leaves the queue empty.
+    server_loop();
+  }
+}
+
+std::vector<JobResult> SortService::take_results() {
+  const std::lock_guard<std::mutex> lock(results_mu_);
+  return std::exchange(results_, {});
+}
+
+std::vector<JobResult> SortService::replay(
+    const std::vector<JobSpec>& trace) {
+  DSM_REQUIRE(!started_, "replay requires a service not running live");
+  DSM_REQUIRE(!queue_.closed(), "service already drained");
+  std::vector<JobSpec> batch;
+  for (std::size_t begin = 0; begin < trace.size();
+       begin += cfg_.max_batch) {
+    const std::size_t end =
+        std::min(trace.size(), begin + cfg_.max_batch);
+    // Feed the round through the real admission path (capacity >=
+    // max_batch by construction, so nothing is rejected), then pop and
+    // process it — the exact live-mode round, at fixed batch geometry.
+    for (std::size_t i = begin; i < end; ++i) {
+      const Admission a = queue_.try_submit(trace[i]);
+      metrics_.on_admission(a);
+      DSM_CHECK(a == Admission::kAccepted, "replay submit rejected");
+    }
+    batch.clear();
+    const std::size_t got = queue_.pop_batch(cfg_.max_batch, batch);
+    DSM_CHECK(got == end - begin, "replay round popped short");
+    metrics_.note_queue_depth(queue_.high_water());
+    process_batch(batch);
+  }
+  return take_results();
+}
+
+void SortService::server_loop() {
+  std::vector<JobSpec> batch;
+  for (;;) {
+    batch.clear();
+    const std::size_t got = queue_.pop_batch(cfg_.max_batch, batch);
+    if (got == 0) return;  // closed and drained
+    metrics_.note_queue_depth(queue_.high_water());
+    process_batch(batch);
+  }
+}
+
+void SortService::process_batch(std::vector<JobSpec>& batch) {
+  const std::size_t count = batch.size();
+  std::vector<JobResult> results(count);
+  std::vector<std::optional<Plan>> plans(count);
+
+  // Plan sequentially against one calibration snapshot: plans depend only
+  // on admission order and batch geometry, not on the worker count.
+  for (std::size_t i = 0; i < count; ++i) {
+    results[i].id = batch[i].id;
+    try {
+      plans[i] = planner_.plan(batch[i]);
+      results[i].plan = *plans[i];
+    } catch (const std::exception& e) {
+      results[i].status = JobStatus::kFailed;
+      results[i].error = e.what();
+    }
+  }
+
+  // Execute concurrently; every cell only writes its own slot and never
+  // throws (failures are recorded in the slot), so one poisoned job
+  // cannot take down the round.
+  const std::uint64_t base_seq = processed_;
+  sim::run_indexed(count, cfg_.workers, [&](std::size_t i) {
+    if (cfg_.input_cache_budget_bytes != 0) {
+      sort::input_cache_set_budget(cfg_.input_cache_budget_bytes);
+    }
+    if (!plans[i].has_value()) return;  // failed at planning
+    execute_one(batch[i], *plans[i], base_seq + i, results[i]);
+  });
+
+  // Observe and record in batch order — deterministic calibration.
+  for (std::size_t i = 0; i < count; ++i) {
+    if (results[i].status == JobStatus::kOk) {
+      planner_.observe(results[i].plan, results[i].measured_ns);
+    }
+    metrics_.on_complete(results[i]);
+  }
+  processed_ += count;
+
+  const std::lock_guard<std::mutex> lock(results_mu_);
+  results_.insert(results_.end(),
+                  std::make_move_iterator(results.begin()),
+                  std::make_move_iterator(results.end()));
+}
+
+void SortService::execute_one(const JobSpec& job, const Plan& plan,
+                              std::uint64_t seq, JobResult& out) const {
+  try {
+    const sort::SortResult r =
+        sort::run_sort(spec_for(job, plan.algo, plan.model, plan.radix_bits));
+    out.measured_ns = r.elapsed_ns;
+    out.passes = r.passes;
+    out.verified = r.verified;
+
+    if (cfg_.audit_every != 0 && seq % cfg_.audit_every == 0 &&
+        plan.has_runner_up) {
+      out.audited = true;
+      try {
+        sort::SortSpec rs = spec_for(job, plan.runner_algo, plan.runner_model,
+                                     plan.runner_radix_bits);
+        rs.trace_json_path.clear();  // audit runs are not traced
+        out.runner_measured_ns = sort::run_sort(rs).elapsed_ns;
+        out.plan_hit = out.measured_ns <= out.runner_measured_ns;
+      } catch (const std::exception&) {
+        // The runner-up itself is infeasible: the planner's choice stands.
+        out.runner_measured_ns = -1;
+        out.plan_hit = true;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.status = JobStatus::kFailed;
+    out.error = e.what();
+    return;
+  }
+  if (job.host_submit_s > 0) {
+    out.host_latency_ms = (now_s() - job.host_submit_s) * 1e3;
+  }
+}
+
+}  // namespace dsm::svc

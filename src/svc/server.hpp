@@ -1,0 +1,107 @@
+// The sort service: queue -> planner -> executor -> metrics.
+//
+// SortService composes the existing layers into a long-running server.
+// Jobs are admitted through a bounded JobQueue (submitters never block; a
+// full queue rejects with a reason), planned by the calibrating Planner,
+// and executed in FIFO batches on sim::run_indexed's host-thread pool.
+//
+// Determinism contract (extends the sweep runner's): processing is
+// round-based. Each round takes up to `max_batch` jobs in admission
+// order, plans them sequentially against the current calibration state,
+// executes them concurrently (each job writes only its own result slot),
+// then applies calibration observations and metrics in batch order. Plans,
+// results, calibration, and metrics therefore depend only on the admission
+// order and batch geometry — never on the worker count or host schedule.
+// replay() feeds a trace through this path with fixed batch geometry, so
+// replaying the same trace is byte-identical for any `workers`.
+//
+// Error isolation: every per-job step (planning, execution, auditing) is
+// wrapped per job; a poisoned job yields a kFailed JobResult with the
+// error text while the server keeps serving (the simulator's team-poison
+// machinery guarantees the failing cell itself unwinds cleanly).
+//
+// Shutdown: drain() closes the queue (subsequent submits are rejected
+// with kRejectedClosed), processes everything already admitted, and joins
+// the server thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/job.hpp"
+#include "svc/metrics.hpp"
+#include "svc/planner.hpp"
+#include "svc/queue.hpp"
+
+namespace dsm::svc {
+
+struct ServiceConfig {
+  std::size_t queue_capacity = 64;
+  /// Host threads per batch (sim::resolve_jobs semantics: 0 = all).
+  int workers = 1;
+  /// Max jobs planned+executed per round. Part of the determinism
+  /// contract: replaying a trace needs the same max_batch.
+  std::size_t max_batch = 8;
+  /// Every Nth accepted job also executes the planner's runner-up and
+  /// compares measured times (0 = never; audits cost one extra sort).
+  std::uint64_t audit_every = 4;
+  /// Thread-local input-cache byte budget applied in worker cells
+  /// (0 = keep the library default).
+  std::uint64_t input_cache_budget_bytes = 0;
+  PlannerConfig planner;
+};
+
+class SortService {
+ public:
+  explicit SortService(ServiceConfig cfg = {});
+  ~SortService();
+
+  SortService(const SortService&) = delete;
+  SortService& operator=(const SortService&) = delete;
+
+  /// Live mode: start the server loop on its own thread.
+  void start();
+
+  /// Admission control; never blocks. Stamps the host submit time.
+  Admission submit(JobSpec job);
+
+  /// Close the queue, finish everything admitted, stop the server loop.
+  /// Also drains inline when start() was never called. Idempotent.
+  void drain();
+
+  /// Replay mode: process `trace` synchronously with fixed batch
+  /// geometry; returns results in trace order. Byte-identical output for
+  /// any cfg.workers. Requires the service not to be running live.
+  std::vector<JobResult> replay(const std::vector<JobSpec>& trace);
+
+  /// Completed results in processing order (moves them out).
+  std::vector<JobResult> take_results();
+
+  const Metrics& metrics() const { return metrics_; }
+  const Planner& planner() const { return planner_; }
+  const JobQueue& queue() const { return queue_; }
+  const ServiceConfig& config() const { return cfg_; }
+
+ private:
+  void server_loop();
+  void process_batch(std::vector<JobSpec>& batch);
+  /// Plan+execute+audit one job; never throws (failures land in `out`).
+  void execute_one(const JobSpec& job, const Plan& plan, std::uint64_t seq,
+                   JobResult& out) const;
+
+  ServiceConfig cfg_;
+  JobQueue queue_;
+  Planner planner_;
+  Metrics metrics_;
+
+  std::thread server_;
+  bool started_ = false;
+  std::uint64_t processed_ = 0;  // accepted-job sequence counter
+
+  std::mutex results_mu_;
+  std::vector<JobResult> results_;
+};
+
+}  // namespace dsm::svc

@@ -1,0 +1,103 @@
+#include "svc/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/prng.hpp"
+#include "perf/report.hpp"
+
+namespace dsm::svc {
+
+std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
+                                const LoadMix& mix) {
+  DSM_REQUIRE(!mix.sizes.empty() && !mix.procs.empty() && !mix.dists.empty(),
+              "load mix must offer at least one size, proc count, and dist");
+  SplitMix64 rng(seed);
+  std::vector<JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t j = 0; j < count; ++j) {
+    JobSpec job;
+    job.id = j;
+    job.n = mix.sizes[rng.next() % mix.sizes.size()];
+    job.nprocs = mix.procs[rng.next() % mix.procs.size()];
+    job.dist = mix.dists[rng.next() % mix.dists.size()];
+    job.seed = rng.next() | 1;  // any nonzero seed
+    job.validate();
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+std::string trace_to_text(std::span<const JobSpec> jobs) {
+  std::ostringstream os;
+  os << "# dsmsort service trace: id n nprocs dist seed "
+        "force_algo force_model force_radix\n";
+  for (const JobSpec& j : jobs) {
+    os << j.id << ' ' << j.n << ' ' << j.nprocs << ' '
+       << keys::dist_name(j.dist) << ' ' << j.seed << ' '
+       << (j.force_algo ? sort::algo_name(*j.force_algo) : "-") << ' '
+       << (j.force_model ? sort::model_name(*j.force_model) : "-") << ' ';
+    if (j.force_radix_bits) {
+      os << *j.force_radix_bits;
+    } else {
+      os << '-';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::vector<JobSpec> trace_from_text(const std::string& text) {
+  std::vector<JobSpec> jobs;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    JobSpec j;
+    std::string dist, algo, model, radix;
+    if (!(fields >> j.id)) continue;  // blank / comment-only line
+    if (!(fields >> j.n >> j.nprocs >> dist >> j.seed >> algo >> model >>
+          radix)) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": expected 8 fields: " + line);
+    }
+    std::string extra;
+    if (fields >> extra) {
+      throw Error("trace line " + std::to_string(lineno) +
+                  ": trailing field: " + extra);
+    }
+    j.dist = keys::dist_from_name(dist);
+    if (algo != "-") j.force_algo = sort::algo_from_name(algo);
+    if (model != "-") j.force_model = sort::model_from_name(model);
+    if (radix != "-") {
+      try {
+        j.force_radix_bits = std::stoi(radix);
+      } catch (...) {
+        throw Error("trace line " + std::to_string(lineno) +
+                    ": bad radix: " + radix);
+      }
+    }
+    j.validate();
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void write_trace(const std::string& path, std::span<const JobSpec> jobs) {
+  perf::write_file(path, trace_to_text(jobs));
+}
+
+std::vector<JobSpec> read_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open trace: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return trace_from_text(buf.str());
+}
+
+}  // namespace dsm::svc

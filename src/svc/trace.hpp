@@ -1,0 +1,43 @@
+// Seeded request-trace generation and a plain-text trace format.
+//
+// A trace is the unit of reproducibility for the service: the load
+// generator derives a job stream deterministically from (seed, count, mix)
+// via SplitMix64, and the same trace file replayed through
+// SortService::replay yields byte-identical results for any worker count.
+//
+// Text format, one job per line (whitespace-separated, '#' comments):
+//
+//   id n nprocs dist seed force_algo force_model force_radix
+//
+// where the three force_* fields are '-' when the planner chooses.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "svc/job.hpp"
+
+namespace dsm::svc {
+
+/// The job-mix a generated trace draws from (uniformly, per dimension).
+struct LoadMix {
+  std::vector<std::uint64_t> sizes{1u << 20, 4u << 20, 16u << 20};
+  std::vector<int> procs{16, 32, 64};
+  std::vector<keys::Dist> dists{std::begin(keys::kAllDists),
+                                std::end(keys::kAllDists)};
+};
+
+/// Generate `count` jobs deterministically from `seed` over `mix`.
+/// Job ids are 0..count-1 in arrival order.
+std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
+                                const LoadMix& mix);
+
+std::string trace_to_text(std::span<const JobSpec> jobs);
+std::vector<JobSpec> trace_from_text(const std::string& text);
+
+void write_trace(const std::string& path, std::span<const JobSpec> jobs);
+std::vector<JobSpec> read_trace(const std::string& path);
+
+}  // namespace dsm::svc

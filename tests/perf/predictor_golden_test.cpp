@@ -1,0 +1,86 @@
+// Golden model-selection answers: pins the predictor's bottom-line
+// recommendation (the paper's "which combination should I use?") so a
+// cost-model change that silently moves the crossover fails loudly.
+//
+// The crossover these tests pin was measured against the simulator:
+// sample sort on CC-SAS wins below ~10^5 keys per processor, radix sort
+// on SHMEM wins above, with the switch between 128K and 256K keys/proc
+// (earlier for 16 and 32 processes, later for 64), and radix_bits = 11
+// at both ends.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "perf/predictor.hpp"
+
+namespace dsm::perf {
+namespace {
+
+const int kProcCounts[] = {16, 32, 64};
+
+TEST(PredictorGolden, SmallPerProcessSizesPickSampleOnCcSas) {
+  for (const int p : kProcCounts) {
+    const Index n = Index{16 << 10} * static_cast<Index>(p);
+    const PredictedBest best = predict_best(n, p);
+    EXPECT_EQ(best.algo, sort::Algo::kSample) << "p=" << p;
+    EXPECT_EQ(best.model, sort::Model::kCcSas) << "p=" << p;
+    EXPECT_EQ(best.radix_bits, 11) << "p=" << p;
+  }
+}
+
+TEST(PredictorGolden, LargePerProcessSizesPickRadixOnShmem) {
+  for (const int p : kProcCounts) {
+    const Index n = Index{512 << 10} * static_cast<Index>(p);
+    const PredictedBest best = predict_best(n, p);
+    EXPECT_EQ(best.algo, sort::Algo::kRadix) << "p=" << p;
+    EXPECT_EQ(best.model, sort::Model::kShmem) << "p=" << p;
+    EXPECT_EQ(best.radix_bits, 11) << "p=" << p;
+  }
+}
+
+TEST(PredictorGolden, CrossoverSitsInTheMeasuredBandAndIsMonotone) {
+  const Index kPerProc[] = {16 << 10,  32 << 10,  64 << 10,
+                            128 << 10, 256 << 10, 512 << 10};
+  for (const int p : kProcCounts) {
+    Index first_radix = 0;
+    bool saw_radix = false;
+    for (const Index k : kPerProc) {
+      const PredictedBest best = predict_best(k * static_cast<Index>(p), p);
+      if (best.algo == sort::Algo::kRadix && !saw_radix) {
+        saw_radix = true;
+        first_radix = k;
+      }
+      // One crossover only: sample never wins again past the switch.
+      if (saw_radix) {
+        EXPECT_EQ(best.algo, sort::Algo::kRadix)
+            << "p=" << p << " keys/proc=" << k;
+      }
+    }
+    ASSERT_TRUE(saw_radix) << "p=" << p;
+    EXPECT_GE(first_radix, Index{128 << 10}) << "p=" << p;
+    EXPECT_LE(first_radix, Index{256 << 10}) << "p=" << p;
+  }
+}
+
+TEST(PredictorGolden, RankedListIsSortedCompleteAndConsistent) {
+  const Index n = Index{1} << 22;
+  const auto ranked = predict_ranked(n, 32);
+  // 2 algorithms x 4 models minus sample/CC-SAS-NEW, times 3 radixes.
+  ASSERT_EQ(ranked.size(), 21u);
+  const PredictedBest best = predict_best(n, 32);
+  EXPECT_EQ(ranked.front().algo, best.algo);
+  EXPECT_EQ(ranked.front().model, best.model);
+  EXPECT_EQ(ranked.front().radix_bits, best.radix_bits);
+  EXPECT_DOUBLE_EQ(ranked.front().total_ns, best.total_ns);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].total_ns, ranked[i].total_ns) << i;
+  }
+  for (const PredictedBest& c : ranked) {
+    EXPECT_GT(c.total_ns, 0);
+    EXPECT_FALSE(c.algo == sort::Algo::kSample &&
+                 c.model == sort::Model::kCcSasNew);
+  }
+}
+
+}  // namespace
+}  // namespace dsm::perf

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,52 @@ TEST(Sweep, ResolveJobs) {
   EXPECT_EQ(resolve_jobs(7), 7);
   EXPECT_GE(resolve_jobs(0), 1);  // 0 = all hardware threads
   EXPECT_THROW(resolve_jobs(-1), Error);
+}
+
+// setenv/unsetenv scope guard so a failing assertion cannot leak
+// DSMSORT_JOBS into later tests.
+class ScopedJobsEnv {
+ public:
+  explicit ScopedJobsEnv(const char* value) {
+    if (value == nullptr) {
+      unsetenv("DSMSORT_JOBS");
+    } else {
+      setenv("DSMSORT_JOBS", value, 1);
+    }
+  }
+  ~ScopedJobsEnv() { unsetenv("DSMSORT_JOBS"); }
+};
+
+TEST(Sweep, DefaultJobsReadsTheEnvironment) {
+  {
+    const ScopedJobsEnv env(nullptr);
+    EXPECT_EQ(default_jobs(), 1);  // unset = serial
+  }
+  {
+    const ScopedJobsEnv env("");
+    EXPECT_EQ(default_jobs(), 1);  // empty = unset
+  }
+  {
+    const ScopedJobsEnv env("4");
+    EXPECT_EQ(default_jobs(), 4);
+  }
+  {
+    const ScopedJobsEnv env("0");
+    // 0 = all hardware threads, already resolved to a concrete count.
+    EXPECT_EQ(default_jobs(), resolve_jobs(0));
+    EXPECT_GE(default_jobs(), 1);
+  }
+}
+
+TEST(Sweep, DefaultJobsRejectsGarbageInsteadOfGuessing) {
+  // Each of these once parsed as something (stoi semantics): "4x" as 4,
+  // " 8" as 8. A mistyped DSMSORT_JOBS must fail loudly, not quietly run
+  // the wrong parallelism.
+  for (const char* bad : {"abc", "4x", "x4", " 8", "-2", "1e3",
+                          "99999999999999999999"}) {
+    const ScopedJobsEnv env(bad);
+    EXPECT_THROW(default_jobs(), Error) << "DSMSORT_JOBS=" << bad;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -96,6 +97,101 @@ TEST(InputCache, SeedsAndSizesDoNotCollide) {
   EXPECT_NE(s1.keys, s2.keys);
   const Generated again = generate_warm(keys::Dist::kRandom, n, 4, 8, 1);
   EXPECT_EQ(again.keys, s1.keys);
+}
+
+// Run `body` on a fresh thread: its thread-local cache starts empty and
+// budget/stat assertions cannot leak into other tests.
+void on_fresh_cache(const std::function<void()>& body) {
+  std::thread worker(body);
+  worker.join();
+}
+
+TEST(InputCache, BudgetEvictsLeastRecentlyUsedFirst) {
+  on_fresh_cache([] {
+    const Index n = 1 << 12;  // 16 KiB per entry
+    input_cache_set_budget(2 * n * sizeof(Key));  // room for two entries
+    (void)generate_warm(keys::Dist::kRandom, n, 4, 8, 1);  // A
+    (void)generate_warm(keys::Dist::kRandom, n, 4, 8, 2);  // B
+    (void)generate_warm(keys::Dist::kRandom, n, 4, 8, 1);  // touch A
+    (void)generate_warm(keys::Dist::kRandom, n, 4, 8, 3);  // C evicts B
+    const InputCacheStats s = input_cache_stats();
+    EXPECT_EQ(s.entries, 2u);
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_LE(s.bytes, input_cache_budget());
+    // A survived (it was touched after B) ...
+    (void)generate_warm(keys::Dist::kRandom, n, 4, 8, 1);
+    EXPECT_EQ(input_cache_stats().hits, 2u);
+    // ... and B did not: reloading it is a miss.
+    (void)generate_warm(keys::Dist::kRandom, n, 4, 8, 2);
+    EXPECT_EQ(input_cache_stats().misses, 4u);
+  });
+}
+
+TEST(InputCache, ShrinkingTheBudgetEvictsImmediately) {
+  on_fresh_cache([] {
+    const Index n = 1 << 12;
+    input_cache_set_budget(4 * n * sizeof(Key));
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      (void)generate_warm(keys::Dist::kRandom, n, 4, 8, seed);
+    }
+    EXPECT_EQ(input_cache_stats().entries, 3u);
+    input_cache_set_budget(n * sizeof(Key));
+    const InputCacheStats s = input_cache_stats();
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_EQ(s.bytes, n * sizeof(Key));
+    EXPECT_EQ(s.evictions, 2u);
+  });
+}
+
+TEST(InputCache, OversizeInputsBypassTheCacheButStayCorrect) {
+  on_fresh_cache([] {
+    const Index n = 1 << 12;
+    input_cache_set_budget(n * sizeof(Key));  // entry > budget/2: bypass
+    const Generated a = generate_warm(keys::Dist::kRandom, n, 4, 8, 1);
+    const Generated b = generate_warm(keys::Dist::kRandom, n, 4, 8, 1);
+    EXPECT_EQ(a.keys, b.keys);
+    EXPECT_EQ(a.sum, b.sum);
+    const InputCacheStats s = input_cache_stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 2u);
+  });
+}
+
+TEST(InputCache, ZeroBudgetDisablesCachingEntirely) {
+  on_fresh_cache([] {
+    input_cache_set_budget(0);
+    const Index n = 1 << 10;
+    const Generated a = generate_warm(keys::Dist::kGauss, n, 4, 8, 7);
+    const Generated b = generate_warm(keys::Dist::kGauss, n, 4, 8, 7);
+    EXPECT_EQ(a.keys, b.keys);
+    EXPECT_EQ(input_cache_stats().entries, 0u);
+    EXPECT_EQ(input_cache_stats().hits, 0u);
+  });
+}
+
+TEST(InputCache, ClearDropsEntriesAndStatsButKeepsTheBudget) {
+  on_fresh_cache([] {
+    const std::uint64_t budget = std::uint64_t{1} << 20;
+    input_cache_set_budget(budget);
+    (void)generate_warm(keys::Dist::kRandom, 1 << 12, 4, 8, 1);
+    (void)generate_warm(keys::Dist::kRandom, 1 << 12, 4, 8, 1);
+    EXPECT_EQ(input_cache_stats().hits, 1u);
+    input_cache_clear();
+    const InputCacheStats s = input_cache_stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_EQ(s.bytes, 0u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.misses, 0u);
+    EXPECT_EQ(s.evictions, 0u);
+    EXPECT_EQ(input_cache_budget(), budget);
+  });
+}
+
+TEST(InputCache, DefaultBudgetMatchesTheDocumentedConstant) {
+  on_fresh_cache([] {
+    EXPECT_EQ(input_cache_budget(), kInputCacheDefaultBudget);
+  });
 }
 
 }  // namespace

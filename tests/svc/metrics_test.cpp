@@ -1,0 +1,137 @@
+// Metrics registry: counters, the log2 virtual-latency histogram, plan
+// audits, and the before/after calibration-accuracy split — plus the
+// determinism-relevant JSON rendering.
+#include "svc/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dsm::svc {
+namespace {
+
+JobResult ok_result(double measured_ns) {
+  JobResult r;
+  r.measured_ns = measured_ns;
+  r.plan.predicted_raw_ns = measured_ns;  // perfect prediction by default
+  r.plan.predicted_ns = measured_ns;
+  return r;
+}
+
+TEST(Metrics, AdmissionCountersSplitByReason) {
+  Metrics m;
+  m.on_admission(Admission::kAccepted);
+  m.on_admission(Admission::kAccepted);
+  m.on_admission(Admission::kRejectedFull);
+  m.on_admission(Admission::kRejectedClosed);
+  m.on_admission(Admission::kRejectedInvalid);
+  const Metrics::Counters c = m.counters();
+  EXPECT_EQ(c.submitted, 5u);
+  EXPECT_EQ(c.accepted, 2u);
+  EXPECT_EQ(c.rejected_full, 1u);
+  EXPECT_EQ(c.rejected_closed, 1u);
+  EXPECT_EQ(c.rejected_invalid, 1u);
+}
+
+TEST(Metrics, LatencyHistogramUsesLog2MicrosecondBuckets) {
+  Metrics m;
+  m.on_complete(ok_result(500));    // 0.5 us -> bucket 0 ([0, 2) us)
+  m.on_complete(ok_result(3e3));    // 3 us   -> bucket 1 ([2, 4) us)
+  m.on_complete(ok_result(1e6));    // 1000 us -> bucket 9 ([512, 1024) us)
+  m.on_complete(ok_result(1e15));   // overflow tail -> last bucket
+  const auto hist = m.latency_histogram();
+  ASSERT_EQ(hist.size(), static_cast<std::size_t>(Metrics::kLatencyBuckets));
+  EXPECT_EQ(hist[0], 1u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[9], 1u);
+  EXPECT_EQ(hist[Metrics::kLatencyBuckets - 1], 1u);
+  EXPECT_EQ(m.counters().completed, 4u);
+}
+
+TEST(Metrics, FailedJobsCountOnlyAsFailures) {
+  Metrics m;
+  JobResult r;
+  r.status = JobStatus::kFailed;
+  r.error = "boom";
+  m.on_complete(r);
+  const Metrics::Counters c = m.counters();
+  EXPECT_EQ(c.failed, 1u);
+  EXPECT_EQ(c.completed, 0u);
+  for (const std::uint64_t b : m.latency_histogram()) EXPECT_EQ(b, 0u);
+  EXPECT_EQ(m.accuracy().count, 0u);
+}
+
+TEST(Metrics, AuditCountersTrackHitRate) {
+  Metrics m;
+  JobResult hit = ok_result(1e3);
+  hit.audited = true;
+  hit.plan_hit = true;
+  JobResult miss = ok_result(1e3);
+  miss.audited = true;
+  miss.plan_hit = false;
+  m.on_complete(hit);
+  m.on_complete(miss);
+  m.on_complete(ok_result(1e3));  // unaudited
+  const Metrics::Counters c = m.counters();
+  EXPECT_EQ(c.audited, 2u);
+  EXPECT_EQ(c.plan_hits, 1u);
+}
+
+TEST(Metrics, AccuracySplitsCalibratedErrorIntoHalves) {
+  Metrics m;
+  // First half: calibrated estimate off by 100%; second half: exact.
+  for (int i = 0; i < 2; ++i) {
+    JobResult r = ok_result(100.0);
+    r.plan.predicted_raw_ns = 200.0;
+    r.plan.predicted_ns = 200.0;
+    m.on_complete(r);
+  }
+  for (int i = 0; i < 2; ++i) {
+    JobResult r = ok_result(100.0);
+    r.plan.predicted_raw_ns = 200.0;
+    r.plan.predicted_ns = 100.0;
+    m.on_complete(r);
+  }
+  const Metrics::Accuracy a = m.accuracy();
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_DOUBLE_EQ(a.mean_rel_err_raw, 1.0);
+  EXPECT_DOUBLE_EQ(a.mean_rel_err_cal, 0.5);
+  EXPECT_DOUBLE_EQ(a.first_half_cal, 1.0);
+  EXPECT_DOUBLE_EQ(a.second_half_cal, 0.0);
+}
+
+TEST(Metrics, QueueDepthHighWaterIsMonotone) {
+  Metrics m;
+  m.note_queue_depth(3);
+  m.note_queue_depth(1);
+  EXPECT_EQ(m.queue_depth_high_water(), 3u);
+}
+
+TEST(Metrics, JsonCarriesEverySection) {
+  Metrics m;
+  m.on_admission(Admission::kAccepted);
+  m.on_complete(ok_result(1e3));
+  const std::string json = m.to_json();
+  for (const char* key :
+       {"\"counters\"", "\"submitted\": 1", "\"completed\": 1",
+        "\"queue_depth_high_water\"", "\"plan_audit\"", "\"hit_rate\"",
+        "\"accuracy\"", "\"mean_rel_err_calibrated\"",
+        "\"latency_virtual_us_log2_buckets\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(Metrics, HistogramCsvHasOneRowPerBucket) {
+  Metrics m;
+  m.on_complete(ok_result(3e3));
+  const std::string csv = m.histogram_csv();
+  EXPECT_EQ(csv.rfind("bucket_lo_us,bucket_hi_us,count\n", 0), 0u);
+  std::size_t lines = 0;
+  for (const char ch : csv) lines += ch == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 1u + Metrics::kLatencyBuckets);
+  EXPECT_NE(csv.find("2,4,1\n"), std::string::npos);  // the 3 us job
+  EXPECT_NE(csv.find(",inf,"), std::string::npos);    // overflow tail row
+}
+
+}  // namespace
+}  // namespace dsm::svc

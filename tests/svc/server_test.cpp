@@ -1,0 +1,189 @@
+// SortService end-to-end: replay determinism across worker counts (the
+// service's headline contract), per-job error isolation, live-mode
+// submit/drain, and admission control under pressure.
+#include "svc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "svc/trace.hpp"
+
+namespace dsm::svc {
+namespace {
+
+JobSpec small_job(std::uint64_t id, Index n = 4096, int nprocs = 4) {
+  JobSpec j;
+  j.id = id;
+  j.n = n;
+  j.nprocs = nprocs;
+  j.dist = keys::Dist::kGauss;
+  j.seed = 2 * id + 1;
+  return j;
+}
+
+ServiceConfig small_config(int workers) {
+  ServiceConfig cfg;
+  cfg.queue_capacity = 16;
+  cfg.max_batch = 4;
+  cfg.workers = workers;
+  cfg.audit_every = 3;
+  return cfg;
+}
+
+std::vector<JobSpec> small_trace(std::size_t count) {
+  LoadMix mix;
+  mix.sizes = {1u << 12, 1u << 13};
+  mix.procs = {4, 8};
+  mix.dists = {keys::Dist::kGauss, keys::Dist::kRandom, keys::Dist::kBucket,
+               keys::Dist::kRemote};
+  return make_trace(99, count, mix);
+}
+
+// Everything deterministic the service produced, as one string.
+std::string replay_fingerprint(SortService& svc,
+                               const std::vector<JobSpec>& trace) {
+  std::string out;
+  for (const JobResult& r : svc.replay(trace)) {
+    out += r.to_json();
+    out += '\n';
+  }
+  out += svc.metrics().to_json();
+  out += '\n';
+  out += svc.planner().calibration_json();
+  return out;
+}
+
+TEST(SortService, ReplayIsByteIdenticalForAnyWorkerCount) {
+  const std::vector<JobSpec> trace = small_trace(10);
+  SortService one(small_config(1));
+  const std::string base = replay_fingerprint(one, trace);
+  EXPECT_NE(base.find("\"status\": \"ok\""), std::string::npos);
+  for (const int workers : {2, 4}) {
+    SortService many(small_config(workers));
+    EXPECT_EQ(replay_fingerprint(many, trace), base)
+        << "workers=" << workers;
+  }
+}
+
+TEST(SortService, ReplayReturnsResultsInTraceOrderAndCalibrates) {
+  const std::vector<JobSpec> trace = small_trace(8);
+  SortService svc(small_config(2));
+  const std::vector<JobResult> results = svc.replay(trace);
+  ASSERT_EQ(results.size(), trace.size());
+  std::uint64_t total_obs = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].id, trace[i].id);
+    EXPECT_EQ(results[i].status, JobStatus::kOk) << results[i].error;
+    EXPECT_TRUE(results[i].verified);
+    EXPECT_GT(results[i].measured_ns, 0);
+    EXPECT_EQ(results[i].host_latency_ms, 0);  // replay: no host clock
+  }
+  for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
+    for (const sort::Model m :
+         {sort::Model::kCcSas, sort::Model::kCcSasNew, sort::Model::kMpi,
+          sort::Model::kShmem}) {
+      total_obs += svc.planner().observations(a, m);
+    }
+  }
+  EXPECT_EQ(total_obs, trace.size());  // every success feeds calibration
+  // audit_every=3 with sequence numbers 0..7 audits seqs 0, 3, 6.
+  EXPECT_EQ(svc.metrics().counters().audited, 3u);
+}
+
+TEST(SortService, PoisonedJobsFailAloneWhileTheRestComplete) {
+  std::vector<JobSpec> trace;
+  trace.push_back(small_job(0));
+  // Fails at planning: sample sort cannot run on the radix-only model.
+  JobSpec bad_plan = small_job(1);
+  bad_plan.force_algo = sort::Algo::kSample;
+  bad_plan.force_model = sort::Model::kCcSasNew;
+  trace.push_back(bad_plan);
+  // Fails at execution: the per-job trace sink is unwritable.
+  JobSpec bad_run = small_job(2);
+  bad_run.trace_json_path = "/nonexistent-dir-dsmsort/trace.json";
+  trace.push_back(bad_run);
+  trace.push_back(small_job(3));
+
+  SortService svc(small_config(2));
+  const std::vector<JobResult> results = svc.replay(trace);
+  ASSERT_EQ(results.size(), 4u);
+
+  EXPECT_EQ(results[0].status, JobStatus::kOk);
+  EXPECT_EQ(results[3].status, JobStatus::kOk);
+
+  EXPECT_EQ(results[1].status, JobStatus::kFailed);
+  EXPECT_NE(results[1].error.find("no feasible plan"), std::string::npos)
+      << results[1].error;
+  EXPECT_EQ(results[2].status, JobStatus::kFailed);
+  EXPECT_NE(results[2].error.find("trace"), std::string::npos)
+      << results[2].error;
+
+  const Metrics::Counters c = svc.metrics().counters();
+  EXPECT_EQ(c.completed, 2u);
+  EXPECT_EQ(c.failed, 2u);
+  EXPECT_EQ(svc.queue().depth(), 0u);  // drained cleanly
+  // Failures carry their error in JSON instead of plan/measurement.
+  EXPECT_NE(results[1].to_json().find("\"error\": "), std::string::npos);
+}
+
+TEST(SortService, LiveModeServesSubmittedJobsUntilDrain) {
+  SortService svc(small_config(2));
+  svc.start();
+  for (std::uint64_t id = 0; id < 6; ++id) {
+    EXPECT_EQ(svc.submit(small_job(id)), Admission::kAccepted);
+  }
+  svc.drain();
+  const std::vector<JobResult> results = svc.take_results();
+  ASSERT_EQ(results.size(), 6u);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+    EXPECT_GT(r.host_latency_ms, 0);  // live mode stamps the host clock
+  }
+  // After drain the service only answers "closed".
+  EXPECT_EQ(svc.submit(small_job(99)), Admission::kRejectedClosed);
+  const Metrics::Counters c = svc.metrics().counters();
+  EXPECT_EQ(c.accepted, 6u);
+  EXPECT_EQ(c.completed, 6u);
+  EXPECT_EQ(c.rejected_closed, 1u);
+}
+
+TEST(SortService, FullQueueAppliesBackpressure) {
+  ServiceConfig cfg = small_config(1);
+  cfg.queue_capacity = 2;
+  cfg.max_batch = 2;
+  SortService svc(cfg);  // not started: nothing drains the queue yet
+  EXPECT_EQ(svc.submit(small_job(0)), Admission::kAccepted);
+  EXPECT_EQ(svc.submit(small_job(1)), Admission::kAccepted);
+  EXPECT_EQ(svc.submit(small_job(2)), Admission::kRejectedFull);
+  svc.drain();  // inline drain still processes the admitted jobs
+  EXPECT_EQ(svc.take_results().size(), 2u);
+  const Metrics::Counters c = svc.metrics().counters();
+  EXPECT_EQ(c.rejected_full, 1u);
+  EXPECT_EQ(c.completed, 2u);
+}
+
+TEST(SortService, InvalidJobsAreRejectedAtAdmission) {
+  SortService svc(small_config(1));
+  JobSpec j = small_job(0);
+  j.seed = 0;
+  EXPECT_EQ(svc.submit(j), Admission::kRejectedInvalid);
+  JobSpec tiny = small_job(1);
+  tiny.n = 2;
+  tiny.nprocs = 4;  // fewer keys than processes
+  EXPECT_EQ(svc.submit(tiny), Admission::kRejectedInvalid);
+  EXPECT_EQ(svc.metrics().counters().rejected_invalid, 2u);
+  svc.drain();
+}
+
+TEST(SortService, ConfigIsValidated) {
+  ServiceConfig batch_too_big;
+  batch_too_big.queue_capacity = 2;
+  batch_too_big.max_batch = 4;
+  EXPECT_THROW(SortService{batch_too_big}, Error);
+}
+
+}  // namespace
+}  // namespace dsm::svc
