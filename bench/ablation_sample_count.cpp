@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
           spec.n = n;
           spec.radix_bits = 11;
           spec.dist = dist;
-          spec.sample_count = s;
+          spec.ablations.sample_count = s;
           const auto res = bench::run_spec(spec, env.seed);
           t.add_row({fmt_count(n), std::to_string(p), std::to_string(s),
                      fmt_fixed(res.elapsed_ns / 1e3, 0),

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
         spec.nprocs = p;
         spec.n = n;
         spec.radix_bits = 11;
-        spec.sample_group_size = g;
+        spec.ablations.sample_group_size = g;
         const auto res = bench::run_spec(spec, env.seed);
         double splitter_ns = 0;
         for (const auto& [name, b] : res.phases) {

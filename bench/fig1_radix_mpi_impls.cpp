@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
         spec.n = n;
         spec.radix_bits = env.radix_bits;
 
-        spec.mpi_impl = msg::Impl::kStaged;
+        spec.ablations.mpi_impl = msg::Impl::kStaged;
         const double sgi = bench::run_spec(spec, env.seed).elapsed_ns;
-        spec.mpi_impl = msg::Impl::kDirect;
+        spec.ablations.mpi_impl = msg::Impl::kDirect;
         const double neu = bench::run_spec(spec, env.seed).elapsed_ns;
 
         t.add_row({fmt_count(n), std::to_string(p),

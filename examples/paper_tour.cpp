@@ -23,7 +23,7 @@ double run_ns(sort::Algo a, sort::Model m, int p, Index n, int r,
   spec.nprocs = p;
   spec.n = n;
   spec.radix_bits = r;
-  spec.mpi_impl = impl;
+  spec.ablations.mpi_impl = impl;
   return sort::run_sort(spec).elapsed_ns;
 }
 

@@ -35,7 +35,15 @@ int main(int argc, char** argv) {
               << " simulated Origin 2000 processors (radix "
               << spec.radix_bits << ")...\n";
 
-    const sort::SortResult res = sort::run_sort(spec);
+    // The non-throwing v2 entry point: failures come back as a typed
+    // Status (spec.validate_status() violations, cancellation, ...)
+    // instead of an exception.
+    Result<sort::SortResult> run = sort::try_run_sort(spec);
+    if (!run.ok()) {
+      std::cerr << "sort failed: " << run.status().to_string() << "\n";
+      return 1;
+    }
+    const sort::SortResult& res = *run;
     const double base_ns = sort::seq_baseline_ns(
         spec.n, spec.dist, spec.radix_bits, spec.resolved_machine());
 

@@ -67,19 +67,36 @@ double ArgParser::get_double(const std::string& name, double fallback) const {
 
 std::vector<std::uint64_t> ArgParser::get_counts(
     const std::string& name, const std::string& fallback) const {
+  // Strict parse, all violations reported at once: a long comma list with
+  // two typos should cost the user one round trip, not two.
   std::vector<std::uint64_t> out;
+  std::string bad;
   for (const auto& item : split_commas(get(name, fallback))) {
-    out.push_back(parse_count(item));
+    try {
+      out.push_back(parse_count(item));
+    } catch (const std::exception&) {
+      bad += (bad.empty() ? "'" : ", '") + item + "'";
+    }
   }
+  DSM_REQUIRE(bad.empty(), "--" + name + ": bad count items: " + bad);
   return out;
 }
 
 std::vector<int> ArgParser::get_ints(const std::string& name,
                                      const std::string& fallback) const {
   std::vector<int> out;
+  std::string bad;
   for (const auto& item : split_commas(get(name, fallback))) {
-    out.push_back(std::stoi(item));
+    try {
+      std::size_t pos = 0;
+      const int v = std::stoi(item, &pos);
+      DSM_REQUIRE(pos == item.size(), "trailing characters");
+      out.push_back(v);
+    } catch (const std::exception&) {
+      bad += (bad.empty() ? "'" : ", '") + item + "'";
+    }
   }
+  DSM_REQUIRE(bad.empty(), "--" + name + ": bad int items: " + bad);
   return out;
 }
 

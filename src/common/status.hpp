@@ -1,0 +1,171 @@
+// Typed error reporting: dsm::Status and dsm::Result<T>.
+//
+// The v1 API reported every failure as a thrown dsm::Error carrying only a
+// string, which made failure *reasons* impossible to branch on: the sort
+// service could not tell a transient injected fault (worth retrying) from
+// an invalid request (never worth retrying) without string matching. A
+// Status is a (code, message, retryable) triple; Result<T> is the
+// value-or-Status return shape of the non-throwing v2 entry points
+// (sort::try_run_sort, svc::Planner::try_plan). The throwing v1 surface
+// remains as thin wrappers that raise StatusError, which still derives
+// from dsm::Error for source compatibility.
+//
+// Retryability is a property of the *failure*, not of the caller's policy:
+// a status is retryable when the same call could plausibly succeed if
+// simply repeated (injected fault, transient I/O, momentary overload), and
+// non-retryable when repeating it must fail the same way (invalid
+// argument, infeasible combination, exceeded deadline, cancellation).
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace dsm {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,    // request can never be served as posed
+  kInfeasible,         // no (algo, model, radix) candidate fits
+  kDeadlineExceeded,   // predicted or measured past the job deadline
+  kCancelled,          // cooperative cancellation token fired
+  kResourceExhausted,  // admission backpressure (queue full)
+  kUnavailable,        // service draining / shut down
+  kFaultInjected,      // a seeded fault site fired (always transient)
+  kIoError,            // host-side I/O (trace sink, result file)
+  kInternal,           // invariant violation or unclassified failure
+};
+
+const char* status_code_name(StatusCode c);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message, bool retryable)
+      : code_(code), message_(std::move(message)), retryable_(retryable) {}
+
+  static Status invalid_argument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg), false);
+  }
+  static Status infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg), false);
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg), false);
+  }
+  static Status cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg), false);
+  }
+  static Status resource_exhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg), true);
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg), false);
+  }
+  static Status fault_injected(std::string msg) {
+    return Status(StatusCode::kFaultInjected, std::move(msg), true);
+  }
+  static Status io_error(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg), true);
+  }
+  static Status internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg), false);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  bool retryable() const { return retryable_; }
+
+  /// "DEADLINE_EXCEEDED: predicted 840us > deadline 500us" (or "OK").
+  std::string to_string() const {
+    if (ok()) return status_code_name(code_);
+    std::string s = status_code_name(code_);
+    s += ": ";
+    s += message_;
+    return s;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_ &&
+           a.retryable_ == b.retryable_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  bool retryable_ = false;
+};
+
+inline const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kInfeasible: return "INFEASIBLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kFaultInjected: return "FAULT_INJECTED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+/// The exception the throwing v1 wrappers raise: a dsm::Error (so existing
+/// catch sites keep working) that still carries the typed Status.
+class StatusError : public Error {
+ public:
+  explicit StatusError(Status status)
+      : Error(status.message()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Value-or-Status. Holds either a T (ok) or a non-OK Status; accessing
+/// the wrong arm is a checked precondition violation, not UB.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : ok_(true), value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    DSM_REQUIRE(!status_.ok(), "Result error arm needs a non-OK status");
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  /// OK when holding a value.
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    DSM_REQUIRE(ok_, "Result::value on error: " + status_.to_string());
+    return value_;
+  }
+  const T& value() const& {
+    DSM_REQUIRE(ok_, "Result::value on error: " + status_.to_string());
+    return value_;
+  }
+  T&& value() && {
+    DSM_REQUIRE(ok_, "Result::value on error: " + status_.to_string());
+    return std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  bool ok_ = false;
+  Status status_;
+  T value_{};  // default-constructed in the error arm
+};
+
+}  // namespace dsm

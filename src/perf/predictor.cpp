@@ -221,7 +221,7 @@ void predict_radix(const Ctx& c, Acc& a) {
         break;
       }
       case Model::kMpi: {
-        const bool staged = c.spec.mpi_impl == msg::Impl::kStaged;
+        const bool staged = c.spec.ablations.mpi_impl == msg::Impl::kStaged;
         const double send_ov = staged ? c.mp.sw.mpi_staged_send_overhead_ns
                                       : c.mp.sw.mpi_send_overhead_ns;
         const double recv_ov = staged ? c.mp.sw.mpi_staged_recv_overhead_ns
@@ -271,7 +271,7 @@ void predict_radix(const Ctx& c, Acc& a) {
 
 void predict_sample(const Ctx& c, Acc& a) {
   const int p = c.spec.nprocs;
-  const double s = c.spec.sample_count;
+  const double s = c.spec.ablations.sample_count;
   const double remote_frac = p > 1 ? static_cast<double>(p - 1) / p : 0.0;
   const bool clustered = dist_clusters_late_passes(c.spec.dist);
 
@@ -318,7 +318,7 @@ void predict_sample(const Ctx& c, Acc& a) {
              out_bytes / c.mp.mem.bulk_copy_bytes_per_ns);
       break;
     case Model::kMpi: {
-      const bool staged = c.spec.mpi_impl == msg::Impl::kStaged;
+      const bool staged = c.spec.ablations.mpi_impl == msg::Impl::kStaged;
       const double send_ov = staged ? c.mp.sw.mpi_staged_send_overhead_ns
                                     : c.mp.sw.mpi_send_overhead_ns;
       const double recv_ov = staged ? c.mp.sw.mpi_staged_recv_overhead_ns

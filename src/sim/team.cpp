@@ -68,6 +68,12 @@ void SimTeam::trace_event(int rank, TraceEvent::Kind kind, double start_ns,
 void SimTeam::record_phase(int rank, std::string name) {
   DSM_REQUIRE(rank >= 0 && rank < nprocs(), "rank out of range");
   const auto r = static_cast<std::size_t>(rank);
+  if (phase_hook_) {
+    // Fire before recording: an aborting hook (injected fault, deadline,
+    // cancellation) leaves the log at the last completed phase.
+    phase_hook_(rank, name.c_str(),
+                clocks_[r].value.breakdown().total_ns());
+  }
   phase_logs_[r].value.mark(std::move(name), clocks_[r].value.breakdown());
 }
 

@@ -60,6 +60,16 @@ class SimTeam {
   /// ProcContext::phase()).
   void record_phase(int rank, std::string name);
 
+  /// Observation hook fired on every phase mark with the marking rank's
+  /// virtual time so far, before the mark is recorded. Throwing from the
+  /// hook aborts the run like any rank failure (team poison). Used by the
+  /// sort driver for fault injection, cooperative cancellation, and
+  /// virtual-time deadline enforcement. The hook must be safe to call
+  /// concurrently from different ranks under the thread engine.
+  using PhaseHook =
+      std::function<void(int rank, const char* name, double virtual_ns)>;
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
   /// Per-rank phase attribution (deltas between marks; see sim/phases.hpp).
   std::vector<std::pair<std::string, Breakdown>> phases_of(int rank) const;
 
@@ -155,6 +165,7 @@ class SimTeam {
                    std::uint64_t bytes);
 
   std::vector<Padded<CategoryClock>> clocks_;
+  PhaseHook phase_hook_;
   std::vector<Padded<PhaseLog>> phase_logs_;
   std::vector<Padded<TraceLog>> trace_logs_;
   bool tracing_ = false;

@@ -1,6 +1,7 @@
 #include "sort/sort_api.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
@@ -19,11 +20,37 @@
 namespace dsm::sort {
 namespace {
 
+/// Poll cancellation and fire the observation hook at a named site.
+/// Throwing here (cancellation, an injected fault) aborts the sort; when
+/// the site is a phase mark inside team.run, the team poison machinery
+/// unwinds every rank cleanly.
+void checkpoint(const SortSpec& spec, const char* site, double virtual_ns) {
+  if (spec.hooks.cancel != nullptr && spec.hooks.cancel->cancelled()) {
+    throw StatusError(Status::cancelled(
+        std::string("sort cancelled at checkpoint '") + site + "'"));
+  }
+  if (spec.hooks.on_site) spec.hooks.on_site(site, virtual_ns);
+}
+
+/// Arm tracing and the per-phase hook on a freshly built team. The hook
+/// fires on rank 0's phase marks only: one deterministic stream of sites
+/// regardless of engine or host schedule.
+void arm_team(const SortSpec& spec, sim::SimTeam& team) {
+  if (!spec.trace_json_path.empty()) team.enable_tracing();
+  if (spec.hooks.on_site || spec.hooks.cancel != nullptr) {
+    team.set_phase_hook(
+        [&spec](int rank, const char* name, double virtual_ns) {
+          if (rank == 0) checkpoint(spec, name, virtual_ns);
+        });
+  }
+}
+
 /// Generate every rank's partition (host-side, uncharged — the paper times
 /// sorting, not initialisation) and return the input multiset checksum.
 Checksum generate_partitions(const SortSpec& spec,
                              const sas::HomeMap& homes,
                              const std::function<std::span<Key>(int)>& part) {
+  checkpoint(spec, "keygen", 0.0);
   return generate_partitions_cached(spec.dist, spec.n, spec.nprocs,
                                     spec.radix_bits, spec.seed, homes, part);
 }
@@ -40,12 +67,10 @@ bool verify_runs(const Checksum& input,
 
 void perf_write_trace(const std::string& path, const sim::SimTeam& team) {
   std::ofstream out(path, std::ios::trunc);
-  DSM_REQUIRE(static_cast<bool>(out), "cannot open trace file: " + path);
+  if (!out) {
+    throw StatusError(Status::io_error("cannot open trace file: " + path));
+  }
   out << team.trace_json();
-}
-
-void maybe_enable_tracing(const SortSpec& spec, sim::SimTeam& team) {
-  if (!spec.trace_json_path.empty()) team.enable_tracing();
 }
 
 void maybe_write_trace(const SortSpec& spec, const sim::SimTeam& team) {
@@ -57,6 +82,7 @@ SortResult finish(const SortSpec& spec, sim::SimTeam& team,
                   const Checksum& input,
                   const std::vector<std::span<const Key>>& runs,
                   int passes_used = -1) {
+  checkpoint(spec, "verify", team.elapsed_ns());
   SortResult res;
   res.n = spec.n;
   res.passes = passes_used >= 0 ? passes_used : radix_passes(spec.radix_bits);
@@ -83,7 +109,7 @@ SortResult finish(const SortSpec& spec, sim::SimTeam& team,
 SortResult run_radix_ccsas(const SortSpec& spec,
                            const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
-  maybe_enable_tracing(spec, team);
+  arm_team(spec, team);
   sas::SharedArray<Key> a(spec.n, spec.nprocs), b(spec.n, spec.nprocs);
   sas::BucketScan scan(spec.nprocs, std::size_t{1} << spec.radix_bits);
   const Checksum input = generate_partitions(
@@ -95,7 +121,7 @@ SortResult run_radix_ccsas(const SortSpec& spec,
   w.scan = &scan;
   w.radix_bits = spec.radix_bits;
   w.buffered = spec.model == Model::kCcSasNew;
-  w.detect_max_key = spec.detect_max_key;
+  w.detect_max_key = spec.ablations.detect_max_key;
   team.run([&](sim::ProcContext& ctx) { radix_ccsas(ctx, w); });
 
   const int passes = w.passes_used.load(std::memory_order_relaxed);
@@ -107,8 +133,8 @@ SortResult run_radix_ccsas(const SortSpec& spec,
 SortResult run_radix_mpi(const SortSpec& spec,
                          const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
-  maybe_enable_tracing(spec, team);
-  msg::Communicator comm(team, spec.mpi_impl);
+  arm_team(spec, team);
+  msg::Communicator comm(team, spec.ablations.mpi_impl);
   const sas::HomeMap homes(spec.n, spec.nprocs);
   std::vector<std::vector<Key>> parts_a(static_cast<std::size_t>(spec.nprocs));
   std::vector<std::vector<Key>> parts_b(static_cast<std::size_t>(spec.nprocs));
@@ -125,8 +151,8 @@ SortResult run_radix_mpi(const SortSpec& spec,
   w.parts_a = &parts_a;
   w.parts_b = &parts_b;
   w.radix_bits = spec.radix_bits;
-  w.chunk_messages = spec.mpi_chunk_messages;
-  w.detect_max_key = spec.detect_max_key;
+  w.chunk_messages = spec.ablations.mpi_chunk_messages;
+  w.detect_max_key = spec.ablations.detect_max_key;
   team.run([&](sim::ProcContext& ctx) { radix_mpi(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -138,7 +164,7 @@ SortResult run_radix_mpi(const SortSpec& spec,
 SortResult run_radix_shmem(const SortSpec& spec,
                            const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
-  maybe_enable_tracing(spec, team);
+  arm_team(spec, team);
   const sas::HomeMap homes(spec.n, spec.nprocs);
   const Index cap = homes.count_of(0);  // leading partitions are largest
   const std::uint64_t seg = 3 * (cap * sizeof(Key) + 64) + 4096;
@@ -152,8 +178,8 @@ SortResult run_radix_shmem(const SortSpec& spec,
   w.part_capacity = cap;
   w.n_total = spec.n;
   w.radix_bits = spec.radix_bits;
-  w.use_put = spec.shmem_use_put;
-  w.detect_max_key = spec.detect_max_key;
+  w.use_put = spec.ablations.shmem_use_put;
+  w.detect_max_key = spec.ablations.detect_max_key;
 
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_a), homes.count_of(r));
@@ -171,13 +197,13 @@ SortResult run_radix_shmem(const SortSpec& spec,
 SortResult run_sample_ccsas(const SortSpec& spec,
                             const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
-  maybe_enable_tracing(spec, team);
+  arm_team(spec, team);
   sas::SharedArray<Key> keys(spec.n, spec.nprocs);
   const Checksum input = generate_partitions(
       spec, keys.homes(), [&](int r) { return keys.partition(r); });
 
   const auto p = static_cast<std::size_t>(spec.nprocs);
-  const auto s = static_cast<std::size_t>(spec.sample_count);
+  const auto s = static_cast<std::size_t>(spec.ablations.sample_count);
   std::vector<std::vector<Key>> result(p);
   std::vector<Key> samples(s * p), group_sorted(s * p);
   std::vector<Key> splitters(p - 1);
@@ -193,8 +219,8 @@ SortResult run_sample_ccsas(const SortSpec& spec,
   w.splitter_srcs = &splitter_srcs;
   w.boundaries = &boundaries;
   w.radix_bits = spec.radix_bits;
-  w.sample_count = spec.sample_count;
-  w.group_size = spec.sample_group_size;
+  w.sample_count = spec.ablations.sample_count;
+  w.group_size = spec.ablations.sample_group_size;
   team.run([&](sim::ProcContext& ctx) { sample_ccsas(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -205,8 +231,8 @@ SortResult run_sample_ccsas(const SortSpec& spec,
 SortResult run_sample_mpi(const SortSpec& spec,
                           const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
-  maybe_enable_tracing(spec, team);
-  msg::Communicator comm(team, spec.mpi_impl);
+  arm_team(spec, team);
+  msg::Communicator comm(team, spec.ablations.mpi_impl);
   const sas::HomeMap homes(spec.n, spec.nprocs);
   const auto p = static_cast<std::size_t>(spec.nprocs);
   std::vector<std::vector<Key>> parts(p), result(p);
@@ -222,7 +248,7 @@ SortResult run_sample_mpi(const SortSpec& spec,
   w.parts = &parts;
   w.result = &result;
   w.radix_bits = spec.radix_bits;
-  w.sample_count = spec.sample_count;
+  w.sample_count = spec.ablations.sample_count;
   team.run([&](sim::ProcContext& ctx) { sample_mpi(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -233,7 +259,7 @@ SortResult run_sample_mpi(const SortSpec& spec,
 SortResult run_sample_shmem(const SortSpec& spec,
                             const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
-  maybe_enable_tracing(spec, team);
+  arm_team(spec, team);
   const sas::HomeMap homes(spec.n, spec.nprocs);
   const Index cap = homes.count_of(0);
   const std::uint64_t seg = cap * sizeof(Key) + 4096;
@@ -249,7 +275,7 @@ SortResult run_sample_shmem(const SortSpec& spec,
   w.n_total = spec.n;
   w.result = &result;
   w.radix_bits = spec.radix_bits;
-  w.sample_count = spec.sample_count;
+  w.sample_count = spec.ablations.sample_count;
 
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_keys), homes.count_of(r));
@@ -259,6 +285,26 @@ SortResult run_sample_shmem(const SortSpec& spec,
   std::vector<std::span<const Key>> runs;
   for (const auto& run : result) runs.emplace_back(run);
   return finish(spec, team, input, runs);
+}
+
+SortResult run_sort_impl(const SortSpec& spec,
+                         const machine::MachineParams& mp) {
+  if (spec.algo == Algo::kRadix) {
+    switch (spec.model) {
+      case Model::kCcSas:
+      case Model::kCcSasNew: return run_radix_ccsas(spec, mp);
+      case Model::kMpi: return run_radix_mpi(spec, mp);
+      case Model::kShmem: return run_radix_shmem(spec, mp);
+    }
+  } else {
+    switch (spec.model) {
+      case Model::kCcSas: return run_sample_ccsas(spec, mp);
+      case Model::kCcSasNew: break;  // rejected by validate()
+      case Model::kMpi: return run_sample_mpi(spec, mp);
+      case Model::kShmem: return run_sample_shmem(spec, mp);
+    }
+  }
+  throw Error("unhandled spec");
 }
 
 }  // namespace
@@ -299,36 +345,64 @@ machine::MachineParams SortSpec::resolved_machine() const {
   return machine.value_or(machine::MachineParams::origin2000_for_keys(n));
 }
 
+Status SortSpec::validate_status() const {
+  std::string v;
+  const auto violation = [&v](const std::string& msg) {
+    if (!v.empty()) v += "; ";
+    v += msg;
+  };
+  if (!(nprocs >= 1 && nprocs <= 1024)) {
+    violation("nprocs must be in [1, 1024], got " + std::to_string(nprocs));
+  } else if (n < static_cast<Index>(nprocs)) {
+    // Only meaningful against a sane nprocs.
+    violation("need at least one key per process (n=" + std::to_string(n) +
+              ", nprocs=" + std::to_string(nprocs) + ")");
+  }
+  if (!(radix_bits >= 1 && radix_bits <= 16)) {
+    violation("radix bits must be in [1, 16], got " +
+              std::to_string(radix_bits));
+  }
+  if (ablations.sample_count < 1) {
+    violation("sample count must be >= 1, got " +
+              std::to_string(ablations.sample_count));
+  }
+  if (ablations.sample_group_size < 1) {
+    violation("sample group size must be >= 1, got " +
+              std::to_string(ablations.sample_group_size));
+  }
+  if (algo != Algo::kRadix && model == Model::kCcSasNew) {
+    violation("CC-SAS-NEW is a radix-sort restructuring only");
+  }
+  try {
+    resolved_machine().validate();
+  } catch (const Error& e) {
+    violation(e.what());
+  }
+  if (v.empty()) return Status();
+  return Status::invalid_argument("invalid SortSpec: " + v);
+}
+
 void SortSpec::validate() const {
-  DSM_REQUIRE(nprocs >= 1 && nprocs <= 1024, "nprocs in [1, 1024]");
-  DSM_REQUIRE(n >= static_cast<Index>(nprocs), "need at least one key each");
-  DSM_REQUIRE(radix_bits >= 1 && radix_bits <= 16, "radix bits in [1, 16]");
-  DSM_REQUIRE(sample_count >= 1, "sample count >= 1");
-  DSM_REQUIRE(sample_group_size >= 1, "sample group size >= 1");
-  DSM_REQUIRE(algo == Algo::kRadix || model != Model::kCcSasNew,
-              "CC-SAS-NEW is a radix-sort restructuring only");
-  resolved_machine().validate();
+  Status s = validate_status();
+  if (!s.ok()) throw StatusError(std::move(s));
+}
+
+Result<SortResult> try_run_sort(const SortSpec& spec) {
+  Status valid = spec.validate_status();
+  if (!valid.ok()) return valid;
+  try {
+    return run_sort_impl(spec, spec.resolved_machine());
+  } catch (const StatusError& e) {
+    return e.status();
+  } catch (const std::exception& e) {
+    return Status::internal(e.what());
+  }
 }
 
 SortResult run_sort(const SortSpec& spec) {
-  spec.validate();
-  const machine::MachineParams mp = spec.resolved_machine();
-  if (spec.algo == Algo::kRadix) {
-    switch (spec.model) {
-      case Model::kCcSas:
-      case Model::kCcSasNew: return run_radix_ccsas(spec, mp);
-      case Model::kMpi: return run_radix_mpi(spec, mp);
-      case Model::kShmem: return run_radix_shmem(spec, mp);
-    }
-  } else {
-    switch (spec.model) {
-      case Model::kCcSas: return run_sample_ccsas(spec, mp);
-      case Model::kCcSasNew: break;  // rejected by validate()
-      case Model::kMpi: return run_sample_mpi(spec, mp);
-      case Model::kShmem: return run_sample_shmem(spec, mp);
-    }
-  }
-  throw Error("unhandled spec");
+  Result<SortResult> r = try_run_sort(spec);
+  if (!r.ok()) throw StatusError(r.status());
+  return std::move(r).value();
 }
 
 double seq_baseline_ns(Index n, keys::Dist dist, int radix_bits,

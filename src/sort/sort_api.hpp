@@ -5,15 +5,23 @@
 // SimTeam, verifies the result, and returns virtual-time breakdowns.
 //
 // This is the library's main public entry point; examples and the bench
-// harnesses drive everything through SortSpec/run_sort.
+// harnesses drive everything through SortSpec. Two call shapes:
+//
+//   * try_run_sort(spec) -> Result<SortResult> — the v2 non-throwing
+//     surface: every failure is a typed Status (invalid argument,
+//     cancellation, injected fault, ...) the caller can branch on.
+//   * run_sort(spec) -> SortResult — thin throwing wrapper (StatusError).
 #pragma once
 
+#include <atomic>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include <string>
 #include <utility>
 
+#include "common/status.hpp"
 #include "common/team.hpp"
 #include "keys/distributions.hpp"
 #include "machine/params.hpp"
@@ -29,6 +37,38 @@ const char* algo_name(Algo a);
 const char* model_name(Model m);
 Algo algo_from_name(const std::string& name);
 Model model_from_name(const std::string& name);
+
+/// Cooperative cancellation flag. The owner arms it from any thread; the
+/// sort polls it at every checkpoint and phase mark and unwinds with
+/// StatusCode::kCancelled. Cancellation is cooperative: the sort stops at
+/// the next checkpoint, never mid-kernel.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Run-time observation and control points threaded through run_sort.
+struct SortHooks {
+  /// Called at named checkpoints of the run: "keygen" before input
+  /// generation, every algorithm phase mark (the paper's phase vocabulary:
+  /// "local histogram", "permutation", "local sort", ...) as rank 0
+  /// reaches it with that rank's virtual time so far, and "verify" before
+  /// result verification. Throwing aborts the sort cleanly (the team
+  /// poison machinery unwinds every rank) — this is the fault-injection
+  /// and deadline-enforcement hook.
+  std::function<void(const char* site, double virtual_ns)> on_site;
+
+  /// Polled at the same checkpoints; when cancelled, the sort unwinds
+  /// with StatusCode::kCancelled. Borrowed, not owned.
+  const CancelToken* cancel = nullptr;
+};
 
 struct SortSpec {
   Algo algo = Algo::kRadix;
@@ -49,15 +89,22 @@ struct SortSpec {
   /// fibers unless overridden by DSMSORT_ENGINE).
   std::optional<SpmdEngine> engine;
 
-  // Model-specific knobs (ablations):
-  msg::Impl mpi_impl = msg::Impl::kDirect;  // NEW vs SGI transport
-  bool mpi_chunk_messages = true;           // per-chunk vs per-destination
-  bool shmem_use_put = false;               // get (paper) vs put
-  int sample_count = 128;                   // samples per process
-  int sample_group_size = 32;               // CC-SAS splitter groups (paper: 32)
-  /// Radix only (§3.1): detect the global maximum key collectively and
-  /// run only the passes its bit width needs.
-  bool detect_max_key = false;
+  /// Model-specific ablation knobs, grouped: every member has the paper's
+  /// default, so ablation studies override exactly the knob they vary.
+  struct Ablations {
+    msg::Impl mpi_impl = msg::Impl::kDirect;  // NEW vs SGI transport
+    bool mpi_chunk_messages = true;           // per-chunk vs per-destination
+    bool shmem_use_put = false;               // get (paper) vs put
+    int sample_count = 128;                   // samples per process
+    int sample_group_size = 32;  // CC-SAS splitter groups (paper: 32)
+    /// Radix only (§3.1): detect the global maximum key collectively and
+    /// run only the passes its bit width needs.
+    bool detect_max_key = false;
+  };
+  Ablations ablations;
+
+  /// Fault-injection / deadline / cancellation hooks (see SortHooks).
+  SortHooks hooks;
 
   /// When nonempty, write a JSON-lines event trace of the run (barriers
   /// and communication epochs per simulated processor) to this path.
@@ -72,6 +119,11 @@ struct SortSpec {
 
   /// The machine this spec resolves to.
   machine::MachineParams resolved_machine() const;
+
+  /// Every violated constraint, joined into one kInvalidArgument status
+  /// (OK when the spec is valid) — one round trip fixes all mistakes.
+  Status validate_status() const;
+  /// Throwing wrapper: raises StatusError(validate_status()).
   void validate() const;
 };
 
@@ -96,6 +148,11 @@ struct SortResult {
 };
 
 /// Run one parallel sort to completion (functionally real, virtual time).
+/// Never throws for sort-level failures: invalid specs, cancellation,
+/// hook-injected faults, and internal errors all return a typed Status.
+Result<SortResult> try_run_sort(const SortSpec& spec);
+
+/// Throwing wrapper around try_run_sort (raises StatusError).
 SortResult run_sort(const SortSpec& spec);
 
 /// Sequential baseline (Table 1): the instrumented radix sort on a

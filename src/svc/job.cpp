@@ -8,18 +8,35 @@
 
 namespace dsm::svc {
 
+Status JobSpec::validate_status() const {
+  std::string problems;
+  const auto add = [&](const std::string& p) {
+    if (!problems.empty()) problems += "; ";
+    problems += p;
+  };
+  if (n < 1) add("job needs at least one key");
+  if (nprocs < 1 || nprocs > 1024) add("job nprocs in [1, 1024]");
+  if (n >= 1 && nprocs >= 1 && n < static_cast<Index>(nprocs)) {
+    add("job needs at least one key per process");
+  }
+  if (seed == 0) add("job seed must be nonzero");
+  if (priority < 0) add("job priority must be >= 0");
+  if (problems.empty()) return Status();
+  return Status::invalid_argument("invalid job " + std::to_string(id) + ": " +
+                                  problems);
+}
+
 void JobSpec::validate() const {
-  DSM_REQUIRE(n >= 1, "job needs at least one key");
-  DSM_REQUIRE(nprocs >= 1 && nprocs <= 1024, "job nprocs in [1, 1024]");
-  DSM_REQUIRE(n >= static_cast<Index>(nprocs),
-              "job needs at least one key per process");
-  DSM_REQUIRE(seed != 0, "job seed must be nonzero");
+  const Status s = validate_status();
+  if (!s.ok()) throw StatusError(s);
 }
 
 const char* job_status_name(JobStatus s) {
   switch (s) {
     case JobStatus::kOk: return "ok";
     case JobStatus::kFailed: return "failed";
+    case JobStatus::kShed: return "shed";
+    case JobStatus::kDeadlineMiss: return "deadline-miss";
   }
   return "?";
 }
@@ -45,18 +62,37 @@ std::string JobResult::to_json(bool include_host) const {
   std::ostringstream os;
   os << "{\"id\": " << id << ", \"status\": \"" << job_status_name(status)
      << "\"";
-  if (status == JobStatus::kFailed) {
-    os << ", \"error\": \"" << perf::json_escape(error) << "\"";
+  const bool ran = status == JobStatus::kOk || status == JobStatus::kDeadlineMiss;
+  if (!ran) {
+    os << ", \"error\": \"" << perf::json_escape(error) << "\""
+       << ", \"code\": \"" << status_code_name(final_status.code()) << "\"";
+    if (status == JobStatus::kShed) {
+      // The plan existed (shedding is a planner-informed decision).
+      os << ", \"plan\": " << plan.to_json();
+    }
   } else {
     os << ", \"plan\": " << plan.to_json()
        << ", \"measured_us\": " << fmt_fixed(measured_ns / 1e3, 3)
        << ", \"passes\": " << passes
        << ", \"verified\": " << (verified ? "true" : "false");
+    if (status == JobStatus::kDeadlineMiss) {
+      os << ", \"error\": \"" << perf::json_escape(error) << "\"";
+    }
     if (audited) {
       os << ", \"runner_measured_us\": "
          << fmt_fixed(runner_measured_ns / 1e3, 3)
          << ", \"plan_hit\": " << (plan_hit ? "true" : "false");
     }
+  }
+  if (!attempts.empty()) {
+    os << ", \"attempts\": [";
+    for (std::size_t i = 0; i < attempts.size(); ++i) {
+      const AttemptRecord& a = attempts[i];
+      os << (i ? ", " : "") << "{\"error\": \"" << perf::json_escape(a.error)
+         << "\", \"retryable\": " << (a.retryable ? "true" : "false")
+         << ", \"backoff_ms\": " << fmt_fixed(a.backoff_ms, 3) << "}";
+    }
+    os << "]";
   }
   if (include_host) {
     os << ", \"host_latency_ms\": " << fmt_fixed(host_latency_ms, 3);

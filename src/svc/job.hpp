@@ -5,23 +5,34 @@
 // algorithm, programming model, or radix size to use. Choosing that
 // combination is the Planner's job (the paper's model-selection question,
 // answered per request). A job may pin any subset of the three dimensions
-// (`force_*`) for A/B probes and failure injection.
+// (`force_*`) for A/B probes and failure injection, carry a virtual-time
+// deadline the executor enforces both predictively (load shedding) and
+// during the run (straggler abort), and a priority that exempts critical
+// work from shedding.
 //
 // A JobResult carries the plan that was chosen, the predicted and measured
-// virtual times, and the job's fate. Results are value types with a
-// deterministic JSON rendering: replaying a trace must produce
-// byte-identical result lines for any worker count (the service extends
-// the sweep runner's determinism contract).
+// virtual times, the job's fate as a typed Status, and the per-attempt
+// retry history. Results are value types with a deterministic JSON
+// rendering: replaying a trace must produce byte-identical result lines
+// for any worker count (the service extends the sweep runner's
+// determinism contract — deadlines are virtual-time, backoffs are seeded,
+// so retries and deadline misses replay exactly).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/status.hpp"
 #include "keys/distributions.hpp"
 #include "sort/sort_api.hpp"
 
 namespace dsm::svc {
+
+/// Jobs at this priority or above are never shed and never deadline-
+/// aborted mid-run: they run to completion and at worst report a miss.
+constexpr int kCriticalPriority = 2;
 
 struct JobSpec {
   std::uint64_t id = 0;
@@ -35,6 +46,14 @@ struct JobSpec {
   std::optional<sort::Model> force_model;
   std::optional<int> force_radix_bits;
 
+  /// Completion deadline in virtual microseconds (0 = none). Virtual, not
+  /// host, time: whether a job makes its deadline is a property of the
+  /// simulated sort and therefore identical in live and replay runs.
+  std::uint64_t deadline_us = 0;
+
+  /// 0 = normal (sheddable); >= kCriticalPriority = must-run.
+  int priority = 0;
+
   /// When nonempty, the executed sort writes its event trace here
   /// (per-job observability; an unwritable path makes the job fail).
   std::string trace_json_path;
@@ -44,9 +63,12 @@ struct JobSpec {
   /// into deterministic output.
   double host_submit_s = 0;
 
-  /// Admission-time sanity checks; throws dsm::Error. Deliberately does
+  /// Admission-time sanity checks; every violated constraint is collected
+  /// into one kInvalidArgument status (OK when valid). Deliberately does
   /// not cross-check algo x model feasibility — infeasible combinations
   /// are planner/executor failures, exercising per-job error isolation.
+  Status validate_status() const;
+  /// Throwing wrapper: raises StatusError(validate_status()).
   void validate() const;
 };
 
@@ -69,14 +91,32 @@ struct Plan {
   std::string to_json() const;
 };
 
-enum class JobStatus { kOk, kFailed };
+enum class JobStatus {
+  kOk,
+  kFailed,
+  kShed,          // rejected pre-run: predicted time exceeds the deadline
+  kDeadlineMiss,  // ran (or was aborted mid-run) past its deadline
+};
 
 const char* job_status_name(JobStatus s);
+
+/// One failed attempt in a job's retry history.
+struct AttemptRecord {
+  std::string error;      // status text of the failure
+  bool retryable = false;
+  double backoff_ms = 0;  // deterministic backoff charged before the retry
+                          // (0 on the final, non-retried attempt)
+};
 
 struct JobResult {
   std::uint64_t id = 0;
   JobStatus status = JobStatus::kOk;
-  std::string error;  // nonempty iff kFailed
+  std::string error;  // nonempty iff kFailed / kShed / kDeadlineMiss
+  /// Typed final outcome: OK for kOk, otherwise the last failure.
+  Status final_status;
+  /// Failed attempts that preceded the final outcome (empty when the
+  /// first attempt succeeded).
+  std::vector<AttemptRecord> attempts;
   Plan plan;
   double measured_ns = 0;  // virtual time of the executed plan
   int passes = 0;

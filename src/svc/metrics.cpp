@@ -28,21 +28,39 @@ void Metrics::on_admission(Admission a) {
     case Admission::kRejectedFull: ++c_.rejected_full; break;
     case Admission::kRejectedClosed: ++c_.rejected_closed; break;
     case Admission::kRejectedInvalid: ++c_.rejected_invalid; break;
+    case Admission::kRejectedFault: ++c_.rejected_fault; break;
   }
 }
 
 void Metrics::on_complete(const JobResult& r) {
   const std::lock_guard<std::mutex> lock(mu_);
+  // Retry accounting applies to every fate: a job may retry twice and
+  // then be aborted by its deadline, or exhaust its attempts and fail.
+  const std::size_t prior_failures = r.attempts.size();
+  c_.retry_attempts += prior_failures;
+  retry_hist_[std::min(prior_failures,
+                       static_cast<std::size_t>(kRetryBuckets - 1))]++;
   if (r.status == JobStatus::kFailed) {
     ++c_.failed;
     return;
   }
+  if (r.status == JobStatus::kShed) {
+    ++c_.shed;
+    return;
+  }
+  // kOk and kDeadlineMiss both ran to completion with a measured time.
   ++c_.completed;
-  const auto us = static_cast<std::uint64_t>(
-      std::max(0.0, std::floor(r.measured_ns / 1e3)));
-  const int bucket = std::min(us == 0 ? 0 : bit_width_u64(us) - 1,
-                              kLatencyBuckets - 1);
-  ++hist_[bucket];
+  if (r.status == JobStatus::kDeadlineMiss) ++c_.deadline_miss;
+  if (r.status == JobStatus::kOk && prior_failures > 0) {
+    ++c_.retry_successes;
+  }
+  if (r.measured_ns > 0) {  // mid-run deadline aborts have no measurement
+    const auto us = static_cast<std::uint64_t>(
+        std::max(0.0, std::floor(r.measured_ns / 1e3)));
+    const int bucket = std::min(us == 0 ? 0 : bit_width_u64(us) - 1,
+                                kLatencyBuckets - 1);
+    ++hist_[bucket];
+  }
   if (r.audited) {
     ++c_.audited;
     if (r.plan_hit) ++c_.plan_hits;
@@ -53,6 +71,11 @@ void Metrics::on_complete(const JobResult& r) {
     rel_err_cal_.push_back(
         std::abs(r.plan.predicted_ns - r.measured_ns) / r.measured_ns);
   }
+}
+
+void Metrics::on_fault(FaultSite site) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++faults_[static_cast<std::size_t>(site)];
 }
 
 void Metrics::note_queue_depth(std::size_t depth) {
@@ -87,6 +110,16 @@ std::vector<std::uint64_t> Metrics::latency_histogram() const {
   return std::vector<std::uint64_t>(hist_, hist_ + kLatencyBuckets);
 }
 
+std::vector<std::uint64_t> Metrics::retry_histogram() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::uint64_t>(retry_hist_, retry_hist_ + kRetryBuckets);
+}
+
+std::vector<std::uint64_t> Metrics::fault_counts() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<std::uint64_t>(faults_, faults_ + kFaultSiteCount);
+}
+
 std::string Metrics::to_json() const {
   const Counters c = counters();
   const Accuracy a = accuracy();
@@ -97,7 +130,12 @@ std::string Metrics::to_json() const {
      << ", \"rejected_full\": " << c.rejected_full
      << ", \"rejected_closed\": " << c.rejected_closed
      << ", \"rejected_invalid\": " << c.rejected_invalid
+     << ", \"rejected_fault\": " << c.rejected_fault
      << ", \"completed\": " << c.completed << ", \"failed\": " << c.failed
+     << ", \"shed\": " << c.shed
+     << ", \"deadline_miss\": " << c.deadline_miss
+     << ", \"retry_attempts\": " << c.retry_attempts
+     << ", \"retry_successes\": " << c.retry_successes
      << "},\n \"queue_depth_high_water\": " << queue_depth_high_water()
      << ",\n \"plan_audit\": {\"audited\": " << c.audited
      << ", \"plan_hits\": " << c.plan_hits << ", \"hit_rate\": "
@@ -110,7 +148,18 @@ std::string Metrics::to_json() const {
      << ", \"mean_rel_err_calibrated\": " << fmt_fixed(a.mean_rel_err_cal, 4)
      << ", \"first_half_calibrated\": " << fmt_fixed(a.first_half_cal, 4)
      << ", \"second_half_calibrated\": " << fmt_fixed(a.second_half_cal, 4)
-     << "},\n \"latency_virtual_us_log2_buckets\": [";
+     << "},\n \"faults_by_site\": {";
+  const auto faults = fault_counts();
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    os << (i ? ", " : "") << "\"" << fault_site_name(static_cast<FaultSite>(i))
+       << "\": " << faults[static_cast<std::size_t>(i)];
+  }
+  os << "},\n \"retry_histogram\": [";
+  const auto retries = retry_histogram();
+  for (int i = 0; i < kRetryBuckets; ++i) {
+    os << (i ? ", " : "") << retries[static_cast<std::size_t>(i)];
+  }
+  os << "],\n \"latency_virtual_us_log2_buckets\": [";
   for (int i = 0; i < kLatencyBuckets; ++i) {
     os << (i ? ", " : "") << hist[static_cast<std::size_t>(i)];
   }

@@ -1,17 +1,20 @@
 // Service metrics registry: admission counters, completion counters,
-// fixed-bucket latency histograms, plan-audit hit rates, and predictor
-// accuracy accumulators.
+// robustness counters (sheds, deadline misses, retries, per-site injected
+// faults), fixed-bucket latency and retry histograms, plan-audit hit
+// rates, and predictor accuracy accumulators.
 //
 // Everything recorded here is derived from deterministic inputs (virtual
-// times, counters in processing order), so to_json() is part of the replay
-// determinism contract: identical traffic in identical order produces
-// byte-identical JSON for any worker count. Host wall-clock quantities are
-// deliberately kept out; the bench reports those alongside, from its own
-// measurements.
+// times, seeded fault decisions, counters in processing order), so
+// to_json() is part of the replay determinism contract: identical traffic
+// in identical order produces byte-identical JSON for any worker count.
+// Host wall-clock quantities are deliberately kept out; the bench reports
+// those alongside, from its own measurements.
 //
 // The latency histogram uses fixed power-of-two virtual-microsecond
 // buckets: bucket k counts jobs with measured time in [2^k, 2^(k+1)) us
-// (k = 0..kLatencyBuckets-2; the last bucket is the overflow tail).
+// (k = 0..kLatencyBuckets-2; the last bucket is the overflow tail). The
+// retry histogram counts jobs by the number of failed attempts that
+// preceded their final outcome (last bucket = overflow).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "svc/faults.hpp"
 #include "svc/job.hpp"
 #include "svc/queue.hpp"
 
@@ -27,6 +31,7 @@ namespace dsm::svc {
 class Metrics {
  public:
   static constexpr int kLatencyBuckets = 24;
+  static constexpr int kRetryBuckets = 8;
 
   struct Counters {
     std::uint64_t submitted = 0;
@@ -34,8 +39,13 @@ class Metrics {
     std::uint64_t rejected_full = 0;
     std::uint64_t rejected_closed = 0;
     std::uint64_t rejected_invalid = 0;
-    std::uint64_t completed = 0;
+    std::uint64_t rejected_fault = 0;
+    std::uint64_t completed = 0;  // ran to completion: kOk + kDeadlineMiss
     std::uint64_t failed = 0;
+    std::uint64_t shed = 0;           // rejected pre-run on predicted cost
+    std::uint64_t deadline_miss = 0;  // ran past (or aborted at) deadline
+    std::uint64_t retry_attempts = 0;   // failed attempts that were retried
+    std::uint64_t retry_successes = 0;  // jobs that succeeded after >=1 retry
     std::uint64_t audited = 0;
     std::uint64_t plan_hits = 0;
   };
@@ -52,14 +62,19 @@ class Metrics {
 
   void on_admission(Admission a);
   void on_complete(const JobResult& r);
+  /// An injected fault fired at `site` (counted per site).
+  void on_fault(FaultSite site);
   void note_queue_depth(std::size_t depth);
 
   Counters counters() const;
   Accuracy accuracy() const;
   std::size_t queue_depth_high_water() const;
   std::vector<std::uint64_t> latency_histogram() const;
+  /// Jobs by failed-attempt count (bucket k = k prior failures).
+  std::vector<std::uint64_t> retry_histogram() const;
+  std::vector<std::uint64_t> fault_counts() const;  // per FaultSite
 
-  /// Deterministic JSON object (counters, histogram, accuracy, audits).
+  /// Deterministic JSON object (counters, histograms, faults, accuracy).
   std::string to_json() const;
   /// Histogram as CSV: bucket_lo_us,bucket_hi_us,count.
   std::string histogram_csv() const;
@@ -69,6 +84,8 @@ class Metrics {
   Counters c_;
   std::size_t depth_high_water_ = 0;
   std::uint64_t hist_[kLatencyBuckets] = {};
+  std::uint64_t retry_hist_[kRetryBuckets] = {};
+  std::uint64_t faults_[kFaultSiteCount] = {};
   // Per-completion relative errors, in processing order.
   std::vector<double> rel_err_raw_;
   std::vector<double> rel_err_cal_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -36,6 +37,12 @@ std::size_t Planner::cell_index(Algo algo, Model model) {
 }
 
 Plan Planner::plan(const JobSpec& job) const {
+  Result<Plan> r = try_plan(job);
+  if (!r.ok()) throw StatusError(r.status());
+  return std::move(r).value();
+}
+
+Result<Plan> Planner::try_plan(const JobSpec& job) const {
   const std::vector<Algo> algos =
       job.force_algo ? std::vector<Algo>{*job.force_algo}
                      : std::vector<Algo>(std::begin(kAlgos), std::end(kAlgos));
@@ -87,8 +94,8 @@ Plan Planner::plan(const JobSpec& job) const {
     }
   }
   if (feasible.empty()) {
-    throw Error("no feasible plan for job " + std::to_string(job.id) + ": " +
-                last_error);
+    return Status::infeasible("no feasible plan for job " +
+                              std::to_string(job.id) + ": " + last_error);
   }
 
   const auto best_it = std::min_element(

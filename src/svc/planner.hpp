@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "svc/job.hpp"
 
 namespace dsm::svc {
@@ -48,8 +49,11 @@ class Planner {
  public:
   explicit Planner(PlannerConfig cfg = {});
 
-  /// Choose a plan for `job`. Throws dsm::Error if no candidate is
-  /// feasible (e.g. sample sort forced onto CC-SAS-NEW).
+  /// Choose a plan for `job`; kInfeasible when no candidate fits (e.g.
+  /// sample sort forced onto CC-SAS-NEW).
+  Result<Plan> try_plan(const JobSpec& job) const;
+
+  /// Throwing wrapper around try_plan (raises StatusError).
   Plan plan(const JobSpec& job) const;
 
   /// Fold a completed job's measured virtual time into the calibration

@@ -13,8 +13,24 @@ const char* admission_name(Admission a) {
     case Admission::kRejectedFull: return "rejected-full";
     case Admission::kRejectedClosed: return "rejected-closed";
     case Admission::kRejectedInvalid: return "rejected-invalid";
+    case Admission::kRejectedFault: return "rejected-fault";
   }
   return "?";
+}
+
+Status admission_status(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return Status();
+    case Admission::kRejectedFull:
+      return Status::resource_exhausted("queue at capacity");
+    case Admission::kRejectedClosed:
+      return Status::unavailable("service draining");
+    case Admission::kRejectedInvalid:
+      return Status::invalid_argument("job spec invalid");
+    case Admission::kRejectedFault:
+      return Status::fault_injected("injected admission fault");
+  }
+  return Status::internal("unknown admission outcome");
 }
 
 JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {

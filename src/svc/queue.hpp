@@ -14,6 +14,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/status.hpp"
 #include "svc/job.hpp"
 
 namespace dsm::svc {
@@ -22,10 +23,16 @@ enum class Admission {
   kAccepted,
   kRejectedFull,     // queue at capacity (backpressure)
   kRejectedClosed,   // service draining / shut down
-  kRejectedInvalid,  // JobSpec::validate failed
+  kRejectedInvalid,  // JobSpec::validate_status failed
+  kRejectedFault,    // injected admission fault (transient front end)
 };
 
 const char* admission_name(Admission a);
+
+/// The Status a client sees for each admission outcome (OK for
+/// kAccepted). kRejectedFull and kRejectedFault are retryable — the same
+/// submit may succeed moments later; the others are not.
+Status admission_status(Admission a);
 
 class JobQueue {
  public:

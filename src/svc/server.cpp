@@ -2,11 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstring>
 #include <exception>
 #include <optional>
+#include <string>
+#include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/prng.hpp"
+#include "common/table.hpp"
 #include "sim/sweep.hpp"
 #include "sort/input_cache.hpp"
 
@@ -33,15 +39,22 @@ sort::SortSpec spec_for(const JobSpec& job, sort::Algo algo,
   return spec;
 }
 
+std::string us_text(double ns) { return fmt_fixed(ns / 1e3, 3) + "us"; }
+
 }  // namespace
 
 SortService::SortService(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
       queue_(cfg_.queue_capacity),
+      injector_(cfg_.faults),
       planner_(cfg_.planner) {
   DSM_REQUIRE(cfg_.max_batch >= 1, "max_batch >= 1");
   DSM_REQUIRE(cfg_.max_batch <= cfg_.queue_capacity,
               "max_batch must fit in the queue (replay feeds full batches)");
+  DSM_REQUIRE(cfg_.max_attempts >= 1, "max_attempts >= 1");
+  DSM_REQUIRE(cfg_.retry_backoff_base_ms >= 0 &&
+                  cfg_.retry_backoff_cap_ms >= cfg_.retry_backoff_base_ms,
+              "retry backoff cap must be >= base >= 0");
 }
 
 SortService::~SortService() { drain(); }
@@ -53,15 +66,23 @@ void SortService::start() {
   server_ = std::thread([this] { server_loop(); });
 }
 
-Admission SortService::submit(JobSpec job) {
+Admission SortService::submit(JobSpec job, Status* why) {
   Admission a;
-  try {
-    job.validate();
+  const Status invalid = job.validate_status();
+  if (!invalid.ok()) {
+    a = Admission::kRejectedInvalid;
+  } else if (injector_.should_fire(FaultSite::kQueueAdmission, job.id,
+                                   /*attempt=*/0)) {
+    // A flaky front end: the client sees a retryable rejection and may
+    // resubmit; the service never saw the job, so nothing is retried
+    // internally.
+    metrics_.on_fault(FaultSite::kQueueAdmission);
+    a = Admission::kRejectedFault;
+  } else {
     job.host_submit_s = now_s();
     a = queue_.try_submit(std::move(job));
-  } catch (const Error&) {
-    a = Admission::kRejectedInvalid;
   }
+  if (why != nullptr) *why = invalid.ok() ? admission_status(a) : invalid;
   metrics_.on_admission(a);
   return a;
 }
@@ -91,9 +112,11 @@ std::vector<JobResult> SortService::replay(
        begin += cfg_.max_batch) {
     const std::size_t end =
         std::min(trace.size(), begin + cfg_.max_batch);
-    // Feed the round through the real admission path (capacity >=
-    // max_batch by construction, so nothing is rejected), then pop and
-    // process it — the exact live-mode round, at fixed batch geometry.
+    // Feed the round through the real queue path (capacity >= max_batch
+    // by construction, so nothing is rejected), then pop and process it —
+    // the exact live-mode round, at fixed batch geometry. Admission
+    // faults are deliberately not replayed: a trace is the *admitted*
+    // stream, and a job rejected at the front end never entered it.
     for (std::size_t i = begin; i < end; ++i) {
       const Admission a = queue_.try_submit(trace[i]);
       metrics_.on_admission(a);
@@ -119,6 +142,51 @@ void SortService::server_loop() {
   }
 }
 
+double SortService::backoff_ms_for(const JobSpec& job, int attempt) const {
+  const double exp =
+      cfg_.retry_backoff_base_ms *
+      static_cast<double>(std::uint64_t{1} << std::min(attempt, 20));
+  const double capped = std::min(cfg_.retry_backoff_cap_ms, exp);
+  // Seeded jitter in [0.5, 1.0]: decorrelates retry storms across jobs
+  // while keeping the recorded backoff values replayable.
+  SplitMix64 rng(mix_seed(mix_seed(cfg_.faults.seed, job.seed),
+                          mix_seed(job.id, static_cast<std::uint64_t>(
+                                               attempt))));
+  const double u = static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+  return capped * (0.5 + 0.5 * u);
+}
+
+void SortService::plan_one(const JobSpec& job, JobResult& out,
+                           std::optional<Plan>& plan) {
+  for (int attempt = 0;; ++attempt) {
+    Status failure;
+    if (injector_.should_fire(FaultSite::kPlannerCalibration, job.id,
+                              attempt)) {
+      metrics_.on_fault(FaultSite::kPlannerCalibration);
+      failure =
+          FaultInjector::fire(FaultSite::kPlannerCalibration, job.id, attempt);
+    } else {
+      Result<Plan> r = planner_.try_plan(job);
+      if (r.ok()) {
+        plan = std::move(r).value();
+        out.plan = *plan;
+        return;
+      }
+      failure = r.status();
+    }
+    if (failure.retryable() && attempt + 1 < cfg_.max_attempts) {
+      // Planning is host-cheap; record the backoff but never sleep for it.
+      out.attempts.push_back(AttemptRecord{failure.to_string(), true,
+                                           backoff_ms_for(job, attempt)});
+      continue;
+    }
+    out.status = JobStatus::kFailed;
+    out.final_status = failure;
+    out.error = failure.message();
+    return;
+  }
+}
+
 void SortService::process_batch(std::vector<JobSpec>& batch) {
   const std::size_t count = batch.size();
   std::vector<JobResult> results(count);
@@ -128,12 +196,23 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
   // on admission order and batch geometry, not on the worker count.
   for (std::size_t i = 0; i < count; ++i) {
     results[i].id = batch[i].id;
-    try {
-      plans[i] = planner_.plan(batch[i]);
-      results[i].plan = *plans[i];
-    } catch (const std::exception& e) {
-      results[i].status = JobStatus::kFailed;
-      results[i].error = e.what();
+    plan_one(batch[i], results[i], plans[i]);
+
+    // Predicted-cost load shedding: if even the calibrated estimate blows
+    // the deadline, refuse to burn the machine time. Critical jobs are
+    // exempt and take their chances.
+    if (plans[i].has_value() && batch[i].deadline_us > 0 &&
+        batch[i].priority < kCriticalPriority) {
+      const double deadline_ns =
+          static_cast<double>(batch[i].deadline_us) * 1e3;
+      if (plans[i]->predicted_ns > deadline_ns) {
+        results[i].status = JobStatus::kShed;
+        results[i].final_status = Status::deadline_exceeded(
+            "shed: predicted " + us_text(plans[i]->predicted_ns) +
+            " > deadline " + us_text(deadline_ns));
+        results[i].error = results[i].final_status.message();
+        plans[i].reset();  // keep the plan in the result, skip execution
+      }
     }
   }
 
@@ -145,13 +224,16 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
     if (cfg_.input_cache_budget_bytes != 0) {
       sort::input_cache_set_budget(cfg_.input_cache_budget_bytes);
     }
-    if (!plans[i].has_value()) return;  // failed at planning
+    if (!plans[i].has_value()) return;  // failed at planning, or shed
     execute_one(batch[i], *plans[i], base_seq + i, results[i]);
   });
 
-  // Observe and record in batch order — deterministic calibration.
+  // Observe and record in batch order — deterministic calibration. Only
+  // jobs that actually ran carry a measurement worth folding in.
   for (std::size_t i = 0; i < count; ++i) {
-    if (results[i].status == JobStatus::kOk) {
+    if ((results[i].status == JobStatus::kOk ||
+         results[i].status == JobStatus::kDeadlineMiss) &&
+        results[i].measured_ns > 0) {
       planner_.observe(results[i].plan, results[i].measured_ns);
     }
     metrics_.on_complete(results[i]);
@@ -165,33 +247,98 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
 }
 
 void SortService::execute_one(const JobSpec& job, const Plan& plan,
-                              std::uint64_t seq, JobResult& out) const {
-  try {
-    const sort::SortResult r =
-        sort::run_sort(spec_for(job, plan.algo, plan.model, plan.radix_bits));
-    out.measured_ns = r.elapsed_ns;
-    out.passes = r.passes;
-    out.verified = r.verified;
+                              std::uint64_t seq, JobResult& out) {
+  const double deadline_ns = static_cast<double>(job.deadline_us) * 1e3;
+  const bool abortable =
+      job.deadline_us > 0 && job.priority < kCriticalPriority;
 
-    if (cfg_.audit_every != 0 && seq % cfg_.audit_every == 0 &&
-        plan.has_runner_up) {
-      out.audited = true;
-      try {
-        sort::SortSpec rs = spec_for(job, plan.runner_algo, plan.runner_model,
-                                     plan.runner_radix_bits);
-        rs.trace_json_path.clear();  // audit runs are not traced
-        out.runner_measured_ns = sort::run_sort(rs).elapsed_ns;
-        out.plan_hit = out.measured_ns <= out.runner_measured_ns;
-      } catch (const std::exception&) {
-        // The runner-up itself is infeasible: the planner's choice stands.
-        out.runner_measured_ns = -1;
-        out.plan_hit = true;
+  for (int attempt = 0;; ++attempt) {
+    sort::SortSpec spec =
+        spec_for(job, plan.algo, plan.model, plan.radix_bits);
+    spec.hooks.on_site = [this, id = job.id, attempt, deadline_ns,
+                          abortable](const char* site, double virtual_ns) {
+      const bool keygen = std::strcmp(site, "keygen") == 0;
+      const FaultSite fsite =
+          keygen ? FaultSite::kKeygen : FaultSite::kSortPhase;
+      const std::uint64_t salt = keygen ? 0 : fault_salt(site);
+      if (injector_.should_fire(fsite, id, attempt, salt)) {
+        metrics_.on_fault(fsite);
+        throw StatusError(FaultInjector::fire(fsite, id, attempt));
+      }
+      // Cooperative straggler abort: virtual time already past the
+      // deadline at a phase boundary means the job cannot finish in
+      // budget; unwind now instead of finishing late.
+      if (abortable && virtual_ns > deadline_ns) {
+        throw StatusError(Status::deadline_exceeded(
+            std::string("virtual deadline exceeded at '") + site + "': " +
+            us_text(virtual_ns) + " > " + us_text(deadline_ns)));
+      }
+    };
+
+    Result<sort::SortResult> r = sort::try_run_sort(spec);
+    Status failure;
+    if (r.ok()) {
+      if (injector_.should_fire(FaultSite::kSerialize, job.id, attempt)) {
+        // The sort finished but its result was lost on the way out; the
+        // whole attempt must rerun.
+        metrics_.on_fault(FaultSite::kSerialize);
+        failure = FaultInjector::fire(FaultSite::kSerialize, job.id, attempt);
+      } else {
+        out.measured_ns = r->elapsed_ns;
+        out.passes = r->passes;
+        out.verified = r->verified;
+        if (job.deadline_us > 0 && r->elapsed_ns > deadline_ns) {
+          out.status = JobStatus::kDeadlineMiss;
+          out.final_status = Status::deadline_exceeded(
+              "finished late: measured " + us_text(r->elapsed_ns) +
+              " > deadline " + us_text(deadline_ns));
+          out.error = out.final_status.message();
+        }
+        break;  // job ran to completion (on time or late)
+      }
+    } else {
+      failure = r.status();
+      if (failure.code() == StatusCode::kDeadlineExceeded) {
+        // Mid-run abort: the job ran and missed; rerunning cannot help.
+        out.status = JobStatus::kDeadlineMiss;
+        out.final_status = failure;
+        out.error = failure.message();
+        return;
       }
     }
-  } catch (const std::exception& e) {
+
+    if (failure.retryable() && attempt + 1 < cfg_.max_attempts) {
+      const double back = backoff_ms_for(job, attempt);
+      out.attempts.push_back(AttemptRecord{failure.to_string(), true, back});
+      if (job.host_submit_s > 0) {
+        // Live mode only: replay must not depend on host sleeping.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(back));
+      }
+      continue;
+    }
     out.status = JobStatus::kFailed;
-    out.error = e.what();
+    out.final_status = failure;
+    out.error = failure.message();
     return;
+  }
+
+  if (out.status == JobStatus::kOk && cfg_.audit_every != 0 &&
+      seq % cfg_.audit_every == 0 && plan.has_runner_up) {
+    out.audited = true;
+    try {
+      sort::SortSpec rs = spec_for(job, plan.runner_algo, plan.runner_model,
+                                   plan.runner_radix_bits);
+      rs.trace_json_path.clear();  // audit runs are not traced
+      // Audit runs carry no hooks: no faults, no deadline — they measure
+      // the runner-up plan, not the failure machinery.
+      out.runner_measured_ns = sort::run_sort(rs).elapsed_ns;
+      out.plan_hit = out.measured_ns <= out.runner_measured_ns;
+    } catch (const std::exception&) {
+      // The runner-up itself is infeasible: the planner's choice stands.
+      out.runner_measured_ns = -1;
+      out.plan_hit = true;
+    }
   }
   if (job.host_submit_s > 0) {
     out.host_latency_ms = (now_s() - job.host_submit_s) * 1e3;

@@ -20,6 +20,17 @@
 // error text while the server keeps serving (the simulator's team-poison
 // machinery guarantees the failing cell itself unwinds cleanly).
 //
+// Robustness: retryable failures (injected faults, transient I/O) are
+// re-attempted up to max_attempts with capped exponential backoff and
+// seeded jitter; the backoff *sleep* happens only in live mode, but the
+// backoff *values* and attempt history are deterministic and replayed.
+// Jobs with a deadline are shed before running when the calibrated
+// prediction already exceeds it, aborted cooperatively at the next phase
+// mark when their virtual time passes it mid-run, and marked
+// kDeadlineMiss when they finish late; priority >= kCriticalPriority
+// exempts a job from shedding and mid-run abort. Faults are injected
+// deterministically per (seed, site, job, attempt) — see svc/faults.hpp.
+//
 // Shutdown: drain() closes the queue (subsequent submits are rejected
 // with kRejectedClosed), processes everything already admitted, and joins
 // the server thread.
@@ -27,9 +38,11 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "svc/faults.hpp"
 #include "svc/job.hpp"
 #include "svc/metrics.hpp"
 #include "svc/planner.hpp"
@@ -50,6 +63,14 @@ struct ServiceConfig {
   /// Thread-local input-cache byte budget applied in worker cells
   /// (0 = keep the library default).
   std::uint64_t input_cache_budget_bytes = 0;
+  /// Total tries per retryable step (first attempt + retries).
+  int max_attempts = 3;
+  /// Backoff before retry k is min(cap, base * 2^k) scaled by a seeded
+  /// jitter in [0.5, 1.0]; slept only in live mode.
+  double retry_backoff_base_ms = 1.0;
+  double retry_backoff_cap_ms = 50.0;
+  /// Fault injection (disabled by default: seed 0 / rate 0).
+  FaultConfig faults;
   PlannerConfig planner;
 };
 
@@ -64,8 +85,10 @@ class SortService {
   /// Live mode: start the server loop on its own thread.
   void start();
 
-  /// Admission control; never blocks. Stamps the host submit time.
-  Admission submit(JobSpec job);
+  /// Admission control; never blocks. Stamps the host submit time. When
+  /// `why` is non-null it receives the typed admission outcome (OK on
+  /// kAccepted, the full validation report on kRejectedInvalid, ...).
+  Admission submit(JobSpec job, Status* why = nullptr);
 
   /// Close the queue, finish everything admitted, stop the server loop.
   /// Also drains inline when start() was never called. Idempotent.
@@ -87,12 +110,20 @@ class SortService {
  private:
   void server_loop();
   void process_batch(std::vector<JobSpec>& batch);
-  /// Plan+execute+audit one job; never throws (failures land in `out`).
+  /// Plan one job with planner-calibration fault injection and retry;
+  /// leaves `plan` empty on final failure (recorded in `out`).
+  void plan_one(const JobSpec& job, JobResult& out,
+                std::optional<Plan>& plan);
+  /// Execute+audit one job with per-phase fault injection, deadline
+  /// enforcement, and retry; never throws (failures land in `out`).
   void execute_one(const JobSpec& job, const Plan& plan, std::uint64_t seq,
-                   JobResult& out) const;
+                   JobResult& out);
+  /// Deterministic backoff before retry `attempt` of `job`.
+  double backoff_ms_for(const JobSpec& job, int attempt) const;
 
   ServiceConfig cfg_;
   JobQueue queue_;
+  FaultInjector injector_;
   Planner planner_;
   Metrics metrics_;
 

@@ -13,6 +13,14 @@ std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
                                 const LoadMix& mix) {
   DSM_REQUIRE(!mix.sizes.empty() && !mix.procs.empty() && !mix.dists.empty(),
               "load mix must offer at least one size, proc count, and dist");
+  DSM_REQUIRE(!mix.deadlines_us.empty() && !mix.priorities.empty(),
+              "load mix deadline/priority lists must be nonempty");
+  // Deadline/priority draws happen only for a non-trivial mix, so the
+  // PRNG stream — and every pre-deadline trace — is byte-preserved.
+  const bool draw_deadline =
+      mix.deadlines_us.size() > 1 || mix.deadlines_us[0] != 0;
+  const bool draw_priority =
+      mix.priorities.size() > 1 || mix.priorities[0] != 0;
   SplitMix64 rng(seed);
   std::vector<JobSpec> jobs;
   jobs.reserve(count);
@@ -23,6 +31,12 @@ std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
     job.nprocs = mix.procs[rng.next() % mix.procs.size()];
     job.dist = mix.dists[rng.next() % mix.dists.size()];
     job.seed = rng.next() | 1;  // any nonzero seed
+    if (draw_deadline) {
+      job.deadline_us = mix.deadlines_us[rng.next() % mix.deadlines_us.size()];
+    }
+    if (draw_priority) {
+      job.priority = mix.priorities[rng.next() % mix.priorities.size()];
+    }
     job.validate();
     jobs.push_back(job);
   }
@@ -32,7 +46,7 @@ std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
 std::string trace_to_text(std::span<const JobSpec> jobs) {
   std::ostringstream os;
   os << "# dsmsort service trace: id n nprocs dist seed "
-        "force_algo force_model force_radix\n";
+        "force_algo force_model force_radix [deadline_us priority]\n";
   for (const JobSpec& j : jobs) {
     os << j.id << ' ' << j.n << ' ' << j.nprocs << ' '
        << keys::dist_name(j.dist) << ' ' << j.seed << ' '
@@ -42,6 +56,16 @@ std::string trace_to_text(std::span<const JobSpec> jobs) {
       os << *j.force_radix_bits;
     } else {
       os << '-';
+    }
+    // Trailing fields only when non-default, so pre-deadline traces
+    // round-trip byte-identically.
+    if (j.deadline_us != 0 || j.priority != 0) {
+      if (j.deadline_us != 0) {
+        os << ' ' << j.deadline_us;
+      } else {
+        os << " -";
+      }
+      os << ' ' << j.priority;
     }
     os << '\n';
   }
@@ -66,6 +90,13 @@ std::vector<JobSpec> trace_from_text(const std::string& text) {
       throw Error("trace line " + std::to_string(lineno) +
                   ": expected 8 fields: " + line);
     }
+    std::string deadline, priority;
+    if (fields >> deadline) {
+      if (!(fields >> priority)) {
+        throw Error("trace line " + std::to_string(lineno) +
+                    ": deadline_us without priority: " + line);
+      }
+    }
     std::string extra;
     if (fields >> extra) {
       throw Error("trace line " + std::to_string(lineno) +
@@ -80,6 +111,22 @@ std::vector<JobSpec> trace_from_text(const std::string& text) {
       } catch (...) {
         throw Error("trace line " + std::to_string(lineno) +
                     ": bad radix: " + radix);
+      }
+    }
+    if (!deadline.empty() && deadline != "-") {
+      try {
+        j.deadline_us = std::stoull(deadline);
+      } catch (...) {
+        throw Error("trace line " + std::to_string(lineno) +
+                    ": bad deadline_us: " + deadline);
+      }
+    }
+    if (!priority.empty() && priority != "-") {
+      try {
+        j.priority = std::stoi(priority);
+      } catch (...) {
+        throw Error("trace line " + std::to_string(lineno) +
+                    ": bad priority: " + priority);
       }
     }
     j.validate();

@@ -8,8 +8,12 @@
 // Text format, one job per line (whitespace-separated, '#' comments):
 //
 //   id n nprocs dist seed force_algo force_model force_radix
+//     [deadline_us priority]
 //
-// where the three force_* fields are '-' when the planner chooses.
+// where the three force_* fields are '-' when the planner chooses, and
+// the two optional trailing fields ('-' or absent = default) carry the
+// virtual-time deadline in microseconds and the job priority. Traces
+// written before deadlines existed (8 fields per line) parse unchanged.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +31,11 @@ struct LoadMix {
   std::vector<int> procs{16, 32, 64};
   std::vector<keys::Dist> dists{std::begin(keys::kAllDists),
                                 std::end(keys::kAllDists)};
+  /// Virtual deadlines (us; 0 = none) and priorities drawn per job. The
+  /// trivial defaults draw nothing, so the PRNG stream — and therefore
+  /// every trace generated before deadlines existed — is unchanged.
+  std::vector<std::uint64_t> deadlines_us{0};
+  std::vector<int> priorities{0};
 };
 
 /// Generate `count` jobs deterministically from `seed` over `mix`.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/error.hpp"
 
 namespace dsm {
@@ -61,6 +63,37 @@ TEST(ArgParser, ListFallbackUsed) {
   auto a = make({});
   const auto v = a.get_ints("procs", "1,2");
   ASSERT_EQ(v.size(), 2u);
+}
+
+TEST(ArgParser, CountsListReportsEveryBadItemInOneError) {
+  auto a = make({"--sizes", "1M,bogus,4M,1Q"});
+  try {
+    (void)a.get_counts("sizes", "");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--sizes"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'bogus'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'1Q'"), std::string::npos) << msg;
+    EXPECT_EQ(msg.find("'1M'"), std::string::npos) << msg;  // good items absent
+  }
+}
+
+TEST(ArgParser, IntsListReportsEveryBadItemInOneError) {
+  auto a = make({"--procs", "16,x,32,y"});
+  try {
+    (void)a.get_ints("procs", "");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'x'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'y'"), std::string::npos) << msg;
+  }
+}
+
+TEST(ArgParser, IntsListRejectsTrailingCharacters) {
+  auto a = make({"--procs", "12x"});
+  EXPECT_THROW(a.get_ints("procs", ""), Error);
 }
 
 TEST(ArgParser, RejectsNonOption) {

@@ -48,13 +48,13 @@ TEST(Determinism, StagedTransportAndAblations) {
   SortSpec spec;
   spec.algo = Algo::kRadix;
   spec.model = Model::kMpi;
-  spec.mpi_impl = msg::Impl::kStaged;
+  spec.ablations.mpi_impl = msg::Impl::kStaged;
   spec.nprocs = 6;
   spec.n = 1 << 14;
   expect_identical(run_sort(spec), run_sort(spec));
 
-  spec.mpi_impl = msg::Impl::kDirect;
-  spec.mpi_chunk_messages = false;
+  spec.ablations.mpi_impl = msg::Impl::kDirect;
+  spec.ablations.mpi_chunk_messages = false;
   expect_identical(run_sort(spec), run_sort(spec));
 }
 

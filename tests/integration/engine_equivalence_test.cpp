@@ -66,7 +66,7 @@ TEST(EngineEquivalence, SkewedDistributionsAndStagedTransport) {
   SortSpec spec;
   spec.algo = Algo::kRadix;
   spec.model = Model::kMpi;
-  spec.mpi_impl = msg::Impl::kStaged;
+  spec.ablations.mpi_impl = msg::Impl::kStaged;
   spec.nprocs = 16;
   spec.n = 1 << 14;
   spec.dist = keys::Dist::kStagger;

@@ -39,9 +39,9 @@ TEST(Shape, DirectMpiBeatsStagedMpiOnRadix) {
   spec.model = Model::kMpi;
   spec.nprocs = 16;
   spec.n = 1 << 18;
-  spec.mpi_impl = msg::Impl::kDirect;
+  spec.ablations.mpi_impl = msg::Impl::kDirect;
   const double direct = run_sort(spec).elapsed_ns;
-  spec.mpi_impl = msg::Impl::kStaged;
+  spec.ablations.mpi_impl = msg::Impl::kStaged;
   const double staged = run_sort(spec).elapsed_ns;
   EXPECT_GT(staged, 1.1 * direct);
 }
@@ -55,9 +55,9 @@ TEST(Shape, StagedGapSmallerForSampleSort) {
     spec.model = Model::kMpi;
     spec.nprocs = 16;
     spec.n = 1 << 18;
-    spec.mpi_impl = msg::Impl::kDirect;
+    spec.ablations.mpi_impl = msg::Impl::kDirect;
     const double direct = run_sort(spec).elapsed_ns;
-    spec.mpi_impl = msg::Impl::kStaged;
+    spec.ablations.mpi_impl = msg::Impl::kStaged;
     return run_sort(spec).elapsed_ns / direct;
   };
   EXPECT_GT(gap(Algo::kRadix), gap(Algo::kSample));
@@ -221,7 +221,7 @@ TEST(Shape, MoreSamplesImproveBalance) {
     spec.nprocs = 16;
     spec.n = 1 << 17;
     spec.dist = keys::Dist::kRandom;
-    spec.sample_count = samples;
+    spec.ablations.sample_count = samples;
     return run_sort(spec).imbalance();
   };
   EXPECT_LT(imbalance_with(256), imbalance_with(8));

@@ -87,9 +87,9 @@ INSTANTIATE_TEST_SUITE_P(Sweep, PredictorAccuracy,
 
 TEST(Predictor, OrdersStagedBelowDirect) {
   SortSpec spec = make(Algo::kRadix, Model::kMpi, 16, 1 << 19, 8);
-  spec.mpi_impl = msg::Impl::kDirect;
+  spec.ablations.mpi_impl = msg::Impl::kDirect;
   const double direct = predict(spec).total_ns;
-  spec.mpi_impl = msg::Impl::kStaged;
+  spec.ablations.mpi_impl = msg::Impl::kStaged;
   const double staged = predict(spec).total_ns;
   EXPECT_GT(staged, direct);
 }

@@ -96,17 +96,17 @@ TEST(ExactEquality, AblationVariantsMatchStdSort) {
   spec.seed = 7;
   spec.keep_output = true;
 
-  spec.mpi_impl = msg::Impl::kStaged;
+  spec.ablations.mpi_impl = msg::Impl::kStaged;
   EXPECT_EQ(run_sort(spec).output, reference_sorted(spec));
 
-  spec.mpi_impl = msg::Impl::kDirect;
-  spec.mpi_chunk_messages = false;
+  spec.ablations.mpi_impl = msg::Impl::kDirect;
+  spec.ablations.mpi_chunk_messages = false;
   EXPECT_EQ(run_sort(spec).output, reference_sorted(spec));
 
   SortSpec shspec;
   shspec.algo = Algo::kRadix;
   shspec.model = Model::kShmem;
-  shspec.shmem_use_put = true;
+  shspec.ablations.shmem_use_put = true;
   shspec.nprocs = 6;
   shspec.n = 20011;
   shspec.seed = 7;

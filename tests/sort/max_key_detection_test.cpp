@@ -132,7 +132,7 @@ TEST(MaxKeyDetection, FullWidthKeysKeepFullPassCount) {
   spec.model = Model::kShmem;
   spec.nprocs = 4;
   spec.n = 1 << 14;
-  spec.detect_max_key = true;  // gauss keys span the full 31 bits
+  spec.ablations.detect_max_key = true;  // gauss keys span the full 31 bits
   const SortResult res = run_sort(spec);
   EXPECT_TRUE(res.verified);
   EXPECT_EQ(res.passes, radix_passes(spec.radix_bits));
@@ -147,7 +147,7 @@ TEST(MaxKeyDetection, DetectionCostsACollective) {
   spec.nprocs = 8;
   spec.n = 1 << 14;
   const double plain = run_sort(spec).elapsed_ns;
-  spec.detect_max_key = true;
+  spec.ablations.detect_max_key = true;
   const double detected = run_sort(spec).elapsed_ns;
   EXPECT_GT(detected, plain);
 }
@@ -160,7 +160,7 @@ TEST(MaxKeyDetection, AllModelsVerifyThroughRunSort) {
     spec.model = m;
     spec.nprocs = 6;
     spec.n = 20011;
-    spec.detect_max_key = true;
+    spec.ablations.detect_max_key = true;
     EXPECT_TRUE(run_sort(spec).verified) << model_name(m);
   }
 }

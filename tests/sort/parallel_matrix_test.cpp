@@ -142,7 +142,7 @@ TEST(SortAblations, StagedMpiSortsCorrectly) {
   SortSpec spec;
   spec.algo = Algo::kRadix;
   spec.model = Model::kMpi;
-  spec.mpi_impl = msg::Impl::kStaged;
+  spec.ablations.mpi_impl = msg::Impl::kStaged;
   spec.nprocs = 4;
   spec.n = 1 << 14;
   EXPECT_TRUE(run_sort(spec).verified);
@@ -154,7 +154,7 @@ TEST(SortAblations, CoalescedMessagesSortCorrectly) {
   SortSpec spec;
   spec.algo = Algo::kRadix;
   spec.model = Model::kMpi;
-  spec.mpi_chunk_messages = false;  // NAS-IS style
+  spec.ablations.mpi_chunk_messages = false;  // NAS-IS style
   spec.nprocs = 6;
   spec.n = 1 << 14;
   EXPECT_TRUE(run_sort(spec).verified);
@@ -164,7 +164,7 @@ TEST(SortAblations, ShmemPutSortsCorrectly) {
   SortSpec spec;
   spec.algo = Algo::kRadix;
   spec.model = Model::kShmem;
-  spec.shmem_use_put = true;
+  spec.ablations.shmem_use_put = true;
   spec.nprocs = 4;
   spec.n = 1 << 14;
   EXPECT_TRUE(run_sort(spec).verified);
@@ -175,7 +175,7 @@ TEST(SortAblations, SplitterGroupSizes) {
     SortSpec spec;
     spec.algo = Algo::kSample;
     spec.model = Model::kCcSas;
-    spec.sample_group_size = g;
+    spec.ablations.sample_group_size = g;
     spec.nprocs = 8;
     spec.n = 1 << 13;
     EXPECT_TRUE(run_sort(spec).verified) << "group size " << g;
@@ -186,7 +186,7 @@ TEST(SortAblations, SmallSampleCount) {
   SortSpec spec;
   spec.algo = Algo::kSample;
   spec.model = Model::kShmem;
-  spec.sample_count = 4;
+  spec.ablations.sample_count = 4;
   spec.nprocs = 8;
   spec.n = 1 << 13;
   EXPECT_TRUE(run_sort(spec).verified);

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
+#include "common/status.hpp"
 
 namespace dsm::sort {
 namespace {
@@ -27,7 +32,7 @@ TEST(SortSpec, Validation) {
   EXPECT_THROW(s.validate(), Error);
 
   s = SortSpec();
-  s.sample_count = 0;
+  s.ablations.sample_count = 0;
   EXPECT_THROW(s.validate(), Error);
 
   s = SortSpec();
@@ -75,6 +80,121 @@ TEST(SeqBaseline, DeterministicPerSeed) {
 TEST(Speedup, Computes) {
   EXPECT_DOUBLE_EQ(speedup(100.0, 25.0), 4.0);
   EXPECT_THROW(speedup(100.0, 0.0), Error);
+}
+
+TEST(SortSpec, ValidateStatusReportsEveryViolationAtOnce) {
+  SortSpec s;
+  s.nprocs = 0;                  // violation 1
+  s.radix_bits = 0;              // violation 2
+  s.ablations.sample_count = 0;  // violation 3
+  const Status st = s.validate_status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  const std::string msg = st.message();
+  EXPECT_NE(msg.find("nprocs"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("radix bits"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("sample count"), std::string::npos) << msg;
+
+  s = SortSpec();
+  s.n = 1 << 12;
+  s.nprocs = 2;
+  EXPECT_TRUE(s.validate_status().ok());
+}
+
+TEST(TryRunSort, InvalidSpecReturnsStatusInsteadOfThrowing) {
+  SortSpec s;
+  s.nprocs = 0;
+  const Result<SortResult> r = try_run_sort(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TryRunSort, ValidSpecReturnsValue) {
+  SortSpec s;
+  s.nprocs = 2;
+  s.n = 1 << 12;
+  const Result<SortResult> r = try_run_sort(s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->verified);
+  EXPECT_EQ(r->n, s.n);
+}
+
+TEST(TryRunSort, PreCancelledTokenShortCircuits) {
+  CancelToken token;
+  token.cancel();
+  SortSpec s;
+  s.nprocs = 2;
+  s.n = 1 << 12;
+  s.hooks.cancel = &token;
+  const Result<SortResult> r = try_run_sort(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  // Disarming the token makes the same spec runnable again.
+  token.reset();
+  EXPECT_TRUE(try_run_sort(s).ok());
+}
+
+TEST(TryRunSort, HookSeesKeygenFirstThenPhasesThenVerify) {
+  std::vector<std::string> sites;
+  double last_ns = -1.0;
+  bool monotone = true;
+  SortSpec s;
+  s.nprocs = 2;
+  s.n = 1 << 12;
+  s.hooks.on_site = [&](const char* site, double virtual_ns) {
+    sites.emplace_back(site);
+    if (virtual_ns < last_ns) monotone = false;
+    last_ns = virtual_ns;
+  };
+  ASSERT_TRUE(try_run_sort(s).ok());
+  ASSERT_GE(sites.size(), 3u);
+  EXPECT_EQ(sites.front(), "keygen");
+  EXPECT_EQ(sites.back(), "verify");
+  EXPECT_TRUE(monotone) << "virtual time went backwards across checkpoints";
+}
+
+TEST(TryRunSort, MidRunCancellationUnwindsAsCancelled) {
+  CancelToken token;
+  SortSpec s;
+  s.nprocs = 2;
+  s.n = 1 << 12;
+  s.hooks.cancel = &token;
+  int seen = 0;
+  s.hooks.on_site = [&](const char* site, double) {
+    // Arm the token after keygen; the sort must stop at the next mark.
+    if (std::string(site) == "keygen") token.cancel();
+    ++seen;
+  };
+  const Result<SortResult> r = try_run_sort(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_GE(seen, 1);
+}
+
+TEST(TryRunSort, ThrowingHookBecomesInternalAndLibraryStaysUsable) {
+  SortSpec s;
+  s.nprocs = 2;
+  s.n = 1 << 12;
+  s.hooks.on_site = [](const char* site, double) {
+    if (std::string(site) != "keygen") throw std::runtime_error("boom");
+  };
+  const Result<SortResult> r = try_run_sort(s);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+  // A poisoned run must not leak state into the next one.
+  s.hooks.on_site = nullptr;
+  EXPECT_TRUE(try_run_sort(s).ok());
+}
+
+TEST(RunSort, ThrowingWrapperRaisesStatusError) {
+  SortSpec s;
+  s.nprocs = 0;
+  try {
+    (void)run_sort(s);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kInvalidArgument);
+  }
 }
 
 TEST(RunSort, ResultFieldsPopulated) {

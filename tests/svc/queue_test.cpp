@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include "common/status.hpp"
 
 namespace dsm::svc {
 namespace {
@@ -113,12 +116,66 @@ TEST(JobQueue, ConcurrentProducersDeliverEveryJobExactlyOnce) {
   EXPECT_EQ(q.depth(), 0u);
 }
 
+// close() racing a producer that keeps the queue at capacity and two
+// consumers draining it: every accepted job is popped exactly once, no
+// pop hangs, and both consumers eventually observe the drained signal.
+TEST(JobQueue, CloseWhileFullDrainsEveryAcceptedJobExactlyOnce) {
+  JobQueue q(4);
+  std::set<std::uint64_t> accepted;
+  std::thread producer([&] {
+    for (std::uint64_t id = 0;; ++id) {
+      const Admission a = q.try_submit(job(id));
+      if (a == Admission::kRejectedClosed) return;
+      if (a == Admission::kAccepted) accepted.insert(id);
+      // kRejectedFull: queue at capacity, keep hammering.
+    }
+  });
+  std::mutex mu;
+  std::set<std::uint64_t> popped;
+  auto drain = [&] {
+    std::vector<JobSpec> out;
+    for (;;) {
+      out.clear();
+      if (q.pop_batch(2, out) == 0) return;  // closed and empty
+      std::lock_guard<std::mutex> lock(mu);
+      for (const JobSpec& j : out) {
+        EXPECT_TRUE(popped.insert(j.id).second) << "duplicate id " << j.id;
+      }
+    }
+  };
+  std::thread popper_a(drain), popper_b(drain);
+  // Let the race run long enough that the queue fills and drains a few
+  // times, then close while the producer is still pushing.
+  while (q.high_water() < 4) std::this_thread::yield();
+  q.close();
+  producer.join();
+  popper_a.join();
+  popper_b.join();
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(popped, accepted);  // nothing lost, nothing invented
+  EXPECT_EQ(q.try_submit(job(1u << 20)), Admission::kRejectedClosed);
+}
+
 TEST(JobQueue, AdmissionNames) {
   EXPECT_STREQ(admission_name(Admission::kAccepted), "accepted");
   EXPECT_STREQ(admission_name(Admission::kRejectedFull), "rejected-full");
   EXPECT_STREQ(admission_name(Admission::kRejectedClosed), "rejected-closed");
   EXPECT_STREQ(admission_name(Admission::kRejectedInvalid),
                "rejected-invalid");
+  EXPECT_STREQ(admission_name(Admission::kRejectedFault), "rejected-fault");
+}
+
+TEST(JobQueue, AdmissionStatusGivesTypedReasons) {
+  EXPECT_TRUE(admission_status(Admission::kAccepted).ok());
+  EXPECT_EQ(admission_status(Admission::kRejectedFull).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(admission_status(Admission::kRejectedFull).retryable());
+  EXPECT_EQ(admission_status(Admission::kRejectedClosed).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(admission_status(Admission::kRejectedInvalid).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(admission_status(Admission::kRejectedFault).code(),
+            StatusCode::kFaultInjected);
 }
 
 }  // namespace

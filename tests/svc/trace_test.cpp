@@ -88,6 +88,63 @@ TEST(Trace, ParserRejectsMalformedLines) {
   EXPECT_THROW(trace_from_text("0 4096 4 gauss 0 - - -\n"), Error);
 }
 
+TEST(Trace, DeadlineAndPriorityRoundTrip) {
+  LoadMix mix = small_mix();
+  mix.deadlines_us = {0, 500, 100000};
+  mix.priorities = {0, kCriticalPriority};
+  const auto jobs = make_trace(21, 32, mix);
+  bool some_deadline = false, some_critical = false;
+  for (const JobSpec& j : jobs) {
+    if (j.deadline_us > 0) some_deadline = true;
+    if (j.priority == kCriticalPriority) some_critical = true;
+  }
+  EXPECT_TRUE(some_deadline);
+  EXPECT_TRUE(some_critical);
+  const std::string text = trace_to_text(jobs);
+  const auto parsed = trace_from_text(text);
+  EXPECT_EQ(trace_to_text(parsed), text);
+  ASSERT_EQ(parsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(parsed[i].deadline_us, jobs[i].deadline_us) << i;
+    EXPECT_EQ(parsed[i].priority, jobs[i].priority) << i;
+  }
+}
+
+TEST(Trace, OldEightFieldLinesStillParse) {
+  const auto jobs = trace_from_text("0 4096 4 gauss 9 - - -\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].deadline_us, 0u);
+  EXPECT_EQ(jobs[0].priority, 0);
+  // And v1 traces render without the optional columns.
+  const std::string text = trace_to_text(jobs);
+  const std::string line = "0 4096 4 gauss 9 - - -\n";
+  ASSERT_GE(text.size(), line.size());
+  EXPECT_EQ(text.substr(text.size() - line.size()), line);
+}
+
+TEST(Trace, DeadlineWithoutPriorityIsMalformed) {
+  EXPECT_THROW(trace_from_text("0 4096 4 gauss 9 - - - 500\n"), Error);
+  // Bad values in the optional columns are rejected too.
+  EXPECT_THROW(trace_from_text("0 4096 4 gauss 9 - - - soon 0\n"), Error);
+  EXPECT_THROW(trace_from_text("0 4096 4 gauss 9 - - - 500 high\n"), Error);
+  // '-' means no deadline.
+  const auto jobs = trace_from_text("0 4096 4 gauss 9 - - - - 1\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].deadline_us, 0u);
+  EXPECT_EQ(jobs[0].priority, 1);
+}
+
+TEST(Trace, TrivialDeadlineMixPreservesV1PrngStreams) {
+  // A mix whose deadline/priority lists are the implicit defaults must
+  // generate byte-for-byte the same trace as a v1 mix: the extra draws
+  // are skipped, so existing seeded traces stay reproducible.
+  LoadMix explicit_defaults = small_mix();
+  explicit_defaults.deadlines_us = {0};
+  explicit_defaults.priorities = {0};
+  EXPECT_EQ(trace_to_text(make_trace(42, 32, explicit_defaults)),
+            trace_to_text(make_trace(42, 32, small_mix())));
+}
+
 TEST(Trace, FileRoundTrip) {
   const auto jobs = make_trace(3, 16, small_mix());
   const std::string path = testing::TempDir() + "dsmsort_trace_test.txt";
