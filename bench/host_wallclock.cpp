@@ -18,6 +18,7 @@
 #include "bench_common.hpp"
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "perf/report.hpp"
 
 namespace {
@@ -191,7 +192,7 @@ int main(int argc, char** argv) {
        << "single-core host the --jobs sweep pool adds nothing; on "
        << "multi-core hosts the independent cells scale with --jobs.\"\n"
        << "}\n";
-    perf::write_file(out_path, js.str());
+    write_file_atomic(out_path, js.str());
     std::cout << "(json written to " << out_path << ")\n";
     return 0;
   } catch (const std::exception& e) {

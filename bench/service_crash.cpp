@@ -1,0 +1,341 @@
+// Crash-recovery harness for the durable sort service.
+//
+// For every (seed, crash site) cell of the matrix, a child process runs a
+// durable service over a seeded trace and _exit()s inside the durability
+// crash hook at a named journal/snapshot/execution site. The parent then
+// restarts the service (up to a bounded number of incarnations) until a
+// run completes cleanly, and audits the journal the incarnations left
+// behind against a non-durable reference run of the same trace:
+//
+//   * no lost job    — every admitted seq reaches exactly one terminal
+//   * no double run  — a completed job never journals a second terminal
+//   * exact state    — the recovered planner calibration is byte-identical
+//                      to the uncrashed reference
+//   * poison caught  — a job that kills the process at the same site twice
+//                      is quarantined, with its attempt history on file
+//
+// Every invariant is DSM_CHECKed: the bench fails loudly, it does not
+// just report. Writes BENCH_crash.json with per-site outcomes and
+// recovery-time statistics.
+//
+// Options: the common set (--seed/--jobs) plus
+//   --quick       1 seed, short trace (the ctest wiring)
+//   --nseeds N    seed-matrix width (default 3; 1 with --quick)
+//   --njobs N     trace length per cell (default 10; 6 with --quick)
+//   --out PATH    where to write the JSON (default BENCH_crash.json)
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+#include "common/error.hpp"
+#include "common/fsio.hpp"
+#include "svc/journal.hpp"
+#include "svc/recovery.hpp"
+#include "svc/server.hpp"
+#include "svc/trace.hpp"
+
+namespace {
+
+using namespace dsm;
+
+constexpr std::uint64_t kAnySeq = ~std::uint64_t{0};
+constexpr int kMaxIncarnations = 8;
+
+struct CrashSpec {
+  std::string site;             // substring of the hook site
+  std::uint64_t seq = kAnySeq;  // restrict to one job's records
+  int fire_on = 1;              // die on the Nth matching fire
+};
+
+svc::ServiceConfig durable_config(const std::string& dir,
+                                  std::size_t capacity) {
+  svc::ServiceConfig cfg;
+  cfg.queue_capacity = capacity;
+  cfg.workers = 1;
+  cfg.max_batch = std::min<std::size_t>(4, capacity);
+  cfg.audit_every = 3;
+  cfg.durability.dir = dir;
+  cfg.durability.snapshot_every_batches = 1;
+  cfg.durability.keep_all_segments = true;  // the audit needs full history
+  return cfg;
+}
+
+/// One service incarnation in a forked child: recover, submit the whole
+/// trace (duplicates rejected idempotently), drain. Exit codes: 0 clean,
+/// 42 died at the crash site, 99 unexpected exception.
+int run_incarnation(const std::string& dir,
+                    const std::vector<svc::JobSpec>& trace,
+                    const CrashSpec* crash) {
+  const pid_t pid = fork();
+  DSM_CHECK(pid >= 0, "fork failed");
+  if (pid == 0) {
+    int fires = 0;
+    try {
+      svc::ServiceConfig cfg = durable_config(dir, trace.size() + 4);
+      if (crash != nullptr) {
+        cfg.durability.crash_hook = [&fires, crash](const char* site,
+                                                    std::uint64_t seq) {
+          if (crash->seq != kAnySeq && seq != crash->seq) return;
+          if (std::strstr(site, crash->site.c_str()) == nullptr) return;
+          if (++fires >= crash->fire_on) ::_exit(42);
+        };
+      }
+      svc::SortService service(cfg);
+      for (const svc::JobSpec& j : trace) service.submit(j);
+      service.start();
+      service.drain();
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(99);
+    }
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::map<std::uint64_t, std::vector<svc::JournalRecord>> terminals_by_seq(
+    const std::string& dir) {
+  std::map<std::uint64_t, std::vector<svc::JournalRecord>> out;
+  for (const std::string& seg : svc::list_segments(dir)) {
+    for (svc::JournalRecord& r : svc::read_segment(seg).records) {
+      if (r.type == svc::RecordType::kTerminal) {
+        out[r.seq].push_back(std::move(r));
+      }
+    }
+  }
+  return out;
+}
+
+std::string reference_calibration(const std::vector<svc::JobSpec>& trace) {
+  svc::ServiceConfig cfg = durable_config("", trace.size() + 4);
+  cfg.durability = svc::DurabilityConfig{};
+  svc::SortService ref(cfg);
+  ref.replay(trace);
+  return ref.planner().calibration_json();
+}
+
+struct CellOutcome {
+  std::string site;
+  std::uint64_t seed = 0;
+  int crashes = 0;        // incarnations that died at the site
+  double recovery_ms = 0; // verify-pass recovery time
+};
+
+struct Stats {
+  double min_v = 0, mean_v = 0, max_v = 0;
+};
+
+Stats stats_of(const std::vector<double>& v) {
+  Stats s;
+  if (v.empty()) return s;
+  s.min_v = *std::min_element(v.begin(), v.end());
+  s.max_v = *std::max_element(v.begin(), v.end());
+  for (const double x : v) s.mean_v += x;
+  s.mean_v /= static_cast<double>(v.size());
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsm;
+  try {
+    const bool quick = [&] {
+      ArgParser probe(argc, argv);
+      return probe.has("quick");
+    }();
+    auto env = bench::parse_env(argc, argv, quick ? "4K,8K" : "4K,8K,16K",
+                                quick ? "4,8" : "4,8",
+                                {"quick", "out", "nseeds", "njobs"});
+    ArgParser args(argc, argv);
+    const std::string out_path = args.get("out", "BENCH_crash.json");
+    const int nseeds =
+        static_cast<int>(args.get_int("nseeds", quick ? 1 : 3));
+    const auto njobs =
+        static_cast<std::size_t>(args.get_int("njobs", quick ? 6 : 10));
+
+    bench::banner("Sort service: crash recovery matrix", env);
+
+    char root_template[] = "/tmp/dsmsort_crash_XXXXXX";
+    const char* root = ::mkdtemp(root_template);
+    DSM_CHECK(root != nullptr, "mkdtemp failed");
+
+    const struct {
+      const char* site;
+      int fire_on;
+    } kSites[] = {
+        {"journal.admit.before-fsync", 3},
+        {"journal.admit.after-fsync", 5},
+        {"journal.planned.before-fsync", 2},
+        {"journal.planned.after-fsync", 4},
+        {"journal.attempt-start.before-fsync", 3},
+        {"journal.attempt-start.after-fsync", 5},
+        {"journal.mark.before-fsync", 9},
+        {"journal.mark.after-fsync", 17},
+        {"journal.terminal.before-fsync", 2},
+        {"journal.terminal.after-fsync", 4},
+        {"snapshot.before-rename", 1},
+        {"snapshot.after-rename", 2},
+        {"exec.", 4},
+    };
+
+    svc::LoadMix mix;
+    mix.sizes = env.sizes;
+    mix.procs = env.procs;
+
+    std::vector<CellOutcome> outcomes;
+    std::vector<double> recovery_ms;
+    int cell_index = 0;
+    for (int s = 0; s < nseeds; ++s) {
+      const std::uint64_t seed = env.seed + static_cast<std::uint64_t>(s);
+      const std::vector<svc::JobSpec> trace =
+          svc::make_trace(seed, njobs, mix);
+      const std::string reference = reference_calibration(trace);
+
+      for (const auto& site : kSites) {
+        const std::string dir =
+            std::string(root) + "/cell_" + std::to_string(cell_index++);
+        ::mkdir(dir.c_str(), 0755);
+        CrashSpec crash{site.site, kAnySeq, site.fire_on};
+
+        // Crash once, then restart until an incarnation finishes clean.
+        // (Later incarnations run without the hook: a bench cell models
+        // one transient crash, not a permanently poisoned process.)
+        CellOutcome cell;
+        cell.site = site.site;
+        cell.seed = seed;
+        const int first = run_incarnation(dir, trace, &crash);
+        DSM_CHECK(first == 42, std::string("site never fired: ") + site.site);
+        cell.crashes = 1;
+        int incarnations = 1;
+        for (;; ++incarnations) {
+          DSM_CHECK(incarnations < kMaxIncarnations,
+                    "service did not reach a clean run");
+          const int rc = run_incarnation(dir, trace, nullptr);
+          if (rc == 0) break;
+          DSM_CHECK(rc == 42, "incarnation failed with unexpected error");
+          ++cell.crashes;
+        }
+
+        // Audit: one terminal per admitted seq, all ok.
+        const auto terms = terminals_by_seq(dir);
+        DSM_CHECK(terms.size() == trace.size(),
+                  "admitted job lost across the crash");
+        for (const auto& [seq, records] : terms) {
+          DSM_CHECK(records.size() == 1,
+                    "seq " + std::to_string(seq) +
+                        " journaled more than one terminal (double run)");
+          DSM_CHECK(records[0].result.status == svc::JobStatus::kOk,
+                    "recovered job did not complete ok");
+        }
+
+        // Audit: recovered calibration is byte-identical to the
+        // uncrashed reference, and recovery is cheap.
+        svc::SortService verify(durable_config(dir, trace.size() + 4));
+        DSM_CHECK(verify.planner().calibration_json() == reference,
+                  "recovered calibration diverged from the reference");
+        DSM_CHECK(verify.metrics().counters().completed == trace.size(),
+                  "completion counters did not survive recovery");
+        cell.recovery_ms = verify.recovery_report().recovery_host_ms;
+        recovery_ms.push_back(cell.recovery_ms);
+        verify.drain();
+        outcomes.push_back(cell);
+      }
+      std::cout << "  seed " << seed << ": "
+                << (sizeof(kSites) / sizeof(kSites[0]))
+                << " crash sites recovered to reference state\n";
+    }
+
+    // Poison-job cell: one job kills the process at the same execution
+    // site in every incarnation; after two charged crashes the service
+    // quarantines it and completes everything else.
+    const std::vector<svc::JobSpec> ptrace =
+        svc::make_trace(env.seed + 100, njobs, mix);
+    const std::string pdir = std::string(root) + "/poison";
+    ::mkdir(pdir.c_str(), 0755);
+    const std::uint64_t poison_seq = 2 % njobs;
+    CrashSpec poison{"exec.", poison_seq, 1};
+    int poison_crashes = 0;
+    int rc;
+    while ((rc = run_incarnation(pdir, ptrace, &poison)) == 42) {
+      ++poison_crashes;
+      DSM_CHECK(poison_crashes < kMaxIncarnations,
+                "poison job was never quarantined");
+    }
+    DSM_CHECK(rc == 0, "poison run ended with unexpected error");
+    DSM_CHECK(poison_crashes == 2,
+              "expected exactly 2 crashes before quarantine, got " +
+                  std::to_string(poison_crashes));
+    const auto pterms = terminals_by_seq(pdir);
+    DSM_CHECK(pterms.size() == ptrace.size(), "poison cell lost a job");
+    for (const auto& [seq, records] : pterms) {
+      DSM_CHECK(records.size() == 1, "poison cell double-ran a job");
+      if (seq == poison_seq) {
+        DSM_CHECK(records[0].result.final_status.code() ==
+                      StatusCode::kQuarantined,
+                  "poison job's terminal is not kQuarantined");
+      } else {
+        DSM_CHECK(records[0].result.status == svc::JobStatus::kOk,
+                  "bystander job did not complete ok");
+      }
+    }
+    Result<std::string> qfile =
+        try_read_file(svc::quarantine_path(pdir));
+    DSM_CHECK(qfile.ok(), "quarantine file missing");
+    DSM_CHECK(qfile->find("\"history\"") != std::string::npos,
+              "quarantine entry has no attempt history");
+    std::cout << "  poison job quarantined after " << poison_crashes
+              << " crashes; " << (ptrace.size() - 1)
+              << " bystanders completed\n";
+
+    const Stats rs = stats_of(recovery_ms);
+    std::cout << "  recovery time over " << recovery_ms.size()
+              << " cells: min " << fmt_fixed(rs.min_v, 2) << " ms, mean "
+              << fmt_fixed(rs.mean_v, 2) << " ms, max "
+              << fmt_fixed(rs.max_v, 2) << " ms\n";
+
+    std::ostringstream js;
+    js << "{\n"
+       << "  \"bench\": \"service_crash\",\n"
+       << "  \"config\": {\"nseeds\": " << nseeds << ", \"njobs\": " << njobs
+       << ", \"seed\": " << env.seed
+       << ", \"crash_sites\": " << (sizeof(kSites) / sizeof(kSites[0]))
+       << ", \"quick\": " << (quick ? "true" : "false") << "},\n"
+       << "  \"invariants\": {\"no_lost_job\": true, "
+       << "\"no_double_execution\": true, "
+       << "\"calibration_byte_identical\": true, "
+       << "\"poison_quarantined\": true},\n"
+       << "  \"poison\": {\"crashes_before_quarantine\": " << poison_crashes
+       << ", \"bystanders_ok\": " << (ptrace.size() - 1) << "},\n"
+       << "  \"recovery_ms\": {\"cells\": " << recovery_ms.size()
+       << ", \"min\": " << fmt_fixed(rs.min_v, 3)
+       << ", \"mean\": " << fmt_fixed(rs.mean_v, 3)
+       << ", \"max\": " << fmt_fixed(rs.max_v, 3) << "},\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const CellOutcome& c = outcomes[i];
+      js << "    {\"seed\": " << c.seed << ", \"site\": \"" << c.site
+         << "\", \"crashes\": " << c.crashes
+         << ", \"recovery_ms\": " << fmt_fixed(c.recovery_ms, 3) << "}"
+         << (i + 1 < outcomes.size() ? ",\n" : "\n");
+    }
+    js << "  ]\n}\n";
+    write_file_atomic(out_path, js.str());
+    std::cout << "(json written to " << out_path << ")\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

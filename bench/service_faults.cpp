@@ -34,6 +34,7 @@
 #include "bench_common.hpp"
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "perf/report.hpp"
 #include "svc/server.hpp"
 #include "svc/trace.hpp"
@@ -128,7 +129,7 @@ int main(int argc, char** argv) {
       // Replay mode: deterministic output only — byte-identical for any
       // --jobs value, faults and all.
       const std::vector<svc::JobSpec> trace = svc::read_trace(replay_path);
-      perf::write_file(out_path, run_replay(trace, capacity, env.jobs,
+      write_file_atomic(out_path, run_replay(trace, capacity, env.jobs,
                                             fault_seed, fault_rate));
       std::cout << "replayed " << trace.size() << " jobs from " << replay_path
                 << " with " << env.jobs << " worker(s)\n(json written to "
@@ -254,7 +255,7 @@ int main(int argc, char** argv) {
        << "  \"replay_selfcheck\": \"byte-identical\",\n"
        << "  \"metrics\": " << over.metrics().to_json() << "\n"
        << "}\n";
-    perf::write_file(out_path, js.str());
+    write_file_atomic(out_path, js.str());
     std::cout << "(json written to " << out_path << ")\n";
     return 0;
   } catch (const std::exception& e) {

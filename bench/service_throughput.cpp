@@ -24,6 +24,7 @@
 #include "bench_common.hpp"
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "perf/report.hpp"
 #include "svc/server.hpp"
 #include "svc/trace.hpp"
@@ -112,7 +113,7 @@ int main(int argc, char** argv) {
       // Replay mode: deterministic output only — no worker count, no host
       // clocks — so any --jobs value writes identical bytes.
       const std::vector<svc::JobSpec> trace = svc::read_trace(replay_path);
-      perf::write_file(out_path, run_replay(trace, capacity, env.jobs));
+      write_file_atomic(out_path, run_replay(trace, capacity, env.jobs));
       std::cout << "replayed " << trace.size() << " jobs from " << replay_path
                 << " with " << env.jobs << " worker(s)\n(json written to "
                 << out_path << ")\n";
@@ -259,7 +260,7 @@ int main(int argc, char** argv) {
        << "  \"calibration\": " << svc.planner().calibration_json() << ",\n"
        << "  \"metrics\": " << svc.metrics().to_json() << "\n"
        << "}\n";
-    perf::write_file(out_path, js.str());
+    write_file_atomic(out_path, js.str());
     std::cout << "(json written to " << out_path << ")\n";
     return 0;
   } catch (const std::exception& e) {

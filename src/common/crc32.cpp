@@ -1,0 +1,35 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace dsm {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace dsm

@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the checksum
+// that frames every write-ahead journal record and seals each snapshot
+// file. Table-driven, no hardware dependencies, stable across platforms:
+// a journal written on one host must verify on any other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dsm {
+
+/// One-shot CRC-32 of `len` bytes. `seed` chains incremental updates:
+/// crc32(b, crc32(a)) == crc32(a + b).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::string& s, std::uint32_t seed = 0) {
+  return crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace dsm

@@ -1,0 +1,89 @@
+#include "common/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace dsm {
+namespace {
+
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status errno_status(const std::string& what, const std::string& path) {
+  return Status::io_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void fsync_parent_dir(const std::string& path) {
+  const int dfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;
+  ::fsync(dfd);  // best-effort: EINVAL on filesystems that reject it
+  ::close(dfd);
+}
+
+Status try_write_file_atomic(const std::string& path,
+                             const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return errno_status("cannot open for writing", tmp);
+
+  const char* p = content.data();
+  std::size_t left = content.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = errno_status("write failed", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = errno_status("fsync failed", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    const Status s = errno_status("close failed", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = errno_status("rename failed", tmp + " -> " + path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  fsync_parent_dir(path);
+  return Status();
+}
+
+void write_file_atomic(const std::string& path, const std::string& content) {
+  const Status s = try_write_file_atomic(path, content);
+  if (!s.ok()) throw StatusError(s);
+}
+
+Result<std::string> try_read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::io_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::io_error("read failed " + path);
+  return buf.str();
+}
+
+}  // namespace dsm

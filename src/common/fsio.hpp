@@ -1,0 +1,36 @@
+// Durable file-system primitives for the service's durability layer and
+// the bench artifact writers.
+//
+// write_file_atomic implements the classic crash-safe publish: write to a
+// sibling temporary, fsync the file, rename over the destination, fsync
+// the directory. A reader (or a recovery scan after a crash) therefore
+// sees either the complete old content or the complete new content —
+// never a truncated JSON artifact or a half-written snapshot. Plain
+// std::ofstream writes (perf::write_file) give no such guarantee: the
+// rename is what makes the publish atomic and the fsyncs are what make it
+// survive power loss, not just process death.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dsm {
+
+/// Atomically replace `path` with `content` (tmp + fsync + rename +
+/// directory fsync). Non-throwing; returns kIoError on any failure, in
+/// which case `path` is untouched (the temporary is unlinked best-effort).
+Status try_write_file_atomic(const std::string& path,
+                             const std::string& content);
+
+/// Throwing wrapper around try_write_file_atomic (raises StatusError).
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Read an entire file. kIoError when it cannot be opened or read.
+Result<std::string> try_read_file(const std::string& path);
+
+/// fsync the directory containing `path` (publishes a rename or create
+/// durably). Best-effort: some filesystems reject directory fsync.
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace dsm

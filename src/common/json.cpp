@@ -1,0 +1,75 @@
+#include "common/json.hpp"
+
+namespace dsm {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    if (ch == '"' || ch == '\\') {
+      out += '\\';
+      out += ch;
+    } else if (static_cast<unsigned char>(ch) < 0x20) {
+      static const char hex[] = "0123456789abcdef";
+      out += "\\u00";
+      out += hex[(static_cast<unsigned char>(ch) >> 4) & 0xf];
+      out += hex[static_cast<unsigned char>(ch) & 0xf];
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int hex_val(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char e = s[++i];
+    switch (e) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        // json_escape only emits \u00XX (Latin-1 range); decode exactly
+        // that shape and keep anything else literal.
+        if (i + 4 < s.size() && s[i + 1] == '0' && s[i + 2] == '0' &&
+            hex_val(s[i + 3]) >= 0 && hex_val(s[i + 4]) >= 0) {
+          out += static_cast<char>(hex_val(s[i + 3]) * 16 + hex_val(s[i + 4]));
+          i += 4;
+        } else {
+          out += '\\';
+          out += 'u';
+        }
+        break;
+      }
+      default:
+        out += '\\';
+        out += e;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dsm

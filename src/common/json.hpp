@@ -1,0 +1,27 @@
+// JSON string escaping shared by every emitter in the tree (service
+// metrics and results, bench JSON artifacts, the quarantine file).
+//
+// Fault, error, and reason strings routinely carry hostile content —
+// quotes from quoted file paths, backslashes from Windows-style paths in
+// user input, newlines and control bytes from wrapped exception text —
+// and an unescaped one silently corrupts the surrounding JSON document.
+// Escaping lives in common/ (not perf/) so the service layer does not
+// reach into the reporting layer for a string primitive; perf::json_escape
+// remains as a thin alias for existing call sites.
+#pragma once
+
+#include <string>
+
+namespace dsm {
+
+/// Escape `s` for embedding inside a JSON string literal: quote and
+/// backslash are backslash-escaped, control characters become \u00XX.
+std::string json_escape(const std::string& s);
+
+/// Inverse of json_escape: resolves \", \\, \/, \b, \f, \n, \r, \t and
+/// \u00XX back to bytes. Lenient on input that json_escape never
+/// produces: a dangling or unknown escape is kept literally rather than
+/// rejected, so round-tripping hostile strings cannot throw.
+std::string json_unescape(const std::string& s);
+
+}  // namespace dsm

@@ -34,6 +34,8 @@ enum class StatusCode {
   kUnavailable,        // service draining / shut down
   kFaultInjected,      // a seeded fault site fired (always transient)
   kIoError,            // host-side I/O (trace sink, result file)
+  kCorruptJournal,     // durability record failed its CRC / framing check
+  kQuarantined,        // job repeatedly crashed the process; not re-run
   kInternal,           // invariant violation or unclassified failure
 };
 
@@ -69,6 +71,14 @@ class Status {
   }
   static Status io_error(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg), true);
+  }
+  static Status corrupt_journal(std::string msg) {
+    // Re-reading the same bytes yields the same damage: not retryable.
+    return Status(StatusCode::kCorruptJournal, std::move(msg), false);
+  }
+  static Status quarantined(std::string msg) {
+    // Re-running a poison job is exactly what quarantine forbids.
+    return Status(StatusCode::kQuarantined, std::move(msg), false);
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg), false);
@@ -110,6 +120,8 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kFaultInjected: return "FAULT_INJECTED";
     case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kCorruptJournal: return "CORRUPT_JOURNAL";
+    case StatusCode::kQuarantined: return "QUARANTINED";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "?";

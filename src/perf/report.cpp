@@ -45,25 +45,6 @@ std::string breakdown_csv(std::span<const sim::Breakdown> procs) {
   return t.render_csv();
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char ch : s) {
-    if (ch == '"' || ch == '\\') {
-      out += '\\';
-      out += ch;
-    } else if (static_cast<unsigned char>(ch) < 0x20) {
-      static const char hex[] = "0123456789abcdef";
-      out += "\\u00";
-      out += hex[(static_cast<unsigned char>(ch) >> 4) & 0xf];
-      out += hex[static_cast<unsigned char>(ch) & 0xf];
-    } else {
-      out += ch;
-    }
-  }
-  return out;
-}
-
 void write_file(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) throw Error("cannot open for writing: " + path);

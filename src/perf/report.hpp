@@ -6,6 +6,7 @@
 #include <span>
 #include <string>
 
+#include "common/json.hpp"
 #include "sim/clock.hpp"
 
 namespace dsm::perf {
@@ -25,9 +26,8 @@ std::string breakdown_csv(std::span<const sim::Breakdown> procs);
 /// Write `content` to `path` (overwrites; throws dsm::Error on failure).
 void write_file(const std::string& path, const std::string& content);
 
-/// Escape `s` for embedding inside a JSON string literal: quotes and
-/// backslashes are backslash-escaped, control characters become \u00XX.
-/// Used by the service metrics/result dumps and the bench JSON writers.
-std::string json_escape(const std::string& s);
+/// Alias for dsm::json_escape (the helper moved to common/json.hpp so
+/// the service layer does not depend on perf/ for a string primitive).
+using dsm::json_escape;
 
 }  // namespace dsm::perf

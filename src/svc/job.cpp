@@ -41,6 +41,14 @@ const char* job_status_name(JobStatus s) {
   return "?";
 }
 
+JobStatus job_status_from_name(const std::string& name) {
+  for (const JobStatus s : {JobStatus::kOk, JobStatus::kFailed,
+                            JobStatus::kShed, JobStatus::kDeadlineMiss}) {
+    if (name == job_status_name(s)) return s;
+  }
+  throw Error("unknown job status: " + name);
+}
+
 std::string Plan::to_json() const {
   std::ostringstream os;
   os << "{\"algo\": \"" << sort::algo_name(algo) << "\", \"model\": \""

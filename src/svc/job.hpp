@@ -34,6 +34,26 @@ namespace dsm::svc {
 /// aborted mid-run: they run to completion and at worst report a miss.
 constexpr int kCriticalPriority = 2;
 
+/// The planner's decision for one job. (Defined before JobSpec because a
+/// recovered job carries the plan its pre-crash incarnation journaled.)
+struct Plan {
+  sort::Algo algo = sort::Algo::kRadix;
+  sort::Model model = sort::Model::kShmem;
+  int radix_bits = 8;
+  double predicted_raw_ns = 0;  // closed-form predictor, uncalibrated
+  double predicted_ns = 0;      // after EWMA calibration
+
+  // Best candidate from a different (algo, model) cell — the measured
+  // opponent for plan-accuracy audits.
+  bool has_runner_up = false;
+  sort::Algo runner_algo = sort::Algo::kRadix;
+  sort::Model runner_model = sort::Model::kShmem;
+  int runner_radix_bits = 8;
+  double runner_predicted_ns = 0;
+
+  std::string to_json() const;
+};
+
 struct JobSpec {
   std::uint64_t id = 0;
   Index n = Index{1} << 20;
@@ -63,6 +83,28 @@ struct JobSpec {
   /// into deterministic output.
   double host_submit_s = 0;
 
+  // --- Durability bookkeeping (service-internal; never set by clients
+  // and never serialized into client traces). ---
+
+  /// Admission sequence number, assigned by the JobQueue when the job is
+  /// accepted. Stable across crash recovery: a re-admitted job keeps its
+  /// original seq so batch geometry and plan-audit alignment replay
+  /// exactly.
+  std::uint64_t svc_seq = 0;
+
+  /// How many times this job was mid-flight when the process died at
+  /// `crash_site`, carried across recoveries in the re-admission record.
+  /// Reaching the quarantine threshold moves the job to the quarantine
+  /// file instead of re-admitting it.
+  int crash_count = 0;
+  std::string crash_site;
+
+  /// Plan journaled by a pre-crash incarnation. Recovery threads it back
+  /// so the re-run executes the exact plan the uncrashed service chose —
+  /// re-planning mid-batch could see calibration state the original plan
+  /// pre-dated and drift from the golden (uncrashed) run.
+  std::optional<Plan> recovered_plan;
+
   /// Admission-time sanity checks; every violated constraint is collected
   /// into one kInvalidArgument status (OK when valid). Deliberately does
   /// not cross-check algo x model feasibility — infeasible combinations
@@ -70,25 +112,6 @@ struct JobSpec {
   Status validate_status() const;
   /// Throwing wrapper: raises StatusError(validate_status()).
   void validate() const;
-};
-
-/// The planner's decision for one job.
-struct Plan {
-  sort::Algo algo = sort::Algo::kRadix;
-  sort::Model model = sort::Model::kShmem;
-  int radix_bits = 8;
-  double predicted_raw_ns = 0;  // closed-form predictor, uncalibrated
-  double predicted_ns = 0;      // after EWMA calibration
-
-  // Best candidate from a different (algo, model) cell — the measured
-  // opponent for plan-accuracy audits.
-  bool has_runner_up = false;
-  sort::Algo runner_algo = sort::Algo::kRadix;
-  sort::Model runner_model = sort::Model::kShmem;
-  int runner_radix_bits = 8;
-  double runner_predicted_ns = 0;
-
-  std::string to_json() const;
 };
 
 enum class JobStatus {
@@ -99,6 +122,9 @@ enum class JobStatus {
 };
 
 const char* job_status_name(JobStatus s);
+/// Inverse of job_status_name (throws dsm::Error on an unknown name);
+/// used by the journal decoder.
+JobStatus job_status_from_name(const std::string& name);
 
 /// One failed attempt in a job's retry history.
 struct AttemptRecord {
@@ -106,6 +132,10 @@ struct AttemptRecord {
   bool retryable = false;
   double backoff_ms = 0;  // deterministic backoff charged before the retry
                           // (0 on the final, non-retried attempt)
+  /// FaultSite index when the failure was an injected fault, -1 otherwise.
+  /// Journaled so recovery can replay per-site fault counters; not part
+  /// of the JSON rendering.
+  int fault_site = -1;
 };
 
 struct JobResult {
@@ -127,6 +157,12 @@ struct JobResult {
   bool audited = false;
   double runner_measured_ns = 0;
   bool plan_hit = false;  // chosen plan beat the runner-up on measured time
+
+  /// FaultSite index when the *final* failure was an injected fault, -1
+  /// otherwise (the non-retried last attempt has no AttemptRecord, so the
+  /// journal needs this to replay per-site fault counters exactly). Not
+  /// part of the JSON rendering.
+  int final_fault_site = -1;
 
   /// Host wall latency submit -> completion (live mode only; 0 in replay).
   double host_latency_ms = 0;

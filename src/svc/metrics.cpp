@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/bits.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 
 namespace dsm::svc {
@@ -29,7 +30,32 @@ void Metrics::on_admission(Admission a) {
     case Admission::kRejectedClosed: ++c_.rejected_closed; break;
     case Admission::kRejectedInvalid: ++c_.rejected_invalid; break;
     case Admission::kRejectedFault: ++c_.rejected_fault; break;
+    case Admission::kRejectedDuplicate: ++c_.rejected_duplicate; break;
   }
+}
+
+void Metrics::on_journal_torn_tail() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++d_.journal_torn_tail;
+}
+
+void Metrics::on_journal_corrupt(std::uint64_t records) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  d_.journal_corrupt += records;
+}
+
+void Metrics::on_recovery(std::uint64_t replayed_terminal,
+                          std::uint64_t requeued, std::uint64_t quarantined) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++d_.recoveries;
+  d_.replayed_terminal += replayed_terminal;
+  d_.requeued += requeued;
+  d_.quarantined += quarantined;
+}
+
+void Metrics::on_snapshot() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++d_.snapshots;
 }
 
 void Metrics::on_complete(const JobResult& r) {
@@ -88,6 +114,41 @@ Metrics::Counters Metrics::counters() const {
   return c_;
 }
 
+Metrics::Durability Metrics::durability() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return d_;
+}
+
+Metrics::State Metrics::export_state() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  State s;
+  s.counters = c_;
+  s.durability = d_;
+  s.depth_high_water = depth_high_water_;
+  s.latency_hist.assign(hist_, hist_ + kLatencyBuckets);
+  s.retry_hist.assign(retry_hist_, retry_hist_ + kRetryBuckets);
+  s.faults.assign(faults_, faults_ + kFaultSiteCount);
+  s.rel_err_raw = rel_err_raw_;
+  s.rel_err_cal = rel_err_cal_;
+  return s;
+}
+
+void Metrics::import_state(const State& s) {
+  DSM_REQUIRE(s.latency_hist.size() == kLatencyBuckets &&
+                  s.retry_hist.size() == kRetryBuckets &&
+                  s.faults.size() == kFaultSiteCount,
+              "metrics snapshot histogram sizes mismatch");
+  const std::lock_guard<std::mutex> lock(mu_);
+  c_ = s.counters;
+  d_ = s.durability;
+  depth_high_water_ = s.depth_high_water;
+  std::copy(s.latency_hist.begin(), s.latency_hist.end(), hist_);
+  std::copy(s.retry_hist.begin(), s.retry_hist.end(), retry_hist_);
+  std::copy(s.faults.begin(), s.faults.end(), faults_);
+  rel_err_raw_ = s.rel_err_raw;
+  rel_err_cal_ = s.rel_err_cal;
+}
+
 Metrics::Accuracy Metrics::accuracy() const {
   const std::lock_guard<std::mutex> lock(mu_);
   Accuracy a;
@@ -131,6 +192,7 @@ std::string Metrics::to_json() const {
      << ", \"rejected_closed\": " << c.rejected_closed
      << ", \"rejected_invalid\": " << c.rejected_invalid
      << ", \"rejected_fault\": " << c.rejected_fault
+     << ", \"rejected_duplicate\": " << c.rejected_duplicate
      << ", \"completed\": " << c.completed << ", \"failed\": " << c.failed
      << ", \"shed\": " << c.shed
      << ", \"deadline_miss\": " << c.deadline_miss
@@ -154,6 +216,14 @@ std::string Metrics::to_json() const {
     os << (i ? ", " : "") << "\"" << fault_site_name(static_cast<FaultSite>(i))
        << "\": " << faults[static_cast<std::size_t>(i)];
   }
+  const Durability d = durability();
+  os << "},\n \"durability\": {\"journal_torn_tail\": " << d.journal_torn_tail
+     << ", \"journal_corrupt\": " << d.journal_corrupt
+     << ", \"recoveries\": " << d.recoveries
+     << ", \"replayed_terminal\": " << d.replayed_terminal
+     << ", \"requeued\": " << d.requeued
+     << ", \"quarantined\": " << d.quarantined
+     << ", \"snapshots\": " << d.snapshots;
   os << "},\n \"retry_histogram\": [";
   const auto retries = retry_histogram();
   for (int i = 0; i < kRetryBuckets; ++i) {

@@ -40,6 +40,7 @@ class Metrics {
     std::uint64_t rejected_closed = 0;
     std::uint64_t rejected_invalid = 0;
     std::uint64_t rejected_fault = 0;
+    std::uint64_t rejected_duplicate = 0;  // durable-mode idempotent resubmit
     std::uint64_t completed = 0;  // ran to completion: kOk + kDeadlineMiss
     std::uint64_t failed = 0;
     std::uint64_t shed = 0;           // rejected pre-run on predicted cost
@@ -48,6 +49,21 @@ class Metrics {
     std::uint64_t retry_successes = 0;  // jobs that succeeded after >=1 retry
     std::uint64_t audited = 0;
     std::uint64_t plan_hits = 0;
+  };
+
+  /// Durability/recovery counters. Unlike the request counters these are
+  /// not part of the replay determinism contract across *processes* that
+  /// crash differently — a recovered service legitimately reports the
+  /// recoveries it performed — but they are deterministic for a given
+  /// crash history, and zero for a service without a durability_dir.
+  struct Durability {
+    std::uint64_t journal_torn_tail = 0;  // segments ending in a torn record
+    std::uint64_t journal_corrupt = 0;    // records failing CRC / framing
+    std::uint64_t recoveries = 0;         // recovery passes that found state
+    std::uint64_t replayed_terminal = 0;  // finished jobs replayed, not re-run
+    std::uint64_t requeued = 0;           // in-flight jobs re-admitted
+    std::uint64_t quarantined = 0;        // poison jobs refused re-admission
+    std::uint64_t snapshots = 0;          // checkpoints written
   };
 
   struct Accuracy {
@@ -66,7 +82,15 @@ class Metrics {
   void on_fault(FaultSite site);
   void note_queue_depth(std::size_t depth);
 
+  // Durability events (recovery scan, checkpointing).
+  void on_journal_torn_tail();
+  void on_journal_corrupt(std::uint64_t records = 1);
+  void on_recovery(std::uint64_t replayed_terminal, std::uint64_t requeued,
+                   std::uint64_t quarantined);
+  void on_snapshot();
+
   Counters counters() const;
+  Durability durability() const;
   Accuracy accuracy() const;
   std::size_t queue_depth_high_water() const;
   std::vector<std::uint64_t> latency_histogram() const;
@@ -79,9 +103,26 @@ class Metrics {
   /// Histogram as CSV: bucket_lo_us,bucket_hi_us,count.
   std::string histogram_csv() const;
 
+  /// Complete registry state, for calibration snapshots. import_state
+  /// replaces everything; export-then-import on a fresh registry yields a
+  /// byte-identical to_json().
+  struct State {
+    Counters counters;
+    Durability durability;
+    std::size_t depth_high_water = 0;
+    std::vector<std::uint64_t> latency_hist;  // kLatencyBuckets entries
+    std::vector<std::uint64_t> retry_hist;    // kRetryBuckets entries
+    std::vector<std::uint64_t> faults;        // kFaultSiteCount entries
+    std::vector<double> rel_err_raw;
+    std::vector<double> rel_err_cal;
+  };
+  State export_state() const;
+  void import_state(const State& s);
+
  private:
   mutable std::mutex mu_;
   Counters c_;
+  Durability d_;
   std::size_t depth_high_water_ = 0;
   std::uint64_t hist_[kLatencyBuckets] = {};
   std::uint64_t retry_hist_[kRetryBuckets] = {};

@@ -151,6 +151,25 @@ std::uint64_t Planner::observations(sort::Algo algo, sort::Model model) const {
   return cells_[cell_index(algo, model)].samples;
 }
 
+std::vector<Planner::CellState> Planner::export_cells() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CellState> out(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    out[i].factor = cells_[i].factor;
+    out[i].samples = cells_[i].samples;
+  }
+  return out;
+}
+
+void Planner::import_cells(const std::vector<CellState>& cells) {
+  DSM_REQUIRE(cells.size() == 8, "planner snapshot must carry 8 cells");
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < 8; ++i) {
+    cells_[i].factor = cells[i].factor;
+    cells_[i].samples = cells[i].samples;
+  }
+}
+
 std::string Planner::calibration_json() const {
   const std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;

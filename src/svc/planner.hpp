@@ -67,6 +67,19 @@ class Planner {
   /// Calibration table as a JSON array (deterministic).
   std::string calibration_json() const;
 
+  /// Calibration state of one (algo, model) cell, in snapshot order.
+  struct CellState {
+    double factor = 1.0;
+    std::uint64_t samples = 0;
+  };
+
+  /// All 8 cells in the fixed (algo-major, model-minor) enumeration order.
+  /// The factor doubles round-trip exactly through import_cells (snapshots
+  /// serialize them as hexfloat), which is what makes a recovered planner
+  /// produce byte-identical plans.
+  std::vector<CellState> export_cells() const;
+  void import_cells(const std::vector<CellState>& cells);
+
   const PlannerConfig& config() const { return cfg_; }
 
  private:

@@ -14,6 +14,7 @@ const char* admission_name(Admission a) {
     case Admission::kRejectedClosed: return "rejected-closed";
     case Admission::kRejectedInvalid: return "rejected-invalid";
     case Admission::kRejectedFault: return "rejected-fault";
+    case Admission::kRejectedDuplicate: return "rejected-duplicate";
   }
   return "?";
 }
@@ -29,6 +30,9 @@ Status admission_status(Admission a) {
       return Status::invalid_argument("job spec invalid");
     case Admission::kRejectedFault:
       return Status::fault_injected("injected admission fault");
+    case Admission::kRejectedDuplicate:
+      return Status::invalid_argument(
+          "job id already admitted (idempotent resubmission)");
   }
   return Status::internal("unknown admission outcome");
 }
@@ -37,11 +41,13 @@ JobQueue::JobQueue(std::size_t capacity) : capacity_(capacity) {
   DSM_REQUIRE(capacity >= 1, "queue capacity >= 1");
 }
 
-Admission JobQueue::try_submit(JobSpec job) {
+Admission JobQueue::try_submit(JobSpec job, std::uint64_t* seq) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return Admission::kRejectedClosed;
     if (q_.size() >= capacity_) return Admission::kRejectedFull;
+    job.svc_seq = next_seq_++;
+    if (seq != nullptr) *seq = job.svc_seq;
     q_.push_back(std::move(job));
     high_water_ = std::max(high_water_, q_.size());
   }
@@ -49,11 +55,28 @@ Admission JobQueue::try_submit(JobSpec job) {
   return Admission::kAccepted;
 }
 
+void JobQueue::restore(JobSpec job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    DSM_REQUIRE(!closed_, "restore into a closed queue");
+    q_.push_back(std::move(job));  // svc_seq already assigned pre-crash
+    high_water_ = std::max(high_water_, q_.size());
+  }
+  cv_.notify_one();
+}
+
 std::size_t JobQueue::pop_batch(std::size_t max, std::vector<JobSpec>& out) {
   DSM_REQUIRE(max >= 1, "pop_batch max >= 1");
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return closed_ || !q_.empty(); });
-  const std::size_t take = std::min(max, q_.size());
+  if (q_.empty()) return 0;
+  // Align to the seq grid: a batch never crosses a seq % max == 0
+  // boundary, so batch geometry depends only on the admission sequence —
+  // not on how full the queue happened to be — and crash recovery resumes
+  // mid-stream with the geometry the uncrashed run would have used.
+  const std::size_t aligned =
+      max - static_cast<std::size_t>(q_.front().svc_seq % max);
+  const std::size_t take = std::min(aligned, q_.size());
   for (std::size_t i = 0; i < take; ++i) {
     out.push_back(std::move(q_.front()));
     q_.pop_front();
@@ -82,6 +105,21 @@ std::size_t JobQueue::depth() const {
 std::size_t JobQueue::high_water() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return high_water_;
+}
+
+std::uint64_t JobQueue::next_seq() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void JobQueue::set_next_seq(std::uint64_t seq) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  next_seq_ = seq;
+}
+
+std::vector<JobSpec> JobQueue::snapshot_jobs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<JobSpec>(q_.begin(), q_.end());
 }
 
 }  // namespace dsm::svc

@@ -6,10 +6,18 @@
 // the service began draining). The server side pops jobs in FIFO batches;
 // pop_batch blocks only while the queue is open and empty, and returns 0
 // exactly once the queue is closed and drained.
+//
+// The queue is also the authority on admission sequence numbers: every
+// accepted job gets the next seq, assigned under the queue lock so FIFO
+// order and seq order coincide. Batch pops are aligned to the seq grid
+// (a batch never straddles a seq % max == 0 boundary), which makes batch
+// geometry a pure function of the admission sequence — the property crash
+// recovery relies on to resume mid-stream with byte-identical plans.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
@@ -21,10 +29,12 @@ namespace dsm::svc {
 
 enum class Admission {
   kAccepted,
-  kRejectedFull,     // queue at capacity (backpressure)
-  kRejectedClosed,   // service draining / shut down
-  kRejectedInvalid,  // JobSpec::validate_status failed
-  kRejectedFault,    // injected admission fault (transient front end)
+  kRejectedFull,       // queue at capacity (backpressure)
+  kRejectedClosed,     // service draining / shut down
+  kRejectedInvalid,    // JobSpec::validate_status failed
+  kRejectedFault,      // injected admission fault (transient front end)
+  kRejectedDuplicate,  // durable mode: job id already admitted (idempotent
+                       // resubmission after a crash; never re-run)
 };
 
 const char* admission_name(Admission a);
@@ -38,10 +48,18 @@ class JobQueue {
  public:
   explicit JobQueue(std::size_t capacity);
 
-  /// Enqueue or reject, never blocks.
-  Admission try_submit(JobSpec job);
+  /// Enqueue or reject, never blocks. On acceptance the job is stamped
+  /// with the next admission sequence number (also stored in `*seq` when
+  /// non-null).
+  Admission try_submit(JobSpec job, std::uint64_t* seq = nullptr);
 
-  /// Pop up to `max` jobs in FIFO order into `out` (appended). Blocks
+  /// Recovery-only: re-enqueue a recovered job, keeping its original
+  /// svc_seq and ignoring the capacity bound (the recovered in-flight set
+  /// can legitimately exceed capacity by up to one batch).
+  void restore(JobSpec job);
+
+  /// Pop up to `max` jobs in FIFO order into `out` (appended), never past
+  /// the next seq % max == 0 boundary (aligned batch geometry). Blocks
   /// while the queue is open and empty; returns the number popped, 0 iff
   /// the queue is closed and fully drained.
   std::size_t pop_batch(std::size_t max, std::vector<JobSpec>& out);
@@ -56,12 +74,22 @@ class JobQueue {
   /// Largest depth ever observed (after an accepted submit).
   std::size_t high_water() const;
 
+  /// Admission sequence counter (next seq to be assigned). Recovery
+  /// fast-forwards it past every seq the journal has seen.
+  std::uint64_t next_seq() const;
+  void set_next_seq(std::uint64_t seq);
+
+  /// Copy of everything currently queued, in FIFO order (checkpointing:
+  /// these are the in-flight jobs a snapshot must carry).
+  std::vector<JobSpec> snapshot_jobs() const;
+
  private:
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<JobSpec> q_;
   std::size_t high_water_ = 0;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
 };
 

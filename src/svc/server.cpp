@@ -1,20 +1,27 @@
 #include "svc/server.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <exception>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/json.hpp"
 #include "common/prng.hpp"
 #include "common/table.hpp"
 #include "sim/sweep.hpp"
 #include "sort/input_cache.hpp"
+#include "svc/snapshot.hpp"
 
 namespace dsm::svc {
 namespace {
@@ -23,6 +30,24 @@ double now_s() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Durable append of one line (the quarantine file). Best-effort: the
+/// journal's quarantine record is the authoritative copy.
+void append_line_durable(const std::string& path, const std::string& line) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(fd, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
 }
 
 sort::SortSpec spec_for(const JobSpec& job, sort::Algo algo,
@@ -55,6 +80,111 @@ SortService::SortService(ServiceConfig cfg)
   DSM_REQUIRE(cfg_.retry_backoff_base_ms >= 0 &&
                   cfg_.retry_backoff_cap_ms >= cfg_.retry_backoff_base_ms,
               "retry backoff cap must be >= base >= 0");
+  DSM_REQUIRE(!durable() || cfg_.workers == 1,
+              "durability requires workers == 1 (snapshots between batches "
+              "must cover every in-flight job)");
+  if (durable()) recover();
+}
+
+void SortService::recover() {
+  const double t0 = now_s();
+  RecoveryOutcome rec =
+      recover_dir(cfg_.durability.dir, cfg_.durability.quarantine_threshold,
+                  planner_, metrics_);
+  known_ids_.insert(rec.known_ids.begin(), rec.known_ids.end());
+  queue_.set_next_seq(rec.next_seq);
+
+  JournalConfig jc;
+  jc.dir = cfg_.durability.dir;
+  jc.fsync_data = cfg_.durability.fsync_data;
+  jc.segment_max_bytes = cfg_.durability.segment_max_bytes;
+  jc.crash_hook = cfg_.durability.crash_hook;
+  journal_ = std::make_unique<JournalWriter>(jc, rec.next_lsn);
+
+  for (QuarantineEntry& q : rec.quarantine) quarantine_job(std::move(q));
+  for (JobSpec& j : rec.requeue) {
+    // The re-admission record carries the accumulated crash bookkeeping
+    // and the pre-crash plan, so they survive the *next* crash too. If we
+    // die before restoring the queue, the next recovery recomputes the
+    // same re-admission from this record — idempotent.
+    JournalRecord r;
+    r.type = RecordType::kAdmit;
+    r.seq = j.svc_seq;
+    r.job = j;
+    r.readmit = true;
+    journal_->append(r);
+    queue_.restore(std::move(j));
+  }
+  recovery_report_ = rec.report;
+  recovery_report_.recovery_host_ms = (now_s() - t0) * 1e3;
+}
+
+void SortService::quarantine_job(QuarantineEntry entry) {
+  const std::string msg =
+      "job " + std::to_string(entry.job.id) +
+      " quarantined: crashed the process " +
+      std::to_string(entry.crash_count) + "x at " + entry.crash_site;
+
+  JournalRecord quar;
+  quar.type = RecordType::kQuarantine;
+  quar.seq = entry.job.svc_seq;
+  quar.job = entry.job;
+  quar.crash_count = entry.crash_count;
+  quar.site = entry.crash_site;
+  journal_->append(quar);
+
+  JobResult res;
+  res.id = entry.job.id;
+  res.status = JobStatus::kFailed;
+  res.final_status = Status::quarantined(msg);
+  res.error = msg;
+  if (entry.job.recovered_plan) res.plan = *entry.job.recovered_plan;
+  JournalRecord term;
+  term.type = RecordType::kTerminal;
+  term.seq = entry.job.svc_seq;
+  term.result = res;
+  journal_->append(term);
+
+  metrics_.on_complete(res);
+
+  std::ostringstream line;
+  line << "{\"id\": " << entry.job.id << ", \"seq\": " << entry.job.svc_seq
+       << ", \"crash_count\": " << entry.crash_count << ", \"crash_site\": \""
+       << json_escape(entry.crash_site) << "\", \"history\": [";
+  for (std::size_t i = 0; i < entry.history.size(); ++i) {
+    line << (i ? ", " : "") << "\"" << json_escape(entry.history[i]) << "\"";
+  }
+  line << "]}\n";
+  append_line_durable(quarantine_path(cfg_.durability.dir), line.str());
+
+  const std::lock_guard<std::mutex> lock(results_mu_);
+  results_.push_back(std::move(res));
+}
+
+void SortService::write_checkpoint() {
+  SnapshotData s;
+  {
+    // Capture and rotate atomically against durable admissions: the new
+    // segment starts exactly at the snapshot LSN, so every older segment
+    // holds only records the snapshot covers and is safe to prune.
+    const std::lock_guard<std::mutex> lock(durable_mu_);
+    s.lsn = journal_->next_lsn();
+    s.next_seq = queue_.next_seq();
+    s.inflight = queue_.snapshot_jobs();
+    s.planner_cells = planner_.export_cells();
+    s.metrics = metrics_.export_state();
+    s.known_ids.assign(known_ids_.begin(), known_ids_.end());
+    std::sort(s.known_ids.begin(), s.known_ids.end());
+    journal_->rotate();
+  }
+  const Status st = write_snapshot(snapshot_path(cfg_.durability.dir), s,
+                                   cfg_.durability.crash_hook);
+  if (!st.ok()) return;  // journal remains authoritative; retry next round
+  if (!cfg_.durability.keep_all_segments) {
+    prune_segments(cfg_.durability.dir, s.lsn);
+  }
+  metrics_.on_snapshot();
+  batches_since_snapshot_ = 0;
 }
 
 SortService::~SortService() { drain(); }
@@ -68,6 +198,7 @@ void SortService::start() {
 
 Admission SortService::submit(JobSpec job, Status* why) {
   Admission a;
+  bool counted = false;
   const Status invalid = job.validate_status();
   if (!invalid.ok()) {
     a = Admission::kRejectedInvalid;
@@ -80,14 +211,42 @@ Admission SortService::submit(JobSpec job, Status* why) {
     a = Admission::kRejectedFault;
   } else {
     job.host_submit_s = now_s();
-    a = queue_.try_submit(std::move(job));
+    if (durable()) {
+      // Serialized against checkpoint capture; see durable_mu_. The
+      // admit record is fsynced before the client sees kAccepted — an
+      // accepted job is never lost to a crash.
+      const std::lock_guard<std::mutex> lock(durable_mu_);
+      if (known_ids_.count(job.id) != 0) {
+        // Idempotent resubmission (e.g. a client blindly replaying its
+        // trace after our crash): the job's fate is already owned by the
+        // journal; never run it twice.
+        a = Admission::kRejectedDuplicate;
+      } else {
+        std::uint64_t seq = 0;
+        a = queue_.try_submit(job, &seq);
+        if (a == Admission::kAccepted) {
+          known_ids_.insert(job.id);
+          JournalRecord r;
+          r.type = RecordType::kAdmit;
+          r.seq = seq;
+          job.svc_seq = seq;
+          r.job = std::move(job);
+          journal_->append(r);
+          metrics_.on_admission(a);
+          counted = true;
+        }
+      }
+    } else {
+      a = queue_.try_submit(std::move(job));
+    }
   }
   if (why != nullptr) *why = invalid.ok() ? admission_status(a) : invalid;
-  metrics_.on_admission(a);
+  if (!counted) metrics_.on_admission(a);
   return a;
 }
 
 void SortService::drain() {
+  if (drained_) return;  // idempotent: the first drain did all the work
   queue_.close();
   if (server_.joinable()) {
     server_.join();
@@ -96,6 +255,8 @@ void SortService::drain() {
     // inline, so drain() always leaves the queue empty.
     server_loop();
   }
+  if (durable()) write_checkpoint();  // final checkpoint + segment prune
+  drained_ = true;
 }
 
 std::vector<JobResult> SortService::take_results() {
@@ -107,6 +268,9 @@ std::vector<JobResult> SortService::replay(
     const std::vector<JobSpec>& trace) {
   DSM_REQUIRE(!started_, "replay requires a service not running live");
   DSM_REQUIRE(!queue_.closed(), "service already drained");
+  DSM_REQUIRE(!durable(),
+              "replay bypasses admission journaling; durable services use "
+              "submit + drain");
   std::vector<JobSpec> batch;
   for (std::size_t begin = 0; begin < trace.size();
        begin += cfg_.max_batch) {
@@ -160,9 +324,11 @@ void SortService::plan_one(const JobSpec& job, JobResult& out,
                            std::optional<Plan>& plan) {
   for (int attempt = 0;; ++attempt) {
     Status failure;
+    int fired_site = -1;
     if (injector_.should_fire(FaultSite::kPlannerCalibration, job.id,
                               attempt)) {
       metrics_.on_fault(FaultSite::kPlannerCalibration);
+      fired_site = static_cast<int>(FaultSite::kPlannerCalibration);
       failure =
           FaultInjector::fire(FaultSite::kPlannerCalibration, job.id, attempt);
     } else {
@@ -177,12 +343,14 @@ void SortService::plan_one(const JobSpec& job, JobResult& out,
     if (failure.retryable() && attempt + 1 < cfg_.max_attempts) {
       // Planning is host-cheap; record the backoff but never sleep for it.
       out.attempts.push_back(AttemptRecord{failure.to_string(), true,
-                                           backoff_ms_for(job, attempt)});
+                                           backoff_ms_for(job, attempt),
+                                           fired_site});
       continue;
     }
     out.status = JobStatus::kFailed;
     out.final_status = failure;
     out.error = failure.message();
+    out.final_fault_site = fired_site;
     return;
   }
 }
@@ -196,7 +364,22 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
   // on admission order and batch geometry, not on the worker count.
   for (std::size_t i = 0; i < count; ++i) {
     results[i].id = batch[i].id;
-    plan_one(batch[i], results[i], plans[i]);
+    if (batch[i].recovered_plan.has_value()) {
+      // Execute exactly the plan a pre-crash incarnation journaled:
+      // re-planning could see calibration state the original plan
+      // pre-dated and drift from the uncrashed run.
+      plans[i] = batch[i].recovered_plan;
+      results[i].plan = *plans[i];
+    } else {
+      plan_one(batch[i], results[i], plans[i]);
+      if (durable() && plans[i].has_value()) {
+        JournalRecord r;
+        r.type = RecordType::kPlanned;
+        r.seq = batch[i].svc_seq;
+        r.plan = *plans[i];
+        journal_->append(r);
+      }
+    }
 
     // Predicted-cost load shedding: if even the calibrated estimate blows
     // the deadline, refuse to burn the machine time. Critical jobs are
@@ -218,19 +401,30 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
 
   // Execute concurrently; every cell only writes its own slot and never
   // throws (failures are recorded in the slot), so one poisoned job
-  // cannot take down the round.
-  const std::uint64_t base_seq = processed_;
+  // cannot take down the round. The per-job index is the admission seq —
+  // stable across crash recovery, and identical to the old running count
+  // for an uncrashed service (accepted jobs number densely from 0).
   sim::run_indexed(count, cfg_.workers, [&](std::size_t i) {
     if (cfg_.input_cache_budget_bytes != 0) {
       sort::input_cache_set_budget(cfg_.input_cache_budget_bytes);
     }
     if (!plans[i].has_value()) return;  // failed at planning, or shed
-    execute_one(batch[i], *plans[i], base_seq + i, results[i]);
+    execute_one(batch[i], *plans[i], batch[i].svc_seq, results[i]);
   });
 
   // Observe and record in batch order — deterministic calibration. Only
-  // jobs that actually ran carry a measurement worth folding in.
+  // jobs that actually ran carry a measurement worth folding in. The
+  // terminal record is journaled *before* the in-memory state changes
+  // (write-ahead): a crash in between replays the observation from the
+  // journal.
   for (std::size_t i = 0; i < count; ++i) {
+    if (durable()) {
+      JournalRecord r;
+      r.type = RecordType::kTerminal;
+      r.seq = batch[i].svc_seq;
+      r.result = results[i];
+      journal_->append(r);
+    }
     if ((results[i].status == JobStatus::kOk ||
          results[i].status == JobStatus::kDeadlineMiss) &&
         results[i].measured_ns > 0) {
@@ -238,12 +432,21 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
     }
     metrics_.on_complete(results[i]);
   }
-  processed_ += count;
 
-  const std::lock_guard<std::mutex> lock(results_mu_);
-  results_.insert(results_.end(),
-                  std::make_move_iterator(results.begin()),
-                  std::make_move_iterator(results.end()));
+  {
+    const std::lock_guard<std::mutex> lock(results_mu_);
+    results_.insert(results_.end(),
+                    std::make_move_iterator(results.begin()),
+                    std::make_move_iterator(results.end()));
+  }
+
+  if (durable()) {
+    ++batches_since_snapshot_;
+    if (cfg_.durability.snapshot_every_batches > 0 &&
+        batches_since_snapshot_ >= cfg_.durability.snapshot_every_batches) {
+      write_checkpoint();
+    }
+  }
 }
 
 void SortService::execute_one(const JobSpec& job, const Plan& plan,
@@ -253,16 +456,39 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
       job.deadline_us > 0 && job.priority < kCriticalPriority;
 
   for (int attempt = 0;; ++attempt) {
+    if (durable()) {
+      JournalRecord r;
+      r.type = RecordType::kAttemptStart;
+      r.seq = seq;
+      r.attempt = attempt;
+      journal_->append(r);
+    }
+    int fired_site = -1;
     sort::SortSpec spec =
         spec_for(job, plan.algo, plan.model, plan.radix_bits);
-    spec.hooks.on_site = [this, id = job.id, attempt, deadline_ns,
-                          abortable](const char* site, double virtual_ns) {
+    spec.hooks.on_site = [this, id = job.id, attempt, deadline_ns, abortable,
+                          seq, &fired_site](const char* site,
+                                            double virtual_ns) {
+      if (durable() && cfg_.durability.journal_marks) {
+        // Progress mark: pins a crash during this phase to the precise
+        // "execute:<site>" identity quarantine counting keys on.
+        JournalRecord m;
+        m.type = RecordType::kMark;
+        m.seq = seq;
+        m.site = site;
+        journal_->append(m);
+      }
+      if (durable() && cfg_.durability.crash_hook) {
+        cfg_.durability.crash_hook(
+            (std::string("exec.") + site).c_str(), seq);
+      }
       const bool keygen = std::strcmp(site, "keygen") == 0;
       const FaultSite fsite =
           keygen ? FaultSite::kKeygen : FaultSite::kSortPhase;
       const std::uint64_t salt = keygen ? 0 : fault_salt(site);
       if (injector_.should_fire(fsite, id, attempt, salt)) {
         metrics_.on_fault(fsite);
+        fired_site = static_cast<int>(fsite);
         throw StatusError(FaultInjector::fire(fsite, id, attempt));
       }
       // Cooperative straggler abort: virtual time already past the
@@ -282,6 +508,7 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
         // The sort finished but its result was lost on the way out; the
         // whole attempt must rerun.
         metrics_.on_fault(FaultSite::kSerialize);
+        fired_site = static_cast<int>(FaultSite::kSerialize);
         failure = FaultInjector::fire(FaultSite::kSerialize, job.id, attempt);
       } else {
         out.measured_ns = r->elapsed_ns;
@@ -309,7 +536,16 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
 
     if (failure.retryable() && attempt + 1 < cfg_.max_attempts) {
       const double back = backoff_ms_for(job, attempt);
-      out.attempts.push_back(AttemptRecord{failure.to_string(), true, back});
+      out.attempts.push_back(
+          AttemptRecord{failure.to_string(), true, back, fired_site});
+      if (durable()) {
+        JournalRecord ar;
+        ar.type = RecordType::kAttemptResult;
+        ar.seq = seq;
+        ar.attempt = attempt;
+        ar.attempt_result = out.attempts.back();
+        journal_->append(ar);
+      }
       if (job.host_submit_s > 0) {
         // Live mode only: replay must not depend on host sleeping.
         std::this_thread::sleep_for(
@@ -320,6 +556,7 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
     out.status = JobStatus::kFailed;
     out.final_status = failure;
     out.error = failure.message();
+    out.final_fault_site = fired_site;
     return;
   }
 

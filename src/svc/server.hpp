@@ -37,18 +37,54 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "svc/faults.hpp"
 #include "svc/job.hpp"
+#include "svc/journal.hpp"
 #include "svc/metrics.hpp"
 #include "svc/planner.hpp"
 #include "svc/queue.hpp"
+#include "svc/recovery.hpp"
 
 namespace dsm::svc {
+
+/// Durability: write-ahead journal + calibration snapshots + crash
+/// recovery. Off by default (empty dir); turning it on makes the service
+/// single-worker (the recovery contract — snapshots taken between
+/// batches cover every in-flight job — needs one processing pipeline).
+struct DurabilityConfig {
+  /// Directory for journal segments, the snapshot, and the quarantine
+  /// file. Empty = durability off. Recovered on construction when it
+  /// already holds state.
+  std::string dir;
+  /// Checkpoint every N processed batches (0 = only on drain). Each
+  /// checkpoint rotates the journal and prunes covered segments.
+  int snapshot_every_batches = 8;
+  /// fsync journal appends (the durability guarantee; see JournalConfig).
+  bool fsync_data = true;
+  std::uint64_t segment_max_bytes = std::uint64_t{1} << 20;
+  /// Journal per-phase execution marks (what pins a crash to a precise
+  /// "execute:<site>" identity for quarantine counting).
+  bool journal_marks = true;
+  /// A job whose process died this many times in a row at the same site
+  /// is quarantined instead of re-admitted.
+  int quarantine_threshold = 2;
+  /// Keep journal segments a snapshot has covered instead of pruning
+  /// them (the crash harness audits full history across incarnations).
+  bool keep_all_segments = false;
+  /// Test/harness hook fired at every durability I/O site; see
+  /// JournalConfig::crash_hook.
+  std::function<void(const char* site, std::uint64_t seq)> crash_hook;
+
+  bool enabled() const { return !dir.empty(); }
+};
 
 struct ServiceConfig {
   std::size_t queue_capacity = 64;
@@ -72,6 +108,7 @@ struct ServiceConfig {
   /// Fault injection (disabled by default: seed 0 / rate 0).
   FaultConfig faults;
   PlannerConfig planner;
+  DurabilityConfig durability;
 };
 
 class SortService {
@@ -107,7 +144,19 @@ class SortService {
   const JobQueue& queue() const { return queue_; }
   const ServiceConfig& config() const { return cfg_; }
 
+  /// What construction-time recovery did (all-zero when durability is
+  /// off or the directory was fresh).
+  const RecoveryReport& recovery_report() const { return recovery_report_; }
+
  private:
+  bool durable() const { return cfg_.durability.enabled(); }
+  void recover();
+  /// Refuse to re-admit a poison job: journal the quarantine + terminal,
+  /// append the quarantine file, surface a kQuarantined JobResult.
+  void quarantine_job(QuarantineEntry entry);
+  /// Checkpoint planner + metrics + queued jobs, rotate the journal,
+  /// prune covered segments (server thread only).
+  void write_checkpoint();
   void server_loop();
   void process_batch(std::vector<JobSpec>& batch);
   /// Plan one job with planner-calibration fault injection and retry;
@@ -129,7 +178,20 @@ class SortService {
 
   std::thread server_;
   bool started_ = false;
-  std::uint64_t processed_ = 0;  // accepted-job sequence counter
+  bool drained_ = false;
+
+  // Durability (all empty/null when cfg_.durability is off).
+  std::unique_ptr<JournalWriter> journal_;
+  RecoveryReport recovery_report_;
+  /// Serializes durable admissions against checkpoint capture, so a
+  /// snapshot either fully contains an admission (metrics + queue entry)
+  /// or the admission's journal record lands past the snapshot LSN —
+  /// never half of each.
+  std::mutex durable_mu_;
+  /// Every job id ever admitted (duplicate-submit filter; guarded by
+  /// durable_mu_).
+  std::unordered_set<std::uint64_t> known_ids_;
+  int batches_since_snapshot_ = 0;
 
   std::mutex results_mu_;
   std::vector<JobResult> results_;

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "common/prng.hpp"
 #include "perf/report.hpp"
 
@@ -136,7 +137,7 @@ std::vector<JobSpec> trace_from_text(const std::string& text) {
 }
 
 void write_trace(const std::string& path, std::span<const JobSpec> jobs) {
-  perf::write_file(path, trace_to_text(jobs));
+  write_file_atomic(path, trace_to_text(jobs));
 }
 
 std::vector<JobSpec> read_trace(const std::string& path) {

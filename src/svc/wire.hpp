@@ -1,0 +1,129 @@
+// Internal wire-format helpers shared by the journal and snapshot codecs.
+//
+// Both durability files carry text payloads inside CRC-framed binary
+// blobs. The text grammar is deliberately tiny: whitespace-separated
+// tokens, integers in decimal, doubles in hexfloat (so they round-trip
+// bit-exactly — the calibration-identity guarantee depends on it), and
+// strings as netstrings ("<len>:<bytes>", binary-safe). Malformed input
+// always surfaces as StatusError(kCorruptJournal), never UB.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dsm::svc::wire {
+
+/// A record larger than this cannot be legitimate; a bigger length field
+/// means the framing is damaged.
+constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+inline std::string dbl(double v) {
+  std::ostringstream os;
+  os << std::hexfloat << v;
+  return os.str();
+}
+
+inline std::string netstr(const std::string& s) {
+  return std::to_string(s.size()) + ":" + s;
+}
+
+inline void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+  out.push_back(static_cast<char>((v >> 16) & 0xff));
+  out.push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+inline std::uint32_t get_u32le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/// Whitespace-token / netstring parser over one payload. Every
+/// malformation throws StatusError(kCorruptJournal).
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  std::string tok() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("unexpected end of record");
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != ' ') ++pos_;
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::uint64_t u64() {
+    const std::string t = tok();
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+    if (errno != 0 || t.empty() || end != t.c_str() + t.size()) {
+      fail("bad integer: " + t);
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+
+  int i32() {
+    const std::string t = tok();
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(t.c_str(), &end, 10);
+    if (errno != 0 || t.empty() || end != t.c_str() + t.size()) {
+      fail("bad integer: " + t);
+    }
+    return static_cast<int>(v);
+  }
+
+  double d() {
+    const std::string t = tok();
+    char* end = nullptr;
+    const double v = std::strtod(t.c_str(), &end);
+    if (t.empty() || end != t.c_str() + t.size()) fail("bad double: " + t);
+    return v;
+  }
+
+  bool b() {
+    const std::uint64_t v = u64();
+    if (v > 1) fail("bad bool");
+    return v == 1;
+  }
+
+  std::string str() {
+    skip_ws();
+    std::size_t len = 0;
+    bool any = false;
+    while (pos_ < s_.size() && s_[pos_] >= '0' && s_[pos_] <= '9') {
+      len = len * 10 + static_cast<std::size_t>(s_[pos_] - '0');
+      if (len > kMaxRecordBytes) fail("netstring too long");
+      ++pos_;
+      any = true;
+    }
+    if (!any || pos_ >= s_.size() || s_[pos_] != ':') fail("bad netstring");
+    ++pos_;  // ':'
+    if (pos_ + len > s_.size()) fail("netstring overruns record");
+    std::string out = s_.substr(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && s_[pos_] == ' ') ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& why) {
+    throw StatusError(Status::corrupt_journal("durability payload: " + why));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace dsm::svc::wire

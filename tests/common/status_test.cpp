@@ -33,7 +33,8 @@ TEST(Status, FactoriesFixCodeAndRetryability) {
   for (const Status& s :
        {Status::invalid_argument("x"), Status::infeasible("x"),
         Status::deadline_exceeded("x"), Status::cancelled("x"),
-        Status::unavailable("x"), Status::internal("x")}) {
+        Status::unavailable("x"), Status::corrupt_journal("x"),
+        Status::quarantined("x"), Status::internal("x")}) {
     EXPECT_FALSE(s.retryable()) << s.to_string();
     EXPECT_FALSE(s.ok());
   }
@@ -59,6 +60,7 @@ TEST(Status, CodeNamesCoverEveryCode) {
         StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
         StatusCode::kResourceExhausted, StatusCode::kUnavailable,
         StatusCode::kFaultInjected, StatusCode::kIoError,
+        StatusCode::kCorruptJournal, StatusCode::kQuarantined,
         StatusCode::kInternal}) {
     EXPECT_STRNE(status_code_name(c), "?");
   }

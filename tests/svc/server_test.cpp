@@ -178,6 +178,36 @@ TEST(SortService, InvalidJobsAreRejectedAtAdmission) {
   svc.drain();
 }
 
+TEST(SortService, DrainIsIdempotent) {
+  SortService svc(small_config(2));
+  svc.start();
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    EXPECT_EQ(svc.submit(small_job(id)), Admission::kAccepted);
+  }
+  svc.drain();
+  const std::size_t completed = svc.take_results().size();
+  EXPECT_EQ(completed, 4u);
+  // A second (and third) drain is a no-op: no crash, no double-join, no
+  // extra results, counters untouched.
+  svc.drain();
+  svc.drain();
+  EXPECT_TRUE(svc.take_results().empty());
+  EXPECT_EQ(svc.metrics().counters().completed, 4u);
+}
+
+TEST(SortService, SubmitAfterDrainIsRejectedClosedForever) {
+  SortService svc(small_config(1));
+  svc.drain();  // never started; inline drain of an empty queue
+  for (int i = 0; i < 3; ++i) {
+    Status why;
+    EXPECT_EQ(svc.submit(small_job(7), &why), Admission::kRejectedClosed);
+    EXPECT_EQ(why.code(), StatusCode::kUnavailable);
+  }
+  svc.drain();  // idempotent after the rejects too
+  EXPECT_EQ(svc.metrics().counters().rejected_closed, 3u);
+  EXPECT_EQ(svc.metrics().counters().completed, 0u);
+}
+
 TEST(SortService, ConfigIsValidated) {
   ServiceConfig batch_too_big;
   batch_too_big.queue_capacity = 2;
