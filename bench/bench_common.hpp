@@ -12,6 +12,8 @@
 // Common options: --sizes 1M,4M --procs 16,32,64 --radix 8 --seed 1
 //                 --full --csv <dir> --jobs N (0 = all hardware threads;
 //                 default from DSMSORT_JOBS, else 1)
+//                 --kernels reference|optimized (host radix kernels;
+//                 charge-invariant, default optimized or DSMSORT_KERNELS)
 #pragma once
 
 #include <iostream>
@@ -48,7 +50,7 @@ inline BenchEnv parse_env(int argc, char** argv,
                           std::vector<std::string> extra_known = {}) {
   ArgParser args(argc, argv);
   std::vector<std::string> known{"sizes", "procs", "radix", "seed",
-                                 "full", "csv", "jobs"};
+                                 "full", "csv", "jobs", "kernels"};
   known.insert(known.end(), extra_known.begin(), extra_known.end());
   args.check_known(known);
 
@@ -61,6 +63,10 @@ inline BenchEnv parse_env(int argc, char** argv,
   env.jobs = sim::resolve_jobs(static_cast<int>(
       args.get_int("jobs", sim::default_jobs())));
   env.csv_dir = args.get("csv", "");
+  const std::string kernels = args.get("kernels", "");
+  if (!kernels.empty()) {
+    sort::set_default_kernel_backend(sort::kernel_backend_from_name(kernels));
+  }
   return env;
 }
 
@@ -73,6 +79,8 @@ inline void banner(const std::string& what, const BenchEnv& env) {
   std::cout << "  procs:";
   for (const int p : env.procs) std::cout << ' ' << p;
   std::cout << "  engine: " << engine_name(default_spmd_engine())
+            << "  kernels: "
+            << sort::kernel_backend_name(sort::default_kernel_backend())
             << "  jobs: " << env.jobs;
   std::cout << "\n\n";
 }

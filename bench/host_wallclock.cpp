@@ -1,7 +1,9 @@
-// Host wall-clock benchmark for the execution engine: times the Figure-3
-// radix sweep under the seed thread-per-rank engine and the cooperative
-// fiber engine, asserts the two produce bit-identical virtual times, and
-// writes the measurements to BENCH_host.json.
+// Host wall-clock benchmark for the execution engine and the host radix
+// kernels: times the Figure-3 radix sweep under the seed thread-per-rank
+// engine and the cooperative fiber engine, asserts the two produce
+// bit-identical virtual times, times the reference vs optimized kernel
+// backends with a per-kernel (histogram / permute / copy) split per
+// (n, radix_bits) cell, and writes the measurements to BENCH_host.json.
 //
 // Also times a barrier-bound configuration (small keys, 64 ranks) where
 // engine overhead — kernel barriers and context switches vs in-process
@@ -10,6 +12,7 @@
 // Options: the common set (--sizes/--procs/--radix/--seed/--jobs) plus
 //   --quick      small sizes + fewer reps (the ctest wiring uses this)
 //   --out PATH   where to write the JSON (default BENCH_host.json)
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <sstream>
@@ -20,6 +23,7 @@
 #include "common/error.hpp"
 #include "common/fsio.hpp"
 #include "perf/report.hpp"
+#include "sort/kernels.hpp"
 
 namespace {
 
@@ -88,6 +92,156 @@ double timed_barrier_micro(std::uint64_t n, int procs, int reps,
   return now_s() - t0;
 }
 
+/// Wall time of one full sort split by kernel: counting sweeps (plus the
+/// bucket prefix scans), permutation passes, and the final copy-back.
+struct KernelSplit {
+  double hist_s = 0;
+  double permute_s = 0;
+  double copy_s = 0;
+  double total() const { return hist_s + permute_s + copy_s; }
+
+  KernelSplit& operator+=(const KernelSplit& o) {
+    hist_s += o.hist_s;
+    permute_s += o.permute_s;
+    copy_s += o.copy_s;
+    return *this;
+  }
+};
+
+/// One uncharged host sort of `keys` (in place), mirroring seq_radix_sort
+/// with a timer around each kernel. Structured exactly like the library
+/// driver so the split attributes the same work the sorts execute.
+KernelSplit timed_kernel_sort(sort::KernelBackend be, std::span<Key> keys,
+                              std::span<Key> tmp, int radix_bits,
+                              sort::RadixWorkspace& ws) {
+  using sort::KernelBackend;
+  const int passes = sort::radix_passes(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  const std::size_t n = keys.size();
+  KernelSplit split;
+  ws.prepare(radix_bits, passes);
+  std::vector<std::uint64_t> cursor(buckets);
+  auto prefix_into_cursor = [&](std::span<const std::uint64_t> hist) {
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      cursor[b] = acc;
+      acc += hist[b];
+    }
+  };
+
+  if (be == KernelBackend::kReference) {
+    std::span<Key> in = keys;
+    std::span<Key> out = tmp.subspan(0, n);
+    const std::span<std::uint64_t> hist(ws.hist.data(), buckets);
+    for (int pass = 0; pass < passes; ++pass) {
+      double t = now_s();
+      const std::uint64_t active =
+          sort::histogram_kernel(be, in, pass, radix_bits, hist);
+      prefix_into_cursor(hist);
+      split.hist_s += now_s() - t;
+      t = now_s();
+      (void)sort::permute_kernel(be, in, out, pass, radix_bits, cursor,
+                                 active, ws);
+      split.permute_s += now_s() - t;
+      std::swap(in, out);
+    }
+    if (in.data() != keys.data()) {
+      const double t = now_s();
+      std::copy_n(in.data(), n, keys.data());
+      split.copy_s += now_s() - t;
+    }
+    return split;
+  }
+
+  double t = now_s();
+  const std::span<std::uint64_t> pass_hist(
+      ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
+  sort::multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist);
+  split.hist_s += now_s() - t;
+  bool in_keys = true;
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const std::uint64_t> hist_p = pass_hist.subspan(
+        static_cast<std::size_t>(pass) * buckets, buckets);
+    t = now_s();
+    const std::uint64_t active = sort::count_active(hist_p);
+    if (active <= 1) {
+      split.hist_s += now_s() - t;
+      continue;
+    }
+    prefix_into_cursor(hist_p);
+    split.hist_s += now_s() - t;
+    t = now_s();
+    const std::span<Key> src = in_keys ? keys : tmp.subspan(0, n);
+    const std::span<Key> dst = in_keys ? tmp.subspan(0, n) : keys;
+    (void)sort::permute_kernel(be, src, dst, pass, radix_bits, cursor, active,
+                               ws);
+    split.permute_s += now_s() - t;
+    in_keys = !in_keys;
+  }
+  if (!in_keys) {
+    t = now_s();
+    std::copy_n(tmp.data(), n, keys.data());
+    split.copy_s += now_s() - t;
+  }
+  return split;
+}
+
+struct KernelCell {
+  std::uint64_t n = 0;
+  int radix_bits = 0;
+  KernelSplit reference;
+  KernelSplit optimized;
+  double speedup = 0;
+};
+
+/// Per-(n, radix_bits) kernel times, best of `reps` full sorts per
+/// backend, on the same gauss input both backends must sort identically.
+KernelCell timed_kernel_cell(std::uint64_t n, int radix_bits, int reps,
+                             std::uint64_t seed) {
+  KernelCell cell;
+  cell.n = n;
+  cell.radix_bits = radix_bits;
+  std::vector<Key> input(n);
+  keys::GenSpec gen;
+  gen.n_total = n;
+  gen.nprocs = 1;
+  gen.radix_bits = radix_bits;
+  gen.seed = seed;
+  keys::generate(keys::Dist::kGauss, input, gen);
+
+  std::vector<Key> work(n), tmp(n), expect;
+  sort::RadixWorkspace ws;
+  auto best_of = [&](sort::KernelBackend be) {
+    KernelSplit best;
+    double best_total = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::copy(input.begin(), input.end(), work.begin());
+      const KernelSplit s =
+          timed_kernel_sort(be, work, tmp, radix_bits, ws);
+      if (rep == 0 || s.total() < best_total) {
+        best = s;
+        best_total = s.total();
+      }
+    }
+    return best;
+  };
+  cell.reference = best_of(sort::KernelBackend::kReference);
+  expect = work;  // reference's sorted output
+  cell.optimized = best_of(sort::KernelBackend::kOptimized);
+  DSM_CHECK(work == expect, "kernel backends disagree on sorted output");
+  cell.speedup = cell.reference.total() / cell.optimized.total();
+  return cell;
+}
+
+std::string json_split(const KernelSplit& s) {
+  std::ostringstream os;
+  os << "{\"hist_s\": " << fmt_fixed(s.hist_s, 4)
+     << ", \"permute_s\": " << fmt_fixed(s.permute_s, 4)
+     << ", \"copy_s\": " << fmt_fixed(s.copy_s, 4)
+     << ", \"total_s\": " << fmt_fixed(s.total(), 4) << "}";
+  return os.str();
+}
+
 std::string json_list(const std::vector<std::uint64_t>& v) {
   std::ostringstream os;
   os << '[';
@@ -153,6 +307,29 @@ int main(int argc, char** argv) {
         micro_n, micro_p, micro_reps, env.seed, SpmdEngine::kCooperative);
     const double micro_speedup = micro_threads / micro_coop;
 
+    // Kernel backends: per-(n, radix_bits) cells with a histogram /
+    // permute / copy split. The fig3-default aggregate sums the cells at
+    // the sweep's radix width — the kernel work the figure sweeps execute.
+    const int kernel_reps = quick ? 2 : 3;
+    std::vector<int> kernel_radix{8, 11, 16};
+    if (std::find(kernel_radix.begin(), kernel_radix.end(), env.radix_bits) ==
+        kernel_radix.end()) {
+      kernel_radix.insert(kernel_radix.begin(), env.radix_bits);
+    }
+    std::vector<KernelCell> kernel_cells;
+    KernelSplit fig3_ref, fig3_opt;
+    for (const auto n : env.sizes) {
+      for (const int rb : kernel_radix) {
+        kernel_cells.push_back(timed_kernel_cell(n, rb, kernel_reps,
+                                                 env.seed));
+        if (rb == env.radix_bits) {
+          fig3_ref += kernel_cells.back().reference;
+          fig3_opt += kernel_cells.back().optimized;
+        }
+      }
+    }
+    const double fig3_kernel_speedup = fig3_ref.total() / fig3_opt.total();
+
     std::cout << "  fig3-style sweep: threads " << fmt_fixed(wall_threads, 2)
               << "s  coop " << fmt_fixed(wall_coop, 2) << "s  speedup "
               << fmt_fixed(sweep_speedup, 2) << "x\n"
@@ -160,7 +337,21 @@ int main(int argc, char** argv) {
               << " reps): threads " << fmt_fixed(micro_threads, 2)
               << "s  coop " << fmt_fixed(micro_coop, 2) << "s  speedup "
               << fmt_fixed(micro_speedup, 2) << "x\n"
-              << "  virtual times bit-identical across engines: yes\n";
+              << "  virtual times bit-identical across engines: yes\n"
+              << "  kernel backends (reference -> optimized, best of "
+              << kernel_reps << "):\n";
+    for (const KernelCell& c : kernel_cells) {
+      std::cout << "    n=" << fmt_count(c.n) << " r=" << c.radix_bits
+                << ": " << fmt_fixed(c.reference.total(), 3) << "s -> "
+                << fmt_fixed(c.optimized.total(), 3) << "s ("
+                << fmt_fixed(c.speedup, 2) << "x; hist "
+                << fmt_fixed(c.reference.hist_s, 3) << "->"
+                << fmt_fixed(c.optimized.hist_s, 3) << " permute "
+                << fmt_fixed(c.reference.permute_s, 3) << "->"
+                << fmt_fixed(c.optimized.permute_s, 3) << ")\n";
+    }
+    std::cout << "  fig3-default kernel speedup (radix " << env.radix_bits
+              << "): " << fmt_fixed(fig3_kernel_speedup, 2) << "x\n";
 
     std::ostringstream js;
     js << "{\n"
@@ -185,6 +376,23 @@ int main(int argc, char** argv) {
        << ", \"threads_wall_s\": " << fmt_fixed(micro_threads, 3)
        << ", \"coop_wall_s\": " << fmt_fixed(micro_coop, 3)
        << ", \"speedup\": " << fmt_fixed(micro_speedup, 3) << "},\n"
+       << "  \"kernels\": {\"description\": \"host radix kernel backends, "
+       << "uncharged full sorts, best of " << kernel_reps
+       << " reps, gauss keys; backends sort byte-identically\",\n"
+       << "    \"cells\": [\n";
+    for (std::size_t i = 0; i < kernel_cells.size(); ++i) {
+      const KernelCell& c = kernel_cells[i];
+      js << "      {\"n\": " << c.n << ", \"radix_bits\": " << c.radix_bits
+         << ", \"reference\": " << json_split(c.reference)
+         << ", \"optimized\": " << json_split(c.optimized)
+         << ", \"speedup\": " << fmt_fixed(c.speedup, 3) << "}"
+         << (i + 1 < kernel_cells.size() ? "," : "") << "\n";
+    }
+    js << "    ],\n"
+       << "    \"fig3_default\": {\"radix_bits\": " << env.radix_bits
+       << ", \"reference\": " << json_split(fig3_ref)
+       << ", \"optimized\": " << json_split(fig3_opt)
+       << ", \"speedup\": " << fmt_fixed(fig3_kernel_speedup, 3) << "}},\n"
        << "  \"notes\": \"Sweep cells at the default sizes are dominated "
        << "by the charged sort compute itself (the simulator executes "
        << "real radix passes), so the engine speedup there is modest; "

@@ -23,21 +23,31 @@ std::vector<Key> make_keys(Index n, keys::Dist d = keys::Dist::kRandom) {
   return keys;
 }
 
+/// Both kernel backends over the same inputs: args are (n, radix_bits,
+/// backend). The backends sort byte-identically (enforced by the
+/// equivalence tier), so the items/s ratio per (n, radix) cell is the pure
+/// host-kernel speedup.
 void BM_SeqRadixSort(benchmark::State& state) {
   const auto n = static_cast<Index>(state.range(0));
   const int radix = static_cast<int>(state.range(1));
+  const auto backend = static_cast<sort::KernelBackend>(state.range(2));
   const auto input = make_keys(n);
   std::vector<Key> keys(n), tmp(n);
+  sort::RadixWorkspace ws;
   for (auto _ : state) {
     std::copy(input.begin(), input.end(), keys.begin());
-    sort::seq_radix_sort(keys, tmp, radix);
+    sort::seq_radix_sort(keys, tmp, radix, backend, ws);
     benchmark::DoNotOptimize(keys.data());
   }
+  state.SetLabel(sort::kernel_backend_name(backend));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SeqRadixSort)
-    ->ArgsProduct({{1 << 12, 1 << 16, 1 << 20}, {8, 11, 16}});
+    ->ArgsProduct({{1 << 12, 1 << 16, 1 << 20},
+                   {8, 11, 16},
+                   {static_cast<int>(sort::KernelBackend::kReference),
+                    static_cast<int>(sort::KernelBackend::kOptimized)}});
 
 void BM_StdSort(benchmark::State& state) {
   const auto n = static_cast<Index>(state.range(0));
@@ -66,5 +76,24 @@ void BM_HistogramPass(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_HistogramPass)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MultiHistogram(benchmark::State& state) {
+  const auto n = static_cast<Index>(state.range(0));
+  const auto backend = static_cast<sort::KernelBackend>(state.range(1));
+  const auto keys = make_keys(n);
+  const int passes = 4;  // radix 8 over 31-bit keys
+  std::vector<std::uint64_t> pass_hist(passes * 256);
+  for (auto _ : state) {
+    sort::multi_histogram_kernel(backend, keys, passes, 8, pass_hist);
+    benchmark::DoNotOptimize(pass_hist.data());
+  }
+  state.SetLabel(sort::kernel_backend_name(backend));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MultiHistogram)
+    ->ArgsProduct({{1 << 16, 1 << 20},
+                   {static_cast<int>(sort::KernelBackend::kReference),
+                    static_cast<int>(sort::KernelBackend::kOptimized)}});
 
 }  // namespace

@@ -1,0 +1,349 @@
+#include "sort/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/bits.hpp"
+#include "common/error.hpp"
+
+namespace dsm::sort {
+namespace {
+
+KernelBackend env_kernel_backend() {
+  const char* env = std::getenv("DSMSORT_KERNELS");
+  if (env == nullptr || *env == '\0') return KernelBackend::kOptimized;
+  return kernel_backend_from_name(env);
+}
+
+std::atomic<KernelBackend>& backend_override() {
+  static std::atomic<KernelBackend> b{env_kernel_backend()};
+  return b;
+}
+
+}  // namespace
+
+const char* kernel_backend_name(KernelBackend b) {
+  switch (b) {
+    case KernelBackend::kReference: return "reference";
+    case KernelBackend::kOptimized: return "optimized";
+  }
+  return "?";
+}
+
+KernelBackend kernel_backend_from_name(const std::string& name) {
+  if (name == "reference") return KernelBackend::kReference;
+  if (name == "optimized") return KernelBackend::kOptimized;
+  throw Error("kernel backend must be 'reference' or 'optimized', got: " +
+              name);
+}
+
+KernelBackend default_kernel_backend() {
+  return backend_override().load(std::memory_order_relaxed);
+}
+
+void set_default_kernel_backend(KernelBackend b) {
+  backend_override().store(b, std::memory_order_relaxed);
+}
+
+void RadixWorkspace::prepare(int radix_bits) {
+  DSM_REQUIRE(radix_bits >= 1 && radix_bits <= 20, "radix bits out of range");
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  if (hist.size() < buckets) hist.resize(buckets);
+}
+
+void RadixWorkspace::prepare(int radix_bits, int passes) {
+  prepare(radix_bits);
+  DSM_REQUIRE(passes >= 1, "need at least one pass");
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  const std::size_t rows = static_cast<std::size_t>(passes) * buckets;
+  if (pass_hist.size() < rows) pass_hist.resize(rows);
+  // Staging only for bucket counts the WC permute can ever engage for
+  // (past kWcMaxStagingBytes it always falls back to direct stores).
+  if (buckets * kWcLineKeys * sizeof(Key) <= kWcMaxStagingBytes &&
+      wc_keys.size() < buckets * kWcLineKeys) {
+    wc_keys.resize(buckets * kWcLineKeys);
+    wc_fill.assign(buckets, 0);
+    wc_need.assign(buckets, 0);
+  }
+}
+
+RadixWorkspace& tls_radix_workspace() {
+  thread_local RadixWorkspace ws;
+  return ws;
+}
+
+std::uint64_t count_active(std::span<const std::uint64_t> hist) {
+  std::uint64_t active = 0;
+  for (const std::uint64_t c : hist) active += c != 0 ? 1 : 0;
+  return active;
+}
+
+std::uint64_t histogram_kernel(KernelBackend /*be*/,
+                               std::span<const Key> keys, int pass,
+                               int radix_bits,
+                               std::span<std::uint64_t> hist) {
+  DSM_REQUIRE(hist.size() == std::size_t{1} << radix_bits,
+              "histogram span size mismatch");
+  std::fill(hist.begin(), hist.end(), 0);
+  for (const Key k : keys) ++hist[radix_digit(k, pass, radix_bits)];
+  return count_active(hist);
+}
+
+void multi_histogram_kernel(KernelBackend be, std::span<const Key> keys,
+                            int passes, int radix_bits,
+                            std::span<std::uint64_t> pass_hist) {
+  DSM_REQUIRE(passes >= 1, "need at least one pass");
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_REQUIRE(pass_hist.size() >= static_cast<std::size_t>(passes) * buckets,
+              "pass_hist too small");
+  if (be == KernelBackend::kReference) {
+    for (int p = 0; p < passes; ++p) {
+      (void)histogram_kernel(be, keys, p, radix_bits,
+                             pass_hist.subspan(
+                                 static_cast<std::size_t>(p) * buckets,
+                                 buckets));
+    }
+    return;
+  }
+  std::fill(pass_hist.begin(),
+            pass_hist.begin() +
+                static_cast<std::ptrdiff_t>(
+                    static_cast<std::size_t>(passes) * buckets),
+            0);
+  std::uint64_t* const h = pass_hist.data();
+  const auto mask = (std::uint32_t{1} << radix_bits) - 1u;
+  switch (passes) {
+    case 2:
+      for (const Key k : keys) {
+        ++h[k & mask];
+        ++h[buckets + ((k >> radix_bits) & mask)];
+      }
+      return;
+    case 3:
+      for (const Key k : keys) {
+        ++h[k & mask];
+        ++h[buckets + ((k >> radix_bits) & mask)];
+        ++h[2 * buckets + ((k >> (2 * radix_bits)) & mask)];
+      }
+      return;
+    case 4:
+      for (const Key k : keys) {
+        ++h[k & mask];
+        ++h[buckets + ((k >> radix_bits) & mask)];
+        ++h[2 * buckets + ((k >> (2 * radix_bits)) & mask)];
+        ++h[3 * buckets + ((k >> (3 * radix_bits)) & mask)];
+      }
+      return;
+    default:
+      for (const Key k : keys) {
+        std::uint32_t v = k;
+        for (int p = 0; p < passes; ++p) {
+          ++h[static_cast<std::size_t>(p) * buckets + (v & mask)];
+          v >>= radix_bits;
+        }
+      }
+      return;
+  }
+}
+
+namespace {
+
+/// The seed permute loop, kept verbatim apart from the hoisted digit: the
+/// digit is computed once per key and reused for both the scattered write
+/// and the run update (the seed recomputed it when per-element assertions
+/// were compiled in).
+std::uint64_t permute_reference(std::span<const Key> in, std::span<Key> out,
+                                int pass, int radix_bits,
+                                std::span<std::uint64_t> cursor) {
+  std::uint64_t runs = 0;
+  std::uint32_t prev_digit = ~0u;
+  const std::size_t n = in.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Key k = in[i];
+    const std::uint32_t d = radix_digit(k, pass, radix_bits);
+    const std::uint64_t pos = cursor[d]++;
+    DSM_DCHECK(pos < out.size(), "permutation writes past the output");
+    out[pos] = k;
+    runs += d != prev_digit ? 1 : 0;
+    prev_digit = d;
+  }
+  return runs;
+}
+
+/// Software write-combining permute: stage each bucket's keys in a
+/// cache-line buffer and flush it contiguously when full. This is the
+/// paper's CC-SAS-NEW restructuring (locally buffer temporally-scattered
+/// writes, then move them as blocks) applied to the host cache hierarchy:
+/// instead of keeping 2^r partially-written destination lines live at
+/// once, the working set is the 64-byte-per-bucket staging area plus one
+/// destination line per flush.
+std::uint64_t permute_write_combined(std::span<const Key> in,
+                                     std::span<Key> out, int pass,
+                                     int radix_bits,
+                                     std::span<std::uint64_t> cursor,
+                                     RadixWorkspace& ws) {
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_CHECK(ws.wc_keys.size() >= buckets * kWcLineKeys &&
+                ws.wc_fill.size() >= buckets,
+            "write-combining staging not prepared");
+  Key* const wc = ws.wc_keys.data();
+  std::uint32_t* const fill = ws.wc_fill.data();
+  Key* const out_data = out.data();
+  std::uint64_t runs = 0;
+  std::uint32_t prev_digit = ~0u;
+  for (const Key k : in) {
+    const std::uint32_t d = radix_digit(k, pass, radix_bits);
+    runs += d != prev_digit ? 1 : 0;
+    prev_digit = d;
+    std::uint32_t f = fill[d];
+    wc[d * kWcLineKeys + f] = k;
+    if (++f == kWcLineKeys) {
+      const std::uint64_t pos = cursor[d];
+      DSM_DCHECK(pos + kWcLineKeys <= out.size(),
+                 "permutation writes past the output");
+      std::memcpy(out_data + pos, wc + d * kWcLineKeys,
+                  kWcLineKeys * sizeof(Key));
+      cursor[d] = pos + kWcLineKeys;
+      f = 0;
+    }
+    fill[d] = f;
+  }
+  // Drain partial lines in bucket order, restoring the all-zero staging
+  // invariant for the next call.
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::uint32_t f = fill[b];
+    if (f == 0) continue;
+    const std::uint64_t pos = cursor[b];
+    DSM_DCHECK(pos + f <= out.size(), "permutation writes past the output");
+    std::memcpy(out_data + pos, wc + b * kWcLineKeys, f * sizeof(Key));
+    cursor[b] = pos + f;
+    fill[b] = 0;
+  }
+  return runs;
+}
+
+#if defined(__SSE2__)
+/// WC permute variant for DRAM-bound passes: identical staging, but full
+/// lines are flushed with non-temporal stores. The destination is
+/// write-only until the next pass reads it back, so streaming past the
+/// cache saves the read-for-ownership of every destination line (a third
+/// of the pass's memory traffic). Each bucket's first flush is shortened
+/// to the next 64-byte destination boundary so every streaming flush
+/// covers exactly one line — an unaligned flush would straddle two lines
+/// and the CPU's fill buffers would evict both as costly partial writes.
+std::uint64_t permute_wc_stream(std::span<const Key> in, std::span<Key> out,
+                                int pass, int radix_bits,
+                                std::span<std::uint64_t> cursor,
+                                RadixWorkspace& ws) {
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_CHECK(ws.wc_keys.size() >= buckets * kWcLineKeys &&
+                ws.wc_fill.size() >= buckets && ws.wc_need.size() >= buckets,
+            "write-combining staging not prepared");
+  Key* const wc = ws.wc_keys.data();
+  std::uint32_t* const fill = ws.wc_fill.data();
+  std::uint32_t* const need = ws.wc_need.data();
+  Key* const out_data = out.data();
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(out_data + cursor[b]);
+    const std::size_t off = (addr % 64u) / sizeof(Key);
+    need[b] =
+        static_cast<std::uint32_t>(off == 0 ? kWcLineKeys : kWcLineKeys - off);
+  }
+  std::uint64_t runs = 0;
+  std::uint32_t prev_digit = ~0u;
+  for (const Key k : in) {
+    const std::uint32_t d = radix_digit(k, pass, radix_bits);
+    runs += d != prev_digit ? 1 : 0;
+    prev_digit = d;
+    std::uint32_t f = fill[d];
+    wc[d * kWcLineKeys + f] = k;
+    if (++f == need[d]) {
+      const std::uint64_t pos = cursor[d];
+      DSM_DCHECK(pos + f <= out.size(),
+                 "permutation writes past the output");
+      Key* const dst = out_data + pos;
+      const Key* const src = wc + d * kWcLineKeys;
+      if (f == kWcLineKeys) {
+        auto* const q = reinterpret_cast<__m128i*>(dst);
+        const auto* const s = reinterpret_cast<const __m128i*>(src);
+        _mm_stream_si128(q + 0, _mm_loadu_si128(s + 0));
+        _mm_stream_si128(q + 1, _mm_loadu_si128(s + 1));
+        _mm_stream_si128(q + 2, _mm_loadu_si128(s + 2));
+        _mm_stream_si128(q + 3, _mm_loadu_si128(s + 3));
+      } else {
+        // The alignment-phasing flush: ordinary stores, then every later
+        // flush of this bucket starts on a line boundary.
+        std::memcpy(dst, src, f * sizeof(Key));
+        need[d] = kWcLineKeys;
+      }
+      cursor[d] = pos + f;
+      f = 0;
+    }
+    fill[d] = f;
+  }
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::uint32_t f = fill[b];
+    if (f == 0) continue;
+    const std::uint64_t pos = cursor[b];
+    DSM_DCHECK(pos + f <= out.size(), "permutation writes past the output");
+    std::memcpy(out_data + pos, wc + b * kWcLineKeys, f * sizeof(Key));
+    cursor[b] = pos + f;
+    fill[b] = 0;
+  }
+  // Streaming stores are weakly ordered; fence before the caller's next
+  // read or inter-thread hand-off of the destination.
+  _mm_sfence();
+  return runs;
+}
+#endif  // __SSE2__
+
+}  // namespace
+
+std::uint64_t permute_kernel(KernelBackend be, std::span<const Key> in,
+                             std::span<Key> out, int pass, int radix_bits,
+                             std::span<std::uint64_t> cursor,
+                             std::uint64_t active, RadixWorkspace& ws) {
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_REQUIRE(cursor.size() == buckets, "cursor span size mismatch");
+  if (be == KernelBackend::kReference) {
+    return permute_reference(in, out, pass, radix_bits, cursor);
+  }
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  if (active == 1) {
+    // Every key carries the same digit (a dead pass, or a degenerate
+    // distribution): the permutation is one contiguous copy.
+    const std::uint32_t d = radix_digit(in[0], pass, radix_bits);
+    const std::uint64_t pos = cursor[d];
+    DSM_DCHECK(pos + n <= out.size(), "permutation writes past the output");
+    std::memcpy(out.data() + pos, in.data(), n * sizeof(Key));
+    cursor[d] = pos + n;
+    return 1;
+  }
+  if (buckets * kWcLineKeys * sizeof(Key) <= kWcMaxStagingBytes) {
+    const bool dram_bound = n * sizeof(Key) >= kWcMinFootprintBytes;
+    // Staging pays for itself once buckets' write streams overflow the
+    // cache AND the average bucket fills at least one line (below that
+    // the staging copy and drain are pure overhead on an L1-resident
+    // scatter).
+    const bool amortized = n >= buckets * kWcLineKeys;
+    if (dram_bound || (buckets >= kWcMinBuckets && amortized)) {
+      ws.prepare(radix_bits, 1);  // ensure staging even for direct callers
+#if defined(__SSE2__)
+      if (dram_bound) {
+        return permute_wc_stream(in, out, pass, radix_bits, cursor, ws);
+      }
+#endif
+      return permute_write_combined(in, out, pass, radix_bits, cursor, ws);
+    }
+  }
+  return permute_reference(in, out, pass, radix_bits, cursor);
+}
+
+}  // namespace dsm::sort

@@ -1,0 +1,134 @@
+// Host radix kernels: the real data movement the simulator executes.
+//
+// Every simulated sort performs *actual* histogram and permutation passes
+// on the host; at the sizes the figure sweeps use, these loops — not the
+// engine — bound host wall-clock time. This layer separates *how the host
+// computes* from *what the simulator charges*:
+//
+//   * `kReference` — the seed loops, kept verbatim: one histogram sweep
+//     per pass, a direct scattered-store permute.
+//   * `kOptimized` — (a) one-sweep multi-pass histogramming: a single
+//     read pass over the keys produces the histograms of every radix
+//     pass at once (digit histograms are permutation-invariant, so the
+//     initial array determines all of them); (b) a software
+//     write-combining permute: per-bucket cache-line buffers flushed
+//     contiguously — the paper's CC-SAS-NEW insight (buffer scattered
+//     remote writes locally, move them contiguously) applied to the
+//     host's own cache hierarchy; (c) dead-pass skipping: a pass whose
+//     digits are all equal is an identity permutation and moves no data.
+//
+// The hard contract (see DESIGN.md §9): backends are *charge-invariant*.
+// A kernel may change instruction count, sweep structure, and staging
+// buffers; it must not change the sorted output, the per-pass histogram,
+// the measured run structure (`runs`, `active`) the cost model consumes,
+// or any charged virtual time. The equivalence test tier enforces this
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dsm::sort {
+
+enum class KernelBackend {
+  kReference,  // seed loops, kept verbatim
+  kOptimized,  // one-sweep histograms + WC permute + dead-pass skipping
+};
+
+const char* kernel_backend_name(KernelBackend b);
+KernelBackend kernel_backend_from_name(const std::string& name);
+
+/// Process-wide default backend: DSMSORT_KERNELS=reference|optimized when
+/// set (parsed once), else kOptimized. CLI overrides (--kernels) install
+/// theirs via set_default_kernel_backend.
+KernelBackend default_kernel_backend();
+void set_default_kernel_backend(KernelBackend b);
+
+/// Keys per software write-combining line: 64 bytes of Key — one host
+/// cache line staged per bucket, flushed contiguously when full.
+inline constexpr std::size_t kWcLineKeys = 64 / sizeof(Key);
+
+/// Bucket count at and above which the optimized permute stages writes in
+/// write-combining buffers regardless of input size. Below it the
+/// destination write streams fit the L1 comfortably and direct scattered
+/// stores win (the WC staging would only add a copy) — unless the moved
+/// footprint itself is memory-bound, see kWcMinFootprintBytes.
+inline constexpr std::size_t kWcMinBuckets = 512;
+
+/// Staging-area ceiling for the WC permute. Past it the per-bucket line
+/// buffers no longer fit the L2 and staging evicts the very lines it is
+/// trying to batch (measured: 2^16 buckets = 4 MiB staging loses to the
+/// direct scatter), so the optimized permute falls back to direct stores.
+inline constexpr std::size_t kWcMaxStagingBytes = std::size_t{1} << 20;
+
+/// Moved-bytes threshold past which the permute is DRAM-bound rather than
+/// cache-resident. At or above it the optimized permute (a) engages WC
+/// staging even below kWcMinBuckets, and (b) flushes full aligned lines
+/// with non-temporal stores where the ISA offers them — the destination
+/// is write-only until the next pass, so bypassing the hierarchy saves
+/// the read-for-ownership of every destination line.
+inline constexpr std::size_t kWcMinFootprintBytes = std::size_t{4} << 20;
+
+/// Reusable per-caller scratch for the radix kernels. Hoists every
+/// allocation the seed kernels made per call (the per-pass `hist`
+/// vector) plus the optimized backend's staging: prepare() is cheap when
+/// capacities already fit, so a long-lived caller (the service executor,
+/// a sweep worker) allocates once and sorts many times.
+struct RadixWorkspace {
+  /// Size `hist` for 2^radix_bits buckets (contents unspecified).
+  void prepare(int radix_bits);
+  /// Additionally size the one-sweep table (`pass_hist`, passes rows of
+  /// 2^radix_bits buckets) and the WC staging buffers.
+  void prepare(int radix_bits, int passes);
+
+  std::vector<std::uint64_t> hist;       // 2^radix_bits running cursors
+  std::vector<std::uint64_t> pass_hist;  // [pass][bucket], one-sweep rows
+  std::vector<Key> wc_keys;              // 2^radix_bits x kWcLineKeys
+  std::vector<std::uint32_t> wc_fill;    // staged keys per bucket (all 0
+                                         // between permute calls)
+  std::vector<std::uint32_t> wc_need;    // keys until next flush (aligns
+                                         // streaming flushes to 64B)
+};
+
+/// The calling host thread's lazily-created workspace. The legacy
+/// (workspace-free) sort entry points borrow this; it is safe under the
+/// cooperative fiber engine too because no kernel yields mid-call (the
+/// borrow never spans a reconcile point).
+RadixWorkspace& tls_radix_workspace();
+
+/// Number of nonzero buckets.
+std::uint64_t count_active(std::span<const std::uint64_t> hist);
+
+/// One counting pass over `keys` for digit `pass`: fills `hist` (size
+/// 2^radix_bits) and returns the number of nonzero buckets. Identical
+/// loop under both backends (a single-pass count is already memory
+/// bound); the optimized backend's histogram win is multi_histogram.
+std::uint64_t histogram_kernel(KernelBackend be, std::span<const Key> keys,
+                               int pass, int radix_bits,
+                               std::span<std::uint64_t> hist);
+
+/// Histograms of every pass at once: fills `pass_hist` (row-major,
+/// `passes` rows of 2^radix_bits). kReference performs `passes`
+/// independent key sweeps (the seed structure); kOptimized reads the
+/// keys once and updates all rows per key.
+void multi_histogram_kernel(KernelBackend be, std::span<const Key> keys,
+                            int passes, int radix_bits,
+                            std::span<std::uint64_t> pass_hist);
+
+/// Stable permutation of `in` into `out` by digit `pass`, using `cursor`
+/// (size 2^radix_bits) as running write cursors (consumed: advanced past
+/// every written key). Returns the measured digit-run count — the charge
+/// input the cost model consumes — which is a pure function of the input
+/// order and therefore backend-invariant. `active` is the nonzero bucket
+/// count of this span's digit histogram (enables the single-bucket
+/// contiguous-copy fast path; pass count_active's result).
+std::uint64_t permute_kernel(KernelBackend be, std::span<const Key> in,
+                             std::span<Key> out, int pass, int radix_bits,
+                             std::span<std::uint64_t> cursor,
+                             std::uint64_t active, RadixWorkspace& ws);
+
+}  // namespace dsm::sort

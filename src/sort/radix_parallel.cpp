@@ -64,15 +64,18 @@ void prefixes_from_allhists(sim::ProcContext& ctx,
 /// Buffered local permutation: scatter `keys` into `buf` in bucket-major
 /// order (the local staging step of CC-SAS-NEW / MPI / SHMEM). On return
 /// `local_prefix[b]` is the start of bucket b's chunk within buf. Charged
-/// with the measured run structure.
+/// with the measured run structure; the backend only changes how the host
+/// executes the scatter.
 void buffered_permute(sim::ProcContext& ctx, std::span<const Key> keys,
                       std::span<Key> buf, int pass, int radix_bits,
                       std::span<const std::uint64_t> local_hist,
                       std::span<std::uint64_t> local_prefix,
-                      std::span<std::uint64_t> cursor, std::uint64_t active) {
+                      std::span<std::uint64_t> cursor, std::uint64_t active,
+                      KernelBackend be, RadixWorkspace& ws) {
   exclusive_prefix(ctx, local_hist, local_prefix);
   std::copy(local_prefix.begin(), local_prefix.end(), cursor.begin());
-  charged_local_permute(ctx, keys, buf, pass, radix_bits, cursor, active);
+  charged_local_permute(ctx, keys, buf, pass, radix_bits, cursor, active, be,
+                        ws);
   ctx.busy_cycles(static_cast<double>(keys.size()) *
                   ctx.params().cpu.buffer_copy_cycles);
 }
@@ -136,6 +139,7 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
   std::vector<sim::ScatteredTraffic> traffic;
   traffic.reserve(static_cast<std::size_t>(p));
   std::vector<Key> buf(w.buffered ? homes.count_of(r) : 0);
+  RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
 
   sas::SharedArray<Key>* in = w.a;
   sas::SharedArray<Key>* out = w.b;
@@ -232,7 +236,7 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       // CC-SAS-NEW (§4.2.1): buffer locally, then copy contiguous chunks.
       const double permute_start_ns = ctx.clock().now_ns();
       buffered_permute(ctx, my_keys, buf, pass, w.radix_bits, hist,
-                       local_prefix, cursor, active);
+                       local_prefix, cursor, active, w.kernels, ws);
       Key* const out_data = out->data();
       std::fill(lines_to.begin(), lines_to.end(), 0);
       std::uint64_t local_bytes = 0;
@@ -305,6 +309,7 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
   std::vector<std::uint64_t> matrix;  // coalesced-mode p x p key counts
   std::vector<msg::Communicator::Send> sends;
   std::vector<Key> buf(n_local);
+  RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
   std::vector<Key> stage;  // coalesced-mode receive staging
   if (!w.chunk_messages) {
     stage.resize(n_local);
@@ -329,7 +334,7 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
     prefixes_from_allhists(ctx, all_hist, buckets, rank_prefix, global_start);
     ctx.phase("permutation");
     buffered_permute(ctx, *in, buf, pass, w.radix_bits, hist, local_prefix,
-                     cursor, active);
+                     cursor, active, w.kernels, ws);
     ctx.phase("redistribution");
 
     sends.clear();
@@ -480,6 +485,7 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
   std::vector<std::uint64_t> all_hist(static_cast<std::size_t>(p) * buckets);
   std::vector<shmem::GetOp> gets;
   std::vector<shmem::PutOp> puts;
+  RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
 
   std::uint64_t in_off = w.off_a;
   std::uint64_t out_off = w.off_b;
@@ -514,7 +520,8 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
     ctx.phase("permutation");
     Key* const stage = heap.at<Key>(r, w.off_stage);
     buffered_permute(ctx, my_keys, std::span<Key>(stage, n_local), pass,
-                     w.radix_bits, hist, local_prefix, cursor, active);
+                     w.radix_bits, hist, local_prefix, cursor, active,
+                     w.kernels, ws);
     ctx.phase("redistribution");
     w.sh->barrier_all(ctx);  // staging buffers are now globally readable
 

@@ -28,6 +28,7 @@
 #include "sas/shared_array.hpp"
 #include "shmem/shmem.hpp"
 #include "sim/proc.hpp"
+#include "sort/kernels.hpp"
 
 namespace dsm::sort {
 
@@ -44,6 +45,10 @@ struct CcSasRadixWorld {
   /// actually be needed" — when set, a collective max-reduction bounds the
   /// pass count instead of assuming full-width keys.
   bool detect_max_key = false;
+  /// Host kernel backend for the local histogram/permute work. Virtual
+  /// times are identical across backends (the charge-invariance
+  /// contract); this only changes host speed.
+  KernelBackend kernels = default_kernel_backend();
   std::atomic<int> passes_used{0};  // output (identical on every rank)
 };
 void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w);
@@ -60,6 +65,7 @@ struct MpiRadixWorld {
   int radix_bits = 8;
   bool chunk_messages = true;
   bool detect_max_key = false;      // see CcSasRadixWorld
+  KernelBackend kernels = default_kernel_backend();  // see CcSasRadixWorld
   std::atomic<int> passes_used{0};  // output
 };
 void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w);
@@ -81,6 +87,7 @@ struct ShmemRadixWorld {
   int radix_bits = 8;
   bool use_put = false;
   bool detect_max_key = false;      // see CcSasRadixWorld
+  KernelBackend kernels = default_kernel_backend();  // see CcSasRadixWorld
   std::atomic<int> passes_used{0};  // output
 };
 void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w);

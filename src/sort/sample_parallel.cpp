@@ -120,7 +120,8 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   ctx.phase("local sort 1");
   std::span<Key> mine = w.keys->partition(r);
   std::vector<Key> tmp(mine.size());
-  local_radix_sort(ctx, mine, tmp, w.radix_bits);
+  RadixWorkspace ws;  // kernel scratch shared by both local sort phases
+  local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
 
   // Phase 2: publish my samples (my slot of the shared sample array).
   ctx.phase("sampling");
@@ -228,7 +229,7 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");
   tmp.resize(out.size());
-  local_radix_sort(ctx, out, tmp, w.radix_bits);
+  local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
   ctx.phase("barrier");
   sas::ccsas_barrier(ctx);
 }
@@ -245,7 +246,8 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   ctx.phase("local sort 1");
   std::vector<Key>& mine = (*w.parts)[rr];
   std::vector<Key> tmp(mine.size());
-  local_radix_sort(ctx, mine, tmp, w.radix_bits);
+  RadixWorkspace ws;  // kernel scratch shared by both local sort phases
+  local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
 
   // Phases 2+3: allgather samples; everyone redundantly sorts the full
   // sample set and picks splitters.
@@ -303,7 +305,7 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");
   tmp.resize(out.size());
-  local_radix_sort(ctx, out, tmp, w.radix_bits);
+  local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
   ctx.phase("barrier");
   w.comm->barrier(ctx);
 }
@@ -324,7 +326,8 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   ctx.phase("local sort 1");
   std::span<Key> mine(heap.at<Key>(r, w.off_keys), n_local);
   std::vector<Key> tmp(mine.size());
-  local_radix_sort(ctx, mine, tmp, w.radix_bits);
+  RadixWorkspace ws;  // kernel scratch shared by both local sort phases
+  local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
 
   // Phases 2+3: fcollect samples; redundant local splitter computation.
   ctx.phase("sampling");
@@ -378,7 +381,7 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");
   tmp.resize(out.size());
-  local_radix_sort(ctx, out, tmp, w.radix_bits);
+  local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
   ctx.phase("barrier");
   w.sh->barrier_all(ctx);
 }

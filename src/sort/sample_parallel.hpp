@@ -25,6 +25,7 @@
 #include "sas/shared_array.hpp"
 #include "shmem/shmem.hpp"
 #include "sim/proc.hpp"
+#include "sort/kernels.hpp"
 
 namespace dsm::sort {
 
@@ -43,6 +44,9 @@ struct CcSasSampleWorld {
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
   int group_size = 32;  // paper: "every set of 32 processes forms a group"
+  /// Host kernel backend for both local sort phases; charged virtual
+  /// times are backend-invariant (DESIGN.md §9).
+  KernelBackend kernels = default_kernel_backend();
 };
 void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w);
 
@@ -52,6 +56,7 @@ struct MpiSampleWorld {
   std::vector<std::vector<Key>>* result = nullptr;  // [rank] output run
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
+  KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
 };
 void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w);
 
@@ -63,6 +68,7 @@ struct ShmemSampleWorld {
   std::vector<std::vector<Key>>* result = nullptr;  // [rank] output run
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
+  KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
 };
 void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w);
 

@@ -1,12 +1,62 @@
 #include "sort/seq_radix.hpp"
 
 #include <algorithm>
-#include <vector>
 
 #include "common/bits.hpp"
 #include "common/error.hpp"
 
 namespace dsm::sort {
+namespace {
+
+/// Charges of one counting pass, shared by both backends so they cannot
+/// drift: per-key BUSY updates, the key sweep, the resident counters
+/// (2^r * 8 bytes cleared + incremented).
+void charge_histogram_pass(sim::ProcContext& ctx, std::uint64_t n,
+                           std::size_t buckets) {
+  const auto& cpu = ctx.params().cpu;
+  ctx.busy_cycles(static_cast<double>(n) * cpu.hist_update_cycles);
+  ctx.stream(n * sizeof(Key), n * sizeof(Key));  // key sweep
+  ctx.stream(buckets * sizeof(std::uint64_t),
+             buckets * sizeof(std::uint64_t));
+}
+
+/// Charges of one permutation pass, parameterised by the measured run
+/// structure (`runs`, `active`) — pure functions of the key order, hence
+/// identical under every backend.
+void charge_permute_pass(sim::ProcContext& ctx, std::uint64_t n,
+                         std::uint64_t runs, std::uint64_t active,
+                         std::uint64_t out_size) {
+  if (n == 0) return;
+  const auto& cpu = ctx.params().cpu;
+  ctx.busy_cycles(static_cast<double>(n) * cpu.permute_cycles);
+  ctx.stream(n * sizeof(Key), n * sizeof(Key));  // read the source keys
+  machine::AccessPattern p;
+  p.accesses = n;
+  p.elem_bytes = sizeof(Key);
+  p.runs = runs;
+  p.active_regions = std::max<std::uint64_t>(1, active);
+  // Both toggle arrays compete for the cache during a pass.
+  p.footprint_bytes = 2 * out_size * sizeof(Key);
+  ctx.scattered(p);
+}
+
+/// Exclusive prefix of `counts` into `cursor` (write cursors), returning
+/// the nonzero bucket count from the same sweep. Fused because n << 2^r
+/// sorts are bound by these bucket loops, not the key sweeps.
+std::uint64_t exclusive_prefix_active(std::span<const std::uint64_t> counts,
+                                      std::span<std::uint64_t> cursor) {
+  std::uint64_t acc = 0;
+  std::uint64_t active = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t c = counts[b];
+    cursor[b] = acc;
+    acc += c;
+    active += c != 0 ? 1 : 0;
+  }
+  return active;
+}
+
+}  // namespace
 
 int radix_passes(int radix_bits) {
   DSM_REQUIRE(radix_bits >= 1 && radix_bits <= 20, "radix bits out of range");
@@ -22,32 +72,66 @@ int radix_passes_for_max(int radix_bits, Key max_key) {
 }
 
 void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits) {
+  seq_radix_sort(keys, tmp, radix_bits, default_kernel_backend(),
+                 tls_radix_workspace());
+}
+
+void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits,
+                    KernelBackend be, RadixWorkspace& ws) {
   DSM_REQUIRE(tmp.size() >= keys.size(), "tmp must be at least as large");
   const int passes = radix_passes(radix_bits);
   const std::size_t buckets = std::size_t{1} << radix_bits;
-  std::vector<std::uint64_t> hist(buckets);
-
-  Key* in = keys.data();
-  Key* out = tmp.data();
   const std::size_t n = keys.size();
-  for (int pass = 0; pass < passes; ++pass) {
-    std::fill(hist.begin(), hist.end(), 0);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++hist[radix_digit(in[i], pass, radix_bits)];
+
+  if (be == KernelBackend::kReference) {
+    ws.prepare(radix_bits);
+    const std::span<std::uint64_t> hist(ws.hist.data(), buckets);
+    Key* in = keys.data();
+    Key* out = tmp.data();
+    for (int pass = 0; pass < passes; ++pass) {
+      std::fill(hist.begin(), hist.end(), 0);
+      for (std::size_t i = 0; i < n; ++i) {
+        ++hist[radix_digit(in[i], pass, radix_bits)];
+      }
+      std::uint64_t acc = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const std::uint64_t c = hist[b];
+        hist[b] = acc;
+        acc += c;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const Key k = in[i];
+        out[hist[radix_digit(k, pass, radix_bits)]++] = k;
+      }
+      std::swap(in, out);
     }
-    std::uint64_t acc = 0;
-    for (std::size_t b = 0; b < buckets; ++b) {
-      const std::uint64_t c = hist[b];
-      hist[b] = acc;
-      acc += c;
+    if (in != keys.data()) {
+      std::copy_n(in, n, keys.data());
     }
-    for (std::size_t i = 0; i < n; ++i) {
-      out[hist[radix_digit(in[i], pass, radix_bits)]++] = in[i];
-    }
-    std::swap(in, out);
+    return;
   }
-  if (in != keys.data()) {
-    std::copy_n(in, n, keys.data());
+
+  ws.prepare(radix_bits, passes);
+  const std::span<std::uint64_t> pass_hist(
+      ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
+  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist);
+  const std::span<std::uint64_t> cursor(ws.hist.data(), buckets);
+  bool in_keys = true;  // which toggle buffer currently holds the data
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const std::uint64_t> hist_p = pass_hist.subspan(
+        static_cast<std::size_t>(pass) * buckets, buckets);
+    const std::uint64_t active = exclusive_prefix_active(hist_p, cursor);
+    // A single-digit pass is the identity permutation (its one bucket's
+    // exclusive prefix is 0): skip the pass entirely — this is where the
+    // passes radix_passes_for_max would drop actually cost nothing.
+    if (active <= 1) continue;
+    const std::span<Key> src = in_keys ? keys : tmp.subspan(0, n);
+    const std::span<Key> dst = in_keys ? tmp.subspan(0, n) : keys;
+    (void)permute_kernel(be, src, dst, pass, radix_bits, cursor, active, ws);
+    in_keys = !in_keys;
+  }
+  if (!in_keys) {
+    std::copy_n(tmp.data(), n, keys.data());
   }
 }
 
@@ -57,17 +141,9 @@ std::uint64_t charged_histogram(sim::ProcContext& ctx,
                                 std::span<std::uint64_t> hist) {
   const std::size_t buckets = std::size_t{1} << radix_bits;
   DSM_REQUIRE(hist.size() == buckets, "histogram span size mismatch");
-  std::fill(hist.begin(), hist.end(), 0);
-  for (const Key k : keys) ++hist[radix_digit(k, pass, radix_bits)];
-  std::uint64_t active = 0;
-  for (const std::uint64_t c : hist) active += c != 0 ? 1 : 0;
-
-  const auto n = static_cast<std::uint64_t>(keys.size());
-  const auto& cpu = ctx.params().cpu;
-  ctx.busy_cycles(static_cast<double>(n) * cpu.hist_update_cycles);
-  ctx.stream(n * sizeof(Key), n * sizeof(Key));  // key sweep
-  // Bucket counters: clear + increments stay resident (2^r * 8 bytes).
-  ctx.stream(buckets * sizeof(std::uint64_t), buckets * sizeof(std::uint64_t));
+  const std::uint64_t active = histogram_kernel(
+      default_kernel_backend(), keys, pass, radix_bits, hist);
+  charge_histogram_pass(ctx, keys.size(), buckets);
   return active;
 }
 
@@ -75,6 +151,15 @@ void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
                            std::span<Key> out, int pass, int radix_bits,
                            std::span<std::uint64_t> offset,
                            std::uint64_t active) {
+  charged_local_permute(ctx, keys, out, pass, radix_bits, offset, active,
+                        default_kernel_backend(), tls_radix_workspace());
+}
+
+void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
+                           std::span<Key> out, int pass, int radix_bits,
+                           std::span<std::uint64_t> offset,
+                           std::uint64_t active, KernelBackend be,
+                           RadixWorkspace& ws) {
   const std::size_t buckets = std::size_t{1} << radix_bits;
   DSM_REQUIRE(offset.size() == buckets, "offset span size mismatch");
   const std::size_t n = keys.size();
@@ -85,59 +170,91 @@ void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
   for (const std::uint64_t o : offset) {
     DSM_REQUIRE(o <= out.size(), "permutation cursor starts past the output");
   }
-  std::uint64_t runs = 0;
-  std::uint32_t prev_digit = ~0u;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Key k = keys[i];
-    const std::uint32_t d = radix_digit(k, pass, radix_bits);
-    const std::uint64_t pos = offset[d]++;
-    DSM_DCHECK(pos < out.size(), "permutation writes past the output");
-    out[pos] = k;
-    runs += d != prev_digit ? 1 : 0;
-    prev_digit = d;
-  }
-  if (n == 0) return;
-
-  const auto& cpu = ctx.params().cpu;
-  ctx.busy_cycles(static_cast<double>(n) * cpu.permute_cycles);
-  ctx.stream(n * sizeof(Key), n * sizeof(Key));  // read the source keys
-  machine::AccessPattern p;
-  p.accesses = n;
-  p.elem_bytes = sizeof(Key);
-  p.runs = runs;
-  p.active_regions = std::max<std::uint64_t>(1, active);
-  // Both toggle arrays compete for the cache during a pass.
-  p.footprint_bytes = 2 * out.size() * sizeof(Key);
-  ctx.scattered(p);
+  const std::uint64_t runs =
+      permute_kernel(be, keys, out, pass, radix_bits, offset, active, ws);
+  charge_permute_pass(ctx, n, runs, active, out.size());
 }
 
 void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
                       std::span<Key> tmp, int radix_bits) {
+  local_radix_sort(ctx, keys, tmp, radix_bits, default_kernel_backend(),
+                   tls_radix_workspace());
+}
+
+void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
+                      std::span<Key> tmp, int radix_bits, KernelBackend be,
+                      RadixWorkspace& ws) {
   DSM_REQUIRE(tmp.size() >= keys.size(), "tmp must be at least as large");
   const int passes = radix_passes(radix_bits);
   const std::size_t buckets = std::size_t{1} << radix_bits;
-  std::vector<std::uint64_t> hist(buckets);
+  const std::size_t n = keys.size();
   const auto& cpu = ctx.params().cpu;
 
-  std::span<Key> in = keys;
-  std::span<Key> out = tmp.subspan(0, keys.size());
-  for (int pass = 0; pass < passes; ++pass) {
-    const std::uint64_t active =
-        charged_histogram(ctx, in, pass, radix_bits, hist);
-    // Exclusive prefix -> running write cursors.
-    std::uint64_t acc = 0;
-    for (std::size_t b = 0; b < buckets; ++b) {
-      const std::uint64_t c = hist[b];
-      hist[b] = acc;
-      acc += c;
+  if (be == KernelBackend::kReference) {
+    ws.prepare(radix_bits);
+    const std::span<std::uint64_t> hist(ws.hist.data(), buckets);
+    std::span<Key> in = keys;
+    std::span<Key> out = tmp.subspan(0, n);
+    for (int pass = 0; pass < passes; ++pass) {
+      const std::uint64_t active =
+          charged_histogram(ctx, in, pass, radix_bits, hist);
+      // Exclusive prefix -> running write cursors.
+      std::uint64_t acc = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const std::uint64_t c = hist[b];
+        hist[b] = acc;
+        acc += c;
+      }
+      ctx.busy_cycles(static_cast<double>(buckets) * cpu.scan_cycles);
+      charged_local_permute(ctx, in, out, pass, radix_bits, hist, active, be,
+                            ws);
+      std::swap(in, out);
     }
-    ctx.busy_cycles(static_cast<double>(buckets) * cpu.scan_cycles);
-    charged_local_permute(ctx, in, out, pass, radix_bits, hist, active);
-    std::swap(in, out);
+    if (in.data() != keys.data()) {
+      std::copy_n(in.data(), n, keys.data());
+      ctx.stream(2 * n * sizeof(Key), 2 * n * sizeof(Key));
+    }
+    return;
   }
-  if (in.data() != keys.data()) {
-    std::copy_n(in.data(), keys.size(), keys.data());
-    ctx.stream(2 * keys.size() * sizeof(Key), 2 * keys.size() * sizeof(Key));
+
+  // Optimized pipeline. The per-pass digit histograms of a private local
+  // sort are permutation-invariant (each pass only reorders the same key
+  // multiset), so one real sweep over the initial keys yields every
+  // pass's histogram — the simulator still charges one counting sweep
+  // per pass, exactly as the reference executes it.
+  ws.prepare(radix_bits, passes);
+  const std::span<std::uint64_t> pass_hist(
+      ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
+  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist);
+  const std::span<std::uint64_t> cursor(ws.hist.data(), buckets);
+  bool in_keys = true;  // which buffer physically holds the data
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const std::uint64_t> hist_p = pass_hist.subspan(
+        static_cast<std::size_t>(pass) * buckets, buckets);
+    const std::uint64_t active = exclusive_prefix_active(hist_p, cursor);
+    charge_histogram_pass(ctx, n, buckets);
+    ctx.busy_cycles(static_cast<double>(buckets) * cpu.scan_cycles);
+    if (active <= 1) {
+      // Dead pass: the identity permutation. Charge exactly what the
+      // reference measures for it (one run, one active bucket) and move
+      // no data — the buffer toggle is logical only.
+      charge_permute_pass(ctx, n, n > 0 ? 1 : 0, active, n);
+    } else {
+      const std::span<Key> src = in_keys ? keys : tmp.subspan(0, n);
+      const std::span<Key> dst = in_keys ? tmp.subspan(0, n) : keys;
+      const std::uint64_t runs =
+          permute_kernel(be, src, dst, pass, radix_bits, cursor, active, ws);
+      charge_permute_pass(ctx, n, runs, active, n);
+      in_keys = !in_keys;
+    }
+  }
+  // The reference copies back (and charges the copy) iff the total pass
+  // count is odd; physically we copy iff the data ended up in tmp.
+  if (passes % 2 != 0) {
+    ctx.stream(2 * n * sizeof(Key), 2 * n * sizeof(Key));
+  }
+  if (!in_keys) {
+    std::copy_n(tmp.data(), n, keys.data());
   }
 }
 

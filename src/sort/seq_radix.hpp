@@ -7,12 +7,21 @@
 //    buckets) while sorting and charges BUSY/LMEM accordingly. This is the
 //    paper's sequential baseline (Table 1) when run on a one-process team,
 //    and the local sorting phase of parallel sample sort.
+//
+// Both run on the kernel layer (sort/kernels.hpp): the selected backend
+// changes how the host computes — one-sweep histograms, write-combined
+// permutes, skipped dead passes — never the sorted output or any charged
+// virtual time (the charge-invariance contract, DESIGN.md §9). The
+// workspace-free overloads borrow the calling thread's workspace, so
+// repeated callers (the service executor, sweep workers) allocate no
+// per-sort scratch.
 #pragma once
 
 #include <span>
 
 #include "common/types.hpp"
 #include "sim/proc.hpp"
+#include "sort/kernels.hpp"
 
 namespace dsm::sort {
 
@@ -28,14 +37,23 @@ int radix_passes_for_max(int radix_bits, Key max_key);
 /// Sort `keys` ascending using `tmp` as the toggle buffer (same size).
 /// The sorted result is guaranteed to end up back in `keys`.
 void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits);
+void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits,
+                    KernelBackend be, RadixWorkspace& ws);
 
 /// Instrumented variant; sorts and charges ctx's clock. Result in `keys`.
+/// Charged times are identical for every backend.
 void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
                       std::span<Key> tmp, int radix_bits);
+void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
+                      std::span<Key> tmp, int radix_bits, KernelBackend be,
+                      RadixWorkspace& ws);
 
 /// One instrumented counting pass over `keys` for digit `pass`: fills
 /// `hist` (size 2^radix_bits) and charges the clock. Returns the number of
-/// nonzero buckets. Shared by the parallel radix sorts.
+/// nonzero buckets. Shared by the parallel radix sorts. (A single
+/// counting pass is the same loop under every backend; the optimized
+/// backend's histogram win — one sweep for all passes — lives in
+/// local_radix_sort, where the pass histograms are permutation-invariant.)
 std::uint64_t charged_histogram(sim::ProcContext& ctx,
                                 std::span<const Key> keys, int pass,
                                 int radix_bits,
@@ -50,5 +68,10 @@ void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
                            std::span<Key> out, int pass, int radix_bits,
                            std::span<std::uint64_t> offset,
                            std::uint64_t active);
+void charged_local_permute(sim::ProcContext& ctx, std::span<const Key> keys,
+                           std::span<Key> out, int pass, int radix_bits,
+                           std::span<std::uint64_t> offset,
+                           std::uint64_t active, KernelBackend be,
+                           RadixWorkspace& ws);
 
 }  // namespace dsm::sort

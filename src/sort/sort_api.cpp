@@ -122,6 +122,7 @@ SortResult run_radix_ccsas(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.buffered = spec.model == Model::kCcSasNew;
   w.detect_max_key = spec.ablations.detect_max_key;
+  w.kernels = spec.kernel_backend;
   team.run([&](sim::ProcContext& ctx) { radix_ccsas(ctx, w); });
 
   const int passes = w.passes_used.load(std::memory_order_relaxed);
@@ -153,6 +154,7 @@ SortResult run_radix_mpi(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.chunk_messages = spec.ablations.mpi_chunk_messages;
   w.detect_max_key = spec.ablations.detect_max_key;
+  w.kernels = spec.kernel_backend;
   team.run([&](sim::ProcContext& ctx) { radix_mpi(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -180,6 +182,7 @@ SortResult run_radix_shmem(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.use_put = spec.ablations.shmem_use_put;
   w.detect_max_key = spec.ablations.detect_max_key;
+  w.kernels = spec.kernel_backend;
 
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_a), homes.count_of(r));
@@ -221,6 +224,7 @@ SortResult run_sample_ccsas(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
   w.group_size = spec.ablations.sample_group_size;
+  w.kernels = spec.kernel_backend;
   team.run([&](sim::ProcContext& ctx) { sample_ccsas(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -249,6 +253,7 @@ SortResult run_sample_mpi(const SortSpec& spec,
   w.result = &result;
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
+  w.kernels = spec.kernel_backend;
   team.run([&](sim::ProcContext& ctx) { sample_mpi(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -276,6 +281,7 @@ SortResult run_sample_shmem(const SortSpec& spec,
   w.result = &result;
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
+  w.kernels = spec.kernel_backend;
 
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_keys), homes.count_of(r));

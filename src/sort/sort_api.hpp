@@ -27,6 +27,7 @@
 #include "machine/params.hpp"
 #include "msg/transport.hpp"
 #include "sim/clock.hpp"
+#include "sort/kernels.hpp"
 
 namespace dsm::sort {
 
@@ -88,6 +89,12 @@ struct SortSpec {
   /// runs the simulation. Default: default_spmd_engine() (cooperative
   /// fibers unless overridden by DSMSORT_ENGINE).
   std::optional<SpmdEngine> engine;
+
+  /// Host kernel backend for the radix histogram/permute loops. Like
+  /// `engine`, this is charge-invariant: virtual times, figure tables and
+  /// service replay output are bit-identical across backends (DESIGN.md
+  /// §9). Default: optimized, or DSMSORT_KERNELS / --kernels override.
+  KernelBackend kernel_backend = default_kernel_backend();
 
   /// Model-specific ablation knobs, grouped: every member has the paper's
   /// default, so ablation studies override exactly the knob they vary.

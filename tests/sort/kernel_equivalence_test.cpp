@@ -1,0 +1,268 @@
+// Backend equivalence at the kernel layer (no simulator): the optimized
+// backend must produce byte-identical sorted output, histograms, measured
+// run counts, and final cursors for every input the reference handles.
+// This file deliberately depends only on sort/kernels.hpp and the key
+// generators, so the TSan tier can rebuild it from source with a small
+// closure (kernels.cpp + distributions.cpp + prng.cpp).
+#include "sort/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "keys/distributions.hpp"
+
+namespace dsm::sort {
+namespace {
+
+std::vector<Key> make_keys(keys::Dist d, Index n, std::uint64_t seed,
+                           int radix = 8) {
+  std::vector<Key> out(n);
+  keys::GenSpec spec;
+  spec.n_total = n;
+  spec.nprocs = 1;
+  spec.radix_bits = radix;
+  spec.seed = seed;
+  keys::generate(d, out, spec);
+  return out;
+}
+
+/// Keys drawn from a four-value set — a duplicate-heavy distribution the
+/// stock generators don't produce.
+std::vector<Key> duplicate_heavy(Index n, std::uint64_t seed) {
+  static constexpr Key kVals[] = {7u, 42u, 1u << 20, (1u << 30) + 5};
+  std::vector<Key> out(n);
+  std::uint64_t x = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (auto& k : out) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    k = kVals[(x >> 33) & 3];
+  }
+  return out;
+}
+
+int passes_for(int radix_bits) {
+  int p = 0;
+  for (std::uint64_t b = 0; b < kKeyBits;
+       b += static_cast<std::uint64_t>(radix_bits)) {
+    ++p;
+  }
+  return p;
+}
+
+/// Full LSD sort driven through the kernel layer only (what seq_radix_sort
+/// does, without the simulator dependency).
+std::vector<Key> sort_via_kernels(KernelBackend be, std::vector<Key> keys,
+                                  int radix_bits, RadixWorkspace& ws) {
+  const int passes = passes_for(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  std::vector<Key> tmp(keys.size());
+  ws.prepare(radix_bits, passes);
+  std::vector<std::uint64_t> hist(buckets), cursor(buckets);
+  Key* in = keys.data();
+  Key* out = tmp.data();
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const Key> in_span(in, keys.size());
+    const std::uint64_t active =
+        histogram_kernel(be, in_span, pass, radix_bits, hist);
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      cursor[b] = acc;
+      acc += hist[b];
+    }
+    (void)permute_kernel(be, in_span, std::span<Key>(out, keys.size()), pass,
+                         radix_bits, cursor, active, ws);
+    std::swap(in, out);
+  }
+  if (in != keys.data()) std::copy_n(in, keys.size(), keys.data());
+  return keys;
+}
+
+TEST(KernelBackendNames, RoundTrip) {
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kReference), "reference");
+  EXPECT_STREQ(kernel_backend_name(KernelBackend::kOptimized), "optimized");
+  EXPECT_EQ(kernel_backend_from_name("reference"), KernelBackend::kReference);
+  EXPECT_EQ(kernel_backend_from_name("optimized"), KernelBackend::kOptimized);
+  EXPECT_THROW(kernel_backend_from_name("fast"), Error);
+}
+
+TEST(MultiHistogram, MatchesReferencePerPassHistograms) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    for (const int radix : {4, 8, 11, 16}) {
+      const auto keys = make_keys(keys::Dist::kRandom, 20000, seed, radix);
+      const int passes = passes_for(radix);
+      const std::size_t buckets = std::size_t{1} << radix;
+      std::vector<std::uint64_t> ref(static_cast<std::size_t>(passes) *
+                                     buckets);
+      std::vector<std::uint64_t> opt(ref.size());
+      multi_histogram_kernel(KernelBackend::kReference, keys, passes, radix,
+                             ref);
+      multi_histogram_kernel(KernelBackend::kOptimized, keys, passes, radix,
+                             opt);
+      EXPECT_EQ(ref, opt) << "seed=" << seed << " radix=" << radix;
+    }
+  }
+}
+
+TEST(MultiHistogram, GenericUnrollAgreesAtFivePasses) {
+  // radix 7 -> 5 passes exercises the non-unrolled loop.
+  const auto keys = make_keys(keys::Dist::kGauss, 8192, 9, 7);
+  const std::size_t buckets = 128;
+  std::vector<std::uint64_t> ref(5 * buckets), opt(5 * buckets);
+  multi_histogram_kernel(KernelBackend::kReference, keys, 5, 7, ref);
+  multi_histogram_kernel(KernelBackend::kOptimized, keys, 5, 7, opt);
+  EXPECT_EQ(ref, opt);
+}
+
+struct PermuteCase {
+  keys::Dist dist;
+  Index n;
+};
+
+TEST(PermuteKernel, OutputRunsAndCursorsMatchReference) {
+  for (const int radix : {4, 8, 11, 16}) {
+    const std::size_t buckets = std::size_t{1} << radix;
+    for (const PermuteCase c :
+         {PermuteCase{keys::Dist::kRandom, 30000},
+          PermuteCase{keys::Dist::kGauss, 10000},
+          PermuteCase{keys::Dist::kZero, 10000},
+          PermuteCase{keys::Dist::kLocal, 8192},
+          // Fewer keys than buckets (always for radix 11/16 here).
+          PermuteCase{keys::Dist::kRandom, 100},
+          PermuteCase{keys::Dist::kRandom, 1},
+          PermuteCase{keys::Dist::kRandom, 0}}) {
+      const auto keys = make_keys(c.dist, c.n, 5, radix);
+      for (int pass = 0; pass < passes_for(radix); ++pass) {
+        RadixWorkspace ws_ref, ws_opt;
+        std::vector<std::uint64_t> hist(buckets);
+        const std::uint64_t active =
+            histogram_kernel(KernelBackend::kReference, keys, pass, radix,
+                             hist);
+        std::vector<std::uint64_t> cur_ref(buckets), cur_opt(buckets);
+        std::uint64_t acc = 0;
+        for (std::size_t b = 0; b < buckets; ++b) {
+          cur_ref[b] = acc;
+          acc += hist[b];
+        }
+        cur_opt = cur_ref;
+        std::vector<Key> out_ref(c.n, 0xdeadbeef), out_opt(c.n, 0xdeadbeef);
+        const std::uint64_t runs_ref =
+            permute_kernel(KernelBackend::kReference, keys, out_ref, pass,
+                           radix, cur_ref, active, ws_ref);
+        const std::uint64_t runs_opt =
+            permute_kernel(KernelBackend::kOptimized, keys, out_opt, pass,
+                           radix, cur_opt, active, ws_opt);
+        EXPECT_EQ(out_ref, out_opt)
+            << "radix=" << radix << " pass=" << pass << " n=" << c.n;
+        EXPECT_EQ(runs_ref, runs_opt) << "radix=" << radix << " pass=" << pass;
+        EXPECT_EQ(cur_ref, cur_opt) << "radix=" << radix << " pass=" << pass;
+        // The WC staging invariant: all fill counters zero between calls.
+        for (const std::uint32_t f : ws_opt.wc_fill) EXPECT_EQ(f, 0u);
+      }
+    }
+  }
+}
+
+TEST(PermuteKernel, SingleDigitInputTakesContiguousPath) {
+  // All keys share every digit: active == 1 in each pass, so the
+  // optimized permute is one memcpy. Results must still match exactly.
+  for (const int radix : {8, 11}) {
+    const std::size_t buckets = std::size_t{1} << radix;
+    std::vector<Key> keys(5000, 0x12345u);
+    std::vector<std::uint64_t> hist(buckets);
+    const std::uint64_t active =
+        histogram_kernel(KernelBackend::kReference, keys, 0, radix, hist);
+    ASSERT_EQ(active, 1u);
+    std::vector<std::uint64_t> cur_ref(buckets), cur_opt(buckets);
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      cur_ref[b] = acc;
+      acc += hist[b];
+    }
+    cur_opt = cur_ref;
+    RadixWorkspace ws_ref, ws_opt;
+    std::vector<Key> out_ref(keys.size()), out_opt(keys.size());
+    const auto runs_ref =
+        permute_kernel(KernelBackend::kReference, keys, out_ref, 0, radix,
+                       cur_ref, active, ws_ref);
+    const auto runs_opt =
+        permute_kernel(KernelBackend::kOptimized, keys, out_opt, 0, radix,
+                       cur_opt, active, ws_opt);
+    EXPECT_EQ(out_ref, out_opt);
+    EXPECT_EQ(runs_ref, runs_opt);
+    EXPECT_EQ(cur_ref, cur_opt);
+  }
+}
+
+class KernelSortEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(KernelSortEquivalence, SortedOutputByteIdentical) {
+  const int radix = std::get<0>(GetParam());
+  const std::uint64_t seed = std::get<1>(GetParam());
+  RadixWorkspace ws_ref, ws_opt;
+  for (const keys::Dist d : {keys::Dist::kRandom, keys::Dist::kGauss,
+                             keys::Dist::kZero, keys::Dist::kStagger}) {
+    for (const Index n : {Index{0}, Index{1}, Index{100}, Index{40000}}) {
+      const auto input = make_keys(d, n, seed, radix);
+      const auto ref = sort_via_kernels(KernelBackend::kReference, input,
+                                        radix, ws_ref);
+      const auto opt = sort_via_kernels(KernelBackend::kOptimized, input,
+                                        radix, ws_opt);
+      EXPECT_EQ(ref, opt) << keys::dist_name(d) << " n=" << n
+                          << " radix=" << radix << " seed=" << seed;
+      EXPECT_TRUE(std::is_sorted(ref.begin(), ref.end()));
+    }
+  }
+  // Duplicate-heavy and already-sorted inputs.
+  for (const Index n : {Index{100}, Index{40000}}) {
+    auto dup = duplicate_heavy(n, seed);
+    EXPECT_EQ(sort_via_kernels(KernelBackend::kReference, dup, radix, ws_ref),
+              sort_via_kernels(KernelBackend::kOptimized, dup, radix, ws_opt));
+    std::sort(dup.begin(), dup.end());
+    EXPECT_EQ(sort_via_kernels(KernelBackend::kReference, dup, radix, ws_ref),
+              sort_via_kernels(KernelBackend::kOptimized, dup, radix, ws_opt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RadixBySeed, KernelSortEquivalence,
+    ::testing::Combine(::testing::Values(4, 8, 11, 16),
+                       ::testing::Values(1ull, 2ull, 3ull)));
+
+TEST(KernelThreading, ConcurrentSortsAndBackendSwitches) {
+  // TSan target: per-thread tls workspaces must not race, and the default
+  // backend is an atomic that concurrent readers may observe mid-switch.
+  const auto saved = default_kernel_backend();
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t, &ok] {
+      const auto input =
+          make_keys(keys::Dist::kRandom, 20000,
+                    static_cast<std::uint64_t>(t) + 1, 8);
+      auto expect = input;
+      std::sort(expect.begin(), expect.end());
+      for (int iter = 0; iter < 5; ++iter) {
+        const auto be = default_kernel_backend();  // racing read, any value ok
+        const auto got = sort_via_kernels(be, input, 8, tls_radix_workspace());
+        if (got != expect) ok.store(false);
+      }
+    });
+  }
+  for (int i = 0; i < 8; ++i) {
+    set_default_kernel_backend(i % 2 == 0 ? KernelBackend::kReference
+                                          : KernelBackend::kOptimized);
+  }
+  for (auto& th : threads) th.join();
+  set_default_kernel_backend(saved);
+  EXPECT_TRUE(ok.load());
+}
+
+}  // namespace
+}  // namespace dsm::sort
