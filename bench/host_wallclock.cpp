@@ -10,8 +10,13 @@
 // fiber swaps — dominates the charged work.
 //
 // Options: the common set (--sizes/--procs/--radix/--seed/--jobs) plus
-//   --quick      small sizes + fewer reps (the ctest wiring uses this)
-//   --out PATH   where to write the JSON (default BENCH_host.json)
+//   --quick        small sizes + fewer reps (the ctest wiring uses this)
+//   --out PATH     where to write the JSON (default BENCH_host.json)
+//   --kernels-only skip the engine sweeps and barrier micro; run only the
+//                  kernel cells (what scripts/kernel_speed_gate.sh uses)
+//   --calibrate    sweep the kernel tunables (staging cap, WC bucket
+//                  floor) on this host and print the best settings
+//                  instead of benchmarking; see EXPERIMENTS.md
 #include <algorithm>
 #include <array>
 #include <chrono>
@@ -156,7 +161,7 @@ KernelSplit timed_kernel_sort(sort::KernelBackend be, std::span<Key> keys,
   double t = now_s();
   const std::span<std::uint64_t> pass_hist(
       ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
-  sort::multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist);
+  sort::multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist, ws);
   split.hist_s += now_s() - t;
   bool in_keys = true;
   for (int pass = 0; pass < passes; ++pass) {
@@ -233,6 +238,112 @@ KernelCell timed_kernel_cell(std::uint64_t n, int radix_bits, int reps,
   return cell;
 }
 
+/// Threaded kernel mode: the same optimized sort with histogram+permute
+/// sharded across `jobs` host threads. Output must stay byte-identical to
+/// the serial run for every thread count.
+struct ThreadedCell {
+  std::uint64_t n = 0;
+  int radix_bits = 0;
+  int jobs = 0;
+  double total_s = 0;
+  double speedup_vs_serial = 0;
+};
+
+std::vector<ThreadedCell> timed_threaded_cells(std::uint64_t n,
+                                               const std::vector<int>& radixes,
+                                               const std::vector<int>& jobs,
+                                               int reps, std::uint64_t seed) {
+  std::vector<ThreadedCell> out;
+  for (const int rb : radixes) {
+    std::vector<Key> input(n);
+    keys::GenSpec gen;
+    gen.n_total = n;
+    gen.nprocs = 1;
+    gen.radix_bits = rb;
+    gen.seed = seed;
+    keys::generate(keys::Dist::kGauss, input, gen);
+    std::vector<Key> work(n), tmp(n), serial_sorted;
+    double serial_s = 0;
+    for (const int j : jobs) {
+      sort::RadixWorkspace ws;
+      ws.jobs = j;
+      double best = 0;
+      for (int rep = 0; rep < reps; ++rep) {
+        std::copy(input.begin(), input.end(), work.begin());
+        const KernelSplit s = timed_kernel_sort(
+            sort::KernelBackend::kOptimized, work, tmp, rb, ws);
+        if (rep == 0 || s.total() < best) best = s.total();
+      }
+      if (j == jobs.front()) {
+        serial_sorted = work;
+        serial_s = best;
+      } else {
+        DSM_CHECK(work == serial_sorted,
+                  "threaded kernel mode changed the sorted output");
+      }
+      out.push_back(ThreadedCell{n, rb, j, best, serial_s / best});
+    }
+  }
+  return out;
+}
+
+/// --calibrate: sweep the kernel tunables on this host and report the
+/// fastest settings. The staging cap decides where the permute leaves
+/// one-level write-combining for the two-level scatter (it binds at radix
+/// 16: 4 MiB of lines); the WC bucket floor decides how many buckets make
+/// staging worthwhile below the DRAM-bound footprint.
+int run_calibration(const bench::BenchEnv& env, bool quick) {
+  const std::uint64_t n = env.sizes.back();
+  const int reps = quick ? 2 : 3;
+  std::cout << "  staging cap sweep (radix 16, n=" << fmt_count(n)
+            << ", best of " << reps << "):\n";
+  const std::size_t saved_cap = sort::kernel_staging_bytes();
+  std::size_t best_kb = 0;
+  double best_s = 0;
+  for (const std::size_t kb : {256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    sort::set_kernel_staging_bytes(kb * 1024);
+    const KernelCell c = timed_kernel_cell(n, 16, reps, env.seed);
+    const char* path = (std::size_t{1} << 16) * sort::kWcLineKeys *
+                                   sizeof(Key) <=
+                               kb * 1024
+                           ? "one-level"
+                           : "two-level";
+    std::cout << "    " << kb << " KiB (" << path << "): optimized "
+              << fmt_fixed(c.optimized.total(), 3) << "s ("
+              << fmt_fixed(c.speedup, 2) << "x vs reference)\n";
+    if (best_kb == 0 || c.optimized.total() < best_s) {
+      best_kb = kb;
+      best_s = c.optimized.total();
+    }
+  }
+  sort::set_kernel_staging_bytes(saved_cap);
+
+  std::cout << "  WC bucket floor sweep (radix 11, n="
+            << fmt_count(env.sizes.front()) << "):\n";
+  const std::size_t saved_floor = sort::kernel_wc_min_buckets();
+  std::size_t best_floor = 0;
+  double best_floor_s = 0;
+  for (const std::size_t fl : {128u, 256u, 512u, 1024u, 4096u}) {
+    sort::set_kernel_wc_min_buckets(fl);
+    const KernelCell c = timed_kernel_cell(env.sizes.front(), 11, reps,
+                                           env.seed);
+    std::cout << "    " << fl << " buckets: optimized "
+              << fmt_fixed(c.optimized.total(), 3) << "s ("
+              << fmt_fixed(c.speedup, 2) << "x vs reference)\n";
+    if (best_floor == 0 || c.optimized.total() < best_floor_s) {
+      best_floor = fl;
+      best_floor_s = c.optimized.total();
+    }
+  }
+  sort::set_kernel_wc_min_buckets(saved_floor);
+
+  std::cout << "  fastest: DSMSORT_KERNEL_STAGING_KB=" << best_kb
+            << " DSMSORT_KERNEL_WC_BUCKETS=" << best_floor
+            << "  (defaults: " << saved_cap / 1024 << " KiB / "
+            << saved_floor << ")\n";
+  return 0;
+}
+
 std::string json_split(const KernelSplit& s) {
   std::ostringstream os;
   os << "{\"hist_s\": " << fmt_fixed(s.hist_s, 4)
@@ -274,43 +385,55 @@ int main(int argc, char** argv) {
     auto env = bench::parse_env(argc, argv,
                                 quick ? "64K,256K" : "1M,4M,16M",
                                 quick ? "16,64" : "16,32,64",
-                                {"quick", "out"});
+                                {"quick", "out", "kernels-only", "calibrate"});
     ArgParser args(argc, argv);
     const std::string out_path = args.get("out", "BENCH_host.json");
-    bench::banner("Host wall-clock: cooperative engine vs thread-per-rank",
+    const bool kernels_only = args.has("kernels-only");
+    if (args.has("calibrate")) {
+      bench::banner("Host kernel tunable calibration", env);
+      return run_calibration(env, quick);
+    }
+    bench::banner(kernels_only
+                      ? "Host wall-clock: radix kernel backends"
+                      : "Host wall-clock: cooperative engine vs "
+                        "thread-per-rank",
                   env);
 
-    // Warm the thread-local input cache and the per-size page-policy state
-    // once so both engines start from identical host conditions.
-    std::vector<double> warm_virt;
-    (void)timed_sweep(env, SpmdEngine::kThreads, warm_virt);
-
-    std::vector<double> virt_threads, virt_coop;
-    const double wall_threads =
-        timed_sweep(env, SpmdEngine::kThreads, virt_threads);
-    const double wall_coop =
-        timed_sweep(env, SpmdEngine::kCooperative, virt_coop);
-    DSM_CHECK(virt_threads == virt_coop,
-              "engines disagree on virtual times");
-    DSM_CHECK(virt_threads == warm_virt,
-              "virtual times changed between repetitions");
-    const double sweep_speedup = wall_threads / wall_coop;
-
+    double wall_threads = 0, wall_coop = 0, sweep_speedup = 0;
+    double micro_threads = 0, micro_coop = 0, micro_speedup = 0;
     const std::uint64_t micro_n = 65536;
     const int micro_p = 64;
     const int micro_reps = quick ? 5 : 20;
-    (void)timed_barrier_micro(micro_n, micro_p, 1, env.seed,
-                              SpmdEngine::kThreads);  // warm
-    const double micro_threads = timed_barrier_micro(
-        micro_n, micro_p, micro_reps, env.seed, SpmdEngine::kThreads);
-    const double micro_coop = timed_barrier_micro(
-        micro_n, micro_p, micro_reps, env.seed, SpmdEngine::kCooperative);
-    const double micro_speedup = micro_threads / micro_coop;
+    if (!kernels_only) {
+      // Warm the thread-local input cache and the per-size page-policy
+      // state once so both engines start from identical host conditions.
+      std::vector<double> warm_virt;
+      (void)timed_sweep(env, SpmdEngine::kThreads, warm_virt);
+
+      std::vector<double> virt_threads, virt_coop;
+      wall_threads = timed_sweep(env, SpmdEngine::kThreads, virt_threads);
+      wall_coop = timed_sweep(env, SpmdEngine::kCooperative, virt_coop);
+      DSM_CHECK(virt_threads == virt_coop,
+                "engines disagree on virtual times");
+      DSM_CHECK(virt_threads == warm_virt,
+                "virtual times changed between repetitions");
+      sweep_speedup = wall_threads / wall_coop;
+
+      (void)timed_barrier_micro(micro_n, micro_p, 1, env.seed,
+                                SpmdEngine::kThreads);  // warm
+      micro_threads = timed_barrier_micro(micro_n, micro_p, micro_reps,
+                                          env.seed, SpmdEngine::kThreads);
+      micro_coop = timed_barrier_micro(micro_n, micro_p, micro_reps,
+                                       env.seed, SpmdEngine::kCooperative);
+      micro_speedup = micro_threads / micro_coop;
+    }
 
     // Kernel backends: per-(n, radix_bits) cells with a histogram /
     // permute / copy split. The fig3-default aggregate sums the cells at
     // the sweep's radix width — the kernel work the figure sweeps execute.
-    const int kernel_reps = quick ? 2 : 3;
+    // Best-of-5 on the full sizes: this is a shared host and the 1M cells
+    // run in ~15 ms, where one scheduler preemption swings a cell 20%.
+    const int kernel_reps = quick ? 3 : 5;
     std::vector<int> kernel_radix{8, 11, 16};
     if (std::find(kernel_radix.begin(), kernel_radix.end(), env.radix_bits) ==
         kernel_radix.end()) {
@@ -330,16 +453,29 @@ int main(int argc, char** argv) {
     }
     const double fig3_kernel_speedup = fig3_ref.total() / fig3_opt.total();
 
-    std::cout << "  fig3-style sweep: threads " << fmt_fixed(wall_threads, 2)
-              << "s  coop " << fmt_fixed(wall_coop, 2) << "s  speedup "
-              << fmt_fixed(sweep_speedup, 2) << "x\n"
-              << "  barrier micro (64K keys, 64P, " << micro_reps
-              << " reps): threads " << fmt_fixed(micro_threads, 2)
-              << "s  coop " << fmt_fixed(micro_coop, 2) << "s  speedup "
-              << fmt_fixed(micro_speedup, 2) << "x\n"
-              << "  virtual times bit-identical across engines: yes\n"
-              << "  kernel backends (reference -> optimized, best of "
-              << kernel_reps << "):\n";
+    // Threaded kernel mode at the largest size: jobs must not change the
+    // sorted bytes; speedup over jobs=1 is informational (1-core hosts
+    // see ~1.0x or the small sharding overhead).
+    const std::vector<int> thread_jobs{1, 2, 4};
+    std::vector<int> thread_radix{env.radix_bits};
+    if (env.radix_bits != 16) thread_radix.push_back(16);
+    const std::vector<ThreadedCell> threaded = timed_threaded_cells(
+        env.sizes.back(), thread_radix, thread_jobs, kernel_reps, env.seed);
+
+    if (!kernels_only) {
+      std::cout << "  fig3-style sweep: threads "
+                << fmt_fixed(wall_threads, 2) << "s  coop "
+                << fmt_fixed(wall_coop, 2) << "s  speedup "
+                << fmt_fixed(sweep_speedup, 2) << "x\n"
+                << "  barrier micro (64K keys, 64P, " << micro_reps
+                << " reps): threads " << fmt_fixed(micro_threads, 2)
+                << "s  coop " << fmt_fixed(micro_coop, 2) << "s  speedup "
+                << fmt_fixed(micro_speedup, 2) << "x\n"
+                << "  virtual times bit-identical across engines: yes\n";
+    }
+    std::cout << "  kernel backends (reference -> optimized, best of "
+              << kernel_reps << ", isa " << sort::kernel_isa_name()
+              << "):\n";
     for (const KernelCell& c : kernel_cells) {
       std::cout << "    n=" << fmt_count(c.n) << " r=" << c.radix_bits
                 << ": " << fmt_fixed(c.reference.total(), 3) << "s -> "
@@ -351,19 +487,28 @@ int main(int argc, char** argv) {
                 << fmt_fixed(c.optimized.permute_s, 3) << ")\n";
     }
     std::cout << "  fig3-default kernel speedup (radix " << env.radix_bits
-              << "): " << fmt_fixed(fig3_kernel_speedup, 2) << "x\n";
+              << "): " << fmt_fixed(fig3_kernel_speedup, 2) << "x\n"
+              << "  threaded kernel mode (n=" << fmt_count(env.sizes.back())
+              << ", optimized, byte-identical output):\n";
+    for (const ThreadedCell& c : threaded) {
+      std::cout << "    r=" << c.radix_bits << " jobs=" << c.jobs << ": "
+                << fmt_fixed(c.total_s, 3) << "s ("
+                << fmt_fixed(c.speedup_vs_serial, 2) << "x vs jobs=1)\n";
+    }
 
     std::ostringstream js;
     js << "{\n"
        << "  \"bench\": \"host_wallclock\",\n"
        << "  \"host\": {\"hardware_threads\": "
        << std::thread::hardware_concurrency()
-       << ", \"default_engine\": \"" << engine_name(default_spmd_engine())
+       << ", \"kernel_isa\": \"" << sort::kernel_isa_name()
+       << "\", \"default_engine\": \"" << engine_name(default_spmd_engine())
        << "\"},\n"
        << "  \"config\": {\"sizes\": " << json_list(env.sizes)
        << ", \"procs\": " << json_list(env.procs)
        << ", \"radix_bits\": " << env.radix_bits << ", \"jobs\": "
        << env.jobs << ", \"quick\": " << (quick ? "true" : "false")
+       << ", \"kernels_only\": " << (kernels_only ? "true" : "false")
        << "},\n"
        << "  \"sweep\": {\"description\": "
        << "\"fig3-style radix sweep, all four models per (n, p) cell\", "
@@ -393,6 +538,20 @@ int main(int argc, char** argv) {
        << ", \"reference\": " << json_split(fig3_ref)
        << ", \"optimized\": " << json_split(fig3_opt)
        << ", \"speedup\": " << fmt_fixed(fig3_kernel_speedup, 3) << "}},\n"
+       << "  \"threaded\": {\"description\": \"optimized kernels with "
+       << "histogram+permute sharded over host threads; output "
+       << "byte-identical to jobs=1 at every thread count\",\n"
+       << "    \"cells\": [\n";
+    for (std::size_t i = 0; i < threaded.size(); ++i) {
+      const ThreadedCell& c = threaded[i];
+      js << "      {\"n\": " << c.n << ", \"radix_bits\": " << c.radix_bits
+         << ", \"jobs\": " << c.jobs
+         << ", \"total_s\": " << fmt_fixed(c.total_s, 4)
+         << ", \"speedup_vs_serial\": "
+         << fmt_fixed(c.speedup_vs_serial, 3) << "}"
+         << (i + 1 < threaded.size() ? "," : "") << "\n";
+    }
+    js << "    ]},\n"
        << "  \"notes\": \"Sweep cells at the default sizes are dominated "
        << "by the charged sort compute itself (the simulator executes "
        << "real radix passes), so the engine speedup there is modest; "

@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# Kernel speed gate: run the host_wallclock kernel-cell sweep and fail if
+# the optimized backend is more than 5% slower than the reference in any
+# (n, radix_bits) cell, or if any threaded-mode cell changed the sorted
+# bytes (host_wallclock itself aborts on that). This is the regression
+# fence for the host kernel layer: "optimized" must never mean "slower".
+#
+# Usage: scripts/kernel_speed_gate.sh [host_wallclock-binary] [--quick]
+#   binary   path to a built host_wallclock (default: build/bench/host_wallclock;
+#            build-native/bench/host_wallclock is what CI gates on)
+#   --quick  small sizes (the ctest tier uses this)
+set -eu
+
+BIN="${1:-build/bench/host_wallclock}"
+QUICK="${2:-}"
+OUT="$(mktemp /tmp/kernel_speed_gate.XXXXXX.json)"
+trap 'rm -f "$OUT"' EXIT
+
+if [ ! -x "$BIN" ]; then
+  echo "kernel_speed_gate: host_wallclock binary not found at $BIN" >&2
+  echo "build it first: cmake --build <dir> --target host_wallclock" >&2
+  exit 2
+fi
+
+if [ "$QUICK" = "--quick" ]; then
+  # 1M rather than the bench harness's 64K/256K quick sizes: cells under
+  # ~10 ms on a shared host are dominated by scheduler noise, not kernels,
+  # and the quick tier gets a wider noise margin for the same reason.
+  "$BIN" --kernels-only --sizes 1M --out "$OUT"
+  TOLERANCE=0.90
+else
+  "$BIN" --kernels-only --sizes 1M,4M --out "$OUT"
+  TOLERANCE=0.95
+fi
+export TOLERANCE
+
+python3 - "$OUT" <<'EOF'
+import json
+import os
+import sys
+
+# Optimized may be at most 5% slower than reference (10% in the quick
+# tier, whose smaller cells carry more scheduler noise).
+TOLERANCE = float(os.environ["TOLERANCE"])
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+
+cells = report["kernels"]["cells"]
+if not cells:
+    sys.exit("kernel_speed_gate: no kernel cells in report")
+
+failures = []
+for cell in cells:
+    if cell["speedup"] < TOLERANCE:
+        failures.append(
+            "  n=%d radix=%d: optimized %.3fs vs reference %.3fs "
+            "(%.2fx < %.2fx)"
+            % (cell["n"], cell["radix_bits"],
+               cell["optimized"]["total_s"], cell["reference"]["total_s"],
+               cell["speedup"], TOLERANCE))
+    print("  n=%-9d radix=%-2d speedup %.2fx"
+          % (cell["n"], cell["radix_bits"], cell["speedup"]))
+
+if failures:
+    print("kernel_speed_gate: FAIL — optimized slower than reference:")
+    print("\n".join(failures))
+    sys.exit(1)
+print("kernel_speed_gate: PASS (%d cells, all >= %.2fx)"
+      % (len(cells), TOLERANCE))
+EOF

@@ -14,15 +14,21 @@
 //     write-combining permute: per-bucket cache-line buffers flushed
 //     contiguously — the paper's CC-SAS-NEW insight (buffer scattered
 //     remote writes locally, move them contiguously) applied to the
-//     host's own cache hierarchy; (c) dead-pass skipping: a pass whose
-//     digits are all equal is an identity permutation and moves no data.
+//     host's own cache hierarchy; (c) a two-level staged scatter for
+//     bucket counts whose staging would overflow the cache (radix 16):
+//     keys are first grouped by super-digit into a chunk buffer, then
+//     each super-bucket is scattered to its final position — both levels
+//     keep the live write-stream count small; (d) dead-pass skipping: a
+//     pass whose digits are all equal is an identity permutation and
+//     moves no data; (e) an optional threaded mode (`jobs`) that shards
+//     histogram and permute across host threads inside one charged sort.
 //
 // The hard contract (see DESIGN.md §9): backends are *charge-invariant*.
-// A kernel may change instruction count, sweep structure, and staging
-// buffers; it must not change the sorted output, the per-pass histogram,
-// the measured run structure (`runs`, `active`) the cost model consumes,
-// or any charged virtual time. The equivalence test tier enforces this
-// bit-for-bit.
+// A kernel may change instruction count, sweep structure, staging
+// buffers, and host thread count; it must not change the sorted output,
+// the per-pass histogram, the measured run structure (`runs`, `active`)
+// the cost model consumes, or any charged virtual time. The equivalence
+// test tier enforces this bit-for-bit, for every backend and jobs value.
 #pragma once
 
 #include <cstdint>
@@ -36,7 +42,7 @@ namespace dsm::sort {
 
 enum class KernelBackend {
   kReference,  // seed loops, kept verbatim
-  kOptimized,  // one-sweep histograms + WC permute + dead-pass skipping
+  kOptimized,  // one-sweep histograms + staged permutes + dead-pass skip
 };
 
 const char* kernel_backend_name(KernelBackend b);
@@ -52,26 +58,92 @@ void set_default_kernel_backend(KernelBackend b);
 /// cache line staged per bucket, flushed contiguously when full.
 inline constexpr std::size_t kWcLineKeys = 64 / sizeof(Key);
 
-/// Bucket count at and above which the optimized permute stages writes in
-/// write-combining buffers regardless of input size. Below it the
-/// destination write streams fit the L1 comfortably and direct scattered
-/// stores win (the WC staging would only add a copy) — unless the moved
-/// footprint itself is memory-bound, see kWcMinFootprintBytes.
-inline constexpr std::size_t kWcMinBuckets = 512;
+/// Default bucket count at and above which the optimized permute stages
+/// writes in write-combining buffers regardless of input size. Below it
+/// the destination write streams fit the L1 comfortably and direct
+/// scattered stores win (the WC staging would only add a copy) — unless
+/// the moved footprint itself is memory-bound, see kWcMinFootprintBytes.
+/// Runtime value: kernel_wc_min_buckets() / DSMSORT_KERNEL_WC_BUCKETS.
+inline constexpr std::size_t kWcDefaultMinBuckets = 512;
 
-/// Staging-area ceiling for the WC permute. Past it the per-bucket line
-/// buffers no longer fit the L2 and staging evicts the very lines it is
-/// trying to batch (measured: 2^16 buckets = 4 MiB staging loses to the
-/// direct scatter), so the optimized permute falls back to direct stores.
-inline constexpr std::size_t kWcMaxStagingBytes = std::size_t{1} << 20;
+/// Default staging-area ceiling for the one-level WC permute. Past it the
+/// per-bucket line buffers no longer fit the L2 and staging evicts the
+/// very lines it is trying to batch (measured: 2^16 buckets = 4 MiB
+/// staging loses to the direct scatter), so the optimized permute
+/// switches to the two-level staged scatter instead. Runtime value:
+/// kernel_staging_bytes() / DSMSORT_KERNEL_STAGING_KB.
+inline constexpr std::size_t kWcDefaultStagingBytes = std::size_t{1} << 20;
 
 /// Moved-bytes threshold past which the permute is DRAM-bound rather than
 /// cache-resident. At or above it the optimized permute (a) engages WC
-/// staging even below kWcMinBuckets, and (b) flushes full aligned lines
-/// with non-temporal stores where the ISA offers them — the destination
-/// is write-only until the next pass, so bypassing the hierarchy saves
-/// the read-for-ownership of every destination line.
+/// staging even below kernel_wc_min_buckets(), and (b) flushes full
+/// aligned lines with non-temporal stores where the ISA offers them — the
+/// destination is write-only until the next pass, so bypassing the
+/// hierarchy saves the read-for-ownership of every destination line.
 inline constexpr std::size_t kWcMinFootprintBytes = std::size_t{4} << 20;
+
+/// The two-level scatter only pays once the average bucket holds this
+/// many keys; below it the destination write streams are sparse enough
+/// that the direct scatter stays cache-resident.
+inline constexpr std::size_t kTwoLevelMinKeysPerBucket = 4;
+
+/// Widest super-digit the two-level scatter's first level uses: 2^10
+/// coarse buckets keep level-1 staging at 64 KiB regardless of radix.
+inline constexpr int kTwoLevelMaxCoarseBits = 10;
+
+/// Default minimum keys per shard before the threaded kernel mode splits
+/// a histogram/permute across host threads (thread spawn and the serial
+/// cursor merge must amortize). Runtime value: kernel_shard_min_keys().
+inline constexpr std::size_t kDefaultShardMinKeys = std::size_t{1} << 17;
+
+/// Below this many bytes an exchange_copy is always a plain memcpy: the
+/// non-temporal path's fence and alignment peeling need a run of full
+/// cache lines to pay for themselves.
+inline constexpr std::size_t kStreamCopyMinBytes = std::size_t{1} << 12;
+
+/// Tunable one-level WC staging ceiling in bytes. Seeded from
+/// DSMSORT_KERNEL_STAGING_KB (strict parse: a bare non-negative integer
+/// in KiB; 0 disables one-level staging so large radixes go straight to
+/// the two-level scatter), else kWcDefaultStagingBytes.
+std::size_t kernel_staging_bytes();
+void set_kernel_staging_bytes(std::size_t bytes);
+
+/// Tunable WC amortization gate (minimum bucket count). Seeded from
+/// DSMSORT_KERNEL_WC_BUCKETS (strict parse), else kWcDefaultMinBuckets.
+std::size_t kernel_wc_min_buckets();
+void set_kernel_wc_min_buckets(std::size_t buckets);
+
+/// Tunable threaded-mode shard floor (minimum keys per shard). No env —
+/// tests and calibration lower it to exercise sharding at small n.
+std::size_t kernel_shard_min_keys();
+void set_kernel_shard_min_keys(std::size_t keys);
+
+/// Process-wide default kernel thread count, used by workspaces whose
+/// `jobs` is 0. Seeded from DSMSORT_KERNEL_JOBS (strict parse; 0 means
+/// one thread per hardware thread, like DSMSORT_JOBS), else 1 (serial).
+/// Always returns a resolved value >= 1.
+int default_kernel_jobs();
+void set_default_kernel_jobs(int jobs);
+
+/// Shard count a kernel call will actually use for `n` keys under the
+/// given `jobs` request (0 = inherit default_kernel_jobs()): the jobs
+/// cap, then at most one shard per kernel_shard_min_keys() keys.
+int effective_kernel_shards(int jobs, std::size_t n);
+
+/// Strict full-string parse behind the DSMSORT_KERNEL_* variables,
+/// exported so tests can exercise the error paths without setenv: accepts
+/// exactly an optional sign plus base-10 digits within
+/// [min_value, max_value]; anything else (leading whitespace, trailing
+/// garbage, overflow, out of range) throws Error quoting `text` and
+/// describing the accepted values as `what`.
+long long parse_kernel_env_number(const char* name, const char* text,
+                                  long long min_value, long long max_value,
+                                  const char* what);
+
+/// Widest permute-flush ISA this build + host combination dispatches to:
+/// "avx2", "sse2", or "scalar". AVX2 variants exist only in the
+/// DSMSORT_NATIVE kernel TU and are gated on a runtime CPU check.
+const char* kernel_isa_name();
 
 /// Reusable per-caller scratch for the radix kernels. Hoists every
 /// allocation the seed kernels made per call (the per-pass `hist`
@@ -85,13 +157,24 @@ struct RadixWorkspace {
   /// 2^radix_bits buckets) and the WC staging buffers.
   void prepare(int radix_bits, int passes);
 
+  /// Kernel thread budget for calls made through this workspace:
+  /// 0 = inherit default_kernel_jobs(), 1 = serial, N = up to N host
+  /// threads. Output is byte-identical for every value (enforced by the
+  /// equivalence tiers); only host wall-clock changes.
+  int jobs = 0;
+
   std::vector<std::uint64_t> hist;       // 2^radix_bits running cursors
   std::vector<std::uint64_t> pass_hist;  // [pass][bucket], one-sweep rows
-  std::vector<Key> wc_keys;              // 2^radix_bits x kWcLineKeys
+  std::vector<Key> wc_keys;              // staging lines x kWcLineKeys
   std::vector<std::uint32_t> wc_fill;    // staged keys per bucket (all 0
                                          // between permute calls)
   std::vector<std::uint32_t> wc_need;    // keys until next flush (aligns
                                          // streaming flushes to 64B)
+  std::vector<Key> chunk;                // two-level: super-digit groups
+  std::vector<std::uint64_t> coarse;     // two-level: super-digit cursors
+  std::vector<RadixWorkspace> shards;    // threaded: per-shard staging
+  std::vector<std::uint64_t> shard_hist;    // threaded: [shard][bucket]
+  std::vector<std::uint64_t> shard_cursor;  // threaded: [shard][bucket]
 };
 
 /// The calling host thread's lazily-created workspace. The legacy
@@ -104,12 +187,21 @@ RadixWorkspace& tls_radix_workspace();
 std::uint64_t count_active(std::span<const std::uint64_t> hist);
 
 /// One counting pass over `keys` for digit `pass`: fills `hist` (size
-/// 2^radix_bits) and returns the number of nonzero buckets. Identical
-/// loop under both backends (a single-pass count is already memory
-/// bound); the optimized backend's histogram win is multi_histogram.
+/// 2^radix_bits) and returns the number of nonzero buckets. The scalar
+/// loop is identical under both backends (a single-pass count is already
+/// memory bound); the optimized backend may use the vectorized digit
+/// extraction where the build carries it.
 std::uint64_t histogram_kernel(KernelBackend be, std::span<const Key> keys,
                                int pass, int radix_bits,
                                std::span<std::uint64_t> hist);
+
+/// Workspace-aware overload: under the optimized backend this may shard
+/// the count across `ws.jobs` host threads (per-shard counts summed in
+/// fixed shard order — the result is exactly the serial histogram).
+std::uint64_t histogram_kernel(KernelBackend be, std::span<const Key> keys,
+                               int pass, int radix_bits,
+                               std::span<std::uint64_t> hist,
+                               RadixWorkspace& ws);
 
 /// Histograms of every pass at once: fills `pass_hist` (row-major,
 /// `passes` rows of 2^radix_bits). kReference performs `passes`
@@ -119,16 +211,51 @@ void multi_histogram_kernel(KernelBackend be, std::span<const Key> keys,
                             int passes, int radix_bits,
                             std::span<std::uint64_t> pass_hist);
 
+/// Workspace-aware overload: the optimized backend may shard the sweep
+/// across `ws.jobs` host threads; per-shard tables are summed in fixed
+/// shard order so the result is exactly the serial table.
+void multi_histogram_kernel(KernelBackend be, std::span<const Key> keys,
+                            int passes, int radix_bits,
+                            std::span<std::uint64_t> pass_hist,
+                            RadixWorkspace& ws);
+
 /// Stable permutation of `in` into `out` by digit `pass`, using `cursor`
 /// (size 2^radix_bits) as running write cursors (consumed: advanced past
 /// every written key). Returns the measured digit-run count — the charge
 /// input the cost model consumes — which is a pure function of the input
 /// order and therefore backend-invariant. `active` is the nonzero bucket
 /// count of this span's digit histogram (enables the single-bucket
-/// contiguous-copy fast path; pass count_active's result).
+/// contiguous-copy fast path; pass count_active's result). Under the
+/// optimized backend `ws.jobs > 1` shards the permute across host
+/// threads; stability of every path makes the output byte-identical for
+/// any shard count.
 std::uint64_t permute_kernel(KernelBackend be, std::span<const Key> in,
                              std::span<Key> out, int pass, int radix_bits,
                              std::span<std::uint64_t> cursor,
                              std::uint64_t active, RadixWorkspace& ws);
+
+/// Flush one staged write-combining group (`n_keys` <= kWcLineKeys) to
+/// `dst`. A full-line flush to a 64-byte-aligned destination uses
+/// non-temporal stores where the build carries them; anything else is an
+/// ordinary contiguous copy. For callers that run their own staging state
+/// machine around a charge-measurement loop (the CC-SAS scatter); pair
+/// with wc_store_fence() after the final drain.
+void wc_flush(Key* dst, const Key* src, std::size_t n_keys);
+
+/// Order preceding non-temporal flushes before later loads or an
+/// inter-thread hand-off of the flushed destination. No-op on builds
+/// without streaming stores.
+void wc_store_fence();
+
+/// Contiguous key copy for between-pass exchanges (worker piece moves,
+/// sample sort's redistribution). kReference is std::memcpy; kOptimized
+/// streams full destination lines with non-temporal stores when the
+/// surrounding exchange (`footprint_bytes`, the total bytes the phase
+/// moves) is DRAM-bound — the destination is write-only until the next
+/// phase, so bypassing the cache saves its read-for-ownership traffic.
+/// Byte-identical result under both backends; safe for any alignment;
+/// `dst` and `src` must not overlap.
+void exchange_copy(KernelBackend be, Key* dst, const Key* src,
+                   std::size_t n, std::size_t footprint_bytes);
 
 }  // namespace dsm::sort

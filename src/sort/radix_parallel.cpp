@@ -140,14 +140,15 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
   traffic.reserve(static_cast<std::size_t>(p));
   std::vector<Key> buf(w.buffered ? homes.count_of(r) : 0);
   RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
+  ws.jobs = w.kernel_jobs;
 
   sas::SharedArray<Key>* in = w.a;
   sas::SharedArray<Key>* out = w.b;
   for (int pass = 0; pass < passes; ++pass) {
     const std::span<const Key> my_keys = in->partition(r);
     ctx.phase("local histogram");
-    const std::uint64_t active =
-        charged_histogram(ctx, my_keys, pass, w.radix_bits, hist);
+    const std::uint64_t active = charged_histogram(
+        ctx, my_keys, pass, w.radix_bits, hist, w.kernels, ws);
     ctx.phase("global histogram");
     w.scan->scan(ctx, hist, rank_prefix, global_cnt);
     exclusive_prefix(ctx, global_cnt, global_start);
@@ -173,6 +174,37 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
 
       const double permute_start_ns = ctx.clock().now_ns();
       Key* const out_data = out->data();
+      // Worker-exchange write-combining: under the optimized backend the
+      // scattered remote stores are staged per bucket and flushed as
+      // contiguous lines (non-temporal on aligned full lines), exactly
+      // like the local WC permute. The measurement loop below — cursor
+      // positions, home-owner tracking, per-home byte/run tallies — is
+      // untouched, so every charge is identical; only the physical store
+      // order changes, and flushes land each key at its cursor position.
+      const bool stage_writes =
+          w.kernels == KernelBackend::kOptimized &&
+          buckets * kWcLineKeys * sizeof(Key) <= kernel_staging_bytes() &&
+          (part_bytes >= kWcMinFootprintBytes ||
+           (buckets >= kernel_wc_min_buckets() &&
+            my_keys.size() >= buckets * kWcLineKeys));
+      Key* wc = nullptr;
+      std::uint32_t* wfill = nullptr;
+      std::uint32_t* wneed = nullptr;
+      if (stage_writes) {
+        ws.prepare(w.radix_bits, 1);
+        wc = ws.wc_keys.data();
+        wfill = ws.wc_fill.data();
+        wneed = ws.wc_need.data();
+        // Phase each bucket's first flush to the destination's next
+        // 64-byte boundary so later full-line flushes can stream.
+        for (std::size_t b = 0; b < buckets; ++b) {
+          const auto addr =
+              reinterpret_cast<std::uintptr_t>(out_data + cursor[b]);
+          const std::size_t off = (addr % 64u) / sizeof(Key);
+          wneed[b] = static_cast<std::uint32_t>(
+              off == 0 ? kWcLineKeys : kWcLineKeys - off);
+        }
+      }
       std::uint64_t local_accesses = 0, local_runs = 0;
       std::fill(bytes_to.begin(), bytes_to.end(), 0);
       std::fill(runs_to.begin(), runs_to.end(), 0);
@@ -180,7 +212,19 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       for (const Key k : my_keys) {
         const std::uint32_t d = radix_digit(k, pass, w.radix_bits);
         const std::uint64_t pos = cursor[d]++;
-        out_data[pos] = k;
+        if (!stage_writes) {
+          out_data[pos] = k;
+        } else {
+          std::uint32_t f = wfill[d];
+          wc[d * kWcLineKeys + f] = k;
+          ++f;
+          if (f == wneed[d]) {
+            wc_flush(out_data + (pos + 1 - f), wc + d * kWcLineKeys, f);
+            wneed[d] = kWcLineKeys;
+            f = 0;
+          }
+          wfill[d] = f;
+        }
         while (pos >= owner_end[d]) {
           ++owner[d];
           owner_end[d] = homes.end_of(owner[d]);
@@ -195,6 +239,17 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
           bytes_to[static_cast<std::size_t>(home)] += sizeof(Key);
           runs_to[static_cast<std::size_t>(home)] += new_run ? 1 : 0;
         }
+      }
+      if (stage_writes) {
+        // Drain partial lines (restoring the all-zero staging invariant)
+        // and fence the streamed stores before the ownership hand-off.
+        for (std::size_t b = 0; b < buckets; ++b) {
+          const std::uint32_t f = wfill[b];
+          if (f == 0) continue;
+          wc_flush(out_data + (cursor[b] - f), wc + b * kWcLineKeys, f);
+          wfill[b] = 0;
+        }
+        wc_store_fence();
       }
       ctx.busy_cycles(static_cast<double>(my_keys.size()) *
                       ctx.params().cpu.permute_cycles);
@@ -246,9 +301,9 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
         for_each_piece(homes, gpos, hist[b],
                        [&](int dst, std::uint64_t gp, std::uint64_t off,
                            std::uint64_t len) {
-                         std::memcpy(out_data + gp,
-                                     buf.data() + local_prefix[b] + off,
-                                     len * sizeof(Key));
+                         exchange_copy(w.kernels, out_data + gp,
+                                       buf.data() + local_prefix[b] + off,
+                                       len, part_bytes);
                          if (dst == r) {
                            local_bytes += len * sizeof(Key);
                          } else {
@@ -310,6 +365,7 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
   std::vector<msg::Communicator::Send> sends;
   std::vector<Key> buf(n_local);
   RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
+  ws.jobs = w.kernel_jobs;
   std::vector<Key> stage;  // coalesced-mode receive staging
   if (!w.chunk_messages) {
     stage.resize(n_local);
@@ -328,7 +384,7 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
   for (int pass = 0; pass < passes; ++pass) {
     ctx.phase("local histogram");
     const std::uint64_t active =
-        charged_histogram(ctx, *in, pass, w.radix_bits, hist);
+        charged_histogram(ctx, *in, pass, w.radix_bits, hist, w.kernels, ws);
     ctx.phase("global histogram");
     w.comm->allgather<std::uint64_t>(ctx, hist, all_hist);
     prefixes_from_allhists(ctx, all_hist, buckets, rank_prefix, global_start);
@@ -350,8 +406,8 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
                 std::uint64_t len) {
               const Key* src = buf.data() + local_prefix[b] + off;
               if (dst == r) {
-                std::memcpy(out->data() + (gp - homes.begin_of(r)), src,
-                            len * sizeof(Key));
+                exchange_copy(w.kernels, out->data() + (gp - homes.begin_of(r)),
+                              src, len, part_bytes);
                 ctx.stream(2 * len * sizeof(Key), part_bytes);
                 return;
               }
@@ -410,8 +466,8 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
               reinterpret_cast<const std::byte*>(buf.data() + my_buf_off),
               len * sizeof(Key)});
         } else {
-          std::memcpy(stage.data() + stage_off, buf.data() + my_buf_off,
-                      len * sizeof(Key));
+          exchange_copy(w.kernels, stage.data() + stage_off,
+                        buf.data() + my_buf_off, len, part_bytes);
           ctx.stream(2 * len * sizeof(Key), part_bytes);
         }
         my_buf_off += len;
@@ -436,8 +492,8 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
           const std::uint64_t lo = std::max(gpos, my_begin);
           const std::uint64_t hi = std::min(gpos + cnt, my_end);
           if (lo < hi) {
-            std::memcpy(out->data() + (lo - my_begin),
-                        stage.data() + stage_pos, (hi - lo) * sizeof(Key));
+            exchange_copy(w.kernels, out->data() + (lo - my_begin),
+                          stage.data() + stage_pos, hi - lo, part_bytes);
             stage_pos += hi - lo;
             ++pieces;
           }
@@ -462,7 +518,7 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
     std::swap(in, out);
   }
   if (passes % 2 != 0) {
-    std::memcpy(out->data(), in->data(), n_local * sizeof(Key));
+    exchange_copy(w.kernels, out->data(), in->data(), n_local, part_bytes);
     std::swap(in, out);
     ctx.stream(2 * part_bytes, 2 * part_bytes);
   }
@@ -486,6 +542,7 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
   std::vector<shmem::GetOp> gets;
   std::vector<shmem::PutOp> puts;
   RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
+  ws.jobs = w.kernel_jobs;
 
   std::uint64_t in_off = w.off_a;
   std::uint64_t out_off = w.off_b;
@@ -511,8 +568,8 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
       cold_input = false;
     }
     ctx.phase("local histogram");
-    const std::uint64_t active =
-        charged_histogram(ctx, my_keys, pass, w.radix_bits, hist);
+    const std::uint64_t active = charged_histogram(
+        ctx, my_keys, pass, w.radix_bits, hist, w.kernels, ws);
     ctx.phase("global histogram");
     w.sh->fcollect<std::uint64_t>(ctx, hist, all_hist);
     prefixes_from_allhists(ctx, all_hist, buckets, rank_prefix, global_start);
@@ -548,9 +605,9 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
               const std::uint64_t src_off =
                   w.off_stage + (src_prefix + (lo - gpos)) * sizeof(Key);
               if (j == r) {
-                std::memcpy(out + (lo - my_begin), stage + src_prefix +
-                                                        (lo - gpos),
-                            bytes / sizeof(Key) * sizeof(Key));
+                exchange_copy(w.kernels, out + (lo - my_begin),
+                              stage + src_prefix + (lo - gpos),
+                              bytes / sizeof(Key), part_bytes);
                 ctx.stream(2 * bytes, part_bytes);
               } else {
                 gets.push_back(shmem::GetOp{
@@ -582,8 +639,9 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
               const std::uint64_t dst_off =
                   out_off + (gp - homes.begin_of(dst)) * sizeof(Key);
               if (dst == r) {
-                std::memcpy(heap.at<Key>(r, out_off) + (gp - homes.begin_of(r)),
-                            src, len * sizeof(Key));
+                exchange_copy(w.kernels,
+                              heap.at<Key>(r, out_off) + (gp - homes.begin_of(r)),
+                              src, len, part_bytes);
                 ctx.stream(2 * len * sizeof(Key), part_bytes);
                 return;
               }
@@ -599,8 +657,8 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
     std::swap(in_off, out_off);
   }
   if (passes % 2 != 0) {
-    std::memcpy(heap.at<Key>(r, w.off_a), heap.at<Key>(r, w.off_b),
-                n_local * sizeof(Key));
+    exchange_copy(w.kernels, heap.at<Key>(r, w.off_a),
+                  heap.at<Key>(r, w.off_b), n_local, part_bytes);
     ctx.stream(2 * part_bytes, 2 * part_bytes);
   }
 }

@@ -49,6 +49,10 @@ struct CcSasRadixWorld {
   /// times are identical across backends (the charge-invariance
   /// contract); this only changes host speed.
   KernelBackend kernels = default_kernel_backend();
+  /// Host threads per rank for the kernel calls (0 = inherit
+  /// default_kernel_jobs(); see RadixWorkspace::jobs). Output and charged
+  /// times are byte-identical for every value.
+  int kernel_jobs = 0;
   std::atomic<int> passes_used{0};  // output (identical on every rank)
 };
 void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w);
@@ -66,6 +70,7 @@ struct MpiRadixWorld {
   bool chunk_messages = true;
   bool detect_max_key = false;      // see CcSasRadixWorld
   KernelBackend kernels = default_kernel_backend();  // see CcSasRadixWorld
+  int kernel_jobs = 0;              // see CcSasRadixWorld
   std::atomic<int> passes_used{0};  // output
 };
 void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w);
@@ -88,6 +93,7 @@ struct ShmemRadixWorld {
   bool use_put = false;
   bool detect_max_key = false;      // see CcSasRadixWorld
   KernelBackend kernels = default_kernel_backend();  // see CcSasRadixWorld
+  int kernel_jobs = 0;              // see CcSasRadixWorld
   std::atomic<int> passes_used{0};  // output
 };
 void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w);

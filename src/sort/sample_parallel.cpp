@@ -121,6 +121,7 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   std::span<Key> mine = w.keys->partition(r);
   std::vector<Key> tmp(mine.size());
   RadixWorkspace ws;  // kernel scratch shared by both local sort phases
+  ws.jobs = w.kernel_jobs;
   local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
 
   // Phase 2: publish my samples (my slot of the shared sample array).
@@ -214,7 +215,8 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
     const std::uint64_t cnt = bj[r + 1] - bj[r];
     if (cnt == 0) continue;
     const Key* src = w.keys->partition(j).data() + bj[r];
-    std::memcpy(out.data() + pos, src, cnt * sizeof(Key));
+    exchange_copy(w.kernels, out.data() + pos, src, cnt,
+                  total * sizeof(Key));
     if (j == r) {
       ctx.stream(2 * cnt * sizeof(Key), 2 * cnt * sizeof(Key));
     } else {
@@ -247,6 +249,7 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   std::vector<Key>& mine = (*w.parts)[rr];
   std::vector<Key> tmp(mine.size());
   RadixWorkspace ws;  // kernel scratch shared by both local sort phases
+  ws.jobs = w.kernel_jobs;
   local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
 
   // Phases 2+3: allgather samples; everyone redundantly sorts the full
@@ -291,7 +294,8 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
     std::uint64_t dst_off = 0;
     for (int j = 0; j < r; ++j) dst_off += cnt_from_to(j, dst);
     if (dst == r) {
-      std::memcpy(out.data() + dst_off, src, cnt * sizeof(Key));
+      exchange_copy(w.kernels, out.data() + dst_off, src, cnt,
+                    total * sizeof(Key));
       ctx.stream(2 * cnt * sizeof(Key), 2 * cnt * sizeof(Key));
       continue;
     }
@@ -327,6 +331,7 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   std::span<Key> mine(heap.at<Key>(r, w.off_keys), n_local);
   std::vector<Key> tmp(mine.size());
   RadixWorkspace ws;  // kernel scratch shared by both local sort phases
+  ws.jobs = w.kernel_jobs;
   local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
 
   // Phases 2+3: fcollect samples; redundant local splitter computation.
@@ -366,7 +371,8 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
     const std::uint64_t cnt = bj[r + 1] - bj[r];
     if (cnt == 0) continue;
     if (j == r) {
-      std::memcpy(out.data() + pos, mine.data() + bj[r], cnt * sizeof(Key));
+      exchange_copy(w.kernels, out.data() + pos, mine.data() + bj[r], cnt,
+                    total * sizeof(Key));
       ctx.stream(2 * cnt * sizeof(Key), 2 * cnt * sizeof(Key));
     } else {
       gets.push_back(shmem::GetOp{

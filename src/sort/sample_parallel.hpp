@@ -47,6 +47,10 @@ struct CcSasSampleWorld {
   /// Host kernel backend for both local sort phases; charged virtual
   /// times are backend-invariant (DESIGN.md §9).
   KernelBackend kernels = default_kernel_backend();
+  /// Host threads per rank for the kernel calls (0 = inherit
+  /// default_kernel_jobs()). Output and charged times are byte-identical
+  /// for every value.
+  int kernel_jobs = 0;
 };
 void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w);
 
@@ -57,6 +61,7 @@ struct MpiSampleWorld {
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
   KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
+  int kernel_jobs = 0;                               // see CcSasSampleWorld
 };
 void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w);
 
@@ -69,6 +74,7 @@ struct ShmemSampleWorld {
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
   KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
+  int kernel_jobs = 0;                               // see CcSasSampleWorld
 };
 void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w);
 

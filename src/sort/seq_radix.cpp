@@ -114,7 +114,7 @@ void seq_radix_sort(std::span<Key> keys, std::span<Key> tmp, int radix_bits,
   ws.prepare(radix_bits, passes);
   const std::span<std::uint64_t> pass_hist(
       ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
-  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist);
+  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist, ws);
   const std::span<std::uint64_t> cursor(ws.hist.data(), buckets);
   bool in_keys = true;  // which toggle buffer currently holds the data
   for (int pass = 0; pass < passes; ++pass) {
@@ -143,6 +143,18 @@ std::uint64_t charged_histogram(sim::ProcContext& ctx,
   DSM_REQUIRE(hist.size() == buckets, "histogram span size mismatch");
   const std::uint64_t active = histogram_kernel(
       default_kernel_backend(), keys, pass, radix_bits, hist);
+  charge_histogram_pass(ctx, keys.size(), buckets);
+  return active;
+}
+
+std::uint64_t charged_histogram(sim::ProcContext& ctx,
+                                std::span<const Key> keys, int pass,
+                                int radix_bits, std::span<std::uint64_t> hist,
+                                KernelBackend be, RadixWorkspace& ws) {
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  DSM_REQUIRE(hist.size() == buckets, "histogram span size mismatch");
+  const std::uint64_t active =
+      histogram_kernel(be, keys, pass, radix_bits, hist, ws);
   charge_histogram_pass(ctx, keys.size(), buckets);
   return active;
 }
@@ -225,7 +237,7 @@ void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
   ws.prepare(radix_bits, passes);
   const std::span<std::uint64_t> pass_hist(
       ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
-  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist);
+  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist, ws);
   const std::span<std::uint64_t> cursor(ws.hist.data(), buckets);
   bool in_keys = true;  // which buffer physically holds the data
   for (int pass = 0; pass < passes; ++pass) {

@@ -123,6 +123,7 @@ SortResult run_radix_ccsas(const SortSpec& spec,
   w.buffered = spec.model == Model::kCcSasNew;
   w.detect_max_key = spec.ablations.detect_max_key;
   w.kernels = spec.kernel_backend;
+  w.kernel_jobs = spec.kernel_jobs;
   team.run([&](sim::ProcContext& ctx) { radix_ccsas(ctx, w); });
 
   const int passes = w.passes_used.load(std::memory_order_relaxed);
@@ -155,6 +156,7 @@ SortResult run_radix_mpi(const SortSpec& spec,
   w.chunk_messages = spec.ablations.mpi_chunk_messages;
   w.detect_max_key = spec.ablations.detect_max_key;
   w.kernels = spec.kernel_backend;
+  w.kernel_jobs = spec.kernel_jobs;
   team.run([&](sim::ProcContext& ctx) { radix_mpi(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -183,6 +185,7 @@ SortResult run_radix_shmem(const SortSpec& spec,
   w.use_put = spec.ablations.shmem_use_put;
   w.detect_max_key = spec.ablations.detect_max_key;
   w.kernels = spec.kernel_backend;
+  w.kernel_jobs = spec.kernel_jobs;
 
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_a), homes.count_of(r));
@@ -225,6 +228,7 @@ SortResult run_sample_ccsas(const SortSpec& spec,
   w.sample_count = spec.ablations.sample_count;
   w.group_size = spec.ablations.sample_group_size;
   w.kernels = spec.kernel_backend;
+  w.kernel_jobs = spec.kernel_jobs;
   team.run([&](sim::ProcContext& ctx) { sample_ccsas(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -254,6 +258,7 @@ SortResult run_sample_mpi(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
   w.kernels = spec.kernel_backend;
+  w.kernel_jobs = spec.kernel_jobs;
   team.run([&](sim::ProcContext& ctx) { sample_mpi(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
@@ -282,6 +287,7 @@ SortResult run_sample_shmem(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
   w.kernels = spec.kernel_backend;
+  w.kernel_jobs = spec.kernel_jobs;
 
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_keys), homes.count_of(r));
@@ -367,6 +373,10 @@ Status SortSpec::validate_status() const {
   if (!(radix_bits >= 1 && radix_bits <= 16)) {
     violation("radix bits must be in [1, 16], got " +
               std::to_string(radix_bits));
+  }
+  if (kernel_jobs < 0) {
+    violation("kernel jobs must be >= 0 (0 = default), got " +
+              std::to_string(kernel_jobs));
   }
   if (ablations.sample_count < 1) {
     violation("sample count must be >= 1, got " +

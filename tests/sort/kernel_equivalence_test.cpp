@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
@@ -233,6 +236,285 @@ INSTANTIATE_TEST_SUITE_P(
     RadixBySeed, KernelSortEquivalence,
     ::testing::Combine(::testing::Values(4, 8, 11, 16),
                        ::testing::Values(1ull, 2ull, 3ull)));
+
+/// RAII restore for the process-wide kernel tunables, so tests can force
+/// the two-level / threaded paths at small n without leaking settings.
+struct TunableGuard {
+  std::size_t staging = kernel_staging_bytes();
+  std::size_t wc_min = kernel_wc_min_buckets();
+  std::size_t shard_min = kernel_shard_min_keys();
+  ~TunableGuard() {
+    set_kernel_staging_bytes(staging);
+    set_kernel_wc_min_buckets(wc_min);
+    set_kernel_shard_min_keys(shard_min);
+  }
+};
+
+TEST(KernelTunables, SettersValidateAndRoundTrip) {
+  TunableGuard guard;
+  set_kernel_staging_bytes(0);  // 0 = one-level staging disabled
+  EXPECT_EQ(kernel_staging_bytes(), 0u);
+  set_kernel_staging_bytes(64 * 1024);
+  EXPECT_EQ(kernel_staging_bytes(), 64u * 1024u);
+  set_kernel_wc_min_buckets(32);
+  EXPECT_EQ(kernel_wc_min_buckets(), 32u);
+  EXPECT_THROW(set_kernel_wc_min_buckets(0), Error);
+  set_kernel_shard_min_keys(1024);
+  EXPECT_EQ(kernel_shard_min_keys(), 1024u);
+  EXPECT_THROW(set_kernel_shard_min_keys(0), Error);
+  EXPECT_THROW(set_default_kernel_jobs(-1), Error);
+  EXPECT_GE(default_kernel_jobs(), 1);
+}
+
+TEST(KernelTunables, EnvParserIsStrict) {
+  const auto parse = [](const char* text) {
+    return parse_kernel_env_number("DSMSORT_KERNEL_STAGING_KB", text, 0,
+                                   1ll << 32, "a KiB count");
+  };
+  EXPECT_EQ(parse("0"), 0);
+  EXPECT_EQ(parse("1024"), 1024);
+  EXPECT_EQ(parse("+7"), 7);
+  EXPECT_THROW(parse("abc"), Error);
+  EXPECT_THROW(parse(" 5"), Error);
+  EXPECT_THROW(parse("5 "), Error);
+  EXPECT_THROW(parse("5k"), Error);
+  EXPECT_THROW(parse("-1"), Error);
+  EXPECT_THROW(parse("99999999999999999999999"), Error);  // ERANGE
+  EXPECT_THROW(parse("0x10"), Error);
+}
+
+TEST(KernelShards, RespectsJobsAndShardFloor) {
+  TunableGuard guard;
+  set_kernel_shard_min_keys(1000);
+  EXPECT_EQ(effective_kernel_shards(1, 1u << 20), 1);
+  EXPECT_EQ(effective_kernel_shards(4, 1u << 20), 4);
+  EXPECT_EQ(effective_kernel_shards(4, 2000), 2);   // floor caps shards
+  EXPECT_EQ(effective_kernel_shards(4, 999), 1);    // below one shard
+  EXPECT_EQ(effective_kernel_shards(4, 0), 1);
+}
+
+TEST(PermuteKernel, TwoLevelScatterMatchesReference) {
+  // Shrink the staging cap so radix 11 (2048 buckets = 128 KiB of lines)
+  // overflows it and the optimized permute takes the two-level staged
+  // scatter; radix 16 exercises the coarse-width clamp at a larger n.
+  TunableGuard guard;
+  set_kernel_staging_bytes(64 * 1024);
+  struct Case {
+    int radix;
+    Index n;
+  };
+  // 80000 keys (320 KB) clears the 4x-staging footprint floor at the
+  // shrunk cap; 9000 sits below it and must stay on the direct scatter.
+  for (const Case c : {Case{11, 80000}, Case{11, 9000}, Case{16, 300000}}) {
+    const std::size_t buckets = std::size_t{1} << c.radix;
+    for (const keys::Dist d :
+         {keys::Dist::kRandom, keys::Dist::kGauss, keys::Dist::kZero}) {
+      const auto keys = make_keys(d, c.n, 11, c.radix);
+      for (int pass = 0; pass < passes_for(c.radix); ++pass) {
+        RadixWorkspace ws_ref, ws_opt;
+        std::vector<std::uint64_t> hist(buckets);
+        const std::uint64_t active = histogram_kernel(
+            KernelBackend::kReference, keys, pass, c.radix, hist);
+        std::vector<std::uint64_t> cur_ref(buckets), cur_opt(buckets);
+        std::uint64_t acc = 0;
+        for (std::size_t b = 0; b < buckets; ++b) {
+          cur_ref[b] = acc;
+          acc += hist[b];
+        }
+        cur_opt = cur_ref;
+        std::vector<Key> out_ref(c.n, 0xdeadbeef), out_opt(c.n, 0xdeadbeef);
+        const std::uint64_t runs_ref =
+            permute_kernel(KernelBackend::kReference, keys, out_ref, pass,
+                           c.radix, cur_ref, active, ws_ref);
+        const std::uint64_t runs_opt =
+            permute_kernel(KernelBackend::kOptimized, keys, out_opt, pass,
+                           c.radix, cur_opt, active, ws_opt);
+        EXPECT_EQ(out_ref, out_opt) << "radix=" << c.radix << " n=" << c.n
+                                    << " pass=" << pass
+                                    << " dist=" << keys::dist_name(d);
+        EXPECT_EQ(runs_ref, runs_opt);
+        EXPECT_EQ(cur_ref, cur_opt);
+        for (const std::uint32_t f : ws_opt.wc_fill) EXPECT_EQ(f, 0u);
+      }
+    }
+  }
+}
+
+TEST(KernelSortEquivalenceTwoLevel, FullSortByteIdentical) {
+  TunableGuard guard;
+  set_kernel_staging_bytes(64 * 1024);
+  RadixWorkspace ws_ref, ws_opt;
+  for (const int radix : {11, 16}) {
+    for (const std::uint64_t seed : {1ull, 4ull}) {
+      const auto input = make_keys(keys::Dist::kRandom, 200000, seed, radix);
+      const auto ref =
+          sort_via_kernels(KernelBackend::kReference, input, radix, ws_ref);
+      const auto opt =
+          sort_via_kernels(KernelBackend::kOptimized, input, radix, ws_opt);
+      EXPECT_EQ(ref, opt) << "radix=" << radix << " seed=" << seed;
+      EXPECT_TRUE(std::is_sorted(opt.begin(), opt.end()));
+    }
+  }
+}
+
+class ThreadedKernelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreadedKernelEquivalence, SortedOutputByteIdenticalAcrossJobs) {
+  // Lower the shard floor so jobs in {2, 4} really shard at test sizes;
+  // every thread count must produce the serial bytes exactly.
+  const int jobs = GetParam();
+  TunableGuard guard;
+  set_kernel_shard_min_keys(512);
+  RadixWorkspace ws_ref, ws_thr;
+  ws_thr.jobs = jobs;
+  for (const int radix : {4, 8, 11, 16}) {
+    for (const keys::Dist d : {keys::Dist::kRandom, keys::Dist::kGauss,
+                               keys::Dist::kZero, keys::Dist::kStagger}) {
+      // Odd n exercises uneven shard boundaries.
+      for (const Index n : {Index{0}, Index{1}, Index{511}, Index{1025},
+                            Index{40001}}) {
+        const auto input = make_keys(d, n, 7, radix);
+        const auto ref = sort_via_kernels(KernelBackend::kReference, input,
+                                          radix, ws_ref);
+        const auto thr = sort_via_kernels(KernelBackend::kOptimized, input,
+                                          radix, ws_thr);
+        EXPECT_EQ(ref, thr) << "jobs=" << jobs << " radix=" << radix
+                            << " n=" << n << " dist=" << keys::dist_name(d);
+      }
+    }
+  }
+  // Duplicate-heavy keys stress the stable-order shard cursors.
+  const auto dup = duplicate_heavy(30000, 3);
+  EXPECT_EQ(sort_via_kernels(KernelBackend::kReference, dup, 8, ws_ref),
+            sort_via_kernels(KernelBackend::kOptimized, dup, 8, ws_thr));
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, ThreadedKernelEquivalence,
+                         ::testing::Values(1, 2, 4));
+
+TEST(ThreadedKernel, RunsHistogramsAndCursorsMatchSerial) {
+  TunableGuard guard;
+  set_kernel_shard_min_keys(512);
+  const int radix = 8;
+  const std::size_t buckets = 256;
+  const auto keys = make_keys(keys::Dist::kRandom, 30000, 13, radix);
+  // ws-aware histogram overload: threaded counts must equal serial.
+  RadixWorkspace ws1, ws4;
+  ws1.jobs = 1;
+  ws4.jobs = 4;
+  std::vector<std::uint64_t> h1(buckets), h4(buckets);
+  const std::uint64_t a1 = histogram_kernel(KernelBackend::kOptimized, keys,
+                                            0, radix, h1, ws1);
+  const std::uint64_t a4 = histogram_kernel(KernelBackend::kOptimized, keys,
+                                            0, radix, h4, ws4);
+  EXPECT_EQ(h1, h4);
+  EXPECT_EQ(a1, a4);
+  const int passes = passes_for(radix);
+  std::vector<std::uint64_t> m1(static_cast<std::size_t>(passes) * buckets);
+  std::vector<std::uint64_t> m4(m1.size());
+  multi_histogram_kernel(KernelBackend::kOptimized, keys, passes, radix, m1,
+                         ws1);
+  multi_histogram_kernel(KernelBackend::kOptimized, keys, passes, radix, m4,
+                         ws4);
+  EXPECT_EQ(m1, m4);
+  // Permute: measured runs and final cursors must match the serial kernel.
+  std::vector<std::uint64_t> cur1(buckets), cur4(buckets);
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    cur1[b] = acc;
+    acc += h1[b];
+  }
+  cur4 = cur1;
+  std::vector<Key> out1(keys.size()), out4(keys.size());
+  const std::uint64_t runs1 = permute_kernel(
+      KernelBackend::kOptimized, keys, out1, 0, radix, cur1, a1, ws1);
+  const std::uint64_t runs4 = permute_kernel(
+      KernelBackend::kOptimized, keys, out4, 0, radix, cur4, a4, ws4);
+  EXPECT_EQ(out1, out4);
+  EXPECT_EQ(runs1, runs4);
+  EXPECT_EQ(cur1, cur4);
+}
+
+TEST(ExchangeCopy, MatchesMemcpyAtEveryAlignmentAndSize) {
+  // The streamed copy peels to 64B alignment and fences; every (offset,
+  // length) combination must land the same bytes as memcpy. Footprint
+  // above the WC threshold turns the streaming path on.
+  std::vector<Key> src(70000), dst_ref(70100), dst_opt(70100);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<Key>(i * 2654435761u);
+  }
+  for (const std::size_t off : {0u, 1u, 3u, 15u, 16u}) {
+    for (const std::size_t n : {0u, 1u, 1023u, 1024u, 4096u, 65536u}) {
+      std::fill(dst_ref.begin(), dst_ref.end(), 0u);
+      std::fill(dst_opt.begin(), dst_opt.end(), 0u);
+      std::memcpy(dst_ref.data() + off, src.data(), n * sizeof(Key));
+      exchange_copy(KernelBackend::kOptimized, dst_opt.data() + off,
+                    src.data(), n, kWcMinFootprintBytes);
+      EXPECT_EQ(dst_ref, dst_opt) << "off=" << off << " n=" << n;
+      // Small-footprint and reference calls must stay plain copies too.
+      std::fill(dst_opt.begin(), dst_opt.end(), 0u);
+      exchange_copy(KernelBackend::kReference, dst_opt.data() + off,
+                    src.data(), n, 0);
+      EXPECT_EQ(dst_ref, dst_opt) << "off=" << off << " n=" << n;
+    }
+  }
+}
+
+TEST(WcFlushPrimitive, LandsBytesAndKeepsOrder) {
+  // wc_flush is the exported staging primitive the parallel workers use:
+  // partial lines, unaligned destinations, and full aligned lines must
+  // all store exactly the staged keys.
+  alignas(64) std::array<Key, 64> dst{};
+  std::array<Key, kWcLineKeys> line{};
+  for (std::size_t i = 0; i < kWcLineKeys; ++i) {
+    line[i] = static_cast<Key>(1000 + i);
+  }
+  wc_flush(dst.data(), line.data(), kWcLineKeys);        // aligned full line
+  wc_flush(dst.data() + 16, line.data(), kWcLineKeys);   // aligned full line
+  wc_flush(dst.data() + 33, line.data(), 7);             // unaligned partial
+  wc_store_fence();
+  for (std::size_t i = 0; i < kWcLineKeys; ++i) {
+    EXPECT_EQ(dst[i], line[i]);
+    EXPECT_EQ(dst[16 + i], line[i]);
+  }
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(dst[33 + i], line[i]);
+  EXPECT_EQ(dst[40], 0u);  // nothing past the partial flush
+}
+
+TEST(KernelIsa, NameIsKnown) {
+  const std::string isa = kernel_isa_name();
+  EXPECT_TRUE(isa == "avx2" || isa == "sse2" || isa == "scalar") << isa;
+}
+
+TEST(HistogramKernel, VectorizedRemainderTailsMatchReference) {
+  // The AVX2 histogram consumes 8 keys per iteration; every remainder
+  // 0..15 must agree with the scalar count, as must tiny inputs.
+  for (Index n = 0; n <= 17; ++n) {
+    const auto keys = make_keys(keys::Dist::kRandom, n, 21, 8);
+    std::vector<std::uint64_t> ref(256), opt(256);
+    const auto a_ref =
+        histogram_kernel(KernelBackend::kReference, keys, 0, 8, ref);
+    const auto a_opt =
+        histogram_kernel(KernelBackend::kOptimized, keys, 0, 8, opt);
+    EXPECT_EQ(ref, opt) << "n=" << n;
+    EXPECT_EQ(a_ref, a_opt) << "n=" << n;
+  }
+  for (const Index n : {Index{8191}, Index{8192}, Index{8201}}) {
+    for (const int radix : {8, 11, 16}) {
+      const auto keys = make_keys(keys::Dist::kGauss, n, 22, radix);
+      const std::size_t buckets = std::size_t{1} << radix;
+      std::vector<std::uint64_t> ref(buckets), opt(buckets);
+      for (int pass = 0; pass < passes_for(radix); ++pass) {
+        (void)histogram_kernel(KernelBackend::kReference, keys, pass, radix,
+                               ref);
+        (void)histogram_kernel(KernelBackend::kOptimized, keys, pass, radix,
+                               opt);
+        EXPECT_EQ(ref, opt) << "n=" << n << " radix=" << radix
+                            << " pass=" << pass;
+      }
+    }
+  }
+}
 
 TEST(KernelThreading, ConcurrentSortsAndBackendSwitches) {
   // TSan target: per-thread tls workspaces must not race, and the default
