@@ -15,14 +15,26 @@
 //   --replay PATH       replay a trace file instead of generating load;
 //                       writes deterministic-only JSON: byte-identical for
 //                       any --jobs value
+//   --cluster-workers N execute jobs in N forked worker processes over the
+//                       cluster transport instead of in-process (strictly
+//                       validated, 0..256; 0 = in-process). Defaults to
+//                       DSMSORT_CLUSTER_WORKERS when set. Deterministic
+//                       output is byte-identical either way.
+//   --cluster-serve P   listen on UNIX socket path P and execute on
+//                       external dsmsort_workerd processes that connect,
+//                       instead of forking workers (--cluster-workers then
+//                       caps the pool; scripts/cluster_smoke.sh uses this)
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 
+#include "cluster/lifecycle.hpp"
+#include "cluster/master.hpp"
 #include "common/error.hpp"
 #include "common/fsio.hpp"
 #include "perf/report.hpp"
@@ -80,11 +92,42 @@ std::string replay_json(svc::SortService& svc,
   return os.str();
 }
 
+/// A worker-process pool for --cluster-workers, or nullptr for in-process
+/// execution. Each service gets its own pool (a pool binds to exactly one
+/// service's metrics). With a serve path the pool forks nothing and waits
+/// for external dsmsort_workerd processes instead.
+std::unique_ptr<cluster::WorkerPool> make_pool(int cluster_workers,
+                                               const std::string& serve) {
+  if (cluster_workers <= 0 && serve.empty()) return nullptr;
+  cluster::PoolConfig pc;
+  if (serve.empty()) {
+    pc.policy.min_workers = cluster_workers;
+    pc.policy.max_workers = cluster_workers;
+  } else {
+    pc.fork_workers = false;
+    pc.policy.max_workers = cluster_workers > 0 ? cluster_workers : 256;
+  }
+  return std::make_unique<cluster::WorkerPool>(pc);
+}
+
 std::string run_replay(const std::vector<svc::JobSpec>& trace,
-                       std::size_t capacity, int workers) {
-  svc::SortService svc(service_config(capacity, workers));
+                       std::size_t capacity, int workers,
+                       int cluster_workers) {
+  // Always a forked pool: replay selfchecks build several pools, and only
+  // one listener can own a serve socket.
+  const std::unique_ptr<cluster::WorkerPool> pool =
+      make_pool(cluster_workers, "");
+  svc::ServiceConfig cfg = service_config(capacity, workers);
+  cfg.remote = pool.get();
+  svc::SortService svc(cfg);
+  if (pool != nullptr) {
+    const Status started = pool->start();
+    DSM_CHECK(started.ok(), started.to_string());
+  }
   const std::vector<svc::JobResult> results = svc.replay(trace);
-  return replay_json(svc, results);
+  const std::string json = replay_json(svc, results);
+  if (pool != nullptr) pool->shutdown();
+  return json;
 }
 
 }  // namespace
@@ -99,7 +142,8 @@ int main(int argc, char** argv) {
     auto env = bench::parse_env(
         argc, argv, quick ? "16K,64K" : "1M,4M,16M",
         quick ? "4,8" : "16,32,64",
-        {"quick", "out", "njobs", "capacity", "replay", "write-trace"});
+        {"quick", "out", "njobs", "capacity", "replay", "write-trace",
+         "cluster-workers", "cluster-serve"});
     ArgParser args(argc, argv);
     const std::string out_path = args.get("out", "BENCH_service.json");
     const auto njobs = static_cast<std::size_t>(
@@ -108,15 +152,30 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(args.get_int("capacity", 64));
     const std::string replay_path = args.get("replay", "");
     const std::string trace_out = args.get("write-trace", "");
+    const std::string serve_path = args.get("cluster-serve", "");
+    // Strictly validated (garbage is a typed error, not silently 0); the
+    // flag wins over DSMSORT_CLUSTER_WORKERS.
+    const int cluster_workers =
+        args.has("cluster-workers")
+            ? cluster::parse_cluster_workers(
+                  "--cluster-workers",
+                  args.get("cluster-workers", "").c_str())
+            : cluster::cluster_workers_from_env();
 
     if (!replay_path.empty()) {
       // Replay mode: deterministic output only — no worker count, no host
-      // clocks — so any --jobs value writes identical bytes.
+      // clocks — so any --jobs (and any --cluster-workers) value writes
+      // identical bytes.
       const std::vector<svc::JobSpec> trace = svc::read_trace(replay_path);
-      write_file_atomic(out_path, run_replay(trace, capacity, env.jobs));
+      write_file_atomic(
+          out_path, run_replay(trace, capacity, env.jobs, cluster_workers));
       std::cout << "replayed " << trace.size() << " jobs from " << replay_path
-                << " with " << env.jobs << " worker(s)\n(json written to "
-                << out_path << ")\n";
+                << " with " << env.jobs << " worker(s)"
+                << (cluster_workers > 0
+                        ? " across " + std::to_string(cluster_workers) +
+                              " worker processes"
+                        : "")
+                << "\n(json written to " << out_path << ")\n";
       return 0;
     }
 
@@ -132,7 +191,23 @@ int main(int argc, char** argv) {
     // Live phase: open-loop submission of the whole trace. A full queue
     // rejects (counted, not retried) — that is the service's backpressure
     // answer to this offered load.
-    svc::SortService svc(service_config(capacity, env.jobs));
+    const std::unique_ptr<cluster::WorkerPool> pool =
+        make_pool(cluster_workers, serve_path);
+    svc::ServiceConfig live_cfg = service_config(capacity, env.jobs);
+    live_cfg.remote = pool.get();
+    svc::SortService svc(live_cfg);
+    if (pool != nullptr) {
+      const Status started =
+          serve_path.empty() ? pool->start() : pool->serve(serve_path);
+      DSM_CHECK(started.ok(), started.to_string());
+      if (serve_path.empty()) {
+        std::cout << "  cluster: " << cluster_workers
+                  << " forked worker process(es)\n";
+      } else {
+        std::cout << "  cluster: serving external workers on " << serve_path
+                  << "\n";
+      }
+    }
     svc.start();
     const double t0 = now_s();
     std::size_t live_rejected = 0;
@@ -141,6 +216,14 @@ int main(int argc, char** argv) {
     }
     svc.drain();
     const double live_wall = now_s() - t0;
+    if (pool != nullptr) {
+      pool->shutdown();
+      const svc::Metrics::Cluster cl = svc.metrics().cluster();
+      std::cout << "  cluster: " << cl.dispatches << " dispatches, "
+                << cl.acks << " acks, " << cl.worker_deaths
+                << " worker death(s), " << cl.redispatches
+                << " re-dispatch(es)\n";
+    }
     const std::vector<svc::JobResult> results = svc.take_results();
 
     std::vector<double> host_ms, virt_us;
@@ -209,8 +292,9 @@ int main(int argc, char** argv) {
     // the full run's BENCH_service.json, not here).
     bool replay_identical = false;
     if (quick) {
-      const std::string one = run_replay(trace, capacity, 1);
-      const std::string four = run_replay(trace, capacity, 4);
+      const std::string one = run_replay(trace, capacity, 1, cluster_workers);
+      const std::string four =
+          run_replay(trace, capacity, 4, cluster_workers);
       DSM_CHECK(one == four,
                 "replay output differs between 1 and 4 workers");
       replay_identical = true;
@@ -223,7 +307,8 @@ int main(int argc, char** argv) {
     js << "{\n"
        << "  \"bench\": \"service_throughput\",\n"
        << "  \"config\": {\"njobs\": " << njobs << ", \"capacity\": "
-       << capacity << ", \"workers\": " << env.jobs << ", \"seed\": "
+       << capacity << ", \"workers\": " << env.jobs
+       << ", \"cluster_workers\": " << cluster_workers << ", \"seed\": "
        << env.seed << ", \"quick\": " << (quick ? "true" : "false")
        << "},\n"
        << "  \"live\": {\"completed\": " << c.completed << ", \"failed\": "

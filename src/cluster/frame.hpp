@@ -1,0 +1,87 @@
+// Cluster wire messages: the text payloads carried inside transport
+// frames.
+//
+// The grammar is the journal's (svc/wire): whitespace-separated tokens,
+// doubles in hexfloat (a measured virtual time crosses the wire
+// bit-exactly — the calibration-identity guarantee depends on it),
+// strings as netstrings. Job specs and plans are serialized by the
+// shared svc/codec, so a JobSpec shipped to a worker is field-for-field
+// the same encoding the WAL journals at admission.
+//
+// Protocol (one task in flight per channel; the master drives):
+//
+//   worker -> master   hello <version> <pid> <label>
+//   master -> worker   task <task_id> <attempt> <audit> <cache_budget>
+//                           <fault seed> <fault rate> <fault sites>
+//                           <job fields> <plan fields>
+//   worker -> master   mark <task_id> <site> <virtual_ns>      (0..n times)
+//   worker -> master   done <task_id> <ok> <measured_ns> <passes>
+//                           <verified> <fired_site> <code> <msg> <retryable>
+//   master -> worker   shutdown                                (drain + exit)
+//
+// decode_message never throws: a payload that does not parse (or names
+// an unknown message type) is a typed kCorruptFrame status, which the
+// master treats exactly like a dead worker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/transport.hpp"
+#include "svc/faults.hpp"
+#include "svc/job.hpp"
+
+namespace dsm::cluster {
+
+/// Bumped on any incompatible grammar change; a hello with the wrong
+/// version is refused at handshake.
+constexpr int kProtocolVersion = 1;
+
+enum class MsgType { kHello, kTask, kMark, kDone, kShutdown };
+constexpr int kMsgTypeCount = 5;
+
+const char* msg_type_name(MsgType t);
+
+struct WireMessage {
+  MsgType type = MsgType::kShutdown;
+
+  // kHello.
+  int version = 0;
+  std::uint64_t pid = 0;
+  std::string label;
+
+  // kTask / kMark / kDone: monotone per-master dispatch id (sanity check
+  // that an ack matches the task this channel is running).
+  std::uint64_t task_id = 0;
+
+  // kTask.
+  svc::JobSpec job;
+  svc::Plan plan;
+  int attempt = 0;
+  bool audit = false;
+  std::uint64_t cache_budget = 0;  // input-cache bytes (0 = default)
+  svc::FaultConfig faults;
+
+  // kMark.
+  std::string site;
+  double virtual_ns = 0;
+
+  // kDone.
+  bool ok = false;
+  double measured_ns = 0;
+  int passes = 0;
+  bool verified = false;
+  int fired_site = -1;
+  Status failure;  // meaningful when !ok
+};
+
+std::string encode_message(const WireMessage& m);
+/// kCorruptFrame when the payload does not parse as a message.
+Result<WireMessage> decode_message(const std::string& payload);
+
+/// encode + send (forwards the transport status).
+Status send_message(Channel& ch, const WireMessage& m);
+/// recv + decode (kPeerDead / kCorruptFrame / kIoError).
+Result<WireMessage> recv_message(Channel& ch);
+
+}  // namespace dsm::cluster

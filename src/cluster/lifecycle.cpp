@@ -1,0 +1,49 @@
+#include "cluster/lifecycle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "sort/kernels.hpp"
+
+namespace dsm::cluster {
+
+const char* worker_state_name(WorkerState s) {
+  switch (s) {
+    case WorkerState::kFree: return "free";
+    case WorkerState::kWorking: return "working";
+    case WorkerState::kDraining: return "draining";
+    case WorkerState::kDead: return "dead";
+  }
+  return "?";
+}
+
+int target_worker_count(const ElasticPolicy& policy, std::size_t batch_jobs,
+                        double predicted_ns, std::size_t queue_depth) {
+  const int floor_workers = std::max(1, policy.min_workers);
+  const int cap = std::max(floor_workers, policy.max_workers);
+  if (!policy.elastic) return cap;
+  if (batch_jobs == 0 && queue_depth == 0) return floor_workers;
+  const double per_job =
+      batch_jobs > 0 ? predicted_ns / static_cast<double>(batch_jobs)
+                     : policy.target_ns_per_worker;
+  const double backlog_ns =
+      predicted_ns + per_job * static_cast<double>(queue_depth);
+  const double budget = std::max(1.0, policy.target_ns_per_worker);
+  const double want = std::ceil(backlog_ns / budget);
+  if (want >= static_cast<double>(cap)) return cap;
+  return std::max(floor_workers, std::max(1, static_cast<int>(want)));
+}
+
+int parse_cluster_workers(const char* name, const char* text) {
+  return static_cast<int>(sort::parse_kernel_env_number(
+      name, text, 0, 256, "a worker process count in [0, 256]"));
+}
+
+int cluster_workers_from_env() {
+  const char* env = std::getenv("DSMSORT_CLUSTER_WORKERS");
+  if (env == nullptr) return 0;
+  return parse_cluster_workers("DSMSORT_CLUSTER_WORKERS", env);
+}
+
+}  // namespace dsm::cluster

@@ -1,0 +1,57 @@
+// Worker lifecycle vocabulary and the elastic sizing policy.
+//
+// Worker state machine (DESIGN.md §10):
+//
+//   (spawn) -> kFree -> kWorking -> kFree           normal task cycle
+//                kFree -> kDraining -> kDead        elastic retire
+//             kWorking -> kDead                     crash / corrupt frame
+//                kDead -> (respawn) -> kFree        master re-spawns
+//
+// kDraining exists so retirement is graceful: a draining worker gets a
+// shutdown message and is never leased again, but its process gets to
+// exit on its own; only transitions into kDead reap the pid.
+//
+// target_worker_count is a pure function of the policy and the planner's
+// calibrated batch cost — the BSP framing from the ISSUE: predicted
+// virtual ns is the work volume, target_ns_per_worker the superstep
+// budget one worker should own, and the queue depth extrapolates the
+// backlog at the batch's per-job cost. Purity keeps it unit-testable and
+// keeps resizing decisions independent of host scheduling.
+#pragma once
+
+#include <cstddef>
+
+namespace dsm::cluster {
+
+enum class WorkerState { kFree, kWorking, kDraining, kDead };
+constexpr int kWorkerStateCount = 4;
+
+const char* worker_state_name(WorkerState s);
+
+struct ElasticPolicy {
+  int min_workers = 1;
+  int max_workers = 1;
+  /// When false the pool holds max_workers from start() on.
+  bool elastic = false;
+  /// Elastic sizing: one worker per this much predicted virtual work.
+  double target_ns_per_worker = 5e8;
+};
+
+/// Workers the pool should hold after a batch was planned: the predicted
+/// batch cost plus the backlog extrapolated at the batch's per-job cost,
+/// divided by target_ns_per_worker, clamped to [min_workers,
+/// max_workers]. Non-elastic policies always return max_workers.
+int target_worker_count(const ElasticPolicy& policy, std::size_t batch_jobs,
+                        double predicted_ns, std::size_t queue_depth);
+
+/// Strict parse for the --cluster-workers / DSMSORT_CLUSTER_WORKERS
+/// knob: exactly an optional sign plus base-10 digits in [0, 256]
+/// (0 = no cluster; anything else — leading whitespace, trailing junk,
+/// overflow — throws dsm::Error quoting the text). Exported so unit
+/// tests exercise the error paths without setenv.
+int parse_cluster_workers(const char* name, const char* text);
+
+/// DSMSORT_CLUSTER_WORKERS, strictly parsed (0 when unset).
+int cluster_workers_from_env();
+
+}  // namespace dsm::cluster

@@ -1,0 +1,391 @@
+#include "cluster/master.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "cluster/frame.hpp"
+#include "common/error.hpp"
+
+namespace dsm::cluster {
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void waitpid_retry(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(PoolConfig cfg) : cfg_(std::move(cfg)) {
+  DSM_REQUIRE(cfg_.policy.max_workers >= 1, "pool needs max_workers >= 1");
+  DSM_REQUIRE(cfg_.policy.min_workers >= 0, "min_workers >= 0");
+  DSM_REQUIRE(cfg_.max_redispatch >= 0, "max_redispatch >= 0");
+}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::bind_service(svc::Metrics* metrics,
+                              const svc::FaultConfig& faults,
+                              std::uint64_t input_cache_budget_bytes) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = metrics;
+  faults_ = faults;
+  cache_budget_ = input_cache_budget_bytes;
+  update_gauges_locked();
+}
+
+int WorkerPool::alive_locked() const {
+  int n = 0;
+  for (const auto& w : workers_) {
+    if (w->state == WorkerState::kFree || w->state == WorkerState::kWorking) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int WorkerPool::alive_workers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return alive_locked();
+}
+
+int WorkerPool::total_spawned() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_spawned_;
+}
+
+void WorkerPool::update_gauges_locked() {
+  if (metrics_ == nullptr) return;
+  int counts[kWorkerStateCount] = {};
+  for (const auto& w : workers_) ++counts[static_cast<int>(w->state)];
+  metrics_->on_worker_gauge(counts[0], counts[1], counts[2], counts[3]);
+}
+
+Status WorkerPool::spawn_locked(bool respawn) {
+  if (alive_locked() >=
+      std::max(cfg_.policy.min_workers, cfg_.policy.max_workers)) {
+    return Status();  // already at the cap
+  }
+  Result<ChannelPair> pair = make_socketpair();
+  if (!pair.ok()) return pair.status();
+
+  auto w = std::make_unique<Worker>();
+  w->id = next_worker_id_++;
+  w->label = cfg_.worker.label + "-" + std::to_string(w->id);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    return Status::io_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: drop every fd that belongs to the master — other workers'
+    // channels and the listener — so a master death is a prompt EOF for
+    // every worker, and workers cannot talk to each other.
+    for (auto& other : workers_) other->ch.close();
+    listener_.close();
+    pair->parent.close();
+    WorkerOptions opts = cfg_.worker;
+    opts.label = w->label;
+    ::_exit(worker_main(std::move(pair->child), opts));
+  }
+  pair->child.close();
+  w->pid = pid;
+  w->ch = std::move(pair->parent);
+
+  // Handshake before the worker is leasable: a worker that cannot even
+  // say hello is reaped on the spot.
+  Result<WireMessage> hello = recv_message(w->ch);
+  if (!hello.ok() || hello->type != MsgType::kHello ||
+      hello->version != kProtocolVersion) {
+    ::kill(pid, SIGKILL);
+    waitpid_retry(pid);
+    return hello.ok() ? Status::corrupt_frame("bad hello from spawned worker")
+                      : hello.status();
+  }
+
+  workers_.push_back(std::move(w));
+  ++total_spawned_;
+  if (metrics_ != nullptr) metrics_->on_worker_spawn(respawn);
+  update_gauges_locked();
+  cv_.notify_all();
+  return Status();
+}
+
+Status WorkerPool::start() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  DSM_REQUIRE(!shutdown_, "pool already shut down");
+  if (!cfg_.fork_workers) return Status();  // serve() provides the workers
+  const int want = cfg_.policy.elastic
+                       ? std::max(0, cfg_.policy.min_workers)
+                       : std::max(cfg_.policy.min_workers,
+                                  cfg_.policy.max_workers);
+  Status last;
+  while (alive_locked() < want) {
+    last = spawn_locked(/*respawn=*/false);
+    if (!last.ok()) break;
+  }
+  if (alive_locked() == 0 && want > 0) return last;
+  return Status();
+}
+
+Status WorkerPool::serve(const std::string& path) {
+  Result<Channel> listener = listen_unix(path);
+  if (!listener.ok()) return listener.status();
+  const std::lock_guard<std::mutex> lock(mu_);
+  DSM_REQUIRE(!shutdown_, "pool already shut down");
+  DSM_REQUIRE(!listener_.valid(), "pool already serving");
+  listener_ = std::move(*listener);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Status();
+}
+
+void WorkerPool::accept_loop() {
+  for (;;) {
+    Result<Channel> ch = accept_unix(listener_);
+    if (!ch.ok()) return;  // listener shut down
+    Result<WireMessage> hello = recv_message(*ch);
+    if (!hello.ok() || hello->type != MsgType::kHello ||
+        hello->version != kProtocolVersion) {
+      continue;  // refused: channel closes, the stranger goes away
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    auto w = std::make_unique<Worker>();
+    w->id = next_worker_id_++;
+    w->label = hello->label.empty()
+                   ? "external-" + std::to_string(w->id)
+                   : hello->label;
+    w->pid = static_cast<pid_t>(hello->pid);
+    w->external = true;
+    w->ch = std::move(*ch);
+    workers_.push_back(std::move(w));
+    ++total_spawned_;
+    if (metrics_ != nullptr) metrics_->on_worker_spawn(/*respawn=*/false);
+    update_gauges_locked();
+    cv_.notify_all();
+  }
+}
+
+WorkerPool::Worker* WorkerPool::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return nullptr;
+    for (auto& w : workers_) {
+      if (w->state == WorkerState::kFree && w->ch.valid()) {
+        w->state = WorkerState::kWorking;
+        update_gauges_locked();
+        return w.get();
+      }
+    }
+    if (alive_locked() == 0) {
+      // Every worker is gone mid-batch. Fork a replacement right here if
+      // we may; otherwise keep waiting only when external workers can
+      // still connect.
+      if (cfg_.fork_workers) {
+        if (!spawn_locked(/*respawn=*/true).ok()) return nullptr;
+        continue;
+      }
+      if (!listener_.valid()) return nullptr;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void WorkerPool::release(Worker& w) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (w.state == WorkerState::kWorking) w.state = WorkerState::kFree;
+  update_gauges_locked();
+  cv_.notify_all();
+}
+
+void WorkerPool::reap_locked(Worker& w) {
+  w.ch.close();
+  if (w.pid > 0 && !w.external) {
+    ::kill(w.pid, SIGKILL);  // no-op when it already died by itself
+    waitpid_retry(w.pid);
+    w.pid = 0;
+  }
+  w.state = WorkerState::kDead;
+}
+
+void WorkerPool::fail_worker(Worker& w) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const bool owned = !w.external;
+  reap_locked(w);
+  if (metrics_ != nullptr) metrics_->on_worker_death();
+  if (owned && cfg_.fork_workers && !shutdown_) {
+    // 1:1 replacement keeps the complement stable between batch
+    // boundaries; the elastic policy re-decides the size at the next
+    // note_batch anyway.
+    spawn_locked(/*respawn=*/true);
+  }
+  update_gauges_locked();
+  cv_.notify_all();
+}
+
+void WorkerPool::retire_locked(Worker& w) {
+  w.state = WorkerState::kDraining;
+  update_gauges_locked();
+  WireMessage bye;
+  bye.type = MsgType::kShutdown;
+  send_message(w.ch, bye);  // best-effort: EOF retires it just as well
+  reap_locked(w);
+  if (metrics_ != nullptr) metrics_->on_worker_retire();
+  update_gauges_locked();
+}
+
+void WorkerPool::note_batch(std::size_t jobs, double predicted_ns,
+                            std::size_t queue_depth) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  const int want =
+      target_worker_count(cfg_.policy, jobs, predicted_ns, queue_depth);
+  if (cfg_.fork_workers) {
+    while (alive_locked() < want) {
+      if (!spawn_locked(/*respawn=*/false).ok()) break;
+    }
+  }
+  if (cfg_.policy.elastic) {
+    for (auto it = workers_.rbegin();
+         it != workers_.rend() && alive_locked() > want; ++it) {
+      if ((*it)->state == WorkerState::kFree) retire_locked(**it);
+    }
+  }
+  cv_.notify_all();
+}
+
+Status WorkerPool::drive(Worker& w, const svc::RemoteAttempt& attempt,
+                         const MarkFn& on_mark, svc::RemoteOutcome* out) {
+  WireMessage task;
+  task.type = MsgType::kTask;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    task.task_id = next_task_id_++;
+    task.faults = faults_;
+    task.cache_budget = cache_budget_;
+  }
+  task.job = attempt.job;
+  task.plan = attempt.plan;
+  task.attempt = attempt.attempt;
+  task.audit = attempt.audit;
+
+  Status s = send_message(w.ch, task);
+  if (!s.ok()) return s;
+  for (;;) {
+    Result<WireMessage> m = recv_message(w.ch);
+    if (!m.ok()) return m.status();
+    if (m->task_id != task.task_id) {
+      return Status::corrupt_frame("worker answered for task " +
+                                   std::to_string(m->task_id) +
+                                   ", expected " +
+                                   std::to_string(task.task_id));
+    }
+    if (m->type == MsgType::kMark) {
+      if (on_mark) on_mark(m->site.c_str(), m->virtual_ns);
+      continue;
+    }
+    if (m->type == MsgType::kDone) {
+      out->ran = true;
+      out->ok = m->ok;
+      out->failure = m->failure;
+      out->measured_ns = m->measured_ns;
+      out->passes = m->passes;
+      out->verified = m->verified;
+      out->fired_site = m->fired_site;
+      return Status();
+    }
+    return Status::corrupt_frame(std::string("unexpected ") +
+                                 msg_type_name(m->type) + " from worker");
+  }
+}
+
+svc::RemoteOutcome WorkerPool::run_attempt(const svc::RemoteAttempt& attempt,
+                                           const MarkFn& on_mark,
+                                           const DispatchFn& on_dispatch) {
+  svc::RemoteOutcome out;
+  Status death;
+  for (int deaths = 0; deaths <= cfg_.max_redispatch; ++deaths) {
+    Worker* w = acquire();
+    if (w == nullptr) {
+      out = svc::RemoteOutcome();
+      out.failure = Status::unavailable(
+          "cluster pool has no live workers and cannot spawn more" +
+          (death.ok() ? std::string() : " (" + death.to_string() + ")"));
+      return out;
+    }
+    if (on_dispatch) on_dispatch(w->label);
+    if (metrics_ != nullptr) metrics_->on_remote_dispatch();
+    const double t0 = now_s();
+    const Status s = drive(*w, attempt, on_mark, &out);
+    if (s.ok()) {
+      if (metrics_ != nullptr) {
+        metrics_->on_remote_ack((now_s() - t0) * 1e6);  // host us
+      }
+      release(*w);
+      return out;
+    }
+    // The worker died (or lied, which is the same thing) mid-task:
+    // re-drive the identical attempt elsewhere. Worker-side execution is
+    // deterministic per (job, plan, attempt, faults), so the re-dispatch
+    // reproduces the lost outcome bit-for-bit.
+    death = s;
+    fail_worker(*w);
+    if (metrics_ != nullptr && deaths < cfg_.max_redispatch) {
+      metrics_->on_redispatch();
+    }
+    out = svc::RemoteOutcome();
+  }
+  out.failure = Status::unavailable(
+      "attempt abandoned after " + std::to_string(cfg_.max_redispatch + 1) +
+      " worker deaths (last: " + death.to_string() + ")");
+  return out;
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    cv_.notify_all();
+    // Let in-flight leases finish: their workers are mid-conversation
+    // and closing the channel under them would turn a clean drain into
+    // fake worker deaths.
+    cv_.wait(lock, [this] {
+      for (const auto& w : workers_) {
+        if (w->state == WorkerState::kWorking) return false;
+      }
+      return true;
+    });
+    for (auto& w : workers_) {
+      if (w->state == WorkerState::kDead) continue;
+      WireMessage bye;
+      bye.type = MsgType::kShutdown;
+      send_message(w->ch, bye);  // best-effort
+      reap_locked(*w);
+    }
+    update_gauges_locked();
+    if (listener_.valid()) {
+      // close() alone does not wake a blocked accept(2); shutdown() does.
+      ::shutdown(listener_.fd(), SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  const std::lock_guard<std::mutex> lock(mu_);
+  listener_.close();
+}
+
+}  // namespace dsm::cluster

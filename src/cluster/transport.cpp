@@ -1,0 +1,224 @@
+#include "cluster/transport.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.hpp"
+#include "common/fsio.hpp"
+
+namespace dsm::cluster {
+namespace {
+
+Status errno_status(const char* what) {
+  const int e = errno;
+  if (e == EPIPE || e == ECONNRESET) {
+    return Status::peer_dead(std::string(what) + ": " + std::strerror(e));
+  }
+  return Status::io_error(std::string(what) + ": " + std::strerror(e));
+}
+
+/// Write all of [p, p+len) with EINTR retry.
+Status write_full(int fd, const char* p, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, p + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("transport write");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+/// Read exactly `len` bytes with EINTR retry. `*got` reports how many
+/// bytes arrived before EOF (so the caller can tell a clean close from a
+/// mid-frame death).
+Status read_full(int fd, char* p, std::size_t len, std::size_t* got) {
+  *got = 0;
+  while (*got < len) {
+    const ssize_t n = ::read(fd, p + *got, len - *got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("transport read");
+    }
+    if (n == 0) return Status::peer_dead("peer closed");
+    *got += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+void put_u32le(char* out, std::uint32_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+  out[2] = static_cast<char>((v >> 16) & 0xff);
+  out[3] = static_cast<char>((v >> 24) & 0xff);
+}
+
+std::uint32_t get_u32le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) |
+         (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+Result<sockaddr_un> unix_addr(const std::string& path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::invalid_argument("unix socket path must be 1.." +
+                                    std::to_string(sizeof(addr.sun_path) - 1) +
+                                    " bytes: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+Channel::Channel(int fd) : fd_(fd) { ignore_sigpipe(); }
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Channel::release() { return std::exchange(fd_, -1); }
+
+Status Channel::send_frame(const std::string& payload) {
+  if (fd_ < 0) return Status::peer_dead("channel closed locally");
+  if (payload.size() > kMaxFrameBytes) {
+    return Status::invalid_argument("frame payload too large: " +
+                                    std::to_string(payload.size()) + " bytes");
+  }
+  char header[8];
+  put_u32le(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32le(header + 4, crc32(payload.data(), payload.size()));
+  // One buffer, one write loop: a frame is either fully sent or the
+  // error names why (a torn write surfaces at the receiver as a torn
+  // frame, which it already tolerates).
+  std::string buf;
+  buf.reserve(8 + payload.size());
+  buf.append(header, 8);
+  buf += payload;
+  return write_full(fd_, buf.data(), buf.size());
+}
+
+Result<std::string> Channel::recv_frame() {
+  if (fd_ < 0) return Status::peer_dead("channel closed locally");
+  char header[8];
+  std::size_t got = 0;
+  Status s = read_full(fd_, header, sizeof header, &got);
+  if (!s.ok()) {
+    if (s.code() == StatusCode::kPeerDead && got > 0) {
+      return Status::peer_dead("peer died mid-frame (torn header, " +
+                               std::to_string(got) + "/8 bytes)");
+    }
+    return s;
+  }
+  const std::uint32_t len = get_u32le(header);
+  const std::uint32_t want_crc = get_u32le(header + 4);
+  if (len > kMaxFrameBytes) {
+    return Status::corrupt_frame("frame length field is garbage: " +
+                                 std::to_string(len) + " bytes");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    s = read_full(fd_, payload.data(), len, &got);
+    if (!s.ok()) {
+      if (s.code() == StatusCode::kPeerDead) {
+        return Status::peer_dead("peer died mid-frame (torn payload, " +
+                                 std::to_string(got) + "/" +
+                                 std::to_string(len) + " bytes)");
+      }
+      return s;
+    }
+  }
+  if (crc32(payload.data(), payload.size()) != want_crc) {
+    return Status::corrupt_frame("frame CRC mismatch (" +
+                                 std::to_string(len) + " bytes)");
+  }
+  return payload;
+}
+
+Result<ChannelPair> make_socketpair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return errno_status("socketpair");
+  }
+  ChannelPair pair;
+  pair.parent = Channel(fds[0]);
+  pair.child = Channel(fds[1]);
+  return pair;
+}
+
+Result<Channel> listen_unix(const std::string& path) {
+  Result<sockaddr_un> addr = unix_addr(path);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(sockaddr_un)) != 0) {
+    const Status s = errno_status("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 16) != 0) {
+    const Status s = errno_status("listen");
+    ::close(fd);
+    return s;
+  }
+  return Channel(fd);
+}
+
+Result<Channel> accept_unix(Channel& listener) {
+  if (!listener.valid()) return Status::peer_dead("listener closed");
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) return Channel(fd);
+    if (errno != EINTR) return errno_status("accept");
+  }
+}
+
+Result<Channel> connect_unix(const std::string& path) {
+  Result<sockaddr_un> addr = unix_addr(path);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                  sizeof(sockaddr_un)) == 0) {
+      return Channel(fd);
+    }
+    if (errno != EINTR) {
+      const Status s = errno_status("connect");
+      ::close(fd);
+      return s;
+    }
+  }
+}
+
+}  // namespace dsm::cluster

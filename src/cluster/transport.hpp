@@ -1,0 +1,88 @@
+// Framed byte transport for the cluster tier.
+//
+// A Channel owns one stream fd (UNIX-domain socket or socketpair end)
+// and moves CRC-framed payloads across it, reusing the journal's record
+// discipline: [u32 payload_len][u32 crc32(payload)][payload bytes],
+// little-endian. The framing makes the stream self-checking — a torn
+// frame (peer died mid-write), a bit-flipped payload, and a garbage
+// length field are all distinguishable from a clean close, and each
+// surfaces as a typed dsm::Status:
+//
+//   kPeerDead      clean EOF between frames, EOF mid-frame, EPIPE,
+//                  ECONNRESET — the peer is gone; the work it held can
+//                  be re-driven elsewhere (retryable).
+//   kCorruptFrame  CRC mismatch or an absurd length field — the stream
+//                  cannot be trusted past this point (not retryable;
+//                  the master treats the worker as dead).
+//   kIoError       any other host I/O failure.
+//
+// Robustness contract (ISSUE 7 satellite): every read/write retries
+// EINTR, and constructing any Channel ignores SIGPIPE process-wide, so
+// a dying worker can never take the master down with it.
+//
+// This layer deliberately depends only on common/ (status, crc32, fsio)
+// — no svc types — so the TSan tier can build it from source next to
+// the hostile-wire tests without pulling in the whole library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace dsm::cluster {
+
+/// Largest legitimate frame; a bigger length field means the framing is
+/// damaged (same bound as the journal's kMaxRecordBytes).
+constexpr std::uint32_t kMaxFrameBytes = 16u << 20;
+
+class Channel {
+ public:
+  Channel() = default;
+  /// Takes ownership of `fd`. Ignores SIGPIPE process-wide.
+  explicit Channel(int fd);
+  ~Channel();
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  /// Close the fd now (idempotent). The peer sees EOF -> kPeerDead.
+  void close();
+  /// Give up ownership without closing (fork bookkeeping).
+  int release();
+
+  /// Frame `payload` and write it fully. kPeerDead when the peer is gone
+  /// (EPIPE/ECONNRESET), kIoError otherwise.
+  Status send_frame(const std::string& payload);
+
+  /// Read one full frame and return its verified payload.
+  Result<std::string> recv_frame();
+
+ private:
+  int fd_ = -1;
+};
+
+struct ChannelPair {
+  Channel parent;  // master keeps this end
+  Channel child;   // worker keeps this end
+};
+
+/// Connected AF_UNIX SOCK_STREAM socketpair (the in-process fork
+/// transport). kIoError on failure.
+Result<ChannelPair> make_socketpair();
+
+/// Bind + listen on a UNIX socket at `path` (an existing socket file is
+/// replaced). The returned Channel is the listening fd — use
+/// accept_unix, not send/recv, on it.
+Result<Channel> listen_unix(const std::string& path);
+
+/// Accept one connection on a listen_unix channel (blocking).
+Result<Channel> accept_unix(Channel& listener);
+
+/// Connect to a listen_unix socket at `path` (blocking).
+Result<Channel> connect_unix(const std::string& path);
+
+}  // namespace dsm::cluster

@@ -1,0 +1,135 @@
+#include "cluster/worker.hpp"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "cluster/frame.hpp"
+#include "common/fsio.hpp"
+#include "common/table.hpp"
+#include "sort/input_cache.hpp"
+#include "sort/sort_api.hpp"
+#include "svc/faults.hpp"
+
+namespace dsm::cluster {
+namespace {
+
+/// Must render exactly like the master's local deadline message (the
+/// failure text lands in replayed JSON, which is byte-compared against
+/// a local run).
+std::string us_text(double ns) { return fmt_fixed(ns / 1e3, 3) + "us"; }
+
+/// Run one task and build its done message. Mirrors exactly one attempt
+/// of the master's local execute_one body: same spec, same hook order
+/// (mark, crash hook, fault check, virtual-deadline abort), same typed
+/// failure surface. Retry/serialize/deadline *classification* stay
+/// master-side.
+WireMessage run_task(const WireMessage& task, Channel& ch,
+                     const WorkerOptions& opts) {
+  WireMessage done;
+  done.type = MsgType::kDone;
+  done.task_id = task.task_id;
+
+  if (task.cache_budget != 0) {
+    sort::input_cache_set_budget(task.cache_budget);
+  }
+  sort::SortSpec spec = svc::sort_spec_for(task.job, task.plan.algo,
+                                           task.plan.model,
+                                           task.plan.radix_bits);
+  int fired_site = -1;
+  // Function scope, not else-block scope: the hook lambda below captures
+  // the injector by reference and outlives the branch.
+  const svc::FaultInjector injector(task.faults);
+  const double deadline_ns = static_cast<double>(task.job.deadline_us) * 1e3;
+  const bool abortable = task.job.deadline_us > 0 &&
+                         task.job.priority < svc::kCriticalPriority;
+  if (task.audit) {
+    // Audit runs measure the runner-up plan: no trace, no hooks, no
+    // faults, no deadline — the local audit contract.
+    spec.trace_json_path.clear();
+  } else {
+    spec.hooks.on_site = [&ch, &task, &opts, &injector, &fired_site,
+                          deadline_ns, abortable](const char* site,
+                                                  double virtual_ns) {
+      WireMessage mark;
+      mark.type = MsgType::kMark;
+      mark.task_id = task.task_id;
+      mark.site = site;
+      mark.virtual_ns = virtual_ns;
+      const Status sent = send_message(ch, mark);
+      if (!sent.ok()) {
+        // The master is gone; abort the sort cleanly (the team poison
+        // machinery unwinds every rank) and let the main loop exit.
+        throw StatusError(sent);
+      }
+      if (opts.crash_hook) {
+        opts.crash_hook((std::string("exec.") + site).c_str(),
+                        task.job.svc_seq);
+      }
+      const bool keygen = std::strcmp(site, "keygen") == 0;
+      const svc::FaultSite fsite =
+          keygen ? svc::FaultSite::kKeygen : svc::FaultSite::kSortPhase;
+      const std::uint64_t salt = keygen ? 0 : svc::fault_salt(site);
+      if (injector.should_fire(fsite, task.job.id, task.attempt, salt)) {
+        fired_site = static_cast<int>(fsite);
+        throw StatusError(
+            svc::FaultInjector::fire(fsite, task.job.id, task.attempt));
+      }
+      if (abortable && virtual_ns > deadline_ns) {
+        throw StatusError(Status::deadline_exceeded(
+            std::string("virtual deadline exceeded at '") + site + "': " +
+            us_text(virtual_ns) + " > " + us_text(deadline_ns)));
+      }
+    };
+  }
+
+  const Result<sort::SortResult> r = sort::try_run_sort(spec);
+  done.fired_site = fired_site;
+  if (r.ok()) {
+    done.ok = true;
+    done.measured_ns = r->elapsed_ns;
+    done.passes = r->passes;
+    done.verified = r->verified;
+  } else {
+    done.ok = false;
+    done.failure = r.status();
+  }
+  return done;
+}
+
+}  // namespace
+
+int worker_main(Channel ch, const WorkerOptions& opts) {
+  ignore_sigpipe();
+
+  WireMessage hello;
+  hello.type = MsgType::kHello;
+  hello.version = kProtocolVersion;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.label = opts.label;
+  if (!send_message(ch, hello).ok()) return 1;
+
+  for (;;) {
+    Result<WireMessage> m = recv_message(ch);
+    if (!m.ok()) {
+      // The master died or closed us out (an elastic retire closes the
+      // channel without a shutdown message when the master is hurried).
+      return m.status().code() == StatusCode::kPeerDead ? 0 : 1;
+    }
+    switch (m->type) {
+      case MsgType::kShutdown:
+        return 0;
+      case MsgType::kTask: {
+        const WireMessage done = run_task(*m, ch, opts);
+        if (!send_message(ch, done).ok()) return 0;  // master gone
+        break;
+      }
+      default:
+        return 1;  // protocol violation: masters never send anything else
+    }
+  }
+}
+
+}  // namespace dsm::cluster

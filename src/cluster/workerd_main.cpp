@@ -1,0 +1,65 @@
+// dsmsort_workerd: a standalone cluster worker process.
+//
+// Connects to a master's UNIX socket (cluster::WorkerPool::serve) and
+// serves sort tasks until the master shuts it down or disappears. All
+// behavior lives in cluster::worker_main; this TU is only argv parsing
+// and a bounded connect-retry loop (the master may still be coming up
+// when an init system launches workers in parallel).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "cluster/transport.hpp"
+#include "cluster/worker.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --connect <socket-path> [--label <name>]\n"
+               "           [--connect-retries <n>]   (100ms apart; "
+               "default 50)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string label = "workerd";
+  long retries = 50;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--connect") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strcmp(arg, "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(arg, "--connect-retries") == 0 && i + 1 < argc) {
+      retries = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (path.empty()) return usage(argv[0]);
+
+  dsm::Result<dsm::cluster::Channel> ch = dsm::Status::unavailable("");
+  for (long attempt = 0;; ++attempt) {
+    ch = dsm::cluster::connect_unix(path);
+    if (ch.ok()) break;
+    if (attempt >= retries) {
+      std::fprintf(stderr, "dsmsort_workerd: cannot reach master at %s: %s\n",
+                   path.c_str(), ch.status().to_string().c_str());
+      return 1;
+    }
+    ::usleep(100 * 1000);
+  }
+
+  dsm::cluster::WorkerOptions opts;
+  opts.label = label;
+  return dsm::cluster::worker_main(std::move(*ch), opts);
+}

@@ -1,12 +1,14 @@
 #include "common/fsio.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 namespace dsm {
@@ -25,17 +27,42 @@ Status errno_status(const std::string& what, const std::string& path) {
 
 }  // namespace
 
+void ignore_sigpipe() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof sa);
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+  });
+}
+
+int open_retry(const char* path, int flags, unsigned mode) {
+  for (;;) {
+    const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int fsync_retry(int fd) {
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
+}
+
 void fsync_parent_dir(const std::string& path) {
-  const int dfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  const int dfd =
+      open_retry(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
   if (dfd < 0) return;
-  ::fsync(dfd);  // best-effort: EINVAL on filesystems that reject it
+  fsync_retry(dfd);  // best-effort: EINVAL on filesystems that reject it
   ::close(dfd);
 }
 
 Status try_write_file_atomic(const std::string& path,
                              const std::string& content) {
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = open_retry(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) return errno_status("cannot open for writing", tmp);
 
   const char* p = content.data();
@@ -52,7 +79,7 @@ Status try_write_file_atomic(const std::string& path,
     p += n;
     left -= static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (fsync_retry(fd) != 0) {
     const Status s = errno_status("fsync failed", tmp);
     ::close(fd);
     ::unlink(tmp.c_str());

@@ -33,4 +33,17 @@ Result<std::string> try_read_file(const std::string& path);
 /// durably). Best-effort: some filesystems reject directory fsync.
 void fsync_parent_dir(const std::string& path);
 
+/// Process-wide SIGPIPE -> SIG_IGN (idempotent, thread-safe). A peer that
+/// dies mid-conversation must surface as EPIPE from write(), a typed
+/// kPeerDead status the master can handle — not a process-killing signal.
+/// Called by the cluster transport on every channel construction; safe to
+/// call from anywhere else that writes to pipes or sockets.
+void ignore_sigpipe();
+
+/// ::open with EINTR retry. Same contract as open(2) otherwise.
+int open_retry(const char* path, int flags, unsigned mode = 0644);
+
+/// ::fsync with EINTR retry. Same contract as fsync(2) otherwise.
+int fsync_retry(int fd);
+
 }  // namespace dsm

@@ -36,6 +36,8 @@ enum class StatusCode {
   kIoError,            // host-side I/O (trace sink, result file)
   kCorruptJournal,     // durability record failed its CRC / framing check
   kQuarantined,        // job repeatedly crashed the process; not re-run
+  kCorruptFrame,       // cluster wire frame failed its CRC / length check
+  kPeerDead,           // cluster peer closed or died mid-frame
   kInternal,           // invariant violation or unclassified failure
 };
 
@@ -80,6 +82,14 @@ class Status {
     // Re-running a poison job is exactly what quarantine forbids.
     return Status(StatusCode::kQuarantined, std::move(msg), false);
   }
+  static Status corrupt_frame(std::string msg) {
+    // Like a corrupt journal record: the same bytes stay damaged.
+    return Status(StatusCode::kCorruptFrame, std::move(msg), false);
+  }
+  static Status peer_dead(std::string msg) {
+    // The work the peer was doing can be re-driven elsewhere: retryable.
+    return Status(StatusCode::kPeerDead, std::move(msg), true);
+  }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg), false);
   }
@@ -122,6 +132,8 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kCorruptJournal: return "CORRUPT_JOURNAL";
     case StatusCode::kQuarantined: return "QUARANTINED";
+    case StatusCode::kCorruptFrame: return "CORRUPT_FRAME";
+    case StatusCode::kPeerDead: return "PEER_DEAD";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "?";

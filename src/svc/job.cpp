@@ -8,6 +8,20 @@
 
 namespace dsm::svc {
 
+sort::SortSpec sort_spec_for(const JobSpec& job, sort::Algo algo,
+                             sort::Model model, int radix_bits) {
+  sort::SortSpec spec;
+  spec.algo = algo;
+  spec.model = model;
+  spec.nprocs = job.nprocs;
+  spec.n = job.n;
+  spec.radix_bits = radix_bits;
+  spec.dist = job.dist;
+  spec.seed = job.seed;
+  spec.trace_json_path = job.trace_json_path;
+  return spec;
+}
+
 Status JobSpec::validate_status() const {
   std::string problems;
   const auto add = [&](const std::string& p) {

@@ -171,4 +171,11 @@ struct JobResult {
   std::string to_json(bool include_host = false) const;
 };
 
+/// The SortSpec a (job, plan-dimension) pair executes as. Shared by the
+/// local executor and the cluster worker so a remote attempt builds
+/// exactly the spec the master would have run — the cross-process
+/// determinism contract starts here.
+sort::SortSpec sort_spec_for(const JobSpec& job, sort::Algo algo,
+                             sort::Model model, int radix_bits);
+
 }  // namespace dsm::svc

@@ -17,11 +17,16 @@
 #include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "common/fsio.hpp"
+#include "svc/codec.hpp"
 #include "svc/wire.hpp"
 
 namespace dsm::svc {
 namespace {
 
+using codec::get_attempt;
+using codec::get_plan;
+using codec::put_attempt;
+using codec::put_plan;
 using wire::dbl;
 using wire::get_u32le;
 using wire::kMaxRecordBytes;
@@ -35,48 +40,6 @@ StatusCode status_code_from_name(const std::string& name) {
     if (name == status_code_name(c)) return c;
   }
   throw StatusError(Status::corrupt_journal("unknown status code: " + name));
-}
-
-void put_plan(std::ostringstream& os, const Plan& p) {
-  os << ' ' << sort::algo_name(p.algo) << ' ' << sort::model_name(p.model)
-     << ' ' << p.radix_bits << ' ' << dbl(p.predicted_raw_ns) << ' '
-     << dbl(p.predicted_ns) << ' ' << (p.has_runner_up ? 1 : 0);
-  if (p.has_runner_up) {
-    os << ' ' << sort::algo_name(p.runner_algo) << ' '
-       << sort::model_name(p.runner_model) << ' ' << p.runner_radix_bits
-       << ' ' << dbl(p.runner_predicted_ns);
-  }
-}
-
-Plan get_plan(Parser& p) {
-  Plan out;
-  out.algo = sort::algo_from_name(p.tok());
-  out.model = sort::model_from_name(p.tok());
-  out.radix_bits = p.i32();
-  out.predicted_raw_ns = p.d();
-  out.predicted_ns = p.d();
-  out.has_runner_up = p.b();
-  if (out.has_runner_up) {
-    out.runner_algo = sort::algo_from_name(p.tok());
-    out.runner_model = sort::model_from_name(p.tok());
-    out.runner_radix_bits = p.i32();
-    out.runner_predicted_ns = p.d();
-  }
-  return out;
-}
-
-void put_attempt(std::ostringstream& os, const AttemptRecord& a) {
-  os << ' ' << netstr(a.error) << ' ' << (a.retryable ? 1 : 0) << ' '
-     << dbl(a.backoff_ms) << ' ' << a.fault_site;
-}
-
-AttemptRecord get_attempt(Parser& p) {
-  AttemptRecord a;
-  a.error = p.str();
-  a.retryable = p.b();
-  a.backoff_ms = p.d();
-  a.fault_site = p.i32();
-  return a;
 }
 
 std::string segment_name(std::uint64_t first_lsn) {
@@ -139,6 +102,7 @@ const char* record_type_name(RecordType t) {
     case RecordType::kAttemptResult: return "attempt-result";
     case RecordType::kTerminal: return "terminal";
     case RecordType::kQuarantine: return "quarantine";
+    case RecordType::kDispatch: return "dispatch";
   }
   return "?";
 }
@@ -155,22 +119,10 @@ std::string encode_record(const JournalRecord& r) {
   std::ostringstream os;
   os << r.lsn << ' ' << record_type_name(r.type) << ' ' << r.seq;
   switch (r.type) {
-    case RecordType::kAdmit: {
-      const JobSpec& j = r.job;
-      os << ' ' << (r.readmit ? 1 : 0) << ' ' << j.id << ' ' << j.n << ' '
-         << j.nprocs << ' ' << keys::dist_name(j.dist) << ' ' << j.seed;
-      os << ' ' << (j.force_algo ? 1 : 0);
-      if (j.force_algo) os << ' ' << sort::algo_name(*j.force_algo);
-      os << ' ' << (j.force_model ? 1 : 0);
-      if (j.force_model) os << ' ' << sort::model_name(*j.force_model);
-      os << ' ' << (j.force_radix_bits ? 1 : 0);
-      if (j.force_radix_bits) os << ' ' << *j.force_radix_bits;
-      os << ' ' << j.deadline_us << ' ' << j.priority << ' '
-         << netstr(j.trace_json_path) << ' ' << j.crash_count << ' '
-         << netstr(j.crash_site) << ' ' << (j.recovered_plan ? 1 : 0);
-      if (j.recovered_plan) put_plan(os, *j.recovered_plan);
+    case RecordType::kAdmit:
+      os << ' ' << (r.readmit ? 1 : 0);
+      codec::put_job(os, r.job);
       break;
-    }
     case RecordType::kPlanned:
       put_plan(os, r.plan);
       break;
@@ -203,6 +155,9 @@ std::string encode_record(const JournalRecord& r) {
     case RecordType::kQuarantine:
       os << ' ' << r.job.id << ' ' << r.crash_count << ' ' << netstr(r.site);
       break;
+    case RecordType::kDispatch:
+      os << ' ' << r.attempt << ' ' << netstr(r.site);
+      break;
   }
   return os.str();
 }
@@ -214,26 +169,11 @@ JournalRecord decode_record(const std::string& payload) {
   r.type = record_type_from_name(p.tok());
   r.seq = p.u64();
   switch (r.type) {
-    case RecordType::kAdmit: {
+    case RecordType::kAdmit:
       r.readmit = p.b();
-      JobSpec& j = r.job;
-      j.id = p.u64();
-      j.n = static_cast<Index>(p.u64());
-      j.nprocs = p.i32();
-      j.dist = keys::dist_from_name(p.tok());
-      j.seed = p.u64();
-      if (p.b()) j.force_algo = sort::algo_from_name(p.tok());
-      if (p.b()) j.force_model = sort::model_from_name(p.tok());
-      if (p.b()) j.force_radix_bits = p.i32();
-      j.deadline_us = p.u64();
-      j.priority = p.i32();
-      j.trace_json_path = p.str();
-      j.crash_count = p.i32();
-      j.crash_site = p.str();
-      if (p.b()) j.recovered_plan = get_plan(p);
-      j.svc_seq = r.seq;
+      r.job = codec::get_job(p);
+      r.job.svc_seq = r.seq;
       break;
-    }
     case RecordType::kPlanned:
       r.plan = get_plan(p);
       break;
@@ -280,6 +220,10 @@ JournalRecord decode_record(const std::string& payload) {
       r.crash_count = p.i32();
       r.site = p.str();
       break;
+    case RecordType::kDispatch:
+      r.attempt = p.i32();
+      r.site = p.str();
+      break;
   }
   return r;
 }
@@ -302,7 +246,7 @@ void JournalWriter::open_segment_locked() {
   // computes next_lsn as max-seen + 1, so any segment already named by
   // next_lsn_ holds no valid records and truncating it is safe.
   const std::string path = cfg_.dir + "/" + segment_name(next_lsn_);
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  fd_ = open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     throw StatusError(Status::io_error("open " + path + ": " +
                                        std::strerror(errno)));
@@ -338,7 +282,7 @@ std::uint64_t JournalWriter::append(JournalRecord r) {
   const std::string site_base =
       std::string("journal.") + record_type_name(r.type);
   fire_hook((site_base + ".before-fsync").c_str(), r.seq);
-  if (cfg_.fsync_data && ::fsync(fd_) != 0) {
+  if (cfg_.fsync_data && fsync_retry(fd_) != 0) {
     throw StatusError(Status::io_error("journal fsync: " +
                                        std::string(std::strerror(errno))));
   }

@@ -42,8 +42,9 @@ enum class RecordType {
   kAttemptResult,  // attempt N failed (successes are implied by kTerminal)
   kTerminal,       // job finished: ok / failed / shed / deadline-miss
   kQuarantine,     // job refused re-admission after repeated crashes
+  kDispatch,       // attempt N handed to a cluster worker (PR 7)
 };
-constexpr int kRecordTypeCount = 7;
+constexpr int kRecordTypeCount = 8;
 
 const char* record_type_name(RecordType t);
 RecordType record_type_from_name(const std::string& name);
@@ -65,12 +66,13 @@ struct JournalRecord {
   // replay needs no cross-record merge).
   Plan plan;
 
-  // kAttemptStart / kAttemptResult.
+  // kAttemptStart / kAttemptResult / kDispatch.
   int attempt = 0;
   AttemptRecord attempt_result;  // kAttemptResult
 
-  // kMark / kQuarantine: progress site ("keygen", "local-sort", ...; for
-  // kQuarantine the inferred crash site, e.g. "execute:keygen").
+  // kMark / kQuarantine / kDispatch: progress site ("keygen",
+  // "local-sort", ...; for kQuarantine the inferred crash site, e.g.
+  // "execute:keygen"; for kDispatch the worker label, e.g. "worker-2").
   std::string site;
 
   // kTerminal: the deterministic slice of the JobResult (host latency is

@@ -99,6 +99,52 @@ void Metrics::on_complete(const JobResult& r) {
   }
 }
 
+void Metrics::on_remote_dispatch() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.dispatches;
+}
+
+void Metrics::on_remote_ack(double host_us) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.acks;
+  const auto us =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(host_us)));
+  const int bucket = std::min(us == 0 ? 0 : bit_width_u64(us) - 1,
+                              kLatencyBuckets - 1);
+  ++ack_hist_[bucket];
+}
+
+void Metrics::on_redispatch() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.redispatches;
+}
+
+void Metrics::on_worker_spawn(bool respawn) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.workers_spawned;
+  if (respawn) ++cl_.workers_respawned;
+}
+
+void Metrics::on_worker_death() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.worker_deaths;
+}
+
+void Metrics::on_worker_retire() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.workers_retired;
+}
+
+void Metrics::on_worker_gauge(int free, int working, int draining, int dead) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cl_.gauge_free = static_cast<std::uint64_t>(std::max(0, free));
+  cl_.gauge_working = static_cast<std::uint64_t>(std::max(0, working));
+  cl_.gauge_draining = static_cast<std::uint64_t>(std::max(0, draining));
+  cl_.gauge_dead = static_cast<std::uint64_t>(std::max(0, dead));
+  cl_.peak_alive =
+      std::max(cl_.peak_alive, cl_.gauge_free + cl_.gauge_working);
+}
+
 void Metrics::on_fault(FaultSite site) {
   const std::lock_guard<std::mutex> lock(mu_);
   ++faults_[static_cast<std::size_t>(site)];
@@ -117,6 +163,11 @@ Metrics::Counters Metrics::counters() const {
 Metrics::Durability Metrics::durability() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return d_;
+}
+
+Metrics::Cluster Metrics::cluster() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cl_;
 }
 
 Metrics::State Metrics::export_state() const {
@@ -234,6 +285,54 @@ std::string Metrics::to_json() const {
     os << (i ? ", " : "") << hist[static_cast<std::size_t>(i)];
   }
   os << "]}";
+  return os.str();
+}
+
+std::string Metrics::cluster_json() const {
+  const Cluster cl = cluster();
+  std::uint64_t hist[kLatencyBuckets];
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::copy(ack_hist_, ack_hist_ + kLatencyBuckets, hist);
+  }
+  std::ostringstream os;
+  os << "{\"dispatches\": " << cl.dispatches << ", \"acks\": " << cl.acks
+     << ", \"redispatches\": " << cl.redispatches
+     << ", \"worker_deaths\": " << cl.worker_deaths
+     << ", \"workers_spawned\": " << cl.workers_spawned
+     << ", \"workers_respawned\": " << cl.workers_respawned
+     << ", \"workers_retired\": " << cl.workers_retired
+     << ",\n \"workers\": {\"free\": " << cl.gauge_free
+     << ", \"working\": " << cl.gauge_working
+     << ", \"draining\": " << cl.gauge_draining
+     << ", \"dead\": " << cl.gauge_dead
+     << ", \"peak_alive\": " << cl.peak_alive
+     << "},\n \"dispatch_ack_host_us_log2_buckets\": [";
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    os << (i ? ", " : "") << hist[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Metrics::cluster_csv() const {
+  std::uint64_t hist[kLatencyBuckets];
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    std::copy(ack_hist_, ack_hist_ + kLatencyBuckets, hist);
+  }
+  std::ostringstream os;
+  os << "bucket_lo_us,bucket_hi_us,count\n";
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    const std::uint64_t lo = i == 0 ? 0 : std::uint64_t{1} << i;
+    os << lo;
+    if (i == kLatencyBuckets - 1) {
+      os << ",inf";
+    } else {
+      os << "," << (std::uint64_t{1} << (i + 1));
+    }
+    os << "," << hist[i] << "\n";
+  }
   return os.str();
 }
 

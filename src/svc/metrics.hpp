@@ -76,11 +76,45 @@ class Metrics {
     double second_half_cal = 0;
   };
 
+  /// Cluster-tier counters, gauges, and the dispatch->ack latency
+  /// histogram (power-of-two host-microsecond buckets, same shape as the
+  /// virtual-latency histogram). Deliberately kept out of to_json() and
+  /// the snapshot State: ack latencies are host wall-clock and the
+  /// spawn/retire history depends on the worker-process count, so
+  /// folding them into the main report would break the byte-identical
+  /// replay contract. cluster_json()/cluster_csv() report them
+  /// separately.
+  struct Cluster {
+    std::uint64_t dispatches = 0;    // tasks sent to a worker process
+    std::uint64_t acks = 0;          // done messages received
+    std::uint64_t redispatches = 0;  // attempts re-driven after a death
+    std::uint64_t worker_deaths = 0;
+    std::uint64_t workers_spawned = 0;    // forked + accepted, lifetime
+    std::uint64_t workers_respawned = 0;  // spawns replacing a death
+    std::uint64_t workers_retired = 0;    // elastic scale-down retires
+    // Current worker-state gauges (last reported) and the peak alive
+    // (free + working) complement.
+    std::uint64_t gauge_free = 0;
+    std::uint64_t gauge_working = 0;
+    std::uint64_t gauge_draining = 0;
+    std::uint64_t gauge_dead = 0;
+    std::uint64_t peak_alive = 0;
+  };
+
   void on_admission(Admission a);
   void on_complete(const JobResult& r);
   /// An injected fault fired at `site` (counted per site).
   void on_fault(FaultSite site);
   void note_queue_depth(std::size_t depth);
+
+  // Cluster-tier events (see cluster/master.cpp for the call sites).
+  void on_remote_dispatch();
+  void on_remote_ack(double host_us);  // dispatch->ack host latency
+  void on_redispatch();
+  void on_worker_spawn(bool respawn);
+  void on_worker_death();
+  void on_worker_retire();
+  void on_worker_gauge(int free, int working, int draining, int dead);
 
   // Durability events (recovery scan, checkpointing).
   void on_journal_torn_tail();
@@ -91,6 +125,7 @@ class Metrics {
 
   Counters counters() const;
   Durability durability() const;
+  Cluster cluster() const;
   Accuracy accuracy() const;
   std::size_t queue_depth_high_water() const;
   std::vector<std::uint64_t> latency_histogram() const;
@@ -102,6 +137,11 @@ class Metrics {
   std::string to_json() const;
   /// Histogram as CSV: bucket_lo_us,bucket_hi_us,count.
   std::string histogram_csv() const;
+  /// Cluster-tier JSON (counters, gauges, dispatch->ack histogram) —
+  /// host- and worker-count-dependent, hence separate from to_json().
+  std::string cluster_json() const;
+  /// Dispatch->ack latency histogram as CSV (host microseconds).
+  std::string cluster_csv() const;
 
   /// Complete registry state, for calibration snapshots. import_state
   /// replaces everything; export-then-import on a fresh registry yields a
@@ -123,7 +163,9 @@ class Metrics {
   mutable std::mutex mu_;
   Counters c_;
   Durability d_;
+  Cluster cl_;
   std::size_t depth_high_water_ = 0;
+  std::uint64_t ack_hist_[kLatencyBuckets] = {};
   std::uint64_t hist_[kLatencyBuckets] = {};
   std::uint64_t retry_hist_[kRetryBuckets] = {};
   std::uint64_t faults_[kFaultSiteCount] = {};

@@ -60,6 +60,9 @@ std::string history_line(const JournalRecord& r) {
     case RecordType::kQuarantine:
       os << " crash_count=" << r.crash_count << " site=" << r.site;
       break;
+    case RecordType::kDispatch:
+      os << ' ' << r.attempt << " -> " << r.site;
+      break;
   }
   return os.str();
 }
@@ -174,6 +177,7 @@ RecoveryOutcome recover_dir(const std::string& dir, int quarantine_threshold,
     ++out.report.journal_records;
     if (r.type == RecordType::kPlanned ||
         r.type == RecordType::kAttemptStart ||
+        r.type == RecordType::kDispatch ||
         r.type == RecordType::kMark || r.type == RecordType::kAttemptResult) {
       last_exec_seq = r.seq;  // highest-LSN progress record wins
       have_last_exec = true;
@@ -248,6 +252,13 @@ RecoveryOutcome recover_dir(const std::string& dir, int quarantine_threshold,
       case RecordType::kQuarantine:
         t.quarantined = true;
         known_ids.insert(r.job.id);
+        break;
+      case RecordType::kDispatch:
+        // A dispatch that never acked is exactly the attempt-start case:
+        // the attempt had begun somewhere when the master died, so the
+        // job is re-driven (and charged if it owns the latest progress).
+        t.attempt_started = true;
+        t.began = true;
         break;
     }
   }

@@ -1,0 +1,92 @@
+// The seam between the single-process service and the cluster tier.
+//
+// SortService executes attempts either locally (in the worker cell's own
+// thread) or, when ServiceConfig::remote is set, by handing the attempt
+// to a RemoteExecutor — PR 7's cluster::WorkerPool, which ships it to a
+// worker process over the framed socket transport. The interface is
+// deliberately attempt-grained: retry policy, deadline classification,
+// serialize-fault injection, journaling and metrics stay in svc/server,
+// so a remote run is byte-identical to a local one (the determinism
+// contract extends across process boundaries — see DESIGN.md §10).
+//
+// svc/ must not depend on cluster/ (the cluster depends on svc's job and
+// codec types), so this header is the only thing the server knows about
+// remote execution.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+#include "svc/faults.hpp"
+#include "svc/job.hpp"
+#include "svc/metrics.hpp"
+
+namespace dsm::svc {
+
+/// One execution attempt to run remotely. `audit` runs measure the
+/// runner-up plan: no hooks, no faults, no trace — exactly the local
+/// audit contract.
+struct RemoteAttempt {
+  JobSpec job;
+  Plan plan;
+  int attempt = 0;
+  bool audit = false;
+};
+
+/// What the remote attempt produced. When `ran` is false the pool could
+/// not execute the attempt anywhere (every worker dead and none
+/// spawnable) and `failure` says why; when `ran` is true the attempt has
+/// exactly the local outcome shape: ok + measurements, or a typed
+/// failure with the fault site that fired worker-side.
+struct RemoteOutcome {
+  bool ran = false;
+  bool ok = false;
+  Status failure;
+  double measured_ns = 0;
+  int passes = 0;
+  bool verified = false;
+  int fired_site = -1;  // FaultSite that fired during the attempt, or -1
+};
+
+class RemoteExecutor {
+ public:
+  using MarkFn = std::function<void(const char* site, double virtual_ns)>;
+  using DispatchFn = std::function<void(const std::string& worker)>;
+
+  virtual ~RemoteExecutor() = default;
+
+  /// Run one attempt on some worker, blocking until it completes (or the
+  /// pool exhausts its re-dispatch budget). `on_mark` fires on the
+  /// calling thread for every progress mark the worker reports (the
+  /// server journals kMark and drives its durability crash hook there);
+  /// `on_dispatch` fires after a worker is chosen, before the task is
+  /// sent (the server journals kDispatch there — the WAL record that
+  /// lets a master crash re-drive unacknowledged dispatches).
+  virtual RemoteOutcome run_attempt(const RemoteAttempt& attempt,
+                                    const MarkFn& on_mark,
+                                    const DispatchFn& on_dispatch) = 0;
+
+  /// Called once from the SortService constructor: the metrics registry
+  /// to record cluster events into (borrowed), plus the service knobs
+  /// every dispatched task must carry so a worker-side run is configured
+  /// exactly like a local one (the fault universe and the input-cache
+  /// budget cannot be allowed to drift between master and workers).
+  virtual void bind_service(Metrics* metrics, const FaultConfig& faults,
+                            std::uint64_t input_cache_budget_bytes) = 0;
+
+  /// Batch-boundary signal from the server thread: `jobs` jobs were just
+  /// planned with `predicted_ns` total predicted virtual cost and
+  /// `queue_depth` jobs still queued behind them. The elastic pool
+  /// resizes here (never mid-batch), so worker count changes cannot
+  /// perturb in-flight leases.
+  virtual void note_batch(std::size_t jobs, double predicted_ns,
+                          std::size_t queue_depth) {
+    (void)jobs;
+    (void)predicted_ns;
+    (void)queue_depth;
+  }
+};
+
+}  // namespace dsm::svc

@@ -50,20 +50,6 @@ void append_line_durable(const std::string& path, const std::string& line) {
   ::close(fd);
 }
 
-sort::SortSpec spec_for(const JobSpec& job, sort::Algo algo,
-                        sort::Model model, int radix_bits) {
-  sort::SortSpec spec;
-  spec.algo = algo;
-  spec.model = model;
-  spec.nprocs = job.nprocs;
-  spec.n = job.n;
-  spec.radix_bits = radix_bits;
-  spec.dist = job.dist;
-  spec.seed = job.seed;
-  spec.trace_json_path = job.trace_json_path;
-  return spec;
-}
-
 std::string us_text(double ns) { return fmt_fixed(ns / 1e3, 3) + "us"; }
 
 }  // namespace
@@ -83,6 +69,13 @@ SortService::SortService(ServiceConfig cfg)
   DSM_REQUIRE(!durable() || cfg_.workers == 1,
               "durability requires workers == 1 (snapshots between batches "
               "must cover every in-flight job)");
+  if (cfg_.remote != nullptr) {
+    // Hand the remote tier our metrics registry plus the knobs every
+    // dispatched task must carry, so a worker-side run is configured
+    // exactly like a local one.
+    cfg_.remote->bind_service(&metrics_, cfg_.faults,
+                              cfg_.input_cache_budget_bytes);
+  }
   if (durable()) recover();
 }
 
@@ -399,6 +392,16 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
     }
   }
 
+  if (cfg_.remote != nullptr) {
+    // Batch-boundary elasticity signal: the pool may resize here (and
+    // only here), so the worker-process count never changes mid-batch.
+    double predicted_ns = 0;
+    for (const auto& p : plans) {
+      if (p.has_value()) predicted_ns += p->predicted_ns;
+    }
+    cfg_.remote->note_batch(count, predicted_ns, queue_.depth());
+  }
+
   // Execute concurrently; every cell only writes its own slot and never
   // throws (failures are recorded in the slot), so one poisoned job
   // cannot take down the round. The per-job index is the admission seq —
@@ -464,74 +467,139 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
       journal_->append(r);
     }
     int fired_site = -1;
-    sort::SortSpec spec =
-        spec_for(job, plan.algo, plan.model, plan.radix_bits);
-    spec.hooks.on_site = [this, id = job.id, attempt, deadline_ns, abortable,
-                          seq, &fired_site](const char* site,
-                                            double virtual_ns) {
-      if (durable() && cfg_.durability.journal_marks) {
-        // Progress mark: pins a crash during this phase to the precise
-        // "execute:<site>" identity quarantine counting keys on.
-        JournalRecord m;
-        m.type = RecordType::kMark;
-        m.seq = seq;
-        m.site = site;
-        journal_->append(m);
-      }
-      if (durable() && cfg_.durability.crash_hook) {
-        cfg_.durability.crash_hook(
-            (std::string("exec.") + site).c_str(), seq);
-      }
-      const bool keygen = std::strcmp(site, "keygen") == 0;
-      const FaultSite fsite =
-          keygen ? FaultSite::kKeygen : FaultSite::kSortPhase;
-      const std::uint64_t salt = keygen ? 0 : fault_salt(site);
-      if (injector_.should_fire(fsite, id, attempt, salt)) {
-        metrics_.on_fault(fsite);
-        fired_site = static_cast<int>(fsite);
-        throw StatusError(FaultInjector::fire(fsite, id, attempt));
-      }
-      // Cooperative straggler abort: virtual time already past the
-      // deadline at a phase boundary means the job cannot finish in
-      // budget; unwind now instead of finishing late.
-      if (abortable && virtual_ns > deadline_ns) {
-        throw StatusError(Status::deadline_exceeded(
-            std::string("virtual deadline exceeded at '") + site + "': " +
-            us_text(virtual_ns) + " > " + us_text(deadline_ns)));
-      }
-    };
-
-    Result<sort::SortResult> r = sort::try_run_sort(spec);
+    bool attempt_ok = false;
+    double measured_ns = 0;
+    int passes = 0;
+    bool verified = false;
     Status failure;
-    if (r.ok()) {
+
+    if (cfg_.remote != nullptr) {
+      // Cluster mode: ship the attempt to a worker process. The worker
+      // mirrors exactly the local hook body below (marks, faults,
+      // virtual-deadline abort) from the same FaultConfig, so the
+      // outcome is byte-identical; journaling and the crash hook stay
+      // here, on the mark callbacks the worker streams back.
+      RemoteAttempt ra;
+      ra.job = job;
+      ra.plan = plan;
+      ra.attempt = attempt;
+      const auto on_mark = [this, seq](const char* site, double) {
+        if (durable() && cfg_.durability.journal_marks) {
+          JournalRecord m;
+          m.type = RecordType::kMark;
+          m.seq = seq;
+          m.site = site;
+          journal_->append(m);
+        }
+        if (durable() && cfg_.durability.crash_hook) {
+          cfg_.durability.crash_hook(
+              (std::string("exec.") + site).c_str(), seq);
+        }
+      };
+      const auto on_dispatch = [this, seq, attempt](const std::string& w) {
+        if (!durable()) return;
+        // WAL the dispatch before the task leaves the master: a crash
+        // right after the send still knows this attempt may have reached
+        // worker `w`, and recovery re-drives it like a started attempt.
+        JournalRecord d;
+        d.type = RecordType::kDispatch;
+        d.seq = seq;
+        d.attempt = attempt;
+        d.site = w;
+        journal_->append(d);
+      };
+      const RemoteOutcome ro =
+          cfg_.remote->run_attempt(ra, on_mark, on_dispatch);
+      if (ro.fired_site >= 0) {
+        // The fault fired worker-side (same injector, same seed); its
+        // counter lives in this process.
+        metrics_.on_fault(static_cast<FaultSite>(ro.fired_site));
+        fired_site = ro.fired_site;
+      }
+      if (ro.ran && ro.ok) {
+        attempt_ok = true;
+        measured_ns = ro.measured_ns;
+        passes = ro.passes;
+        verified = ro.verified;
+      } else {
+        failure = ro.failure;
+      }
+    } else {
+      sort::SortSpec spec =
+          sort_spec_for(job, plan.algo, plan.model, plan.radix_bits);
+      spec.hooks.on_site = [this, id = job.id, attempt, deadline_ns,
+                            abortable, seq, &fired_site](
+                               const char* site, double virtual_ns) {
+        if (durable() && cfg_.durability.journal_marks) {
+          // Progress mark: pins a crash during this phase to the precise
+          // "execute:<site>" identity quarantine counting keys on.
+          JournalRecord m;
+          m.type = RecordType::kMark;
+          m.seq = seq;
+          m.site = site;
+          journal_->append(m);
+        }
+        if (durable() && cfg_.durability.crash_hook) {
+          cfg_.durability.crash_hook(
+              (std::string("exec.") + site).c_str(), seq);
+        }
+        const bool keygen = std::strcmp(site, "keygen") == 0;
+        const FaultSite fsite =
+            keygen ? FaultSite::kKeygen : FaultSite::kSortPhase;
+        const std::uint64_t salt = keygen ? 0 : fault_salt(site);
+        if (injector_.should_fire(fsite, id, attempt, salt)) {
+          metrics_.on_fault(fsite);
+          fired_site = static_cast<int>(fsite);
+          throw StatusError(FaultInjector::fire(fsite, id, attempt));
+        }
+        // Cooperative straggler abort: virtual time already past the
+        // deadline at a phase boundary means the job cannot finish in
+        // budget; unwind now instead of finishing late.
+        if (abortable && virtual_ns > deadline_ns) {
+          throw StatusError(Status::deadline_exceeded(
+              std::string("virtual deadline exceeded at '") + site +
+              "': " + us_text(virtual_ns) + " > " + us_text(deadline_ns)));
+        }
+      };
+
+      Result<sort::SortResult> r = sort::try_run_sort(spec);
+      if (r.ok()) {
+        attempt_ok = true;
+        measured_ns = r->elapsed_ns;
+        passes = r->passes;
+        verified = r->verified;
+      } else {
+        failure = r.status();
+      }
+    }
+
+    if (attempt_ok) {
       if (injector_.should_fire(FaultSite::kSerialize, job.id, attempt)) {
         // The sort finished but its result was lost on the way out; the
-        // whole attempt must rerun.
+        // whole attempt must rerun. (Serialization is a master-side step,
+        // so this fires here even in cluster mode.)
         metrics_.on_fault(FaultSite::kSerialize);
         fired_site = static_cast<int>(FaultSite::kSerialize);
         failure = FaultInjector::fire(FaultSite::kSerialize, job.id, attempt);
       } else {
-        out.measured_ns = r->elapsed_ns;
-        out.passes = r->passes;
-        out.verified = r->verified;
-        if (job.deadline_us > 0 && r->elapsed_ns > deadline_ns) {
+        out.measured_ns = measured_ns;
+        out.passes = passes;
+        out.verified = verified;
+        if (job.deadline_us > 0 && measured_ns > deadline_ns) {
           out.status = JobStatus::kDeadlineMiss;
           out.final_status = Status::deadline_exceeded(
-              "finished late: measured " + us_text(r->elapsed_ns) +
+              "finished late: measured " + us_text(measured_ns) +
               " > deadline " + us_text(deadline_ns));
           out.error = out.final_status.message();
         }
         break;  // job ran to completion (on time or late)
       }
-    } else {
-      failure = r.status();
-      if (failure.code() == StatusCode::kDeadlineExceeded) {
-        // Mid-run abort: the job ran and missed; rerunning cannot help.
-        out.status = JobStatus::kDeadlineMiss;
-        out.final_status = failure;
-        out.error = failure.message();
-        return;
-      }
+    } else if (failure.code() == StatusCode::kDeadlineExceeded) {
+      // Mid-run abort: the job ran and missed; rerunning cannot help.
+      out.status = JobStatus::kDeadlineMiss;
+      out.final_status = failure;
+      out.error = failure.message();
+      return;
     }
 
     if (failure.retryable() && attempt + 1 < cfg_.max_attempts) {
@@ -563,18 +631,43 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
   if (out.status == JobStatus::kOk && cfg_.audit_every != 0 &&
       seq % cfg_.audit_every == 0 && plan.has_runner_up) {
     out.audited = true;
-    try {
-      sort::SortSpec rs = spec_for(job, plan.runner_algo, plan.runner_model,
-                                   plan.runner_radix_bits);
-      rs.trace_json_path.clear();  // audit runs are not traced
-      // Audit runs carry no hooks: no faults, no deadline — they measure
-      // the runner-up plan, not the failure machinery.
-      out.runner_measured_ns = sort::run_sort(rs).elapsed_ns;
-      out.plan_hit = out.measured_ns <= out.runner_measured_ns;
-    } catch (const std::exception&) {
-      // The runner-up itself is infeasible: the planner's choice stands.
-      out.runner_measured_ns = -1;
-      out.plan_hit = true;
+    if (cfg_.remote != nullptr) {
+      // Audit the runner-up on a worker process too (the master never
+      // sorts in cluster mode). Audit dispatches are not journaled: an
+      // audit is re-derivable from the terminal record and re-running it
+      // after a crash costs one sort, not correctness.
+      RemoteAttempt ra;
+      ra.job = job;
+      ra.plan = plan;
+      ra.plan.algo = plan.runner_algo;
+      ra.plan.model = plan.runner_model;
+      ra.plan.radix_bits = plan.runner_radix_bits;
+      ra.audit = true;
+      const RemoteOutcome ro = cfg_.remote->run_attempt(ra, nullptr, nullptr);
+      if (ro.ran && ro.ok) {
+        out.runner_measured_ns = ro.measured_ns;
+        out.plan_hit = out.measured_ns <= out.runner_measured_ns;
+      } else {
+        // The runner-up itself is infeasible: the planner's choice
+        // stands (exactly the local catch path below).
+        out.runner_measured_ns = -1;
+        out.plan_hit = true;
+      }
+    } else {
+      try {
+        sort::SortSpec rs = sort_spec_for(job, plan.runner_algo,
+                                          plan.runner_model,
+                                          plan.runner_radix_bits);
+        rs.trace_json_path.clear();  // audit runs are not traced
+        // Audit runs carry no hooks: no faults, no deadline — they
+        // measure the runner-up plan, not the failure machinery.
+        out.runner_measured_ns = sort::run_sort(rs).elapsed_ns;
+        out.plan_hit = out.measured_ns <= out.runner_measured_ns;
+      } catch (const std::exception&) {
+        // The runner-up itself is infeasible: the planner's choice stands.
+        out.runner_measured_ns = -1;
+        out.plan_hit = true;
+      }
     }
   }
   if (job.host_submit_s > 0) {

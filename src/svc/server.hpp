@@ -52,6 +52,7 @@
 #include "svc/planner.hpp"
 #include "svc/queue.hpp"
 #include "svc/recovery.hpp"
+#include "svc/remote.hpp"
 
 namespace dsm::svc {
 
@@ -109,6 +110,13 @@ struct ServiceConfig {
   FaultConfig faults;
   PlannerConfig planner;
   DurabilityConfig durability;
+  /// Remote execution tier (borrowed; must outlive the service). When
+  /// set, execution attempts and audits run on the executor's worker
+  /// processes instead of in the worker cell's own thread; planning,
+  /// retry, shedding, calibration and journaling stay here. The
+  /// determinism contract is unchanged: results are byte-identical to a
+  /// local run for any worker-process count.
+  RemoteExecutor* remote = nullptr;
 };
 
 class SortService {

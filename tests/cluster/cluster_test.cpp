@@ -1,0 +1,367 @@
+// End-to-end master/worker cluster: replay byte-identity against the
+// single-process service and across worker-process counts, crash
+// re-dispatch (kill a worker mid-job, nothing lost, nothing doubled),
+// external workers over a UNIX socket, lying workers, elastic resize,
+// and dispatch WAL records in durable mode. These tests fork worker
+// processes, so they live in the `cluster.` / `asan.` tiers, not TSan.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <dirent.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cluster/frame.hpp"
+#include "cluster/master.hpp"
+#include "cluster/worker.hpp"
+#include "svc/journal.hpp"
+#include "svc/server.hpp"
+#include "svc/trace.hpp"
+
+namespace dsm::cluster {
+namespace {
+
+svc::ServiceConfig small_config() {
+  svc::ServiceConfig cfg;
+  cfg.queue_capacity = 16;
+  cfg.max_batch = 4;
+  cfg.workers = 1;
+  cfg.audit_every = 3;
+  return cfg;
+}
+
+std::vector<svc::JobSpec> small_trace(std::size_t count) {
+  svc::LoadMix mix;
+  mix.sizes = {1u << 12, 1u << 13};
+  mix.procs = {4, 8};
+  mix.dists = {keys::Dist::kGauss, keys::Dist::kRandom, keys::Dist::kBucket};
+  return svc::make_trace(1234, count, mix);
+}
+
+/// Everything deterministic the service produced, as one string. The
+/// cluster tier must reproduce this byte-for-byte for any worker count.
+std::string replay_fingerprint(svc::SortService& svc,
+                               const std::vector<svc::JobSpec>& trace) {
+  std::string out;
+  for (const svc::JobResult& r : svc.replay(trace)) {
+    out += r.to_json();
+    out += '\n';
+  }
+  out += svc.metrics().to_json();
+  out += '\n';
+  out += svc.planner().calibration_json();
+  return out;
+}
+
+PoolConfig pool_config(int workers) {
+  PoolConfig pc;
+  pc.policy.min_workers = workers;
+  pc.policy.max_workers = workers;
+  return pc;
+}
+
+TEST(Cluster, ReplayMatchesSingleProcessServiceByteForByte) {
+  const std::vector<svc::JobSpec> trace = small_trace(10);
+  svc::SortService local(small_config());
+  const std::string base = replay_fingerprint(local, trace);
+  ASSERT_NE(base.find("\"status\": \"ok\""), std::string::npos);
+
+  WorkerPool pool(pool_config(2));
+  svc::ServiceConfig cfg = small_config();
+  cfg.remote = &pool;
+  svc::SortService clustered(cfg);
+  ASSERT_TRUE(pool.start().ok());
+  EXPECT_EQ(replay_fingerprint(clustered, trace), base);
+  const svc::Metrics::Cluster cl = clustered.metrics().cluster();
+  EXPECT_GE(cl.dispatches, trace.size());
+  EXPECT_EQ(cl.dispatches, cl.acks);
+  EXPECT_EQ(cl.worker_deaths, 0u);
+  pool.shutdown();
+}
+
+TEST(Cluster, ReplayIsByteIdenticalAcrossWorkerProcessCounts) {
+  const std::vector<svc::JobSpec> trace = small_trace(8);
+  std::string base;
+  for (const int workers : {1, 2, 4}) {
+    WorkerPool pool(pool_config(workers));
+    svc::ServiceConfig cfg = small_config();
+    cfg.remote = &pool;
+    svc::SortService svc(cfg);
+    ASSERT_TRUE(pool.start().ok());
+    const std::string fp = replay_fingerprint(svc, trace);
+    if (base.empty()) {
+      base = fp;
+    } else {
+      EXPECT_EQ(fp, base) << "workers=" << workers;
+    }
+  }
+  ASSERT_NE(base.find("\"status\": \"ok\""), std::string::npos);
+}
+
+TEST(Cluster, WorkerKilledMidJobIsRedispatchedWithIdenticalOutput) {
+  const std::vector<svc::JobSpec> trace = small_trace(6);
+
+  // Uncrashed cluster reference.
+  WorkerPool ref_pool(pool_config(2));
+  svc::ServiceConfig ref_cfg = small_config();
+  ref_cfg.remote = &ref_pool;
+  svc::SortService ref_svc(ref_cfg);
+  ASSERT_TRUE(ref_pool.start().ok());
+  const std::string base = replay_fingerprint(ref_svc, trace);
+  ref_pool.shutdown();
+
+  // Same run, but the first worker to reach job seq 2 _exit()s inside a
+  // phase — a real SIGKILL-grade mid-job death. The O_EXCL sentinel makes
+  // exactly one worker die; the re-dispatched attempt runs to completion.
+  const std::string sentinel =
+      ::testing::TempDir() + "/dsm_cluster_killed_once";
+  ::unlink(sentinel.c_str());
+  PoolConfig pc = pool_config(2);
+  pc.worker.crash_hook = [sentinel](const char* /*site*/,
+                                    std::uint64_t seq) {
+    if (seq != 2) return;
+    const int fd =
+        ::open(sentinel.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) ::_exit(137);
+  };
+  WorkerPool pool(pc);
+  svc::ServiceConfig cfg = small_config();
+  cfg.remote = &pool;
+  svc::SortService svc(cfg);
+  ASSERT_TRUE(pool.start().ok());
+  EXPECT_EQ(replay_fingerprint(svc, trace), base)
+      << "crash re-dispatch perturbed deterministic output";
+  const svc::Metrics::Cluster cl = svc.metrics().cluster();
+  EXPECT_EQ(cl.worker_deaths, 1u);
+  EXPECT_EQ(cl.redispatches, 1u);
+  EXPECT_GE(cl.workers_respawned, 1u);
+  EXPECT_EQ(pool.alive_workers(), 2);  // the dead worker was replaced
+  pool.shutdown();
+  ::unlink(sentinel.c_str());
+}
+
+TEST(Cluster, ExternalWorkersOverUnixSocketServeTheSameBytes) {
+  const std::vector<svc::JobSpec> trace = small_trace(6);
+  svc::SortService local(small_config());
+  const std::string base = replay_fingerprint(local, trace);
+
+  const std::string path = ::testing::TempDir() + "/dsm_cluster_test.sock";
+  PoolConfig pc;
+  pc.fork_workers = false;  // every worker joins through the socket
+  pc.policy.max_workers = 2;
+  WorkerPool pool(pc);
+  ASSERT_TRUE(pool.serve(path).ok());
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i) {
+    workers.emplace_back([&path, i] {
+      Result<Channel> ch = connect_unix(path);
+      ASSERT_TRUE(ch.ok()) << ch.status().to_string();
+      WorkerOptions opts;
+      opts.label = "external-" + std::to_string(i);
+      EXPECT_EQ(worker_main(std::move(*ch), opts), 0);
+    });
+  }
+
+  svc::ServiceConfig cfg = small_config();
+  cfg.remote = &pool;
+  svc::SortService svc(cfg);
+  EXPECT_EQ(replay_fingerprint(svc, trace), base);
+  EXPECT_EQ(pool.total_spawned(), 2);
+  pool.shutdown();
+  for (std::thread& t : workers) t.join();
+  ::unlink(path.c_str());
+}
+
+TEST(Cluster, LyingWorkerSurfacesTypedStatusAndNeverHangsTheMaster) {
+  const std::string path = ::testing::TempDir() + "/dsm_cluster_liar.sock";
+  PoolConfig pc;
+  pc.fork_workers = false;
+  pc.policy.max_workers = 1;
+  pc.max_redispatch = 0;  // no other worker to fail over to
+  WorkerPool pool(pc);
+  ASSERT_TRUE(pool.serve(path).ok());
+
+  // A worker that completes the handshake, accepts the task, then
+  // answers with bytes that frame correctly but do not parse.
+  std::thread liar([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    WireMessage hello;
+    hello.type = MsgType::kHello;
+    hello.version = kProtocolVersion;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.label = "liar";
+    ASSERT_TRUE(send_message(*ch, hello).ok());
+    const Result<WireMessage> task = recv_message(*ch);
+    ASSERT_TRUE(task.ok());
+    ASSERT_TRUE(ch->send_frame("not a wire message at all").ok());
+  });
+
+  svc::RemoteAttempt attempt;
+  attempt.job.id = 1;
+  attempt.job.n = 4096;
+  attempt.job.nprocs = 4;
+  attempt.job.seed = 3;
+  attempt.plan.algo = sort::Algo::kRadix;
+  attempt.plan.model = sort::Model::kShmem;
+  attempt.plan.radix_bits = 8;
+  const svc::RemoteOutcome out = pool.run_attempt(attempt, nullptr, nullptr);
+  EXPECT_FALSE(out.ran);
+  EXPECT_EQ(out.failure.code(), StatusCode::kUnavailable);
+  EXPECT_NE(out.failure.message().find("CORRUPT_FRAME"), std::string::npos)
+      << out.failure.to_string();
+  liar.join();
+  pool.shutdown();
+  ::unlink(path.c_str());
+}
+
+TEST(Cluster, ElasticPoolResizesOnlyAtBatchBoundaries) {
+  svc::Metrics metrics;
+  PoolConfig pc;
+  pc.policy.min_workers = 1;
+  pc.policy.max_workers = 3;
+  pc.policy.elastic = true;
+  pc.policy.target_ns_per_worker = 1e6;
+  WorkerPool pool(pc);
+  pool.bind_service(&metrics, svc::FaultConfig{}, 0);
+  ASSERT_TRUE(pool.start().ok());
+  EXPECT_EQ(pool.alive_workers(), 1);
+
+  // A heavy batch grows the pool to its cap...
+  pool.note_batch(4, 4e6, 8);
+  EXPECT_EQ(pool.alive_workers(), 3);
+  // ...and an idle boundary drains it back to the floor.
+  pool.note_batch(0, 0, 0);
+  EXPECT_EQ(pool.alive_workers(), 1);
+
+  const svc::Metrics::Cluster cl = metrics.cluster();
+  EXPECT_EQ(cl.workers_spawned, 3u);
+  EXPECT_EQ(cl.workers_retired, 2u);
+  EXPECT_EQ(cl.peak_alive, 3u);
+  pool.shutdown();
+}
+
+TEST(Cluster, DurableClusterJournalsDispatchRecordsAndRecovers) {
+  const std::string dir = ::testing::TempDir() + "/dsm_cluster_durable";
+  std::ostringstream rm;
+  rm << "rm -rf '" << dir << "'";
+  ASSERT_EQ(std::system(rm.str().c_str()), 0);
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+
+  const std::vector<svc::JobSpec> trace = small_trace(4);
+  {
+    WorkerPool pool(pool_config(1));
+    svc::ServiceConfig cfg = small_config();
+    cfg.remote = &pool;
+    cfg.durability.dir = dir;
+    cfg.durability.keep_all_segments = true;
+    svc::SortService svc(cfg);
+    ASSERT_TRUE(pool.start().ok());
+    for (const svc::JobSpec& j : trace) {
+      Status why;
+      ASSERT_EQ(svc.submit(j, &why), svc::Admission::kAccepted)
+          << why.to_string();
+    }
+    svc.drain();
+    for (const svc::JobResult& r : svc.take_results()) {
+      EXPECT_EQ(r.status, svc::JobStatus::kOk) << r.error;
+    }
+    pool.shutdown();
+  }
+
+  // The WAL must carry kDispatch records naming the worker...
+  bool saw_dispatch = false;
+  DIR* d = ::opendir(dir.c_str());
+  ASSERT_NE(d, nullptr);
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    std::ifstream in(dir + "/" + name, std::ios::binary);
+    std::ostringstream content;
+    content << in.rdbuf();
+    if (content.str().find("dispatch") != std::string::npos &&
+        content.str().find("worker-") != std::string::npos) {
+      saw_dispatch = true;
+    }
+  }
+  ::closedir(d);
+  EXPECT_TRUE(saw_dispatch) << "no dispatch record found in " << dir;
+
+  // ...and a recovering service finds a complete history: nothing to
+  // requeue, nothing quarantined, nothing lost (the clean drain's final
+  // checkpoint covers every record, so nothing needs journal replay).
+  svc::ServiceConfig cfg2 = small_config();
+  cfg2.durability.dir = dir;
+  svc::SortService recovered(cfg2);
+  EXPECT_EQ(recovered.recovery_report().requeued, 0u);
+  EXPECT_EQ(recovered.recovery_report().quarantined, 0u);
+}
+
+TEST(Cluster, UnacknowledgedDispatchIsRedrivenByRecovery) {
+  // Hand-write the WAL a master that died mid-dispatch leaves behind:
+  // an admitted job, its plan, a kDispatch naming the worker — and no
+  // terminal. Recovery must treat the dispatch as attempt progress and
+  // re-admit the job with its journaled plan: no lost job, and the
+  // re-run executes the pre-crash plan (no calibration drift).
+  const std::string dir = ::testing::TempDir() + "/dsm_cluster_redrive";
+  std::ostringstream rm;
+  rm << "rm -rf '" << dir << "'";
+  ASSERT_EQ(std::system(rm.str().c_str()), 0);
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+
+  svc::JobSpec job;
+  job.id = 9;
+  job.n = 4096;
+  job.nprocs = 4;
+  job.seed = 17;
+  job.svc_seq = 0;
+  svc::Plan plan;
+  plan.algo = sort::Algo::kRadix;
+  plan.model = sort::Model::kShmem;
+  plan.radix_bits = 8;
+  plan.predicted_ns = 1e6;
+  {
+    svc::JournalConfig jc;
+    jc.dir = dir;
+    svc::JournalWriter wal(jc, 0);
+    svc::JournalRecord admit;
+    admit.type = svc::RecordType::kAdmit;
+    admit.seq = 0;
+    admit.job = job;
+    wal.append(admit);
+    svc::JournalRecord planned;
+    planned.type = svc::RecordType::kPlanned;
+    planned.seq = 0;
+    planned.plan = plan;
+    wal.append(planned);
+    svc::JournalRecord dispatch;
+    dispatch.type = svc::RecordType::kDispatch;
+    dispatch.seq = 0;
+    dispatch.attempt = 0;
+    dispatch.site = "worker-0";
+    wal.append(dispatch);
+  }
+
+  svc::ServiceConfig cfg = small_config();
+  cfg.durability.dir = dir;
+  svc::SortService svc(cfg);
+  EXPECT_EQ(svc.recovery_report().requeued, 1u);
+  svc.drain();
+  const std::vector<svc::JobResult> results = svc.take_results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].id, 9u);
+  EXPECT_EQ(results[0].status, svc::JobStatus::kOk) << results[0].error;
+  EXPECT_EQ(results[0].plan.radix_bits, 8);  // the journaled plan, kept
+}
+
+}  // namespace
+}  // namespace dsm::cluster

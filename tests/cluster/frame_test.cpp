@@ -1,0 +1,188 @@
+// Wire-message codec: every message type round-trips field-for-field
+// (doubles bit-exactly — the cross-process calibration identity depends
+// on it), and hostile payloads decode to typed kCorruptFrame statuses,
+// never exceptions or crashes.
+#include "cluster/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace dsm::cluster {
+namespace {
+
+svc::JobSpec sample_job() {
+  svc::JobSpec j;
+  j.id = 42;
+  j.n = 1u << 14;
+  j.nprocs = 8;
+  j.dist = keys::Dist::kBucket;
+  j.seed = 0xfeedfaceu;
+  j.force_algo = sort::Algo::kSample;
+  j.deadline_us = 1234;
+  j.priority = 2;
+  j.trace_json_path = "/tmp/trace with spaces.json";
+  j.svc_seq = 7;
+  j.crash_count = 1;
+  j.crash_site = "execute:permute";
+  return j;
+}
+
+svc::Plan sample_plan() {
+  svc::Plan p;
+  p.algo = sort::Algo::kSample;
+  p.model = sort::Model::kMpi;
+  p.radix_bits = 10;
+  p.predicted_raw_ns = 0x1.5554p20;  // exercises hexfloat round-trip
+  p.predicted_ns = 1.0 / 3.0;
+  p.has_runner_up = true;
+  p.runner_algo = sort::Algo::kRadix;
+  p.runner_radix_bits = 6;
+  p.runner_predicted_ns = 2.0 / 7.0;
+  return p;
+}
+
+TEST(Frame, HelloRoundTrips) {
+  WireMessage m;
+  m.type = MsgType::kHello;
+  m.version = kProtocolVersion;
+  m.pid = 12345;
+  m.label = "worker-3 (pool a)";
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got->type, MsgType::kHello);
+  EXPECT_EQ(got->version, kProtocolVersion);
+  EXPECT_EQ(got->pid, 12345u);
+  EXPECT_EQ(got->label, "worker-3 (pool a)");
+}
+
+TEST(Frame, TaskRoundTripsJobPlanAndFaultsExactly) {
+  WireMessage m;
+  m.type = MsgType::kTask;
+  m.task_id = 99;
+  m.attempt = 2;
+  m.audit = true;
+  m.cache_budget = 1u << 22;
+  m.faults.seed = 77;
+  m.faults.rate = 0.125;
+  m.faults.sites = 0x2b;
+  m.job = sample_job();
+  m.plan = sample_plan();
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got->type, MsgType::kTask);
+  EXPECT_EQ(got->task_id, 99u);
+  EXPECT_EQ(got->attempt, 2);
+  EXPECT_TRUE(got->audit);
+  EXPECT_EQ(got->cache_budget, 1u << 22);
+  EXPECT_EQ(got->faults.seed, 77u);
+  EXPECT_EQ(got->faults.rate, 0.125);
+  EXPECT_EQ(got->faults.sites, 0x2bu);
+  EXPECT_EQ(got->job.id, 42u);
+  EXPECT_EQ(got->job.n, 1u << 14);
+  EXPECT_EQ(got->job.dist, keys::Dist::kBucket);
+  ASSERT_TRUE(got->job.force_algo.has_value());
+  EXPECT_EQ(*got->job.force_algo, sort::Algo::kSample);
+  EXPECT_FALSE(got->job.force_model.has_value());
+  EXPECT_EQ(got->job.deadline_us, 1234u);
+  EXPECT_EQ(got->job.priority, 2);
+  EXPECT_EQ(got->job.trace_json_path, "/tmp/trace with spaces.json");
+  EXPECT_EQ(got->job.svc_seq, 7u);
+  EXPECT_EQ(got->job.crash_count, 1);
+  EXPECT_EQ(got->job.crash_site, "execute:permute");
+  EXPECT_EQ(got->plan.algo, sort::Algo::kSample);
+  EXPECT_EQ(got->plan.model, sort::Model::kMpi);
+  EXPECT_EQ(got->plan.radix_bits, 10);
+  EXPECT_EQ(got->plan.predicted_raw_ns, 0x1.5554p20);  // bit-exact
+  EXPECT_EQ(got->plan.predicted_ns, 1.0 / 3.0);
+  ASSERT_TRUE(got->plan.has_runner_up);
+  EXPECT_EQ(got->plan.runner_radix_bits, 6);
+  EXPECT_EQ(got->plan.runner_predicted_ns, 2.0 / 7.0);
+}
+
+TEST(Frame, MarkRoundTripsVirtualTimeBitExactly) {
+  WireMessage m;
+  m.type = MsgType::kMark;
+  m.task_id = 5;
+  m.site = "phase:local sort";
+  m.virtual_ns = 123456.789012345;
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got->type, MsgType::kMark);
+  EXPECT_EQ(got->task_id, 5u);
+  EXPECT_EQ(got->site, "phase:local sort");
+  EXPECT_EQ(got->virtual_ns, 123456.789012345);
+}
+
+TEST(Frame, DoneRoundTripsSuccessAndTypedFailure) {
+  WireMessage ok;
+  ok.type = MsgType::kDone;
+  ok.task_id = 11;
+  ok.ok = true;
+  ok.measured_ns = 0x1.91a2b3c4d5e6fp30;
+  ok.passes = 4;
+  ok.verified = true;
+  Result<WireMessage> got = decode_message(encode_message(ok));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_TRUE(got->ok);
+  EXPECT_EQ(got->measured_ns, 0x1.91a2b3c4d5e6fp30);
+  EXPECT_EQ(got->passes, 4);
+  EXPECT_TRUE(got->verified);
+  EXPECT_TRUE(got->failure.ok());
+
+  WireMessage bad;
+  bad.type = MsgType::kDone;
+  bad.task_id = 12;
+  bad.ok = false;
+  bad.fired_site = 3;
+  bad.failure = Status::deadline_exceeded(
+      "virtual deadline exceeded at 'permute': 10.000us > 5.000us");
+  got = decode_message(encode_message(bad));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_FALSE(got->ok);
+  EXPECT_EQ(got->fired_site, 3);
+  EXPECT_EQ(got->failure.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(got->failure.message(),
+            "virtual deadline exceeded at 'permute': 10.000us > 5.000us");
+  EXPECT_EQ(got->failure.retryable(), bad.failure.retryable());
+}
+
+TEST(Frame, ShutdownRoundTrips) {
+  WireMessage m;
+  m.type = MsgType::kShutdown;
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->type, MsgType::kShutdown);
+}
+
+TEST(Frame, HostileFramesDecodeToTypedCorruptFrame) {
+  const std::string hostile[] = {
+      "",                          // empty
+      "gibberish",                 // unknown message type
+      "task",                      // truncated: no fields at all
+      "task 1 0 0",                // truncated mid-fields
+      "mark 7",                    // missing site + time
+      "done 1 yes",                // non-grammar boolean
+      "hello one 2 3:abc",         // non-numeric version
+      std::string("task \x00\x01\x02", 8),  // binary garbage
+      "mark 1 999:short",          // netstring length beyond payload
+  };
+  for (const std::string& payload : hostile) {
+    const Result<WireMessage> got = decode_message(payload);
+    ASSERT_FALSE(got.ok()) << "accepted: '" << payload << "'";
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruptFrame)
+        << got.status().to_string();
+    EXPECT_FALSE(got.status().retryable());
+  }
+}
+
+TEST(Frame, MsgTypeNamesAreStable) {
+  EXPECT_STREQ(msg_type_name(MsgType::kHello), "hello");
+  EXPECT_STREQ(msg_type_name(MsgType::kTask), "task");
+  EXPECT_STREQ(msg_type_name(MsgType::kMark), "mark");
+  EXPECT_STREQ(msg_type_name(MsgType::kDone), "done");
+  EXPECT_STREQ(msg_type_name(MsgType::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace dsm::cluster

@@ -1,0 +1,104 @@
+// Elastic sizing policy (pure function — table-driven here) and the
+// strict DSMSORT_CLUSTER_WORKERS / --cluster-workers parser.
+#include "cluster/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace dsm::cluster {
+namespace {
+
+ElasticPolicy elastic(int min_workers, int max_workers, double target_ns) {
+  ElasticPolicy p;
+  p.min_workers = min_workers;
+  p.max_workers = max_workers;
+  p.elastic = true;
+  p.target_ns_per_worker = target_ns;
+  return p;
+}
+
+TEST(Lifecycle, NonElasticPolicyAlwaysWantsTheFullComplement) {
+  ElasticPolicy p;
+  p.max_workers = 3;
+  EXPECT_EQ(target_worker_count(p, 0, 0, 0), 3);
+  EXPECT_EQ(target_worker_count(p, 8, 1e12, 100), 3);
+}
+
+TEST(Lifecycle, ElasticIdlePoolShrinksToTheFloor) {
+  EXPECT_EQ(target_worker_count(elastic(1, 8, 1e6), 0, 0, 0), 1);
+  EXPECT_EQ(target_worker_count(elastic(3, 8, 1e6), 0, 0, 0), 3);
+  // min_workers = 0 still floors at one worker: the pool must be able to
+  // make progress on the next batch.
+  EXPECT_EQ(target_worker_count(elastic(0, 8, 1e6), 0, 0, 0), 1);
+}
+
+TEST(Lifecycle, ElasticSizingTracksPredictedWork) {
+  const ElasticPolicy p = elastic(1, 8, 1e6);  // 1ms of work per worker
+  // 4ms of predicted work in the batch -> 4 workers.
+  EXPECT_EQ(target_worker_count(p, 4, 4e6, 0), 4);
+  // Queue backlog extrapolates at the batch's per-job cost: 4 jobs cost
+  // 4ms, 4 more queued -> 8ms total -> 8 workers.
+  EXPECT_EQ(target_worker_count(p, 4, 4e6, 4), 8);
+  // Tiny batch stays above the floor and at least one worker.
+  EXPECT_EQ(target_worker_count(p, 1, 1e3, 0), 1);
+}
+
+TEST(Lifecycle, ElasticSizingClampsToTheCap) {
+  const ElasticPolicy p = elastic(2, 4, 1e6);
+  EXPECT_EQ(target_worker_count(p, 16, 1e9, 100), 4);
+  EXPECT_EQ(target_worker_count(p, 1, 1.0, 0), 2);  // floor
+}
+
+TEST(Lifecycle, WorkerStateNamesAreStable) {
+  EXPECT_STREQ(worker_state_name(WorkerState::kFree), "free");
+  EXPECT_STREQ(worker_state_name(WorkerState::kWorking), "working");
+  EXPECT_STREQ(worker_state_name(WorkerState::kDraining), "draining");
+  EXPECT_STREQ(worker_state_name(WorkerState::kDead), "dead");
+}
+
+TEST(ClusterWorkersKnob, AcceptsExactlyBareIntegersInRange) {
+  EXPECT_EQ(parse_cluster_workers("--cluster-workers", "0"), 0);
+  EXPECT_EQ(parse_cluster_workers("--cluster-workers", "1"), 1);
+  EXPECT_EQ(parse_cluster_workers("--cluster-workers", "+4"), 4);
+  EXPECT_EQ(parse_cluster_workers("--cluster-workers", "256"), 256);
+}
+
+TEST(ClusterWorkersKnob, RejectsGarbageWithATypedError) {
+  const char* bad[] = {
+      "",      " 4",    "4 ",    "4x",   "x4",  "four",
+      "257",   "-1",    "4.0",   "0x4",  "++4", "9999999999999999999999",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_cluster_workers("DSMSORT_CLUSTER_WORKERS", text),
+                 Error)
+        << "accepted: '" << text << "'";
+  }
+}
+
+TEST(ClusterWorkersKnob, ErrorNamesTheKnobAndTheOffendingText) {
+  try {
+    parse_cluster_workers("DSMSORT_CLUSTER_WORKERS", "many");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DSMSORT_CLUSTER_WORKERS"), std::string::npos);
+    EXPECT_NE(what.find("many"), std::string::npos);
+    EXPECT_NE(what.find("[0, 256]"), std::string::npos);
+  }
+}
+
+TEST(ClusterWorkersKnob, EnvReaderDefaultsToZeroAndParsesStrictly) {
+  ::unsetenv("DSMSORT_CLUSTER_WORKERS");
+  EXPECT_EQ(cluster_workers_from_env(), 0);
+  ::setenv("DSMSORT_CLUSTER_WORKERS", "3", 1);
+  EXPECT_EQ(cluster_workers_from_env(), 3);
+  ::setenv("DSMSORT_CLUSTER_WORKERS", "3 workers", 1);
+  EXPECT_THROW(cluster_workers_from_env(), Error);
+  ::unsetenv("DSMSORT_CLUSTER_WORKERS");
+}
+
+}  // namespace
+}  // namespace dsm::cluster
