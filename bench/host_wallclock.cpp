@@ -29,6 +29,7 @@
 #include "common/fsio.hpp"
 #include "perf/report.hpp"
 #include "sort/kernels.hpp"
+#include "sort/seq_radix.hpp"
 
 namespace {
 
@@ -287,6 +288,68 @@ std::vector<ThreadedCell> timed_threaded_cells(std::uint64_t n,
   return out;
 }
 
+/// Key+payload cell: the same optimized full sort with the kv32 payload
+/// mirror attached (DESIGN.md §11). Reports the payload-lane overhead;
+/// the key lane must sort byte-identically to the plain sort, and the
+/// payload lane must land stably attached to its keys.
+struct PairedCell {
+  std::uint64_t n = 0;
+  int radix_bits = 0;
+  double plain_s = 0;
+  double paired_s = 0;
+  double overhead = 0;  // paired / plain
+};
+
+PairedCell timed_paired_cell(std::uint64_t n, int radix_bits, int reps,
+                             std::uint64_t seed) {
+  PairedCell cell;
+  cell.n = n;
+  cell.radix_bits = radix_bits;
+  std::vector<Key> input(n);
+  keys::GenSpec gen;
+  gen.n_total = n;
+  gen.nprocs = 1;
+  gen.radix_bits = radix_bits;
+  gen.seed = seed;
+  // Dup-heavy keys so the stability check below exercises real ties.
+  keys::generate(keys::Dist::kDup, input, gen);
+
+  std::vector<Key> work(n), tmp(n);
+  std::vector<keys::Payload> pay(n), pay_tmp(n);
+  sort::RadixWorkspace ws;
+  double best_plain = 0, best_paired = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::copy(input.begin(), input.end(), work.begin());
+    const double t0 = now_s();
+    sort::seq_radix_sort(work, tmp, radix_bits,
+                         sort::KernelBackend::kOptimized, ws);
+    const double s = now_s() - t0;
+    if (rep == 0 || s < best_plain) best_plain = s;
+  }
+  const std::vector<Key> plain_sorted = work;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::copy(input.begin(), input.end(), work.begin());
+    for (std::size_t i = 0; i < n; ++i) {
+      pay[i] = static_cast<keys::Payload>(i);
+    }
+    const double t0 = now_s();
+    sort::seq_radix_sort_paired(work, pay, tmp, pay_tmp, radix_bits,
+                                sort::KernelBackend::kOptimized, ws);
+    const double s = now_s() - t0;
+    if (rep == 0 || s < best_paired) best_paired = s;
+  }
+  DSM_CHECK(work == plain_sorted, "paired sort changed the key lane");
+  for (std::size_t i = 0; i < n; ++i) {
+    DSM_CHECK(input[pay[i]] == work[i], "payload detached from its key");
+    DSM_CHECK(i == 0 || work[i - 1] < work[i] || pay[i - 1] < pay[i],
+              "paired sort is not stable");
+  }
+  cell.plain_s = best_plain;
+  cell.paired_s = best_paired;
+  cell.overhead = best_plain > 0 ? best_paired / best_plain : 0;
+  return cell;
+}
+
 /// --calibrate: sweep the kernel tunables on this host and report the
 /// fastest settings. The staging cap decides where the permute leaves
 /// one-level write-combining for the two-level scatter (it binds at radix
@@ -462,6 +525,11 @@ int main(int argc, char** argv) {
     const std::vector<ThreadedCell> threaded = timed_threaded_cells(
         env.sizes.back(), thread_radix, thread_jobs, kernel_reps, env.seed);
 
+    // One key+payload cell at the largest size: the kv32 mirror's host
+    // cost relative to the bare-key sort (stability machine-checked).
+    const PairedCell paired = timed_paired_cell(
+        env.sizes.back(), env.radix_bits, kernel_reps, env.seed);
+
     if (!kernels_only) {
       std::cout << "  fig3-style sweep: threads "
                 << fmt_fixed(wall_threads, 2) << "s  coop "
@@ -495,6 +563,11 @@ int main(int argc, char** argv) {
                 << fmt_fixed(c.total_s, 3) << "s ("
                 << fmt_fixed(c.speedup_vs_serial, 2) << "x vs jobs=1)\n";
     }
+    std::cout << "  key+payload (kv32) cell (n=" << fmt_count(paired.n)
+              << " r=" << paired.radix_bits << ", dup keys): plain "
+              << fmt_fixed(paired.plain_s, 3) << "s -> paired "
+              << fmt_fixed(paired.paired_s, 3) << "s ("
+              << fmt_fixed(paired.overhead, 2) << "x, stable)\n";
 
     std::ostringstream js;
     js << "{\n"
@@ -552,6 +625,13 @@ int main(int argc, char** argv) {
          << (i + 1 < threaded.size() ? "," : "") << "\n";
     }
     js << "    ]},\n"
+       << "  \"paired\": {\"description\": \"kv32 record: optimized sort "
+       << "with the host payload mirror vs the bare-key sort, dup-heavy "
+       << "keys, stability machine-checked\", \"n\": " << paired.n
+       << ", \"radix_bits\": " << paired.radix_bits
+       << ", \"plain_s\": " << fmt_fixed(paired.plain_s, 4)
+       << ", \"paired_s\": " << fmt_fixed(paired.paired_s, 4)
+       << ", \"overhead\": " << fmt_fixed(paired.overhead, 3) << "},\n"
        << "  \"notes\": \"Sweep cells at the default sizes are dominated "
        << "by the charged sort compute itself (the simulator executes "
        << "real radix passes), so the engine speedup there is modest; "

@@ -24,6 +24,9 @@
 //                       external dsmsort_workerd processes that connect,
 //                       instead of forking workers (--cluster-workers then
 //                       caps the pool; scripts/cluster_smoke.sh uses this)
+//   --record LIST       comma-separated record types the generated mix
+//                       draws from (e.g. "kv32" or "u32,kv32"; default
+//                       u32 — byte-preserves every pre-record trace)
 #include <algorithm>
 #include <chrono>
 #include <memory>
@@ -67,6 +70,18 @@ svc::LoadMix mix_from_env(const bench::BenchEnv& env) {
   mix.sizes = env.sizes;
   mix.procs = env.procs;
   return mix;  // dists default to all eight
+}
+
+std::vector<keys::RecordType> parse_record_list(const std::string& text) {
+  std::vector<keys::RecordType> out;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(enum_from_name_or_throw<keys::RecordType>(
+        keys::kRecordTypeNames, item, "record type"));
+  }
+  DSM_REQUIRE(!out.empty(), "--record needs at least one record type");
+  return out;
 }
 
 double percentile(std::vector<double> v, double p) {
@@ -143,7 +158,7 @@ int main(int argc, char** argv) {
         argc, argv, quick ? "16K,64K" : "1M,4M,16M",
         quick ? "4,8" : "16,32,64",
         {"quick", "out", "njobs", "capacity", "replay", "write-trace",
-         "cluster-workers", "cluster-serve"});
+         "cluster-workers", "cluster-serve", "record"});
     ArgParser args(argc, argv);
     const std::string out_path = args.get("out", "BENCH_service.json");
     const auto njobs = static_cast<std::size_t>(
@@ -181,8 +196,11 @@ int main(int argc, char** argv) {
 
     bench::banner("Sort service: predictor-planned scheduling under load",
                   env);
-    const std::vector<svc::JobSpec> trace =
-        svc::make_trace(env.seed, njobs, mix_from_env(env));
+    svc::LoadMix mix = mix_from_env(env);
+    if (args.has("record")) {
+      mix.records = parse_record_list(args.get("record", ""));
+    }
+    const std::vector<svc::JobSpec> trace = svc::make_trace(env.seed, njobs, mix);
     if (!trace_out.empty()) {
       svc::write_trace(trace_out, trace);
       std::cout << "(trace written to " << trace_out << ")\n";

@@ -1,8 +1,9 @@
 // Key-distribution study: generates each of the paper's eight key
-// distributions, reports their structural properties (how many keys each
+// distributions plus the four skewed probes (zipf, dup, almost-sorted,
+// adversarial), reports their structural properties (how many keys each
 // radix pass moves between processes, how clustered the permutation is),
 // and the resulting sort time — making the mechanism behind the paper's
-// Figure 5 visible.
+// Figure 5 (and its finding 5) visible.
 //
 //   ./build/examples/distribution_study [--n 1M] [--procs 16] [--radix 8]
 #include <iostream>
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
     TextTable t({"dist", "moved in pass 0", "pass-0 runs/key",
                  "sort time (us)", "vs gauss"});
     double gauss_ns = 0;
-    for (const keys::Dist d : keys::kAllDists) {
+    const auto add_dist = [&](keys::Dist d) {
       const DistStats s = measure(d, n, procs, radix);
       sort::SortSpec spec;
       spec.algo = sort::Algo::kRadix;
@@ -85,7 +86,10 @@ int main(int argc, char** argv) {
       t.add_row({keys::dist_name(d), fmt_fixed(100 * s.moved_frac, 1) + "%",
                  fmt_fixed(s.runs_per_key, 3), fmt_fixed(ns / 1e3, 0),
                  fmt_fixed(ns / gauss_ns, 3)});
-    }
+    };
+    for (const keys::Dist d : keys::kAllDists) add_dist(d);
+    t.add_row({"--- skew ---", "", "", "", ""});
+    for (const keys::Dist d : keys::kSkewDists) add_dist(d);
     std::cout << t.render()
               << "\n`remote` moves every key on every pass; `local` moves "
                  "none. Their locality advantage (the paper's Figure 5\n"

@@ -5,6 +5,11 @@
 # bytes (host_wallclock itself aborts on that). This is the regression
 # fence for the host kernel layer: "optimized" must never mean "slower".
 #
+# Also gates the key+payload (kv32) cell: the payload mirror must cost a
+# bounded multiple of the bare-key sort (it adds one extra scatter pass
+# over a same-sized lane), and host_wallclock itself aborts if the paired
+# sort is unstable or changes the key lane.
+#
 # Usage: scripts/kernel_speed_gate.sh [host_wallclock-binary] [--quick]
 #   binary   path to a built host_wallclock (default: build/bench/host_wallclock;
 #            build-native/bench/host_wallclock is what CI gates on)
@@ -28,11 +33,13 @@ if [ "$QUICK" = "--quick" ]; then
   # and the quick tier gets a wider noise margin for the same reason.
   "$BIN" --kernels-only --sizes 1M --out "$OUT"
   TOLERANCE=0.90
+  PAIRED_LIMIT=6.0
 else
   "$BIN" --kernels-only --sizes 1M,4M --out "$OUT"
   TOLERANCE=0.95
+  PAIRED_LIMIT=4.0
 fi
-export TOLERANCE
+export TOLERANCE PAIRED_LIMIT
 
 python3 - "$OUT" <<'EOF'
 import json
@@ -62,10 +69,24 @@ for cell in cells:
     print("  n=%-9d radix=%-2d speedup %.2fx"
           % (cell["n"], cell["radix_bits"], cell["speedup"]))
 
+paired = report.get("paired")
+if paired is None:
+    sys.exit("kernel_speed_gate: no key+payload (kv32) cell in report")
+PAIRED_LIMIT = float(os.environ["PAIRED_LIMIT"])
+print("  kv32 paired n=%-9d radix=%-2d overhead %.2fx"
+      % (paired["n"], paired["radix_bits"], paired["overhead"]))
+if paired["overhead"] > PAIRED_LIMIT:
+    failures.append(
+        "  kv32 paired n=%d radix=%d: %.2fx payload-mirror overhead "
+        "(limit %.2fx)"
+        % (paired["n"], paired["radix_bits"], paired["overhead"],
+           PAIRED_LIMIT))
+
 if failures:
-    print("kernel_speed_gate: FAIL — optimized slower than reference:")
+    print("kernel_speed_gate: FAIL:")
     print("\n".join(failures))
     sys.exit(1)
-print("kernel_speed_gate: PASS (%d cells, all >= %.2fx)"
-      % (len(cells), TOLERANCE))
+print("kernel_speed_gate: PASS (%d cells, all >= %.2fx; kv32 paired "
+      "overhead %.2fx <= %.2fx)"
+      % (len(cells), TOLERANCE, paired["overhead"], PAIRED_LIMIT))
 EOF

@@ -7,10 +7,69 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.hpp"
+
 namespace dsm {
+
+/// One row of a table-driven enum <-> name registry. Every user-facing
+/// enum (sort::Algo, sort::Model, keys::Dist, keys::RecordType,
+/// sort::KernelBackend) declares exactly one canonical table next to its
+/// definition and routes both directions through enum_name /
+/// enum_from_name below — one place to add a value, one error shape for
+/// every flag and env variable that parses it.
+template <typename E>
+struct EnumEntry {
+  E value;
+  const char* name;
+};
+
+/// Canonical name of `v`, or "?" for a value missing from the table (a
+/// programming error surfaced loudly in output rather than UB).
+template <typename E>
+const char* enum_name(std::span<const EnumEntry<E>> table, E v) {
+  for (const EnumEntry<E>& e : table) {
+    if (e.value == v) return e.name;
+  }
+  return "?";
+}
+
+/// Typed inverse: the value named `name`, or kInvalidArgument listing
+/// every accepted name. `what` labels the enum in the message ("algorithm",
+/// "distribution", ...). Matching is exact — no prefixes, no case folding —
+/// so hostile input can never alias a valid value.
+template <typename E>
+Result<E> enum_from_name(std::span<const EnumEntry<E>> table,
+                         std::string_view name, const char* what) {
+  for (const EnumEntry<E>& e : table) {
+    if (name == e.name) return e.value;
+  }
+  std::string msg = "unknown ";
+  msg += what;
+  msg += ": '";
+  msg += name;
+  msg += "' (expected one of:";
+  for (const EnumEntry<E>& e : table) {
+    msg += ' ';
+    msg += e.name;
+  }
+  msg += ")";
+  return Status::invalid_argument(std::move(msg));
+}
+
+/// Throwing wrapper for legacy call sites that predate the Status API:
+/// raises StatusError (which is-a dsm::Error) with the same message.
+template <typename E>
+E enum_from_name_or_throw(std::span<const EnumEntry<E>> table,
+                          std::string_view name, const char* what) {
+  Result<E> r = enum_from_name(table, name, what);
+  if (!r.ok()) throw StatusError(r.status());
+  return r.value();
+}
 
 class ArgParser {
  public:

@@ -1,5 +1,7 @@
 #include "keys/distributions.hpp"
 
+#include <cmath>
+
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "common/prng.hpp"
@@ -64,6 +66,84 @@ void gen_stagger(std::span<Key> out, const GenSpec& spec) {
   for (Key& k : out) k = static_cast<Key>(g.next_in(lo, lo + range));
 }
 
+/// Stateless uniform double in [0, 1) from the same generator family.
+double stateless_unit(std::uint64_t seed, Index global_index) {
+  SplitMix64 g(seed ^ (global_index * 0x9e3779b97f4a7c15ull) ^
+               0xc2b2ae3d27d4eb4full);
+  return static_cast<double>(g.next() >> 11) * 0x1.0p-53;
+}
+
+/// Zipf(1)-popular keys: a hot set of kZipfHotSet values whose ranks are
+/// drawn by inverting the harmonic CDF (P(rank <= i) ~ ln(i+1)/ln(N+1)),
+/// so rank 0 alone carries ~10% of the keys. The hot values themselves
+/// are scattered pseudo-randomly over [0, 2^31) so the skew is in the
+/// *frequencies*, not the value range — every radix digit still sees
+/// duplicates pile up.
+constexpr std::uint64_t kZipfHotSet = 1024;
+
+Key zipf_value_of(std::uint64_t seed, std::uint64_t rank) {
+  return stateless_u31(seed ^ 0x5a17f00ddead10ccull, rank);
+}
+
+void gen_zipf(std::span<Key> out, const GenSpec& spec) {
+  const double ln_n1 = std::log(static_cast<double>(kZipfHotSet + 1));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Index gi = spec.global_begin + i;
+    const double u = stateless_unit(spec.seed, gi);
+    const auto rank = static_cast<std::uint64_t>(
+        std::exp(u * ln_n1)) - 1;  // in [0, kZipfHotSet)
+    out[i] = zipf_value_of(spec.seed,
+                           rank >= kZipfHotSet ? kZipfHotSet - 1 : rank);
+  }
+}
+
+/// Duplicate-heavy: 64 distinct values total, uniformly popular. With
+/// n >> 64 every radix bucket that is hit at all is hit massively — the
+/// regime where splitter tie-breaking and run-length charging matter.
+constexpr std::uint64_t kDupDomain = 64;
+
+void gen_dup(std::span<Key> out, const GenSpec& spec) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Index gi = spec.global_begin + i;
+    const std::uint64_t slot =
+        stateless_u31(spec.seed ^ 0xd0bb1e5ull, gi) % kDupDomain;
+    out[i] = zipf_value_of(spec.seed, slot);
+  }
+}
+
+/// Nearly sorted: the global stream is an ascending ramp over the full
+/// value range with ~1/64 of positions displaced to random values —
+/// radix passes move almost nothing, comparison phases see long runs.
+void gen_almost_sorted(std::span<Key> out, const GenSpec& spec) {
+  const std::uint64_t denom =
+      spec.n_total > 1 ? spec.n_total - 1 : std::uint64_t{1};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Index gi = spec.global_begin + i;
+    if (stateless_u31(spec.seed ^ 0xa15037edull, gi) % 64 == 0) {
+      out[i] = stateless_u31(spec.seed, gi);
+    } else {
+      out[i] = static_cast<Key>((static_cast<std::uint64_t>(gi) *
+                                 (kKeyMax - 1)) / denom);
+    }
+  }
+}
+
+/// Adversarial: ~94% of keys are one hot value; the rest differ from it
+/// only in the low byte. Every digit above the first radix pass is
+/// single-valued (all high passes are dead), the global histogram is
+/// maximally imbalanced, and sample sort's splitters are forced into the
+/// duplicate tie-break path — the worst case finding 5 asks about.
+void gen_adversarial(std::span<Key> out, const GenSpec& spec) {
+  const Key hot = stateless_u31(spec.seed ^ 0xadbeefull, 0) | 0x100;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Index gi = spec.global_begin + i;
+    const std::uint64_t h = stateless_u31(spec.seed ^ 0xfacadeull, gi);
+    out[i] = (h % 16 != 0) ? hot
+                           : (hot & ~Key{0xff}) |
+                                 static_cast<Key>((h >> 8) & 0xff);
+  }
+}
+
 void gen_remote_local(std::span<Key> out, const GenSpec& spec, bool local) {
   const int r = spec.radix_bits;
   const std::uint64_t digits = std::uint64_t{1} << r;
@@ -101,25 +181,14 @@ void gen_remote_local(std::span<Key> out, const GenSpec& spec, bool local) {
 
 }  // namespace
 
-const char* dist_name(Dist d) {
-  switch (d) {
-    case Dist::kGauss: return "gauss";
-    case Dist::kRandom: return "random";
-    case Dist::kZero: return "zero";
-    case Dist::kBucket: return "bucket";
-    case Dist::kStagger: return "stagger";
-    case Dist::kHalf: return "half";
-    case Dist::kRemote: return "remote";
-    case Dist::kLocal: return "local";
-  }
-  return "?";
-}
+const char* dist_name(Dist d) { return enum_name<Dist>(kDistNames, d); }
 
 Dist dist_from_name(const std::string& name) {
-  for (Dist d : kAllDists) {
-    if (name == dist_name(d)) return d;
-  }
-  throw Error("unknown distribution: " + name);
+  return enum_from_name_or_throw<Dist>(kDistNames, name, "distribution");
+}
+
+Result<Dist> try_dist_from_name(const std::string& name) {
+  return enum_from_name<Dist>(kDistNames, name, "distribution");
 }
 
 void generate(Dist d, std::span<Key> out, const GenSpec& spec) {
@@ -138,6 +207,10 @@ void generate(Dist d, std::span<Key> out, const GenSpec& spec) {
     case Dist::kStagger: gen_stagger(out, spec); return;
     case Dist::kRemote: gen_remote_local(out, spec, /*local=*/false); return;
     case Dist::kLocal: gen_remote_local(out, spec, /*local=*/true); return;
+    case Dist::kZipf: gen_zipf(out, spec); return;
+    case Dist::kDup: gen_dup(out, spec); return;
+    case Dist::kAlmostSorted: gen_almost_sorted(out, spec); return;
+    case Dist::kAdversarial: gen_adversarial(out, spec); return;
   }
   throw Error("unhandled distribution");
 }

@@ -115,18 +115,17 @@ long long parse_kernel_env_number(const char* name, const char* text,
 }
 
 const char* kernel_backend_name(KernelBackend b) {
-  switch (b) {
-    case KernelBackend::kReference: return "reference";
-    case KernelBackend::kOptimized: return "optimized";
-  }
-  return "?";
+  return enum_name<KernelBackend>(kKernelBackendNames, b);
 }
 
 KernelBackend kernel_backend_from_name(const std::string& name) {
-  if (name == "reference") return KernelBackend::kReference;
-  if (name == "optimized") return KernelBackend::kOptimized;
-  throw Error("kernel backend must be 'reference' or 'optimized', got: " +
-              name);
+  return enum_from_name_or_throw<KernelBackend>(kKernelBackendNames, name,
+                                                "kernel backend");
+}
+
+Result<KernelBackend> try_kernel_backend_from_name(const std::string& name) {
+  return enum_from_name<KernelBackend>(kKernelBackendNames, name,
+                                       "kernel backend");
 }
 
 KernelBackend default_kernel_backend() {
@@ -937,6 +936,22 @@ void exchange_copy(KernelBackend be, Key* dst, const Key* src,
   (void)footprint_bytes;
 #endif
   std::memcpy(dst, src, n * sizeof(Key));
+}
+
+void payload_mirror_scatter(std::span<const Key> keys,
+                            std::span<const keys::Payload> pay_in,
+                            std::span<keys::Payload> pay_out, int pass,
+                            int radix_bits, std::span<std::uint64_t> cursor) {
+  DSM_REQUIRE(keys.size() == pay_in.size(), "payload lane size mismatch");
+  DSM_REQUIRE(cursor.size() == std::size_t{1} << radix_bits,
+              "cursor span size mismatch");
+  const std::size_t n = keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t d = radix_digit(keys[i], pass, radix_bits);
+    const std::uint64_t pos = cursor[d]++;
+    DSM_DCHECK(pos < pay_out.size(), "payload scatter past the output");
+    pay_out[pos] = pay_in[i];
+  }
 }
 
 }  // namespace dsm::sort

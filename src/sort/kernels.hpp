@@ -36,7 +36,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "common/types.hpp"
+#include "keys/record.hpp"
 
 namespace dsm::sort {
 
@@ -45,8 +47,16 @@ enum class KernelBackend {
   kOptimized,  // one-sweep histograms + staged permutes + dead-pass skip
 };
 
+/// Canonical registry table (see common/cli.hpp).
+inline constexpr EnumEntry<KernelBackend> kKernelBackendNames[] = {
+    {KernelBackend::kReference, "reference"},
+    {KernelBackend::kOptimized, "optimized"},
+};
+
 const char* kernel_backend_name(KernelBackend b);
 KernelBackend kernel_backend_from_name(const std::string& name);
+/// Typed parse: kInvalidArgument listing the accepted names on failure.
+Result<KernelBackend> try_kernel_backend_from_name(const std::string& name);
 
 /// Process-wide default backend: DSMSORT_KERNELS=reference|optimized when
 /// set (parsed once), else kOptimized. CLI overrides (--kernels) install
@@ -175,6 +185,8 @@ struct RadixWorkspace {
   std::vector<RadixWorkspace> shards;    // threaded: per-shard staging
   std::vector<std::uint64_t> shard_hist;    // threaded: [shard][bucket]
   std::vector<std::uint64_t> shard_cursor;  // threaded: [shard][bucket]
+  std::vector<std::uint64_t> pay_cursor;    // paired sorts: cursor snapshot
+                                            // for the payload mirror
 };
 
 /// The calling host thread's lazily-created workspace. The legacy
@@ -257,5 +269,16 @@ void wc_store_fence();
 /// `dst` and `src` must not overlap.
 void exchange_copy(KernelBackend be, Key* dst, const Key* src,
                    std::size_t n, std::size_t footprint_bytes);
+
+/// Host-side payload mirror of a digit scatter: replays the exact stable
+/// permutation a key permute applied, moving `pay_in` into `pay_out`
+/// through `cursor` (consumed, like permute_kernel's). The payload lane is
+/// a host mirror outside the simulated machine — it is never charged and
+/// has no backend variants; callers snapshot the cursor state *before*
+/// the key permute and hand the copy here.
+void payload_mirror_scatter(std::span<const Key> keys,
+                            std::span<const keys::Payload> pay_in,
+                            std::span<keys::Payload> pay_out, int pass,
+                            int radix_bits, std::span<std::uint64_t> cursor);
 
 }  // namespace dsm::sort

@@ -112,6 +112,11 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
   DSM_REQUIRE(w.a != nullptr && w.b != nullptr && w.scan != nullptr,
               "CC-SAS radix world is incomplete");
   DSM_REQUIRE(w.a->size() == w.b->size(), "toggle arrays must match");
+  const bool paired = w.pay_a != nullptr;
+  DSM_REQUIRE(!paired || (w.pay_b != nullptr &&
+                          w.pay_a->size() == w.a->size() &&
+                          w.pay_b->size() == w.b->size()),
+              "payload lanes must mirror both toggle arrays");
   const int p = ctx.nprocs();
   const int r = ctx.rank();
   const std::size_t buckets = std::size_t{1} << w.radix_bits;
@@ -141,9 +146,18 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
   std::vector<Key> buf(w.buffered ? homes.count_of(r) : 0);
   RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
   ws.jobs = w.kernel_jobs;
+  // Payload-mirror scratch (kv32 only): the starting-cursor snapshot the
+  // uncharged replay consumes, and the local staging lane for buffered
+  // mode.
+  std::vector<std::uint64_t> mirror(paired ? buckets : 0);
+  std::vector<keys::Payload> pay_buf(
+      paired && w.buffered ? homes.count_of(r) : 0);
 
   sas::SharedArray<Key>* in = w.a;
   sas::SharedArray<Key>* out = w.b;
+  std::vector<keys::Payload>* pay_in = w.pay_a;
+  std::vector<keys::Payload>* pay_out = w.pay_b;
+  const std::uint64_t my_begin = homes.begin_of(r);
   for (int pass = 0; pass < passes; ++pass) {
     const std::span<const Key> my_keys = in->partition(r);
     ctx.phase("local histogram");
@@ -160,6 +174,7 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       for (std::size_t b = 0; b < buckets; ++b) {
         cursor[b] = global_start[b] + rank_prefix[b];
       }
+      if (paired) std::copy(cursor.begin(), cursor.end(), mirror.begin());
       ctx.busy_cycles(static_cast<double>(buckets) *
                       ctx.params().cpu.scan_cycles);
       // Each bucket's write cursor only moves forward, so its home owner
@@ -251,6 +266,15 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
         }
         wc_store_fence();
       }
+      if (paired) {
+        // Uncharged host-side replay of the exact scatter above, from the
+        // snapshotted starting cursors, onto the global payload lane.
+        payload_mirror_scatter(
+            my_keys,
+            std::span<const keys::Payload>(pay_in->data() + my_begin,
+                                           my_keys.size()),
+            std::span<keys::Payload>(*pay_out), pass, w.radix_bits, mirror);
+      }
       ctx.busy_cycles(static_cast<double>(my_keys.size()) *
                       ctx.params().cpu.permute_cycles);
       ctx.stream(my_keys.size() * sizeof(Key), part_bytes);
@@ -292,6 +316,16 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
       const double permute_start_ns = ctx.clock().now_ns();
       buffered_permute(ctx, my_keys, buf, pass, w.radix_bits, hist,
                        local_prefix, cursor, active, w.kernels, ws);
+      if (paired) {
+        // Replay the staging scatter on the payload lane (local_prefix
+        // still holds the bucket starts; cursor was the consumed copy).
+        std::copy(local_prefix.begin(), local_prefix.end(), mirror.begin());
+        payload_mirror_scatter(
+            my_keys,
+            std::span<const keys::Payload>(pay_in->data() + my_begin,
+                                           my_keys.size()),
+            pay_buf, pass, w.radix_bits, mirror);
+      }
       Key* const out_data = out->data();
       std::fill(lines_to.begin(), lines_to.end(), 0);
       std::uint64_t local_bytes = 0;
@@ -304,6 +338,11 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
                          exchange_copy(w.kernels, out_data + gp,
                                        buf.data() + local_prefix[b] + off,
                                        len, part_bytes);
+                         if (paired) {
+                           std::memcpy(pay_out->data() + gp,
+                                       pay_buf.data() + local_prefix[b] + off,
+                                       len * sizeof(keys::Payload));
+                         }
                          if (dst == r) {
                            local_bytes += len * sizeof(Key);
                          } else {
@@ -337,12 +376,16 @@ void radix_ccsas(sim::ProcContext& ctx, CcSasRadixWorld& w) {
     ctx.phase("barrier");
     sas::ccsas_barrier(ctx);
     std::swap(in, out);
+    std::swap(pay_in, pay_out);
   }
 }
 
 void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
   DSM_REQUIRE(w.comm != nullptr && w.parts_a != nullptr && w.parts_b != nullptr,
               "MPI radix world is incomplete");
+  const bool paired = w.pay_a != nullptr;
+  DSM_REQUIRE(!paired || (w.pay_b != nullptr && w.chunk_messages),
+              "payload lanes need both mirrors and chunked messages");
   const int p = ctx.nprocs();
   const int r = ctx.rank();
   const std::size_t buckets = std::size_t{1} << w.radix_bits;
@@ -371,6 +414,11 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
     stage.resize(n_local);
     matrix.resize(static_cast<std::size_t>(p) * static_cast<std::size_t>(p));
   }
+  // Payload-mirror scratch (kv32 only; see CcSasRadixWorld::pay_a).
+  std::vector<std::uint64_t> mirror(paired ? buckets : 0);
+  std::vector<keys::Payload> pay_buf(paired ? n_local : 0);
+  std::vector<std::vector<keys::Payload>>* pay_parts_in = w.pay_a;
+  std::vector<std::vector<keys::Payload>>* pay_parts_out = w.pay_b;
 
   std::vector<Key>* in = &(*w.parts_a)[rr];
   std::vector<Key>* out = &(*w.parts_b)[rr];
@@ -391,6 +439,12 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
     ctx.phase("permutation");
     buffered_permute(ctx, *in, buf, pass, w.radix_bits, hist, local_prefix,
                      cursor, active, w.kernels, ws);
+    if (paired) {
+      // Replay the staging scatter on the payload lane (see radix_ccsas).
+      std::copy(local_prefix.begin(), local_prefix.end(), mirror.begin());
+      payload_mirror_scatter(*in, (*pay_parts_in)[rr], pay_buf, pass,
+                             w.radix_bits, mirror);
+    }
     ctx.phase("redistribution");
 
     sends.clear();
@@ -405,6 +459,17 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
             [&](int dst, std::uint64_t gp, std::uint64_t off,
                 std::uint64_t len) {
               const Key* src = buf.data() + local_prefix[b] + off;
+              if (paired) {
+                // Sender-side payload push: destination lanes are
+                // preallocated, pieces land at disjoint final offsets, and
+                // the collective exchange below orders every lane write
+                // before the receiver's next-pass reads.
+                std::memcpy(
+                    (*pay_parts_out)[static_cast<std::size_t>(dst)].data() +
+                        (gp - homes.begin_of(dst)),
+                    pay_buf.data() + local_prefix[b] + off,
+                    len * sizeof(keys::Payload));
+              }
               if (dst == r) {
                 exchange_copy(w.kernels, out->data() + (gp - homes.begin_of(r)),
                               src, len, part_bytes);
@@ -516,9 +581,14 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
     }
 
     std::swap(in, out);
+    std::swap(pay_parts_in, pay_parts_out);
   }
   if (passes % 2 != 0) {
     exchange_copy(w.kernels, out->data(), in->data(), n_local, part_bytes);
+    if (paired) {
+      std::memcpy((*pay_parts_out)[rr].data(), (*pay_parts_in)[rr].data(),
+                  n_local * sizeof(keys::Payload));
+    }
     std::swap(in, out);
     ctx.stream(2 * part_bytes, 2 * part_bytes);
   }
@@ -526,6 +596,10 @@ void radix_mpi(sim::ProcContext& ctx, MpiRadixWorld& w) {
 
 void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
   DSM_REQUIRE(w.sh != nullptr, "SHMEM radix world is incomplete");
+  const bool paired = w.pay_a != nullptr;
+  DSM_REQUIRE(!paired || (w.pay_b != nullptr && w.pay_stage != nullptr &&
+                          !w.use_put),
+              "payload lanes need all three mirrors and the get path");
   const int p = ctx.nprocs();
   const int r = ctx.rank();
   const std::size_t buckets = std::size_t{1} << w.radix_bits;
@@ -543,6 +617,11 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
   std::vector<shmem::PutOp> puts;
   RadixWorkspace ws;  // hoisted kernel scratch, reused across passes
   ws.jobs = w.kernel_jobs;
+  // Payload-mirror scratch (kv32 only; see ShmemRadixWorld::pay_a).
+  std::vector<std::uint64_t> mirror(paired ? buckets : 0);
+  std::vector<std::vector<keys::Payload>>* pay_parts_in = w.pay_a;
+  std::vector<std::vector<keys::Payload>>* pay_parts_out = w.pay_b;
+  const auto rr = static_cast<std::size_t>(r);
 
   std::uint64_t in_off = w.off_a;
   std::uint64_t out_off = w.off_b;
@@ -579,6 +658,13 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
     buffered_permute(ctx, my_keys, std::span<Key>(stage, n_local), pass,
                      w.radix_bits, hist, local_prefix, cursor, active,
                      w.kernels, ws);
+    if (paired) {
+      // Replay the staging scatter on this PE's staged payload lane; the
+      // barrier below publishes it alongside the symmetric staging buffer.
+      std::copy(local_prefix.begin(), local_prefix.end(), mirror.begin());
+      payload_mirror_scatter(my_keys, (*pay_parts_in)[rr],
+                             (*w.pay_stage)[rr], pass, w.radix_bits, mirror);
+    }
     ctx.phase("redistribution");
     w.sh->barrier_all(ctx);  // staging buffers are now globally readable
 
@@ -604,6 +690,15 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
               const std::uint64_t bytes = (hi - lo) * sizeof(Key);
               const std::uint64_t src_off =
                   w.off_stage + (src_prefix + (lo - gpos)) * sizeof(Key);
+              if (paired) {
+                // Receiver-side payload pull from j's staged lane,
+                // published by the pre-redistribution barrier.
+                std::memcpy(
+                    (*pay_parts_out)[rr].data() + (lo - my_begin),
+                    (*w.pay_stage)[static_cast<std::size_t>(j)].data() +
+                        (src_prefix + (lo - gpos)),
+                    (hi - lo) * sizeof(keys::Payload));
+              }
               if (j == r) {
                 exchange_copy(w.kernels, out + (lo - my_begin),
                               stage + src_prefix + (lo - gpos),
@@ -655,10 +750,15 @@ void radix_shmem(sim::ProcContext& ctx, ShmemRadixWorld& w) {
     }
     w.sh->barrier_all(ctx);
     std::swap(in_off, out_off);
+    std::swap(pay_parts_in, pay_parts_out);
   }
   if (passes % 2 != 0) {
     exchange_copy(w.kernels, heap.at<Key>(r, w.off_a),
                   heap.at<Key>(r, w.off_b), n_local, part_bytes);
+    if (paired) {
+      std::memcpy((*w.pay_a)[rr].data(), (*pay_parts_in)[rr].data(),
+                  n_local * sizeof(keys::Payload));
+    }
     ctx.stream(2 * part_bytes, 2 * part_bytes);
   }
 }

@@ -38,6 +38,12 @@ namespace dsm::sort {
 struct CcSasRadixWorld {
   sas::SharedArray<Key>* a = nullptr;
   sas::SharedArray<Key>* b = nullptr;
+  /// Optional kv32 payload lanes mirroring `a`/`b` (size n_total each).
+  /// The lanes live on the host outside the simulated machine: every key
+  /// movement is replayed on them uncharged, so charged times stay
+  /// bit-identical to the u32 sort (DESIGN.md §11). Both null for u32.
+  std::vector<keys::Payload>* pay_a = nullptr;
+  std::vector<keys::Payload>* pay_b = nullptr;
   sas::BucketScan* scan = nullptr;
   int radix_bits = 8;
   bool buffered = false;  // true => CC-SAS-NEW
@@ -66,6 +72,11 @@ struct MpiRadixWorld {
   msg::Communicator* comm = nullptr;
   std::vector<std::vector<Key>>* parts_a = nullptr;  // [rank] -> partition
   std::vector<std::vector<Key>>* parts_b = nullptr;
+  /// Optional kv32 payload lanes mirroring parts_a/parts_b (see
+  /// CcSasRadixWorld). Requires chunk_messages (the coalesced ablation
+  /// does not carry payloads). Both null for u32.
+  std::vector<std::vector<keys::Payload>>* pay_a = nullptr;
+  std::vector<std::vector<keys::Payload>>* pay_b = nullptr;
   int radix_bits = 8;
   bool chunk_messages = true;
   bool detect_max_key = false;      // see CcSasRadixWorld
@@ -87,6 +98,12 @@ struct ShmemRadixWorld {
   std::uint64_t off_a = 0;
   std::uint64_t off_b = 0;
   std::uint64_t off_stage = 0;
+  /// Optional kv32 payload lanes mirroring the off_a/off_b/off_stage
+  /// symmetric arrays: [pe] -> that PE's partition lane (see
+  /// CcSasRadixWorld). Requires the get path (!use_put). All null for u32.
+  std::vector<std::vector<keys::Payload>>* pay_a = nullptr;
+  std::vector<std::vector<keys::Payload>>* pay_b = nullptr;
+  std::vector<std::vector<keys::Payload>>* pay_stage = nullptr;
   Index part_capacity = 0;
   Index n_total = 0;
   int radix_bits = 8;

@@ -116,13 +116,28 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
                           static_cast<std::size_t>(p + 1),
               "shared scratch sized incorrectly");
 
+  const bool paired = w.pay != nullptr;
+  DSM_REQUIRE(!paired || (w.pay_result != nullptr &&
+                          w.pay->size() == w.keys->size()),
+              "payload lanes must mirror the key array and the result");
+
   // Phase 1: local radix sort of my partition.
   ctx.phase("local sort 1");
   std::span<Key> mine = w.keys->partition(r);
   std::vector<Key> tmp(mine.size());
   RadixWorkspace ws;  // kernel scratch shared by both local sort phases
   ws.jobs = w.kernel_jobs;
-  local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+  const std::uint64_t my_begin = w.keys->homes().begin_of(r);
+  std::span<keys::Payload> my_pay;
+  std::vector<keys::Payload> pay_tmp;
+  if (paired) {
+    my_pay = std::span<keys::Payload>(w.pay->data() + my_begin, mine.size());
+    pay_tmp.resize(mine.size());
+    local_radix_sort_paired(ctx, mine, my_pay, tmp, pay_tmp, w.radix_bits,
+                            w.kernels, ws);
+  } else {
+    local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+  }
 
   // Phase 2: publish my samples (my slot of the shared sample array).
   ctx.phase("sampling");
@@ -206,6 +221,7 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   }
   std::vector<Key>& out = (*w.result)[rr];
   out.resize(total);
+  if (paired) (*w.pay_result)[rr].resize(total);
   std::vector<sim::Transfer> reads;
   std::uint64_t pos = 0;
   for (int j = 0; j < p; ++j) {
@@ -217,6 +233,13 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
     const Key* src = w.keys->partition(j).data() + bj[r];
     exchange_copy(w.kernels, out.data() + pos, src, cnt,
                   total * sizeof(Key));
+    if (paired) {
+      // Receiver-side payload pull: j's partition (and its lane) is
+      // final once the boundary-publication barrier has passed.
+      std::memcpy((*w.pay_result)[rr].data() + pos,
+                  w.pay->data() + w.keys->homes().begin_of(j) + bj[r],
+                  cnt * sizeof(keys::Payload));
+    }
     if (j == r) {
       ctx.stream(2 * cnt * sizeof(Key), 2 * cnt * sizeof(Key));
     } else {
@@ -231,7 +254,13 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");
   tmp.resize(out.size());
-  local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+  if (paired) {
+    pay_tmp.resize(out.size());
+    local_radix_sort_paired(ctx, out, (*w.pay_result)[rr], tmp, pay_tmp,
+                            w.radix_bits, w.kernels, ws);
+  } else {
+    local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+  }
   ctx.phase("barrier");
   sas::ccsas_barrier(ctx);
 }
@@ -244,13 +273,24 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   const auto s = static_cast<std::size_t>(w.sample_count);
   DSM_REQUIRE(w.sample_count >= 1, "need at least one sample per process");
 
+  const bool paired = w.pay_parts != nullptr;
+  DSM_REQUIRE(!paired || w.pay_result != nullptr,
+              "payload lanes must mirror parts and result");
+
   // Phase 1: local sort.
   ctx.phase("local sort 1");
   std::vector<Key>& mine = (*w.parts)[rr];
   std::vector<Key> tmp(mine.size());
   RadixWorkspace ws;  // kernel scratch shared by both local sort phases
   ws.jobs = w.kernel_jobs;
-  local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+  std::vector<keys::Payload> pay_tmp;
+  if (paired) {
+    pay_tmp.resize(mine.size());
+    local_radix_sort_paired(ctx, mine, (*w.pay_parts)[rr], tmp, pay_tmp,
+                            w.radix_bits, w.kernels, ws);
+  } else {
+    local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+  }
 
   // Phases 2+3: allgather samples; everyone redundantly sorts the full
   // sample set and picks splitters.
@@ -306,10 +346,35 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   ctx.busy_cycles(static_cast<double>(p) * ctx.params().cpu.scan_cycles);
   w.comm->exchange(ctx, sends, std::as_writable_bytes(std::span<Key>(out)));
 
+  if (paired) {
+    // Receiver-side payload pull, after the exchange: every source's
+    // sorted lane is final (the all_bounds allgather ordered phase 1
+    // before this point) and the receive layout is source-rank ordered.
+    (*w.pay_result)[rr].resize(total);
+    std::uint64_t pay_pos = 0;
+    for (int j = 0; j < p; ++j) {
+      const std::uint64_t cnt = cnt_from_to(j, r);
+      if (cnt == 0) continue;
+      const std::uint64_t* bs =
+          all_bounds.data() +
+          static_cast<std::size_t>(j) * static_cast<std::size_t>(p + 1);
+      std::memcpy((*w.pay_result)[rr].data() + pay_pos,
+                  (*w.pay_parts)[static_cast<std::size_t>(j)].data() + bs[r],
+                  cnt * sizeof(keys::Payload));
+      pay_pos += cnt;
+    }
+  }
+
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");
   tmp.resize(out.size());
-  local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+  if (paired) {
+    pay_tmp.resize(out.size());
+    local_radix_sort_paired(ctx, out, (*w.pay_result)[rr], tmp, pay_tmp,
+                            w.radix_bits, w.kernels, ws);
+  } else {
+    local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+  }
   ctx.phase("barrier");
   w.comm->barrier(ctx);
 }
@@ -326,13 +391,24 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   DSM_REQUIRE(n_local <= w.part_capacity, "partition exceeds capacity");
   shmem::SymmetricHeap& heap = w.sh->heap();
 
+  const bool paired = w.pay_parts != nullptr;
+  DSM_REQUIRE(!paired || w.pay_result != nullptr,
+              "payload lanes must mirror the partitions and the result");
+
   // Phase 1: local sort (in the symmetric segment, so phase 4 can get()).
   ctx.phase("local sort 1");
   std::span<Key> mine(heap.at<Key>(r, w.off_keys), n_local);
   std::vector<Key> tmp(mine.size());
   RadixWorkspace ws;  // kernel scratch shared by both local sort phases
   ws.jobs = w.kernel_jobs;
-  local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+  std::vector<keys::Payload> pay_tmp;
+  if (paired) {
+    pay_tmp.resize(mine.size());
+    local_radix_sort_paired(ctx, mine, (*w.pay_parts)[rr], tmp, pay_tmp,
+                            w.radix_bits, w.kernels, ws);
+  } else {
+    local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+  }
 
   // Phases 2+3: fcollect samples; redundant local splitter computation.
   ctx.phase("sampling");
@@ -364,12 +440,20 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   out.resize(total);
 
   ctx.phase("redistribution");
+  if (paired) (*w.pay_result)[rr].resize(total);
   std::vector<shmem::GetOp> gets;
   std::uint64_t pos = 0;
   for (int j = 0; j < p; ++j) {
     const std::uint64_t* bj = bounds_of(j);
     const std::uint64_t cnt = bj[r + 1] - bj[r];
     if (cnt == 0) continue;
+    if (paired) {
+      // Receiver-side payload pull: j's sorted lane is final once the
+      // all_bounds fcollect has passed.
+      std::memcpy((*w.pay_result)[rr].data() + pos,
+                  (*w.pay_parts)[static_cast<std::size_t>(j)].data() + bj[r],
+                  cnt * sizeof(keys::Payload));
+    }
     if (j == r) {
       exchange_copy(w.kernels, out.data() + pos, mine.data() + bj[r], cnt,
                     total * sizeof(Key));
@@ -387,7 +471,13 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   // Phase 5: local sort of the received run.
   ctx.phase("local sort 2");
   tmp.resize(out.size());
-  local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+  if (paired) {
+    pay_tmp.resize(out.size());
+    local_radix_sort_paired(ctx, out, (*w.pay_result)[rr], tmp, pay_tmp,
+                            w.radix_bits, w.kernels, ws);
+  } else {
+    local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+  }
   ctx.phase("barrier");
   w.sh->barrier_all(ctx);
 }

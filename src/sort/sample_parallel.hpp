@@ -35,6 +35,12 @@ inline constexpr int kDefaultSampleCount = 128;
 struct CcSasSampleWorld {
   sas::SharedArray<Key>* keys = nullptr;             // input, sorted in place
   std::vector<std::vector<Key>>* result = nullptr;   // [rank] output run
+  /// Optional kv32 payload lanes: `pay` mirrors the shared key array
+  /// (size n_total, partitioned by the same HomeMap); `pay_result` mirrors
+  /// `result`. Host-side and uncharged — charged times stay bit-identical
+  /// to the u32 sort (DESIGN.md §11). Both null for u32.
+  std::vector<keys::Payload>* pay = nullptr;
+  std::vector<std::vector<keys::Payload>>* pay_result = nullptr;
   // Shared scratch, sized by the driver:
   std::vector<Key>* samples = nullptr;        // sample_count * p
   std::vector<Key>* group_sorted = nullptr;   // sample_count * p
@@ -58,6 +64,10 @@ struct MpiSampleWorld {
   msg::Communicator* comm = nullptr;
   std::vector<std::vector<Key>>* parts = nullptr;   // input, sorted in place
   std::vector<std::vector<Key>>* result = nullptr;  // [rank] output run
+  /// Optional kv32 payload lanes mirroring parts/result (see
+  /// CcSasSampleWorld). Both null for u32.
+  std::vector<std::vector<keys::Payload>>* pay_parts = nullptr;
+  std::vector<std::vector<keys::Payload>>* pay_result = nullptr;
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
   KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
@@ -71,6 +81,11 @@ struct ShmemSampleWorld {
   Index part_capacity = 0;
   Index n_total = 0;
   std::vector<std::vector<Key>>* result = nullptr;  // [rank] output run
+  /// Optional kv32 payload lanes: pay_parts[pe] mirrors that PE's
+  /// symmetric key partition; pay_result mirrors `result` (see
+  /// CcSasSampleWorld). Both null for u32.
+  std::vector<std::vector<keys::Payload>>* pay_parts = nullptr;
+  std::vector<std::vector<keys::Payload>>* pay_result = nullptr;
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
   KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld

@@ -56,6 +56,16 @@ std::uint64_t exclusive_prefix_active(std::span<const std::uint64_t> counts,
   return active;
 }
 
+/// Snapshot the permute's starting cursors for the payload mirror: the
+/// key permute consumes `cursor`, and the mirror must replay the same
+/// stable scatter from the same starting positions.
+std::span<std::uint64_t> snapshot_cursor(RadixWorkspace& ws,
+                                         std::span<const std::uint64_t> cursor) {
+  if (ws.pay_cursor.size() < cursor.size()) ws.pay_cursor.resize(cursor.size());
+  std::copy(cursor.begin(), cursor.end(), ws.pay_cursor.begin());
+  return {ws.pay_cursor.data(), cursor.size()};
+}
+
 }  // namespace
 
 int radix_passes(int radix_bits) {
@@ -267,6 +277,174 @@ void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
   }
   if (!in_keys) {
     std::copy_n(tmp.data(), n, keys.data());
+  }
+}
+
+void seq_radix_sort_paired(std::span<Key> keys, std::span<keys::Payload> pays,
+                           std::span<Key> tmp,
+                           std::span<keys::Payload> pay_tmp, int radix_bits) {
+  seq_radix_sort_paired(keys, pays, tmp, pay_tmp, radix_bits,
+                        default_kernel_backend(), tls_radix_workspace());
+}
+
+void seq_radix_sort_paired(std::span<Key> keys, std::span<keys::Payload> pays,
+                           std::span<Key> tmp,
+                           std::span<keys::Payload> pay_tmp, int radix_bits,
+                           KernelBackend be, RadixWorkspace& ws) {
+  DSM_REQUIRE(tmp.size() >= keys.size(), "tmp must be at least as large");
+  DSM_REQUIRE(pays.size() == keys.size() && pay_tmp.size() >= keys.size(),
+              "payload lanes must match the key span");
+  const int passes = radix_passes(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  const std::size_t n = keys.size();
+
+  if (be == KernelBackend::kReference) {
+    ws.prepare(radix_bits);
+    const std::span<std::uint64_t> hist(ws.hist.data(), buckets);
+    std::span<Key> in = keys;
+    std::span<Key> out = tmp.subspan(0, n);
+    std::span<keys::Payload> pin = pays;
+    std::span<keys::Payload> pout = pay_tmp.subspan(0, n);
+    for (int pass = 0; pass < passes; ++pass) {
+      const std::uint64_t active =
+          histogram_kernel(be, in, pass, radix_bits, hist);
+      std::uint64_t acc = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const std::uint64_t c = hist[b];
+        hist[b] = acc;
+        acc += c;
+      }
+      const std::span<std::uint64_t> mirror = snapshot_cursor(ws, hist);
+      (void)permute_kernel(be, in, out, pass, radix_bits, hist, active, ws);
+      payload_mirror_scatter(in, pin, pout, pass, radix_bits, mirror);
+      std::swap(in, out);
+      std::swap(pin, pout);
+    }
+    if (in.data() != keys.data()) {
+      std::copy_n(in.data(), n, keys.data());
+      std::copy_n(pin.data(), n, pays.data());
+    }
+    return;
+  }
+
+  ws.prepare(radix_bits, passes);
+  const std::span<std::uint64_t> pass_hist(
+      ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
+  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist, ws);
+  const std::span<std::uint64_t> cursor(ws.hist.data(), buckets);
+  bool in_keys = true;
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const std::uint64_t> hist_p = pass_hist.subspan(
+        static_cast<std::size_t>(pass) * buckets, buckets);
+    const std::uint64_t active = exclusive_prefix_active(hist_p, cursor);
+    // Dead pass: the identity permutation moves neither lane.
+    if (active <= 1) continue;
+    const std::span<Key> src = in_keys ? keys : tmp.subspan(0, n);
+    const std::span<Key> dst = in_keys ? tmp.subspan(0, n) : keys;
+    const std::span<keys::Payload> psrc =
+        in_keys ? pays : pay_tmp.subspan(0, n);
+    const std::span<keys::Payload> pdst =
+        in_keys ? pay_tmp.subspan(0, n) : pays;
+    const std::span<std::uint64_t> mirror = snapshot_cursor(ws, cursor);
+    (void)permute_kernel(be, src, dst, pass, radix_bits, cursor, active, ws);
+    payload_mirror_scatter(src, psrc, pdst, pass, radix_bits, mirror);
+    in_keys = !in_keys;
+  }
+  if (!in_keys) {
+    std::copy_n(tmp.data(), n, keys.data());
+    std::copy_n(pay_tmp.data(), n, pays.data());
+  }
+}
+
+void local_radix_sort_paired(sim::ProcContext& ctx, std::span<Key> keys,
+                             std::span<keys::Payload> pays, std::span<Key> tmp,
+                             std::span<keys::Payload> pay_tmp,
+                             int radix_bits) {
+  local_radix_sort_paired(ctx, keys, pays, tmp, pay_tmp, radix_bits,
+                          default_kernel_backend(), tls_radix_workspace());
+}
+
+void local_radix_sort_paired(sim::ProcContext& ctx, std::span<Key> keys,
+                             std::span<keys::Payload> pays, std::span<Key> tmp,
+                             std::span<keys::Payload> pay_tmp, int radix_bits,
+                             KernelBackend be, RadixWorkspace& ws) {
+  DSM_REQUIRE(tmp.size() >= keys.size(), "tmp must be at least as large");
+  DSM_REQUIRE(pays.size() == keys.size() && pay_tmp.size() >= keys.size(),
+              "payload lanes must match the key span");
+  const int passes = radix_passes(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  const std::size_t n = keys.size();
+  const auto& cpu = ctx.params().cpu;
+
+  if (be == KernelBackend::kReference) {
+    ws.prepare(radix_bits);
+    const std::span<std::uint64_t> hist(ws.hist.data(), buckets);
+    std::span<Key> in = keys;
+    std::span<Key> out = tmp.subspan(0, n);
+    std::span<keys::Payload> pin = pays;
+    std::span<keys::Payload> pout = pay_tmp.subspan(0, n);
+    for (int pass = 0; pass < passes; ++pass) {
+      const std::uint64_t active =
+          charged_histogram(ctx, in, pass, radix_bits, hist, be, ws);
+      std::uint64_t acc = 0;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        const std::uint64_t c = hist[b];
+        hist[b] = acc;
+        acc += c;
+      }
+      ctx.busy_cycles(static_cast<double>(buckets) * cpu.scan_cycles);
+      const std::span<std::uint64_t> mirror = snapshot_cursor(ws, hist);
+      charged_local_permute(ctx, in, out, pass, radix_bits, hist, active, be,
+                            ws);
+      payload_mirror_scatter(in, pin, pout, pass, radix_bits, mirror);
+      std::swap(in, out);
+      std::swap(pin, pout);
+    }
+    if (in.data() != keys.data()) {
+      std::copy_n(in.data(), n, keys.data());
+      std::copy_n(pin.data(), n, pays.data());
+      ctx.stream(2 * n * sizeof(Key), 2 * n * sizeof(Key));
+    }
+    return;
+  }
+
+  // Optimized pipeline — the charge sequence below replicates
+  // local_radix_sort exactly (the payload mirror adds nothing charged).
+  ws.prepare(radix_bits, passes);
+  const std::span<std::uint64_t> pass_hist(
+      ws.pass_hist.data(), static_cast<std::size_t>(passes) * buckets);
+  multi_histogram_kernel(be, keys, passes, radix_bits, pass_hist, ws);
+  const std::span<std::uint64_t> cursor(ws.hist.data(), buckets);
+  bool in_keys = true;
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const std::uint64_t> hist_p = pass_hist.subspan(
+        static_cast<std::size_t>(pass) * buckets, buckets);
+    const std::uint64_t active = exclusive_prefix_active(hist_p, cursor);
+    charge_histogram_pass(ctx, n, buckets);
+    ctx.busy_cycles(static_cast<double>(buckets) * cpu.scan_cycles);
+    if (active <= 1) {
+      charge_permute_pass(ctx, n, n > 0 ? 1 : 0, active, n);
+    } else {
+      const std::span<Key> src = in_keys ? keys : tmp.subspan(0, n);
+      const std::span<Key> dst = in_keys ? tmp.subspan(0, n) : keys;
+      const std::span<keys::Payload> psrc =
+          in_keys ? pays : pay_tmp.subspan(0, n);
+      const std::span<keys::Payload> pdst =
+          in_keys ? pay_tmp.subspan(0, n) : pays;
+      const std::span<std::uint64_t> mirror = snapshot_cursor(ws, cursor);
+      const std::uint64_t runs =
+          permute_kernel(be, src, dst, pass, radix_bits, cursor, active, ws);
+      charge_permute_pass(ctx, n, runs, active, n);
+      payload_mirror_scatter(src, psrc, pdst, pass, radix_bits, mirror);
+      in_keys = !in_keys;
+    }
+  }
+  if (passes % 2 != 0) {
+    ctx.stream(2 * n * sizeof(Key), 2 * n * sizeof(Key));
+  }
+  if (!in_keys) {
+    std::copy_n(tmp.data(), n, keys.data());
+    std::copy_n(pay_tmp.data(), n, pays.data());
   }
 }
 

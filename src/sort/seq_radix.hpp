@@ -48,6 +48,28 @@ void local_radix_sort(sim::ProcContext& ctx, std::span<Key> keys,
                       std::span<Key> tmp, int radix_bits, KernelBackend be,
                       RadixWorkspace& ws);
 
+/// Paired (kv32) variants: the payload lane mirrors every key movement,
+/// so pays[i] stays attached to keys[i] through the sort. The key lane's
+/// result — and, for the charged variant, every charged cycle — is
+/// bit-identical to the unpaired sort on the same keys: payload movement
+/// happens on the host outside the simulated machine (the record-oblivious
+/// charging contract, DESIGN.md §11). Both lanes end up back in
+/// keys/pays.
+void seq_radix_sort_paired(std::span<Key> keys, std::span<keys::Payload> pays,
+                           std::span<Key> tmp,
+                           std::span<keys::Payload> pay_tmp, int radix_bits);
+void seq_radix_sort_paired(std::span<Key> keys, std::span<keys::Payload> pays,
+                           std::span<Key> tmp,
+                           std::span<keys::Payload> pay_tmp, int radix_bits,
+                           KernelBackend be, RadixWorkspace& ws);
+void local_radix_sort_paired(sim::ProcContext& ctx, std::span<Key> keys,
+                             std::span<keys::Payload> pays, std::span<Key> tmp,
+                             std::span<keys::Payload> pay_tmp, int radix_bits);
+void local_radix_sort_paired(sim::ProcContext& ctx, std::span<Key> keys,
+                             std::span<keys::Payload> pays, std::span<Key> tmp,
+                             std::span<keys::Payload> pay_tmp, int radix_bits,
+                             KernelBackend be, RadixWorkspace& ws);
+
 /// One instrumented counting pass over `keys` for digit `pass`: fills
 /// `hist` (size 2^radix_bits) and charges the clock. Returns the number of
 /// nonzero buckets. Shared by the parallel radix sorts. (A single

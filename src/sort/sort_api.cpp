@@ -65,6 +65,21 @@ bool verify_runs(const Checksum& input,
                             std::span<const std::span<const Key>>(runs));
 }
 
+using PayloadRuns = std::vector<std::span<const keys::Payload>>;
+
+bool paired_records(const SortSpec& spec) {
+  return keys::record_info(spec.record).has_payload;
+}
+
+/// Fill a payload partition lane with the records' global input indices —
+/// the canonical kv32 payload: after the sort, ascending payloads within
+/// every equal-key run prove stability (DESIGN.md §11).
+void iota_payload(std::span<keys::Payload> pay, Index global_begin) {
+  for (std::size_t i = 0; i < pay.size(); ++i) {
+    pay[i] = static_cast<keys::Payload>(global_begin + static_cast<Index>(i));
+  }
+}
+
 void perf_write_trace(const std::string& path, const sim::SimTeam& team) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
@@ -81,10 +96,12 @@ void maybe_write_trace(const SortSpec& spec, const sim::SimTeam& team) {
 SortResult finish(const SortSpec& spec, sim::SimTeam& team,
                   const Checksum& input,
                   const std::vector<std::span<const Key>>& runs,
-                  int passes_used = -1) {
+                  int passes_used = -1, const PayloadRuns* pay_runs = nullptr,
+                  std::uint64_t input_pairs = 0) {
   checkpoint(spec, "verify", team.elapsed_ns());
   SortResult res;
   res.n = spec.n;
+  res.record = spec.record;
   res.passes = passes_used >= 0 ? passes_used : radix_passes(spec.radix_bits);
   res.elapsed_ns = team.elapsed_ns();
   res.per_proc.reserve(static_cast<std::size_t>(spec.nprocs));
@@ -99,8 +116,28 @@ SortResult finish(const SortSpec& spec, sim::SimTeam& team,
     for (const auto& run : runs) {
       res.output.insert(res.output.end(), run.begin(), run.end());
     }
+    if (pay_runs != nullptr) {
+      res.payload_output.reserve(spec.n);
+      for (const auto& run : *pay_runs) {
+        res.payload_output.insert(res.payload_output.end(), run.begin(),
+                                  run.end());
+      }
+    }
   }
-  res.verified = !spec.verify || verify_runs(input, runs);
+  if (!spec.verify) {
+    res.verified = true;
+  } else if (pay_runs != nullptr) {
+    // Paired verification: key order, exact (key, payload) multiset
+    // preservation, and stability — every algorithm here is stable (LSD
+    // radix by construction; sample sort because the splitter tie-break
+    // routes equal keys by source rank, and partitions ascend by rank).
+    res.verified = verify_sorted_runs_paired(
+        input, input_pairs, std::span<const std::span<const Key>>(runs),
+        std::span<const std::span<const keys::Payload>>(*pay_runs),
+        /*require_stable=*/true);
+  } else {
+    res.verified = verify_runs(input, runs);
+  }
   DSM_CHECK(res.verified, "sort produced an incorrect result");
   maybe_write_trace(spec, team);
   return res;
@@ -115,9 +152,22 @@ SortResult run_radix_ccsas(const SortSpec& spec,
   const Checksum input = generate_partitions(
       spec, a.homes(), [&](int r) { return a.partition(r); });
 
+  const bool paired = paired_records(spec);
+  std::vector<keys::Payload> pay_a(paired ? spec.n : 0);
+  std::vector<keys::Payload> pay_b(paired ? spec.n : 0);
+  std::uint64_t input_pairs = 0;
+  if (paired) {
+    iota_payload(pay_a, 0);
+    input_pairs = pair_fingerprint(a.all(), pay_a);
+  }
+
   CcSasRadixWorld w;
   w.a = &a;
   w.b = &b;
+  if (paired) {
+    w.pay_a = &pay_a;
+    w.pay_b = &pay_b;
+  }
   w.scan = &scan;
   w.radix_bits = spec.radix_bits;
   w.buffered = spec.model == Model::kCcSasNew;
@@ -129,7 +179,10 @@ SortResult run_radix_ccsas(const SortSpec& spec,
   const int passes = w.passes_used.load(std::memory_order_relaxed);
   sas::SharedArray<Key>& out = passes % 2 == 0 ? a : b;
   const std::vector<std::span<const Key>> runs{out.all()};
-  return finish(spec, team, input, runs, passes);
+  const PayloadRuns pay_runs{
+      std::span<const keys::Payload>(passes % 2 == 0 ? pay_a : pay_b)};
+  return finish(spec, team, input, runs, passes, paired ? &pay_runs : nullptr,
+                input_pairs);
 }
 
 SortResult run_radix_mpi(const SortSpec& spec,
@@ -148,10 +201,29 @@ SortResult run_radix_mpi(const SortSpec& spec,
     return std::span<Key>(parts_a[static_cast<std::size_t>(r)]);
   });
 
+  const bool paired = paired_records(spec);
+  std::vector<std::vector<keys::Payload>> pay_a, pay_b;
+  std::uint64_t input_pairs = 0;
+  if (paired) {
+    pay_a.resize(static_cast<std::size_t>(spec.nprocs));
+    pay_b.resize(static_cast<std::size_t>(spec.nprocs));
+    for (int r = 0; r < spec.nprocs; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      pay_a[rr].resize(homes.count_of(r));
+      pay_b[rr].resize(homes.count_of(r));
+      iota_payload(pay_a[rr], homes.begin_of(r));
+      input_pairs += pair_fingerprint(parts_a[rr], pay_a[rr]);
+    }
+  }
+
   MpiRadixWorld w;
   w.comm = &comm;
   w.parts_a = &parts_a;
   w.parts_b = &parts_b;
+  if (paired) {
+    w.pay_a = &pay_a;
+    w.pay_b = &pay_b;
+  }
   w.radix_bits = spec.radix_bits;
   w.chunk_messages = spec.ablations.mpi_chunk_messages;
   w.detect_max_key = spec.ablations.detect_max_key;
@@ -161,8 +233,11 @@ SortResult run_radix_mpi(const SortSpec& spec,
 
   std::vector<std::span<const Key>> runs;
   for (const auto& part : parts_a) runs.emplace_back(part);
+  PayloadRuns pay_runs;
+  for (const auto& lane : pay_a) pay_runs.emplace_back(lane);
   return finish(spec, team, input, runs,
-                w.passes_used.load(std::memory_order_relaxed));
+                w.passes_used.load(std::memory_order_relaxed),
+                paired ? &pay_runs : nullptr, input_pairs);
 }
 
 SortResult run_radix_shmem(const SortSpec& spec,
@@ -190,14 +265,40 @@ SortResult run_radix_shmem(const SortSpec& spec,
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_a), homes.count_of(r));
   });
+
+  const bool paired = paired_records(spec);
+  std::vector<std::vector<keys::Payload>> pay_a, pay_b, pay_stage;
+  std::uint64_t input_pairs = 0;
+  if (paired) {
+    const auto p = static_cast<std::size_t>(spec.nprocs);
+    pay_a.resize(p);
+    pay_b.resize(p);
+    pay_stage.resize(p);
+    for (int r = 0; r < spec.nprocs; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      pay_a[rr].resize(homes.count_of(r));
+      pay_b[rr].resize(homes.count_of(r));
+      pay_stage[rr].resize(homes.count_of(r));
+      iota_payload(pay_a[rr], homes.begin_of(r));
+      input_pairs += pair_fingerprint(
+          std::span<const Key>(heap.at<Key>(r, w.off_a), homes.count_of(r)),
+          pay_a[rr]);
+    }
+    w.pay_a = &pay_a;
+    w.pay_b = &pay_b;
+    w.pay_stage = &pay_stage;
+  }
   team.run([&](sim::ProcContext& ctx) { radix_shmem(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
   for (int r = 0; r < spec.nprocs; ++r) {
     runs.emplace_back(heap.at<Key>(r, w.off_a), homes.count_of(r));
   }
+  PayloadRuns pay_runs;
+  for (const auto& lane : pay_a) pay_runs.emplace_back(lane);
   return finish(spec, team, input, runs,
-                w.passes_used.load(std::memory_order_relaxed));
+                w.passes_used.load(std::memory_order_relaxed),
+                paired ? &pay_runs : nullptr, input_pairs);
 }
 
 SortResult run_sample_ccsas(const SortSpec& spec,
@@ -211,6 +312,14 @@ SortResult run_sample_ccsas(const SortSpec& spec,
   const auto p = static_cast<std::size_t>(spec.nprocs);
   const auto s = static_cast<std::size_t>(spec.ablations.sample_count);
   std::vector<std::vector<Key>> result(p);
+  const bool paired = paired_records(spec);
+  std::vector<keys::Payload> pay(paired ? spec.n : 0);
+  std::vector<std::vector<keys::Payload>> pay_result(paired ? p : 0);
+  std::uint64_t input_pairs = 0;
+  if (paired) {
+    iota_payload(pay, 0);
+    input_pairs = pair_fingerprint(keys.all(), pay);
+  }
   std::vector<Key> samples(s * p), group_sorted(s * p);
   std::vector<Key> splitters(p - 1);
   std::vector<int> splitter_srcs(p - 1);
@@ -219,6 +328,10 @@ SortResult run_sample_ccsas(const SortSpec& spec,
   CcSasSampleWorld w;
   w.keys = &keys;
   w.result = &result;
+  if (paired) {
+    w.pay = &pay;
+    w.pay_result = &pay_result;
+  }
   w.samples = &samples;
   w.group_sorted = &group_sorted;
   w.splitters = &splitters;
@@ -233,7 +346,10 @@ SortResult run_sample_ccsas(const SortSpec& spec,
 
   std::vector<std::span<const Key>> runs;
   for (const auto& run : result) runs.emplace_back(run);
-  return finish(spec, team, input, runs);
+  PayloadRuns pay_runs;
+  for (const auto& lane : pay_result) pay_runs.emplace_back(lane);
+  return finish(spec, team, input, runs, -1, paired ? &pay_runs : nullptr,
+                input_pairs);
 }
 
 SortResult run_sample_mpi(const SortSpec& spec,
@@ -251,10 +367,27 @@ SortResult run_sample_mpi(const SortSpec& spec,
     return std::span<Key>(parts[static_cast<std::size_t>(r)]);
   });
 
+  const bool paired = paired_records(spec);
+  std::vector<std::vector<keys::Payload>> pay_parts(paired ? p : 0);
+  std::vector<std::vector<keys::Payload>> pay_result(paired ? p : 0);
+  std::uint64_t input_pairs = 0;
+  if (paired) {
+    for (int r = 0; r < spec.nprocs; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      pay_parts[rr].resize(homes.count_of(r));
+      iota_payload(pay_parts[rr], homes.begin_of(r));
+      input_pairs += pair_fingerprint(parts[rr], pay_parts[rr]);
+    }
+  }
+
   MpiSampleWorld w;
   w.comm = &comm;
   w.parts = &parts;
   w.result = &result;
+  if (paired) {
+    w.pay_parts = &pay_parts;
+    w.pay_result = &pay_result;
+  }
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
   w.kernels = spec.kernel_backend;
@@ -263,7 +396,10 @@ SortResult run_sample_mpi(const SortSpec& spec,
 
   std::vector<std::span<const Key>> runs;
   for (const auto& run : result) runs.emplace_back(run);
-  return finish(spec, team, input, runs);
+  PayloadRuns pay_runs;
+  for (const auto& lane : pay_result) pay_runs.emplace_back(lane);
+  return finish(spec, team, input, runs, -1, paired ? &pay_runs : nullptr,
+                input_pairs);
 }
 
 SortResult run_sample_shmem(const SortSpec& spec,
@@ -292,11 +428,32 @@ SortResult run_sample_shmem(const SortSpec& spec,
   const Checksum input = generate_partitions(spec, homes, [&](int r) {
     return std::span<Key>(heap.at<Key>(r, w.off_keys), homes.count_of(r));
   });
+
+  const bool paired = paired_records(spec);
+  std::vector<std::vector<keys::Payload>> pay_parts(paired ? p : 0);
+  std::vector<std::vector<keys::Payload>> pay_result(paired ? p : 0);
+  std::uint64_t input_pairs = 0;
+  if (paired) {
+    for (int r = 0; r < spec.nprocs; ++r) {
+      const auto rr = static_cast<std::size_t>(r);
+      pay_parts[rr].resize(homes.count_of(r));
+      iota_payload(pay_parts[rr], homes.begin_of(r));
+      input_pairs += pair_fingerprint(
+          std::span<const Key>(heap.at<Key>(r, w.off_keys),
+                               homes.count_of(r)),
+          pay_parts[rr]);
+    }
+    w.pay_parts = &pay_parts;
+    w.pay_result = &pay_result;
+  }
   team.run([&](sim::ProcContext& ctx) { sample_shmem(ctx, w); });
 
   std::vector<std::span<const Key>> runs;
   for (const auto& run : result) runs.emplace_back(run);
-  return finish(spec, team, input, runs);
+  PayloadRuns pay_runs;
+  for (const auto& lane : pay_result) pay_runs.emplace_back(lane);
+  return finish(spec, team, input, runs, -1, paired ? &pay_runs : nullptr,
+                input_pairs);
 }
 
 SortResult run_sort_impl(const SortSpec& spec,
@@ -321,36 +478,24 @@ SortResult run_sort_impl(const SortSpec& spec,
 
 }  // namespace
 
-const char* algo_name(Algo a) {
-  switch (a) {
-    case Algo::kRadix: return "radix";
-    case Algo::kSample: return "sample";
-  }
-  return "?";
-}
+const char* algo_name(Algo a) { return enum_name<Algo>(kAlgoNames, a); }
 
-const char* model_name(Model m) {
-  switch (m) {
-    case Model::kCcSas: return "CC-SAS";
-    case Model::kCcSasNew: return "CC-SAS-NEW";
-    case Model::kMpi: return "MPI";
-    case Model::kShmem: return "SHMEM";
-  }
-  return "?";
-}
+const char* model_name(Model m) { return enum_name<Model>(kModelNames, m); }
 
 Algo algo_from_name(const std::string& name) {
-  for (Algo a : {Algo::kRadix, Algo::kSample}) {
-    if (name == algo_name(a)) return a;
-  }
-  throw Error("unknown algorithm: " + name);
+  return enum_from_name_or_throw<Algo>(kAlgoNames, name, "algorithm");
 }
 
 Model model_from_name(const std::string& name) {
-  for (Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi, Model::kShmem}) {
-    if (name == model_name(m)) return m;
-  }
-  throw Error("unknown model: " + name);
+  return enum_from_name_or_throw<Model>(kModelNames, name, "model");
+}
+
+Result<Algo> try_algo_from_name(const std::string& name) {
+  return enum_from_name<Algo>(kAlgoNames, name, "algorithm");
+}
+
+Result<Model> try_model_from_name(const std::string& name) {
+  return enum_from_name<Model>(kModelNames, name, "model");
 }
 
 machine::MachineParams SortSpec::resolved_machine() const {
@@ -388,6 +533,28 @@ Status SortSpec::validate_status() const {
   }
   if (algo != Algo::kRadix && model == Model::kCcSasNew) {
     violation("CC-SAS-NEW is a radix-sort restructuring only");
+  }
+  if (keys::record_info(record).has_payload) {
+    // Payload-carrying records (DESIGN.md §11). The payload is the key's
+    // 32-bit global input index, and two message-layer ablations reorganise
+    // keys receiver-side in ways the host payload mirror cannot replay.
+    if (n > (Index{1} << 32)) {
+      violation("record '" + std::string(keys::record_name(record)) +
+                "' carries a 32-bit payload index; n must be <= 2^32, got " +
+                std::to_string(n));
+    }
+    if (algo == Algo::kRadix && model == Model::kMpi &&
+        !ablations.mpi_chunk_messages) {
+      violation("record '" + std::string(keys::record_name(record)) +
+                "' is not supported by the coalesced-message MPI radix "
+                "ablation (payloads need chunked messages)");
+    }
+    if (algo == Algo::kRadix && model == Model::kShmem &&
+        ablations.shmem_use_put) {
+      violation("record '" + std::string(keys::record_name(record)) +
+                "' is not supported by the SHMEM put-based radix ablation "
+                "(payloads need the get path)");
+    }
   }
   try {
     resolved_machine().validate();

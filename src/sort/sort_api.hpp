@@ -21,9 +21,11 @@
 #include <string>
 #include <utility>
 
+#include "common/cli.hpp"
 #include "common/status.hpp"
 #include "common/team.hpp"
 #include "keys/distributions.hpp"
+#include "keys/record.hpp"
 #include "machine/params.hpp"
 #include "msg/transport.hpp"
 #include "sim/clock.hpp"
@@ -34,10 +36,27 @@ namespace dsm::sort {
 enum class Algo { kRadix, kSample };
 enum class Model { kCcSas, kCcSasNew, kMpi, kShmem };
 
+/// Canonical registry tables (see common/cli.hpp). The names are wire
+/// format: journals and replay files carry them.
+inline constexpr EnumEntry<Algo> kAlgoNames[] = {
+    {Algo::kRadix, "radix"},
+    {Algo::kSample, "sample"},
+};
+inline constexpr EnumEntry<Model> kModelNames[] = {
+    {Model::kCcSas, "CC-SAS"},
+    {Model::kCcSasNew, "CC-SAS-NEW"},
+    {Model::kMpi, "MPI"},
+    {Model::kShmem, "SHMEM"},
+};
+
 const char* algo_name(Algo a);
 const char* model_name(Model m);
 Algo algo_from_name(const std::string& name);
 Model model_from_name(const std::string& name);
+/// Typed parses for the v2 surface: kInvalidArgument listing the accepted
+/// names on failure.
+Result<Algo> try_algo_from_name(const std::string& name);
+Result<Model> try_model_from_name(const std::string& name);
 
 /// Cooperative cancellation flag. The owner arms it from any thread; the
 /// sort polls it at every checkpoint and phase mark and unwinds with
@@ -79,6 +98,15 @@ struct SortSpec {
   int radix_bits = 8;
   keys::Dist dist = keys::Dist::kGauss;
   std::uint64_t seed = 1;
+
+  /// Record type being sorted (DESIGN.md §11). kU32 is the paper's
+  /// workload: bare 4-byte keys. kKeyPayload32 attaches a 32-bit payload
+  /// (the key's global input index) that travels with its key through
+  /// every permutation — sorted output is stable, and the payload lane
+  /// lets tests prove it. Charged virtual time is a pure function of the
+  /// key stream, so kv32 runs report bit-identical elapsed_ns to u32.
+  /// Default honours DSMSORT_RECORD.
+  keys::RecordType record = keys::default_record_type();
 
   /// Machine configuration. Default: Origin 2000 with the page size the
   /// paper used for this data-set size.
@@ -145,6 +173,10 @@ struct SortResult {
   std::vector<sim::Breakdown> per_proc;   // one per simulated process
   std::vector<Index> run_sizes;           // output keys per process
   std::vector<Key> output;                // filled iff spec.keep_output
+  /// Payload lane of the sorted records, aligned with `output`: filled
+  /// iff spec.keep_output and the record type carries a payload.
+  std::vector<keys::Payload> payload_output;
+  keys::RecordType record = keys::RecordType::kU32;  // echo of spec.record
   /// Mean per-phase time attribution across processes (the paper's phase
   /// vocabulary: local/global histogram, permutation, redistribution,
   /// local sorts, splitters, barriers).

@@ -62,4 +62,68 @@ bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b) {
   return sa == sb;
 }
 
+namespace {
+
+/// SplitMix64 finalizer: mixes the packed pair so the commutative folds
+/// below distinguish re-matched pairings, not just value multisets.
+std::uint64_t mix_pair(Key k, keys::Payload p) {
+  std::uint64_t z =
+      (static_cast<std::uint64_t>(k) << 32) | static_cast<std::uint64_t>(p);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t pair_fingerprint(std::span<const Key> keys,
+                               std::span<const keys::Payload> payloads) {
+  std::uint64_t fp = keys.size() * 0x9e3779b97f4a7c15ull;
+  const std::size_t n = keys.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    fp += mix_pair(keys[i], payloads[i]);  // commutative: order-independent
+  }
+  return fp;
+}
+
+bool verify_sorted_runs_paired(
+    const Checksum& input_keys, std::uint64_t input_pairs,
+    std::span<const std::span<const Key>> key_runs,
+    std::span<const std::span<const keys::Payload>> payload_runs,
+    bool require_stable) {
+  if (key_runs.size() != payload_runs.size()) return false;
+  Checksum c;
+  std::uint64_t fp = 0;
+  std::uint64_t total = 0;
+  bool ok = true;
+  Key prev = 0;
+  keys::Payload prev_pay = 0;
+  bool have_prev = false;
+  for (std::size_t r = 0; r < key_runs.size(); ++r) {
+    const auto& keys_run = key_runs[r];
+    const auto& pay_run = payload_runs[r];
+    if (keys_run.size() != pay_run.size()) return false;
+    c.count += keys_run.size();
+    total += keys_run.size();
+    for (std::size_t i = 0; i < keys_run.size(); ++i) {
+      const Key k = keys_run[i];
+      const keys::Payload p = pay_run[i];
+      const auto v = static_cast<std::uint64_t>(k);
+      c.sum += v;
+      c.xor_ ^= v * 0x9e3779b97f4a7c15ull;
+      c.sum_sq += v * v;
+      fp += mix_pair(k, p);
+      if (have_prev) {
+        ok = ok && k >= prev;
+        if (require_stable && k == prev) ok = ok && p > prev_pay;
+      }
+      prev = k;
+      prev_pay = p;
+      have_prev = true;
+    }
+  }
+  fp += total * 0x9e3779b97f4a7c15ull;
+  return ok && c == input_keys && fp == input_pairs;
+}
+
 }  // namespace dsm::sort

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "keys/record.hpp"
 
 namespace dsm::sort {
 
@@ -35,5 +36,26 @@ bool verify_sorted_runs(const Checksum& input,
 
 /// Exact multiset equality (sorts copies; test-only sizes).
 bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b);
+
+/// Order-independent fingerprint of the (key, payload) pair multiset —
+/// each pair mixed through a 64-bit finalizer before the commutative
+/// folds, so swapping payloads between equal-position pairs changes it.
+std::uint64_t pair_fingerprint(std::span<const Key> keys,
+                               std::span<const keys::Payload> payloads);
+
+/// kv32 verification for runs of (key lane, payload lane) pairs:
+///   * the key concatenation is ascending,
+///   * the pair multiset equals `input_pairs` (pairing survived every
+///     permutation — no payload was dropped, duplicated, or re-matched),
+///   * within every run of equal keys the payloads ascend — since sorts
+///     assign payload = global input index, this is exactly LSD radix
+///     stability (and sample sort's deterministic duplicate placement).
+/// `require_stable` disables the third check for algorithms that do not
+/// promise stability.
+bool verify_sorted_runs_paired(
+    const Checksum& input_keys, std::uint64_t input_pairs,
+    std::span<const std::span<const Key>> key_runs,
+    std::span<const std::span<const keys::Payload>> payload_runs,
+    bool require_stable);
 
 }  // namespace dsm::sort

@@ -63,6 +63,14 @@ void put_job(std::ostringstream& os, const JobSpec& j) {
      << netstr(j.trace_json_path) << ' ' << j.crash_count << ' '
      << netstr(j.crash_site) << ' ' << (j.recovered_plan ? 1 : 0);
   if (j.recovered_plan) put_plan(os, *j.recovered_plan);
+  // Versioned trailing field (format v2): the record type rides as a
+  // ` rec <name>` sentinel run, emitted only for non-u32 jobs — every
+  // pre-existing byte stream is unchanged and old journals keep decoding
+  // (absent field == u32). The sentinel can never collide with the plan
+  // that follows a job in cluster frames: "rec" is not an algo name.
+  if (j.record != keys::RecordType::kU32) {
+    os << " rec " << keys::record_name(j.record);
+  }
 }
 
 JobSpec get_job(Parser& p) {
@@ -81,6 +89,16 @@ JobSpec get_job(Parser& p) {
   j.crash_count = p.i32();
   j.crash_site = p.str();
   if (p.b()) j.recovered_plan = get_plan(p);
+  if (p.peek_tok() == "rec") {
+    p.tok();  // consume the sentinel
+    const std::string name = p.tok();
+    const Result<keys::RecordType> r = keys::record_from_name(name);
+    if (!r.ok()) {
+      throw StatusError(
+          Status::corrupt_journal("durability payload: " + r.status().message()));
+    }
+    j.record = r.value();
+  }
   return j;
 }
 

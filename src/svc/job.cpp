@@ -18,6 +18,8 @@ sort::SortSpec sort_spec_for(const JobSpec& job, sort::Algo algo,
   spec.radix_bits = radix_bits;
   spec.dist = job.dist;
   spec.seed = job.seed;
+  spec.record = job.record;  // never inherit the process default here:
+                             // replay must execute the journaled type
   spec.trace_json_path = job.trace_json_path;
   return spec;
 }
@@ -35,6 +37,10 @@ Status JobSpec::validate_status() const {
   }
   if (seed == 0) add("job seed must be nonzero");
   if (priority < 0) add("job priority must be >= 0");
+  if (keys::record_info(record).has_payload && n > (Index{1} << 32)) {
+    add("record '" + std::string(keys::record_name(record)) +
+        "' carries a 32-bit payload index; n must be <= 2^32");
+  }
   if (problems.empty()) return Status();
   return Status::invalid_argument("invalid job " + std::to_string(id) + ": " +
                                   problems);

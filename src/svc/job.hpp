@@ -61,6 +61,13 @@ struct JobSpec {
   keys::Dist dist = keys::Dist::kGauss;
   std::uint64_t seed = 1;
 
+  /// Record type the job sorts (DESIGN.md §11). Defaults to u32 — the
+  /// paper's workload and the implicit type of every pre-existing journal
+  /// (the codec only emits the field for non-u32 jobs, so old byte
+  /// streams decode unchanged). Charged times are record-oblivious, so
+  /// this never changes deadlines, shedding, or planner behaviour.
+  keys::RecordType record = keys::RecordType::kU32;
+
   // Pin planner dimensions (unset = planner chooses).
   std::optional<sort::Algo> force_algo;
   std::optional<sort::Model> force_model;

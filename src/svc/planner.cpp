@@ -76,6 +76,8 @@ Result<Plan> Planner::try_plan(const JobSpec& job) const {
           spec.radix_bits = r;
           spec.dist = job.dist;
           spec.seed = job.seed;
+          spec.record = job.record;  // charge-oblivious, but keep the
+                                     // candidate spec faithful to the job
           double raw = 0;
           try {
             raw = perf::predict(spec).total_ns;

@@ -16,12 +16,15 @@ std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
               "load mix must offer at least one size, proc count, and dist");
   DSM_REQUIRE(!mix.deadlines_us.empty() && !mix.priorities.empty(),
               "load mix deadline/priority lists must be nonempty");
+  DSM_REQUIRE(!mix.records.empty(), "load mix record list must be nonempty");
   // Deadline/priority draws happen only for a non-trivial mix, so the
   // PRNG stream — and every pre-deadline trace — is byte-preserved.
   const bool draw_deadline =
       mix.deadlines_us.size() > 1 || mix.deadlines_us[0] != 0;
   const bool draw_priority =
       mix.priorities.size() > 1 || mix.priorities[0] != 0;
+  const bool draw_record =
+      mix.records.size() > 1 || mix.records[0] != keys::RecordType::kU32;
   SplitMix64 rng(seed);
   std::vector<JobSpec> jobs;
   jobs.reserve(count);
@@ -37,6 +40,9 @@ std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
     }
     if (draw_priority) {
       job.priority = mix.priorities[rng.next() % mix.priorities.size()];
+    }
+    if (draw_record) {
+      job.record = mix.records[rng.next() % mix.records.size()];
     }
     job.validate();
     jobs.push_back(job);
@@ -59,14 +65,18 @@ std::string trace_to_text(std::span<const JobSpec> jobs) {
       os << '-';
     }
     // Trailing fields only when non-default, so pre-deadline traces
-    // round-trip byte-identically.
-    if (j.deadline_us != 0 || j.priority != 0) {
+    // round-trip byte-identically. A non-u32 record forces the deadline
+    // and priority columns out (as '-'/0 defaults) — the grammar is
+    // positional.
+    const bool has_record = j.record != keys::RecordType::kU32;
+    if (j.deadline_us != 0 || j.priority != 0 || has_record) {
       if (j.deadline_us != 0) {
         os << ' ' << j.deadline_us;
       } else {
         os << " -";
       }
       os << ' ' << j.priority;
+      if (has_record) os << ' ' << keys::record_name(j.record);
     }
     os << '\n';
   }
@@ -98,6 +108,8 @@ std::vector<JobSpec> trace_from_text(const std::string& text) {
                     ": deadline_us without priority: " + line);
       }
     }
+    std::string record;
+    fields >> record;
     std::string extra;
     if (fields >> extra) {
       throw Error("trace line " + std::to_string(lineno) +
@@ -129,6 +141,14 @@ std::vector<JobSpec> trace_from_text(const std::string& text) {
         throw Error("trace line " + std::to_string(lineno) +
                     ": bad priority: " + priority);
       }
+    }
+    if (!record.empty() && record != "-") {
+      const Result<keys::RecordType> r = keys::record_from_name(record);
+      if (!r.ok()) {
+        throw Error("trace line " + std::to_string(lineno) + ": " +
+                    r.status().message());
+      }
+      j.record = r.value();
     }
     j.validate();
     jobs.push_back(std::move(j));

@@ -8,12 +8,13 @@
 // Text format, one job per line (whitespace-separated, '#' comments):
 //
 //   id n nprocs dist seed force_algo force_model force_radix
-//     [deadline_us priority]
+//     [deadline_us priority [record]]
 //
 // where the three force_* fields are '-' when the planner chooses, and
-// the two optional trailing fields ('-' or absent = default) carry the
-// virtual-time deadline in microseconds and the job priority. Traces
-// written before deadlines existed (8 fields per line) parse unchanged.
+// the optional trailing fields ('-' or absent = default) carry the
+// virtual-time deadline in microseconds, the job priority, and the
+// record type (absent = u32). Traces written before deadlines or record
+// types existed (8- or 10-field lines) parse unchanged.
 #pragma once
 
 #include <cstdint>
@@ -36,6 +37,9 @@ struct LoadMix {
   /// every trace generated before deadlines existed — is unchanged.
   std::vector<std::uint64_t> deadlines_us{0};
   std::vector<int> priorities{0};
+  /// Record types drawn per job; the trivial {u32} default draws nothing
+  /// (same PRNG-preservation rule as deadlines/priorities).
+  std::vector<keys::RecordType> records{keys::RecordType::kU32};
 };
 
 /// Generate `count` jobs deterministically from `seed` over `mix`.

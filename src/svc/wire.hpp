@@ -96,6 +96,16 @@ class Parser {
     return v == 1;
   }
 
+  /// Next whitespace token without consuming it; "" at end of record.
+  /// Lets decoders probe for versioned trailing fields (e.g. the job
+  /// codec's ` rec <name>` run) without breaking on old-format payloads.
+  std::string peek_tok() {
+    skip_ws();
+    std::size_t p = pos_;
+    while (p < s_.size() && s_[p] != ' ') ++p;
+    return s_.substr(pos_, p - pos_);
+  }
+
   std::string str() {
     skip_ws();
     std::size_t len = 0;

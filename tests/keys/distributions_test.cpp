@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "common/bits.hpp"
@@ -224,7 +226,123 @@ TEST(Distributions, NamesRoundTrip) {
   for (const Dist d : kAllDists) {
     EXPECT_EQ(dist_from_name(dist_name(d)), d);
   }
+  for (const Dist d : kSkewDists) {
+    EXPECT_EQ(dist_from_name(dist_name(d)), d);
+  }
   EXPECT_THROW(dist_from_name("nope"), Error);
+}
+
+TEST(Distributions, TypedParseReportsAcceptedNames) {
+  const Result<Dist> r = try_dist_from_name("zipfian");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The error must quote the bad name and list every registry name —
+  // paper set and skew set alike.
+  EXPECT_NE(r.status().message().find("'zipfian'"), std::string::npos);
+  EXPECT_NE(r.status().message().find("zipf"), std::string::npos);
+  EXPECT_NE(r.status().message().find("almost-sorted"), std::string::npos);
+  EXPECT_EQ(try_dist_from_name("adversarial").value(), Dist::kAdversarial);
+}
+
+TEST(SkewDistributions, PaperSetIsUntouched) {
+  // Figure sweeps and the default service load mix iterate kAllDists;
+  // the skew axis must never leak into it (historical outputs are
+  // byte-identical only if the paper set stays exactly the §3.3 eight).
+  EXPECT_EQ(std::size(kAllDists), 8u);
+  EXPECT_EQ(std::size(kSkewDists), 4u);
+  for (const Dist s : kSkewDists) {
+    for (const Dist d : kAllDists) EXPECT_NE(s, d);
+  }
+}
+
+TEST(SkewDistributions, DeterministicAndBelowMax) {
+  for (const Dist d : kSkewDists) {
+    EXPECT_EQ(gen(d, 1024, 1, 4), gen(d, 1024, 1, 4)) << dist_name(d);
+    for (int r = 0; r < 4; ++r) {
+      for (const Key k : gen(d, 4096, r, 4)) {
+        EXPECT_LT(k, kKeyMax) << dist_name(d);
+      }
+    }
+  }
+}
+
+TEST(SkewDistributions, PartitionIndependent) {
+  // All four are stateless per global index: the global stream must be
+  // identical whether generated as 1 partition or 4 — the property that
+  // lets the sequential baseline check any parallel run.
+  for (const Dist d : kSkewDists) {
+    const auto whole = gen(d, 4096, 0, 1);
+    std::vector<Key> stitched;
+    for (int r = 0; r < 4; ++r) {
+      const auto part = gen(d, 4096, r, 4);
+      stitched.insert(stitched.end(), part.begin(), part.end());
+    }
+    EXPECT_EQ(whole, stitched) << dist_name(d);
+  }
+}
+
+TEST(SkewDistributions, SeedChangesData) {
+  for (const Dist d : kSkewDists) {
+    EXPECT_NE(gen(d, 1024, 0, 2, 8, 1), gen(d, 1024, 0, 2, 8, 99))
+        << dist_name(d);
+  }
+}
+
+std::map<Key, std::size_t> frequency(const std::vector<Key>& keys) {
+  std::map<Key, std::size_t> freq;
+  for (const Key k : keys) ++freq[k];
+  return freq;
+}
+
+TEST(SkewDistributions, ZipfConcentratesOnHotSet) {
+  const auto keys = gen(Dist::kZipf, 1 << 15, 0, 1);
+  const auto freq = frequency(keys);
+  // At most the 1024-value hot set is ever drawn.
+  EXPECT_LE(freq.size(), 1024u);
+  // Rank 0 of a Zipf(1) hot set of 1024 carries ~ln(2)/ln(1025) ~ 10% of
+  // the keys; the heaviest value must clearly dominate a uniform share.
+  std::size_t top = 0;
+  for (const auto& [k, c] : freq) top = std::max(top, c);
+  EXPECT_GT(top, keys.size() / 20);   // > 5% in one value
+  EXPECT_GT(freq.size(), 100u);       // but it is not single-valued
+}
+
+TEST(SkewDistributions, DupHasSmallDomain) {
+  const auto keys = gen(Dist::kDup, 1 << 14, 0, 1);
+  const auto freq = frequency(keys);
+  EXPECT_LE(freq.size(), 64u);
+  EXPECT_GT(freq.size(), 32u);  // roughly uniform over the 64-value domain
+}
+
+TEST(SkewDistributions, AlmostSortedIsMostlyAscending) {
+  const auto keys = gen(Dist::kAlmostSorted, 1 << 14, 0, 1);
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    inversions += keys[i - 1] > keys[i] ? 1 : 0;
+  }
+  // ~1/64 positions are displaced; each causes at most 2 adjacent
+  // inversions, so the rate stays well under 1/16.
+  EXPECT_LT(inversions, keys.size() / 16);
+  EXPECT_GT(inversions, 0u);  // but it is not fully sorted
+}
+
+TEST(SkewDistributions, AdversarialIsNearlyAllOneValue) {
+  const auto keys = gen(Dist::kAdversarial, 1 << 14, 0, 1);
+  const auto freq = frequency(keys);
+  std::size_t top = 0;
+  for (const auto& [k, c] : freq) top = std::max(top, c);
+  // ~15/16 of keys are the hot value; the rest share its high bytes.
+  EXPECT_GT(top, keys.size() * 8 / 10);
+  EXPECT_LE(freq.size(), 257u);  // hot value + at most a byte of variants
+  const Key hot_high = [&] {
+    for (const auto& [k, c] : freq) {
+      if (c == top) return k & ~Key{0xff};
+    }
+    return Key{0};
+  }();
+  for (const auto& [k, c] : freq) {
+    EXPECT_EQ(k & ~Key{0xff}, hot_high) << std::hex << k;
+  }
 }
 
 TEST(Distributions, BadSpecsRejected) {

@@ -15,10 +15,12 @@
 #include <string>
 #include <thread>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "keys/distributions.hpp"
+#include "keys/record.hpp"
 
 namespace dsm::sort {
 namespace {
@@ -513,6 +515,139 @@ TEST(HistogramKernel, VectorizedRemainderTailsMatchReference) {
                             << " pass=" << pass;
       }
     }
+  }
+}
+
+/// Full LSD sort of a (key, payload) record stream through the kernel
+/// layer: the key lane moves through permute_kernel under `be`; the
+/// payload lane replays each pass's stable scatter via
+/// payload_mirror_scatter from a cursor snapshot taken before the key
+/// permute — exactly the structure the sort runners use.
+std::pair<std::vector<Key>, std::vector<keys::Payload>>
+paired_sort_via_kernels(KernelBackend be, std::vector<Key> keys,
+                        int radix_bits, RadixWorkspace& ws) {
+  const int passes = passes_for(radix_bits);
+  const std::size_t buckets = std::size_t{1} << radix_bits;
+  std::vector<Key> tmp(keys.size());
+  std::vector<keys::Payload> pay(keys.size()), pay_tmp(keys.size());
+  for (std::size_t i = 0; i < pay.size(); ++i) {
+    pay[i] = static_cast<keys::Payload>(i);
+  }
+  ws.prepare(radix_bits, passes);
+  std::vector<std::uint64_t> hist(buckets), cursor(buckets),
+      snapshot(buckets);
+  Key* in = keys.data();
+  Key* out = tmp.data();
+  keys::Payload* pin = pay.data();
+  keys::Payload* pout = pay_tmp.data();
+  for (int pass = 0; pass < passes; ++pass) {
+    const std::span<const Key> in_span(in, keys.size());
+    const std::uint64_t active =
+        histogram_kernel(be, in_span, pass, radix_bits, hist);
+    std::uint64_t acc = 0;
+    for (std::size_t b = 0; b < buckets; ++b) {
+      cursor[b] = acc;
+      acc += hist[b];
+    }
+    snapshot = cursor;  // before the key permute consumes it
+    (void)permute_kernel(be, in_span, std::span<Key>(out, keys.size()), pass,
+                         radix_bits, cursor, active, ws);
+    payload_mirror_scatter(in_span,
+                           std::span<const keys::Payload>(pin, pay.size()),
+                           std::span<keys::Payload>(pout, pay.size()), pass,
+                           radix_bits, snapshot);
+    std::swap(in, out);
+    std::swap(pin, pout);
+  }
+  if (in != keys.data()) std::copy_n(in, keys.size(), keys.data());
+  if (pin != pay.data()) std::copy_n(pin, pay.size(), pay.data());
+  return {std::move(keys), std::move(pay)};
+}
+
+class PairedKernelSort
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PairedKernelSort, MirrorReplaysTheStableScatterExactly) {
+  // Record-type x distribution cells at the kernel layer: for every
+  // backend, radix, jobs value, and skewed distribution the payload
+  // mirror must land each payload exactly where stable sorting its
+  // (key, input index) record would — byte-identical to the header-only
+  // record_lsd_sort reference. The key lane must be untouched by the
+  // mirroring (identical to the bare-key kernel sort).
+  const int radix = std::get<0>(GetParam());
+  const int jobs = std::get<1>(GetParam());
+  TunableGuard guard;
+  set_kernel_shard_min_keys(512);
+  RadixWorkspace ws_bare, ws_ref, ws_opt;
+  ws_opt.jobs = jobs;
+  for (const keys::Dist d :
+       {keys::Dist::kRandom, keys::Dist::kZipf, keys::Dist::kDup,
+        keys::Dist::kAlmostSorted, keys::Dist::kAdversarial}) {
+    for (const Index n : {Index{0}, Index{1}, Index{1025}, Index{30000}}) {
+      const auto input = make_keys(d, n, 17, radix);
+      // Reference: the generic record sort over (key, index) records.
+      std::vector<keys::KeyPayload32> recs(n);
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        recs[i] = {input[i], static_cast<keys::Payload>(i)};
+      }
+      std::vector<keys::KeyPayload32> rtmp(n);
+      keys::record_lsd_sort<keys::RecordTraits<keys::KeyPayload32>>(
+          recs, rtmp, radix);
+      const auto bare =
+          sort_via_kernels(KernelBackend::kReference, input, radix, ws_bare);
+      for (const KernelBackend be :
+           {KernelBackend::kReference, KernelBackend::kOptimized}) {
+        RadixWorkspace& ws =
+            be == KernelBackend::kReference ? ws_ref : ws_opt;
+        const auto [ks, ps] = paired_sort_via_kernels(be, input, radix, ws);
+        EXPECT_EQ(ks, bare) << kernel_backend_name(be) << " "
+                            << keys::dist_name(d) << " n=" << n;
+        ASSERT_EQ(ps.size(), recs.size());
+        for (std::size_t i = 0; i < recs.size(); ++i) {
+          ASSERT_EQ(ks[i], recs[i].key)
+              << kernel_backend_name(be) << " " << keys::dist_name(d)
+              << " n=" << n << " @" << i;
+          ASSERT_EQ(ps[i], recs[i].payload)
+              << kernel_backend_name(be) << " " << keys::dist_name(d)
+              << " n=" << n << " @" << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RadixByJobs, PairedKernelSort,
+                         ::testing::Combine(::testing::Values(4, 8, 11),
+                                            ::testing::Values(1, 4)));
+
+TEST(PayloadMirror, ConsumesCursorLikePermuteKernel) {
+  // The mirror's cursor contract matches permute_kernel's: advanced past
+  // every written element, so a caller can sanity-check both lanes moved
+  // the same counts.
+  const auto keys = make_keys(keys::Dist::kRandom, 5000, 23, 8);
+  std::vector<std::uint64_t> hist(256);
+  const std::uint64_t active =
+      histogram_kernel(KernelBackend::kReference, keys, 0, 8, hist);
+  std::vector<std::uint64_t> cur_key(256), cur_pay(256);
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < 256; ++b) {
+    cur_key[b] = acc;
+    acc += hist[b];
+  }
+  cur_pay = cur_key;
+  RadixWorkspace ws;
+  std::vector<Key> out(keys.size());
+  std::vector<keys::Payload> pin(keys.size()), pout(keys.size());
+  for (std::size_t i = 0; i < pin.size(); ++i) {
+    pin[i] = static_cast<keys::Payload>(i);
+  }
+  (void)permute_kernel(KernelBackend::kReference, keys, out, 0, 8, cur_key,
+                       active, ws);
+  payload_mirror_scatter(keys, pin, pout, 0, 8, cur_pay);
+  EXPECT_EQ(cur_key, cur_pay);
+  // Every payload points back at a key equal to its new neighbour.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(keys[pout[i]], out[i]) << i;
   }
 }
 
