@@ -24,6 +24,13 @@
 //                       external dsmsort_workerd processes that connect,
 //                       instead of forking workers (--cluster-workers then
 //                       caps the pool; scripts/cluster_smoke.sh uses this)
+//   --heartbeat-ms N    worker health protocol (strictly validated,
+//                       0..60000; 0 = off): workers emit a heartbeat every
+//                       N ms, silent workers get hedged then written off.
+//                       Defaults to DSMSORT_HEARTBEAT_MS when set.
+//   --suspect-after N   missed heartbeat periods before a worker turns
+//                       suspect (strictly validated, 1..1000; default 3 or
+//                       DSMSORT_SUSPECT_AFTER)
 //   --record LIST       comma-separated record types the generated mix
 //                       draws from (e.g. "kv32" or "u32,kv32"; default
 //                       u32 — byte-preserves every pre-record trace)
@@ -112,9 +119,13 @@ std::string replay_json(svc::SortService& svc,
 /// service's metrics). With a serve path the pool forks nothing and waits
 /// for external dsmsort_workerd processes instead.
 std::unique_ptr<cluster::WorkerPool> make_pool(int cluster_workers,
-                                               const std::string& serve) {
+                                               const std::string& serve,
+                                               int heartbeat_ms,
+                                               int suspect_after) {
   if (cluster_workers <= 0 && serve.empty()) return nullptr;
   cluster::PoolConfig pc;
+  pc.heartbeat_ms = heartbeat_ms;
+  pc.suspect_after = suspect_after;
   if (serve.empty()) {
     pc.policy.min_workers = cluster_workers;
     pc.policy.max_workers = cluster_workers;
@@ -127,11 +138,12 @@ std::unique_ptr<cluster::WorkerPool> make_pool(int cluster_workers,
 
 std::string run_replay(const std::vector<svc::JobSpec>& trace,
                        std::size_t capacity, int workers,
-                       int cluster_workers) {
+                       int cluster_workers, int heartbeat_ms,
+                       int suspect_after) {
   // Always a forked pool: replay selfchecks build several pools, and only
   // one listener can own a serve socket.
   const std::unique_ptr<cluster::WorkerPool> pool =
-      make_pool(cluster_workers, "");
+      make_pool(cluster_workers, "", heartbeat_ms, suspect_after);
   svc::ServiceConfig cfg = service_config(capacity, workers);
   cfg.remote = pool.get();
   svc::SortService svc(cfg);
@@ -158,7 +170,8 @@ int main(int argc, char** argv) {
         argc, argv, quick ? "16K,64K" : "1M,4M,16M",
         quick ? "4,8" : "16,32,64",
         {"quick", "out", "njobs", "capacity", "replay", "write-trace",
-         "cluster-workers", "cluster-serve", "record"});
+         "cluster-workers", "cluster-serve", "heartbeat-ms", "suspect-after",
+         "record"});
     ArgParser args(argc, argv);
     const std::string out_path = args.get("out", "BENCH_service.json");
     const auto njobs = static_cast<std::size_t>(
@@ -176,14 +189,25 @@ int main(int argc, char** argv) {
                   "--cluster-workers",
                   args.get("cluster-workers", "").c_str())
             : cluster::cluster_workers_from_env();
+    const int heartbeat_ms =
+        args.has("heartbeat-ms")
+            ? cluster::parse_heartbeat_ms("--heartbeat-ms",
+                                          args.get("heartbeat-ms", "").c_str())
+            : cluster::heartbeat_ms_from_env();
+    const int suspect_after =
+        args.has("suspect-after")
+            ? cluster::parse_suspect_after(
+                  "--suspect-after", args.get("suspect-after", "").c_str())
+            : cluster::suspect_after_from_env();
 
     if (!replay_path.empty()) {
       // Replay mode: deterministic output only — no worker count, no host
       // clocks — so any --jobs (and any --cluster-workers) value writes
       // identical bytes.
       const std::vector<svc::JobSpec> trace = svc::read_trace(replay_path);
-      write_file_atomic(
-          out_path, run_replay(trace, capacity, env.jobs, cluster_workers));
+      write_file_atomic(out_path,
+                        run_replay(trace, capacity, env.jobs, cluster_workers,
+                                   heartbeat_ms, suspect_after));
       std::cout << "replayed " << trace.size() << " jobs from " << replay_path
                 << " with " << env.jobs << " worker(s)"
                 << (cluster_workers > 0
@@ -210,7 +234,7 @@ int main(int argc, char** argv) {
     // rejects (counted, not retried) — that is the service's backpressure
     // answer to this offered load.
     const std::unique_ptr<cluster::WorkerPool> pool =
-        make_pool(cluster_workers, serve_path);
+        make_pool(cluster_workers, serve_path, heartbeat_ms, suspect_after);
     svc::ServiceConfig live_cfg = service_config(capacity, env.jobs);
     live_cfg.remote = pool.get();
     svc::SortService svc(live_cfg);
@@ -240,7 +264,9 @@ int main(int argc, char** argv) {
       std::cout << "  cluster: " << cl.dispatches << " dispatches, "
                 << cl.acks << " acks, " << cl.worker_deaths
                 << " worker death(s), " << cl.redispatches
-                << " re-dispatch(es)\n";
+                << " re-dispatch(es), " << cl.hedges_issued << " hedge(s), "
+                << cl.integrity_violations << " integrity violation(s), "
+                << cl.workers_quarantined << " quarantined\n";
     }
     const std::vector<svc::JobResult> results = svc.take_results();
 
@@ -310,9 +336,10 @@ int main(int argc, char** argv) {
     // the full run's BENCH_service.json, not here).
     bool replay_identical = false;
     if (quick) {
-      const std::string one = run_replay(trace, capacity, 1, cluster_workers);
-      const std::string four =
-          run_replay(trace, capacity, 4, cluster_workers);
+      const std::string one = run_replay(trace, capacity, 1, cluster_workers,
+                                         heartbeat_ms, suspect_after);
+      const std::string four = run_replay(trace, capacity, 4, cluster_workers,
+                                          heartbeat_ms, suspect_after);
       DSM_CHECK(one == four,
                 "replay output differs between 1 and 4 workers");
       replay_identical = true;

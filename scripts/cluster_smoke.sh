@@ -1,9 +1,19 @@
 #!/usr/bin/env sh
-# Cluster smoke test: a real master process serving a UNIX socket, three
-# real dsmsort_workerd processes attached to it, one of them SIGKILLed
-# while the trace is in flight. Asserts the run still completes every job
-# (the master re-dispatches the dead worker's attempt to a survivor) and
-# that the service's replay selfcheck still reports byte-identical output.
+# Cluster smoke test: a real master process serving a UNIX socket with the
+# heartbeat health protocol armed, five real dsmsort_workerd processes
+# attached to it, and three kinds of trouble while the trace is in flight:
+#
+#   * smoke-1 is SIGKILLed          — a loud crash; re-dispatch.
+#   * smoke-2 is SIGSTOPped         — a gray failure: process alive, socket
+#                                     open, nothing moves. The heartbeat
+#                                     lattice must hedge or write it off.
+#   * smoke-liar runs with --lie    — reports bit-flipped input fingerprints;
+#                                     end-to-end integrity must catch it and
+#                                     quarantine exactly that worker.
+#
+# Asserts the run still completes every job, the replay selfcheck stays
+# byte-identical, the liar was caught (non-zero integrity violations and a
+# non-zero quarantine count), and the honest survivors retire cleanly.
 #
 # Usage: scripts/cluster_smoke.sh [build-dir]
 #   build-dir  where the binaries live (default: build)
@@ -29,30 +39,45 @@ MASTER_PID=""
 W1_PID=""
 W2_PID=""
 W3_PID=""
+W4_PID=""
+LIAR_PID=""
 cleanup() {
-  for pid in $MASTER_PID $W1_PID $W2_PID $W3_PID; do
+  # SIGCONT first: SIGKILL is honoured by a stopped process, but be tidy.
+  for pid in $W2_PID; do
+    kill -CONT "$pid" 2>/dev/null || true
+  done
+  for pid in $MASTER_PID $W1_PID $W2_PID $W3_PID $W4_PID $LIAR_PID; do
     kill -9 "$pid" 2>/dev/null || true
   done
   rm -f "$SOCK" "$OUT" "$LOG"
 }
 trap cleanup EXIT
 
-# Master: serve the socket, run a quick trace on whoever connects. It
+# Master: serve the socket, run a quick trace on whoever connects, with
+# heartbeats every 50 ms (suspect after 4 missed beats, written off after
+# 8 — generous enough that an honest-but-descheduled worker is safe). It
 # blocks until at least one worker registers, so starting it first is
 # race-free. Sizes are chosen so the run takes a couple of seconds — long
-# enough that the kill below lands while jobs are in flight.
+# enough that the kill and the stop below land while jobs are in flight.
 "$MASTER_BIN" --quick --njobs "$NJOBS" --sizes 256K --jobs 3 \
-  --cluster-serve "$SOCK" --out "$OUT" >"$LOG" 2>&1 &
+  --cluster-serve "$SOCK" --heartbeat-ms 50 --suspect-after 4 \
+  --out "$OUT" >"$LOG" 2>&1 &
 MASTER_PID=$!
 
-# Three workers; workerd retries the connect until the listener is up.
+# Five workers; workerd retries the connect until the listener is up. The
+# liar completes every protocol step flawlessly and sorts honestly — only
+# its result reports are corrupted, so only end-to-end integrity can
+# catch it.
 "$WORKERD_BIN" --connect "$SOCK" --label smoke-1 & W1_PID=$!
 "$WORKERD_BIN" --connect "$SOCK" --label smoke-2 & W2_PID=$!
 "$WORKERD_BIN" --connect "$SOCK" --label smoke-3 & W3_PID=$!
+"$WORKERD_BIN" --connect "$SOCK" --label smoke-4 & W4_PID=$!
+"$WORKERD_BIN" --connect "$SOCK" --label smoke-liar --lie & LIAR_PID=$!
 
-# Let the run get going, then SIGKILL one worker mid-job. (If the host is
-# fast enough that the trace already finished, the kill degrades to a
-# clean-retire check — the assertions below hold either way.)
+# Let the run get going, then SIGKILL one worker and SIGSTOP another
+# mid-job. (If the host is fast enough that the trace already finished,
+# both degrade to clean-retire checks — the assertions below hold either
+# way.)
 sleep 0.3
 if kill -9 "$W1_PID" 2>/dev/null; then
   echo "cluster_smoke: killed worker smoke-1 (pid $W1_PID)"
@@ -61,6 +86,11 @@ else
 fi
 wait "$W1_PID" 2>/dev/null || true
 W1_PID=""
+if kill -STOP "$W2_PID" 2>/dev/null; then
+  echo "cluster_smoke: stopped worker smoke-2 (pid $W2_PID)"
+else
+  echo "cluster_smoke: worker smoke-2 already gone (run finished early?)"
+fi
 
 if ! wait "$MASTER_PID"; then
   echo "cluster_smoke: FAIL — master exited non-zero; log:" >&2
@@ -69,27 +99,52 @@ if ! wait "$MASTER_PID"; then
 fi
 MASTER_PID=""
 
-# Every job completed despite the kill...
+# Every job completed despite the kill, the stall, and the liar...
 if ! grep -q "live: $NJOBS/$NJOBS jobs" "$LOG"; then
   echo "cluster_smoke: FAIL — lost jobs; log:" >&2
   cat "$LOG" >&2
   exit 1
 fi
-# ...and the deterministic replay selfcheck still holds.
+# ...the deterministic replay selfcheck still holds...
 if ! grep -q "byte-identical" "$LOG"; then
   echo "cluster_smoke: FAIL — replay selfcheck missing; log:" >&2
   cat "$LOG" >&2
   exit 1
 fi
+# ...and the liar was caught end-to-end: integrity violations charged and
+# the worker quarantined (the liar is leased from the very first batches,
+# so this holds even when the trace outruns the signals above).
+if ! grep -Eq '[1-9][0-9]* integrity violation' "$LOG"; then
+  echo "cluster_smoke: FAIL — the lying worker was never caught; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+if ! grep -Eq '[1-9][0-9]* quarantined' "$LOG"; then
+  echo "cluster_smoke: FAIL — the lying worker was never quarantined; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
 grep "cluster:" "$LOG" || true
 
-# The surviving workers retire cleanly when the master shuts the pool down.
-for pid in $W2_PID $W3_PID; do
+# The stopped worker was written off by the health protocol; wake it so it
+# can notice its closed channel and exit. Its exit status is not part of
+# the contract (it died from the master's point of view mid-task).
+kill -CONT "$W2_PID" 2>/dev/null || true
+wait "$W2_PID" 2>/dev/null || true
+W2_PID=""
+# The quarantined liar's channel was closed on it; not a clean retire
+# either, so its status is not asserted.
+wait "$LIAR_PID" 2>/dev/null || true
+LIAR_PID=""
+
+# The honest surviving workers retire cleanly when the master shuts the
+# pool down.
+for pid in $W3_PID $W4_PID; do
   if ! wait "$pid"; then
     echo "cluster_smoke: FAIL — worker $pid exited non-zero" >&2
     exit 1
   fi
 done
-W2_PID=""; W3_PID=""
+W3_PID=""; W4_PID=""
 
-echo "cluster_smoke: PASS ($NJOBS jobs, 3 workers, 1 killed mid-run)"
+echo "cluster_smoke: PASS ($NJOBS jobs, 5 workers: 1 killed, 1 stalled, 1 liar quarantined)"

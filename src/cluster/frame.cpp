@@ -37,9 +37,27 @@ const char* msg_type_name(MsgType t) {
     case MsgType::kMark: return "mark";
     case MsgType::kDone: return "done";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kHeartbeat: return "heartbeat";
   }
   return "?";
 }
+
+namespace {
+
+void put_checksum(std::ostringstream& os, const sort::Checksum& c) {
+  os << ' ' << c.count << ' ' << c.sum << ' ' << c.xor_ << ' ' << c.sum_sq;
+}
+
+sort::Checksum get_checksum(Parser& p) {
+  sort::Checksum c;
+  c.count = p.u64();
+  c.sum = p.u64();
+  c.xor_ = p.u64();
+  c.sum_sq = p.u64();
+  return c;
+}
+
+}  // namespace
 
 std::string encode_message(const WireMessage& m) {
   std::ostringstream os;
@@ -55,10 +73,15 @@ std::string encode_message(const WireMessage& m) {
          << m.job.svc_seq;
       svc::codec::put_job(os, m.job);
       svc::codec::put_plan(os, m.plan);
+      os << ' ' << m.heartbeat_ms << ' ' << (m.check_integrity ? 1 : 0);
+      put_checksum(os, m.expect);
       break;
     case MsgType::kMark:
       os << ' ' << m.task_id << ' ' << netstr(m.site) << ' '
          << dbl(m.virtual_ns);
+      break;
+    case MsgType::kHeartbeat:
+      os << ' ' << m.task_id << ' ' << m.beats << ' ' << dbl(m.virtual_ns);
       break;
     case MsgType::kDone:
       os << ' ' << m.task_id << ' ' << (m.ok ? 1 : 0) << ' '
@@ -67,6 +90,8 @@ std::string encode_message(const WireMessage& m) {
          << status_code_name(m.failure.code()) << ' '
          << netstr(m.failure.message()) << ' '
          << (m.failure.retryable() ? 1 : 0);
+      put_checksum(os, m.input_cs);
+      os << ' ' << m.run_hash;
       break;
     case MsgType::kShutdown:
       break;
@@ -97,11 +122,19 @@ Result<WireMessage> decode_message(const std::string& payload) {
         m.job = svc::codec::get_job(p);
         m.job.svc_seq = seq;
         m.plan = svc::codec::get_plan(p);
+        m.heartbeat_ms = p.i32();
+        m.check_integrity = p.b();
+        m.expect = get_checksum(p);
         break;
       }
       case MsgType::kMark:
         m.task_id = p.u64();
         m.site = p.str();
+        m.virtual_ns = p.d();
+        break;
+      case MsgType::kHeartbeat:
+        m.task_id = p.u64();
+        m.beats = p.u64();
         m.virtual_ns = p.d();
         break;
       case MsgType::kDone: {
@@ -116,6 +149,8 @@ Result<WireMessage> decode_message(const std::string& payload) {
         const bool retryable = p.b();
         m.failure =
             code == StatusCode::kOk ? Status() : Status(code, msg, retryable);
+        m.input_cs = get_checksum(p);
+        m.run_hash = p.u64();
         break;
       }
       case MsgType::kShutdown:
@@ -134,8 +169,8 @@ Status send_message(Channel& ch, const WireMessage& m) {
   return ch.send_frame(encode_message(m));
 }
 
-Result<WireMessage> recv_message(Channel& ch) {
-  Result<std::string> payload = ch.recv_frame();
+Result<WireMessage> recv_message(Channel& ch, int timeout_ms) {
+  Result<std::string> payload = ch.recv_frame(timeout_ms);
   if (!payload.ok()) return payload.status();
   return decode_message(*payload);
 }

@@ -8,16 +8,26 @@
 // shared svc/codec, so a JobSpec shipped to a worker is field-for-field
 // the same encoding the WAL journals at admission.
 //
-// Protocol (one task in flight per channel; the master drives):
+// Protocol v2 (one task in flight per channel; the master drives):
 //
 //   worker -> master   hello <version> <pid> <label>
 //   master -> worker   task <task_id> <attempt> <audit> <cache_budget>
 //                           <fault seed> <fault rate> <fault sites>
 //                           <job fields> <plan fields>
+//                           <heartbeat_ms> <integrity> <expect checksum>
+//   worker -> master   heartbeat <task_id> <beats> <virtual_ns> (periodic,
+//                           only when the task armed heartbeat_ms > 0)
 //   worker -> master   mark <task_id> <site> <virtual_ns>      (0..n times)
 //   worker -> master   done <task_id> <ok> <measured_ns> <passes>
 //                           <verified> <fired_site> <code> <msg> <retryable>
+//                           <input checksum> <run_hash>
 //   master -> worker   shutdown                                (drain + exit)
+//
+// v2 (ISSUE 9) added the heartbeat message and the integrity fields: the
+// task now ships the admission-time key-multiset fingerprint the worker's
+// input must hash to, and the done reports what the worker actually
+// consumed (input checksum) and produced (order-dependent run hash) so
+// the master can verify end to end before acking.
 //
 // decode_message never throws: a payload that does not parse (or names
 // an unknown message type) is a typed kCorruptFrame status, which the
@@ -28,6 +38,7 @@
 #include <string>
 
 #include "cluster/transport.hpp"
+#include "sort/verify.hpp"
 #include "svc/faults.hpp"
 #include "svc/job.hpp"
 
@@ -35,10 +46,10 @@ namespace dsm::cluster {
 
 /// Bumped on any incompatible grammar change; a hello with the wrong
 /// version is refused at handshake.
-constexpr int kProtocolVersion = 1;
+constexpr int kProtocolVersion = 2;
 
-enum class MsgType { kHello, kTask, kMark, kDone, kShutdown };
-constexpr int kMsgTypeCount = 5;
+enum class MsgType { kHello, kTask, kMark, kDone, kShutdown, kHeartbeat };
+constexpr int kMsgTypeCount = 6;
 
 const char* msg_type_name(MsgType t);
 
@@ -61,10 +72,20 @@ struct WireMessage {
   bool audit = false;
   std::uint64_t cache_budget = 0;  // input-cache bytes (0 = default)
   svc::FaultConfig faults;
+  /// Heartbeat period the worker must honour while running this task
+  /// (0 = no heartbeats, the v1 behaviour).
+  int heartbeat_ms = 0;
+  /// When set, the master verifies input_cs/verified against `expect`
+  /// before acking the done.
+  bool check_integrity = false;
+  sort::Checksum expect;
 
-  // kMark.
+  // kMark / kHeartbeat.
   std::string site;
   double virtual_ns = 0;
+
+  // kHeartbeat: beats emitted so far for this task (monotone from 1).
+  std::uint64_t beats = 0;
 
   // kDone.
   bool ok = false;
@@ -73,6 +94,9 @@ struct WireMessage {
   bool verified = false;
   int fired_site = -1;
   Status failure;  // meaningful when !ok
+  /// What the worker actually consumed and produced (ISSUE 9).
+  sort::Checksum input_cs;
+  std::uint64_t run_hash = 0;
 };
 
 std::string encode_message(const WireMessage& m);
@@ -81,7 +105,9 @@ Result<WireMessage> decode_message(const std::string& payload);
 
 /// encode + send (forwards the transport status).
 Status send_message(Channel& ch, const WireMessage& m);
-/// recv + decode (kPeerDead / kCorruptFrame / kIoError).
-Result<WireMessage> recv_message(Channel& ch);
+/// recv + decode (kPeerDead / kCorruptFrame / kIoError). `timeout_ms`
+/// forwards to Channel::recv_frame: < 0 blocks, otherwise a silent peer
+/// surfaces as retryable kPeerDead after that many ms.
+Result<WireMessage> recv_message(Channel& ch, int timeout_ms = -1);
 
 }  // namespace dsm::cluster

@@ -14,6 +14,7 @@ const char* worker_state_name(WorkerState s) {
     case WorkerState::kWorking: return "working";
     case WorkerState::kDraining: return "draining";
     case WorkerState::kDead: return "dead";
+    case WorkerState::kQuarantined: return "quarantined";
   }
   return "?";
 }
@@ -44,6 +45,28 @@ int cluster_workers_from_env() {
   const char* env = std::getenv("DSMSORT_CLUSTER_WORKERS");
   if (env == nullptr) return 0;
   return parse_cluster_workers("DSMSORT_CLUSTER_WORKERS", env);
+}
+
+int parse_heartbeat_ms(const char* name, const char* text) {
+  return static_cast<int>(sort::parse_kernel_env_number(
+      name, text, 0, 60000, "a heartbeat period in ms in [0, 60000]"));
+}
+
+int parse_suspect_after(const char* name, const char* text) {
+  return static_cast<int>(sort::parse_kernel_env_number(
+      name, text, 1, 1000, "a missed-heartbeat count in [1, 1000]"));
+}
+
+int heartbeat_ms_from_env() {
+  const char* env = std::getenv("DSMSORT_HEARTBEAT_MS");
+  if (env == nullptr) return 0;
+  return parse_heartbeat_ms("DSMSORT_HEARTBEAT_MS", env);
+}
+
+int suspect_after_from_env() {
+  const char* env = std::getenv("DSMSORT_SUSPECT_AFTER");
+  if (env == nullptr) return 3;
+  return parse_suspect_after("DSMSORT_SUSPECT_AFTER", env);
 }
 
 }  // namespace dsm::cluster

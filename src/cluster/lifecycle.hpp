@@ -5,11 +5,17 @@
 //   (spawn) -> kFree -> kWorking -> kFree           normal task cycle
 //                kFree -> kDraining -> kDead        elastic retire
 //             kWorking -> kDead                     crash / corrupt frame
+//             kWorking -> kQuarantined              repeated lying results
 //                kDead -> (respawn) -> kFree        master re-spawns
 //
 // kDraining exists so retirement is graceful: a draining worker gets a
 // shutdown message and is never leased again, but its process gets to
 // exit on its own; only transitions into kDead reap the pid.
+//
+// kQuarantined (ISSUE 9) is terminal like kDead — the process is reaped —
+// but kept distinct in the books: a quarantined worker was *caught lying*
+// (integrity fingerprint mismatches past the strike threshold), not
+// merely crashed, and the gauge must say so.
 //
 // target_worker_count is a pure function of the policy and the planner's
 // calibrated batch cost — the BSP framing from the ISSUE: predicted
@@ -23,8 +29,8 @@
 
 namespace dsm::cluster {
 
-enum class WorkerState { kFree, kWorking, kDraining, kDead };
-constexpr int kWorkerStateCount = 4;
+enum class WorkerState { kFree, kWorking, kDraining, kDead, kQuarantined };
+constexpr int kWorkerStateCount = 5;
 
 const char* worker_state_name(WorkerState s);
 
@@ -53,5 +59,20 @@ int parse_cluster_workers(const char* name, const char* text);
 
 /// DSMSORT_CLUSTER_WORKERS, strictly parsed (0 when unset).
 int cluster_workers_from_env();
+
+/// Strict parse for --heartbeat-ms / DSMSORT_HEARTBEAT_MS: a worker
+/// heartbeat period in ms, in [0, 60000] (0 = health protocol off).
+/// Garbage throws dsm::Error quoting the knob and the text.
+int parse_heartbeat_ms(const char* name, const char* text);
+
+/// Strict parse for --suspect-after / DSMSORT_SUSPECT_AFTER: how many
+/// missed heartbeat periods turn a worker suspect, in [1, 1000].
+int parse_suspect_after(const char* name, const char* text);
+
+/// DSMSORT_HEARTBEAT_MS, strictly parsed (0 when unset).
+int heartbeat_ms_from_env();
+
+/// DSMSORT_SUSPECT_AFTER, strictly parsed (3 when unset).
+int suspect_after_from_env();
 
 }  // namespace dsm::cluster

@@ -1,16 +1,21 @@
 #include "cluster/master.hpp"
 
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "cluster/frame.hpp"
+#include "cluster/health.hpp"
 #include "common/error.hpp"
 
 namespace dsm::cluster {
@@ -34,6 +39,9 @@ WorkerPool::WorkerPool(PoolConfig cfg) : cfg_(std::move(cfg)) {
   DSM_REQUIRE(cfg_.policy.max_workers >= 1, "pool needs max_workers >= 1");
   DSM_REQUIRE(cfg_.policy.min_workers >= 0, "min_workers >= 0");
   DSM_REQUIRE(cfg_.max_redispatch >= 0, "max_redispatch >= 0");
+  DSM_REQUIRE(cfg_.heartbeat_ms >= 0, "heartbeat_ms >= 0");
+  DSM_REQUIRE(cfg_.suspect_after >= 1, "suspect_after >= 1");
+  DSM_REQUIRE(cfg_.integrity_strikes >= 1, "integrity_strikes >= 1");
 }
 
 WorkerPool::~WorkerPool() { shutdown(); }
@@ -68,11 +76,21 @@ int WorkerPool::total_spawned() const {
   return total_spawned_;
 }
 
+int WorkerPool::quarantined_workers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& w : workers_) {
+    if (w->state == WorkerState::kQuarantined) ++n;
+  }
+  return n;
+}
+
 void WorkerPool::update_gauges_locked() {
   if (metrics_ == nullptr) return;
   int counts[kWorkerStateCount] = {};
   for (const auto& w : workers_) ++counts[static_cast<int>(w->state)];
-  metrics_->on_worker_gauge(counts[0], counts[1], counts[2], counts[3]);
+  metrics_->on_worker_gauge(counts[0], counts[1], counts[2], counts[3],
+                            counts[4]);
 }
 
 Status WorkerPool::spawn_locked(bool respawn) {
@@ -205,6 +223,19 @@ WorkerPool::Worker* WorkerPool::acquire() {
   }
 }
 
+WorkerPool::Worker* WorkerPool::try_acquire() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return nullptr;
+  for (auto& w : workers_) {
+    if (w->state == WorkerState::kFree && w->ch.valid()) {
+      w->state = WorkerState::kWorking;
+      update_gauges_locked();
+      return w.get();
+    }
+  }
+  return nullptr;
+}
+
 void WorkerPool::release(Worker& w) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (w.state == WorkerState::kWorking) w.state = WorkerState::kFree;
@@ -223,16 +254,61 @@ void WorkerPool::reap_locked(Worker& w) {
 }
 
 void WorkerPool::fail_worker(Worker& w) {
+  bool respawn = false;
+  long long wait_ms = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    const bool owned = !w.external;
+    reap_locked(w);
+    if (metrics_ != nullptr) metrics_->on_worker_death();
+    ++consecutive_deaths_;
+    // 1:1 replacement keeps the complement stable between batch
+    // boundaries; the elastic policy re-decides the size at the next
+    // note_batch anyway. Consecutive deaths back the respawn off
+    // (capped exponential) so a crash loop cannot melt the master.
+    respawn = owned && cfg_.fork_workers && !shutdown_;
+    wait_ms = respawn_backoff_ms(consecutive_deaths_,
+                                 cfg_.respawn_backoff_base_ms,
+                                 cfg_.respawn_backoff_cap_ms);
+    update_gauges_locked();
+    cv_.notify_all();
+  }
+  if (!respawn) return;
+  if (wait_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!shutdown_) spawn_locked(/*respawn=*/true);
+}
+
+void WorkerPool::cancel_worker(Worker& w) {
   const std::lock_guard<std::mutex> lock(mu_);
   const bool owned = !w.external;
   reap_locked(w);
-  if (metrics_ != nullptr) metrics_->on_worker_death();
-  if (owned && cfg_.fork_workers && !shutdown_) {
-    // 1:1 replacement keeps the complement stable between batch
-    // boundaries; the elastic policy re-decides the size at the next
-    // note_batch anyway.
-    spawn_locked(/*respawn=*/true);
+  if (metrics_ != nullptr) metrics_->on_hedge_loser();
+  if (owned && cfg_.fork_workers && !shutdown_) spawn_locked(/*respawn=*/true);
+  update_gauges_locked();
+  cv_.notify_all();
+}
+
+void WorkerPool::strike_worker(Worker& w) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++w.strikes;
+  if (w.strikes < cfg_.integrity_strikes) {
+    // Below the threshold the worker goes back in the pool: it is alive
+    // and responsive, and keeping the same identity leased is what lets
+    // a repeat offender accumulate strikes instead of hiding behind
+    // fresh respawns.
+    if (w.state == WorkerState::kWorking) w.state = WorkerState::kFree;
+    update_gauges_locked();
+    cv_.notify_all();
+    return;
   }
+  const bool owned = !w.external;
+  reap_locked(w);
+  w.state = WorkerState::kQuarantined;
+  if (metrics_ != nullptr) metrics_->on_worker_quarantine();
+  if (owned && cfg_.fork_workers && !shutdown_) spawn_locked(/*respawn=*/true);
   update_gauges_locked();
   cv_.notify_all();
 }
@@ -268,37 +344,173 @@ void WorkerPool::note_batch(std::size_t jobs, double predicted_ns,
   cv_.notify_all();
 }
 
-Status WorkerPool::drive(Worker& w, const svc::RemoteAttempt& attempt,
-                         const MarkFn& on_mark, svc::RemoteOutcome* out) {
-  WireMessage task;
-  task.type = MsgType::kTask;
-  {
-    const std::lock_guard<std::mutex> lock(mu_);
-    task.task_id = next_task_id_++;
-    task.faults = faults_;
-    task.cache_budget = cache_budget_;
-  }
-  task.job = attempt.job;
-  task.plan = attempt.plan;
-  task.attempt = attempt.attempt;
-  task.audit = attempt.audit;
+Status WorkerPool::drive(Worker* first, const svc::RemoteAttempt& attempt,
+                         const MarkFn& on_mark, const DispatchFn& on_dispatch,
+                         svc::RemoteOutcome* out) {
+  const bool health_on = cfg_.heartbeat_ms > 0;
+  const HealthPolicy hp{cfg_.heartbeat_ms, cfg_.suspect_after};
+  const long long dead_ms = 2 * suspect_budget_ms(hp);
 
-  Status s = send_message(w.ch, task);
-  if (!s.ok()) return s;
-  for (;;) {
-    Result<WireMessage> m = recv_message(w.ch);
-    if (!m.ok()) return m.status();
-    if (m->task_id != task.task_id) {
-      return Status::corrupt_frame("worker answered for task " +
-                                   std::to_string(m->task_id) +
-                                   ", expected " +
-                                   std::to_string(task.task_id));
+  std::vector<Copy> copies;
+  const auto dispatch = [&](Worker* w, bool hedge) -> Status {
+    WireMessage task;
+    task.type = MsgType::kTask;
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      task.task_id = next_task_id_++;
+      task.faults = faults_;
+      task.cache_budget = cache_budget_;
+    }
+    task.job = attempt.job;
+    task.plan = attempt.plan;
+    task.attempt = attempt.attempt;
+    task.audit = attempt.audit;
+    task.heartbeat_ms = cfg_.heartbeat_ms;
+    task.check_integrity = attempt.check_integrity;
+    task.expect = attempt.expect;
+    if (on_dispatch) on_dispatch(w->label);
+    if (metrics_ != nullptr) {
+      metrics_->on_remote_dispatch();
+      if (hedge) metrics_->on_hedge_issued();
+    }
+    const Status s = send_message(w->ch, task);
+    if (s.ok()) {
+      Copy c;
+      c.w = w;
+      c.task_id = task.task_id;
+      c.last_rx_s = now_s();
+      c.hedge = hedge;
+      copies.push_back(c);
+    }
+    return s;
+  };
+
+  {
+    const Status s = dispatch(first, /*hedge=*/false);
+    if (!s.ok()) {
+      fail_worker(*first);
+      return s;
+    }
+  }
+
+  // Both copies of a hedged task emit the identical deterministic mark
+  // stream; forwarding a copy's k-th mark only when k exceeds the global
+  // forwarded count dedups them without buffering.
+  std::uint64_t forwarded_marks = 0;
+  bool hedged = false;
+  Status last_err = Status::peer_dead("every copy of the task failed");
+  const int poll_ms = health_on ? std::max(1, cfg_.heartbeat_ms / 2) : -1;
+
+  while (!copies.empty()) {
+    if (health_on) {
+      const double now = now_s();
+      for (std::size_t i = 0; i < copies.size();) {
+        Copy& c = copies[i];
+        const long long silent_ms =
+            static_cast<long long>((now - c.last_rx_s) * 1e3);
+        const Health h = classify_health(hp, silent_ms);
+        if (h == Health::kDead) {
+          last_err = Status::peer_dead(
+              "worker " + c.w->label + " silent for " +
+              std::to_string(silent_ms) + "ms (dead threshold " +
+              std::to_string(dead_ms) + "ms)");
+          fail_worker(*c.w);
+          copies.erase(copies.begin() + static_cast<std::ptrdiff_t>(i));
+          continue;
+        }
+        if (h == Health::kSuspect && !hedged) {
+          // One hedge per attempt: duplicate the task to a free worker
+          // and let the first verified done win. If nobody is free the
+          // hedge is simply skipped this round (suspicion persists, so
+          // we try again next poll tick).
+          Worker* hw = try_acquire();
+          if (hw != nullptr) {
+            hedged = true;
+            const Status hs = dispatch(hw, /*hedge=*/true);
+            if (!hs.ok()) fail_worker(*hw);
+          }
+        }
+        ++i;
+      }
+      if (copies.empty()) return last_err;
+    }
+
+    int ready = -1;
+    if (copies.size() == 1 && !health_on) {
+      ready = 0;  // single copy, no deadline to police: block in read
+    } else {
+      std::vector<pollfd> fds(copies.size());
+      for (std::size_t i = 0; i < copies.size(); ++i) {
+        fds[i].fd = copies[i].w->ch.fd();
+        fds[i].events = POLLIN;
+        fds[i].revents = 0;
+      }
+      const int rc =
+          ::poll(fds.data(), static_cast<nfds_t>(fds.size()), poll_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        // Let the per-channel read surface the real error.
+        ready = 0;
+      } else if (rc == 0) {
+        continue;  // timeout: go re-classify health
+      } else {
+        for (std::size_t i = 0; i < fds.size(); ++i) {
+          if (fds[i].revents != 0) {
+            ready = static_cast<int>(i);
+            break;
+          }
+        }
+        if (ready < 0) continue;
+      }
+    }
+
+    Copy& c = copies[static_cast<std::size_t>(ready)];
+    Result<WireMessage> m =
+        recv_message(c.w->ch, health_on ? static_cast<int>(dead_ms) : -1);
+    if (!m.ok()) {
+      last_err = m.status();
+      fail_worker(*c.w);
+      copies.erase(copies.begin() + ready);
+      continue;
+    }
+    c.last_rx_s = now_s();
+    if (m->task_id != c.task_id) {
+      last_err = Status::corrupt_frame(
+          "worker answered for task " + std::to_string(m->task_id) +
+          ", expected " + std::to_string(c.task_id));
+      fail_worker(*c.w);
+      copies.erase(copies.begin() + ready);
+      continue;
+    }
+    if (m->type == MsgType::kHeartbeat) {
+      if (metrics_ != nullptr) metrics_->on_heartbeat();
+      continue;
     }
     if (m->type == MsgType::kMark) {
-      if (on_mark) on_mark(m->site.c_str(), m->virtual_ns);
+      ++c.marks;
+      if (c.marks > forwarded_marks) {
+        ++forwarded_marks;
+        if (on_mark) on_mark(m->site.c_str(), m->virtual_ns);
+      }
       continue;
     }
     if (m->type == MsgType::kDone) {
+      if (attempt.check_integrity && m->ok &&
+          !(m->input_cs == attempt.expect && m->verified)) {
+        // The worker claims success but its consumed-input fingerprint
+        // does not match what the master computed at planning time (or
+        // its own verification failed and it said ok anyway). Discard
+        // the result, charge the strike, and keep driving whatever
+        // copies remain (the attempt is retryable above us).
+        if (metrics_ != nullptr) metrics_->on_integrity_violation();
+        last_err = Status::integrity_violation(
+            "worker " + c.w->label +
+            " result failed the end-to-end fingerprint (discarded)");
+        Worker* liar = c.w;
+        copies.erase(copies.begin() + ready);
+        strike_worker(*liar);
+        continue;
+      }
       out->ran = true;
       out->ok = m->ok;
       out->failure = m->failure;
@@ -306,11 +518,27 @@ Status WorkerPool::drive(Worker& w, const svc::RemoteAttempt& attempt,
       out->passes = m->passes;
       out->verified = m->verified;
       out->fired_site = m->fired_site;
+      Worker* winner = c.w;
+      const bool winner_hedge = c.hedge;
+      // Cancel the losers: closing their channel aborts the duplicate
+      // sort cleanly worker-side (its next mark-send fails), and the
+      // determinism argument makes the aborted copy's outcome
+      // byte-identical to the one we just accepted.
+      for (std::size_t i = 0; i < copies.size(); ++i) {
+        if (static_cast<int>(i) == ready) continue;
+        cancel_worker(*copies[i].w);
+      }
+      copies.clear();
+      if (winner_hedge && metrics_ != nullptr) metrics_->on_hedge_won();
+      release(*winner);
       return Status();
     }
-    return Status::corrupt_frame(std::string("unexpected ") +
-                                 msg_type_name(m->type) + " from worker");
+    last_err = Status::corrupt_frame(std::string("unexpected ") +
+                                     msg_type_name(m->type) + " from worker");
+    fail_worker(*c.w);
+    copies.erase(copies.begin() + ready);
   }
+  return last_err;
 }
 
 svc::RemoteOutcome WorkerPool::run_attempt(const svc::RemoteAttempt& attempt,
@@ -327,23 +555,23 @@ svc::RemoteOutcome WorkerPool::run_attempt(const svc::RemoteAttempt& attempt,
           (death.ok() ? std::string() : " (" + death.to_string() + ")"));
       return out;
     }
-    if (on_dispatch) on_dispatch(w->label);
-    if (metrics_ != nullptr) metrics_->on_remote_dispatch();
     const double t0 = now_s();
-    const Status s = drive(*w, attempt, on_mark, &out);
+    const Status s = drive(w, attempt, on_mark, on_dispatch, &out);
     if (s.ok()) {
       if (metrics_ != nullptr) {
         metrics_->on_remote_ack((now_s() - t0) * 1e6);  // host us
       }
-      release(*w);
+      const std::lock_guard<std::mutex> lock(mu_);
+      consecutive_deaths_ = 0;  // an ack resets the respawn backoff
       return out;
     }
-    // The worker died (or lied, which is the same thing) mid-task:
+    // Every copy of the task failed — the worker died, went silent past
+    // the dead threshold, or returned a result that flunked integrity:
     // re-drive the identical attempt elsewhere. Worker-side execution is
     // deterministic per (job, plan, attempt, faults), so the re-dispatch
-    // reproduces the lost outcome bit-for-bit.
+    // reproduces the lost outcome bit-for-bit. drive() already settled
+    // every worker it touched (fail/strike/cancel/release).
     death = s;
-    fail_worker(*w);
     if (metrics_ != nullptr && deaths < cfg_.max_redispatch) {
       metrics_->on_redispatch();
     }

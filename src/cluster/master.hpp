@@ -12,15 +12,31 @@
 // Leasing: each of the server's executor threads blocks in run_attempt
 // until a free worker exists, leases it, drives the whole task
 // conversation (task -> marks -> done) over that worker's channel, and
-// releases it. One task per channel at a time; no multiplexing, no
-// timeouts — a worker either answers or dies, and death (kPeerDead or a
-// corrupt frame — a lying worker is a dead worker) triggers bounded
-// re-dispatch of the *same* attempt to another worker. Because worker-
-// side execution is a pure function of (job, plan, attempt, fault
-// config), a re-dispatched attempt reproduces the dead worker's outcome
-// bit-for-bit: crash re-dispatch cannot perturb replay output. The
-// master never executes sorts itself in cluster mode; losing a worker
-// never loses a job, and no job executes its terminal effects twice.
+// releases it. One task per channel at a time; death (kPeerDead or a
+// corrupt frame) triggers bounded re-dispatch of the *same* attempt to
+// another worker. Because worker-side execution is a pure function of
+// (job, plan, attempt, fault config), a re-dispatched attempt reproduces
+// the dead worker's outcome bit-for-bit: crash re-dispatch cannot
+// perturb replay output. The master never executes sorts itself in
+// cluster mode; losing a worker never loses a job, and no job executes
+// its terminal effects twice.
+//
+// Gray failures (ISSUE 9, DESIGN.md §12). With heartbeat_ms > 0 the
+// drive loop polices *silence* with the pure health lattice in
+// health.hpp: a worker silent past the suspect budget gets its task
+// hedged to a free worker (same job/plan/attempt — the duplicate is
+// byte-equivalent by the purity argument above, so whichever copy
+// finishes first wins and the loser is cancelled without perturbing
+// replay); silent past twice the budget it is written off as dead.
+// Every successful done is integrity-checked before it counts: the
+// worker's reported input multiset checksum must equal the expectation
+// computed master-side at planning time, and its sorted-run verification
+// must have passed. A mismatch is a typed kIntegrityViolation — the
+// result is discarded, the attempt re-dispatched, and the worker struck;
+// integrity_strikes strikes move it to kQuarantined (reaped, its own
+// gauge, never leased again). Respawns after consecutive deaths back
+// off exponentially (capped) so a crash-looping host cannot melt the
+// master.
 //
 // Elasticity: resizing happens only at batch boundaries (note_batch on
 // the server thread): spawn up to the lifecycle policy's target, retire
@@ -56,6 +72,20 @@ struct PoolConfig {
   bool fork_workers = true;
   /// Label prefix and (for fork-spawned workers) the crash hook.
   WorkerOptions worker;
+
+  /// Heartbeat period workers must honour (--heartbeat-ms /
+  /// DSMSORT_HEARTBEAT_MS). 0 disables the health protocol: reads block
+  /// without bound and no hedging happens (the PR 7 behaviour).
+  int heartbeat_ms = 0;
+  /// Missed heartbeat periods before a leased worker turns suspect
+  /// (--suspect-after / DSMSORT_SUSPECT_AFTER); dead at twice that.
+  int suspect_after = 3;
+  /// Integrity violations a worker may accumulate before quarantine.
+  int integrity_strikes = 2;
+  /// Capped exponential backoff before respawning after consecutive
+  /// worker deaths (health.hpp respawn_backoff_ms).
+  int respawn_backoff_base_ms = 1;
+  int respawn_backoff_cap_ms = 200;
 };
 
 class WorkerPool final : public svc::RemoteExecutor {
@@ -91,6 +121,8 @@ class WorkerPool final : public svc::RemoteExecutor {
   int alive_workers() const;
   /// Lifetime spawn count (fork + accepted), for tests.
   int total_spawned() const;
+  /// Workers in kQuarantined (caught lying), for tests.
+  int quarantined_workers() const;
 
   const PoolConfig& config() const { return cfg_; }
 
@@ -102,18 +134,44 @@ class WorkerPool final : public svc::RemoteExecutor {
     bool external = false;
     Channel ch;
     WorkerState state = WorkerState::kFree;
+    /// Integrity violations charged to this worker (survives release:
+    /// a liar that stays polite still accumulates strikes).
+    int strikes = 0;
+  };
+
+  /// One dispatched copy of an attempt inside drive(): the primary, or
+  /// a hedge duplicate issued when the primary turned suspect.
+  struct Copy {
+    Worker* w = nullptr;
+    std::uint64_t task_id = 0;
+    double last_rx_s = 0;       // host time of the last frame received
+    std::uint64_t marks = 0;    // marks received from this copy
+    bool hedge = false;
   };
 
   /// Lease a free worker; blocks until one exists. Returns nullptr when
   /// the pool is shut down or permanently worker-less.
   Worker* acquire();
+  /// Non-blocking lease for hedging: nullptr when no worker is free
+  /// right now (the hedge is simply skipped this round).
+  Worker* try_acquire();
   void release(Worker& w);
-  /// Channel failure while leased: reap, count the death, respawn when
-  /// allowed.
+  /// Channel failure while leased: reap, count the death, respawn (with
+  /// capped-exponential backoff) when allowed.
   void fail_worker(Worker& w);
-  /// Run the task conversation on a leased worker's channel.
-  Status drive(Worker& w, const svc::RemoteAttempt& attempt,
-               const MarkFn& on_mark, svc::RemoteOutcome* out);
+  /// Hedge loser: reap without counting a death, respawn when allowed.
+  void cancel_worker(Worker& w);
+  /// Integrity strike: below the threshold the (alive, responsive)
+  /// worker is released so repeat offences accumulate on the same
+  /// identity; at the threshold it is reaped into kQuarantined.
+  void strike_worker(Worker& w);
+  /// Run the task conversation: dispatch to `first`, police health,
+  /// hedge on suspicion, verify integrity, settle winners/losers. Owns
+  /// the lifecycle of every worker it touches (release/cancel/fail);
+  /// a non-OK return means every copy failed and `first` is dead.
+  Status drive(Worker* first, const svc::RemoteAttempt& attempt,
+               const MarkFn& on_mark, const DispatchFn& on_dispatch,
+               svc::RemoteOutcome* out);
 
   Status spawn_locked(bool respawn);
   void retire_locked(Worker& w);
@@ -133,6 +191,8 @@ class WorkerPool final : public svc::RemoteExecutor {
   int next_worker_id_ = 0;
   int total_spawned_ = 0;
   std::uint64_t next_task_id_ = 0;
+  /// Worker deaths with no intervening successful ack (backoff input).
+  int consecutive_deaths_ = 0;
   bool shutdown_ = false;
 
   Channel listener_;

@@ -1,5 +1,6 @@
 #include "cluster/transport.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -38,10 +39,18 @@ Status write_full(int fd, const char* p, std::size_t len) {
 
 /// Read exactly `len` bytes with EINTR retry. `*got` reports how many
 /// bytes arrived before EOF (so the caller can tell a clean close from a
-/// mid-frame death).
-Status read_full(int fd, char* p, std::size_t len, std::size_t* got) {
+/// mid-frame death). With `timeout_ms >= 0`, each chunk waits at most
+/// that long for readability before surfacing a silent-peer kPeerDead.
+Status read_full(int fd, char* p, std::size_t len, std::size_t* got,
+                 int timeout_ms) {
   *got = 0;
   while (*got < len) {
+    if (!poll_readable(fd, timeout_ms)) {
+      return Status::peer_dead("silent peer (no bytes for " +
+                               std::to_string(timeout_ms) + "ms, " +
+                               std::to_string(*got) + "/" +
+                               std::to_string(len) + " bytes)");
+    }
     const ssize_t n = ::read(fd, p + *got, len - *got);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -82,6 +91,20 @@ Result<sockaddr_un> unix_addr(const std::string& path) {
 }
 
 }  // namespace
+
+bool poll_readable(int fd, int timeout_ms) {
+  if (timeout_ms < 0) return true;  // caller opted into blocking reads
+  for (;;) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return true;  // readable, EOF, or error — read() resolves it
+    if (rc == 0) return false;
+    if (errno != EINTR) return true;  // let read() report the real error
+  }
+}
 
 Channel::Channel(int fd) : fd_(fd) { ignore_sigpipe(); }
 
@@ -126,13 +149,16 @@ Status Channel::send_frame(const std::string& payload) {
   return write_full(fd_, buf.data(), buf.size());
 }
 
-Result<std::string> Channel::recv_frame() {
+Result<std::string> Channel::recv_frame(int timeout_ms) {
   if (fd_ < 0) return Status::peer_dead("channel closed locally");
   char header[8];
   std::size_t got = 0;
-  Status s = read_full(fd_, header, sizeof header, &got);
+  Status s = read_full(fd_, header, sizeof header, &got, timeout_ms);
   if (!s.ok()) {
-    if (s.code() == StatusCode::kPeerDead && got > 0) {
+    // A timeout already carries the "silent peer" diagnosis; only a real
+    // EOF after partial bytes is re-labelled as a torn header.
+    if (s.code() == StatusCode::kPeerDead && got > 0 &&
+        s.message().find("silent peer") == std::string::npos) {
       return Status::peer_dead("peer died mid-frame (torn header, " +
                                std::to_string(got) + "/8 bytes)");
     }
@@ -146,9 +172,10 @@ Result<std::string> Channel::recv_frame() {
   }
   std::string payload(len, '\0');
   if (len > 0) {
-    s = read_full(fd_, payload.data(), len, &got);
+    s = read_full(fd_, payload.data(), len, &got, timeout_ms);
     if (!s.ok()) {
-      if (s.code() == StatusCode::kPeerDead) {
+      if (s.code() == StatusCode::kPeerDead &&
+          s.message().find("silent peer") == std::string::npos) {
         return Status::peer_dead("peer died mid-frame (torn payload, " +
                                  std::to_string(got) + "/" +
                                  std::to_string(len) + " bytes)");

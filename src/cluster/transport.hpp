@@ -59,11 +59,23 @@ class Channel {
   Status send_frame(const std::string& payload);
 
   /// Read one full frame and return its verified payload.
-  Result<std::string> recv_frame();
+  ///
+  /// `timeout_ms < 0` blocks without bound (the pre-ISSUE-9 behaviour).
+  /// Otherwise every read chunk is gated by poll(2): a peer that goes
+  /// silent for `timeout_ms` — before the first byte or mid-frame — is
+  /// reported as retryable kPeerDead ("silent peer"), never a hang. The
+  /// timeout is per-chunk, not per-frame, so a slow-but-alive peer
+  /// streaming a large frame is not misclassified.
+  Result<std::string> recv_frame(int timeout_ms = -1);
 
  private:
   int fd_ = -1;
 };
+
+/// poll(2) for readability with EINTR retry. Returns true when `fd` has
+/// data (or EOF) ready within `timeout_ms`, false on timeout.
+/// `timeout_ms < 0` blocks without bound (always true).
+bool poll_readable(int fd, int timeout_ms);
 
 struct ChannelPair {
   Channel parent;  // master keeps this end

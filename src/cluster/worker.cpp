@@ -2,8 +2,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "cluster/frame.hpp"
@@ -35,6 +40,51 @@ WireMessage run_task(const WireMessage& task, Channel& ch,
   if (task.cache_budget != 0) {
     sort::input_cache_set_budget(task.cache_budget);
   }
+
+  // Heartbeat machinery (ISSUE 9): while the sort runs, a side thread
+  // emits kHeartbeat frames every task.heartbeat_ms so the master can
+  // tell a slow worker from a stopped one. Marks and heartbeats share
+  // one fd, so every send serializes through send_mu — a frame torn by
+  // interleaved writers would read as wire corruption at the master.
+  std::mutex send_mu;
+  const auto locked_send = [&send_mu, &ch](const WireMessage& msg) {
+    std::lock_guard<std::mutex> lock(send_mu);
+    return send_message(ch, msg);
+  };
+  std::atomic<double> last_virtual_ns{0};
+  std::mutex beat_mu;
+  std::condition_variable beat_cv;
+  bool stop_beats = false;
+  std::thread beater;
+  if (task.heartbeat_ms > 0) {
+    beater = std::thread([&] {
+      std::uint64_t beats = 0;
+      std::unique_lock<std::mutex> lock(beat_mu);
+      for (;;) {
+        if (beat_cv.wait_for(lock,
+                             std::chrono::milliseconds(task.heartbeat_ms),
+                             [&] { return stop_beats; })) {
+          return;
+        }
+        WireMessage hb;
+        hb.type = MsgType::kHeartbeat;
+        hb.task_id = task.task_id;
+        hb.beats = ++beats;
+        hb.virtual_ns = last_virtual_ns.load(std::memory_order_relaxed);
+        if (!locked_send(hb).ok()) return;  // master gone; the sort's next
+                                            // mark-send will notice too
+      }
+    });
+  }
+  const auto stop_beater = [&] {
+    if (!beater.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(beat_mu);
+      stop_beats = true;
+    }
+    beat_cv.notify_all();
+    beater.join();
+  };
   sort::SortSpec spec = svc::sort_spec_for(task.job, task.plan.algo,
                                            task.plan.model,
                                            task.plan.radix_bits);
@@ -50,15 +100,16 @@ WireMessage run_task(const WireMessage& task, Channel& ch,
     // faults, no deadline — the local audit contract.
     spec.trace_json_path.clear();
   } else {
-    spec.hooks.on_site = [&ch, &task, &opts, &injector, &fired_site,
-                          deadline_ns, abortable](const char* site,
-                                                  double virtual_ns) {
+    spec.hooks.on_site = [&task, &opts, &injector, &fired_site, &locked_send,
+                          &last_virtual_ns, deadline_ns,
+                          abortable](const char* site, double virtual_ns) {
+      last_virtual_ns.store(virtual_ns, std::memory_order_relaxed);
       WireMessage mark;
       mark.type = MsgType::kMark;
       mark.task_id = task.task_id;
       mark.site = site;
       mark.virtual_ns = virtual_ns;
-      const Status sent = send_message(ch, mark);
+      const Status sent = locked_send(mark);
       if (!sent.ok()) {
         // The master is gone; abort the sort cleanly (the team poison
         // machinery unwinds every rank) and let the main loop exit.
@@ -86,12 +137,22 @@ WireMessage run_task(const WireMessage& task, Channel& ch,
   }
 
   const Result<sort::SortResult> r = sort::try_run_sort(spec);
+  stop_beater();
   done.fired_site = fired_site;
   if (r.ok()) {
     done.ok = true;
     done.measured_ns = r->elapsed_ns;
     done.passes = r->passes;
     done.verified = r->verified;
+    done.input_cs = r->input_checksum;
+    done.run_hash = r->run_hash;
+    if (opts.lie) {
+      // Corrupt the consumed-input report: the sorted-run shape stays
+      // plausible, but the multiset fingerprint can no longer match the
+      // admission-time expectation.
+      done.input_cs.sum ^= 0xdeadbeefcafef00dull;
+      done.run_hash ^= 0xbadc0ffee0ddf00dull;
+    }
   } else {
     done.ok = false;
     done.failure = r.status();

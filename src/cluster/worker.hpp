@@ -27,6 +27,13 @@ struct WorkerOptions {
   /// to kill this worker at a precise mid-job point. Only usable for
   /// fork-spawned workers (a std::function cannot cross the wire).
   std::function<void(const char* site, std::uint64_t seq)> crash_hook;
+
+  /// Chaos knob (--lie on dsmsort_workerd): report results with a
+  /// bit-flipped input checksum — the gray failure where a worker's
+  /// memory or disk corrupted the data it sorted, so its locally
+  /// successful result must fail the master's end-to-end integrity
+  /// check. The sort itself still runs honestly; only the report lies.
+  bool lie = false;
 };
 
 /// Serve tasks on `ch` until shutdown (returns 0) or channel death

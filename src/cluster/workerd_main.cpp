@@ -22,7 +22,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --connect <socket-path> [--label <name>]\n"
                "           [--connect-retries <n>]   (100ms apart; "
-               "default 50)\n",
+               "default 50)\n"
+               "           [--lie]   (chaos: report bit-flipped result "
+               "fingerprints)\n",
                argv0);
   return 2;
 }
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
   std::string path;
   std::string label = "workerd";
   long retries = 50;
+  bool lie = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--connect") == 0 && i + 1 < argc) {
@@ -41,6 +44,8 @@ int main(int argc, char** argv) {
       label = argv[++i];
     } else if (std::strcmp(arg, "--connect-retries") == 0 && i + 1 < argc) {
       retries = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(arg, "--lie") == 0) {
+      lie = true;
     } else {
       return usage(argv[0]);
     }
@@ -61,5 +66,6 @@ int main(int argc, char** argv) {
 
   dsm::cluster::WorkerOptions opts;
   opts.label = label;
+  opts.lie = lie;
   return dsm::cluster::worker_main(std::move(*ch), opts);
 }

@@ -11,11 +11,43 @@
 // survive power loss, not just process death.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "common/status.hpp"
 
 namespace dsm {
+
+/// Deterministic disk-fault injection for the durability layer
+/// (DESIGN.md §12). When armed (seed != 0 and rate > 0), every write or
+/// fsync issued through faulty_write_all / faulty_fsync consults a pure
+/// hash of (seed, global op index): below `rate` the op fails with a
+/// seeded flavour — ENOSPC, EIO, or a short write that really tears the
+/// record on disk before erroring (writes the first half of the buffer,
+/// the exact shape a full disk produces). fsync faults always surface as
+/// EIO. Process-global, intended for tests and the chaos bench; disarmed
+/// it costs one relaxed atomic increment per op.
+struct FsFaultConfig {
+  std::uint64_t seed = 0;  // 0 disarms the shim
+  double rate = 0;         // per-op fault probability in [0, 1]
+};
+
+/// Install `cfg` and reset the op and fired counters, so a run's fault
+/// schedule is a pure function of the config (same seed => same ops fail
+/// in the same way, independent of wall clock or pid).
+void set_fs_fault_config(const FsFaultConfig& cfg);
+FsFaultConfig fs_fault_config();
+/// Injected faults fired since the last set_fs_fault_config.
+std::uint64_t fs_faults_fired();
+
+/// write(2) the whole buffer with EINTR retry, consulting the fault shim
+/// first. kIoError on failure (injected or real); errno-style detail in
+/// the message, `what` names the destination.
+Status faulty_write_all(int fd, const char* data, std::size_t size,
+                        const std::string& what);
+/// fsync_retry through the fault shim. kIoError on failure.
+Status faulty_fsync(int fd, const std::string& what);
 
 /// Atomically replace `path` with `content` (tmp + fsync + rename +
 /// directory fsync). Non-throwing; returns kIoError on any failure, in

@@ -38,6 +38,7 @@ enum class StatusCode {
   kQuarantined,        // job repeatedly crashed the process; not re-run
   kCorruptFrame,       // cluster wire frame failed its CRC / length check
   kPeerDead,           // cluster peer closed or died mid-frame
+  kIntegrityViolation, // worker result failed the end-to-end fingerprint
   kInternal,           // invariant violation or unclassified failure
 };
 
@@ -90,6 +91,11 @@ class Status {
     // The work the peer was doing can be re-driven elsewhere: retryable.
     return Status(StatusCode::kPeerDead, std::move(msg), true);
   }
+  static Status integrity_violation(std::string msg) {
+    // The *result* is poisoned, not the job: re-running it on another
+    // (honest) worker can succeed, so the attempt is retryable.
+    return Status(StatusCode::kIntegrityViolation, std::move(msg), true);
+  }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg), false);
   }
@@ -134,6 +140,7 @@ inline const char* status_code_name(StatusCode c) {
     case StatusCode::kQuarantined: return "QUARANTINED";
     case StatusCode::kCorruptFrame: return "CORRUPT_FRAME";
     case StatusCode::kPeerDead: return "PEER_DEAD";
+    case StatusCode::kIntegrityViolation: return "INTEGRITY_VIOLATION";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "?";

@@ -139,6 +139,8 @@ SortResult finish(const SortSpec& spec, sim::SimTeam& team,
     res.verified = verify_runs(input, runs);
   }
   DSM_CHECK(res.verified, "sort produced an incorrect result");
+  res.input_checksum = input;
+  res.run_hash = run_order_hash(std::span<const std::span<const Key>>(runs));
   maybe_write_trace(spec, team);
   return res;
 }

@@ -30,6 +30,7 @@
 #include "msg/transport.hpp"
 #include "sim/clock.hpp"
 #include "sort/kernels.hpp"
+#include "sort/verify.hpp"
 
 namespace dsm::sort {
 
@@ -184,6 +185,14 @@ struct SortResult {
   int passes = 0;                         // radix passes used (per local sort)
   bool verified = false;
   Index n = 0;
+
+  /// End-to-end integrity fingerprints (DESIGN.md §12): the multiset
+  /// checksum of the keys this sort actually consumed, and the
+  /// order-dependent hash of the runs it produced. A cluster worker
+  /// reports both so the master can verify the result against the
+  /// admission-time expectation before acking.
+  Checksum input_checksum;
+  std::uint64_t run_hash = 0;
 
   double elapsed_us() const { return elapsed_ns / 1e3; }
 

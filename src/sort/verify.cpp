@@ -53,6 +53,17 @@ bool verify_sorted_runs(const Checksum& input,
   return sorted && c == input;
 }
 
+std::uint64_t run_order_hash(std::span<const std::span<const Key>> runs) {
+  // FNV-1a, one 32-bit key per step: position-sensitive by construction.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const auto& run : runs) {
+    for (const Key k : run) {
+      h = (h ^ static_cast<std::uint64_t>(k)) * 1099511628211ull;
+    }
+  }
+  return h;
+}
+
 bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b) {
   if (a.size() != b.size()) return false;
   std::vector<Key> sa(a.begin(), a.end());

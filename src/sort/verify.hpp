@@ -37,6 +37,14 @@ bool verify_sorted_runs(const Checksum& input,
 /// Exact multiset equality (sorts copies; test-only sizes).
 bool exact_multiset_equal(std::span<const Key> a, std::span<const Key> b);
 
+/// Order-DEPENDENT fingerprint of the concatenated runs (FNV-1a over the
+/// key bytes in output order). The complement of the multiset Checksum:
+/// the Checksum proves a worker's result is a permutation of the input it
+/// was asked to sort; this hash pins *which* permutation, so the master
+/// can tell two honest hedged results agree without shipping the keys
+/// back over the wire (DESIGN.md §12).
+std::uint64_t run_order_hash(std::span<const std::span<const Key>> runs);
+
 /// Order-independent fingerprint of the (key, payload) pair multiset —
 /// each pair mixed through a 64-bit finalizer before the commutative
 /// folds, so swapping payloads between equal-position pairs changes it.

@@ -233,26 +233,28 @@ JournalWriter::JournalWriter(JournalConfig cfg, std::uint64_t next_lsn)
   DSM_REQUIRE(!cfg_.dir.empty(), "journal needs a directory");
   ensure_dir(cfg_.dir);
   const std::lock_guard<std::mutex> lock(mu_);
-  open_segment_locked();
+  if (!try_open_segment_locked(next_lsn_)) {
+    throw StatusError(Status::io_error(
+        "open " + cfg_.dir + "/" + segment_name(next_lsn_) + ": " +
+        std::strerror(errno)));
+  }
 }
 
 JournalWriter::~JournalWriter() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-void JournalWriter::open_segment_locked() {
+bool JournalWriter::try_open_segment_locked(std::uint64_t first_lsn) {
   // O_TRUNC, not O_EXCL: a crash immediately after a rotate can leave an
   // empty (or torn-only) segment with this exact start LSN. Recovery
   // computes next_lsn as max-seen + 1, so any segment already named by
-  // next_lsn_ holds no valid records and truncating it is safe.
-  const std::string path = cfg_.dir + "/" + segment_name(next_lsn_);
+  // first_lsn holds no valid records and truncating it is safe.
+  const std::string path = cfg_.dir + "/" + segment_name(first_lsn);
   fd_ = open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd_ < 0) {
-    throw StatusError(Status::io_error("open " + path + ": " +
-                                       std::strerror(errno)));
-  }
+  if (fd_ < 0) return false;
   segment_bytes_ = 0;
   fsync_parent_dir(path);
+  return true;
 }
 
 void JournalWriter::fire_hook(const char* site, std::uint64_t seq) {
@@ -262,6 +264,21 @@ void JournalWriter::fire_hook(const char* site, std::uint64_t seq) {
 std::uint64_t JournalWriter::append(JournalRecord r) {
   const std::lock_guard<std::mutex> lock(mu_);
   r.lsn = next_lsn_++;
+  const bool healing = degraded_;
+  if (degraded_) {
+    // The failed segment may end in a torn record, and nothing must ever
+    // be appended after a torn record (the reader stops there and would
+    // silently drop everything behind it). Heal onto a FRESH segment
+    // named by this record's LSN; until one opens, keep dropping.
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    if (!try_open_segment_locked(r.lsn)) {
+      ++dropped_;
+      return r.lsn;
+    }
+  }
   const std::string payload = encode_record(r);
   std::string frame;
   frame.reserve(payload.size() + 8);
@@ -269,42 +286,64 @@ std::uint64_t JournalWriter::append(JournalRecord r) {
   put_u32le(frame, crc32(payload.data(), payload.size()));
   frame += payload;
 
-  std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw StatusError(Status::io_error("journal append: " +
-                                         std::string(std::strerror(errno))));
-    }
-    off += static_cast<std::size_t>(n);
-  }
+  Status io = faulty_write_all(fd_, frame.data(), frame.size(),
+                               "journal append");
   const std::string site_base =
       std::string("journal.") + record_type_name(r.type);
   fire_hook((site_base + ".before-fsync").c_str(), r.seq);
-  if (cfg_.fsync_data && fsync_retry(fd_) != 0) {
-    throw StatusError(Status::io_error("journal fsync: " +
-                                       std::string(std::strerror(errno))));
+  if (io.ok() && cfg_.fsync_data) {
+    io = faulty_fsync(fd_, "journal fsync");
   }
   fire_hook((site_base + ".after-fsync").c_str(), r.seq);
+  if (!io.ok()) {
+    // Disk fault (injected or real): degrade instead of throwing. The
+    // service keeps serving; the record is dropped and counted, and the
+    // next append tries a fresh segment.
+    ::close(fd_);
+    fd_ = -1;
+    degraded_ = true;
+    ++dropped_;
+    return r.lsn;
+  }
+  if (healing) {
+    degraded_ = false;
+    ++heals_;
+  }
 
   segment_bytes_ += frame.size();
   if (segment_bytes_ >= cfg_.segment_max_bytes) {
     ::close(fd_);
-    open_segment_locked();
+    fd_ = -1;
+    if (!try_open_segment_locked(next_lsn_)) degraded_ = true;
   }
   return r.lsn;
 }
 
 void JournalWriter::rotate() {
   const std::lock_guard<std::mutex> lock(mu_);
-  ::close(fd_);
-  open_segment_locked();
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  if (!try_open_segment_locked(next_lsn_)) degraded_ = true;
 }
 
 std::uint64_t JournalWriter::next_lsn() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return next_lsn_;
+}
+
+bool JournalWriter::degraded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+std::uint64_t JournalWriter::records_dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::uint64_t JournalWriter::heals() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return heals_;
 }
 
 std::vector<std::string> list_segments(const std::string& dir) {

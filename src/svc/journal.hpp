@@ -116,6 +116,15 @@ class JournalWriter {
 
   /// Assign the next LSN to `r`, frame it, append it to the current
   /// segment and (by default) fsync. Thread-safe; returns the LSN.
+  ///
+  /// Disk faults do not throw (DESIGN.md §12): a failed write or fsync
+  /// closes the segment (a torn record may sit at its tail, and nothing
+  /// must ever be appended after a torn record — the reader stops there),
+  /// drops the record, and puts the writer in *degraded* mode. Every
+  /// subsequent append first tries to heal onto a fresh segment named by
+  /// its own LSN; until one succeeds, records keep being dropped and
+  /// counted. LSNs are consumed even for dropped records — recovery
+  /// computes next_lsn as max-seen + 1, so LSN gaps are harmless.
   std::uint64_t append(JournalRecord r);
 
   /// Close the current segment and open a fresh one starting at the
@@ -125,8 +134,13 @@ class JournalWriter {
 
   std::uint64_t next_lsn() const;
 
+  /// Degraded-durability introspection (all monotone except degraded()).
+  bool degraded() const;
+  std::uint64_t records_dropped() const;
+  std::uint64_t heals() const;
+
  private:
-  void open_segment_locked();
+  bool try_open_segment_locked(std::uint64_t first_lsn);
   void fire_hook(const char* site, std::uint64_t seq);
 
   JournalConfig cfg_;
@@ -134,6 +148,9 @@ class JournalWriter {
   std::uint64_t next_lsn_;
   std::uint64_t segment_bytes_ = 0;
   int fd_ = -1;
+  bool degraded_ = false;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t heals_ = 0;
 };
 
 /// Journal segments in `dir`, sorted by first LSN (empty if none).

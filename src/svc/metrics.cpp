@@ -135,14 +135,66 @@ void Metrics::on_worker_retire() {
   ++cl_.workers_retired;
 }
 
-void Metrics::on_worker_gauge(int free, int working, int draining, int dead) {
+void Metrics::on_worker_gauge(int free, int working, int draining, int dead,
+                              int quarantined) {
   const std::lock_guard<std::mutex> lock(mu_);
   cl_.gauge_free = static_cast<std::uint64_t>(std::max(0, free));
   cl_.gauge_working = static_cast<std::uint64_t>(std::max(0, working));
   cl_.gauge_draining = static_cast<std::uint64_t>(std::max(0, draining));
   cl_.gauge_dead = static_cast<std::uint64_t>(std::max(0, dead));
+  cl_.gauge_quarantined = static_cast<std::uint64_t>(std::max(0, quarantined));
   cl_.peak_alive =
       std::max(cl_.peak_alive, cl_.gauge_free + cl_.gauge_working);
+}
+
+void Metrics::on_heartbeat() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.heartbeats;
+}
+
+void Metrics::on_hedge_issued() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.hedges_issued;
+}
+
+void Metrics::on_hedge_won() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.hedges_won;
+}
+
+void Metrics::on_hedge_loser() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.hedge_losers;
+}
+
+void Metrics::on_integrity_violation() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.integrity_violations;
+}
+
+void Metrics::on_worker_quarantine() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++cl_.workers_quarantined;
+}
+
+void Metrics::on_degraded_append(std::uint64_t records) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  dh_.degraded_appends += records;
+}
+
+void Metrics::on_non_durable_jobs(std::uint64_t jobs) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  dh_.non_durable_jobs += jobs;
+}
+
+void Metrics::on_durability_heal() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++dh_.heals;
+}
+
+void Metrics::on_snapshot_failure() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++dh_.snapshot_failures;
 }
 
 void Metrics::on_fault(FaultSite site) {
@@ -168,6 +220,11 @@ Metrics::Durability Metrics::durability() const {
 Metrics::Cluster Metrics::cluster() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return cl_;
+}
+
+Metrics::DiskHealth Metrics::disk_health() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dh_;
 }
 
 Metrics::State Metrics::export_state() const {
@@ -302,16 +359,33 @@ std::string Metrics::cluster_json() const {
      << ", \"workers_spawned\": " << cl.workers_spawned
      << ", \"workers_respawned\": " << cl.workers_respawned
      << ", \"workers_retired\": " << cl.workers_retired
-     << ",\n \"workers\": {\"free\": " << cl.gauge_free
+     << ",\n \"health\": {\"heartbeats\": " << cl.heartbeats
+     << ", \"hedges_issued\": " << cl.hedges_issued
+     << ", \"hedges_won\": " << cl.hedges_won
+     << ", \"hedge_losers\": " << cl.hedge_losers
+     << ", \"integrity_violations\": " << cl.integrity_violations
+     << ", \"workers_quarantined\": " << cl.workers_quarantined
+     << "},\n \"workers\": {\"free\": " << cl.gauge_free
      << ", \"working\": " << cl.gauge_working
      << ", \"draining\": " << cl.gauge_draining
      << ", \"dead\": " << cl.gauge_dead
+     << ", \"quarantined\": " << cl.gauge_quarantined
      << ", \"peak_alive\": " << cl.peak_alive
      << "},\n \"dispatch_ack_host_us_log2_buckets\": [";
   for (int i = 0; i < kLatencyBuckets; ++i) {
     os << (i ? ", " : "") << hist[i];
   }
   os << "]}";
+  return os.str();
+}
+
+std::string Metrics::disk_json() const {
+  const DiskHealth dh = disk_health();
+  std::ostringstream os;
+  os << "{\"degraded_appends\": " << dh.degraded_appends
+     << ", \"non_durable_jobs\": " << dh.non_durable_jobs
+     << ", \"heals\": " << dh.heals
+     << ", \"snapshot_failures\": " << dh.snapshot_failures << "}";
   return os.str();
 }
 

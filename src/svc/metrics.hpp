@@ -92,13 +92,35 @@ class Metrics {
     std::uint64_t workers_spawned = 0;    // forked + accepted, lifetime
     std::uint64_t workers_respawned = 0;  // spawns replacing a death
     std::uint64_t workers_retired = 0;    // elastic scale-down retires
+    // Gray-failure layer (DESIGN.md §12).
+    std::uint64_t heartbeats = 0;      // kHeartbeat frames received
+    std::uint64_t hedges_issued = 0;   // duplicate dispatches on suspicion
+    std::uint64_t hedges_won = 0;      // attempts settled by the hedge copy
+    std::uint64_t hedge_losers = 0;    // copies cancelled after a winner
+    std::uint64_t integrity_violations = 0;  // done results discarded
+    std::uint64_t workers_quarantined = 0;   // strike threshold reached
     // Current worker-state gauges (last reported) and the peak alive
     // (free + working) complement.
     std::uint64_t gauge_free = 0;
     std::uint64_t gauge_working = 0;
     std::uint64_t gauge_draining = 0;
     std::uint64_t gauge_dead = 0;
+    std::uint64_t gauge_quarantined = 0;
     std::uint64_t peak_alive = 0;
+  };
+
+  /// Disk-health counters for the degraded-durability mode (DESIGN.md
+  /// §12): journal appends dropped to injected/real disk faults, jobs
+  /// completed while the journal was degraded (their terminal records
+  /// never became durable), segment heals, and failed checkpoint writes.
+  /// Like Cluster, these depend on the fault environment rather than the
+  /// request stream, so they stay out of to_json() and the snapshot
+  /// State; disk_json() reports them separately.
+  struct DiskHealth {
+    std::uint64_t degraded_appends = 0;  // journal records dropped
+    std::uint64_t non_durable_jobs = 0;  // jobs acked without a durable record
+    std::uint64_t heals = 0;             // fresh-segment recoveries
+    std::uint64_t snapshot_failures = 0; // checkpoint writes that failed
   };
 
   void on_admission(Admission a);
@@ -114,7 +136,16 @@ class Metrics {
   void on_worker_spawn(bool respawn);
   void on_worker_death();
   void on_worker_retire();
-  void on_worker_gauge(int free, int working, int draining, int dead);
+  void on_worker_gauge(int free, int working, int draining, int dead,
+                       int quarantined);
+
+  // Gray-failure events (cluster/master.cpp drive loop).
+  void on_heartbeat();
+  void on_hedge_issued();
+  void on_hedge_won();
+  void on_hedge_loser();
+  void on_integrity_violation();
+  void on_worker_quarantine();
 
   // Durability events (recovery scan, checkpointing).
   void on_journal_torn_tail();
@@ -123,9 +154,16 @@ class Metrics {
                    std::uint64_t quarantined);
   void on_snapshot();
 
+  // Degraded-durability events (svc/journal.cpp, svc/server.cpp).
+  void on_degraded_append(std::uint64_t records = 1);
+  void on_non_durable_jobs(std::uint64_t jobs);
+  void on_durability_heal();
+  void on_snapshot_failure();
+
   Counters counters() const;
   Durability durability() const;
   Cluster cluster() const;
+  DiskHealth disk_health() const;
   Accuracy accuracy() const;
   std::size_t queue_depth_high_water() const;
   std::vector<std::uint64_t> latency_histogram() const;
@@ -142,6 +180,9 @@ class Metrics {
   std::string cluster_json() const;
   /// Dispatch->ack latency histogram as CSV (host microseconds).
   std::string cluster_csv() const;
+  /// Disk-health JSON (degraded-durability counters) — fault-environment
+  /// dependent, hence separate from to_json().
+  std::string disk_json() const;
 
   /// Complete registry state, for calibration snapshots. import_state
   /// replaces everything; export-then-import on a fresh registry yields a
@@ -164,6 +205,7 @@ class Metrics {
   Counters c_;
   Durability d_;
   Cluster cl_;
+  DiskHealth dh_;
   std::size_t depth_high_water_ = 0;
   std::uint64_t ack_hist_[kLatencyBuckets] = {};
   std::uint64_t hist_[kLatencyBuckets] = {};

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "sort/verify.hpp"
 #include "svc/faults.hpp"
 #include "svc/job.hpp"
 #include "svc/metrics.hpp"
@@ -33,6 +34,13 @@ struct RemoteAttempt {
   Plan plan;
   int attempt = 0;
   bool audit = false;
+  /// End-to-end result integrity (DESIGN.md §12): when set, the executor
+  /// must check every successful done against `expect` — the
+  /// order-independent multiset fingerprint of the input the master
+  /// computed at planning time — and discard + re-dispatch on mismatch
+  /// instead of acking a corrupted result.
+  bool check_integrity = false;
+  sort::Checksum expect;
 };
 
 /// What the remote attempt produced. When `ran` is false the pool could

@@ -19,6 +19,7 @@
 #include "common/json.hpp"
 #include "common/prng.hpp"
 #include "common/table.hpp"
+#include "sas/shared_array.hpp"
 #include "sim/sweep.hpp"
 #include "sort/input_cache.hpp"
 #include "svc/snapshot.hpp"
@@ -51,6 +52,21 @@ void append_line_durable(const std::string& path, const std::string& line) {
 }
 
 std::string us_text(double ns) { return fmt_fixed(ns / 1e3, 3) + "us"; }
+
+/// The master-side expectation for end-to-end integrity (DESIGN.md §12):
+/// regenerate the job's input into a scratch buffer (usually an input-
+/// cache hit — the worker sorts the identical stream) and fingerprint it.
+/// Keygen depends on (dist, n, nprocs, radix_bits, seed) only, never on
+/// the algorithm, so the same helper serves primary and audit plans.
+sort::Checksum expected_input_checksum(const JobSpec& job, int radix_bits) {
+  const sas::HomeMap homes(job.n, job.nprocs);
+  std::vector<Key> scratch(static_cast<std::size_t>(job.n));
+  return sort::generate_partitions_cached(
+      job.dist, job.n, job.nprocs, radix_bits, job.seed, homes, [&](int r) {
+        return std::span<Key>(scratch.data() + homes.begin_of(r),
+                              static_cast<std::size_t>(homes.count_of(r)));
+      });
+}
 
 }  // namespace
 
@@ -172,7 +188,12 @@ void SortService::write_checkpoint() {
   }
   const Status st = write_snapshot(snapshot_path(cfg_.durability.dir), s,
                                    cfg_.durability.crash_hook);
-  if (!st.ok()) return;  // journal remains authoritative; retry next round
+  if (!st.ok()) {
+    // Journal remains authoritative; retry next round. Counted so the
+    // chaos bench can see checkpointing degrade without losing state.
+    metrics_.on_snapshot_failure();
+    return;
+  }
   if (!cfg_.durability.keep_all_segments) {
     prune_segments(cfg_.durability.dir, s.lsn);
   }
@@ -444,6 +465,19 @@ void SortService::process_batch(std::vector<JobSpec>& batch) {
   }
 
   if (durable()) {
+    // Disk-health poll (DESIGN.md §12): if the journal dropped records
+    // this batch, the batch's jobs completed but their records never
+    // became durable — keep serving, surface the degradation in Metrics.
+    const std::uint64_t dropped = journal_->records_dropped();
+    if (dropped > journal_dropped_seen_) {
+      metrics_.on_degraded_append(dropped - journal_dropped_seen_);
+      metrics_.on_non_durable_jobs(count);
+      journal_dropped_seen_ = dropped;
+    }
+    const std::uint64_t heals = journal_->heals();
+    for (; journal_heals_seen_ < heals; ++journal_heals_seen_) {
+      metrics_.on_durability_heal();
+    }
     ++batches_since_snapshot_;
     if (cfg_.durability.snapshot_every_batches > 0 &&
         batches_since_snapshot_ >= cfg_.durability.snapshot_every_batches) {
@@ -483,6 +517,10 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
       ra.job = job;
       ra.plan = plan;
       ra.attempt = attempt;
+      if (cfg_.verify_remote_integrity) {
+        ra.check_integrity = true;
+        ra.expect = expected_input_checksum(job, plan.radix_bits);
+      }
       const auto on_mark = [this, seq](const char* site, double) {
         if (durable() && cfg_.durability.journal_marks) {
           JournalRecord m;
@@ -643,6 +681,10 @@ void SortService::execute_one(const JobSpec& job, const Plan& plan,
       ra.plan.model = plan.runner_model;
       ra.plan.radix_bits = plan.runner_radix_bits;
       ra.audit = true;
+      if (cfg_.verify_remote_integrity) {
+        ra.check_integrity = true;
+        ra.expect = expected_input_checksum(job, plan.runner_radix_bits);
+      }
       const RemoteOutcome ro = cfg_.remote->run_attempt(ra, nullptr, nullptr);
       if (ro.ran && ro.ok) {
         out.runner_measured_ns = ro.measured_ns;

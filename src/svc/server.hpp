@@ -117,6 +117,13 @@ struct ServiceConfig {
   /// determinism contract is unchanged: results are byte-identical to a
   /// local run for any worker-process count.
   RemoteExecutor* remote = nullptr;
+  /// End-to-end result integrity for remote attempts (DESIGN.md §12):
+  /// compute the input's order-independent multiset fingerprint at
+  /// dispatch time and require every successful worker done to report a
+  /// matching consumed-input fingerprint plus a passed verification —
+  /// otherwise the result is discarded and re-dispatched instead of
+  /// acked. Costs one (cached) keygen per dispatched attempt.
+  bool verify_remote_integrity = true;
 };
 
 class SortService {
@@ -200,6 +207,11 @@ class SortService {
   /// durable_mu_).
   std::unordered_set<std::uint64_t> known_ids_;
   int batches_since_snapshot_ = 0;
+  /// High-water marks of the journal's degraded-durability counters,
+  /// polled at each batch tail to mark the batch's jobs non-durable in
+  /// Metrics (server thread only).
+  std::uint64_t journal_dropped_seen_ = 0;
+  std::uint64_t journal_heals_seen_ = 0;
 
   std::mutex results_mu_;
   std::vector<JobResult> results_;

@@ -6,13 +6,17 @@
 // processes, so they live in the `cluster.` / `asan.` tiers, not TSan.
 #include <fcntl.h>
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <dirent.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -22,6 +26,9 @@
 #include "cluster/frame.hpp"
 #include "cluster/master.hpp"
 #include "cluster/worker.hpp"
+#include "common/crc32.hpp"
+#include "sas/shared_array.hpp"
+#include "sort/input_cache.hpp"
 #include "svc/journal.hpp"
 #include "svc/server.hpp"
 #include "svc/trace.hpp"
@@ -361,6 +368,280 @@ TEST(Cluster, UnacknowledgedDispatchIsRedrivenByRecovery) {
   EXPECT_EQ(results[0].id, 9u);
   EXPECT_EQ(results[0].status, svc::JobStatus::kOk) << results[0].error;
   EXPECT_EQ(results[0].plan.radix_bits, 8);  // the journaled plan, kept
+}
+
+/// The attempt the gray-failure tests dispatch directly (no service).
+svc::RemoteAttempt small_attempt() {
+  svc::RemoteAttempt attempt;
+  attempt.job.id = 1;
+  attempt.job.n = 4096;
+  attempt.job.nprocs = 4;
+  attempt.job.seed = 3;
+  attempt.plan.algo = sort::Algo::kRadix;
+  attempt.plan.model = sort::Model::kShmem;
+  attempt.plan.radix_bits = 8;
+  return attempt;
+}
+
+/// Master-side integrity expectation: the same cached keygen the server
+/// uses at dispatch time (svc/server.cpp expected_input_checksum).
+sort::Checksum expect_for(const svc::JobSpec& job, int radix_bits) {
+  const sas::HomeMap homes(job.n, job.nprocs);
+  std::vector<Key> scratch(static_cast<std::size_t>(job.n));
+  return sort::generate_partitions_cached(
+      job.dist, job.n, job.nprocs, radix_bits, job.seed, homes, [&](int r) {
+        return std::span<Key>(scratch.data() + homes.begin_of(r),
+                              static_cast<std::size_t>(homes.count_of(r)));
+      });
+}
+
+void wait_for_alive(WorkerPool& pool, int want) {
+  for (int i = 0; i < 2000 && pool.alive_workers() < want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(pool.alive_workers(), want);
+}
+
+TEST(Cluster, SigstoppedPeerMidFrameSurfacesAsSilentPeerNotAHang) {
+  // The rawest gray failure: a real child process writes half a frame,
+  // then SIGSTOPs itself — fd open, no EOF, no more bytes. The timed
+  // read must classify it as a retryable silent peer; the blocking read
+  // of PR 7 would sit in recv(2) forever.
+  Result<ChannelPair> pair = make_socketpair();
+  ASSERT_TRUE(pair.ok());
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    pair->parent.close();
+    const std::string payload = "stalling mid-frame";
+    char header[8];
+    const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+    const std::uint32_t crc = crc32(payload.data(), payload.size());
+    for (int i = 0; i < 4; ++i) {
+      header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+      header[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+    }
+    (void)!::write(pair->child.fd(), header, 8);
+    (void)!::write(pair->child.fd(), payload.data(), 5);  // torn payload
+    ::raise(SIGSTOP);
+    ::_exit(0);
+  }
+  pair->child.close();
+  const Result<std::string> got =
+      pair->parent.recv_frame(/*timeout_ms=*/100);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kPeerDead);
+  EXPECT_TRUE(got.status().retryable());
+  EXPECT_NE(got.status().message().find("silent peer"), std::string::npos)
+      << got.status().to_string();
+  ::kill(pid, SIGKILL);  // SIGKILL works on a stopped process
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+}
+
+TEST(Cluster, StalledWorkerIsHedgedAndTheHedgeWins) {
+  // A stooge connects first and gets the lease, accepts the task, then
+  // goes silent (no heartbeats, no done — the SIGSTOP wire state). With
+  // the health protocol armed the master must suspect it, hedge the
+  // identical task to the healthy worker, accept the hedge's done, and
+  // settle the stooge as either a cancelled hedge loser or a dead
+  // worker — without ever hanging or double-acking.
+  const std::string path = ::testing::TempDir() + "/dsm_cluster_hedge.sock";
+  svc::Metrics metrics;
+  PoolConfig pc;
+  pc.fork_workers = false;
+  pc.policy.max_workers = 2;
+  pc.heartbeat_ms = 20;  // suspect past 40ms of silence, dead past 80ms
+  pc.suspect_after = 2;
+  WorkerPool pool(pc);
+  pool.bind_service(&metrics, svc::FaultConfig{}, 0);
+  ASSERT_TRUE(pool.serve(path).ok());
+
+  std::thread stooge([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    WireMessage hello;
+    hello.type = MsgType::kHello;
+    hello.version = kProtocolVersion;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.label = "stooge";
+    ASSERT_TRUE(send_message(*ch, hello).ok());
+    const Result<WireMessage> task = recv_message(*ch);
+    ASSERT_TRUE(task.ok());
+    EXPECT_EQ(task->type, MsgType::kTask);
+    // Silence. The master reaps us (cancel or death); the channel close
+    // is this thread's exit signal.
+    const Result<WireMessage> next = recv_message(*ch);
+    EXPECT_FALSE(next.ok());
+  });
+  wait_for_alive(pool, 1);  // the stooge holds slot 0 -> leased first
+
+  std::thread honest([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    WorkerOptions opts;
+    opts.label = "honest";
+    EXPECT_EQ(worker_main(std::move(*ch), opts), 0);
+  });
+  wait_for_alive(pool, 2);
+
+  const svc::RemoteOutcome out =
+      pool.run_attempt(small_attempt(), nullptr, nullptr);
+  EXPECT_TRUE(out.ran) << out.failure.to_string();
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.verified);
+
+  const svc::Metrics::Cluster cl = metrics.cluster();
+  EXPECT_EQ(cl.dispatches, 2u);  // primary + hedge
+  EXPECT_EQ(cl.acks, 1u);        // exactly one result counted
+  EXPECT_EQ(cl.hedges_issued, 1u);
+  EXPECT_EQ(cl.hedges_won, 1u);
+  // The stooge is settled exactly once: cancelled loser or silent death,
+  // depending on whether the hedge finished inside the dead window.
+  EXPECT_EQ(cl.hedge_losers + cl.worker_deaths, 1u);
+  EXPECT_EQ(cl.integrity_violations, 0u);
+  EXPECT_EQ(pool.quarantined_workers(), 0);
+
+  pool.shutdown();
+  stooge.join();
+  honest.join();
+  ::unlink(path.c_str());
+}
+
+TEST(Cluster, LyingWorkerIsQuarantinedAndTheJobStillSucceeds) {
+  // A worker whose reports are corrupted (bit-flipped input fingerprint)
+  // completes the protocol flawlessly — only end-to-end integrity can
+  // catch it. The master must discard the lying result, quarantine the
+  // liar (strike threshold 1), re-dispatch to the honest worker, and ack
+  // its verified result. Zero innocent bystanders.
+  const std::string path = ::testing::TempDir() + "/dsm_cluster_quar.sock";
+  svc::Metrics metrics;
+  PoolConfig pc;
+  pc.fork_workers = false;
+  pc.policy.max_workers = 2;
+  pc.max_redispatch = 1;
+  pc.integrity_strikes = 1;
+  WorkerPool pool(pc);
+  pool.bind_service(&metrics, svc::FaultConfig{}, 0);
+  ASSERT_TRUE(pool.serve(path).ok());
+
+  std::thread liar([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    WorkerOptions opts;
+    opts.label = "liar";
+    opts.lie = true;
+    EXPECT_EQ(worker_main(std::move(*ch), opts), 0);
+  });
+  wait_for_alive(pool, 1);  // the liar holds slot 0 -> leased first
+
+  std::thread honest([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    WorkerOptions opts;
+    opts.label = "honest";
+    EXPECT_EQ(worker_main(std::move(*ch), opts), 0);
+  });
+  wait_for_alive(pool, 2);
+
+  svc::RemoteAttempt attempt = small_attempt();
+  attempt.check_integrity = true;
+  attempt.expect = expect_for(attempt.job, attempt.plan.radix_bits);
+  const svc::RemoteOutcome out = pool.run_attempt(attempt, nullptr, nullptr);
+  EXPECT_TRUE(out.ran) << out.failure.to_string();
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.verified);
+
+  const svc::Metrics::Cluster cl = metrics.cluster();
+  EXPECT_EQ(cl.dispatches, 2u);
+  EXPECT_EQ(cl.acks, 1u);
+  EXPECT_EQ(cl.integrity_violations, 1u);
+  EXPECT_EQ(cl.workers_quarantined, 1u);
+  EXPECT_EQ(cl.redispatches, 1u);
+  EXPECT_EQ(cl.worker_deaths, 0u);  // lying is not dying
+  EXPECT_EQ(pool.quarantined_workers(), 1);  // the liar, nobody else
+
+  pool.shutdown();
+  liar.join();
+  honest.join();
+  ::unlink(path.c_str());
+}
+
+TEST(Cluster, RepeatOffenderAccumulatesStrikesOnTheSameIdentity) {
+  // With the default two-strike policy the first lie releases the worker
+  // (alive, responsive) but remembers the offence on its identity; the
+  // re-dispatch leases the same front-of-pool worker, catches lie #2,
+  // and quarantines it. The third dispatch reaches the honest worker and
+  // the job still succeeds.
+  const std::string path = ::testing::TempDir() + "/dsm_cluster_strk.sock";
+  svc::Metrics metrics;
+  PoolConfig pc;
+  pc.fork_workers = false;
+  pc.policy.max_workers = 2;
+  pc.max_redispatch = 2;
+  pc.integrity_strikes = 2;
+  WorkerPool pool(pc);
+  pool.bind_service(&metrics, svc::FaultConfig{}, 0);
+  ASSERT_TRUE(pool.serve(path).ok());
+
+  std::thread liar([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    WorkerOptions opts;
+    opts.label = "liar";
+    opts.lie = true;
+    EXPECT_EQ(worker_main(std::move(*ch), opts), 0);
+  });
+  wait_for_alive(pool, 1);
+  std::thread honest([&path] {
+    Result<Channel> ch = connect_unix(path);
+    ASSERT_TRUE(ch.ok());
+    EXPECT_EQ(worker_main(std::move(*ch), WorkerOptions{}), 0);
+  });
+  wait_for_alive(pool, 2);
+
+  svc::RemoteAttempt attempt = small_attempt();
+  attempt.check_integrity = true;
+  attempt.expect = expect_for(attempt.job, attempt.plan.radix_bits);
+  const svc::RemoteOutcome out = pool.run_attempt(attempt, nullptr, nullptr);
+  EXPECT_TRUE(out.ran) << out.failure.to_string();
+  EXPECT_TRUE(out.ok);
+  const svc::Metrics::Cluster cl = metrics.cluster();
+  EXPECT_EQ(cl.dispatches, 3u);  // liar, liar again, honest
+  EXPECT_EQ(cl.acks, 1u);
+  EXPECT_EQ(cl.integrity_violations, 2u);
+  EXPECT_EQ(cl.workers_quarantined, 1u);
+  EXPECT_EQ(pool.quarantined_workers(), 1);
+
+  pool.shutdown();
+  liar.join();
+  honest.join();
+  ::unlink(path.c_str());
+}
+
+TEST(Cluster, HeartbeatArmedReplayIsStillByteIdentical) {
+  // The health protocol must not perturb the determinism contract: with
+  // heartbeats armed (and integrity on by default) the clustered replay
+  // still reproduces the single-process bytes, because heartbeats and
+  // health metrics live outside the deterministic fingerprint.
+  const std::vector<svc::JobSpec> trace = small_trace(8);
+  svc::SortService local(small_config());
+  const std::string base = replay_fingerprint(local, trace);
+
+  PoolConfig pc = pool_config(2);
+  pc.heartbeat_ms = 10;
+  pc.suspect_after = 50;  // beats flow, but CI stalls cannot fake suspects
+  WorkerPool pool(pc);
+  svc::ServiceConfig cfg = small_config();
+  cfg.remote = &pool;
+  svc::SortService clustered(cfg);
+  ASSERT_TRUE(pool.start().ok());
+  EXPECT_EQ(replay_fingerprint(clustered, trace), base);
+  const svc::Metrics::Cluster cl = clustered.metrics().cluster();
+  EXPECT_EQ(cl.integrity_violations, 0u);
+  EXPECT_EQ(cl.dispatches, cl.acks);  // hedges would break this identity
+  EXPECT_GE(cl.acks, trace.size());
+  pool.shutdown();
 }
 
 }  // namespace

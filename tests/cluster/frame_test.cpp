@@ -147,6 +147,56 @@ TEST(Frame, DoneRoundTripsSuccessAndTypedFailure) {
   EXPECT_EQ(got->failure.retryable(), bad.failure.retryable());
 }
 
+TEST(Frame, TaskRoundTripsHeartbeatAndIntegrityFields) {
+  WireMessage m;
+  m.type = MsgType::kTask;
+  m.task_id = 7;
+  m.job = sample_job();
+  m.plan = sample_plan();
+  m.heartbeat_ms = 250;
+  m.check_integrity = true;
+  m.expect.count = 1u << 14;
+  m.expect.sum = 0x123456789abcdef0ull;
+  m.expect.xor_ = 0xdeadbeefcafef00dull;
+  m.expect.sum_sq = 0xfedcba9876543210ull;
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got->heartbeat_ms, 250);
+  EXPECT_TRUE(got->check_integrity);
+  EXPECT_TRUE(got->expect == m.expect);
+}
+
+TEST(Frame, HeartbeatRoundTrips) {
+  WireMessage m;
+  m.type = MsgType::kHeartbeat;
+  m.task_id = 31;
+  m.beats = 17;
+  m.virtual_ns = 0x1.8p20;
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(got->type, MsgType::kHeartbeat);
+  EXPECT_EQ(got->task_id, 31u);
+  EXPECT_EQ(got->beats, 17u);
+  EXPECT_EQ(got->virtual_ns, 0x1.8p20);  // bit-exact
+}
+
+TEST(Frame, DoneRoundTripsIntegrityFingerprints) {
+  WireMessage m;
+  m.type = MsgType::kDone;
+  m.task_id = 13;
+  m.ok = true;
+  m.verified = true;
+  m.input_cs.count = 4096;
+  m.input_cs.sum = 0xaaaabbbbccccddddull;
+  m.input_cs.xor_ = 0x1111222233334444ull;
+  m.input_cs.sum_sq = 0x5555666677778888ull;
+  m.run_hash = 0xcbf29ce484222325ull;
+  const Result<WireMessage> got = decode_message(encode_message(m));
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_TRUE(got->input_cs == m.input_cs);
+  EXPECT_EQ(got->run_hash, 0xcbf29ce484222325ull);
+}
+
 TEST(Frame, ShutdownRoundTrips) {
   WireMessage m;
   m.type = MsgType::kShutdown;
@@ -182,6 +232,13 @@ TEST(Frame, MsgTypeNamesAreStable) {
   EXPECT_STREQ(msg_type_name(MsgType::kMark), "mark");
   EXPECT_STREQ(msg_type_name(MsgType::kDone), "done");
   EXPECT_STREQ(msg_type_name(MsgType::kShutdown), "shutdown");
+  EXPECT_STREQ(msg_type_name(MsgType::kHeartbeat), "heartbeat");
+}
+
+TEST(Frame, TruncatedHeartbeatIsCorruptFrame) {
+  const Result<WireMessage> got = decode_message("heartbeat 31");
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruptFrame);
 }
 
 }  // namespace

@@ -1,0 +1,95 @@
+// Table tests for the pure worker-health lattice (DESIGN.md §12).
+//
+// classify_health and respawn_backoff_ms are clock-free by design so the
+// whole state machine — healthy -> suspect -> dead thresholds, the
+// disabled-protocol escape hatch, and the capped-exponential respawn
+// backoff — can be pinned with exact values here. These tests contain no
+// threads, sockets, or sleeps, which is what lets the same file run in
+// the plain, TSan, and ASan tiers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/health.hpp"
+
+namespace dsm::cluster {
+namespace {
+
+TEST(Health, NamesAreStable) {
+  EXPECT_EQ(std::string(health_name(Health::kHealthy)), "healthy");
+  EXPECT_EQ(std::string(health_name(Health::kSuspect)), "suspect");
+  EXPECT_EQ(std::string(health_name(Health::kDead)), "dead");
+}
+
+TEST(Health, SuspectBudgetIsHeartbeatTimesMissedBeats) {
+  EXPECT_EQ(suspect_budget_ms({/*heartbeat_ms=*/50, /*suspect_after=*/3}),
+            150);
+  EXPECT_EQ(suspect_budget_ms({/*heartbeat_ms=*/0, /*suspect_after=*/3}), 0);
+  EXPECT_EQ(suspect_budget_ms({/*heartbeat_ms=*/1, /*suspect_after=*/1}), 1);
+  // Large knobs must not overflow int arithmetic.
+  EXPECT_EQ(suspect_budget_ms({/*heartbeat_ms=*/60000,
+                               /*suspect_after=*/1000}),
+            60000000LL);
+}
+
+TEST(Health, ClassificationLattice) {
+  const HealthPolicy p{/*heartbeat_ms=*/50, /*suspect_after=*/3};
+  // budget = 150ms, dead threshold = 300ms. Boundaries are inclusive on
+  // the healthy side: exactly-at-budget is still healthy, exactly-at-2x
+  // is still suspect (the hedge keeps its head start).
+  struct Row {
+    long long silent_ms;
+    Health want;
+  };
+  const Row table[] = {
+      {0, Health::kHealthy},     {149, Health::kHealthy},
+      {150, Health::kHealthy},   {151, Health::kSuspect},
+      {299, Health::kSuspect},   {300, Health::kSuspect},
+      {301, Health::kDead},      {1000000, Health::kDead},
+  };
+  for (const Row& row : table) {
+    EXPECT_EQ(classify_health(p, row.silent_ms), row.want)
+        << "silent_ms=" << row.silent_ms;
+  }
+}
+
+TEST(Health, DisabledProtocolNeverSuspects) {
+  const HealthPolicy off{/*heartbeat_ms=*/0, /*suspect_after=*/3};
+  EXPECT_EQ(classify_health(off, 0), Health::kHealthy);
+  EXPECT_EQ(classify_health(off, 1LL << 40), Health::kHealthy);
+}
+
+TEST(Health, RecoveryIsJustSilenceReset) {
+  // A suspect worker that finally sends a frame has silence 0 again —
+  // the lattice needs no suspect->healthy edge of its own.
+  const HealthPolicy p{/*heartbeat_ms=*/10, /*suspect_after=*/2};
+  ASSERT_EQ(classify_health(p, 25), Health::kSuspect);
+  EXPECT_EQ(classify_health(p, 0), Health::kHealthy);
+}
+
+TEST(Health, RespawnBackoffDoublesAndCaps) {
+  // base 1ms, cap 200ms: 0, 1, 2, 4, 8, ..., 128, 200, 200, ...
+  EXPECT_EQ(respawn_backoff_ms(0, 1, 200), 0);
+  EXPECT_EQ(respawn_backoff_ms(1, 1, 200), 1);
+  EXPECT_EQ(respawn_backoff_ms(2, 1, 200), 2);
+  EXPECT_EQ(respawn_backoff_ms(3, 1, 200), 4);
+  EXPECT_EQ(respawn_backoff_ms(8, 1, 200), 128);
+  EXPECT_EQ(respawn_backoff_ms(9, 1, 200), 200);  // 256 clipped to the cap
+  EXPECT_EQ(respawn_backoff_ms(100, 1, 200), 200);
+}
+
+TEST(Health, RespawnBackoffDisabledByNonPositiveBase) {
+  EXPECT_EQ(respawn_backoff_ms(5, 0, 200), 0);
+  EXPECT_EQ(respawn_backoff_ms(5, -1, 200), 0);
+  // Negative failure counts (impossible, but defensive) also wait 0.
+  EXPECT_EQ(respawn_backoff_ms(-3, 1, 200), 0);
+}
+
+TEST(Health, RespawnBackoffDoesNotOverflowPastTheCap) {
+  // The doubling loop stops as soon as the cap is reached, so a huge
+  // failure count cannot overflow the accumulator.
+  EXPECT_EQ(respawn_backoff_ms(1000, 7, 500), 500);
+}
+
+}  // namespace
+}  // namespace dsm::cluster

@@ -57,6 +57,7 @@ TEST(Lifecycle, WorkerStateNamesAreStable) {
   EXPECT_STREQ(worker_state_name(WorkerState::kWorking), "working");
   EXPECT_STREQ(worker_state_name(WorkerState::kDraining), "draining");
   EXPECT_STREQ(worker_state_name(WorkerState::kDead), "dead");
+  EXPECT_STREQ(worker_state_name(WorkerState::kQuarantined), "quarantined");
 }
 
 TEST(ClusterWorkersKnob, AcceptsExactlyBareIntegersInRange) {
@@ -98,6 +99,70 @@ TEST(ClusterWorkersKnob, EnvReaderDefaultsToZeroAndParsesStrictly) {
   ::setenv("DSMSORT_CLUSTER_WORKERS", "3 workers", 1);
   EXPECT_THROW(cluster_workers_from_env(), Error);
   ::unsetenv("DSMSORT_CLUSTER_WORKERS");
+}
+
+TEST(HeartbeatKnob, AcceptsExactlyBareIntegersInRange) {
+  EXPECT_EQ(parse_heartbeat_ms("--heartbeat-ms", "0"), 0);
+  EXPECT_EQ(parse_heartbeat_ms("--heartbeat-ms", "50"), 50);
+  EXPECT_EQ(parse_heartbeat_ms("--heartbeat-ms", "+250"), 250);
+  EXPECT_EQ(parse_heartbeat_ms("--heartbeat-ms", "60000"), 60000);
+}
+
+TEST(HeartbeatKnob, RejectsGarbageWithATypedError) {
+  const char* bad[] = {
+      "",     " 50",  "50 ",  "50ms",  "fast", "60001",
+      "-1",   "2.5",  "0x32", "99999999999999999999",
+  };
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_heartbeat_ms("DSMSORT_HEARTBEAT_MS", text), Error)
+        << "accepted: '" << text << "'";
+  }
+}
+
+TEST(HeartbeatKnob, ErrorNamesTheKnobAndTheOffendingText) {
+  try {
+    parse_heartbeat_ms("DSMSORT_HEARTBEAT_MS", "fast");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("DSMSORT_HEARTBEAT_MS"), std::string::npos);
+    EXPECT_NE(what.find("fast"), std::string::npos);
+    EXPECT_NE(what.find("[0, 60000]"), std::string::npos);
+  }
+}
+
+TEST(HeartbeatKnob, EnvReaderDefaultsToOffAndParsesStrictly) {
+  ::unsetenv("DSMSORT_HEARTBEAT_MS");
+  EXPECT_EQ(heartbeat_ms_from_env(), 0);
+  ::setenv("DSMSORT_HEARTBEAT_MS", "75", 1);
+  EXPECT_EQ(heartbeat_ms_from_env(), 75);
+  ::setenv("DSMSORT_HEARTBEAT_MS", "75 ms", 1);
+  EXPECT_THROW(heartbeat_ms_from_env(), Error);
+  ::unsetenv("DSMSORT_HEARTBEAT_MS");
+}
+
+TEST(SuspectAfterKnob, AcceptsExactlyBareIntegersInRange) {
+  EXPECT_EQ(parse_suspect_after("--suspect-after", "1"), 1);
+  EXPECT_EQ(parse_suspect_after("--suspect-after", "3"), 3);
+  EXPECT_EQ(parse_suspect_after("--suspect-after", "1000"), 1000);
+}
+
+TEST(SuspectAfterKnob, RejectsGarbageWithATypedError) {
+  const char* bad[] = {"", "0", "-3", "1001", "3x", "three", "3.0"};
+  for (const char* text : bad) {
+    EXPECT_THROW(parse_suspect_after("DSMSORT_SUSPECT_AFTER", text), Error)
+        << "accepted: '" << text << "'";
+  }
+}
+
+TEST(SuspectAfterKnob, EnvReaderDefaultsToThreeAndParsesStrictly) {
+  ::unsetenv("DSMSORT_SUSPECT_AFTER");
+  EXPECT_EQ(suspect_after_from_env(), 3);
+  ::setenv("DSMSORT_SUSPECT_AFTER", "5", 1);
+  EXPECT_EQ(suspect_after_from_env(), 5);
+  ::setenv("DSMSORT_SUSPECT_AFTER", "never", 1);
+  EXPECT_THROW(suspect_after_from_env(), Error);
+  ::unsetenv("DSMSORT_SUSPECT_AFTER");
 }
 
 }  // namespace

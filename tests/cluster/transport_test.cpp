@@ -9,6 +9,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -168,6 +170,64 @@ TEST(Transport, GarbageAfterValidFrameDoesNotPoisonEarlierFrames) {
   Result<std::string> got = pair->child.recv_frame();
   ASSERT_TRUE(got.ok());
   EXPECT_EQ(*got, "good");
+}
+
+TEST(Transport, SilentPeerBeforeFirstByteTimesOutAsPeerDead) {
+  // The gray-failure case a blocking read can never see: the peer is
+  // alive (fd open, no EOF) but sends nothing. recv_frame(timeout) must
+  // surface it as retryable kPeerDead, not hang the master.
+  Result<ChannelPair> pair = make_socketpair();
+  ASSERT_TRUE(pair.ok());
+  const Result<std::string> got = pair->child.recv_frame(/*timeout_ms=*/30);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kPeerDead);
+  EXPECT_TRUE(got.status().retryable());
+  EXPECT_NE(got.status().message().find("silent peer"), std::string::npos)
+      << got.status().to_string();
+}
+
+TEST(Transport, SilentPeerMidFrameTimesOutAsPeerDead) {
+  // Half a header, then silence with the socket still open — exactly the
+  // wire state a SIGSTOPped worker leaves behind.
+  Result<ChannelPair> pair = make_socketpair();
+  ASSERT_TRUE(pair.ok());
+  write_raw(pair->parent, raw_frame("stalled").substr(0, 5));
+  const Result<std::string> got = pair->child.recv_frame(/*timeout_ms=*/30);
+  ASSERT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kPeerDead);
+  EXPECT_NE(got.status().message().find("silent peer"), std::string::npos);
+}
+
+TEST(Transport, SlowButAlivePeerIsNotMisclassified) {
+  // The timeout is per chunk, not per frame: a peer trickling a frame in
+  // pieces — each within the budget — must still deliver it.
+  Result<ChannelPair> pair = make_socketpair();
+  ASSERT_TRUE(pair.ok());
+  const std::string frame = raw_frame("drip-fed payload");
+  std::thread dripper([&] {
+    for (std::size_t i = 0; i < frame.size(); i += 4) {
+      const std::size_t len = std::min<std::size_t>(4, frame.size() - i);
+      ASSERT_EQ(::write(pair->parent.fd(), frame.data() + i, len),
+                static_cast<ssize_t>(len));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  const Result<std::string> got =
+      pair->child.recv_frame(/*timeout_ms=*/500);
+  ASSERT_TRUE(got.ok()) << got.status().to_string();
+  EXPECT_EQ(*got, "drip-fed payload");
+  dripper.join();
+}
+
+TEST(Transport, PollReadableSeesDataAndTimesOutCleanly) {
+  Result<ChannelPair> pair = make_socketpair();
+  ASSERT_TRUE(pair.ok());
+  EXPECT_FALSE(poll_readable(pair->child.fd(), 10));
+  write_raw(pair->parent, raw_frame("x"));
+  EXPECT_TRUE(poll_readable(pair->child.fd(), 1000));
+  // EOF also counts as readable (the read will report kPeerDead).
+  pair->parent.close();
+  EXPECT_TRUE(poll_readable(pair->child.fd(), 1000));
 }
 
 TEST(Transport, UnixSocketListenConnectAccept) {

@@ -1,0 +1,148 @@
+// The deterministic disk-fault shim (DESIGN.md §12): armed via
+// set_fs_fault_config, every faulty_write_all / faulty_fsync consults a
+// pure hash of (seed, global op index). The whole point is that a chaos
+// run's fault schedule is a function of the config alone — same seed,
+// same ops fail in the same way — so these tests pin reproducibility,
+// the disarmed fast path, and the short-write flavour that really tears
+// bytes onto disk before erroring.
+#include "common/fsio.hpp"
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace dsm {
+namespace {
+
+/// Run `ops` faulty writes against a scratch file and record which ones
+/// failed. Starts from a fresh shim installation so the op index is 0.
+std::vector<bool> fault_pattern(const FsFaultConfig& cfg, int ops,
+                                const std::string& path) {
+  set_fs_fault_config(cfg);
+  const int fd = open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC);
+  EXPECT_GE(fd, 0);
+  std::vector<bool> failed;
+  const std::string payload = "sixteen bytes!!\n";
+  for (int i = 0; i < ops; ++i) {
+    failed.push_back(
+        !faulty_write_all(fd, payload.data(), payload.size(), "probe").ok());
+  }
+  ::close(fd);
+  set_fs_fault_config(FsFaultConfig{});  // disarm for whoever runs next
+  return failed;
+}
+
+TEST(FsFaults, DisarmedShimNeverFails) {
+  const std::string path = ::testing::TempDir() + "/dsm_fsio_disarmed";
+  const std::vector<bool> failed =
+      fault_pattern(FsFaultConfig{}, 64, path);
+  for (const bool f : failed) EXPECT_FALSE(f);
+  EXPECT_EQ(fs_faults_fired(), 0u);
+  ::unlink(path.c_str());
+}
+
+TEST(FsFaults, ScheduleIsAPureFunctionOfTheSeed) {
+  const std::string path = ::testing::TempDir() + "/dsm_fsio_seeded";
+  FsFaultConfig cfg;
+  cfg.seed = 42;
+  cfg.rate = 0.3;
+  const std::vector<bool> a = fault_pattern(cfg, 128, path);
+  const std::vector<bool> b = fault_pattern(cfg, 128, path);
+  EXPECT_EQ(a, b) << "same seed must fail the same ops";
+  int fired = 0;
+  for (const bool f : a) fired += f ? 1 : 0;
+  EXPECT_GT(fired, 0) << "rate 0.3 over 128 ops fired nothing";
+  EXPECT_LT(fired, 128) << "rate 0.3 over 128 ops failed everything";
+
+  FsFaultConfig other = cfg;
+  other.seed = 43;
+  const std::vector<bool> c = fault_pattern(other, 128, path);
+  EXPECT_NE(a, c) << "different seeds should shuffle the schedule";
+  ::unlink(path.c_str());
+}
+
+TEST(FsFaults, RateOneFailsEveryOpAndCountsThem) {
+  const std::string path = ::testing::TempDir() + "/dsm_fsio_all";
+  FsFaultConfig cfg;
+  cfg.seed = 7;
+  cfg.rate = 1.0;
+  set_fs_fault_config(cfg);
+  const int fd = open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC);
+  ASSERT_GE(fd, 0);
+  for (int i = 0; i < 8; ++i) {
+    const Status w = faulty_write_all(fd, "x", 1, "probe");
+    ASSERT_FALSE(w.ok());
+    EXPECT_EQ(w.code(), StatusCode::kIoError);
+    const Status f = faulty_fsync(fd, "probe");
+    ASSERT_FALSE(f.ok());
+    EXPECT_EQ(f.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(fs_faults_fired(), 16u);
+  ::close(fd);
+  set_fs_fault_config(FsFaultConfig{});
+  ::unlink(path.c_str());
+}
+
+TEST(FsFaults, ShortWriteFlavourReallyTearsBytesOntoDisk) {
+  // Scan seeds for a schedule whose first fault is a short write, then
+  // check the file actually holds a strict, non-empty prefix — the torn
+  // record shape recovery must tolerate at a segment tail.
+  const std::string path = ::testing::TempDir() + "/dsm_fsio_torn";
+  const std::string payload(4096, 'T');
+  bool saw_short_write = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !saw_short_write; ++seed) {
+    FsFaultConfig cfg;
+    cfg.seed = seed;
+    cfg.rate = 1.0;
+    set_fs_fault_config(cfg);
+    const int fd = open_retry(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC);
+    ASSERT_GE(fd, 0);
+    const Status s =
+        faulty_write_all(fd, payload.data(), payload.size(), "probe");
+    ASSERT_FALSE(s.ok());
+    ::close(fd);
+    struct stat st = {};
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    if (st.st_size > 0) {
+      saw_short_write = true;
+      EXPECT_LT(st.st_size, static_cast<off_t>(payload.size()));
+      EXPECT_NE(s.message().find("short write"), std::string::npos)
+          << s.to_string();
+    }
+  }
+  set_fs_fault_config(FsFaultConfig{});
+  EXPECT_TRUE(saw_short_write)
+      << "no seed in [1,64] produced the short-write flavour";
+  ::unlink(path.c_str());
+}
+
+TEST(FsFaults, AtomicPublishFailsCleanlyUnderFaultsAndHealsDisarmed) {
+  // try_write_file_atomic routes through the shim: under rate-1 faults
+  // the publish must fail typed and leave the destination untouched;
+  // disarmed again, the same call lands the full content.
+  const std::string path = ::testing::TempDir() + "/dsm_fsio_atomic.json";
+  ::unlink(path.c_str());
+  FsFaultConfig cfg;
+  cfg.seed = 11;
+  cfg.rate = 1.0;
+  set_fs_fault_config(cfg);
+  const Status s = try_write_file_atomic(path, "{\"broken\": true}");
+  set_fs_fault_config(FsFaultConfig{});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  struct stat st = {};
+  EXPECT_NE(::stat(path.c_str(), &st), 0) << "failed publish left a file";
+
+  ASSERT_TRUE(try_write_file_atomic(path, "{\"ok\": true}").ok());
+  Result<std::string> back = try_read_file(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "{\"ok\": true}");
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace dsm

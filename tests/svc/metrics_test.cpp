@@ -133,5 +133,69 @@ TEST(Metrics, HistogramCsvHasOneRowPerBucket) {
   EXPECT_NE(csv.find(",inf,"), std::string::npos);    // overflow tail row
 }
 
+TEST(Metrics, HealthAndHedgeCountersStayOutOfTheDeterministicJson) {
+  // Host-timing-dependent gray-failure observability (heartbeats, hedges,
+  // integrity violations, quarantines, disk health) must never leak into
+  // to_json() — the replay byte-identity fingerprint includes it.
+  Metrics m;
+  m.on_heartbeat();
+  m.on_hedge_issued();
+  m.on_hedge_won();
+  m.on_hedge_loser();
+  m.on_integrity_violation();
+  m.on_worker_quarantine();
+  m.on_degraded_append(3);
+  m.on_non_durable_jobs(2);
+  m.on_durability_heal();
+  m.on_snapshot_failure();
+  // ("quarantined"/"snapshots" job counters in the durability section are
+  // deterministic and allowed; the worker/disk-health vocabulary is not.)
+  const std::string deterministic = m.to_json();
+  for (const char* key :
+       {"heartbeat", "hedge", "integrity", "workers_quarantined",
+        "degraded_append", "non_durable", "snapshot_failure"}) {
+    EXPECT_EQ(deterministic.find(key), std::string::npos) << key;
+  }
+
+  const Metrics::Cluster cl = m.cluster();
+  EXPECT_EQ(cl.heartbeats, 1u);
+  EXPECT_EQ(cl.hedges_issued, 1u);
+  EXPECT_EQ(cl.hedges_won, 1u);
+  EXPECT_EQ(cl.hedge_losers, 1u);
+  EXPECT_EQ(cl.integrity_violations, 1u);
+  EXPECT_EQ(cl.workers_quarantined, 1u);
+
+  const Metrics::DiskHealth dh = m.disk_health();
+  EXPECT_EQ(dh.degraded_appends, 3u);
+  EXPECT_EQ(dh.non_durable_jobs, 2u);
+  EXPECT_EQ(dh.heals, 1u);
+  EXPECT_EQ(dh.snapshot_failures, 1u);
+}
+
+TEST(Metrics, ClusterJsonCarriesHealthGaugesAndDiskJsonTheDurabilityState) {
+  Metrics m;
+  m.on_worker_gauge(1, 2, 0, 1, 3);
+  m.on_heartbeat();
+  m.on_hedge_issued();
+  m.on_integrity_violation();
+  const std::string cj = m.cluster_json();
+  for (const char* key :
+       {"\"health\"", "\"heartbeats\": 1", "\"hedges_issued\": 1",
+        "\"integrity_violations\": 1", "\"workers_quarantined\": 0",
+        "\"quarantined\": 3"}) {
+    EXPECT_NE(cj.find(key), std::string::npos) << key << " in " << cj;
+  }
+
+  m.on_degraded_append(5);
+  m.on_non_durable_jobs(4);
+  m.on_durability_heal();
+  const std::string dj = m.disk_json();
+  for (const char* key :
+       {"\"degraded_appends\": 5", "\"non_durable_jobs\": 4", "\"heals\": 1",
+        "\"snapshot_failures\": 0"}) {
+    EXPECT_NE(dj.find(key), std::string::npos) << key << " in " << dj;
+  }
+}
+
 }  // namespace
 }  // namespace dsm::svc

@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "svc/trace.hpp"
 
 namespace dsm::svc {
@@ -206,6 +209,45 @@ TEST(SortService, SubmitAfterDrainIsRejectedClosedForever) {
   svc.drain();  // idempotent after the rejects too
   EXPECT_EQ(svc.metrics().counters().rejected_closed, 3u);
   EXPECT_EQ(svc.metrics().counters().completed, 0u);
+}
+
+TEST(SortService, DiskFaultsDegradeDurabilityButTheServiceKeepsServing) {
+  // ENOSPC-grade disk trouble on the WAL (DESIGN.md §12): the durable
+  // service must keep computing and acking results, count the degraded
+  // appends, and mark the affected batches' jobs non-durable in Metrics
+  // — never crash, never refuse the jobs.
+  const std::string dir =
+      ::testing::TempDir() + "/dsm_server_degraded";
+  std::ostringstream rm;
+  rm << "rm -rf '" << dir << "'";
+  ASSERT_EQ(std::system(rm.str().c_str()), 0);
+
+  ServiceConfig cfg = small_config(1);
+  cfg.durability.dir = dir;
+  SortService svc(cfg);  // journal opens fine: the disk is still healthy
+
+  FsFaultConfig faults;
+  faults.seed = 9;
+  faults.rate = 1.0;  // every WAL write/fsync now fails
+  set_fs_fault_config(faults);
+  for (std::uint64_t id = 0; id < 4; ++id) {
+    Status why;
+    ASSERT_EQ(svc.submit(small_job(id), &why), Admission::kAccepted)
+        << why.to_string();
+  }
+  svc.drain();
+  set_fs_fault_config(FsFaultConfig{});
+
+  const std::vector<JobResult> results = svc.take_results();
+  ASSERT_EQ(results.size(), 4u);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kOk) << r.error;
+  }
+  const Metrics::DiskHealth dh = svc.metrics().disk_health();
+  EXPECT_GT(dh.degraded_appends, 0u);
+  EXPECT_EQ(dh.non_durable_jobs, 4u);  // every job rode a degraded batch
+  EXPECT_NE(svc.metrics().disk_json().find("\"degraded_appends\""),
+            std::string::npos);
 }
 
 TEST(SortService, ConfigIsValidated) {
