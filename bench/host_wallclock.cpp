@@ -29,6 +29,8 @@
 #include "common/fsio.hpp"
 #include "perf/report.hpp"
 #include "sort/kernels.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/msd_radix.hpp"
 #include "sort/seq_radix.hpp"
 
 namespace {
@@ -350,6 +352,62 @@ PairedCell timed_paired_cell(std::uint64_t n, int radix_bits, int reps,
   return cell;
 }
 
+/// New-backend kernel cells (DESIGN.md §13): reference vs optimized host
+/// wall-clock for the MSD in-place radix and multiway mergesort local
+/// sorts, on the distribution each backend exists for plus uniform gauss.
+/// Both backends must produce identical sorted keys; the speed gate holds
+/// "optimized" to never-slower here exactly as for the LSD kernels.
+struct AlgoKernelCell {
+  const char* algo = "";
+  const char* dist = "";
+  std::uint64_t n = 0;
+  double reference_s = 0;
+  double optimized_s = 0;
+  double speedup = 0;
+};
+
+AlgoKernelCell timed_algo_kernel_cell(const char* algo, keys::Dist dist,
+                                      std::uint64_t n, int reps,
+                                      std::uint64_t seed) {
+  AlgoKernelCell cell;
+  cell.algo = algo;
+  cell.dist = keys::dist_name(dist);
+  cell.n = n;
+  std::vector<Key> input(n);
+  keys::GenSpec gen;
+  gen.n_total = n;
+  gen.nprocs = 1;
+  gen.radix_bits = 11;
+  gen.seed = seed;
+  keys::generate(dist, input, gen);
+
+  std::vector<Key> work(n), tmp(n), expect;
+  sort::RadixWorkspace ws;
+  const bool is_msd = std::string(algo) == "msd";
+  auto best_of = [&](sort::KernelBackend be) {
+    double best = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      std::copy(input.begin(), input.end(), work.begin());
+      const double t0 = now_s();
+      if (is_msd) {
+        sort::seq_msd_sort(work, be, ws);
+      } else {
+        sort::seq_merge_sort(work, tmp, 11, be, ws);
+      }
+      const double s = now_s() - t0;
+      if (rep == 0 || s < best) best = s;
+    }
+    return best;
+  };
+  cell.reference_s = best_of(sort::KernelBackend::kReference);
+  expect = work;
+  cell.optimized_s = best_of(sort::KernelBackend::kOptimized);
+  DSM_CHECK(work == expect,
+            "algo kernel backends disagree on sorted output");
+  cell.speedup = cell.reference_s / cell.optimized_s;
+  return cell;
+}
+
 /// --calibrate: sweep the kernel tunables on this host and report the
 /// fastest settings. The staging cap decides where the permute leaves
 /// one-level write-combining for the two-level scatter (it binds at radix
@@ -530,6 +588,19 @@ int main(int argc, char** argv) {
     const PairedCell paired = timed_paired_cell(
         env.sizes.back(), env.radix_bits, kernel_reps, env.seed);
 
+    // New-backend cells at the largest size: each on uniform gauss plus
+    // the distribution its menu entry exists for (DESIGN.md §13).
+    const std::vector<AlgoKernelCell> algo_cells = {
+        timed_algo_kernel_cell("msd", keys::Dist::kGauss, env.sizes.back(),
+                               kernel_reps, env.seed),
+        timed_algo_kernel_cell("msd", keys::Dist::kDup, env.sizes.back(),
+                               kernel_reps, env.seed),
+        timed_algo_kernel_cell("merge", keys::Dist::kGauss, env.sizes.back(),
+                               kernel_reps, env.seed),
+        timed_algo_kernel_cell("merge", keys::Dist::kAlmostSorted,
+                               env.sizes.back(), kernel_reps, env.seed),
+    };
+
     if (!kernels_only) {
       std::cout << "  fig3-style sweep: threads "
                 << fmt_fixed(wall_threads, 2) << "s  coop "
@@ -567,7 +638,15 @@ int main(int argc, char** argv) {
               << " r=" << paired.radix_bits << ", dup keys): plain "
               << fmt_fixed(paired.plain_s, 3) << "s -> paired "
               << fmt_fixed(paired.paired_s, 3) << "s ("
-              << fmt_fixed(paired.overhead, 2) << "x, stable)\n";
+              << fmt_fixed(paired.overhead, 2) << "x, stable)\n"
+              << "  algo backends (reference -> optimized, identical "
+              << "output):\n";
+    for (const AlgoKernelCell& c : algo_cells) {
+      std::cout << "    " << c.algo << " n=" << fmt_count(c.n) << " "
+                << c.dist << ": " << fmt_fixed(c.reference_s, 3) << "s -> "
+                << fmt_fixed(c.optimized_s, 3) << "s ("
+                << fmt_fixed(c.speedup, 2) << "x)\n";
+    }
 
     std::ostringstream js;
     js << "{\n"
@@ -632,6 +711,21 @@ int main(int argc, char** argv) {
        << ", \"plain_s\": " << fmt_fixed(paired.plain_s, 4)
        << ", \"paired_s\": " << fmt_fixed(paired.paired_s, 4)
        << ", \"overhead\": " << fmt_fixed(paired.overhead, 3) << "},\n"
+       << "  \"algo_kernels\": {\"description\": \"MSD in-place radix and "
+       << "multiway mergesort local sorts, reference vs optimized "
+       << "backend, uncharged full sorts, best of " << kernel_reps
+       << " reps; backends sort identically\",\n"
+       << "    \"cells\": [\n";
+    for (std::size_t i = 0; i < algo_cells.size(); ++i) {
+      const AlgoKernelCell& c = algo_cells[i];
+      js << "      {\"algo\": \"" << c.algo << "\", \"dist\": \"" << c.dist
+         << "\", \"n\": " << c.n
+         << ", \"reference_s\": " << fmt_fixed(c.reference_s, 4)
+         << ", \"optimized_s\": " << fmt_fixed(c.optimized_s, 4)
+         << ", \"speedup\": " << fmt_fixed(c.speedup, 3) << "}"
+         << (i + 1 < algo_cells.size() ? "," : "") << "\n";
+    }
+    js << "    ]},\n"
        << "  \"notes\": \"Sweep cells at the default sizes are dominated "
        << "by the charged sort compute itself (the simulator executes "
        << "real radix passes), so the engine speedup there is modest; "

@@ -324,10 +324,15 @@ int main(int argc, char** argv) {
       {
         // Healthy non-durable live run: the results and calibration the
         // degraded run must still produce. (Live mode stamps host
-        // latency, so the comparison is field-wise, not to_json.)
+        // latency, so the comparison is field-wise, not to_json.) Both
+        // runs queue the whole trace before start(): calibrated planning
+        // is batch-geometry-dependent by design (plans see whatever
+        // observations earlier batches folded in), and a WAL-degraded
+        // submit path paces admissions differently — pinning the
+        // geometry isolates the invariant under test to durability.
         svc::SortService healthy(service_config(njobs + 4));
-        healthy.start();
         for (const svc::JobSpec& j : trace) healthy.submit(j);
+        healthy.start();
         healthy.drain();
         const std::vector<svc::JobResult> want = healthy.take_results();
         const std::string want_cal = healthy.planner().calibration_json();
@@ -341,13 +346,13 @@ int main(int argc, char** argv) {
         faults.seed = seed;
         faults.rate = 1.0;  // then every WAL write/fsync fails
         set_fs_fault_config(faults);
-        durable.start();
         const double t0 = now_sec();
         for (const svc::JobSpec& j : trace) {
           const svc::Admission a = durable.submit(j);
           DSM_CHECK(a == svc::Admission::kAccepted,
                     "degraded service refused a job");
         }
+        durable.start();
         durable.drain();
         const double ms = (now_sec() - t0) * 1e3;
         set_fs_fault_config(FsFaultConfig{});

@@ -91,6 +91,18 @@ std::vector<keys::RecordType> parse_record_list(const std::string& text) {
   return out;
 }
 
+std::vector<sort::Algo> parse_algo_list(const std::string& text) {
+  std::vector<sort::Algo> out;
+  std::istringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    out.push_back(enum_from_name_or_throw<sort::Algo>(sort::kAlgoNames, item,
+                                                      "algorithm"));
+  }
+  DSM_REQUIRE(!out.empty(), "--algo needs at least one algorithm");
+  return out;
+}
+
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0;
   std::sort(v.begin(), v.end());
@@ -171,7 +183,7 @@ int main(int argc, char** argv) {
         quick ? "4,8" : "16,32,64",
         {"quick", "out", "njobs", "capacity", "replay", "write-trace",
          "cluster-workers", "cluster-serve", "heartbeat-ms", "suspect-after",
-         "record"});
+         "record", "algo"});
     ArgParser args(argc, argv);
     const std::string out_path = args.get("out", "BENCH_service.json");
     const auto njobs = static_cast<std::size_t>(
@@ -223,6 +235,11 @@ int main(int argc, char** argv) {
     svc::LoadMix mix = mix_from_env(env);
     if (args.has("record")) {
       mix.records = parse_record_list(args.get("record", ""));
+    }
+    if (args.has("algo")) {
+      // Pin every generated job's algorithm (planner bypass for A/B
+      // runs); a list draws per job, like --record.
+      mix.algos = parse_algo_list(args.get("algo", ""));
     }
     const std::vector<svc::JobSpec> trace = svc::make_trace(env.seed, njobs, mix);
     if (!trace_out.empty()) {

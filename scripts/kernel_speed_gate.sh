@@ -10,6 +10,11 @@
 # over a same-sized lane), and host_wallclock itself aborts if the paired
 # sort is unstable or changes the key lane.
 #
+# The MSD in-place radix and multiway mergesort backends (DESIGN.md §13)
+# ride the same fence: their reference-vs-optimized cells (algo_kernels
+# in the report) are held to the identical never-slower tolerance, and
+# host_wallclock aborts if the two backends disagree on sorted output.
+#
 # Usage: scripts/kernel_speed_gate.sh [host_wallclock-binary] [--quick]
 #   binary   path to a built host_wallclock (default: build/bench/host_wallclock;
 #            build-native/bench/host_wallclock is what CI gates on)
@@ -68,6 +73,20 @@ for cell in cells:
                cell["speedup"], TOLERANCE))
     print("  n=%-9d radix=%-2d speedup %.2fx"
           % (cell["n"], cell["radix_bits"], cell["speedup"]))
+
+algo_cells = report.get("algo_kernels", {}).get("cells", [])
+if not algo_cells:
+    sys.exit("kernel_speed_gate: no algo-backend cells in report")
+for cell in algo_cells:
+    if cell["speedup"] < TOLERANCE:
+        failures.append(
+            "  %s n=%d dist=%s: optimized %.3fs vs reference %.3fs "
+            "(%.2fx < %.2fx)"
+            % (cell["algo"], cell["n"], cell["dist"],
+               cell["optimized_s"], cell["reference_s"],
+               cell["speedup"], TOLERANCE))
+    print("  %-5s n=%-9d dist=%-13s speedup %.2fx"
+          % (cell["algo"], cell["n"], cell["dist"], cell["speedup"]))
 
 paired = report.get("paired")
 if paired is None:

@@ -73,6 +73,42 @@ bool dist_clusters_late_passes(keys::Dist d) {
   return d == keys::Dist::kLocal || d == keys::Dist::kRemote;
 }
 
+/// Distribution features the MSD and mergesort backends exploit
+/// (DESIGN.md §13). `distinct` bounds MSD's recursion depth (buckets go
+/// all-equal once they hold one value); `stray_frac` is the expected
+/// fraction of keys outside the longest non-decreasing backbone
+/// (mergesort's nearly-sorted path triggers below 1/2); `low_byte_only`
+/// marks streams whose keys share their top three bytes, which MSD
+/// descends without permuting.
+struct DistFeatures {
+  double distinct = 0;
+  double stray_frac = 1.0;
+  bool low_byte_only = false;
+};
+
+DistFeatures dist_features(keys::Dist d, double n) {
+  const double full = 4294967296.0;
+  switch (d) {
+    case keys::Dist::kDup:
+      // 64 values; the non-decreasing backbone of an iid stream over V
+      // values holds ~1/V of the keys.
+      return {64.0, 1.0 - 1.0 / 64.0, false};
+    case keys::Dist::kZipf:
+      return {1024.0, 1.0 - 1.0 / 1024.0, false};
+    case keys::Dist::kAlmostSorted:
+      // An ascending ramp with ~1/64 random replacements.
+      return {std::min(n, full), 1.0 / 64.0, false};
+    case keys::Dist::kAdversarial:
+      // ~15/16 of the stream is one hot value (a huge constant backbone);
+      // the rest differ from it only in the low byte.
+      return {257.0, 1.0 / 16.0, true};
+    default:
+      // Uniform-ish streams: essentially all-distinct 32-bit keys, and a
+      // backbone of only ~2*sqrt(n).
+      return {std::min(n, full), 1.0, false};
+  }
+}
+
 /// One charged histogram pass (matches charged_histogram).
 void add_histogram(const Ctx& c, double n, Acc& a) {
   a.busy(c.cycles(n * c.mp.cpu.hist_update_cycles));
@@ -109,6 +145,154 @@ void add_local_sort(const Ctx& c, double n, bool clustered, Acc& a) {
   if (c.passes % 2 != 0) {
     const auto bytes = static_cast<std::uint64_t>(2 * n * 4);
     a.lmem(c.cost.stream_ns(bytes, bytes));
+  }
+}
+
+/// One MSD count sweep over n keys (matches charge_count_sweep): the
+/// histogram update, the key read stream, and the 256-counter table.
+void add_msd_count(const Ctx& c, double n, Acc& a) {
+  constexpr double kMsdB = 256.0;
+  a.busy(c.cycles(n * c.mp.cpu.hist_update_cycles));
+  const auto bytes = static_cast<std::uint64_t>(n * 4);
+  a.lmem(c.cost.stream_ns(bytes, bytes));
+  const auto tab = static_cast<std::uint64_t>(kMsdB * 8);
+  a.lmem(c.cost.stream_ns(tab, tab));
+  a.busy(c.cycles(kMsdB * c.mp.cpu.scan_cycles));
+}
+
+/// One MSD in-place flag permute over n keys (matches
+/// charge_flag_permute): the cycle chase reads and writes each slot once
+/// (2n accesses) inside the node's own footprint — never a scratch
+/// buffer — scattered over the active buckets.
+void add_msd_permute(const Ctx& c, double n, double active, Acc& a) {
+  a.busy(c.cycles(n * c.mp.cpu.permute_cycles));
+  machine::AccessPattern p;
+  p.accesses = static_cast<std::uint64_t>(std::max(1.0, 2 * n));
+  p.elem_bytes = 4;
+  p.runs = static_cast<std::uint64_t>(std::clamp(
+      n * (1.0 - 1.0 / std::max(2.0, active)), 1.0, std::max(1.0, 2 * n)));
+  p.active_regions = static_cast<std::uint64_t>(std::max(1.0, active));
+  p.footprint_bytes = static_cast<std::uint64_t>(std::max(4.0, n * 4));
+  a.lmem(c.cost.scattered_ns(p));
+}
+
+/// The insertion-sort base cases over an aggregate of n keys in buckets
+/// of average size b (matches charge_insertion; expected shifts per key
+/// ~ b/4 for an unsorted bucket).
+void add_msd_insertion(const Ctx& c, double n, double b, Acc& a) {
+  a.busy(c.cycles((n + n * b / 4.0) * c.mp.cpu.compare_cycles));
+  const auto bytes = static_cast<std::uint64_t>(std::max(4.0, n * 4));
+  a.lmem(c.cost.stream_ns(bytes, bytes));
+}
+
+/// Expected cost of one MSD in-place local sort of n keys (DESIGN.md
+/// §13): recursion depth is the smaller of the size-driven bound
+/// (buckets reach the insertion cutoff) and the value-driven bound
+/// (buckets go all-equal once they hold a single value) — the latter is
+/// where duplicate-heavy streams win.
+void add_msd_local_sort(const Ctx& c, double n, Acc& a) {
+  if (n < 1) return;
+  const DistFeatures f = dist_features(c.spec.dist, n);
+  const double v = std::clamp(f.distinct, 1.0, n);
+  if (n <= 32) {
+    add_msd_insertion(c, n, n, a);
+    return;
+  }
+  if (v <= 1.0) {
+    add_msd_count(c, n, a);  // one sweep discovers all-equal
+    return;
+  }
+  const double log256 = std::log(256.0);
+  const double lv = std::log(v) / log256;
+  const double ls = std::log(std::max(1.0, n / 16.0)) / log256;
+  const bool value_limited = f.low_byte_only || lv < ls;
+  // Shared-prefix streams descend without permuting until the byte that
+  // differs; permuting levels otherwise follow the tighter depth bound.
+  const int descend = f.low_byte_only ? 3 : 0;
+  const int perm =
+      f.low_byte_only
+          ? 1
+          : static_cast<int>(std::max(1.0, std::ceil(std::min(lv, ls))));
+  const int counts =
+      descend + perm + (value_limited && !f.low_byte_only ? 1 : 0);
+  for (int i = 0; i < counts; ++i) add_msd_count(c, n, a);
+  const double active = std::min({256.0, v, n});
+  for (int i = 0; i < perm; ++i) add_msd_permute(c, n, active, a);
+  if (!value_limited) {
+    const double b =
+        std::clamp(n / std::pow(256.0, static_cast<double>(perm)), 1.0, 32.0);
+    add_msd_insertion(c, n, b, a);
+  }
+}
+
+/// Expected cost of one mergesort local sort of n keys (DESIGN.md §13):
+/// the patience backbone/stray split, then either the nearly-sorted
+/// repair (LSD over the strays + one 2-way merge) or full run generation
+/// plus fanout-64 merge rounds.
+void add_merge_local_sort(const Ctx& c, double n, Acc& a) {
+  if (n <= 1) return;
+  const DistFeatures f = dist_features(c.spec.dist, n);
+  const double strays = std::clamp(f.stray_frac, 0.0, 1.0) * n;
+  const double backbone =
+      std::max(n - strays, 2.0 * std::sqrt(std::max(1.0, n)));
+  // Split sweep: the chain-extension fast path is one probe per key;
+  // each stray pays a binary search over the ~backbone-long tail array.
+  const double probes =
+      n + strays * std::log2(std::max(2.0, backbone));
+  a.busy(c.cycles(probes * c.mp.cpu.binary_search_cycles +
+                  n * c.mp.cpu.compare_cycles));
+  const auto sweep = static_cast<std::uint64_t>(2 * n * 4);
+  a.lmem(c.cost.stream_ns(sweep, sweep));
+  if (strays < 1.0) return;  // already sorted
+
+  const bool clustered = dist_clusters_late_passes(c.spec.dist);
+  auto merge_round = [&](double ways, double segments) {
+    const double levels =
+        ways > 1 ? static_cast<double>(bit_width_u64(
+                       static_cast<std::uint64_t>(ways) - 1))
+                 : 0.0;
+    a.busy(c.cycles(n * levels * c.mp.cpu.compare_cycles));
+    const auto bytes = static_cast<std::uint64_t>(n * 4);
+    a.lmem(c.cost.stream_ns(bytes, bytes));
+    machine::AccessPattern p;
+    p.accesses = static_cast<std::uint64_t>(std::max(1.0, n));
+    p.elem_bytes = 4;
+    p.runs = static_cast<std::uint64_t>(
+        std::clamp(segments, 1.0, std::max(1.0, n)));
+    p.active_regions = static_cast<std::uint64_t>(std::max(1.0, ways));
+    p.footprint_bytes = static_cast<std::uint64_t>(2 * n * 4);
+    a.lmem(c.cost.scattered_ns(p));
+  };
+  if (n - strays >= n / 2) {
+    // Nearly-sorted: LSD over the strays, one 2-way merge back.
+    add_local_sort(c, strays, clustered, a);
+    merge_round(2.0, std::min(n, 2 * strays + 1));
+    return;
+  }
+  // General path: full run generation + ceil(log_64(runs)) merge rounds.
+  add_local_sort(c, n, clustered, a);
+  double runs = std::max(1.0, std::ceil(n / 16384.0));
+  while (runs > 1.0) {
+    const double ways = std::min(64.0, runs);
+    merge_round(ways, n * (1.0 - 1.0 / std::max(2.0, ways)));
+    runs = std::ceil(runs / 64.0);
+  }
+}
+
+/// The local-sort kernel the sample skeleton runs for this spec's
+/// algorithm (mirrors charged_local_sort in sample_parallel.cpp).
+void add_skeleton_local_sort(const Ctx& c, double n, bool clustered,
+                             Acc& a) {
+  switch (c.spec.algo) {
+    case Algo::kMsdRadix:
+      add_msd_local_sort(c, n, a);
+      return;
+    case Algo::kMergesort:
+      add_merge_local_sort(c, n, a);
+      return;
+    default:
+      add_local_sort(c, n, clustered, a);
+      return;
   }
 }
 
@@ -275,9 +459,11 @@ void predict_sample(const Ctx& c, Acc& a) {
   const double remote_frac = p > 1 ? static_cast<double>(p - 1) / p : 0.0;
   const bool clustered = dist_clusters_late_passes(c.spec.dist);
 
-  // Phase 1 + phase 5: two local radix sorts of ~n_l keys each.
-  add_local_sort(c, c.n_l, clustered, a);
-  add_local_sort(c, c.n_l, clustered, a);
+  // Phase 1 + phase 5: two local sorts of ~n_l keys each, using the
+  // spec's local-sort kernel (LSD for kSample, MSD or mergesort for the
+  // backends riding the skeleton).
+  add_skeleton_local_sort(c, c.n_l, clustered, a);
+  add_skeleton_local_sort(c, c.n_l, clustered, a);
 
   // Sampling.
   a.busy(c.cycles(s * c.mp.cpu.scan_cycles));
@@ -360,25 +546,38 @@ Prediction predict(const SortSpec& spec) {
 }
 
 PredictedBest predict_best(Index n, int nprocs,
-                           const std::vector<int>& radixes) {
-  return predict_ranked(n, nprocs, radixes).front();
+                           const std::vector<int>& radixes, keys::Dist dist,
+                           const std::vector<sort::Algo>& menu) {
+  return predict_ranked(n, nprocs, radixes, dist, menu).front();
 }
 
 std::vector<PredictedBest> predict_ranked(Index n, int nprocs,
-                                          const std::vector<int>& radixes) {
+                                          const std::vector<int>& radixes,
+                                          keys::Dist dist,
+                                          const std::vector<sort::Algo>& menu) {
   DSM_REQUIRE(!radixes.empty(), "need at least one radix candidate");
   std::vector<PredictedBest> ranked;
-  for (const Algo a : {Algo::kRadix, Algo::kSample}) {
-    for (const Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi,
-                          Model::kShmem}) {
-      if (a == Algo::kSample && m == Model::kCcSasNew) continue;
-      for (const int r : radixes) {
+  for (const auto& ae : sort::kAlgoNames) {
+    const Algo a = ae.value;
+    if (!menu.empty() &&
+        std::find(menu.begin(), menu.end(), a) == menu.end()) {
+      continue;
+    }
+    for (const auto& me : sort::kModelNames) {
+      const Model m = me.value;
+      if (!sort::algo_supports_model(a, m)) continue;
+      // Algorithms that ignore the radix knob get one candidate, not one
+      // per radix (MSD's byte recursion is fixed at 8 bits).
+      const std::vector<int> rset =
+          sort::algo_uses_radix_bits(a) ? radixes : std::vector<int>{8};
+      for (const int r : rset) {
         SortSpec spec;
         spec.algo = a;
         spec.model = m;
         spec.nprocs = nprocs;
         spec.n = n;
         spec.radix_bits = r;
+        spec.dist = dist;
         ranked.push_back(PredictedBest{a, m, r, predict(spec).total_ns});
       }
     }

@@ -35,6 +35,13 @@ Prediction predict(const sort::SortSpec& spec);
 /// Convenience: the predicted best (algo, model, radix) combination for a
 /// given size and processor count — the paper's bottom-line question,
 /// answered without simulation.
+///
+/// `dist` feeds the distribution-aware features of the MSD and mergesort
+/// backends (DESIGN.md §13): duplicate-heavy streams shrink MSD's
+/// recursion, presorted streams collapse mergesort to a stray repair.
+/// `menu` restricts the algorithm menu (empty = every registry
+/// algorithm); the golden tests use it to pin the paper's original
+/// radix-vs-sample crossover independently of the newer backends.
 struct PredictedBest {
   sort::Algo algo = sort::Algo::kRadix;
   sort::Model model = sort::Model::kShmem;
@@ -42,13 +49,20 @@ struct PredictedBest {
   double total_ns = 0;
 };
 PredictedBest predict_best(Index n, int nprocs,
-                           const std::vector<int>& radixes = {8, 11, 12});
+                           const std::vector<int>& radixes = {8, 11, 12},
+                           keys::Dist dist = keys::Dist::kGauss,
+                           const std::vector<sort::Algo>& menu = {});
 
 /// Every feasible (algo, model, radix) candidate for (n, nprocs), sorted
 /// by ascending predicted time — predict_best is the front element. The
+/// enumeration is derived from the kAlgoNames/kModelNames registries,
+/// filtered by algo_supports_model; algorithms that ignore radix_bits
+/// (algo_uses_radix_bits == false) appear once, not once per radix. The
 /// service planner and the golden model-selection tests consume the full
 /// ranking (runner-up gaps, ordering stability).
 std::vector<PredictedBest> predict_ranked(
-    Index n, int nprocs, const std::vector<int>& radixes = {8, 11, 12});
+    Index n, int nprocs, const std::vector<int>& radixes = {8, 11, 12},
+    keys::Dist dist = keys::Dist::kGauss,
+    const std::vector<sort::Algo>& menu = {});
 
 }  // namespace dsm::perf

@@ -187,6 +187,10 @@ struct RadixWorkspace {
   std::vector<std::uint64_t> shard_cursor;  // threaded: [shard][bucket]
   std::vector<std::uint64_t> pay_cursor;    // paired sorts: cursor snapshot
                                             // for the payload mirror
+  std::vector<Key> lis_tails;               // merge split: patience tails
+  std::vector<std::uint32_t> lis_tail_at;   // merge split: input index of
+                                            // each tail
+  std::vector<std::uint32_t> lis_prev;      // merge split: chain links
 };
 
 /// The calling host thread's lazily-created workspace. The legacy

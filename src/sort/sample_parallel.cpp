@@ -7,10 +7,56 @@
 #include "common/bits.hpp"
 #include "common/error.hpp"
 #include "sas/prefix_tree.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/msd_radix.hpp"
 #include "sort/seq_radix.hpp"
 
 namespace dsm::sort {
 namespace {
+
+/// Local-sort dispatch for the skeleton's two sorting phases: the only
+/// point where Algo::kSample / kMsdRadix / kMergesort differ. Every
+/// backend honors the same contracts (sorted result in `keys`, charges a
+/// pure function of the key sequence), so the surrounding phases are
+/// untouched.
+void charged_local_sort(sim::ProcContext& ctx, LocalSort alg,
+                        std::span<Key> keys, std::span<Key> tmp,
+                        int radix_bits, KernelBackend be, RadixWorkspace& ws) {
+  switch (alg) {
+    case LocalSort::kLsd:
+      local_radix_sort(ctx, keys, tmp, radix_bits, be, ws);
+      return;
+    case LocalSort::kMsd:
+      local_msd_sort(ctx, keys, be, ws);
+      return;
+    case LocalSort::kMerge:
+      local_merge_sort(ctx, keys, tmp, radix_bits, be, ws);
+      return;
+  }
+  DSM_REQUIRE(false, "unknown local sort");
+}
+
+void charged_local_sort_paired(sim::ProcContext& ctx, LocalSort alg,
+                               std::span<Key> keys,
+                               std::span<keys::Payload> pays,
+                               std::span<Key> tmp,
+                               std::span<keys::Payload> pay_tmp,
+                               int radix_bits, KernelBackend be,
+                               RadixWorkspace& ws) {
+  switch (alg) {
+    case LocalSort::kLsd:
+      local_radix_sort_paired(ctx, keys, pays, tmp, pay_tmp, radix_bits, be,
+                              ws);
+      return;
+    case LocalSort::kMsd:
+      local_msd_sort_paired(ctx, keys, pays, be, ws);
+      return;
+    case LocalSort::kMerge:
+      local_merge_sort_paired(ctx, keys, pays, tmp, radix_bits, be, ws);
+      return;
+  }
+  DSM_REQUIRE(false, "unknown local sort");
+}
 
 /// Evenly select `s` samples from a sorted span (repeats allowed when the
 /// span is shorter than s).
@@ -133,10 +179,11 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   if (paired) {
     my_pay = std::span<keys::Payload>(w.pay->data() + my_begin, mine.size());
     pay_tmp.resize(mine.size());
-    local_radix_sort_paired(ctx, mine, my_pay, tmp, pay_tmp, w.radix_bits,
-                            w.kernels, ws);
+    charged_local_sort_paired(ctx, w.local_sort, mine, my_pay, tmp, pay_tmp,
+                              w.radix_bits, w.kernels, ws);
   } else {
-    local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+    charged_local_sort(ctx, w.local_sort, mine, tmp, w.radix_bits, w.kernels,
+                       ws);
   }
 
   // Phase 2: publish my samples (my slot of the shared sample array).
@@ -256,10 +303,11 @@ void sample_ccsas(sim::ProcContext& ctx, CcSasSampleWorld& w) {
   tmp.resize(out.size());
   if (paired) {
     pay_tmp.resize(out.size());
-    local_radix_sort_paired(ctx, out, (*w.pay_result)[rr], tmp, pay_tmp,
-                            w.radix_bits, w.kernels, ws);
+    charged_local_sort_paired(ctx, w.local_sort, out, (*w.pay_result)[rr],
+                              tmp, pay_tmp, w.radix_bits, w.kernels, ws);
   } else {
-    local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+    charged_local_sort(ctx, w.local_sort, out, tmp, w.radix_bits, w.kernels,
+                       ws);
   }
   ctx.phase("barrier");
   sas::ccsas_barrier(ctx);
@@ -286,10 +334,11 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   std::vector<keys::Payload> pay_tmp;
   if (paired) {
     pay_tmp.resize(mine.size());
-    local_radix_sort_paired(ctx, mine, (*w.pay_parts)[rr], tmp, pay_tmp,
-                            w.radix_bits, w.kernels, ws);
+    charged_local_sort_paired(ctx, w.local_sort, mine, (*w.pay_parts)[rr],
+                              tmp, pay_tmp, w.radix_bits, w.kernels, ws);
   } else {
-    local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+    charged_local_sort(ctx, w.local_sort, mine, tmp, w.radix_bits, w.kernels,
+                       ws);
   }
 
   // Phases 2+3: allgather samples; everyone redundantly sorts the full
@@ -370,10 +419,11 @@ void sample_mpi(sim::ProcContext& ctx, MpiSampleWorld& w) {
   tmp.resize(out.size());
   if (paired) {
     pay_tmp.resize(out.size());
-    local_radix_sort_paired(ctx, out, (*w.pay_result)[rr], tmp, pay_tmp,
-                            w.radix_bits, w.kernels, ws);
+    charged_local_sort_paired(ctx, w.local_sort, out, (*w.pay_result)[rr],
+                              tmp, pay_tmp, w.radix_bits, w.kernels, ws);
   } else {
-    local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+    charged_local_sort(ctx, w.local_sort, out, tmp, w.radix_bits, w.kernels,
+                       ws);
   }
   ctx.phase("barrier");
   w.comm->barrier(ctx);
@@ -404,10 +454,11 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   std::vector<keys::Payload> pay_tmp;
   if (paired) {
     pay_tmp.resize(mine.size());
-    local_radix_sort_paired(ctx, mine, (*w.pay_parts)[rr], tmp, pay_tmp,
-                            w.radix_bits, w.kernels, ws);
+    charged_local_sort_paired(ctx, w.local_sort, mine, (*w.pay_parts)[rr],
+                              tmp, pay_tmp, w.radix_bits, w.kernels, ws);
   } else {
-    local_radix_sort(ctx, mine, tmp, w.radix_bits, w.kernels, ws);
+    charged_local_sort(ctx, w.local_sort, mine, tmp, w.radix_bits, w.kernels,
+                       ws);
   }
 
   // Phases 2+3: fcollect samples; redundant local splitter computation.
@@ -473,10 +524,11 @@ void sample_shmem(sim::ProcContext& ctx, ShmemSampleWorld& w) {
   tmp.resize(out.size());
   if (paired) {
     pay_tmp.resize(out.size());
-    local_radix_sort_paired(ctx, out, (*w.pay_result)[rr], tmp, pay_tmp,
-                            w.radix_bits, w.kernels, ws);
+    charged_local_sort_paired(ctx, w.local_sort, out, (*w.pay_result)[rr],
+                              tmp, pay_tmp, w.radix_bits, w.kernels, ws);
   } else {
-    local_radix_sort(ctx, out, tmp, w.radix_bits, w.kernels, ws);
+    charged_local_sort(ctx, w.local_sort, out, tmp, w.radix_bits, w.kernels,
+                       ws);
   }
   ctx.phase("barrier");
   w.sh->barrier_all(ctx);

@@ -32,6 +32,16 @@ namespace dsm::sort {
 /// Default per-process sample count (the paper's choice).
 inline constexpr int kDefaultSampleCount = 128;
 
+/// Which charged local sort the skeleton's two sorting phases run. The
+/// sampling/splitter/redistribution phases are identical for all three:
+/// Algo::kSample, kMsdRadix and kMergesort share this skeleton and
+/// differ only here (plus their predictor cost models).
+enum class LocalSort {
+  kLsd,    // seq_radix.hpp (Algo::kSample)
+  kMsd,    // msd_radix.hpp (Algo::kMsdRadix)
+  kMerge,  // merge_sort.hpp (Algo::kMergesort)
+};
+
 struct CcSasSampleWorld {
   sas::SharedArray<Key>* keys = nullptr;             // input, sorted in place
   std::vector<std::vector<Key>>* result = nullptr;   // [rank] output run
@@ -50,6 +60,7 @@ struct CcSasSampleWorld {
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
   int group_size = 32;  // paper: "every set of 32 processes forms a group"
+  LocalSort local_sort = LocalSort::kLsd;  // both local sort phases
   /// Host kernel backend for both local sort phases; charged virtual
   /// times are backend-invariant (DESIGN.md §9).
   KernelBackend kernels = default_kernel_backend();
@@ -70,6 +81,7 @@ struct MpiSampleWorld {
   std::vector<std::vector<keys::Payload>>* pay_result = nullptr;
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
+  LocalSort local_sort = LocalSort::kLsd;            // both local sort phases
   KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
   int kernel_jobs = 0;                               // see CcSasSampleWorld
 };
@@ -88,6 +100,7 @@ struct ShmemSampleWorld {
   std::vector<std::vector<keys::Payload>>* pay_result = nullptr;
   int radix_bits = 11;
   int sample_count = kDefaultSampleCount;
+  LocalSort local_sort = LocalSort::kLsd;            // both local sort phases
   KernelBackend kernels = default_kernel_backend();  // see CcSasSampleWorld
   int kernel_jobs = 0;                               // see CcSasSampleWorld
 };

@@ -129,8 +129,10 @@ SortResult finish(const SortSpec& spec, sim::SimTeam& team,
   } else if (pay_runs != nullptr) {
     // Paired verification: key order, exact (key, payload) multiset
     // preservation, and stability — every algorithm here is stable (LSD
-    // radix by construction; sample sort because the splitter tie-break
-    // routes equal keys by source rank, and partitions ascend by rank).
+    // radix by construction; the sample-sort skeleton — and the MSD and
+    // mergesort backends riding on it — because the splitter tie-break
+    // routes equal keys by source rank, partitions ascend by rank, and
+    // every local payload mirror is a stable record sort).
     res.verified = verify_sorted_runs_paired(
         input, input_pairs, std::span<const std::span<const Key>>(runs),
         std::span<const std::span<const keys::Payload>>(*pay_runs),
@@ -303,6 +305,20 @@ SortResult run_radix_shmem(const SortSpec& spec,
                 paired ? &pay_runs : nullptr, input_pairs);
 }
 
+/// Which charged local sort the sample skeleton runs for this algorithm.
+/// kSample keeps the paper's LSD local sorts; kMsdRadix and kMergesort
+/// reuse the identical skeleton (sampling, splitters, redistribution)
+/// with their own local-sort kernels.
+LocalSort local_sort_of(Algo a) {
+  switch (a) {
+    case Algo::kMsdRadix: return LocalSort::kMsd;
+    case Algo::kMergesort: return LocalSort::kMerge;
+    case Algo::kRadix:
+    case Algo::kSample: break;
+  }
+  return LocalSort::kLsd;
+}
+
 SortResult run_sample_ccsas(const SortSpec& spec,
                             const machine::MachineParams& mp) {
   sim::SimTeam team(spec.nprocs, mp, engine_of(spec));
@@ -342,6 +358,7 @@ SortResult run_sample_ccsas(const SortSpec& spec,
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
   w.group_size = spec.ablations.sample_group_size;
+  w.local_sort = local_sort_of(spec.algo);
   w.kernels = spec.kernel_backend;
   w.kernel_jobs = spec.kernel_jobs;
   team.run([&](sim::ProcContext& ctx) { sample_ccsas(ctx, w); });
@@ -392,6 +409,7 @@ SortResult run_sample_mpi(const SortSpec& spec,
   }
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
+  w.local_sort = local_sort_of(spec.algo);
   w.kernels = spec.kernel_backend;
   w.kernel_jobs = spec.kernel_jobs;
   team.run([&](sim::ProcContext& ctx) { sample_mpi(ctx, w); });
@@ -424,6 +442,7 @@ SortResult run_sample_shmem(const SortSpec& spec,
   w.result = &result;
   w.radix_bits = spec.radix_bits;
   w.sample_count = spec.ablations.sample_count;
+  w.local_sort = local_sort_of(spec.algo);
   w.kernels = spec.kernel_backend;
   w.kernel_jobs = spec.kernel_jobs;
 
@@ -468,6 +487,8 @@ SortResult run_sort_impl(const SortSpec& spec,
       case Model::kShmem: return run_radix_shmem(spec, mp);
     }
   } else {
+    // kSample, kMsdRadix and kMergesort all run the sample-sort skeleton;
+    // run_sample_* pick the local-sort kernel via local_sort_of.
     switch (spec.model) {
       case Model::kCcSas: return run_sample_ccsas(spec, mp);
       case Model::kCcSasNew: break;  // rejected by validate()
@@ -533,7 +554,7 @@ Status SortSpec::validate_status() const {
     violation("sample group size must be >= 1, got " +
               std::to_string(ablations.sample_group_size));
   }
-  if (algo != Algo::kRadix && model == Model::kCcSasNew) {
+  if (!algo_supports_model(algo, model)) {
     violation("CC-SAS-NEW is a radix-sort restructuring only");
   }
   if (keys::record_info(record).has_payload) {

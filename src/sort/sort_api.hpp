@@ -34,14 +34,23 @@
 
 namespace dsm::sort {
 
-enum class Algo { kRadix, kSample };
+enum class Algo {
+  kRadix,      // LSD radix sort (the paper's §3.1)
+  kSample,     // single-level sample sort (§3.2), LSD local sorts
+  kMsdRadix,   // sample skeleton, MSD in-place local sorts (msd_radix.hpp)
+  kMergesort,  // sample skeleton, k-way mergesort local sorts (merge_sort.hpp)
+};
 enum class Model { kCcSas, kCcSasNew, kMpi, kShmem };
 
 /// Canonical registry tables (see common/cli.hpp). The names are wire
-/// format: journals and replay files carry them.
+/// format: journals and replay files carry them. The planner's cell
+/// matrix and the predictor's ranked menu are derived from these tables,
+/// so adding an algorithm here grows both automatically.
 inline constexpr EnumEntry<Algo> kAlgoNames[] = {
     {Algo::kRadix, "radix"},
     {Algo::kSample, "sample"},
+    {Algo::kMsdRadix, "msd"},
+    {Algo::kMergesort, "merge"},
 };
 inline constexpr EnumEntry<Model> kModelNames[] = {
     {Model::kCcSas, "CC-SAS"},
@@ -58,6 +67,19 @@ Model model_from_name(const std::string& name);
 /// names on failure.
 Result<Algo> try_algo_from_name(const std::string& name);
 Result<Model> try_model_from_name(const std::string& name);
+
+/// The feasibility rule shared by spec validation, the predictor's
+/// ranked menu, and the planner's cell filter: CC-SAS-NEW is the paper's
+/// radix-sort restructuring (it reorganises the radix permutation's
+/// remote traffic) and exists for no other algorithm.
+constexpr bool algo_supports_model(Algo a, Model m) {
+  return m != Model::kCcSasNew || a == Algo::kRadix;
+}
+
+/// True for the algorithms whose menu entry has a meaningful radix_bits
+/// knob (LSD local sorts / run generation). MSD radix recurses on fixed
+/// byte digits, so its planner cells carry radix_bits = 8 verbatim.
+constexpr bool algo_uses_radix_bits(Algo a) { return a != Algo::kMsdRadix; }
 
 /// Cooperative cancellation flag. The owner arms it from any thread; the
 /// sort polls it at every checkpoint and phase mark and unwinds with

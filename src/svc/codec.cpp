@@ -8,6 +8,37 @@ using wire::dbl;
 using wire::netstr;
 using wire::Parser;
 
+namespace {
+
+// Enum fields arrive from journals and cluster sockets, so an unknown
+// name (old format, new peer, or hostile stream) must surface as the
+// typed corruption status — never the plain Error the CLI-facing
+// from_name helpers throw, and never a blind cast.
+[[noreturn]] void fail_enum(const Status& why) {
+  throw StatusError(
+      Status::corrupt_journal("durability payload: " + why.message()));
+}
+
+sort::Algo get_algo(Parser& p) {
+  const Result<sort::Algo> r = sort::try_algo_from_name(p.tok());
+  if (!r.ok()) fail_enum(r.status());
+  return r.value();
+}
+
+sort::Model get_model(Parser& p) {
+  const Result<sort::Model> r = sort::try_model_from_name(p.tok());
+  if (!r.ok()) fail_enum(r.status());
+  return r.value();
+}
+
+keys::Dist get_dist(Parser& p) {
+  const Result<keys::Dist> r = keys::try_dist_from_name(p.tok());
+  if (!r.ok()) fail_enum(r.status());
+  return r.value();
+}
+
+}  // namespace
+
 void put_plan(std::ostringstream& os, const Plan& p) {
   os << ' ' << sort::algo_name(p.algo) << ' ' << sort::model_name(p.model)
      << ' ' << p.radix_bits << ' ' << dbl(p.predicted_raw_ns) << ' '
@@ -21,15 +52,15 @@ void put_plan(std::ostringstream& os, const Plan& p) {
 
 Plan get_plan(Parser& p) {
   Plan out;
-  out.algo = sort::algo_from_name(p.tok());
-  out.model = sort::model_from_name(p.tok());
+  out.algo = get_algo(p);
+  out.model = get_model(p);
   out.radix_bits = p.i32();
   out.predicted_raw_ns = p.d();
   out.predicted_ns = p.d();
   out.has_runner_up = p.b();
   if (out.has_runner_up) {
-    out.runner_algo = sort::algo_from_name(p.tok());
-    out.runner_model = sort::model_from_name(p.tok());
+    out.runner_algo = get_algo(p);
+    out.runner_model = get_model(p);
     out.runner_radix_bits = p.i32();
     out.runner_predicted_ns = p.d();
   }
@@ -78,10 +109,10 @@ JobSpec get_job(Parser& p) {
   j.id = p.u64();
   j.n = static_cast<Index>(p.u64());
   j.nprocs = p.i32();
-  j.dist = keys::dist_from_name(p.tok());
+  j.dist = get_dist(p);
   j.seed = p.u64();
-  if (p.b()) j.force_algo = sort::algo_from_name(p.tok());
-  if (p.b()) j.force_model = sort::model_from_name(p.tok());
+  if (p.b()) j.force_algo = get_algo(p);
+  if (p.b()) j.force_model = get_model(p);
   if (p.b()) j.force_radix_bits = p.i32();
   j.deadline_us = p.u64();
   j.priority = p.i32();

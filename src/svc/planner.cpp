@@ -14,9 +14,17 @@ namespace {
 using sort::Algo;
 using sort::Model;
 
-constexpr Algo kAlgos[] = {Algo::kRadix, Algo::kSample};
-constexpr Model kModels[] = {Model::kCcSas, Model::kCcSasNew, Model::kMpi,
-                             Model::kShmem};
+// The cell index packs (algo, model) as algo-major over the registry
+// tables; that only works while the enum values are their registry
+// positions, which these assertions pin.
+static_assert(sort::kAlgoNames[static_cast<std::size_t>(Algo::kRadix)].value ==
+              Algo::kRadix);
+static_assert(
+    sort::kAlgoNames[static_cast<std::size_t>(Algo::kMergesort)].value ==
+    Algo::kMergesort);
+static_assert(
+    sort::kModelNames[static_cast<std::size_t>(Model::kShmem)].value ==
+    Model::kShmem);
 
 // Keep one observation from swinging a cell past plausible predictor
 // error; the EWMA still converges onto any persistent bias inside the
@@ -33,7 +41,10 @@ Planner::Planner(PlannerConfig cfg) : cfg_(std::move(cfg)) {
 }
 
 std::size_t Planner::cell_index(Algo algo, Model model) {
-  return static_cast<std::size_t>(algo) * 4 + static_cast<std::size_t>(model);
+  const std::size_t a = static_cast<std::size_t>(algo);
+  const std::size_t m = static_cast<std::size_t>(model);
+  DSM_REQUIRE(a < kNumAlgos && m < kNumModels, "cell index out of range");
+  return a * kNumModels + m;
 }
 
 Plan Planner::plan(const JobSpec& job) const {
@@ -43,13 +54,18 @@ Plan Planner::plan(const JobSpec& job) const {
 }
 
 Result<Plan> Planner::try_plan(const JobSpec& job) const {
-  const std::vector<Algo> algos =
-      job.force_algo ? std::vector<Algo>{*job.force_algo}
-                     : std::vector<Algo>(std::begin(kAlgos), std::end(kAlgos));
-  const std::vector<Model> models =
-      job.force_model
-          ? std::vector<Model>{*job.force_model}
-          : std::vector<Model>(std::begin(kModels), std::end(kModels));
+  std::vector<Algo> algos;
+  if (job.force_algo) {
+    algos.push_back(*job.force_algo);
+  } else {
+    for (const auto& e : sort::kAlgoNames) algos.push_back(e.value);
+  }
+  std::vector<Model> models;
+  if (job.force_model) {
+    models.push_back(*job.force_model);
+  } else {
+    for (const auto& e : sort::kModelNames) models.push_back(e.value);
+  }
   const std::vector<int> radixes = job.force_radix_bits
                                        ? std::vector<int>{*job.force_radix_bits}
                                        : cfg_.radixes;
@@ -67,7 +83,17 @@ Result<Plan> Planner::try_plan(const JobSpec& job) const {
     const std::lock_guard<std::mutex> lock(mu_);
     for (const Algo a : algos) {
       for (const Model m : models) {
-        for (const int r : radixes) {
+        if (!sort::algo_supports_model(a, m)) {
+          last_error = std::string(sort::model_name(m)) +
+                       " does not support algorithm " + sort::algo_name(a);
+          continue;
+        }
+        // Algorithms that ignore the radix knob contribute one candidate
+        // per model, not one per radix size.
+        const std::vector<int> rset = sort::algo_uses_radix_bits(a)
+                                          ? radixes
+                                          : std::vector<int>{radixes.front()};
+        for (const int r : rset) {
           sort::SortSpec spec;
           spec.algo = a;
           spec.model = m;
@@ -155,20 +181,24 @@ std::uint64_t Planner::observations(sort::Algo algo, sort::Model model) const {
 
 std::vector<Planner::CellState> Planner::export_cells() const {
   const std::lock_guard<std::mutex> lock(mu_);
-  std::vector<CellState> out(8);
-  for (std::size_t i = 0; i < 8; ++i) {
-    out[i].factor = cells_[i].factor;
-    out[i].samples = cells_[i].samples;
+  std::vector<CellState> out;
+  out.reserve(kNumCells);
+  for (const auto& ae : sort::kAlgoNames) {
+    for (const auto& me : sort::kModelNames) {
+      const Cell& cell = cells_[cell_index(ae.value, me.value)];
+      out.push_back(CellState{ae.value, me.value, cell.factor, cell.samples});
+    }
   }
   return out;
 }
 
 void Planner::import_cells(const std::vector<CellState>& cells) {
-  DSM_REQUIRE(cells.size() == 8, "planner snapshot must carry 8 cells");
   const std::lock_guard<std::mutex> lock(mu_);
-  for (std::size_t i = 0; i < 8; ++i) {
-    cells_[i].factor = cells[i].factor;
-    cells_[i].samples = cells[i].samples;
+  for (Cell& c : cells_) c = Cell{};
+  for (const CellState& c : cells) {
+    Cell& slot = cells_[cell_index(c.algo, c.model)];
+    slot.factor = c.factor;
+    slot.samples = c.samples;
   }
 }
 
@@ -177,12 +207,13 @@ std::string Planner::calibration_json() const {
   std::ostringstream os;
   os << "[";
   bool first = true;
-  for (const Algo a : kAlgos) {
-    for (const Model m : kModels) {
-      if (a == Algo::kSample && m == Model::kCcSasNew) continue;
-      const Cell& cell = cells_[cell_index(a, m)];
-      os << (first ? "" : ", ") << "{\"algo\": \"" << sort::algo_name(a)
-         << "\", \"model\": \"" << sort::model_name(m) << "\", \"factor\": "
+  for (const auto& ae : sort::kAlgoNames) {
+    for (const auto& me : sort::kModelNames) {
+      if (!sort::algo_supports_model(ae.value, me.value)) continue;
+      const Cell& cell = cells_[cell_index(ae.value, me.value)];
+      os << (first ? "" : ", ") << "{\"algo\": \""
+         << sort::algo_name(ae.value) << "\", \"model\": \""
+         << sort::model_name(me.value) << "\", \"factor\": "
          << fmt_fixed(cell.samples > 0 ? cell.factor : 1.0, 4)
          << ", \"samples\": " << cell.samples << "}";
       first = false;

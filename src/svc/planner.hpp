@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iterator>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.hpp"
+#include "sort/sort_api.hpp"
 #include "svc/job.hpp"
 
 namespace dsm::svc {
@@ -67,20 +69,34 @@ class Planner {
   /// Calibration table as a JSON array (deterministic).
   std::string calibration_json() const;
 
-  /// Calibration state of one (algo, model) cell, in snapshot order.
+  /// Calibration state of one (algo, model) cell, tagged with the cell it
+  /// belongs to so snapshots name cells instead of relying on positional
+  /// layout (a snapshot written before an algorithm existed still lands
+  /// its cells on the right slots).
   struct CellState {
+    sort::Algo algo = sort::Algo::kRadix;
+    sort::Model model = sort::Model::kCcSas;
     double factor = 1.0;
     std::uint64_t samples = 0;
   };
 
-  /// All 8 cells in the fixed (algo-major, model-minor) enumeration order.
-  /// The factor doubles round-trip exactly through import_cells (snapshots
-  /// serialize them as hexfloat), which is what makes a recovered planner
-  /// produce byte-identical plans.
+  /// Every (algo, model) cell in registry enumeration order (algo-major,
+  /// model-minor — derived from kAlgoNames x kModelNames). The factor
+  /// doubles round-trip exactly through import_cells (snapshots serialize
+  /// them as hexfloat), which is what makes a recovered planner produce
+  /// byte-identical plans.
   std::vector<CellState> export_cells() const;
+  /// Restore cells by tag; untagged slots reset to the uncalibrated
+  /// default. Accepts any subset, so old snapshots that predate an
+  /// algorithm restore cleanly.
   void import_cells(const std::vector<CellState>& cells);
 
   const PlannerConfig& config() const { return cfg_; }
+
+  /// Cell-matrix shape, derived from the enum registries.
+  static constexpr std::size_t kNumAlgos = std::size(sort::kAlgoNames);
+  static constexpr std::size_t kNumModels = std::size(sort::kModelNames);
+  static constexpr std::size_t kNumCells = kNumAlgos * kNumModels;
 
  private:
   struct Cell {
@@ -92,8 +108,7 @@ class Planner {
 
   PlannerConfig cfg_;
   mutable std::mutex mu_;
-  // 2 algorithms x 4 models.
-  Cell cells_[8];
+  Cell cells_[kNumCells];
 };
 
 }  // namespace dsm::svc

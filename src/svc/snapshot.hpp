@@ -33,7 +33,9 @@ struct SnapshotData {
   std::uint64_t lsn = 0;
   /// Admission sequence counter at checkpoint time.
   std::uint64_t next_seq = 0;
-  /// All 8 planner cells in export_cells order.
+  /// Every planner cell in export_cells order, tagged with its (algo,
+  /// model). Serialized as the named "cells2" list; the decoder also
+  /// accepts the legacy positional 8-cell layout from old snapshots.
   std::vector<Planner::CellState> planner_cells;
   /// Complete metrics registry state.
   Metrics::State metrics;

@@ -44,6 +44,9 @@ std::vector<JobSpec> make_trace(std::uint64_t seed, std::size_t count,
     if (draw_record) {
       job.record = mix.records[rng.next() % mix.records.size()];
     }
+    if (!mix.algos.empty()) {
+      job.force_algo = mix.algos[rng.next() % mix.algos.size()];
+    }
     job.validate();
     jobs.push_back(job);
   }

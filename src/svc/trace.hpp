@@ -40,6 +40,11 @@ struct LoadMix {
   /// Record types drawn per job; the trivial {u32} default draws nothing
   /// (same PRNG-preservation rule as deadlines/priorities).
   std::vector<keys::RecordType> records{keys::RecordType::kU32};
+  /// Algorithms force-pinned per job (`JobSpec.force_algo`). The empty
+  /// default draws nothing and leaves every job to the planner's menu —
+  /// the PRNG-preservation rule again, so traces generated before the
+  /// knob existed are byte-identical.
+  std::vector<sort::Algo> algos{};
 };
 
 /// Generate `count` jobs deterministically from `seed` over `mix`.

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 
 namespace dsm::cluster {
 namespace {
@@ -223,6 +224,57 @@ TEST(Frame, HostileFramesDecodeToTypedCorruptFrame) {
     EXPECT_EQ(got.status().code(), StatusCode::kCorruptFrame)
         << got.status().to_string();
     EXPECT_FALSE(got.status().retryable());
+  }
+}
+
+TEST(Frame, TaskRoundTripsTheNewBackends) {
+  // The algorithm menu rides the cluster wire by name: both new backends
+  // must survive a task frame in every enum slot they can occupy.
+  for (const sort::Algo a : {sort::Algo::kMsdRadix, sort::Algo::kMergesort}) {
+    WireMessage m;
+    m.type = MsgType::kTask;
+    m.task_id = 21;
+    m.job = sample_job();
+    m.job.force_algo = a;
+    m.plan = sample_plan();
+    m.plan.algo = a;
+    m.plan.runner_algo = sort::Algo::kMsdRadix;
+    const Result<WireMessage> got = decode_message(encode_message(m));
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    ASSERT_TRUE(got->job.force_algo.has_value());
+    EXPECT_EQ(*got->job.force_algo, a);
+    EXPECT_EQ(got->plan.algo, a);
+    EXPECT_EQ(got->plan.runner_algo, sort::Algo::kMsdRadix);
+  }
+}
+
+TEST(Frame, UnknownEnumNamesInTaskFramesAreCorruptFrame) {
+  // A peer speaking a newer (or hostile) dialect may send algorithm,
+  // model, or distribution names this build has never heard of. Splice
+  // such names over real ones in an otherwise flawless frame: the decode
+  // must surface kCorruptFrame, never a blind enum cast.
+  WireMessage m;
+  m.type = MsgType::kTask;
+  m.task_id = 3;
+  m.job = sample_job();
+  m.plan = sample_plan();
+  m.plan.algo = sort::Algo::kMergesort;
+  const std::string good = encode_message(m);
+  ASSERT_TRUE(decode_message(good).ok());
+  const std::pair<std::string, std::string> splices[] = {
+      {"merge", "quicksort"},   // plan algo
+      {"MPI", "HYPERCUBE"},     // plan model
+      {"bucket", "pareto"},     // job dist
+  };
+  for (const auto& [from, to] : splices) {
+    std::string bad = good;
+    const std::size_t pos = bad.find(from);
+    ASSERT_NE(pos, std::string::npos) << from;
+    bad.replace(pos, from.size(), to);
+    const Result<WireMessage> got = decode_message(bad);
+    ASSERT_FALSE(got.ok()) << from << " -> " << to;
+    EXPECT_EQ(got.status().code(), StatusCode::kCorruptFrame)
+        << got.status().to_string();
   }
 }
 

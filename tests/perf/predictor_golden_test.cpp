@@ -2,26 +2,36 @@
 // recommendation (the paper's "which combination should I use?") so a
 // cost-model change that silently moves the crossover fails loudly.
 //
-// The crossover these tests pin was measured against the simulator:
-// sample sort on CC-SAS wins below ~10^5 keys per processor, radix sort
-// on SHMEM wins above, with the switch between 128K and 256K keys/proc
-// (earlier for 16 and 32 processes, later for 64), and radix_bits = 11
-// at both ends.
+// Two layers of pins:
+//  - The paper's menu ({radix, sample}): the crossover these tests pin
+//    was measured against the simulator — sample sort on CC-SAS wins
+//    below ~10^5 keys per processor, radix sort on SHMEM wins above,
+//    with the switch between 128K and 256K keys/proc (earlier for 16 and
+//    32 processes, later for 64), and radix_bits = 11 at both ends.
+//  - The full registry menu with the distribution feature (DESIGN.md
+//    §13): MSD in-place radix takes duplicate-heavy streams, multiway
+//    mergesort takes nearly-sorted streams, and LSD radix keeps the
+//    large uniform cells the paper's answer is about.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "keys/distributions.hpp"
 #include "perf/predictor.hpp"
 
 namespace dsm::perf {
 namespace {
 
 const int kProcCounts[] = {16, 32, 64};
+const std::vector<sort::Algo> kPaperMenu = {sort::Algo::kRadix,
+                                            sort::Algo::kSample};
+const std::vector<int> kRadixes = {8, 11, 12};
 
 TEST(PredictorGolden, SmallPerProcessSizesPickSampleOnCcSas) {
   for (const int p : kProcCounts) {
     const Index n = Index{16 << 10} * static_cast<Index>(p);
-    const PredictedBest best = predict_best(n, p);
+    const PredictedBest best =
+        predict_best(n, p, kRadixes, keys::Dist::kGauss, kPaperMenu);
     EXPECT_EQ(best.algo, sort::Algo::kSample) << "p=" << p;
     EXPECT_EQ(best.model, sort::Model::kCcSas) << "p=" << p;
     EXPECT_EQ(best.radix_bits, 11) << "p=" << p;
@@ -31,10 +41,16 @@ TEST(PredictorGolden, SmallPerProcessSizesPickSampleOnCcSas) {
 TEST(PredictorGolden, LargePerProcessSizesPickRadixOnShmem) {
   for (const int p : kProcCounts) {
     const Index n = Index{512 << 10} * static_cast<Index>(p);
-    const PredictedBest best = predict_best(n, p);
+    const PredictedBest best =
+        predict_best(n, p, kRadixes, keys::Dist::kGauss, kPaperMenu);
     EXPECT_EQ(best.algo, sort::Algo::kRadix) << "p=" << p;
     EXPECT_EQ(best.model, sort::Model::kShmem) << "p=" << p;
     EXPECT_EQ(best.radix_bits, 11) << "p=" << p;
+    // The paper's large-size answer survives the full menu: neither new
+    // backend undercuts LSD radix on large uniform streams.
+    const PredictedBest full = predict_best(n, p, kRadixes);
+    EXPECT_EQ(full.algo, sort::Algo::kRadix) << "p=" << p;
+    EXPECT_EQ(full.model, sort::Model::kShmem) << "p=" << p;
   }
 }
 
@@ -45,7 +61,9 @@ TEST(PredictorGolden, CrossoverSitsInTheMeasuredBandAndIsMonotone) {
     Index first_radix = 0;
     bool saw_radix = false;
     for (const Index k : kPerProc) {
-      const PredictedBest best = predict_best(k * static_cast<Index>(p), p);
+      const PredictedBest best =
+          predict_best(k * static_cast<Index>(p), p, kRadixes,
+                       keys::Dist::kGauss, kPaperMenu);
       if (best.algo == sort::Algo::kRadix && !saw_radix) {
         saw_radix = true;
         first_radix = k;
@@ -65,8 +83,9 @@ TEST(PredictorGolden, CrossoverSitsInTheMeasuredBandAndIsMonotone) {
 TEST(PredictorGolden, RankedListIsSortedCompleteAndConsistent) {
   const Index n = Index{1} << 22;
   const auto ranked = predict_ranked(n, 32);
-  // 2 algorithms x 4 models minus sample/CC-SAS-NEW, times 3 radixes.
-  ASSERT_EQ(ranked.size(), 21u);
+  // radix x 4 models x 3 radixes, sample and merge x 3 models x 3
+  // radixes, msd x 3 models x 1 (it ignores the radix knob): 33 cells.
+  ASSERT_EQ(ranked.size(), 33u);
   const PredictedBest best = predict_best(n, 32);
   EXPECT_EQ(ranked.front().algo, best.algo);
   EXPECT_EQ(ranked.front().model, best.model);
@@ -75,10 +94,52 @@ TEST(PredictorGolden, RankedListIsSortedCompleteAndConsistent) {
   for (std::size_t i = 1; i < ranked.size(); ++i) {
     EXPECT_LE(ranked[i - 1].total_ns, ranked[i].total_ns) << i;
   }
+  int msd_cells = 0;
   for (const PredictedBest& c : ranked) {
     EXPECT_GT(c.total_ns, 0);
-    EXPECT_FALSE(c.algo == sort::Algo::kSample &&
-                 c.model == sort::Model::kCcSasNew);
+    EXPECT_TRUE(sort::algo_supports_model(c.algo, c.model))
+        << sort::algo_name(c.algo) << "/" << sort::model_name(c.model);
+    if (c.algo == sort::Algo::kMsdRadix) {
+      ++msd_cells;
+      EXPECT_EQ(c.radix_bits, 8);  // the byte recursion is fixed
+    }
+  }
+  EXPECT_EQ(msd_cells, 3);  // one per feasible model, not one per radix
+}
+
+TEST(PredictorGolden, SkewedDistributionsSwitchTheFullMenuWinner) {
+  // The algorithm-menu crossover this PR exists for (validated against
+  // the simulator in bench/algo_study): duplicate-heavy streams hand the
+  // win to MSD's all-equal early exit, nearly-sorted streams hand it to
+  // mergesort's backbone repair — at small AND large per-process sizes —
+  // while uniform gauss keeps the paper's winners (small gauss goes to
+  // MSD as well; its two count+permute level recursion undercuts three
+  // LSD passes before communication dominates).
+  for (const int p : kProcCounts) {
+    for (const Index per : {Index{16 << 10}, Index{512 << 10}}) {
+      const Index n = per * static_cast<Index>(p);
+      const PredictedBest dup =
+          predict_best(n, p, kRadixes, keys::Dist::kDup);
+      EXPECT_EQ(dup.algo, sort::Algo::kMsdRadix)
+          << "p=" << p << " per=" << per;
+      const PredictedBest sorted =
+          predict_best(n, p, kRadixes, keys::Dist::kAlmostSorted);
+      EXPECT_EQ(sorted.algo, sort::Algo::kMergesort)
+          << "p=" << p << " per=" << per;
+    }
+  }
+}
+
+TEST(PredictorGolden, SkewRankingCoversEverySkewDist) {
+  // Every skew distribution must produce a complete, ordered full-menu
+  // ranking — the planner consumes these verbatim.
+  for (const keys::Dist d : keys::kSkewDists) {
+    const auto ranked = predict_ranked(Index{1} << 20, 16, kRadixes, d);
+    ASSERT_EQ(ranked.size(), 33u) << keys::dist_name(d);
+    for (std::size_t i = 1; i < ranked.size(); ++i) {
+      EXPECT_LE(ranked[i - 1].total_ns, ranked[i].total_ns)
+          << keys::dist_name(d) << " i=" << i;
+    }
   }
 }
 

@@ -94,12 +94,18 @@ TEST(Predictor, OrdersStagedBelowDirect) {
   EXPECT_GT(staged, direct);
 }
 
+// The paper's own menu — its headline crossover is a statement about
+// these two algorithms, independent of the newer backends.
+const std::vector<Algo> kPaperMenu = {Algo::kRadix, Algo::kSample};
+
 TEST(Predictor, PredictsSampleRadixCrossover) {
   // The paper's headline: sample wins small, radix wins large (per proc).
   const int p = 64;
-  const auto small = predict_best(1 << 20, p);
+  const auto small =
+      predict_best(1 << 20, p, {8, 11, 12}, keys::Dist::kGauss, kPaperMenu);
   EXPECT_EQ(small.algo, Algo::kSample);
-  const auto large = predict_best(Index{1} << 24, p);
+  const auto large = predict_best(Index{1} << 24, p, {8, 11, 12},
+                                  keys::Dist::kGauss, kPaperMenu);
   EXPECT_EQ(large.algo, Algo::kRadix);
 }
 
@@ -108,7 +114,8 @@ TEST(Predictor, BestAgreesWithSimulatorOnAlgorithm) {
   // a mid-size configuration.
   const Index n = 1 << 19;
   const int p = 16;
-  const auto best = predict_best(n, p, {8, 11});
+  const auto best =
+      predict_best(n, p, {8, 11}, keys::Dist::kGauss, kPaperMenu);
   double best_sim_radix = 1e300, best_sim_sample = 1e300;
   for (const int r : {8, 11}) {
     for (const Model m : {Model::kCcSas, Model::kCcSasNew, Model::kMpi,

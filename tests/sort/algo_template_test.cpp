@@ -1,0 +1,195 @@
+// The uncharged template cores of the two non-LSD backends (DESIGN.md
+// §13): MSD in-place record sort and k-way record mergesort. Pure
+// header templates over RecordTraits, so this file's from-source closure
+// stays small enough for the TSan tier — the concurrent cases sort
+// private arrays from many threads, which is exactly how the sample
+// skeleton's ranks use them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "keys/distributions.hpp"
+#include "keys/record.hpp"
+#include "sort/merge_sort.hpp"
+#include "sort/msd_radix.hpp"
+
+namespace dsm::sort {
+namespace {
+
+using keys::KeyPayload32;
+using KeyTraits = keys::RecordTraits<Key>;
+using PairTraits = keys::RecordTraits<KeyPayload32>;
+
+std::vector<Key> make_keys(keys::Dist d, Index n, std::uint64_t seed) {
+  std::vector<Key> out(n);
+  keys::GenSpec spec;
+  spec.n_total = n;
+  spec.nprocs = 1;
+  spec.seed = seed;
+  keys::generate(d, out, spec);
+  return out;
+}
+
+std::vector<KeyPayload32> make_records(keys::Dist d, Index n,
+                                       std::uint64_t seed) {
+  const auto keys = make_keys(d, n, seed);
+  std::vector<KeyPayload32> recs(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    recs[i] = {keys[i], static_cast<keys::Payload>(i)};
+  }
+  return recs;
+}
+
+constexpr keys::Dist kCaseDists[] = {
+    keys::Dist::kGauss,        keys::Dist::kRandom,
+    keys::Dist::kZipf,         keys::Dist::kDup,
+    keys::Dist::kAlmostSorted, keys::Dist::kAdversarial,
+};
+
+constexpr Index kCaseSizes[] = {0,  1,  2,  5,   31,   32,
+                                33, 97, 257, 4096, 50000};
+
+TEST(MsdRecordSort, SortsKeysForEveryDistAndSize) {
+  for (const keys::Dist d : kCaseDists) {
+    for (const Index n : kCaseSizes) {
+      auto keys = make_keys(d, n, 11);
+      auto expect = keys;
+      std::sort(expect.begin(), expect.end());
+      msd_record_sort<KeyTraits>(keys);
+      EXPECT_EQ(keys, expect) << keys::dist_name(d) << " n=" << n;
+    }
+  }
+}
+
+TEST(MsdRecordSort, PermutesRecordsByKey) {
+  // MSD is not stable, so on kv32 assert the weaker (and sufficient)
+  // contract the callers rely on: keys sorted, (key, payload) multiset
+  // preserved.
+  for (const keys::Dist d : {keys::Dist::kDup, keys::Dist::kGauss}) {
+    auto recs = make_records(d, 20000, 3);
+    const auto input = recs;
+    msd_record_sort<PairTraits>(recs);
+    EXPECT_TRUE(std::is_sorted(recs.begin(), recs.end(),
+                               [](const KeyPayload32& a,
+                                  const KeyPayload32& b) {
+                                 return a.key < b.key;
+                               }));
+    auto by_pair = [](const KeyPayload32& a, const KeyPayload32& b) {
+      return a.key != b.key ? a.key < b.key : a.payload < b.payload;
+    };
+    auto got = recs;
+    auto want = input;
+    std::sort(got.begin(), got.end(), by_pair);
+    std::sort(want.begin(), want.end(), by_pair);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].key, want[i].key) << i;
+      ASSERT_EQ(got[i].payload, want[i].payload) << i;
+    }
+  }
+}
+
+TEST(MsdInsertionSort, ShiftCountIsTheInversionCount) {
+  std::uint64_t x = 17;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Key> a(round % 13);
+    for (auto& k : a) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      k = static_cast<Key>(x >> 56);
+    }
+    std::uint64_t inversions = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      for (std::size_t j = i + 1; j < a.size(); ++j) {
+        inversions += a[i] > a[j] ? 1 : 0;
+      }
+    }
+    auto sorted = a;
+    const std::uint64_t shifts =
+        msd_insertion_sort<KeyTraits>(std::span<Key>(sorted));
+    EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+    EXPECT_EQ(shifts, inversions) << "round " << round;
+  }
+}
+
+TEST(RecordMergeSort, MatchesStableSortExactly) {
+  for (const keys::Dist d : kCaseDists) {
+    for (const Index n : kCaseSizes) {
+      auto recs = make_records(d, n, 7);
+      auto expect = recs;
+      std::stable_sort(expect.begin(), expect.end(),
+                       [](const KeyPayload32& a, const KeyPayload32& b) {
+                         return a.key < b.key;
+                       });
+      std::vector<KeyPayload32> tmp(recs.size());
+      record_merge_sort<PairTraits>(recs, tmp, 8);
+      ASSERT_EQ(recs.size(), expect.size());
+      for (std::size_t i = 0; i < recs.size(); ++i) {
+        ASSERT_EQ(recs[i].key, expect[i].key)
+            << keys::dist_name(d) << " n=" << n << " i=" << i;
+        ASSERT_EQ(recs[i].payload, expect[i].payload)
+            << keys::dist_name(d) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(MergeKernels, LinearAndLoserTreeAgreeOnOutputAndSegments) {
+  // The two merge backends must implement the same selection rule —
+  // smallest key, ties to the lowest run index — so both the merged
+  // output and the measured segment count (a charge input) match.
+  std::uint64_t x = 23;
+  for (int round = 0; round < 40; ++round) {
+    const std::size_t k = 1 + round % 9;
+    std::vector<std::vector<Key>> storage(k);
+    std::size_t total = 0;
+    for (auto& run : storage) {
+      run.resize((x >> 60) % 17);  // empty runs included
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      for (auto& key : run) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        key = static_cast<Key>(x >> 59);  // heavy ties
+      }
+      std::sort(run.begin(), run.end());
+      total += run.size();
+    }
+    std::vector<std::span<const Key>> runs(storage.begin(), storage.end());
+    std::vector<Key> lin(total), tree(total);
+    const auto runs_view =
+        std::span<const std::span<const Key>>(runs.data(), runs.size());
+    const std::uint64_t seg_lin = linear_merge<KeyTraits>(runs_view, lin);
+    const std::uint64_t seg_tree = loser_tree_merge<KeyTraits>(runs_view, tree);
+    EXPECT_EQ(lin, tree) << "round " << round;
+    EXPECT_EQ(seg_lin, seg_tree) << "round " << round;
+    EXPECT_TRUE(std::is_sorted(lin.begin(), lin.end()));
+  }
+}
+
+TEST(AlgoTemplates, SortPrivateArraysConcurrently) {
+  // The sample skeleton runs one local sort per rank concurrently; both
+  // template cores must be safe over private data with no shared state.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> pool;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([t, &failures] {
+      const keys::Dist d = kCaseDists[static_cast<std::size_t>(t) %
+                                      std::size(kCaseDists)];
+      auto keys = make_keys(d, 30000, 100 + static_cast<std::uint64_t>(t));
+      auto expect = keys;
+      std::sort(expect.begin(), expect.end());
+      if (t % 2 == 0) {
+        msd_record_sort<KeyTraits>(keys);
+      } else {
+        std::vector<Key> tmp(keys.size());
+        record_merge_sort<KeyTraits>(keys, tmp, 8);
+      }
+      failures[static_cast<std::size_t>(t)] = keys == expect ? 0 : 1;
+    });
+  }
+  for (auto& th : pool) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+}
+
+}  // namespace
+}  // namespace dsm::sort

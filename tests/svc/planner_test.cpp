@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "perf/predictor.hpp"
@@ -152,19 +153,84 @@ TEST(Planner, CalibrateSwitchOffPlansOnRawPredictions) {
   EXPECT_EQ(planner.observations(before.algo, before.model), 1u);
 }
 
-TEST(Planner, CalibrationJsonListsTheSevenFeasibleCells) {
+TEST(Planner, CalibrationJsonListsTheThirteenFeasibleCells) {
   Planner planner;
   const std::string json = planner.calibration_json();
-  // 2 algorithms x 4 models minus the infeasible sample/CC-SAS-NEW cell.
+  // 4 algorithms x 4 models minus the three non-radix cells on the
+  // radix-only CC-SAS-NEW model.
   std::size_t cells = 0;
   for (std::size_t pos = json.find("\"factor\""); pos != std::string::npos;
        pos = json.find("\"factor\"", pos + 1)) {
     ++cells;
   }
-  EXPECT_EQ(cells, 7u);
+  EXPECT_EQ(cells, 13u);
   // CC-SAS-NEW is radix-only: exactly one entry mentions it.
   EXPECT_EQ(json.find("CC-SAS-NEW"), json.rfind("CC-SAS-NEW"));
   EXPECT_NE(json.find("CC-SAS-NEW"), std::string::npos);
+  // Every registry algorithm appears.
+  for (const auto& e : sort::kAlgoNames) {
+    EXPECT_NE(json.find(std::string("\"") + e.name + "\""),
+              std::string::npos)
+        << e.name;
+  }
+}
+
+TEST(Planner, SkewedJobsPickTheMatchingBackend) {
+  // The planner is distribution-aware end to end: the same (n, p) flips
+  // algorithm with the job's dist (DESIGN.md §13).
+  Planner planner;
+  JobSpec j = gauss_job(1 << 20, 16);
+  j.dist = keys::Dist::kDup;
+  EXPECT_EQ(planner.plan(j).algo, sort::Algo::kMsdRadix);
+  j.dist = keys::Dist::kAlmostSorted;
+  EXPECT_EQ(planner.plan(j).algo, sort::Algo::kMergesort);
+}
+
+TEST(Planner, ForcedNewBackendsPlanAndCcSasNewStaysRadixOnly) {
+  Planner planner;
+  for (const sort::Algo a : {sort::Algo::kMsdRadix, sort::Algo::kMergesort}) {
+    JobSpec j = gauss_job(1 << 18, 16);
+    j.force_algo = a;
+    const Plan p = planner.plan(j);
+    EXPECT_EQ(p.algo, a);
+    EXPECT_NE(p.model, sort::Model::kCcSasNew) << sort::algo_name(a);
+    JobSpec bad = j;
+    bad.force_model = sort::Model::kCcSasNew;
+    EXPECT_THROW((void)planner.plan(bad), Error) << sort::algo_name(a);
+  }
+}
+
+TEST(Planner, ExportedCellsAreTaggedAndImportByTag) {
+  Planner planner;
+  const Plan p = planner.plan(gauss_job(1 << 18, 16));
+  planner.observe(p, 2.0 * p.predicted_raw_ns);
+
+  const auto cells = planner.export_cells();
+  ASSERT_EQ(cells.size(), Planner::kNumCells);
+  // Registry enumeration order, algo-major.
+  std::size_t i = 0;
+  for (const auto& ae : sort::kAlgoNames) {
+    for (const auto& me : sort::kModelNames) {
+      EXPECT_EQ(cells[i].algo, ae.value) << i;
+      EXPECT_EQ(cells[i].model, me.value) << i;
+      ++i;
+    }
+  }
+
+  // A shuffled subset restores by tag; untagged cells reset to default.
+  Planner fresh;
+  std::vector<Planner::CellState> subset;
+  for (const auto& c : cells) {
+    if (c.samples > 0) subset.push_back(c);
+  }
+  ASSERT_FALSE(subset.empty());
+  fresh.import_cells(subset);
+  EXPECT_DOUBLE_EQ(fresh.factor(p.algo, p.model),
+                   planner.factor(p.algo, p.model));
+  EXPECT_EQ(fresh.observations(p.algo, p.model),
+            planner.observations(p.algo, p.model));
+  EXPECT_EQ(fresh.observations(sort::Algo::kMergesort, sort::Model::kMpi),
+            0u);
 }
 
 TEST(Planner, RejectsBadConfig) {

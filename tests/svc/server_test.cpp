@@ -84,11 +84,9 @@ TEST(SortService, ReplayReturnsResultsInTraceOrderAndCalibrates) {
     EXPECT_GT(results[i].measured_ns, 0);
     EXPECT_EQ(results[i].host_latency_ms, 0);  // replay: no host clock
   }
-  for (const sort::Algo a : {sort::Algo::kRadix, sort::Algo::kSample}) {
-    for (const sort::Model m :
-         {sort::Model::kCcSas, sort::Model::kCcSasNew, sort::Model::kMpi,
-          sort::Model::kShmem}) {
-      total_obs += svc.planner().observations(a, m);
+  for (const auto& ae : sort::kAlgoNames) {
+    for (const auto& me : sort::kModelNames) {
+      total_obs += svc.planner().observations(ae.value, me.value);
     }
   }
   EXPECT_EQ(total_obs, trace.size());  // every success feeds calibration

@@ -28,11 +28,18 @@ SnapshotData sample_snapshot() {
   SnapshotData s;
   s.lsn = 17;
   s.next_seq = 4;
-  for (int i = 0; i < 8; ++i) {
-    Planner::CellState c;
-    c.factor = 0.9 + i * (1.0 / 3.0);  // not decimal-representable
-    c.samples = static_cast<std::uint64_t>(i * i);
-    s.planner_cells.push_back(c);
+  std::uint64_t i = 0;
+  for (const auto& ae : sort::kAlgoNames) {
+    for (const auto& me : sort::kModelNames) {
+      Planner::CellState c;
+      c.algo = ae.value;
+      c.model = me.value;
+      c.factor = 0.9 + static_cast<double>(i) * (1.0 / 3.0);  // not
+      // decimal-representable: only hexfloat round-trips it bit-exactly.
+      c.samples = i * i;
+      s.planner_cells.push_back(c);
+      ++i;
+    }
   }
   Metrics m;
   m.on_admission(Admission::kAccepted);
@@ -68,8 +75,11 @@ TEST(SnapshotCodec, RoundTripsEverything) {
   const SnapshotData got = decode_snapshot(encode_snapshot(want));
   EXPECT_EQ(got.lsn, 17u);
   EXPECT_EQ(got.next_seq, 4u);
-  ASSERT_EQ(got.planner_cells.size(), 8u);
-  for (int i = 0; i < 8; ++i) {
+  ASSERT_EQ(got.planner_cells.size(), Planner::kNumCells);
+  for (std::size_t i = 0; i < got.planner_cells.size(); ++i) {
+    // Tagged cells2 format: (algo, model) names ride with each cell.
+    EXPECT_EQ(got.planner_cells[i].algo, want.planner_cells[i].algo) << i;
+    EXPECT_EQ(got.planner_cells[i].model, want.planner_cells[i].model) << i;
     // Hexfloat: EWMA factors restore bit-exactly.
     EXPECT_EQ(got.planner_cells[i].factor, want.planner_cells[i].factor);
     EXPECT_EQ(got.planner_cells[i].samples, want.planner_cells[i].samples);
@@ -98,7 +108,7 @@ TEST(SnapshotCodec, MetricsStateRestoresByteIdentically) {
 }
 
 TEST(SnapshotCodec, MalformedPayloadThrowsCorruptJournal) {
-  for (const std::string bad :
+  for (const std::string& bad :
        {std::string(""), std::string("wrongmagic 1 2"),
         std::string("dsmsnap1 not-a-number")}) {
     try {
@@ -106,6 +116,61 @@ TEST(SnapshotCodec, MalformedPayloadThrowsCorruptJournal) {
       FAIL() << "decode must throw for: " << bad;
     } catch (const StatusError& e) {
       EXPECT_EQ(e.status().code(), StatusCode::kCorruptJournal);
+    }
+  }
+}
+
+// Swap the encoded cell list for an arbitrary replacement, so tests can
+// feed the decoder legacy and hostile cell payloads around otherwise
+// valid snapshot bytes.
+std::string with_cell_list(const std::string& cell_list) {
+  SnapshotData s = sample_snapshot();
+  s.planner_cells.clear();
+  std::string payload = encode_snapshot(s);
+  const std::string marker = " cells2 0";
+  const std::size_t pos = payload.find(marker);
+  EXPECT_NE(pos, std::string::npos);
+  payload.replace(pos, marker.size(), cell_list);
+  return payload;
+}
+
+TEST(SnapshotCodec, LegacyUntaggedCellsMapOntoThePaperMatrix) {
+  // Pre-cells2 snapshots carried exactly 8 positional cells: the
+  // {radix, sample} x 4-model matrix in algo-major order. They must keep
+  // decoding, with the tags reconstructed from position.
+  std::string legacy = " 8";
+  for (int i = 0; i < 8; ++i) {
+    legacy += " 0x1.8p+0 " + std::to_string(i);
+  }
+  const SnapshotData got = decode_snapshot(with_cell_list(legacy));
+  ASSERT_EQ(got.planner_cells.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(got.planner_cells[i].algo,
+              i < 4 ? sort::Algo::kRadix : sort::Algo::kSample)
+        << i;
+    EXPECT_EQ(got.planner_cells[i].model, sort::kModelNames[i % 4].value)
+        << i;
+    EXPECT_EQ(got.planner_cells[i].factor, 1.5);
+    EXPECT_EQ(got.planner_cells[i].samples, i);
+  }
+}
+
+TEST(SnapshotCodec, HostileCellListsAreCorruptJournalNotBlindCasts) {
+  for (const std::string& bad : {
+           // Unknown algorithm name in a tagged cell.
+           std::string(" cells2 1 quicksort SHMEM 0x1p+0 0"),
+           // Unknown model name in a tagged cell.
+           std::string(" cells2 1 radix HYPERCUBE 0x1p+0 0"),
+           // Tagged count beyond the registry matrix.
+           std::string(" cells2 99"),
+           // Legacy positional count that is not the paper's 8 cells.
+           std::string(" 7 0x1p+0 0"),
+       }) {
+    try {
+      decode_snapshot(with_cell_list(bad));
+      FAIL() << "decode must throw for cell list:" << bad;
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.status().code(), StatusCode::kCorruptJournal) << bad;
     }
   }
 }
